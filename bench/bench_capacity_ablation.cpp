@@ -1,0 +1,59 @@
+/// \file bench_capacity_ablation.cpp
+/// Ablation of the paper's footnote-1 assumption ("each elastic FIFO is
+/// big enough ... performance determined by the forward critical paths"):
+/// throughput of the SELF control network as EB capacity grows, compared
+/// with the unbounded-FIFO token simulator and the exact Markov value.
+/// Ties the assumption to Lu & Koh's FIFO-sizing work ([7] in the paper).
+
+#include <cstdio>
+
+#include "bench89/generator.hpp"
+#include "core/figures.hpp"
+#include "core/opt.hpp"
+#include "elastic/control_sim.hpp"
+#include "sim/markov.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace elrr;
+
+void sweep(const char* name, const Rrg& rrg) {
+  sim::SimOptions sopt;
+  sopt.measure_cycles = 30000;
+  const double unbounded = sim::simulate_throughput(rrg, sopt).theta;
+
+  std::printf("%-24s unbounded-FIFO Theta = %.4f\n", name, unbounded);
+  std::printf("  %-8s %9s %9s\n", "capacity", "Theta", "of-limit");
+  for (int capacity : {1, 2, 3, 4, 8, 16}) {
+    elastic::ControlSimOptions copt;
+    copt.capacity = capacity;
+    copt.measure_cycles = 30000;
+    const double theta =
+        elastic::simulate_control_throughput(rrg, copt).theta;
+    std::printf("  %-8d %9.4f %8.1f%%\n", capacity, theta,
+                unbounded > 0 ? theta / unbounded * 100.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("ElasticRR | EB capacity ablation (footnote 1 / FIFO sizing [7])\n");
+  std::printf("==============================================================\n");
+
+  sweep("figure 2 (alpha=0.9)", figures::figure2(0.9));
+  sweep("figure 1b early (a=0.5)", figures::figure1b(0.5, true));
+
+  // An optimized mid-size circuit: capacity effects on a real Pareto
+  // configuration with recycled bubbles.
+  const auto& spec = bench89::spec_by_name("s382");
+  const Rrg rrg = bench89::make_table2_rrg(spec, 1);
+  OptOptions opt;
+  opt.epsilon = 0.05;
+  opt.milp.time_limit_s = 10.0;
+  const MinEffCycResult res = min_eff_cyc(rrg, opt);
+  sweep("s382 best RC", apply_config(rrg, res.best().config));
+  return 0;
+}

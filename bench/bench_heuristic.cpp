@@ -1,0 +1,78 @@
+/// \file bench_heuristic.cpp
+/// The paper's future-work direction (Section 6): "The proposed MILPs
+/// are difficult to solve exactly for circuit graphs with more than one
+/// thousand edges. However, there are simple and efficient heuristics
+/// for solving MILP problems."
+///
+/// Compares the exact MILP Pareto walk (MIN_EFF_CYC) against the
+/// MILP-free heuristic (greedy recycling walk + local retiming polish)
+/// on the synthetic Table-2 circuits: solution quality (xi_lp of the
+/// best configuration) and wall-clock time. Expected shape: the
+/// heuristic tracks the exact optimum within ~0-30% at a 10-100x
+/// speedup, with the gap widening on circuits whose optima need
+/// coordinated multi-node retimings (cf. figure 2).
+///
+/// Knobs: ELRR_SEED, ELRR_EPSILON, ELRR_MILP_TIMEOUT, ELRR_HEUR_FULL=1
+/// adds the mid-size circuits.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/flow.hpp"
+#include "bench89/generator.hpp"
+#include "core/analysis.hpp"
+#include "core/opt.hpp"
+#include "heur/heuristic.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+using namespace elrr;
+
+int main() {
+  const bench::FlowOptions fopt = bench::FlowOptions::from_env();
+  std::printf("==========================================================================\n");
+  std::printf("ElasticRR | exact MILP walk vs MILP-free heuristic (seed %llu)\n",
+              static_cast<unsigned long long>(fopt.seed));
+  std::printf("==========================================================================\n");
+  std::printf("%-7s %5s %9s %9s %9s %8s %8s %8s\n", "name", "|E|", "xi_id",
+              "xi_exact", "xi_heur", "gap(%)", "t_ex(s)", "t_h(s)");
+
+  std::vector<const char*> names{"s208", "s27", "s838", "s420", "s382",
+                                 "s526"};
+  if (std::getenv("ELRR_HEUR_FULL") != nullptr) {
+    names.insert(names.end(), {"s400", "s444", "s386", "s641"});
+  }
+
+  RunningStats gaps, speedups;
+  for (const char* name : names) {
+    const Rrg rrg =
+        bench89::make_table2_rrg(bench89::spec_by_name(name), fopt.seed);
+    const double xi_id = evaluate_rrg(rrg).xi_lp;
+
+    OptOptions eopt;
+    eopt.epsilon = fopt.epsilon;
+    eopt.milp.time_limit_s = fopt.milp_timeout_s;
+    Stopwatch we;
+    const MinEffCycResult exact = min_eff_cyc(rrg, eopt);
+    const double t_exact = we.seconds();
+
+    Stopwatch wh;
+    const HeuristicResult heur = heur_eff_cyc(rrg);
+    const double t_heur = wh.seconds();
+
+    const double gap = (heur.best().xi_lp - exact.best().xi_lp) /
+                       exact.best().xi_lp * 100.0;
+    gaps.add(gap);
+    if (t_heur > 0) speedups.add(t_exact / t_heur);
+    std::printf("%-7s %5zu %9.2f %9.2f %9.2f %8.1f %8.2f %8.2f%s\n", name,
+                rrg.num_edges(), xi_id, exact.best().xi_lp,
+                heur.best().xi_lp, gap, t_exact, t_heur,
+                exact.all_exact ? "" : " *");
+  }
+  std::printf("--------------------------------------------------------------------------\n");
+  std::printf("average quality gap = %.1f%%   median-ish speedup = %.0fx\n",
+              gaps.mean(), speedups.mean());
+  std::printf("* = some MILP hit its budget (exact column is an incumbent)\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks of the substrates: simplex/MILP
+/// solves, minimum cycle ratio, SCC, token-level simulation, Markov
+/// analysis and the full MILP primitives on generated circuits.
+
+#include <benchmark/benchmark.h>
+
+#include "bench89/generator.hpp"
+#include "core/figures.hpp"
+#include "core/opt.hpp"
+#include "core/tgmg.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/howard.hpp"
+#include "graph/karp.hpp"
+#include "graph/scc.hpp"
+#include "heur/heuristic.hpp"
+#include "io/rrg_format.hpp"
+#include "lp/milp.hpp"
+#include "sim/markov.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace elrr;
+
+lp::Model random_lp(int cols, int rows, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Model model;
+  for (int j = 0; j < cols; ++j) {
+    model.add_col(0.0, rng.uniform(1.0, 10.0), rng.uniform(-1.0, 1.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<lp::ColEntry> entries;
+    for (int j = 0; j < cols; ++j) {
+      if (rng.bernoulli(0.3)) entries.push_back({j, rng.uniform(-2.0, 2.0)});
+    }
+    model.add_row(-lp::kInf, rng.uniform(1.0, 8.0), std::move(entries));
+  }
+  return model;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const auto model = random_lp(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)) * 2, 42);
+  for (auto _ : state) {
+    lp::SimplexSolver solver(model);
+    benchmark::DoNotOptimize(solver.solve().objective);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(20)->Arg(60)->Arg(150);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  Rng rng(7);
+  lp::Model model;
+  model.set_sense(lp::Sense::kMaximize);
+  std::vector<lp::ColEntry> weights;
+  for (int j = 0; j < state.range(0); ++j) {
+    const int c = model.add_col(0, 1, rng.uniform(1.0, 10.0), true);
+    weights.push_back({c, rng.uniform(1.0, 10.0)});
+  }
+  model.add_row(-lp::kInf, static_cast<double>(state.range(0)) * 2.0,
+                weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_milp(model).objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(16);
+
+void BM_MinCycleRatio(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::Digraph g(n);
+  std::vector<std::int64_t> cost, time;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<graph::NodeId>(i),
+               static_cast<graph::NodeId>((i + 1) % n));
+    cost.push_back(rng.uniform_int(0, 3));
+    time.push_back(rng.uniform_int(1, 3));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+               static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    cost.push_back(rng.uniform_int(1, 3));
+    time.push_back(rng.uniform_int(1, 3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::min_cycle_ratio(g, cost, time).ratio);
+  }
+}
+BENCHMARK(BM_MinCycleRatio)->Arg(50)->Arg(200);
+
+void BM_Scc(benchmark::State& state) {
+  Rng rng(13);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  graph::Digraph g(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    g.add_edge(static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+               static_cast<graph::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::strongly_connected_components(g).num_components);
+  }
+}
+BENCHMARK(BM_Scc)->Arg(1000)->Arg(10000);
+
+void BM_TokenSimulation(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  sim::SimOptions options;
+  options.warmup_cycles = 100;
+  options.measure_cycles = static_cast<std::size_t>(state.range(0));
+  options.runs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_throughput(rrg, options).theta);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TokenSimulation)->Arg(1000)->Arg(10000);
+
+void BM_MarkovFigure1b(benchmark::State& state) {
+  const Rrg rrg = figures::figure1b(0.5, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::exact_throughput(rrg).theta);
+  }
+}
+BENCHMARK(BM_MarkovFigure1b);
+
+void BM_ThroughputLp(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(throughput_upper_bound(rrg));
+  }
+}
+BENCHMARK(BM_ThroughputLp);
+
+void BM_MaxThr(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s27"), 1);
+  OptOptions options;
+  options.milp.time_limit_s = 30.0;
+  const double tau = rrg.max_delay();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_thr(rrg, tau, options).objective);
+  }
+}
+BENCHMARK(BM_MaxThr);
+
+void BM_McrLawler(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(
+      bench89::spec_by_name(state.range(0) == 0 ? "s526" : "s1488"), 1);
+  std::vector<std::int64_t> cost, time;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    cost.push_back(rrg.tokens(e));
+    time.push_back(rrg.buffers(e) + 1);  // avoid zero-time cycles
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::min_cycle_ratio(rrg.graph(), cost, time).ratio);
+  }
+}
+BENCHMARK(BM_McrLawler)->Arg(0)->Arg(1);
+
+void BM_McrHoward(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(
+      bench89::spec_by_name(state.range(0) == 0 ? "s526" : "s1488"), 1);
+  std::vector<std::int64_t> cost, time;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    cost.push_back(rrg.tokens(e));
+    time.push_back(rrg.buffers(e) + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::howard_min_cycle_ratio(rrg.graph(), cost, time).ratio);
+  }
+}
+BENCHMARK(BM_McrHoward)->Arg(0)->Arg(1);
+
+void BM_MmcKarp(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(
+      bench89::spec_by_name(state.range(0) == 0 ? "s526" : "s1488"), 1);
+  std::vector<std::int64_t> cost;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    cost.push_back(rrg.tokens(e));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::karp_min_mean_cycle(rrg.graph(), cost).mean);
+  }
+}
+BENCHMARK(BM_MmcKarp)->Arg(0)->Arg(1);
+
+void BM_HeuristicWalk(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heur_eff_cyc(rrg).best().xi_lp);
+  }
+}
+BENCHMARK(BM_HeuristicWalk);
+
+void BM_RrgFormatRoundTrip(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s1488"), 1);
+  const std::string text = io::write_rrg(rrg, "s1488");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_rrg(text).rrg.num_edges());
+  }
+}
+BENCHMARK(BM_RrgFormatRoundTrip);
+
+void BM_TelescopicKernelStep(benchmark::State& state) {
+  Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  // Make a fifth of the nodes telescopic to stress the busy machinery.
+  for (NodeId n = 0; n < rrg.num_nodes(); n += 5) {
+    rrg.set_telescopic(n, 0.8, 2);
+  }
+  const sim::Kernel kernel(rrg);
+  sim::SyncState st = kernel.initial_state();
+  Rng rng(3);
+  const sim::Kernel::GuardChooser guard = [&](NodeId n) {
+    return static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(rrg.graph().in_degree(n)) - 1));
+  };
+  const sim::Kernel::LatencyChooser latency = [&](NodeId) {
+    return rng.bernoulli(0.2);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.step(st, guard, latency).total_firings);
+  }
+}
+BENCHMARK(BM_TelescopicKernelStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+#include "bench/flow.hpp"
+
+#include <algorithm>
+
+#include "heur/heuristic.hpp"
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+namespace elrr::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+/// Heuristic budget scaled to the instance: every probe solves one
+/// throughput LP whose cost grows ~quadratically with the edge count,
+/// so dense circuits get fewer, cheaper-in-total probes.
+HeuristicOptions scaled_heuristic(const Rrg& rrg) {
+  HeuristicOptions hopt;
+  const std::size_t edges = rrg.num_edges();
+  if (edges > 350) {
+    hopt.max_lp_evals = 80;
+    hopt.max_bubble_rounds = 32;
+    hopt.max_polish_rounds = 1;
+    hopt.max_edges_per_round = 8;
+  } else if (edges > 150) {
+    hopt.max_lp_evals = 300;
+    hopt.max_bubble_rounds = 64;
+    hopt.max_polish_rounds = 3;
+    hopt.max_edges_per_round = 16;
+  }
+  return hopt;
+}
+
+}  // namespace
+
+FlowOptions FlowOptions::from_env() {
+  FlowOptions options;
+  options.seed = static_cast<std::uint64_t>(env_double("ELRR_SEED", 1));
+  options.epsilon = env_double("ELRR_EPSILON", 0.05);
+  options.milp_timeout_s = env_double("ELRR_MILP_TIMEOUT", 6.0);
+  options.sim_cycles =
+      static_cast<std::size_t>(env_double("ELRR_SIM_CYCLES", 20000));
+  options.polish = env_double("ELRR_POLISH", 0) != 0;
+  options.use_heuristic = env_double("ELRR_HEUR", 1) != 0;
+  options.exact_max_edges =
+      static_cast<int>(env_double("ELRR_EXACT_MAX_EDGES", 150));
+  return options;
+}
+
+CircuitResult run_flow(const std::string& name, const Rrg& rrg,
+                       const FlowOptions& options) {
+  Stopwatch watch;
+  CircuitResult result;
+  result.name = name;
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    rrg.is_early(n) ? ++result.n_early : ++result.n_simple;
+  }
+  result.n_edges = static_cast<int>(rrg.num_edges());
+
+  // xi*: the unoptimized configuration. The generated RRGs have no
+  // bubbles, so theta = 1 and xi* = tau.
+  result.xi_star = cycle_time(rrg).tau;
+
+  OptOptions opt;
+  opt.epsilon = options.epsilon;
+  opt.milp.time_limit_s = options.milp_timeout_s;
+  opt.polish = options.polish;
+
+  // Late-evaluation baseline: for all-simple graphs the LP bound is the
+  // exact throughput, so xi_nee needs no simulation. The heuristic (when
+  // enabled) guards the baseline against MILP budget exhaustion.
+  OptOptions late = opt;
+  late.treat_all_simple = true;
+  if (!options.heuristic_only) {
+    const MinEffCycResult nee = min_eff_cyc(rrg, late);
+    result.xi_nee = nee.best().xi_lp;
+    result.all_exact &= nee.all_exact;
+  } else {
+    result.xi_nee = cycle_time(rrg).tau;  // refined by the heuristic below
+    result.all_exact = false;
+  }
+  if (options.use_heuristic || options.heuristic_only) {
+    Rrg all_simple = rrg;
+    for (NodeId n = 0; n < all_simple.num_nodes(); ++n) {
+      all_simple.set_kind(n, NodeKind::kSimple);
+    }
+    const HeuristicResult late_heur =
+        heur_eff_cyc(all_simple, scaled_heuristic(all_simple));
+    result.xi_nee = std::min(result.xi_nee, late_heur.best().xi_lp);
+  }
+
+  // Early evaluation: optimize (exact walk, plus the heuristic's frontier
+  // when enabled), then rerank the candidates by simulation.
+  MinEffCycResult early;
+  if (!options.heuristic_only) {
+    early = min_eff_cyc(rrg, opt);
+    result.all_exact &= early.all_exact;
+  } else {
+    // Seed the frontier with the identity; the heuristic fills the rest.
+    ParetoPoint identity;
+    identity.config = initial_config(rrg);
+    const RcEvaluation eval = evaluate_rrg(rrg);
+    identity.tau = eval.tau;
+    identity.theta_lp = eval.theta_lp;
+    identity.xi_lp = eval.xi_lp;
+    identity.exact = false;
+    early.points.push_back(std::move(identity));
+  }
+  if (options.use_heuristic || options.heuristic_only) {
+    const HeuristicResult heur = heur_eff_cyc(rrg, scaled_heuristic(rrg));
+    early.points.insert(early.points.end(), heur.points.begin(),
+                        heur.points.end());
+    std::sort(early.points.begin(), early.points.end(),
+              [](const ParetoPoint& a, const ParetoPoint& b) {
+                if (a.tau != b.tau) return a.tau < b.tau;
+                return a.theta_lp > b.theta_lp;
+              });
+    std::vector<ParetoPoint> frontier;
+    double best_theta = -1.0;
+    for (ParetoPoint& point : early.points) {
+      if (point.theta_lp > best_theta + 1e-12) {
+        best_theta = point.theta_lp;
+        frontier.push_back(std::move(point));
+      }
+    }
+    early.points = std::move(frontier);
+    early.best_index = 0;
+    for (std::size_t i = 1; i < early.points.size(); ++i) {
+      if (early.points[i].xi_lp < early.points[early.best_index].xi_lp) {
+        early.best_index = i;
+      }
+    }
+  }
+
+  std::vector<std::size_t> simulate =
+      early.k_best(options.max_simulated_points);
+  std::sort(simulate.begin(), simulate.end());  // present in tau order
+
+  sim::SimOptions sopt;
+  sopt.seed = options.seed * 7919 + 17;
+  sopt.measure_cycles = options.sim_cycles;
+  sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
+  sopt.runs = 2;
+
+  int original_buffers = 0;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    original_buffers += rrg.buffers(e);
+  }
+
+  double best_sim_xi = 0.0;
+  double lp_best_sim_xi = 0.0;
+  for (std::size_t index : simulate) {
+    const ParetoPoint& point = early.points[index];
+    const Rrg configured = apply_config(rrg, point.config);
+    const sim::SimResult sim = sim::simulate_throughput(configured, sopt);
+
+    CandidateRow row;
+    row.tau = point.tau;
+    row.theta_lp = point.theta_lp;
+    row.theta_sim = sim.theta;
+    row.err_percent = relative_percent(point.theta_lp, sim.theta);
+    row.xi_lp = point.xi_lp;
+    row.xi_sim = effective_cycle_time(point.tau, sim.theta);
+    row.exact = point.exact;
+    int buffers = 0, tokens = 0;
+    for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+      buffers += point.config.buffers[e];
+      tokens += std::max(point.config.tokens[e], 0);
+    }
+    row.bubbles = buffers - tokens;
+    (void)original_buffers;
+    result.candidates.push_back(row);
+
+    if (best_sim_xi == 0.0 || row.xi_sim < best_sim_xi) {
+      best_sim_xi = row.xi_sim;
+    }
+    if (index == early.best_index) lp_best_sim_xi = row.xi_sim;
+  }
+  ELRR_ASSERT(!result.candidates.empty(), "no candidates simulated");
+  if (lp_best_sim_xi == 0.0) lp_best_sim_xi = result.candidates.front().xi_sim;
+
+  result.xi_lp_min = lp_best_sim_xi;
+  result.xi_sim_min = best_sim_xi;
+  result.improve_percent =
+      (result.xi_nee - result.xi_sim_min) / result.xi_nee * 100.0;
+  result.delta_percent =
+      relative_percent(result.xi_lp_min, result.xi_sim_min);
+  result.seconds = watch.seconds();
+  return result;
+}
+
+CircuitResult run_circuit(const std::string& name,
+                          const FlowOptions& options) {
+  const bench89::CircuitSpec& spec = bench89::spec_by_name(name);
+  const Rrg rrg = bench89::make_table2_rrg(spec, options.seed);
+  return run_flow(name, rrg, options);
+}
+
+}  // namespace elrr::bench

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file flow.hpp
+/// Shared experiment flow for the table/figure reproduction benches: runs
+/// the full DAC'09 pipeline (generate -> optimize late & early -> simulate
+/// the Pareto candidates) for one circuit and returns every number the
+/// paper's tables report. Environment knobs (all optional):
+///   ELRR_SEED            benchmark seed              (default 1)
+///   ELRR_EPSILON         MIN_EFF_CYC epsilon         (default 0.05; paper 0.01)
+///   ELRR_MILP_TIMEOUT    seconds per MILP            (default 6)
+///   ELRR_SIM_CYCLES      measured cycles per run     (default 20000)
+///   ELRR_TABLE2_FULL     1 = all 18 circuits         (default: <= 150 edges)
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench89/generator.hpp"
+#include "core/analysis.hpp"
+#include "core/opt.hpp"
+#include "sim/simulator.hpp"
+
+namespace elrr::bench {
+
+struct FlowOptions {
+  std::uint64_t seed = 1;
+  double epsilon = 0.05;
+  double milp_timeout_s = 6.0;
+  std::size_t sim_cycles = 20000;
+  std::size_t max_simulated_points = 8;
+  /// Run the MAX_THR polish inside MIN_EFF_CYC (paper-exact, slower);
+  /// env ELRR_POLISH=1. bench_table1 enables it by default.
+  bool polish = false;
+  /// Merge the MILP-free heuristic's Pareto points into the candidate
+  /// set (both for the early walk and the late baseline). This is our
+  /// extension beyond the paper -- it costs milliseconds and rescues
+  /// circuits whose MILPs hit their budgets; env ELRR_HEUR=0 restores
+  /// the paper-pure flow.
+  bool use_heuristic = true;
+  /// Skip the exact MILP walk entirely and rely on the heuristic alone
+  /// (the scalable mode for circuits past the MILP's reach -- the paper
+  /// calls graphs with > 1000 edges "difficult to solve exactly").
+  bool heuristic_only = false;
+  /// Edge count above which run_circuit switches to heuristic_only
+  /// automatically; env ELRR_EXACT_MAX_EDGES (default 150).
+  int exact_max_edges = 150;
+
+  static FlowOptions from_env();
+};
+
+/// One simulated Pareto candidate (a row of Table 1).
+struct CandidateRow {
+  double tau = 0.0;
+  double theta_lp = 0.0;
+  double theta_sim = 0.0;
+  double err_percent = 0.0;  ///< (theta_lp - theta_sim) / theta_sim * 100
+  double xi_lp = 0.0;        ///< tau / theta_lp
+  double xi_sim = 0.0;       ///< tau / theta_sim
+  int bubbles = 0;           ///< total inserted empty EBs vs the input RRG
+  bool exact = true;
+};
+
+/// Everything a Table-2 row needs.
+struct CircuitResult {
+  std::string name;
+  int n_simple = 0, n_early = 0, n_edges = 0;
+  double xi_star = 0.0;     ///< original effective cycle time (theta = 1)
+  double xi_nee = 0.0;      ///< late-evaluation optimum (all nodes simple)
+  double xi_lp_min = 0.0;   ///< simulated xi of the xi_lp-best config
+  double xi_sim_min = 0.0;  ///< best simulated xi among candidates
+  double improve_percent = 0.0;  ///< (xi_nee - xi_sim_min)/xi_nee * 100
+  double delta_percent = 0.0;    ///< (xi_lp_min - xi_sim_min)/xi_sim_min * 100
+  std::vector<CandidateRow> candidates;  ///< all simulated Pareto points
+  bool all_exact = true;
+  double seconds = 0.0;
+};
+
+/// Runs the full flow on an RRG (already strongly connected and live).
+CircuitResult run_flow(const std::string& name, const Rrg& rrg,
+                       const FlowOptions& options);
+
+/// Convenience: generate the named Table-2 circuit and run the flow.
+CircuitResult run_circuit(const std::string& name, const FlowOptions& options);
+
+}  // namespace elrr::bench

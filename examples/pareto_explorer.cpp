@@ -1,0 +1,62 @@
+/// \file pareto_explorer.cpp
+/// Explore the cycle-time / throughput trade-off of a Table-2 circuit:
+/// prints every non-dominated configuration found by MIN_EFF_CYC, its LP
+/// metrics and its simulated throughput, for both late and early
+/// evaluation -- the data behind the paper's Tables 1 and 2.
+///
+///   ./build/examples/pareto_explorer [circuit] [seed] [milp_seconds]
+/// e.g.  ./build/examples/pareto_explorer s386 7 20
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench89/generator.hpp"
+#include "core/analysis.hpp"
+#include "core/opt.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elrr;
+  const std::string name = argc > 1 ? argv[1] : "s526";
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+
+  const auto& spec = bench89::spec_by_name(name);
+  const Rrg rrg = bench89::make_table2_rrg(spec, seed);
+  std::printf("%s (seed %llu): |N1|=%d |N2|=%d |E|=%d, xi* = %.2f\n",
+              name.c_str(), static_cast<unsigned long long>(seed),
+              spec.n_simple, spec.n_early, spec.n_edges,
+              cycle_time(rrg).tau);
+
+  OptOptions options;
+  options.epsilon = 0.05;
+  // Default budget keeps the walk to ~2 minutes on s526; raise the third
+  // argument for tighter frontiers (the paper ran CPLEX for 20 minutes
+  // per MILP).
+  options.milp.time_limit_s = argc > 3 ? std::atof(argv[3]) : 4.0;
+
+  for (const bool early : {false, true}) {
+    OptOptions mode = options;
+    mode.treat_all_simple = !early;
+    std::printf("\n== %s evaluation ==\n", early ? "early" : "late");
+    const MinEffCycResult result = min_eff_cyc(rrg, mode);
+    std::printf("%4s %9s %9s %9s %9s %7s\n", "#", "tau", "Th_lp", "Th_sim",
+                "xi_sim", "best");
+    sim::SimOptions sopt;
+    sopt.measure_cycles = 20000;
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      const ParetoPoint& p = result.points[i];
+      const double theta =
+          sim::simulate_throughput(apply_config(rrg, p.config), sopt).theta;
+      std::printf("%4zu %9.2f %9.4f %9.4f %9.2f %7s%s\n", i, p.tau,
+                  p.theta_lp, theta, p.tau / theta,
+                  i == result.best_index ? "<==" : "",
+                  p.exact ? "" : " (budget)");
+    }
+    std::printf("best xi_lp = %.2f after %d MILP calls in %.1fs%s\n",
+                result.best().xi_lp, result.milp_calls, result.seconds,
+                result.all_exact ? "" : " (some budgets hit)");
+  }
+  return 0;
+}

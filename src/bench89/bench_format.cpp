@@ -1,0 +1,180 @@
+#include "bench89/bench_format.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace elrr::bench89 {
+
+const Gate* BenchCircuit::find_gate(std::string_view output_name) const {
+  for (const Gate& gate : gates) {
+    if (gate.name == output_name) return &gate;
+  }
+  return nullptr;
+}
+
+BenchCircuit parse_bench(std::string_view text, std::string name) {
+  BenchCircuit circuit;
+  circuit.name = std::move(name);
+
+  std::map<std::string, bool> defined;  // signal -> is defined (input/gate)
+  std::vector<std::pair<std::string, int>> references;  // signal, line no
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto parse_paren = [&](std::string_view body) -> std::string {
+      const std::size_t open = body.find('(');
+      const std::size_t close = body.rfind(')');
+      ELRR_REQUIRE(open != std::string_view::npos &&
+                       close != std::string_view::npos && close > open,
+                   "malformed .bench line ", line_no, ": ", std::string(line));
+      return std::string(trim(body.substr(open + 1, close - open - 1)));
+    };
+
+    if (starts_with(to_upper(line), "INPUT")) {
+      const std::string signal = parse_paren(line);
+      ELRR_REQUIRE(!signal.empty(), "empty INPUT at line ", line_no);
+      ELRR_REQUIRE(!defined.count(signal), "duplicate definition of '",
+                   signal, "' at line ", line_no);
+      defined[signal] = true;
+      circuit.inputs.push_back(signal);
+      continue;
+    }
+    if (starts_with(to_upper(line), "OUTPUT")) {
+      const std::string signal = parse_paren(line);
+      ELRR_REQUIRE(!signal.empty(), "empty OUTPUT at line ", line_no);
+      circuit.outputs.push_back(signal);
+      references.emplace_back(signal, line_no);
+      continue;
+    }
+
+    // z = FUNC(a, b, ...)
+    const std::size_t eq = line.find('=');
+    ELRR_REQUIRE(eq != std::string_view::npos, "expected assignment at line ",
+                 line_no, ": ", std::string(line));
+    Gate gate;
+    gate.name = std::string(trim(line.substr(0, eq)));
+    ELRR_REQUIRE(!gate.name.empty(), "missing gate name at line ", line_no);
+    const std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    ELRR_REQUIRE(open != std::string_view::npos, "missing '(' at line ",
+                 line_no);
+    gate.func = to_upper(trim(rhs.substr(0, open)));
+    ELRR_REQUIRE(!gate.func.empty(), "missing function at line ", line_no);
+    const std::string args = parse_paren(rhs);
+    for (const std::string& field : split(args, ',')) {
+      const std::string fanin(trim(field));
+      ELRR_REQUIRE(!fanin.empty(), "empty fanin at line ", line_no);
+      gate.fanins.push_back(fanin);
+      references.emplace_back(fanin, line_no);
+    }
+    ELRR_REQUIRE(!gate.fanins.empty(), "gate without fanins at line ",
+                 line_no);
+    ELRR_REQUIRE(!defined.count(gate.name), "duplicate definition of '",
+                 gate.name, "' at line ", line_no);
+    defined[gate.name] = true;
+    circuit.gates.push_back(std::move(gate));
+  }
+
+  for (const auto& [signal, line] : references) {
+    ELRR_REQUIRE(defined.count(signal), "undefined signal '", signal,
+                 "' referenced at line ", line);
+  }
+  return circuit;
+}
+
+std::string write_bench(const BenchCircuit& circuit) {
+  std::ostringstream os;
+  os << "# " << circuit.name << "\n";
+  for (const auto& in : circuit.inputs) os << "INPUT(" << in << ")\n";
+  for (const auto& out : circuit.outputs) os << "OUTPUT(" << out << ")\n";
+  os << "\n";
+  for (const Gate& gate : circuit.gates) {
+    os << gate.name << " = " << gate.func << "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << gate.fanins[i];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+Rrg circuit_to_rrg(const BenchCircuit& circuit) {
+  // Combinational gates become nodes. DFFs become token-carrying edges:
+  // the signal produced by a DFF is "its input's signal, one cycle later".
+  std::map<std::string, NodeId> node_of;     // combinational gate output
+  std::map<std::string, std::string> dff_in; // DFF output -> input signal
+
+  Rrg rrg;
+  for (const Gate& gate : circuit.gates) {
+    if (gate.func == "DFF") {
+      ELRR_REQUIRE(gate.fanins.size() == 1, "DFF '", gate.name,
+                   "' must have exactly one input");
+      dff_in[gate.name] = gate.fanins[0];
+    } else {
+      node_of[gate.name] = rrg.add_node(gate.name, 1.0);
+    }
+  }
+
+  // Resolve a signal to (combinational driver node, registers crossed).
+  // Chains of DFFs accumulate tokens.
+  const auto resolve = [&](std::string signal) -> std::pair<NodeId, int> {
+    int registers = 0;
+    for (std::size_t hops = 0; hops <= circuit.gates.size(); ++hops) {
+      const auto dff = dff_in.find(signal);
+      if (dff == dff_in.end()) break;
+      ++registers;
+      signal = dff->second;
+    }
+    const auto it = node_of.find(signal);
+    if (it == node_of.end()) return {graph::kNoNode, registers};  // PI-driven
+    return {it->second, registers};
+  };
+
+  for (const Gate& gate : circuit.gates) {
+    if (gate.func == "DFF") continue;
+    const NodeId dst = node_of.at(gate.name);
+    for (const std::string& fanin : gate.fanins) {
+      const auto [src, registers] = resolve(fanin);
+      if (src == graph::kNoNode) continue;  // driven by a primary input
+      rrg.add_edge(src, dst, registers, registers);
+    }
+  }
+  return rrg;
+}
+
+Rrg largest_scc_rrg(const Rrg& rrg) {
+  const auto nodes = graph::largest_scc_nodes(rrg.graph());
+  const auto sub = graph::induced_subgraph(rrg.graph(), nodes);
+
+  Rrg out;
+  for (NodeId n = 0; n < sub.graph.num_nodes(); ++n) {
+    const NodeId parent = sub.node_to_parent[n];
+    out.add_node(rrg.name(parent), rrg.delay(parent), rrg.kind(parent));
+  }
+  for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+    const EdgeId parent = sub.edge_to_parent[e];
+    out.add_edge(sub.graph.src(e), sub.graph.dst(e), rrg.tokens(parent),
+                 rrg.buffers(parent), rrg.gamma(parent));
+  }
+  return out;
+}
+
+}  // namespace elrr::bench89

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic benchmark structures reproducing the DAC'09 experimental
+/// setup (Section 5):
+///  * graph structures with the paper's published per-circuit statistics
+///    (|N1| simple nodes, |N2| early nodes, |E| edges; Table 2), strongly
+///    connected like the extracted ISCAS89 SCCs;
+///  * the paper's random annotation protocol: a token on each edge with
+///    probability 0.25 (plus liveness repair), combinational delays
+///    uniform in (0, 20], exactly |N2| multi-input nodes marked early,
+///    random branch probabilities.
+///
+/// Everything is deterministic in (circuit name, seed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rrg.hpp"
+#include "graph/digraph.hpp"
+
+namespace elrr::bench89 {
+
+/// Shape of one experiment circuit (columns 1-4 of Table 2).
+struct CircuitSpec {
+  std::string name;
+  int n_simple = 0;  ///< |N1|
+  int n_early = 0;   ///< |N2|
+  int n_edges = 0;   ///< |E|
+};
+
+/// The 18 test cases of Table 2 with the paper's exact statistics.
+const std::vector<CircuitSpec>& table2_specs();
+
+/// Spec lookup by name (throws if unknown).
+const CircuitSpec& spec_by_name(const std::string& name);
+
+/// Strongly connected random structure with spec.n_simple + spec.n_early
+/// nodes and spec.n_edges edges, at least spec.n_early of whose nodes have
+/// >= 2 inputs. Deterministic in (spec.name, seed).
+Digraph generate_structure(const CircuitSpec& spec, std::uint64_t seed);
+
+struct AnnotateOptions {
+  double token_prob = 0.25;   ///< paper: "a token with probability 0.25"
+  double delay_lo = 0.0;      ///< delays uniform in (delay_lo, delay_hi]
+  double delay_hi = 20.0;
+  double min_gamma = 0.02;    ///< keep probabilities strictly positive
+};
+
+/// Applies the paper's annotation protocol to a structure. `n_early`
+/// multi-input nodes are marked early evaluation (the paper marks
+/// multi-input nodes with probability 0.4; fixing the count reproduces
+/// each row's published |N2| exactly). Token placement gets a liveness
+/// repair: while some cycle carries no token, a random edge of a
+/// token-free cycle receives one.
+Rrg annotate(const Digraph& structure, int n_early,
+             const AnnotateOptions& options, std::uint64_t seed);
+
+/// generate + annotate for one Table-2 circuit (seed folded with the
+/// circuit name, so every circuit gets an independent stream).
+Rrg make_table2_rrg(const CircuitSpec& spec, std::uint64_t seed = 1,
+                    const AnnotateOptions& options = {});
+
+}  // namespace elrr::bench89

@@ -1,0 +1,45 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "core/tgmg.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/topo.hpp"
+#include "support/error.hpp"
+
+namespace elrr {
+
+double late_eval_throughput(const Rrg& rrg) {
+  rrg.validate();
+  // Acyclic graphs are not token limited.
+  const bool acyclic =
+      graph::topological_order(rrg.graph(), [](EdgeId) { return true; })
+          .has_value();
+  if (acyclic) return 1.0;
+
+  std::vector<std::int64_t> cost, time;
+  cost.reserve(rrg.num_edges());
+  time.reserve(rrg.num_edges());
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    cost.push_back(rrg.tokens(e));
+    time.push_back(rrg.buffers(e));
+  }
+  const auto mcr = graph::min_cycle_ratio(rrg.graph(), cost, time);
+  return std::min(1.0, mcr.ratio);
+}
+
+RcEvaluation evaluate_config(const Rrg& rrg, const RrConfig& config) {
+  return evaluate_rrg(apply_config(rrg, config));
+}
+
+RcEvaluation evaluate_rrg(const Rrg& rrg) {
+  RcEvaluation eval;
+  const CycleTimeResult ct = cycle_time(rrg);
+  ELRR_ASSERT(ct.valid, "live RRG cannot have a zero-buffer cycle");
+  eval.tau = ct.tau;
+  eval.theta_lp = throughput_upper_bound(rrg);
+  eval.xi_lp = effective_cycle_time(eval.tau, eval.theta_lp);
+  return eval;
+}
+
+}  // namespace elrr

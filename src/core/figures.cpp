@@ -1,0 +1,60 @@
+#include "core/figures.hpp"
+
+#include "support/error.hpp"
+
+namespace elrr {
+namespace figures {
+
+namespace {
+
+Rrg skeleton(double alpha, bool early) {
+  ELRR_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  Rrg rrg;
+  rrg.add_node("m", 0.0, early ? NodeKind::kEarly : NodeKind::kSimple);
+  rrg.add_node("F1", 1.0);
+  rrg.add_node("F2", 1.0);
+  rrg.add_node("F3", 1.0);
+  rrg.add_node("f", 0.0);
+  return rrg;
+}
+
+}  // namespace
+
+Rrg figure1a(double alpha, bool early) {
+  Rrg rrg = skeleton(alpha, early);
+  rrg.add_edge(kM, kF1, 1, 1);
+  rrg.add_edge(kF1, kF2, 0, 0);
+  rrg.add_edge(kF2, kF3, 0, 0);
+  rrg.add_edge(kF3, kF, 0, 0);
+  rrg.add_edge(kF, kM, 3, 3, alpha);
+  rrg.add_edge(kF, kM, 0, 0, 1.0 - alpha);
+  rrg.validate();
+  return rrg;
+}
+
+Rrg figure1b(double alpha, bool early) {
+  Rrg rrg = skeleton(alpha, early);
+  rrg.add_edge(kM, kF1, 0, 0);
+  rrg.add_edge(kF1, kF2, 1, 1);  // the retimed token (edge e3 in Fig. 3)
+  rrg.add_edge(kF2, kF3, 0, 1);  // bubble
+  rrg.add_edge(kF3, kF, 0, 0);
+  rrg.add_edge(kF, kM, 3, 3, alpha);
+  rrg.add_edge(kF, kM, 0, 1, 1.0 - alpha);  // bubble
+  rrg.validate();
+  return rrg;
+}
+
+Rrg figure2(double alpha, bool early) {
+  Rrg rrg = skeleton(alpha, early);
+  rrg.add_edge(kM, kF1, 1, 1);
+  rrg.add_edge(kF1, kF2, 1, 1);
+  rrg.add_edge(kF2, kF3, 1, 1);
+  rrg.add_edge(kF3, kF, 0, 0);
+  rrg.add_edge(kF, kM, 1, 1, alpha);
+  rrg.add_edge(kF, kM, -2, 0, 1.0 - alpha);  // two anti-tokens
+  rrg.validate();
+  return rrg;
+}
+
+}  // namespace figures
+}  // namespace elrr

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file figures.hpp
+/// The running example of the paper (Figures 1(a), 1(b) and 2) as ready
+/// made RRGs. Node order is fixed as {m, F1, F2, F3, f}; F1..F3 have unit
+/// combinational delay, m and f have zero delay; the multiplexer m selects
+/// its top input (the 3-EB channel from f in Figure 1(a)) with probability
+/// alpha and the bottom channel with probability 1-alpha.
+///
+/// Ground truth used by tests and benches:
+///  * fig. 1(a): tau = 3, Theta = 1, xi = 3;
+///  * fig. 1(b): tau = 1; late Theta = 1/3; early Theta = 0.491 (alpha=.5)
+///    and 0.719 (alpha=.9) [Markov analysis, Section 1.4];
+///  * fig. 2:    tau = 1; early Theta = 1/(3-2alpha); two anti-tokens on
+///    the bottom f->m channel; reached from 1(a) by the retiming
+///    r(m)=-2, r(F1)=-2, r(F2)=-1, r(F3)=r(f)=0 plus recycling.
+
+#include "core/rrg.hpp"
+
+namespace elrr {
+namespace figures {
+
+/// Node indices within the figure RRGs.
+inline constexpr NodeId kM = 0;
+inline constexpr NodeId kF1 = 1;
+inline constexpr NodeId kF2 = 2;
+inline constexpr NodeId kF3 = 3;
+inline constexpr NodeId kF = 4;
+
+/// Edge indices within the figure RRGs.
+inline constexpr EdgeId kMF1 = 0;
+inline constexpr EdgeId kF1F2 = 1;
+inline constexpr EdgeId kF2F3 = 2;
+inline constexpr EdgeId kF3F = 3;
+inline constexpr EdgeId kTop = 4;     ///< f -> m, alpha channel
+inline constexpr EdgeId kBottom = 5;  ///< f -> m, (1-alpha) channel
+
+/// Figure 1(a): one token on m->F1, three tokens in three EBs on the top
+/// f->m channel, everything else combinational.
+Rrg figure1a(double alpha = 0.5, bool early = true);
+
+/// Figure 1(b): figure 1(a) after one retiming move and two bubbles;
+/// cycle time 1.
+Rrg figure1b(double alpha = 0.5, bool early = true);
+
+/// Figure 2: the optimal retiming & recycling configuration with early
+/// evaluation; two anti-tokens on the bottom channel.
+Rrg figure2(double alpha = 0.9, bool early = true);
+
+/// Exact throughput of figure2 from the paper's Markov analysis.
+inline double figure2_throughput(double alpha) { return 1.0 / (3.0 - 2.0 * alpha); }
+
+}  // namespace figures
+}  // namespace elrr

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file opt.hpp
+/// The paper's optimization method (Section 4):
+///  * MIN_CYC(x): minimum-cycle-time RC with LP throughput bound >= 1/x;
+///  * MAX_THR(tau): maximum-throughput RC with cycle time <= tau;
+///  * MIN_EFF_CYC: the Pareto-walk heuristic combining both, returning all
+///    non-dominated configurations plus the one minimizing xi_lp.
+///
+/// Both primitives are *linear* MILPs. The non-convex product x * R0'(e)
+/// of problem (12) disappears after substituting scaled firing counts
+/// (sigma-tilde absorbs x * retiming) -- see DESIGN.md "Key reformulation";
+/// consequently only the buffer counts R'(e) need integrality, and the
+/// integral retiming vector is recovered afterwards with Bellman-Ford.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/rrg.hpp"
+#include "lp/milp.hpp"
+
+namespace elrr {
+
+struct OptOptions {
+  /// Pareto step (the paper uses 0.01).
+  double epsilon = 0.01;
+  /// Budgets for each MILP call (the paper ran CPLEX with a 20 min cap).
+  lp::MilpOptions milp;
+  /// Treat every node as simple (late evaluation); used for the xi_nee
+  /// baseline of Table 2.
+  bool treat_all_simple = false;
+  /// Run the MAX_THR polish after each MIN_CYC step of MIN_EFF_CYC (the
+  /// paper's exact recipe). Disabling it keeps only the MIN_CYC results
+  /// (still Pareto-filtered) and is considerably cheaper on big circuits.
+  bool polish = true;
+};
+
+/// Result of one MILP primitive.
+struct RcSolveResult {
+  bool feasible = false;
+  bool exact = false;       ///< proven optimal (false if a budget was hit)
+  RrConfig config;          ///< valid RC (when feasible)
+  double objective = 0.0;   ///< tau for MIN_CYC, x = 1/theta for MAX_THR
+};
+
+/// MIN_CYC(x): minimize cycle time subject to Theta_lp >= 1/x (x >= 1).
+RcSolveResult min_cyc(const Rrg& rrg, double x, const OptOptions& options = {});
+
+/// MAX_THR(tau): maximize Theta_lp subject to cycle time <= tau.
+RcSolveResult max_thr(const Rrg& rrg, double tau,
+                      const OptOptions& options = {});
+
+/// One stored Pareto candidate.
+struct ParetoPoint {
+  RrConfig config;
+  double tau = 0.0;       ///< recomputed combinationally from the RC
+  double theta_lp = 0.0;  ///< recomputed by the throughput LP
+  double xi_lp = 0.0;
+  bool exact = true;
+};
+
+struct MinEffCycResult {
+  /// Non-dominated configurations, sorted by increasing cycle time.
+  std::vector<ParetoPoint> points;
+  /// Index into `points` of the xi_lp-minimal configuration (RC^lp_min).
+  std::size_t best_index = 0;
+  int milp_calls = 0;
+  bool all_exact = true;   ///< every MILP proven optimal
+  double seconds = 0.0;
+
+  const ParetoPoint& best() const { return points[best_index]; }
+  /// Indices of the k best points by xi_lp (for simulation-based
+  /// reranking, Table 1/2 flow).
+  std::vector<std::size_t> k_best(std::size_t k) const;
+};
+
+/// The MIN_EFF_CYC heuristic (Section 4). Requires a strongly connected,
+/// live RRG.
+MinEffCycResult min_eff_cyc(const Rrg& rrg, const OptOptions& options = {});
+
+/// Recovers an integral retiming vector r from integral buffer counts R',
+/// i.e. solves r(v) - r(u) <= R'(e) - R0(e) (feasible whenever R' supports
+/// any retiming); the resulting tokens are R0'(e) = R0(e) + r(v) - r(u).
+/// Throws InternalError if infeasible.
+std::vector<int> recover_retiming(const Rrg& rrg,
+                                  const std::vector<int>& buffers);
+
+}  // namespace elrr

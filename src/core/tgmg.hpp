@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file tgmg.hpp
+/// Timed Guarded Marked Graphs (Definitions 3.1-3.3 of the paper) and the
+/// two model-construction procedures:
+///  * Procedure 1 maps an RRG to a TGMG: edge latencies (buffer counts)
+///    become transition delays, tokens become markings; multi-input nodes
+///    get one auxiliary delay node per input edge.
+///  * Procedure 2 refines early-evaluation nodes with a unit-delay
+///    self-loop structure so that the LP throughput bound (eq. (4)) is
+///    tight w.r.t. single-firing-per-cycle semantics (Lemma 3.1).
+///
+/// The LP bound itself (eq. (4)/(11)) is in `tgmg_throughput_bound`.
+
+#include <string>
+#include <vector>
+
+#include "core/rrg.hpp"
+#include "graph/digraph.hpp"
+#include "lp/model.hpp"
+
+namespace elrr {
+
+/// Timed guarded marked graph. Guards are implicit in the node kind: a
+/// simple node's only guard is the full input set; an early node has one
+/// singleton guard per input edge, selected with probability gamma.
+class Tgmg {
+ public:
+  NodeId add_node(std::string name, double delay,
+                  NodeKind kind = NodeKind::kSimple);
+  EdgeId add_edge(NodeId u, NodeId v, int tokens, double gamma = 1.0);
+
+  const Digraph& graph() const { return g_; }
+  std::size_t num_nodes() const { return g_.num_nodes(); }
+  std::size_t num_edges() const { return g_.num_edges(); }
+
+  const std::string& name(NodeId n) const { return names_[n]; }
+  double delay(NodeId n) const { return delays_[n]; }
+  NodeKind kind(NodeId n) const { return kinds_[n]; }
+  bool is_early(NodeId n) const { return kinds_[n] == NodeKind::kEarly; }
+  int tokens(EdgeId e) const { return tokens_[e]; }
+  double gamma(EdgeId e) const { return gammas_[e]; }
+
+  /// Kind/probability sanity plus liveness of the marking.
+  void validate() const;
+
+  std::string to_dot() const;
+
+ private:
+  Digraph g_;
+  std::vector<std::string> names_;
+  std::vector<double> delays_;
+  std::vector<NodeKind> kinds_;
+  std::vector<int> tokens_;
+  std::vector<double> gammas_;
+};
+
+/// Procedure 1: TGMG model of an RRG.
+///  - single-input node n with input edge e: delta(n) = R(e), m0(e) = R0(e);
+///  - multi-input node n: one auxiliary node per input edge e = (u, n) with
+///    delta = R(e), m0(u, aux) = 0, m0(aux, n) = R0(e); delta(n) = 0.
+Tgmg procedure1(const Rrg& rrg);
+
+/// Procedure 2: refinement for early-evaluation nodes (self-loop through a
+/// unit-delay node s with one token; every input edge split by a zero-delay
+/// synchronization node fed from s).
+Tgmg procedure2(const Tgmg& in);
+
+/// procedure2(procedure1(rrg)).
+Tgmg refined_tgmg(const Rrg& rrg);
+
+/// Throughput upper bound by LP (4) (equivalently (11)):
+///   max phi  s.t.  delta(n) phi <= mhat(e)            (simple n, e in *n)
+///                  delta(n) phi <= sum gamma(e) mhat(e)   (early n)
+///                  mhat(e) = m0(e) + sigma(u) - sigma(v)
+struct ThroughputBound {
+  bool bounded = false;   ///< false when the LP is unbounded (no cycles)
+  double theta = 0.0;     ///< the bound (only when bounded)
+};
+ThroughputBound tgmg_throughput_bound(const Tgmg& tgmg);
+
+/// The LP of eq. (4) as a model (phi is column `phi_col`; maximization).
+/// Exposed for export/interop (e.g. `elrr export --format mps` re-solves
+/// the bound with an external solver).
+struct ThroughputLp {
+  lp::Model model;
+  int phi_col = 0;
+};
+ThroughputLp build_throughput_lp(const Tgmg& tgmg);
+
+/// Convenience: LP throughput bound of an RRG through its refined TGMG.
+/// This is the paper's Theta_lp(RC).
+double throughput_upper_bound(const Rrg& rrg);
+
+}  // namespace elrr

@@ -1,0 +1,98 @@
+#include "elastic/fifo_sizing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace elrr::elastic {
+
+namespace {
+
+double measure(const Rrg& rrg, const ControlSimOptions& sim, int uniform,
+               const std::vector<int>& per_edge, int* evals) {
+  ControlSimOptions options = sim;
+  options.capacity = uniform;
+  options.per_edge_capacity = per_edge;
+  ++*evals;
+  return simulate_control_throughput(rrg, options).theta;
+}
+
+}  // namespace
+
+FifoSizingResult size_fifos(const Rrg& rrg, const FifoSizingOptions& options) {
+  ELRR_REQUIRE(options.max_capacity >= 1, "max_capacity must be positive");
+  ELRR_REQUIRE(options.tolerance >= 0.0 && options.tolerance < 1.0,
+               "tolerance must be in [0, 1)");
+  rrg.validate();
+
+  FifoSizingResult result;
+
+  // Reference: "big enough" FIFOs (footnote 1).
+  result.theta_reference = measure(rrg, options.sim, options.max_capacity, {},
+                                   &result.sim_evals);
+  const double target = (1.0 - options.tolerance) * result.theta_reference;
+
+  // Phase 1: binary search the smallest accepted uniform capacity.
+  // Throughput is monotone in capacity (more room never stalls a stage
+  // that previously had room), so the accepted set is an up-set.
+  int lo = 1, hi = options.max_capacity;
+  double theta_lo = measure(rrg, options.sim, 1, {}, &result.sim_evals);
+  if (theta_lo >= target) {
+    hi = 1;
+    result.theta_uniform = theta_lo;
+  }
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const double theta =
+        measure(rrg, options.sim, mid, {}, &result.sim_evals);
+    if (theta >= target) {
+      hi = mid;
+      result.theta_uniform = theta;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.uniform_capacity = hi;
+  if (result.uniform_capacity == options.max_capacity) {
+    result.theta_uniform = result.theta_reference;
+  }
+
+  // Per-edge capacities: uniform answer on buffered edges, 0 on wires.
+  result.capacity.assign(rrg.num_edges(), 0);
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    if (rrg.buffers(e) > 0) result.capacity[e] = result.uniform_capacity;
+  }
+  result.theta_final = result.theta_uniform;
+
+  // Phase 2: greedy trim toward capacity 1, most-buffered edges first
+  // (long chains hold the most slack and are the likeliest to keep the
+  // target without it).
+  if (options.per_edge_trim && result.uniform_capacity > 1) {
+    std::vector<EdgeId> order;
+    for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+      if (rrg.buffers(e) > 0) order.push_back(e);
+    }
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+      if (rrg.buffers(a) != rrg.buffers(b)) {
+        return rrg.buffers(a) > rrg.buffers(b);
+      }
+      return a < b;
+    });
+    for (EdgeId e : order) {
+      if (result.sim_evals >= options.max_trim_evals) break;
+      const int saved = result.capacity[e];
+      result.capacity[e] = 1;
+      const double theta = measure(rrg, options.sim, options.sim.capacity,
+                                   result.capacity, &result.sim_evals);
+      if (theta >= target) {
+        result.theta_final = theta;
+      } else {
+        result.capacity[e] = saved;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace elrr::elastic

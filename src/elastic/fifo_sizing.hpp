@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file fifo_sizing.hpp
+/// Simulation-guided elastic-FIFO capacity sizing.
+///
+/// The paper's footnote 1 assumes every elastic FIFO is "big enough for
+/// storing the tokens it may receive", so that throughput is set by the
+/// forward critical paths alone, and points at Lu & Koh (ICCAD'03) for
+/// optimal sizing. This module closes that loop for our SELF control
+/// network: it finds small per-stage capacities whose measured
+/// throughput stays within a tolerance of the large-capacity reference.
+///
+/// Two phases:
+///  1. uniform: binary search on one capacity shared by every EB stage
+///     (throughput is monotone in capacity);
+///  2. trim (optional): greedy per-edge reduction to capacity 1 where
+///     the throughput target survives, most-buffered edges first.
+
+#include <vector>
+
+#include "elastic/control_sim.hpp"
+
+namespace elrr::elastic {
+
+struct FifoSizingOptions {
+  /// Accept capacity vectors with Theta >= (1 - tolerance) * reference.
+  double tolerance = 0.02;
+  /// Reference capacity (stands in for "unbounded") and search ceiling.
+  int max_capacity = 32;
+  /// Run the greedy per-edge trim after the uniform search.
+  bool per_edge_trim = true;
+  /// Cap on throughput evaluations during the trim.
+  int max_trim_evals = 128;
+  /// Simulation budget for every throughput evaluation.
+  ControlSimOptions sim;
+};
+
+struct FifoSizingResult {
+  double theta_reference = 0.0;  ///< Theta at max_capacity everywhere
+  int uniform_capacity = 0;      ///< smallest uniform capacity accepted
+  double theta_uniform = 0.0;
+  /// Final per-edge capacities (0 on wires). Equals the uniform answer
+  /// on every edge when the trim is disabled or found nothing.
+  std::vector<int> capacity;
+  double theta_final = 0.0;
+  int sim_evals = 0;
+};
+
+/// Sizes the EB stages of `rrg` (which must be live and, like every
+/// simulation here, is expected to be strongly connected). Deterministic
+/// in options.sim.seed.
+FifoSizingResult size_fifos(const Rrg& rrg,
+                            const FifoSizingOptions& options = {});
+
+}  // namespace elrr::elastic

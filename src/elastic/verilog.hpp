@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file verilog.hpp
+/// Verilog-2001 emission of the SELF control network for an RRG
+/// configuration -- the artifact the paper generated and simulated for
+/// every non-dominated RC ("The Verilog representation of elastic
+/// controller was generated for each non-dominated RC").
+///
+/// The output contains
+///  * a controller library: elrr_eb (two-slot elastic buffer control),
+///    elrr_join (lazy join), elrr_ejoin (early join with anti-token
+///    counters), elrr_fork (eager fork with done bits), elrr_select_lfsr
+///    (testbench-side select generator approximating the branch
+///    probabilities);
+///  * a generated top-level wiring EB chains and node controllers
+///    according to the RRG;
+///  * a self-checking testbench that measures throughput as
+///    firings(reference node) / cycles.
+///
+/// ElasticRR measures throughput with its own simulators (sim/ and
+/// elastic/control_sim.hpp); the emitted Verilog is for inspection and
+/// for users with an HDL simulator available.
+
+#include <string>
+
+#include "core/rrg.hpp"
+
+namespace elrr::elastic {
+
+struct VerilogOptions {
+  std::string top_name = "elastic_top";
+  /// Cycles the generated testbench simulates.
+  int testbench_cycles = 10000;
+};
+
+/// Emits the full self-contained Verilog file.
+std::string emit_verilog(const Rrg& rrg, const VerilogOptions& options = {});
+
+/// Identifier-safe mangling of an RRG node name ("F1/in3" -> "F1_in3").
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace elrr::elastic

@@ -1,0 +1,80 @@
+#include "graph/bellman_ford.hpp"
+
+#include <algorithm>
+
+namespace elrr::graph {
+
+DifferenceSolution solve_difference_constraints(
+    const Digraph& g, const std::vector<std::int64_t>& weight) {
+  ELRR_REQUIRE(weight.size() == g.num_edges(), "weight vector size mismatch");
+  DifferenceSolution result;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Virtual source with zero-weight edges to all nodes: start dist = 0.
+  std::vector<std::int64_t> dist(n, 0);
+  std::vector<EdgeId> pred(n, kNoEdge);
+
+  bool changed = true;
+  NodeId last_updated = kNoNode;
+  for (std::size_t pass = 0; pass <= n && changed; ++pass) {
+    changed = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const NodeId u = g.src(e);
+      const NodeId v = g.dst(e);
+      if (dist[u] + weight[e] < dist[v]) {
+        dist[v] = dist[u] + weight[e];
+        pred[v] = e;
+        changed = true;
+        last_updated = v;
+      }
+    }
+  }
+
+  if (!changed) {
+    result.feasible = true;
+    result.potential = std::move(dist);
+    return result;
+  }
+
+  // A relaxation fired on pass n+1: `last_updated` has a shortest-path
+  // estimate using more than n edges, so its predecessor chain is at least
+  // n+1 edges deep (every link set) and must wrap a negative cycle.
+  NodeId probe = last_updated;
+  for (std::size_t i = 0; i < n; ++i) {
+    ELRR_ASSERT(pred[probe] != kNoEdge, "broken predecessor chain");
+    probe = g.src(pred[probe]);
+  }
+  // probe is now on the cycle; walk it once.
+  NodeId walk = probe;
+  do {
+    const EdgeId e = pred[walk];
+    ELRR_ASSERT(e != kNoEdge, "broken predecessor chain on cycle");
+    result.negative_cycle.push_back(e);
+    walk = g.src(e);
+  } while (walk != probe);
+  std::reverse(result.negative_cycle.begin(), result.negative_cycle.end());
+  return result;
+}
+
+bool has_nonpositive_cycle(const Digraph& g,
+                           const std::vector<std::int64_t>& weight,
+                           std::vector<EdgeId>* witness) {
+  // Cycle sum(w) <= 0  <=>  sum(w * (n+1) - 1) < 0 for simple cycles of
+  // length <= n: if sum(w) <= 0 the scaled sum is <= -len < 0; if
+  // sum(w) >= 1 the scaled sum is >= (n+1) - len >= 1 > 0.
+  const std::int64_t scale = static_cast<std::int64_t>(g.num_nodes()) + 1;
+  std::vector<std::int64_t> scaled(weight.size());
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    scaled[i] = weight[i] * scale - 1;
+  }
+  DifferenceSolution sol = solve_difference_constraints(g, scaled);
+  if (sol.feasible) return false;
+  if (witness != nullptr) *witness = std::move(sol.negative_cycle);
+  return true;
+}
+
+}  // namespace elrr::graph

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file bellman_ford.hpp
+/// Difference-constraint systems x(v) - x(u) <= w(e) for edges e = (u, v),
+/// solved by Bellman-Ford from a virtual source. Used for
+///  * recovering an integral retiming vector from integral buffer counts,
+///  * Leiserson-Saxe retiming feasibility tests,
+///  * liveness checking (no directed cycle with non-positive token sum).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct DifferenceSolution {
+  bool feasible = false;
+  /// Potentials x with x(v) - x(u) <= w(e) for every edge; empty if
+  /// infeasible. Integral whenever all weights are integral (they are:
+  /// the weights are int64).
+  std::vector<std::int64_t> potential;
+  /// If infeasible: edges of one negative-weight cycle witnessing it.
+  std::vector<EdgeId> negative_cycle;
+};
+
+/// Solves the system { x(dst(e)) - x(src(e)) <= weight[e] }.
+DifferenceSolution solve_difference_constraints(
+    const Digraph& g, const std::vector<std::int64_t>& weight);
+
+/// True iff the graph has a directed cycle whose total `weight` is <= 0.
+/// This is the *negation* of the RRG liveness condition when weight = R0.
+/// Implemented exactly with integer arithmetic (scaling trick: a cycle has
+/// sum <= 0 iff scaling each weight by (n+1) and subtracting 1 yields a
+/// negative cycle, since simple cycle length <= n).
+bool has_nonpositive_cycle(const Digraph& g,
+                           const std::vector<std::int64_t>& weight,
+                           std::vector<EdgeId>* witness = nullptr);
+
+}  // namespace elrr::graph

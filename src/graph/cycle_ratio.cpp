@@ -1,0 +1,130 @@
+#include "graph/cycle_ratio.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+
+namespace elrr::graph {
+
+namespace {
+
+using Wide = __int128;
+
+/// Bellman-Ford non-positive-cycle detection with 128-bit weights
+/// (Lawler's test needs weights like cost*D - k*time, which can exceed the
+/// int64 range once multiplied by path lengths). Returns true and fills
+/// `witness` if a cycle with total weight <= 0 exists.
+/// Uses the same (n+1)-scaling trick as graph::has_nonpositive_cycle.
+bool wide_nonpositive_cycle(const Digraph& g, const std::vector<Wide>& w,
+                            std::vector<EdgeId>* witness) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return false;
+  const Wide scale = static_cast<Wide>(n) + 1;
+  std::vector<Wide> scaled(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) scaled[i] = w[i] * scale - 1;
+
+  std::vector<Wide> dist(n, 0);
+  std::vector<EdgeId> pred(n, kNoEdge);
+  bool changed = true;
+  NodeId last_updated = kNoNode;
+  for (std::size_t pass = 0; pass <= n && changed; ++pass) {
+    changed = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const NodeId u = g.src(e);
+      const NodeId v = g.dst(e);
+      if (dist[u] + scaled[e] < dist[v]) {
+        dist[v] = dist[u] + scaled[e];
+        pred[v] = e;
+        changed = true;
+        last_updated = v;
+      }
+    }
+  }
+  if (!changed) return false;
+  if (witness != nullptr) {
+    // Walk back from the last node updated in the final pass: its chain is
+    // more than n links deep, hence fully set and wrapping the cycle.
+    NodeId probe = last_updated;
+    for (std::size_t i = 0; i < n; ++i) {
+      ELRR_ASSERT(pred[probe] != kNoEdge, "broken predecessor chain");
+      probe = g.src(pred[probe]);
+    }
+    witness->clear();
+    NodeId walk = probe;
+    do {
+      const EdgeId e = pred[walk];
+      witness->push_back(e);
+      walk = g.src(e);
+    } while (walk != probe);
+    std::reverse(witness->begin(), witness->end());
+  }
+  return true;
+}
+
+}  // namespace
+
+CycleRatioResult min_cycle_ratio(const Digraph& g,
+                                 const std::vector<std::int64_t>& cost,
+                                 const std::vector<std::int64_t>& time) {
+  ELRR_REQUIRE(cost.size() == g.num_edges(), "cost vector size mismatch");
+  ELRR_REQUIRE(time.size() == g.num_edges(), "time vector size mismatch");
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    ELRR_REQUIRE(time[i] >= 0, "negative edge time at edge ", i);
+  }
+
+  // No zero-time cycles allowed: the zero-time subgraph must be acyclic.
+  ELRR_REQUIRE(
+      topological_order(g, [&](EdgeId e) { return time[e] == 0; }).has_value(),
+      "graph has a directed cycle with zero total time");
+  // The graph must contain at least one cycle.
+  ELRR_REQUIRE(!topological_order(g, [](EdgeId) { return true; }).has_value(),
+               "graph is acyclic; cycle ratio undefined");
+
+  std::int64_t max_abs_cost = 1;
+  std::int64_t total_time = 1;
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    max_abs_cost = std::max(max_abs_cost, std::abs(cost[i]));
+    total_time += time[i];
+  }
+  // Distinct simple-cycle ratios differ by at least 1/D with D = T^2 where
+  // T bounds any simple cycle's total time. Binary search over the integer
+  // grid k/D then snap to the witness cycle's exact rational ratio.
+  const Wide d_grid = static_cast<Wide>(total_time) * total_time;
+  Wide lo = -static_cast<Wide>(max_abs_cost) * d_grid - 1;  // test(lo)=false
+  Wide hi = static_cast<Wide>(max_abs_cost) * d_grid;       // test(hi)=true
+
+  std::vector<Wide> w(g.num_edges());
+  const auto test = [&](Wide k, std::vector<EdgeId>* witness) {
+    // Is there a cycle with sum(cost) / sum(time) <= k / d_grid, i.e. with
+    // sum(cost * d_grid - k * time) <= 0?
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      w[e] = static_cast<Wide>(cost[e]) * d_grid - k * static_cast<Wide>(time[e]);
+    }
+    return wide_nonpositive_cycle(g, w, witness);
+  };
+
+  while (hi - lo > 1) {
+    const Wide mid = lo + (hi - lo) / 2;
+    if (test(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  CycleRatioResult result;
+  std::vector<EdgeId> witness;
+  const bool found = test(hi, &witness);
+  ELRR_ASSERT(found && !witness.empty(), "lost the critical cycle");
+  for (EdgeId e : witness) {
+    result.cycle_cost += cost[e];
+    result.cycle_time += time[e];
+  }
+  ELRR_ASSERT(result.cycle_time > 0, "critical cycle has zero time");
+  result.ratio = static_cast<double>(result.cycle_cost) /
+                 static_cast<double>(result.cycle_time);
+  result.critical_cycle = std::move(witness);
+  return result;
+}
+
+}  // namespace elrr::graph

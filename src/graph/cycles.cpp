@@ -1,0 +1,87 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+namespace elrr::graph {
+
+namespace {
+
+/// Johnson-style enumerator. For every start node s we search the subgraph
+/// of nodes >= s, so each simple cycle is reported exactly once (rooted at
+/// its smallest node). Iterative stack to avoid deep recursion.
+class Enumerator {
+ public:
+  Enumerator(const Digraph& g, std::size_t max_cycles)
+      : g_(g), max_cycles_(max_cycles) {}
+
+  CycleEnumeration run() {
+    const std::size_t n = g_.num_nodes();
+    on_path_.assign(n, false);
+    for (NodeId s = 0; s < n && !result_.truncated; ++s) {
+      start_ = s;
+      dfs(s);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+
+  void dfs(NodeId root) {
+    std::vector<Frame> stack;
+    std::vector<EdgeId> path_edges;
+    stack.push_back({root, 0});
+    on_path_[root] = true;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& out = g_.out_edges(frame.node);
+      bool descended = false;
+      while (frame.edge_pos < out.size()) {
+        const EdgeId e = out[frame.edge_pos++];
+        const NodeId v = g_.dst(e);
+        if (v < start_) continue;  // rooted-at-minimum canonicalization
+        if (v == start_) {
+          path_edges.push_back(e);
+          result_.cycles.push_back(path_edges);
+          path_edges.pop_back();
+          if (result_.cycles.size() >= max_cycles_) {
+            result_.truncated = true;
+            return;
+          }
+          continue;
+        }
+        if (on_path_[v]) continue;
+        path_edges.push_back(e);
+        on_path_[v] = true;
+        stack.push_back({v, 0});
+        descended = true;
+        break;
+      }
+      if (!descended && !stack.empty() &&
+          stack.back().edge_pos >= g_.out_edges(stack.back().node).size()) {
+        on_path_[stack.back().node] = false;
+        stack.pop_back();
+        if (!path_edges.empty()) path_edges.pop_back();
+      }
+    }
+  }
+
+  const Digraph& g_;
+  std::size_t max_cycles_;
+  NodeId start_ = 0;
+  std::vector<bool> on_path_;
+  CycleEnumeration result_;
+};
+
+}  // namespace
+
+CycleEnumeration enumerate_simple_cycles(const Digraph& g,
+                                         std::size_t max_cycles) {
+  return Enumerator(g, max_cycles).run();
+}
+
+}  // namespace elrr::graph

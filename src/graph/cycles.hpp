@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file cycles.hpp
+/// Bounded enumeration of simple directed cycles (Johnson's algorithm).
+/// Used by tests as a brute-force oracle (e.g. verifying minimum cycle
+/// ratio and liveness on small graphs) and by the liveness *repair* step
+/// of the benchmark generator.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct CycleEnumeration {
+  /// Each cycle as an edge list, in traversal order.
+  std::vector<std::vector<EdgeId>> cycles;
+  bool truncated = false;  ///< true if max_cycles was hit
+};
+
+/// Enumerates simple cycles, stopping after `max_cycles`.
+CycleEnumeration enumerate_simple_cycles(const Digraph& g,
+                                         std::size_t max_cycles = 100000);
+
+}  // namespace elrr::graph

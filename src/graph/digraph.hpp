@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file digraph.hpp
+/// Directed multigraph used as the structural backbone of RRGs, TGMGs,
+/// control netlists and gate-level circuits. Nodes and edges are dense
+/// 32-bit indices; payloads live in parallel arrays owned by the client
+/// (e.g. elrr::Rrg keeps delay/token vectors indexed by NodeId/EdgeId).
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace elrr::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// Directed multigraph (parallel edges and self-loops allowed).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes) { add_nodes(num_nodes); }
+
+  NodeId add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  void add_nodes(std::size_t count) {
+    out_.resize(out_.size() + count);
+    in_.resize(in_.size() + count);
+  }
+
+  EdgeId add_edge(NodeId src, NodeId dst) {
+    ELRR_REQUIRE(src < num_nodes() && dst < num_nodes(),
+                 "edge endpoints out of range: ", src, " -> ", dst);
+    const EdgeId e = static_cast<EdgeId>(edges_.size());
+    edges_.push_back({src, dst});
+    out_[src].push_back(e);
+    in_[dst].push_back(e);
+    return e;
+  }
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  NodeId src(EdgeId e) const { return edges_[e].src; }
+  NodeId dst(EdgeId e) const { return edges_[e].dst; }
+
+  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n]; }
+
+  std::size_t out_degree(NodeId n) const { return out_[n].size(); }
+  std::size_t in_degree(NodeId n) const { return in_[n].size(); }
+
+ private:
+  struct Edge {
+    NodeId src;
+    NodeId dst;
+  };
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace elrr::graph

@@ -1,0 +1,57 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace elrr::graph {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotStyle& style) {
+  std::ostringstream os;
+  os << "digraph " << style.graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    os << " [label=\""
+       << escape(style.node_label ? style.node_label(v) : std::to_string(v))
+       << "\"";
+    if (style.node_attrs) {
+      const std::string attrs = style.node_attrs(v);
+      if (!attrs.empty()) os << ", " << attrs;
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "  n" << g.src(e) << " -> n" << g.dst(e);
+    std::string label = style.edge_label ? style.edge_label(e) : std::string();
+    std::string attrs = style.edge_attrs ? style.edge_attrs(e) : std::string();
+    if (!label.empty() || !attrs.empty()) {
+      os << " [";
+      bool first = true;
+      if (!label.empty()) {
+        os << "label=\"" << escape(label) << "\"";
+        first = false;
+      }
+      if (!attrs.empty()) {
+        if (!first) os << ", ";
+        os << attrs;
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace elrr::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file dot.hpp
+/// Graphviz DOT export with client-provided labels/attributes; shared by
+/// RRG, TGMG and control-netlist visualization.
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct DotStyle {
+  std::string graph_name = "G";
+  /// Returns the label for a node (empty -> node index).
+  std::function<std::string(NodeId)> node_label;
+  /// Returns extra DOT attributes for a node, e.g. "shape=trapezium".
+  std::function<std::string(NodeId)> node_attrs;
+  /// Returns the label for an edge.
+  std::function<std::string(EdgeId)> edge_label;
+  /// Returns extra DOT attributes for an edge.
+  std::function<std::string(EdgeId)> edge_attrs;
+};
+
+/// Renders the graph in DOT syntax.
+std::string to_dot(const Digraph& g, const DotStyle& style = {});
+
+}  // namespace elrr::graph

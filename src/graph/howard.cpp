@@ -1,0 +1,248 @@
+#include "graph/howard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/bellman_ford.hpp"
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace elrr::graph {
+
+namespace {
+
+/// Exact comparison a.c / a.t < b.c / b.t for positive times.
+struct Ratio {
+  std::int64_t c = 0;
+  std::int64_t t = 1;
+};
+
+bool less(const Ratio& a, const Ratio& b) {
+  // Times are positive; 64-bit products are safe for our magnitudes
+  // (costs/times are token/buffer counts, far below 2^31).
+  return a.c * b.t < b.c * a.t;
+}
+
+/// Howard on one strongly connected subgraph. Returns the best cycle as
+/// subgraph edge ids.
+struct SccOutcome {
+  Ratio ratio;
+  std::vector<EdgeId> cycle;
+  int iterations = 0;
+};
+
+SccOutcome howard_scc(const Digraph& g, const std::vector<std::int64_t>& cost,
+                      const std::vector<std::int64_t>& time) {
+  const std::size_t n = g.num_nodes();
+  std::vector<EdgeId> policy(n);
+  for (NodeId u = 0; u < n; ++u) {
+    ELRR_ASSERT(g.out_degree(u) > 0, "SCC node without out-edge");
+    policy[u] = g.out_edges(u)[0];
+  }
+
+  std::vector<Ratio> lambda(n);
+  std::vector<double> bias(n);
+  std::vector<std::uint32_t> comp(n);
+  std::vector<EdgeId> best_cycle;
+  Ratio best{1, 1};
+  constexpr double kEps = 1e-9;
+
+  SccOutcome out;
+  const int max_rounds = static_cast<int>(10 * n + 64);
+  for (int round = 0; round < max_rounds; ++round) {
+    ++out.iterations;
+    // --- policy evaluation ----------------------------------------
+    // Find the unique cycle of each policy component, its exact ratio,
+    // and biases satisfying
+    //   bias(u) = cost(pi(u)) - lambda t(pi(u)) + bias(head).
+    std::fill(comp.begin(), comp.end(), std::uint32_t(-1));
+    std::uint32_t num_comp = 0;
+    best_cycle.clear();
+    bool have_best = false;
+    std::vector<std::uint32_t> mark(n, std::uint32_t(-1));
+    std::vector<Ratio> comp_lambda;
+    std::vector<NodeId> comp_anchor;
+    for (NodeId s = 0; s < n; ++s) {
+      if (comp[s] != std::uint32_t(-1)) continue;
+      // Walk the policy until we hit something known.
+      NodeId u = s;
+      while (comp[u] == std::uint32_t(-1) && mark[u] != s) {
+        mark[u] = s;
+        u = g.dst(policy[u]);
+      }
+      if (comp[u] == std::uint32_t(-1)) {
+        // New cycle found, rooted at u.
+        Ratio r{0, 0};
+        std::vector<EdgeId> cycle;
+        NodeId v = u;
+        do {
+          r.c += cost[policy[v]];
+          r.t += time[policy[v]];
+          cycle.push_back(policy[v]);
+          v = g.dst(policy[v]);
+        } while (v != u);
+        ELRR_REQUIRE(r.t > 0, "zero-time cycle in policy graph");
+        comp_lambda.push_back(r);
+        comp_anchor.push_back(u);
+        if (!have_best || less(r, best)) {
+          best = r;
+          best_cycle = cycle;
+          have_best = true;
+        }
+        // Label the cycle itself with the fresh component.
+        v = u;
+        do {
+          comp[v] = num_comp;
+          v = g.dst(policy[v]);
+        } while (v != u);
+        ++num_comp;
+      }
+      // Label the tail s -> ... -> (first labelled node).
+      NodeId v = s;
+      while (comp[v] == std::uint32_t(-1)) {
+        NodeId w = v;
+        // find the first labelled node from v
+        while (comp[w] == std::uint32_t(-1)) w = g.dst(policy[w]);
+        const std::uint32_t c = comp[w];
+        NodeId x = v;
+        while (comp[x] == std::uint32_t(-1)) {
+          comp[x] = c;
+          x = g.dst(policy[x]);
+        }
+        break;
+      }
+    }
+    // Biases: anchor = 0 on each component's cycle, then fixpoint over
+    // the functional graph (each node's bias depends only on its
+    // successor; iterate in reverse-BFS order from the anchors).
+    for (std::uint32_t c = 0; c < num_comp; ++c) {
+      lambda[comp_anchor[c]] = comp_lambda[c];
+    }
+    for (NodeId u = 0; u < n; ++u) lambda[u] = comp_lambda[comp[u]];
+    // Compute biases by chasing policy chains with memoization.
+    std::vector<std::uint8_t> done(n, 0);
+    for (std::uint32_t c = 0; c < num_comp; ++c) {
+      // Fix the anchor, then walk its cycle backward implicitly by
+      // walking forward and accumulating.
+      const NodeId a = comp_anchor[c];
+      bias[a] = 0.0;
+      done[a] = 1;
+      const double lc = static_cast<double>(comp_lambda[c].c) /
+                        static_cast<double>(comp_lambda[c].t);
+      // Walk the cycle once, assigning biases backward from the anchor:
+      // collect the cycle nodes, then propagate in reverse.
+      std::vector<NodeId> cyc;
+      NodeId v = a;
+      do {
+        cyc.push_back(v);
+        v = g.dst(policy[v]);
+      } while (v != a);
+      for (std::size_t i = cyc.size(); i > 1; --i) {
+        const NodeId u = cyc[i - 1];
+        const EdgeId e = policy[u];
+        bias[u] = static_cast<double>(cost[e]) -
+                  lc * static_cast<double>(time[e]) + bias[g.dst(e)];
+        done[u] = 1;
+      }
+    }
+    for (NodeId s = 0; s < n; ++s) {
+      if (done[s]) continue;
+      // Collect the chain until a done node, then unwind.
+      std::vector<NodeId> chain;
+      NodeId v = s;
+      while (!done[v]) {
+        chain.push_back(v);
+        v = g.dst(policy[v]);
+      }
+      for (std::size_t i = chain.size(); i > 0; --i) {
+        const NodeId u = chain[i - 1];
+        const EdgeId e = policy[u];
+        const Ratio& lr = lambda[u];
+        const double lc =
+            static_cast<double>(lr.c) / static_cast<double>(lr.t);
+        bias[u] = static_cast<double>(cost[e]) -
+                  lc * static_cast<double>(time[e]) + bias[g.dst(e)];
+        done[u] = 1;
+      }
+    }
+
+    // --- policy improvement ----------------------------------------
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      for (EdgeId e : g.out_edges(u)) {
+        const NodeId v = g.dst(e);
+        if (less(lambda[v], lambda[u])) {
+          policy[u] = e;
+          changed = true;
+        } else if (!less(lambda[u], lambda[v])) {
+          const double lc = static_cast<double>(lambda[u].c) /
+                            static_cast<double>(lambda[u].t);
+          const double candidate = static_cast<double>(cost[e]) -
+                                   lc * static_cast<double>(time[e]) +
+                                   bias[v];
+          if (candidate < bias[u] - kEps) {
+            policy[u] = e;
+            bias[u] = candidate;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  out.ratio = best;
+  out.cycle = best_cycle;
+  return out;
+}
+
+}  // namespace
+
+HowardResult howard_min_cycle_ratio(const Digraph& g,
+                                    const std::vector<std::int64_t>& cost,
+                                    const std::vector<std::int64_t>& time) {
+  ELRR_REQUIRE(cost.size() == g.num_edges() && time.size() == g.num_edges(),
+               "cost/time vector size mismatch");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ELRR_REQUIRE(time[e] >= 0, "negative time on edge ", e);
+  }
+  ELRR_REQUIRE(!has_nonpositive_cycle(g, time),
+               "graph has a zero-time cycle");
+
+  const SccResult sccs = strongly_connected_components(g);
+  bool found = false;
+  HowardResult result;
+  Ratio best{0, 1};
+  for (std::uint32_t c = 0; c < sccs.num_components; ++c) {
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (sccs.component[n] == c) nodes.push_back(n);
+    }
+    const InducedSubgraph sub = induced_subgraph(g, nodes);
+    if (sub.graph.num_edges() == 0) continue;  // no cycle here
+    std::vector<std::int64_t> sub_cost, sub_time;
+    for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+      sub_cost.push_back(cost[sub.edge_to_parent[e]]);
+      sub_time.push_back(time[sub.edge_to_parent[e]]);
+    }
+    const SccOutcome outcome = howard_scc(sub.graph, sub_cost, sub_time);
+    result.iterations += outcome.iterations;
+    const Ratio r = outcome.ratio;
+    if (!found || less(r, best)) {
+      best = r;
+      found = true;
+      result.critical_cycle.clear();
+      for (EdgeId e : outcome.cycle) {
+        result.critical_cycle.push_back(sub.edge_to_parent[e]);
+      }
+    }
+  }
+  ELRR_REQUIRE(found, "graph has no directed cycle");
+  result.cycle_cost = best.c;
+  result.cycle_time = best.t;
+  result.ratio = static_cast<double>(best.c) / static_cast<double>(best.t);
+  return result;
+}
+
+}  // namespace elrr::graph

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file howard.hpp
+/// Howard's policy iteration for the minimum cycle ratio -- an
+/// independent oracle against the Lawler parametric search in
+/// cycle_ratio.hpp (the two are cross-checked by property tests; the
+/// late-evaluation throughput of an RRG is min(1, MCR)).
+///
+/// Policy iteration in the min-ratio form:
+///  * a policy picks one outgoing edge per node; its functional graph
+///    has exactly one cycle per component;
+///  * evaluation computes each component's exact rational cycle ratio
+///    and a bias (node potential) by walking the component;
+///  * improvement first switches nodes toward components with smaller
+///    ratios, then (within equal ratios) along edges that lower the
+///    bias. Termination: the (ratio, bias) pair improves lexically.
+///
+/// Same contract as min_cycle_ratio: integer costs, non-negative integer
+/// times, at least one cycle, no zero-time cycle; works on arbitrary
+/// (non-strongly-connected) graphs by iterating over SCCs.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct HowardResult {
+  double ratio = 0.0;
+  std::vector<EdgeId> critical_cycle;
+  std::int64_t cycle_cost = 0;  ///< exact sums on the critical cycle
+  std::int64_t cycle_time = 0;
+  int iterations = 0;           ///< policy-improvement rounds
+};
+
+HowardResult howard_min_cycle_ratio(const Digraph& g,
+                                    const std::vector<std::int64_t>& cost,
+                                    const std::vector<std::int64_t>& time);
+
+}  // namespace elrr::graph

@@ -1,0 +1,147 @@
+#include "graph/karp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace elrr::graph {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+struct SccOutcome {
+  bool has_cycle = false;
+  std::int64_t cost = 0;
+  std::int64_t length = 1;
+  std::vector<EdgeId> cycle;
+};
+
+SccOutcome karp_scc(const Digraph& g, const std::vector<std::int64_t>& cost) {
+  const std::size_t n = g.num_nodes();
+  SccOutcome out;
+  if (g.num_edges() == 0) return out;
+  out.has_cycle = true;
+
+  // D[k][v]: min cost of a k-edge walk source -> v; parent edge per cell.
+  std::vector<std::vector<std::int64_t>> d(
+      n + 1, std::vector<std::int64_t>(n, kInf));
+  std::vector<std::vector<EdgeId>> parent(
+      n + 1, std::vector<EdgeId>(n, kNoEdge));
+  d[0][0] = 0;  // any node of the SCC works as the source
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (d[k - 1][u] >= kInf) continue;
+      for (EdgeId e : g.out_edges(u)) {
+        const NodeId v = g.dst(e);
+        const std::int64_t w = d[k - 1][u] + cost[e];
+        if (w < d[k][v]) {
+          d[k][v] = w;
+          parent[k][v] = e;
+        }
+      }
+    }
+  }
+
+  // lambda = min_v max_k (D_n(v) - D_k(v)) / (n - k), exact rational.
+  NodeId best_v = kNoNode;
+  std::int64_t best_num = 0, best_den = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    if (d[n][v] >= kInf) continue;
+    std::int64_t num = 0, den = 1;
+    bool first = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d[k][v] >= kInf) continue;
+      const std::int64_t nk = d[n][v] - d[k][v];
+      const std::int64_t dk = static_cast<std::int64_t>(n - k);
+      if (first || nk * den > num * dk) {  // max over k
+        num = nk;
+        den = dk;
+        first = false;
+      }
+    }
+    ELRR_ASSERT(!first, "D_n finite implies some D_k finite");
+    if (best_v == kNoNode || num * best_den < best_num * den) {  // min over v
+      best_v = v;
+      best_num = num;
+      best_den = den;
+    }
+  }
+  ELRR_ASSERT(best_v != kNoNode, "SCC with edges must close a walk");
+
+  // Extract the critical cycle: the n-edge walk to best_v contains a
+  // repeated node; the cycle between the repeats has mean <= lambda*,
+  // hence exactly lambda*.
+  std::vector<EdgeId> walk(n);
+  {
+    NodeId v = best_v;
+    for (std::size_t k = n; k > 0; --k) {
+      const EdgeId e = parent[k][v];
+      ELRR_ASSERT(e != kNoEdge, "broken parent chain");
+      walk[k - 1] = e;
+      v = g.src(e);
+    }
+  }
+  std::vector<std::int64_t> seen_at(n, -1);
+  NodeId v = g.src(walk[0]);
+  seen_at[v] = 0;
+  std::size_t cyc_from = 0, cyc_to = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    v = g.dst(walk[k]);
+    if (seen_at[v] >= 0) {
+      cyc_from = static_cast<std::size_t>(seen_at[v]);
+      cyc_to = k + 1;
+      break;
+    }
+    seen_at[v] = static_cast<std::int64_t>(k + 1);
+  }
+  ELRR_ASSERT(cyc_to > cyc_from, "n-edge walk must repeat a node");
+  out.cycle.assign(walk.begin() + static_cast<std::ptrdiff_t>(cyc_from),
+                   walk.begin() + static_cast<std::ptrdiff_t>(cyc_to));
+  out.cost = 0;
+  for (EdgeId e : out.cycle) out.cost += cost[e];
+  out.length = static_cast<std::int64_t>(out.cycle.size());
+  return out;
+}
+
+}  // namespace
+
+KarpResult karp_min_mean_cycle(const Digraph& g,
+                               const std::vector<std::int64_t>& cost) {
+  ELRR_REQUIRE(cost.size() == g.num_edges(), "cost vector size mismatch");
+  const SccResult sccs = strongly_connected_components(g);
+  KarpResult result;
+  bool found = false;
+  for (std::uint32_t c = 0; c < sccs.num_components; ++c) {
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (sccs.component[n] == c) nodes.push_back(n);
+    }
+    const InducedSubgraph sub = induced_subgraph(g, nodes);
+    if (sub.graph.num_edges() == 0) continue;
+    std::vector<std::int64_t> sub_cost;
+    for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+      sub_cost.push_back(cost[sub.edge_to_parent[e]]);
+    }
+    const SccOutcome outcome = karp_scc(sub.graph, sub_cost);
+    if (!outcome.has_cycle) continue;
+    if (!found ||
+        outcome.cost * result.cycle_length < result.cycle_cost * outcome.length) {
+      found = true;
+      result.cycle_cost = outcome.cost;
+      result.cycle_length = outcome.length;
+      result.critical_cycle.clear();
+      for (EdgeId e : outcome.cycle) {
+        result.critical_cycle.push_back(sub.edge_to_parent[e]);
+      }
+    }
+  }
+  ELRR_REQUIRE(found, "graph has no directed cycle");
+  result.mean = static_cast<double>(result.cycle_cost) /
+                static_cast<double>(result.cycle_length);
+  return result;
+}
+
+}  // namespace elrr::graph

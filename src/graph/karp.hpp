@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file karp.hpp
+/// Karp's O(VE) minimum mean cycle (exact, integer arithmetic) -- the
+/// unit-time special case of the minimum cycle ratio, used as a third
+/// independent oracle next to Lawler's parametric search and Howard's
+/// policy iteration (an RRG whose every edge carries exactly one EB has
+/// late-evaluation throughput min(1, MMC) with costs = tokens).
+///
+/// lambda* = min over cycles C of (sum cost(e)) / |C|
+///         = min_v max_k (D_n(v) - D_k(v)) / (n - k),
+/// where D_k(v) is the minimum cost of a k-edge walk from a source.
+/// Handles non-strongly-connected graphs per SCC; requires a cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct KarpResult {
+  double mean = 0.0;
+  std::vector<EdgeId> critical_cycle;
+  std::int64_t cycle_cost = 0;
+  std::int64_t cycle_length = 0;
+};
+
+KarpResult karp_min_mean_cycle(const Digraph& g,
+                               const std::vector<std::int64_t>& cost);
+
+}  // namespace elrr::graph

@@ -1,0 +1,116 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace elrr::graph {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: node + position within its out-edge list.
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const NodeId u = frame.node;
+      const auto& out = g.out_edges(u);
+      if (frame.edge_pos < out.size()) {
+        const NodeId v = g.dst(out[frame.edge_pos++]);
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          // u is the root of an SCC; pop it off the Tarjan stack.
+          while (true) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            if (w == u) break;
+          }
+          ++result.num_components;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const NodeId parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.num_nodes() == 0) return false;
+  return strongly_connected_components(g).num_components == 1;
+}
+
+std::vector<NodeId> largest_scc_nodes(const Digraph& g) {
+  const SccResult scc = strongly_connected_components(g);
+  std::vector<std::size_t> sizes(scc.num_components, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[scc.component[v]];
+
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < scc.num_components; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(sizes.empty() ? 0 : sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (scc.component[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+InducedSubgraph induced_subgraph(const Digraph& g,
+                                 const std::vector<NodeId>& nodes) {
+  InducedSubgraph sub;
+  std::vector<NodeId> parent_to_sub(g.num_nodes(), kNoNode);
+  sub.graph.add_nodes(nodes.size());
+  sub.node_to_parent = nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ELRR_REQUIRE(nodes[i] < g.num_nodes(), "node out of range");
+    ELRR_REQUIRE(parent_to_sub[nodes[i]] == kNoNode,
+                 "duplicate node in subset");
+    parent_to_sub[nodes[i]] = static_cast<NodeId>(i);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId s = parent_to_sub[g.src(e)];
+    const NodeId d = parent_to_sub[g.dst(e)];
+    if (s != kNoNode && d != kNoNode) {
+      sub.graph.add_edge(s, d);
+      sub.edge_to_parent.push_back(e);
+    }
+  }
+  return sub;
+}
+
+}  // namespace elrr::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file scc.hpp
+/// Strongly connected components (iterative Tarjan) and subgraph
+/// extraction. The DAC'09 experiments run on the largest SCC of each
+/// benchmark circuit; `largest_scc_subgraph` implements that step.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+struct SccResult {
+  /// Component index per node. Components are numbered in *reverse*
+  /// topological order (Tarjan's natural output): if there is an edge from
+  /// component a to component b (a != b), then component[a] > component[b].
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+};
+
+/// Tarjan's algorithm, iterative (no recursion; safe for large graphs).
+SccResult strongly_connected_components(const Digraph& g);
+
+bool is_strongly_connected(const Digraph& g);
+
+/// Node set of the largest SCC (ties broken by smallest component index).
+std::vector<NodeId> largest_scc_nodes(const Digraph& g);
+
+/// A subgraph induced by a node subset, with maps back to the parent.
+struct InducedSubgraph {
+  Digraph graph;
+  std::vector<NodeId> node_to_parent;  ///< subgraph node -> parent node
+  std::vector<EdgeId> edge_to_parent;  ///< subgraph edge -> parent edge
+};
+
+InducedSubgraph induced_subgraph(const Digraph& g,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace elrr::graph

@@ -1,0 +1,76 @@
+#include "graph/topo.hpp"
+
+#include <algorithm>
+
+namespace elrr::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g,
+                                                     const EdgeFilter& keep) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> pending(n, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (keep(e)) ++pending[g.dst(e)];
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (pending[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const NodeId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (EdgeId e : g.out_edges(u)) {
+      if (!keep(e)) continue;
+      if (--pending[g.dst(e)] == 0) ready.push_back(g.dst(e));
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle in filtered subgraph
+  return order;
+}
+
+LongestPathResult longest_path(const Digraph& g,
+                               const std::vector<double>& node_weight,
+                               const EdgeFilter& keep) {
+  ELRR_REQUIRE(node_weight.size() == g.num_nodes(),
+               "node weight vector size mismatch");
+  LongestPathResult result;
+  const auto order = topological_order(g, keep);
+  if (!order) return result;  // is_dag stays false
+
+  result.is_dag = true;
+  const std::size_t n = g.num_nodes();
+  result.arrival.assign(n, 0.0);
+  std::vector<NodeId> pred(n, kNoNode);
+
+  for (NodeId v : *order) {
+    double best_in = 0.0;
+    for (EdgeId e : g.in_edges(v)) {
+      if (!keep(e)) continue;
+      const NodeId u = g.src(e);
+      if (result.arrival[u] > best_in) {
+        best_in = result.arrival[u];
+        pred[v] = u;
+      }
+    }
+    result.arrival[v] = node_weight[v] + best_in;
+  }
+
+  NodeId sink = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.arrival[v] > result.arrival[sink]) sink = v;
+  }
+  result.max_arrival = n > 0 ? result.arrival[sink] : 0.0;
+
+  // Backtrace one critical path.
+  if (n > 0) {
+    for (NodeId v = sink; v != kNoNode; v = pred[v]) {
+      result.critical_path.push_back(v);
+    }
+    std::reverse(result.critical_path.begin(), result.critical_path.end());
+  }
+  return result;
+}
+
+}  // namespace elrr::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file topo.hpp
+/// Topological ordering and DAG longest paths over *filtered* edge sets.
+/// The cycle-time computation of an RRG is a longest path over the
+/// combinational subgraph (edges carrying zero elastic buffers), with node
+/// weights equal to combinational delays.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace elrr::graph {
+
+/// Predicate selecting the subgraph's edges.
+using EdgeFilter = std::function<bool(EdgeId)>;
+
+/// Kahn topological order over the filtered subgraph.
+/// Returns std::nullopt if the subgraph contains a directed cycle.
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g,
+                                                     const EdgeFilter& keep);
+
+struct LongestPathResult {
+  bool is_dag = false;          ///< false if the filtered subgraph is cyclic
+  double max_arrival = 0.0;     ///< maximum path weight (cycle time)
+  std::vector<double> arrival;  ///< per-node arrival times
+  std::vector<NodeId> critical_path;  ///< nodes of one maximum-weight path
+};
+
+/// Longest (node-weighted) path over the filtered subgraph.
+/// arrival(v) = weight(v) + max(0, max over kept edges (u,v) of arrival(u)),
+/// so isolated nodes contribute their own weight — matching Definition 2.2
+/// of the paper, where a single node is a combinational path.
+LongestPathResult longest_path(const Digraph& g,
+                               const std::vector<double>& node_weight,
+                               const EdgeFilter& keep);
+
+}  // namespace elrr::graph

@@ -1,0 +1,262 @@
+#include "heur/heuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/analysis.hpp"
+#include "graph/scc.hpp"
+#include "retime/leiserson_saxe.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace elrr {
+
+namespace {
+
+/// Working candidate: a configuration plus its (tau, theta_lp, xi_lp).
+struct Candidate {
+  RrConfig config;
+  RcEvaluation eval;
+};
+
+class Search {
+ public:
+  Search(const Rrg& rrg, const HeuristicOptions& options)
+      : rrg_(rrg), options_(options) {}
+
+  int lp_evals() const { return lp_evals_; }
+  const std::vector<Candidate>& seen() const { return seen_; }
+
+  bool budget_left() const { return lp_evals_ < options_.max_lp_evals; }
+
+  /// Evaluates and memoizes a configuration; returns its index in
+  /// `seen()` or -1 when the LP budget is exhausted.
+  int probe(const RrConfig& config) {
+    for (std::size_t i = 0; i < seen_.size(); ++i) {
+      if (seen_[i].config == config) return static_cast<int>(i);
+    }
+    if (!budget_left()) return -1;
+    ++lp_evals_;
+    Candidate c;
+    c.config = config;
+    c.eval = evaluate_config(rrg_, config);
+    seen_.push_back(std::move(c));
+    return static_cast<int>(seen_.size()) - 1;
+  }
+
+ private:
+  const Rrg& rrg_;
+  const HeuristicOptions& options_;
+  std::vector<Candidate> seen_;
+  int lp_evals_ = 0;
+};
+
+/// Zero-buffer edges connecting consecutive nodes of the critical path.
+std::vector<EdgeId> critical_edges(const Rrg& rrg, const RrConfig& config) {
+  const CycleTimeResult ct = cycle_time(apply_config(rrg, config));
+  std::vector<EdgeId> edges;
+  const Digraph& g = rrg.graph();
+  for (std::size_t i = 0; i + 1 < ct.critical_path.size(); ++i) {
+    const NodeId u = ct.critical_path[i];
+    const NodeId v = ct.critical_path[i + 1];
+    for (EdgeId e : g.out_edges(u)) {
+      if (g.dst(e) == v && config.buffers[e] == 0) {
+        edges.push_back(e);
+        break;
+      }
+    }
+  }
+  return edges;
+}
+
+/// Single-node retiming move: tokens shift by `d` across node n and the
+/// elastic buffers move with them (clamped to the legal floor).
+RrConfig retime_move(const Rrg& rrg, const RrConfig& config, NodeId n,
+                     int d) {
+  RrConfig out = config;
+  const Digraph& g = rrg.graph();
+  for (EdgeId e : g.in_edges(n)) {
+    if (g.src(e) == n) continue;  // self loop: unchanged by retiming
+    out.tokens[e] += d;
+    out.buffers[e] =
+        std::max({out.buffers[e] + d, out.tokens[e], 0});
+  }
+  for (EdgeId e : g.out_edges(n)) {
+    if (g.dst(e) == n) continue;
+    out.tokens[e] -= d;
+    out.buffers[e] =
+        std::max({out.buffers[e] - d, out.tokens[e], 0});
+  }
+  return out;
+}
+
+}  // namespace
+
+HeuristicResult heur_eff_cyc(const Rrg& rrg, const HeuristicOptions& options) {
+  Stopwatch watch;
+  rrg.validate();
+  ELRR_REQUIRE(graph::is_strongly_connected(rrg.graph()),
+               "the heuristic requires a strongly connected RRG");
+  ELRR_REQUIRE(options.max_lp_evals > 0, "LP budget must be positive");
+
+  Search search(rrg, options);
+
+  // --- seeds -------------------------------------------------------
+  int best = search.probe(initial_config(rrg));
+  ELRR_ASSERT(best >= 0, "identity probe cannot exhaust the budget");
+
+  const bool classical = [&] {
+    for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+      if (rrg.tokens(e) < 0) return false;
+    }
+    return true;
+  }();
+  if (classical) {
+    const retime::RetimingResult ls = retime::min_period_retiming(rrg);
+    const int idx = search.probe(apply_retiming(rrg, ls.r, false));
+    if (idx >= 0 &&
+        search.seen()[idx].eval.xi_lp < search.seen()[best].eval.xi_lp) {
+      best = idx;
+    }
+  }
+
+  // --- greedy recycling walk ---------------------------------------
+  // From the best seed, sweep tau downward. Each round cuts the current
+  // critical path with the move of smallest resulting xi_lp, choosing
+  // per critical edge (u, v) among three cuts:
+  //  * recycle: insert a bubble on the edge (cheap, costs throughput);
+  //  * retime the head: r(v) += 1 pulls a token-carrying EB onto every
+  //    input of v (cuts the edge without adding latency elsewhere);
+  //  * retime the tail: r(u) -= 1 pushes an EB onto every output of u.
+  // Every probe stays recorded for the final Pareto filter.
+  int cursor = best;
+  const double beta_max = rrg.max_delay();
+  std::vector<int> visited{cursor};
+  for (int round = 0; round < options.max_bubble_rounds; ++round) {
+    const Candidate current = search.seen()[cursor];
+    if (current.eval.tau <= beta_max + 1e-9) break;
+    std::vector<EdgeId> edges = critical_edges(rrg, current.config);
+    if (edges.empty()) break;
+    if (static_cast<int>(edges.size()) > options.max_edges_per_round) {
+      // Evenly spaced subsample so both ends of the path stay covered.
+      std::vector<EdgeId> sample;
+      const std::size_t want =
+          static_cast<std::size_t>(options.max_edges_per_round);
+      for (std::size_t i = 0; i < want; ++i) {
+        sample.push_back(edges[i * (edges.size() - 1) / (want - 1)]);
+      }
+      sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+      edges = std::move(sample);
+    }
+    int round_best = -1;
+    const auto consider = [&](const RrConfig& next) {
+      std::string why;
+      if (!validate_config(rrg, next, &why)) return true;
+      const int idx = search.probe(next);
+      if (idx < 0) return false;  // budget exhausted
+      if (round_best < 0 || search.seen()[idx].eval.xi_lp <
+                                search.seen()[round_best].eval.xi_lp) {
+        round_best = idx;
+      }
+      return true;
+    };
+    const Digraph& g = rrg.graph();
+    for (EdgeId e : edges) {
+      RrConfig bubble = current.config;
+      ++bubble.buffers[e];
+      if (!consider(bubble)) break;
+      if (!consider(retime_move(rrg, current.config, g.dst(e), 1))) break;
+      if (!consider(retime_move(rrg, current.config, g.src(e), -1))) break;
+    }
+    if (round_best < 0) break;
+    // Retiming moves can revisit an earlier cursor; stop on a cycle.
+    if (std::find(visited.begin(), visited.end(), round_best) !=
+        visited.end()) {
+      break;
+    }
+    cursor = round_best;
+    visited.push_back(cursor);
+    if (search.seen()[cursor].eval.xi_lp < search.seen()[best].eval.xi_lp) {
+      best = cursor;
+    }
+    if (!search.budget_left()) break;
+  }
+
+  // --- polish ------------------------------------------------------
+  // First-improvement descent around the best configuration: single-node
+  // +-1 retimings and single-edge bubble removals.
+  if (options.polish) {
+    for (int round = 0; round < options.max_polish_rounds; ++round) {
+      bool improved = false;
+      const Candidate pivot = search.seen()[best];
+      for (NodeId n = 0; n < rrg.num_nodes() && !improved; ++n) {
+        for (int d : {1, -1}) {
+          const RrConfig moved = retime_move(rrg, pivot.config, n, d);
+          std::string why;
+          if (!validate_config(rrg, moved, &why)) continue;
+          const int idx = search.probe(moved);
+          if (idx < 0) break;
+          if (search.seen()[idx].eval.xi_lp <
+              pivot.eval.xi_lp - 1e-12) {
+            best = idx;
+            improved = true;
+            break;
+          }
+        }
+      }
+      for (EdgeId e = 0; e < rrg.num_edges() && !improved; ++e) {
+        const Candidate pivot2 = search.seen()[best];
+        const int floor =
+            std::max(pivot2.config.tokens[e], 0);
+        if (pivot2.config.buffers[e] <= floor) continue;
+        RrConfig next = pivot2.config;
+        --next.buffers[e];
+        const int idx = search.probe(next);
+        if (idx < 0) break;
+        if (search.seen()[idx].eval.xi_lp < pivot2.eval.xi_lp - 1e-12) {
+          best = idx;
+          improved = true;
+        }
+      }
+      if (!improved || !search.budget_left()) break;
+    }
+  }
+
+  // --- Pareto filter -----------------------------------------------
+  HeuristicResult result;
+  result.lp_evals = search.lp_evals();
+  std::vector<std::size_t> order(search.seen().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ea = search.seen()[a].eval;
+    const auto& eb = search.seen()[b].eval;
+    if (ea.tau != eb.tau) return ea.tau < eb.tau;
+    return ea.theta_lp > eb.theta_lp;
+  });
+  double best_theta = -1.0;
+  for (std::size_t i : order) {
+    const Candidate& c = search.seen()[i];
+    if (c.eval.theta_lp > best_theta + 1e-12) {
+      ParetoPoint point;
+      point.config = c.config;
+      point.tau = c.eval.tau;
+      point.theta_lp = c.eval.theta_lp;
+      point.xi_lp = c.eval.xi_lp;
+      point.exact = false;  // heuristic: no optimality proof
+      result.points.push_back(std::move(point));
+      best_theta = c.eval.theta_lp;
+    }
+  }
+  ELRR_ASSERT(!result.points.empty(), "frontier cannot be empty");
+  result.best_index = 0;
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    if (result.points[i].xi_lp < result.points[result.best_index].xi_lp) {
+      result.best_index = i;
+    }
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace elrr

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file heuristic.hpp
+/// MILP-free retiming & recycling heuristic -- the direction the paper's
+/// conclusions point at ("there are simple and efficient heuristics for
+/// solving MILP problems; exploring such heuristics is a part of the
+/// future work").
+///
+/// The search combines three cheap ingredients, none of which needs
+/// branch & bound:
+///  1. seeds: the identity configuration and (when all token counts are
+///     non-negative) the classical Leiserson-Saxe min-period retiming;
+///  2. a greedy *recycling walk*: repeatedly insert the bubble on the
+///     current critical combinational path that minimizes the resulting
+///     xi_lp, recording every configuration visited (this sweeps the
+///     tau axis from the seed down toward beta_max, mirroring the exact
+///     Pareto walk of MIN_EFF_CYC);
+///  3. a local *polish* around the best configuration: single-node +-1
+///     retimings (elastic buffers move with their tokens) and single-edge
+///     bubble removals, first-improvement descent.
+///
+/// Every candidate is scored with the same throughput LP bound (11) the
+/// exact optimizer uses, so heuristic and MILP results are directly
+/// comparable; the only thing given up is the MILP's proof of optimality
+/// per Pareto point.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/opt.hpp"
+#include "core/rrg.hpp"
+
+namespace elrr {
+
+struct HeuristicOptions {
+  /// Bubble-insertion rounds (each adds one empty EB somewhere on the
+  /// then-critical path).
+  int max_bubble_rounds = 128;
+  /// First-improvement polish sweeps around the best configuration.
+  int max_polish_rounds = 8;
+  /// Skip the polish entirely (ablation knob).
+  bool polish = true;
+  /// Hard cap on throughput-LP evaluations (the cost driver).
+  int max_lp_evals = 4000;
+  /// Critical-path edges probed per walk round (evenly subsampled when
+  /// the path is longer). Keeps a small LP budget spread over many
+  /// rounds on dense circuits instead of burning out in round one.
+  int max_edges_per_round = 1 << 20;
+};
+
+struct HeuristicResult {
+  /// Non-dominated configurations found, sorted by increasing tau.
+  std::vector<ParetoPoint> points;
+  std::size_t best_index = 0;
+  int lp_evals = 0;        ///< throughput LPs solved
+  double seconds = 0.0;
+
+  const ParetoPoint& best() const { return points[best_index]; }
+};
+
+/// Heuristic counterpart of `min_eff_cyc` (same requirements: strongly
+/// connected, live RRG). Deterministic; never returns a configuration
+/// worse than the identity.
+HeuristicResult heur_eff_cyc(const Rrg& rrg,
+                             const HeuristicOptions& options = {});
+
+}  // namespace elrr

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file rrg_format.hpp
+/// A plain-text serialization of RRGs (".rrg") plus a JSON exporter.
+///
+/// The text format is line based, '#' starts a comment:
+///
+///   rrg <name>                       # optional header
+///   node <name> delay=<beta> [early] [telescopic=<p>,<extra>]
+///   edge <src> <dst> tokens=<R0> buffers=<R> [gamma=<g>]
+///
+/// Node order and edge order are preserved (ids are assigned in file
+/// order), so writer -> reader round-trips reproduce the exact graph,
+/// including multi-edges. The reader validates the result.
+///
+/// JSON export (write-only; the .rrg format is the interchange format)
+/// emits nodes/edges arrays with the same fields for dashboards and
+/// external tooling.
+
+#include <string>
+#include <string_view>
+
+#include "core/rrg.hpp"
+
+namespace elrr::io {
+
+/// Parsed RRG with its (possibly empty) header name.
+struct NamedRrg {
+  std::string name;
+  Rrg rrg;
+};
+
+/// Parses the .rrg text format. Throws InvalidInputError with a line
+/// number on malformed input (unknown node names, duplicate definitions,
+/// bad numbers, R < R0, dead cycles, ...).
+NamedRrg read_rrg(std::string_view text);
+
+/// Serializes to the .rrg text format (stable ordering; round-trips).
+std::string write_rrg(const Rrg& rrg, std::string_view name = "");
+
+/// JSON document with the same information.
+std::string write_json(const Rrg& rrg, std::string_view name = "");
+
+/// File helpers (throw IoError on filesystem problems).
+NamedRrg load_rrg_file(const std::string& path);
+void save_text_file(const std::string& path, std::string_view text);
+std::string load_text_file(const std::string& path);
+
+}  // namespace elrr::io

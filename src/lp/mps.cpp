@@ -1,0 +1,180 @@
+#include "lp/mps.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace elrr::lp {
+
+namespace {
+
+std::string number(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.12g", v);
+  return buffer;
+}
+
+/// MPS-safe, unique identifiers: alphanumerics plus [._], non-empty,
+/// capped length, uniquified with an index suffix on collision.
+std::vector<std::string> sanitize(const std::vector<std::string>& raw,
+                                  char prefix) {
+  std::vector<std::string> names;
+  std::map<std::string, int> used;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::string name = raw[i];
+    for (char& c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.';
+      if (!ok) c = '_';
+    }
+    if (name.empty()) name = std::string(1, prefix) + std::to_string(i);
+    if (name.size() > 60) name.resize(60);
+    if (used.count(name) != 0) name += "_" + std::to_string(i);
+    used.emplace(name, 1);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string to_mps(const Model& model, const std::string& name) {
+  model.validate();
+  std::vector<std::string> raw_rows, raw_cols;
+  for (int i = 0; i < model.num_rows(); ++i) raw_rows.push_back(model.row(i).name);
+  for (int j = 0; j < model.num_cols(); ++j) raw_cols.push_back(model.col(j).name);
+  const std::vector<std::string> rows = sanitize(raw_rows, 'r');
+  const std::vector<std::string> cols = sanitize(raw_cols, 'x');
+
+  const bool maximize = model.sense() == Sense::kMaximize;
+  std::ostringstream os;
+  os << "* ElasticRR MILP export (MPS fixed format)\n";
+  if (maximize) {
+    os << "* NOTE: model maximizes; objective coefficients are negated\n"
+       << "*       below -- the true optimum is -(value reported here).\n";
+  }
+  os << "NAME          " << name << "\n";
+
+  // ROWS: type per row. Ranged rows (both bounds finite, different)
+  // emit type L on the upper bound with a RANGES entry; equalities E;
+  // one-sided G/L; free rows are not produced by our models but map to N.
+  os << "ROWS\n N  OBJ\n";
+  struct RowShape {
+    char type = 'N';
+    double rhs = 0.0;
+    double range = 0.0;  ///< 0 = none
+  };
+  std::vector<RowShape> shapes(static_cast<std::size_t>(model.num_rows()));
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const Row& row = model.row(i);
+    RowShape& shape = shapes[static_cast<std::size_t>(i)];
+    const bool lo_fin = std::isfinite(row.lo);
+    const bool hi_fin = std::isfinite(row.hi);
+    if (lo_fin && hi_fin && row.lo == row.hi) {
+      shape = {'E', row.lo, 0.0};
+    } else if (lo_fin && hi_fin) {
+      shape = {'L', row.hi, row.hi - row.lo};
+    } else if (hi_fin) {
+      shape = {'L', row.hi, 0.0};
+    } else if (lo_fin) {
+      shape = {'G', row.lo, 0.0};
+    } else {
+      shape = {'N', 0.0, 0.0};
+    }
+    os << " " << shape.type << "  " << rows[static_cast<std::size_t>(i)]
+       << "\n";
+  }
+
+  // COLUMNS, column-major with INTORG/INTEND markers around integers.
+  os << "COLUMNS\n";
+  // Row entries per column.
+  std::vector<std::vector<std::pair<int, double>>> by_col(
+      static_cast<std::size_t>(model.num_cols()));
+  for (int i = 0; i < model.num_rows(); ++i) {
+    for (const ColEntry& entry : model.row(i).entries) {
+      by_col[static_cast<std::size_t>(entry.col)].push_back({i, entry.coef});
+    }
+  }
+  bool in_int = false;
+  int marker = 0;
+  for (int j = 0; j < model.num_cols(); ++j) {
+    const Column& col = model.col(j);
+    if (col.is_integer != in_int) {
+      os << "    MARKER" << marker << "  'MARKER'  "
+         << (col.is_integer ? "'INTORG'" : "'INTEND'") << "\n";
+      ++marker;
+      in_int = col.is_integer;
+    }
+    const std::string& cname = cols[static_cast<std::size_t>(j)];
+    if (col.obj != 0.0) {
+      os << "    " << cname << "  OBJ  "
+         << number(maximize ? -col.obj : col.obj) << "\n";
+    }
+    for (const auto& [i, coef] : by_col[static_cast<std::size_t>(j)]) {
+      os << "    " << cname << "  " << rows[static_cast<std::size_t>(i)]
+         << "  " << number(coef) << "\n";
+    }
+  }
+  if (in_int) {
+    os << "    MARKER" << marker << "  'MARKER'  'INTEND'\n";
+  }
+
+  // RHS + RANGES.
+  os << "RHS\n";
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const RowShape& shape = shapes[static_cast<std::size_t>(i)];
+    if (shape.type != 'N' && shape.rhs != 0.0) {
+      os << "    RHS  " << rows[static_cast<std::size_t>(i)] << "  "
+         << number(shape.rhs) << "\n";
+    }
+  }
+  bool any_range = false;
+  for (const RowShape& shape : shapes) any_range |= shape.range != 0.0;
+  if (any_range) {
+    os << "RANGES\n";
+    for (int i = 0; i < model.num_rows(); ++i) {
+      const RowShape& shape = shapes[static_cast<std::size_t>(i)];
+      if (shape.range != 0.0) {
+        os << "    RNG  " << rows[static_cast<std::size_t>(i)] << "  "
+           << number(shape.range) << "\n";
+      }
+    }
+  }
+
+  // BOUNDS. Default MPS bounds are [0, +inf); emit only deviations.
+  os << "BOUNDS\n";
+  for (int j = 0; j < model.num_cols(); ++j) {
+    const Column& col = model.col(j);
+    const std::string& cname = cols[static_cast<std::size_t>(j)];
+    const bool lo_fin = std::isfinite(col.lo);
+    const bool hi_fin = std::isfinite(col.hi);
+    if (!lo_fin && !hi_fin) {
+      os << " FR BND  " << cname << "\n";
+      continue;
+    }
+    if (lo_fin && hi_fin && col.lo == col.hi) {
+      os << " FX BND  " << cname << "  " << number(col.lo) << "\n";
+      continue;
+    }
+    if (!lo_fin) {
+      os << " MI BND  " << cname << "\n";
+    } else if (col.lo != 0.0) {
+      os << " LO BND  " << cname << "  " << number(col.lo) << "\n";
+    }
+    if (hi_fin) {
+      os << " UP BND  " << cname << "  " << number(col.hi) << "\n";
+    } else if (col.is_integer) {
+      // Integer columns default to an upper bound of 1 in classic MPS;
+      // make the intended infinity explicit.
+      os << " PL BND  " << cname << "\n";
+    }
+  }
+  os << "ENDATA\n";
+  return os.str();
+}
+
+}  // namespace elrr::lp

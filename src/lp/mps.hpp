@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file mps.hpp
+/// Fixed-format MPS writer for Model -- the lingua franca of LP/MILP
+/// solvers. Lets users re-solve any MILP this library builds (MIN_CYC,
+/// MAX_THR, min-area retiming, throughput bounds) with an external
+/// solver (CPLEX -- the paper's choice -- CBC, Gurobi, HiGHS, glpsol)
+/// and cross-check our branch & bound.
+///
+/// Conventions:
+///  * one objective row N OBJ; MPS has no sense record, so a maximization
+///    model is written with negated objective coefficients and a COMMENT
+///    line saying so (objective value = -(reported optimum));
+///  * ranged rows L <= ax <= U emit an L row plus a RANGES entry;
+///  * integer columns are wrapped in MARKER INTORG/INTEND pairs;
+///  * infinite bounds use MI/PL; free variables FR.
+/// Column/row names are sanitized to MPS-safe identifiers (<= 8 chars
+/// would be classic MPS; modern readers accept long names, we cap at 60
+/// and uniquify).
+
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace elrr::lp {
+
+/// Renders the model as an MPS document. `name` becomes the NAME record.
+std::string to_mps(const Model& model, const std::string& name = "ELRR");
+
+}  // namespace elrr::lp

@@ -1,0 +1,162 @@
+#include "lp/presolve.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace elrr::lp {
+
+namespace {
+
+/// Working copy of the model with erasure flags.
+struct Work {
+  std::vector<Column> cols;
+  std::vector<Row> rows;
+  std::vector<bool> col_dead;
+  std::vector<bool> row_dead;
+  double obj_offset = 0.0;
+};
+
+/// Tightens column j to [lo, hi] (intersection); returns false when the
+/// domain empties.
+bool tighten(Work& w, int j, double lo, double hi, double tol) {
+  Column& col = w.cols[static_cast<std::size_t>(j)];
+  if (col.is_integer) {
+    if (std::isfinite(lo)) lo = std::ceil(lo - tol);
+    if (std::isfinite(hi)) hi = std::floor(hi + tol);
+  }
+  col.lo = std::max(col.lo, lo);
+  col.hi = std::min(col.hi, hi);
+  return col.lo <= col.hi + tol;
+}
+
+/// Substitutes the fixed column j = v into all rows and the objective.
+void substitute(Work& w, int j, double v) {
+  Column& col = w.cols[static_cast<std::size_t>(j)];
+  w.obj_offset += col.obj * v;
+  for (std::size_t i = 0; i < w.rows.size(); ++i) {
+    if (w.row_dead[i]) continue;
+    Row& row = w.rows[i];
+    for (std::size_t k = 0; k < row.entries.size(); ++k) {
+      if (row.entries[k].col != j) continue;
+      const double shift = row.entries[k].coef * v;
+      if (std::isfinite(row.lo)) row.lo -= shift;
+      if (std::isfinite(row.hi)) row.hi -= shift;
+      row.entries.erase(row.entries.begin() +
+                        static_cast<std::ptrdiff_t>(k));
+      break;  // Model::add_row merged duplicates already
+    }
+  }
+  w.col_dead[static_cast<std::size_t>(j)] = true;
+}
+
+}  // namespace
+
+std::vector<double> Presolved::lift(
+    const std::vector<double>& x_reduced) const {
+  std::vector<double> x(col_map.size(), 0.0);
+  for (std::size_t j = 0; j < col_map.size(); ++j) {
+    x[j] = col_map[j] >= 0
+               ? x_reduced[static_cast<std::size_t>(col_map[j])]
+               : fixed_value[j];
+  }
+  return x;
+}
+
+Presolved presolve(const Model& model, double feas_tol) {
+  model.validate();
+  Work w;
+  for (int j = 0; j < model.num_cols(); ++j) w.cols.push_back(model.col(j));
+  for (int i = 0; i < model.num_rows(); ++i) w.rows.push_back(model.row(i));
+  w.col_dead.assign(w.cols.size(), false);
+  w.row_dead.assign(w.rows.size(), false);
+
+  Presolved out;
+  out.col_map.assign(w.cols.size(), -1);
+  out.fixed_value.assign(w.cols.size(), 0.0);
+
+  const auto fail = [&] {
+    out.infeasible = true;
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Fixed columns.
+    for (std::size_t j = 0; j < w.cols.size(); ++j) {
+      if (w.col_dead[j]) continue;
+      const Column& col = w.cols[j];
+      if (col.lo == col.hi) {
+        if (col.is_integer &&
+            std::abs(col.lo - std::round(col.lo)) > feas_tol) {
+          return fail();  // pinned to a fractional value
+        }
+        out.fixed_value[j] = col.lo;
+        substitute(w, static_cast<int>(j), col.lo);
+        changed = true;
+      }
+    }
+    // Empty and singleton rows.
+    for (std::size_t i = 0; i < w.rows.size(); ++i) {
+      if (w.row_dead[i]) continue;
+      Row& row = w.rows[i];
+      if (row.entries.empty()) {
+        if (row.lo > feas_tol || row.hi < -feas_tol) return fail();
+        w.row_dead[i] = true;
+        changed = true;
+        continue;
+      }
+      if (row.entries.size() == 1) {
+        const ColEntry entry = row.entries[0];
+        if (entry.coef == 0.0) {
+          if (row.lo > feas_tol || row.hi < -feas_tol) return fail();
+        } else {
+          double lo = row.lo / entry.coef;
+          double hi = row.hi / entry.coef;
+          if (entry.coef < 0.0) std::swap(lo, hi);
+          if (!tighten(w, entry.col, lo, hi, feas_tol)) return fail();
+        }
+        w.row_dead[i] = true;
+        changed = true;
+      }
+    }
+  }
+  // Final domain check (tighten already guards, but fixed-integer
+  // columns may have produced fractional pins).
+  for (std::size_t j = 0; j < w.cols.size(); ++j) {
+    if (w.col_dead[j]) continue;
+    const Column& col = w.cols[j];
+    if (col.lo > col.hi + feas_tol) return fail();
+  }
+
+  // Assemble the reduced model.
+  out.reduced.set_sense(model.sense());
+  out.obj_offset = w.obj_offset;
+  for (std::size_t j = 0; j < w.cols.size(); ++j) {
+    if (w.col_dead[j]) {
+      ++out.cols_removed;
+      continue;
+    }
+    const Column& col = w.cols[j];
+    out.col_map[j] = out.reduced.add_col(col.lo, col.hi, col.obj,
+                                         col.is_integer, col.name);
+  }
+  for (std::size_t i = 0; i < w.rows.size(); ++i) {
+    if (w.row_dead[i]) {
+      ++out.rows_removed;
+      continue;
+    }
+    const Row& row = w.rows[i];
+    std::vector<ColEntry> entries;
+    for (const ColEntry& entry : row.entries) {
+      const int mapped = out.col_map[static_cast<std::size_t>(entry.col)];
+      ELRR_ASSERT(mapped >= 0, "entry references an eliminated column");
+      entries.push_back({mapped, entry.coef});
+    }
+    out.reduced.add_row(row.lo, row.hi, std::move(entries), row.name);
+  }
+  return out;
+}
+
+}  // namespace elrr::lp

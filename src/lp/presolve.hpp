@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file presolve.hpp
+/// LP/MILP presolve: cheap, exactness-preserving model reductions
+/// applied to fixpoint before the simplex/branch&bound see the problem.
+///
+///  * empty rows       -> feasibility check, drop;
+///  * singleton rows   -> column-bound tightening (rounded for integer
+///                        columns), drop;
+///  * fixed columns    -> substituted into every row and the objective.
+///
+/// The reduced model solves to the same optimum (modulo the reported
+/// objective offset), and `lift` maps a reduced-space solution back to
+/// the original variable space. Infeasibility can be detected outright.
+///
+/// The RR MILPs profit mostly through their pinned columns (r(0) = 0,
+/// sigma(0) = 0) and the trivially-bounded rows the chain cuts leave
+/// behind; the pass is available standalone and through
+/// `MilpOptions::presolve`.
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace elrr::lp {
+
+struct Presolved {
+  bool infeasible = false;  ///< proven infeasible during reduction
+  Model reduced;            ///< equivalent smaller model (unless infeasible)
+  double obj_offset = 0.0;  ///< add to the reduced optimum
+  int rows_removed = 0;
+  int cols_removed = 0;
+
+  /// Per original column: index in `reduced`, or -1 when eliminated.
+  std::vector<int> col_map;
+  /// Value of each eliminated (fixed) column.
+  std::vector<double> fixed_value;
+
+  /// Lifts a reduced-space point back to the original space.
+  std::vector<double> lift(const std::vector<double>& x_reduced) const;
+};
+
+/// Runs the reductions to fixpoint. `feas_tol` guards the empty-row and
+/// empty-domain checks.
+Presolved presolve(const Model& model, double feas_tol = 1e-9);
+
+}  // namespace elrr::lp

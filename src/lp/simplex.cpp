@@ -1,0 +1,615 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elrr::lp {
+
+namespace {
+constexpr double kRatioEps = 1e-9;   // |alpha| below this never blocks
+constexpr double kTieTol = 1e-9;     // Harris-style tie window in the ratio test
+constexpr std::int64_t kBlandTrigger = 512;  // degenerate steps before Bland
+}  // namespace
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+    case LpStatus::kTimeLimit: return "time-limit";
+    case LpStatus::kNumericError: return "numeric-error";
+  }
+  return "unknown";
+}
+
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
+    : options_(options) {
+  model.validate();
+  n_ = model.num_cols();
+  m_ = model.num_rows();
+  total_ = n_ + m_;
+  sense_flip_ = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+
+  cost_.assign(total_, 0.0);
+  lo_.assign(total_, -kInf);
+  hi_.assign(total_, kInf);
+  for (int j = 0; j < n_; ++j) {
+    cost_[j] = sense_flip_ * model.col(j).obj;
+    lo_[j] = model.col(j).lo;
+    hi_[j] = model.col(j).hi;
+  }
+  dense_a_.assign(static_cast<std::size_t>(m_) * total_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const Row& row = model.row(i);
+    for (const auto& entry : row.entries) {
+      dense_a_[static_cast<std::size_t>(i) * total_ + entry.col] = entry.coef;
+    }
+    const int slack = n_ + i;
+    dense_a_[static_cast<std::size_t>(i) * total_ + slack] = -1.0;
+    lo_[slack] = row.lo;
+    hi_[slack] = row.hi;
+  }
+}
+
+std::int64_t SimplexSolver::iteration_budget() const {
+  if (options_.max_iters > 0) return options_.max_iters;
+  return std::max<std::int64_t>(20000, 200LL * (m_ + n_));
+}
+
+void SimplexSolver::build_initial_basis() {
+  // Slack basis: B = -I, hence tab = B^-1 [A|-I] = [-A | I].
+  tab_.assign(dense_a_.size(), 0.0);
+  for (std::size_t k = 0; k < dense_a_.size(); ++k) tab_[k] = -dense_a_[k];
+
+  basis_.resize(m_);
+  where_.assign(total_, Where::kAtLower);
+  value_.assign(total_, 0.0);
+  for (int j = 0; j < total_; ++j) {
+    if (std::isfinite(lo_[j])) {
+      where_[j] = Where::kAtLower;
+      value_[j] = lo_[j];
+    } else if (std::isfinite(hi_[j])) {
+      where_[j] = Where::kAtUpper;
+      value_[j] = hi_[j];
+    } else {
+      where_[j] = Where::kFree;
+      value_[j] = 0.0;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    const int slack = n_ + i;
+    basis_[i] = slack;
+    where_[slack] = Where::kBasic;
+  }
+  compute_basic_values();
+  dj_valid_ = false;
+  bland_ = false;
+  degenerate_streak_ = 0;
+}
+
+void SimplexSolver::compute_basic_values() {
+  for (int i = 0; i < m_; ++i) {
+    const double* row = &tab_[static_cast<std::size_t>(i) * total_];
+    double acc = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (where_[j] != Where::kBasic && value_[j] != 0.0) {
+        acc += row[j] * value_[j];
+      }
+    }
+    value_[basis_[i]] = -acc;
+  }
+}
+
+void SimplexSolver::compute_reduced_costs() {
+  dj_ = cost_;
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost_[basis_[i]];
+    if (cb == 0.0) continue;
+    const double* row = &tab_[static_cast<std::size_t>(i) * total_];
+    for (int j = 0; j < total_; ++j) dj_[j] -= cb * row[j];
+  }
+  for (int i = 0; i < m_; ++i) dj_[basis_[i]] = 0.0;
+  dj_valid_ = true;
+}
+
+bool SimplexSolver::is_dual_feasible() const {
+  if (!dj_valid_) return false;
+  for (int j = 0; j < total_; ++j) {
+    switch (where_[j]) {
+      case Where::kBasic:
+        break;
+      case Where::kAtLower:
+        if (dj_[j] < -options_.opt_tol) return false;
+        break;
+      case Where::kAtUpper:
+        if (dj_[j] > options_.opt_tol) return false;
+        break;
+      case Where::kFree:
+        if (std::abs(dj_[j]) > options_.opt_tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void SimplexSolver::pivot(int row, int col) {
+  double* prow = &tab_[static_cast<std::size_t>(row) * total_];
+  const double inv = 1.0 / prow[col];
+  for (int j = 0; j < total_; ++j) prow[j] *= inv;
+  prow[col] = 1.0;
+  for (int i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    double* irow = &tab_[static_cast<std::size_t>(i) * total_];
+    const double factor = irow[col];
+    if (factor == 0.0) continue;
+    for (int j = 0; j < total_; ++j) irow[j] -= factor * prow[j];
+    irow[col] = 0.0;
+  }
+  if (dj_valid_) {
+    const double factor = dj_[col];
+    if (factor != 0.0) {
+      for (int j = 0; j < total_; ++j) dj_[j] -= factor * prow[j];
+      dj_[col] = 0.0;
+    }
+  }
+  basis_[row] = col;
+  where_[col] = Where::kBasic;
+  ++iterations_;
+}
+
+double SimplexSolver::infeasibility() const {
+  double total = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    const int k = basis_[i];
+    const double v = value_[k];
+    if (v < lo_[k]) total += lo_[k] - v;
+    if (v > hi_[k]) total += v - hi_[k];
+  }
+  return total;
+}
+
+LpStatus SimplexSolver::primal_phase1(const Deadline& deadline) {
+  const double ftol = options_.feas_tol;
+  const std::int64_t budget = iteration_budget();
+  std::vector<double> price(total_);
+  std::vector<int> below, above;
+
+  while (true) {
+    if (deadline.expired()) return LpStatus::kTimeLimit;
+    if (iterations_ - call_iter_base_ >= budget) return LpStatus::kIterLimit;
+
+    below.clear();
+    above.clear();
+    for (int i = 0; i < m_; ++i) {
+      const int k = basis_[i];
+      if (value_[k] < lo_[k] - ftol) below.push_back(i);
+      else if (value_[k] > hi_[k] + ftol) above.push_back(i);
+    }
+    if (below.empty() && above.empty()) return LpStatus::kOptimal;
+
+    // Composite phase-1 pricing: D_j = d(infeasibility)/d(x_j).
+    std::fill(price.begin(), price.end(), 0.0);
+    for (int i : below) {
+      const double* row = &tab_[static_cast<std::size_t>(i) * total_];
+      for (int j = 0; j < total_; ++j) price[j] += row[j];
+    }
+    for (int i : above) {
+      const double* row = &tab_[static_cast<std::size_t>(i) * total_];
+      for (int j = 0; j < total_; ++j) price[j] -= row[j];
+    }
+
+    int entering = -1;
+    int dir = 0;
+    double best_score = options_.opt_tol;
+    for (int j = 0; j < total_; ++j) {
+      if (where_[j] == Where::kBasic) continue;
+      const double d = price[j];
+      const bool can_up = where_[j] == Where::kAtLower || where_[j] == Where::kFree;
+      const bool can_down = where_[j] == Where::kAtUpper || where_[j] == Where::kFree;
+      int cand_dir = 0;
+      if (can_up && d < -best_score) cand_dir = 1;
+      else if (can_down && d > best_score) cand_dir = -1;
+      if (cand_dir != 0) {
+        entering = j;
+        dir = cand_dir;
+        best_score = std::abs(d);
+        if (bland_) break;  // Bland: first eligible (smallest index)
+      }
+    }
+    if (entering == -1) return LpStatus::kInfeasible;
+
+    // Extended ratio test: infeasible basics block at the violated bound
+    // they are moving toward; feasible basics block at regular bounds; the
+    // entering variable may flip to its opposite bound.
+    double t_best = kInf;
+    int block_row = -1;
+    double block_alpha = 0.0;
+    const double own_range = hi_[entering] - lo_[entering];
+    if (std::isfinite(own_range)) t_best = own_range;
+
+    for (int i = 0; i < m_; ++i) {
+      const double alpha = tab(i, entering);
+      if (std::abs(alpha) <= kRatioEps) continue;
+      const double g = -dir * alpha;  // growth rate of basic i w.r.t. step
+      const int k = basis_[i];
+      const double v = value_[k];
+      double limit = kInf;
+      if (v < lo_[k] - ftol) {
+        if (g > 0) limit = (lo_[k] - v) / g;
+      } else if (v > hi_[k] + ftol) {
+        if (g < 0) limit = (hi_[k] - v) / g;
+      } else if (g > kRatioEps) {
+        if (std::isfinite(hi_[k])) limit = std::max(0.0, (hi_[k] - v) / g);
+      } else if (g < -kRatioEps) {
+        if (std::isfinite(lo_[k])) limit = std::max(0.0, (lo_[k] - v) / g);
+      }
+      if (limit < t_best - kTieTol ||
+          (limit < t_best + kTieTol && std::abs(alpha) > std::abs(block_alpha))) {
+        if (limit <= t_best + kTieTol) {
+          t_best = std::min(t_best, std::max(0.0, limit));
+          block_row = i;
+          block_alpha = alpha;
+        }
+      }
+    }
+
+    if (!std::isfinite(t_best)) return LpStatus::kNumericError;
+
+    // Apply the step.
+    const double step = t_best;
+    if (step != 0.0) {
+      for (int i = 0; i < m_; ++i) {
+        const double alpha = tab(i, entering);
+        if (alpha != 0.0) value_[basis_[i]] -= dir * alpha * step;
+      }
+      value_[entering] += dir * step;
+      degenerate_streak_ = 0;
+      bland_ = false;
+    } else {
+      if (++degenerate_streak_ > kBlandTrigger) bland_ = true;
+    }
+
+    if (block_row == -1) {
+      // Bound flip of the entering variable.
+      where_[entering] =
+          dir > 0 ? Where::kAtUpper : Where::kAtLower;
+      value_[entering] = dir > 0 ? hi_[entering] : lo_[entering];
+      ++iterations_;
+    } else {
+      const int leaving = basis_[block_row];
+      const double g = -dir * block_alpha;
+      // Land exactly on the bound the leaving variable hit.
+      if (g > 0) {
+        const double bound = value_[leaving] >= hi_[leaving] - ftol
+                                 ? hi_[leaving]
+                                 : lo_[leaving];
+        value_[leaving] = bound;
+        where_[leaving] =
+            bound == hi_[leaving] ? Where::kAtUpper : Where::kAtLower;
+      } else {
+        const double bound = value_[leaving] <= lo_[leaving] + ftol
+                                 ? lo_[leaving]
+                                 : hi_[leaving];
+        value_[leaving] = bound;
+        where_[leaving] =
+            bound == lo_[leaving] ? Where::kAtLower : Where::kAtUpper;
+      }
+      pivot(block_row, entering);
+    }
+  }
+}
+
+LpStatus SimplexSolver::primal_phase2(const Deadline& deadline) {
+  if (!dj_valid_) compute_reduced_costs();
+  const std::int64_t budget = iteration_budget();
+
+  while (true) {
+    if (deadline.expired()) return LpStatus::kTimeLimit;
+    if (iterations_ - call_iter_base_ >= budget) return LpStatus::kIterLimit;
+
+    int entering = -1;
+    int dir = 0;
+    double best_score = options_.opt_tol;
+    for (int j = 0; j < total_; ++j) {
+      if (where_[j] == Where::kBasic) continue;
+      const double d = dj_[j];
+      const bool can_up = where_[j] == Where::kAtLower || where_[j] == Where::kFree;
+      const bool can_down = where_[j] == Where::kAtUpper || where_[j] == Where::kFree;
+      int cand_dir = 0;
+      if (can_up && d < -best_score) cand_dir = 1;
+      else if (can_down && d > best_score) cand_dir = -1;
+      if (cand_dir != 0) {
+        entering = j;
+        dir = cand_dir;
+        best_score = std::abs(d);
+        if (bland_) break;
+      }
+    }
+    if (entering == -1) return LpStatus::kOptimal;
+
+    double t_best = kInf;
+    int block_row = -1;
+    double block_alpha = 0.0;
+    const double own_range = hi_[entering] - lo_[entering];
+    if (std::isfinite(own_range)) t_best = own_range;
+
+    for (int i = 0; i < m_; ++i) {
+      const double alpha = tab(i, entering);
+      if (std::abs(alpha) <= kRatioEps) continue;
+      const double g = -dir * alpha;
+      const int k = basis_[i];
+      const double v = value_[k];
+      double limit = kInf;
+      if (g > kRatioEps) {
+        if (std::isfinite(hi_[k])) limit = std::max(0.0, (hi_[k] - v) / g);
+      } else if (g < -kRatioEps) {
+        if (std::isfinite(lo_[k])) limit = std::max(0.0, (lo_[k] - v) / g);
+      }
+      if (limit < t_best - kTieTol ||
+          (limit < t_best + kTieTol && std::abs(alpha) > std::abs(block_alpha))) {
+        if (limit <= t_best + kTieTol) {
+          t_best = std::min(t_best, std::max(0.0, limit));
+          block_row = i;
+          block_alpha = alpha;
+        }
+      }
+    }
+
+    if (!std::isfinite(t_best)) return LpStatus::kUnbounded;
+
+    const double step = t_best;
+    if (step != 0.0) {
+      for (int i = 0; i < m_; ++i) {
+        const double alpha = tab(i, entering);
+        if (alpha != 0.0) value_[basis_[i]] -= dir * alpha * step;
+      }
+      value_[entering] += dir * step;
+      degenerate_streak_ = 0;
+      bland_ = false;
+    } else {
+      if (++degenerate_streak_ > kBlandTrigger) bland_ = true;
+    }
+
+    if (block_row == -1) {
+      where_[entering] = dir > 0 ? Where::kAtUpper : Where::kAtLower;
+      value_[entering] = dir > 0 ? hi_[entering] : lo_[entering];
+      ++iterations_;
+    } else {
+      const int leaving = basis_[block_row];
+      const double g = -dir * block_alpha;
+      const double bound = g > 0 ? hi_[leaving] : lo_[leaving];
+      value_[leaving] = bound;
+      where_[leaving] = g > 0 ? Where::kAtUpper : Where::kAtLower;
+      pivot(block_row, entering);
+    }
+  }
+}
+
+LpStatus SimplexSolver::dual_phase(const Deadline& deadline) {
+  if (!dj_valid_) compute_reduced_costs();
+  const std::int64_t budget = iteration_budget();
+  const double ftol = options_.feas_tol;
+
+  while (true) {
+    if (deadline.expired()) return LpStatus::kTimeLimit;
+    if (iterations_ - call_iter_base_ >= budget) return LpStatus::kIterLimit;
+
+    // Leaving: most primal-infeasible basic.
+    int row = -1;
+    double worst = ftol;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int k = basis_[i];
+      const double v = value_[k];
+      if (lo_[k] - v > worst) {
+        worst = lo_[k] - v;
+        row = i;
+        below = true;
+      }
+      if (v - hi_[k] > worst) {
+        worst = v - hi_[k];
+        row = i;
+        below = false;
+      }
+    }
+    if (row == -1) {
+      // Primal feasible and dual feasible: optimal (polish via phase 2 to
+      // guard against tolerance drift).
+      return primal_phase2(deadline);
+    }
+
+    const int leaving = basis_[row];
+    const double* alpha = &tab_[static_cast<std::size_t>(row) * total_];
+
+    // Dual ratio test. theta = dj_q / alpha_q must be <= 0 when the
+    // leaving variable lands at its lower bound, >= 0 at its upper bound.
+    int entering = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (where_[j] == Where::kBasic || j == leaving) continue;
+      const double a = alpha[j];
+      if (std::abs(a) <= kRatioEps) continue;
+      bool eligible = false;
+      if (below) {  // leaving lands AtLower; need theta <= 0
+        eligible = (where_[j] == Where::kAtLower && a < 0.0) ||
+                   (where_[j] == Where::kAtUpper && a > 0.0) ||
+                   (where_[j] == Where::kFree);
+      } else {  // leaving lands AtUpper; need theta >= 0
+        eligible = (where_[j] == Where::kAtLower && a > 0.0) ||
+                   (where_[j] == Where::kAtUpper && a < 0.0) ||
+                   (where_[j] == Where::kFree);
+      }
+      if (!eligible) continue;
+      const double ratio = std::abs(dj_[j] / a);
+      if (ratio < best_ratio - kTieTol ||
+          (ratio < best_ratio + kTieTol && std::abs(a) > std::abs(best_alpha))) {
+        best_ratio = ratio;
+        best_alpha = a;
+        entering = j;
+      }
+    }
+    if (entering == -1) return LpStatus::kInfeasible;
+
+    const double target = below ? lo_[leaving] : hi_[leaving];
+    const double delta_leaving = target - value_[leaving];
+    const double delta_entering = -delta_leaving / alpha[entering];
+
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double a = tab(i, entering);
+      if (a != 0.0) value_[basis_[i]] -= a * delta_entering;
+    }
+    value_[entering] += delta_entering;
+    value_[leaving] = target;
+    where_[leaving] = below ? Where::kAtLower : Where::kAtUpper;
+    pivot(row, entering);
+  }
+}
+
+LpResult SimplexSolver::finish(LpStatus status) {
+  LpResult result;
+  result.status = status;
+  result.iterations = iterations_;
+  result.x = structural_values();
+  double obj = 0.0;
+  for (int j = 0; j < n_; ++j) obj += cost_[j] * value_[j];
+  result.objective = sense_flip_ * obj;
+  return result;
+}
+
+LpResult SimplexSolver::solve() {
+  Deadline deadline(options_.time_limit_s);
+  call_iter_base_ = iterations_;
+  build_initial_basis();
+  LpStatus status = primal_phase1(deadline);
+  if (status == LpStatus::kOptimal) {
+    compute_reduced_costs();
+    status = primal_phase2(deadline);
+  }
+  // Phase 2 pivots may push a basic variable slightly out of bounds via
+  // accumulated error (the explicit tableau drifts over thousands of
+  // pivots on dense models). Repair by re-running phase 1 from the
+  // current basis -- it restores feasibility in a few pivots -- and
+  // re-optimizing; declare a numeric error only if two repairs fail.
+  for (int repair = 0;
+       repair < 2 && status == LpStatus::kOptimal &&
+       infeasibility() > 64 * options_.feas_tol;
+       ++repair) {
+    status = primal_phase1(deadline);
+    if (status == LpStatus::kOptimal) {
+      compute_reduced_costs();
+      status = primal_phase2(deadline);
+    }
+  }
+  if (status == LpStatus::kOptimal &&
+      infeasibility() > 64 * options_.feas_tol) {
+    status = LpStatus::kNumericError;
+  }
+  return finish(status);
+}
+
+LpResult SimplexSolver::resolve() {
+  if (tab_.empty()) return solve();
+  if (!dj_valid_) compute_reduced_costs();
+  if (!is_dual_feasible()) return solve();
+  Deadline deadline(options_.time_limit_s);
+  call_iter_base_ = iterations_;
+  LpStatus status = dual_phase(deadline);
+  if (status == LpStatus::kNumericError) return solve();
+  // A dual-simplex infeasibility claim prunes a branch-and-bound subtree;
+  // confirm it with a from-scratch primal solve before trusting it.
+  if (status == LpStatus::kInfeasible) return solve();
+  if (status == LpStatus::kOptimal && infeasibility() > 64 * options_.feas_tol) {
+    return solve();
+  }
+  return finish(status);
+}
+
+void SimplexSolver::set_col_bounds(int col, double lo, double hi) {
+  ELRR_REQUIRE(col >= 0 && col < n_, "unknown structural column ", col);
+  ELRR_REQUIRE(!(lo > hi), "empty bounds");
+  lo_[col] = lo;
+  hi_[col] = hi;
+  if (tab_.empty()) return;  // not factorized yet; solve() will pick it up
+
+  if (where_[col] == Where::kBasic) return;  // resolve() repairs violations
+
+  double new_value = value_[col];
+  switch (where_[col]) {
+    case Where::kAtLower:
+      if (std::isfinite(lo)) {
+        new_value = lo;
+      } else if (std::isfinite(hi)) {
+        where_[col] = Where::kAtUpper;
+        new_value = hi;
+      } else {
+        where_[col] = Where::kFree;
+        new_value = 0.0;
+      }
+      break;
+    case Where::kAtUpper:
+      if (std::isfinite(hi)) {
+        new_value = hi;
+      } else if (std::isfinite(lo)) {
+        where_[col] = Where::kAtLower;
+        new_value = lo;
+      } else {
+        where_[col] = Where::kFree;
+        new_value = 0.0;
+      }
+      break;
+    case Where::kFree:
+      if (std::isfinite(lo)) {
+        where_[col] = Where::kAtLower;
+        new_value = lo;
+      } else if (std::isfinite(hi)) {
+        where_[col] = Where::kAtUpper;
+        new_value = hi;
+      }
+      break;
+    case Where::kBasic:
+      break;
+  }
+  const double delta = new_value - value_[col];
+  if (delta != 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      const double a = tab(i, col);
+      if (a != 0.0) value_[basis_[i]] -= a * delta;
+    }
+    value_[col] = new_value;
+  }
+}
+
+SimplexSolver::State SimplexSolver::save_state() const {
+  State s;
+  s.tab = tab_;
+  s.basis = basis_;
+  s.where = where_;
+  s.value = value_;
+  s.dj = dj_;
+  s.lo = lo_;
+  s.hi = hi_;
+  s.dj_valid = dj_valid_;
+  return s;
+}
+
+void SimplexSolver::restore_state(const State& state) {
+  tab_ = state.tab;
+  basis_ = state.basis;
+  where_ = state.where;
+  value_ = state.value;
+  dj_ = state.dj;
+  lo_ = state.lo;
+  hi_ = state.hi;
+  dj_valid_ = state.dj_valid;
+  bland_ = false;
+  degenerate_streak_ = 0;
+}
+
+std::vector<double> SimplexSolver::structural_values() const {
+  return std::vector<double>(value_.begin(), value_.begin() + n_);
+}
+
+}  // namespace elrr::lp

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file simplex.hpp
+/// Bounded-variable two-phase primal simplex with a dual simplex for
+/// warm-started re-solves, on a dense tableau.
+///
+/// Design notes
+///  * Every row i gets a slack s_i with bounds equal to the row's activity
+///    range, turning the system into  A.x - s = 0  with all variables
+///    bounded (possibly infinitely). The initial basis is the slack set.
+///  * Phase 1 minimizes the total bound violation of basic variables with
+///    the classical composite objective; phase 2 minimizes the user
+///    objective with Dantzig pricing and a Bland fallback after stalls.
+///  * `save_state` / `restore_state` snapshot the full tableau so a branch
+///    and bound search can replay bound changes from the root relaxation
+///    and re-optimize with the dual simplex (see milp.hpp).
+///
+/// Suitable for the dense, medium-size MILPs of the DAC'09 flow
+/// (hundreds to a few thousands of rows). Not a sparse industrial code.
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "support/stopwatch.hpp"
+
+namespace elrr::lp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  kTimeLimit,
+  kNumericError,
+};
+
+const char* to_string(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kNumericError;
+  double objective = 0.0;          ///< in the model's original sense
+  std::vector<double> x;           ///< structural variable values
+  std::int64_t iterations = 0;
+};
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;    ///< bound/row feasibility tolerance
+  double opt_tol = 1e-7;     ///< reduced-cost optimality tolerance
+  double pivot_tol = 1e-9;   ///< minimum acceptable pivot magnitude
+  std::int64_t max_iters = -1;   ///< <0: automatic (scales with size)
+  double time_limit_s = -1.0;    ///< <=0: no limit
+};
+
+/// Incremental simplex engine over one model. The model's structure
+/// (rows/columns/coefficients/objective) is fixed at construction; only
+/// column bounds may be changed afterwards.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, SimplexOptions options = {});
+
+  /// Solves from scratch (slack basis, phase 1 + phase 2).
+  LpResult solve();
+
+  /// Re-optimizes after set_col_bounds calls, starting from the current
+  /// (dual-feasible) basis using the dual simplex. Falls back to a full
+  /// primal solve if the basis is not dual feasible.
+  LpResult resolve();
+
+  /// Tightens/changes bounds of a structural column. Keeps the tableau
+  /// consistent; call resolve() afterwards.
+  void set_col_bounds(int col, double lo, double hi);
+
+  /// Full engine snapshot (tableau, basis, values, reduced costs).
+  struct State;
+  State save_state() const;
+  void restore_state(const State& state);
+
+  /// Last computed structural solution (valid after solve/resolve).
+  std::vector<double> structural_values() const;
+
+  std::int64_t total_iterations() const { return iterations_; }
+
+  /// Adjusts the wall-clock budget of subsequent solve/resolve calls
+  /// (branch & bound passes the remaining global budget down).
+  void set_time_limit(double seconds) { options_.time_limit_s = seconds; }
+
+ private:
+  enum class Where : std::uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+  // --- problem data (fixed) ---
+  int n_ = 0;                   ///< structural columns
+  int m_ = 0;                   ///< rows (== slack count)
+  int total_ = 0;               ///< n_ + m_
+  std::vector<double> cost_;    ///< minimization costs, size total_
+  std::vector<double> lo_, hi_; ///< bounds, size total_
+  double sense_flip_ = 1.0;     ///< -1 when the model maximizes
+  SimplexOptions options_;
+  std::vector<double> dense_a_; ///< m_ x total_ original matrix [A | -I]
+
+  // --- engine state ---
+  std::vector<double> tab_;     ///< m_ x total_ current tableau B^-1 [A|-I]
+  std::vector<int> basis_;      ///< size m_, variable basic in each row
+  std::vector<Where> where_;    ///< size total_
+  std::vector<double> value_;   ///< size total_, current values
+  std::vector<double> dj_;      ///< size total_, phase-2 reduced costs
+  bool dj_valid_ = false;
+  std::int64_t iterations_ = 0;       ///< cumulative across solves
+  std::int64_t call_iter_base_ = 0;   ///< iterations_ at entry of this call
+  std::int64_t degenerate_streak_ = 0;
+  bool bland_ = false;
+
+  double& tab(int i, int j) { return tab_[static_cast<std::size_t>(i) * total_ + j]; }
+  double tab(int i, int j) const { return tab_[static_cast<std::size_t>(i) * total_ + j]; }
+  double dense_a(int i, int j) const { return dense_a_[static_cast<std::size_t>(i) * total_ + j]; }
+
+  void build_initial_basis();
+  void compute_basic_values();
+  void compute_reduced_costs();
+  bool is_dual_feasible() const;
+  void pivot(int row, int col);
+  double infeasibility() const;
+
+  // Phase drivers; return a status restricted to
+  // {kOptimal = subproblem solved, kInfeasible, kUnbounded, limits}.
+  LpStatus primal_phase1(const Deadline& deadline);
+  LpStatus primal_phase2(const Deadline& deadline);
+  LpStatus dual_phase(const Deadline& deadline);
+
+  LpResult finish(LpStatus status);
+  std::int64_t iteration_budget() const;
+};
+
+struct SimplexSolver::State {
+  std::vector<double> tab;
+  std::vector<int> basis;
+  std::vector<Where> where;
+  std::vector<double> value;
+  std::vector<double> dj;
+  std::vector<double> lo, hi;
+  bool dj_valid = false;
+};
+
+}  // namespace elrr::lp

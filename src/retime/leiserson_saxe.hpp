@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file leiserson_saxe.hpp
+/// Classical min-period retiming (Leiserson & Saxe, Algorithmica 1991),
+/// operating on an RRG whose tokens play the role of registers.
+///
+/// Used as
+///  * the min-delay retiming baseline of the paper (tau_nee often equals
+///    it; MIN_CYC(1) must agree with it -- tested), and
+///  * an independent combinatorial oracle for the MILP path constraints.
+///
+/// Two implementations are provided and cross-checked:
+///  * OPT: W/D matrices (lexicographic Floyd-Warshall) + binary search
+///    over candidate periods + Bellman-Ford feasibility;
+///  * FEAS: the iterative clock-period relaxation algorithm.
+///
+/// Restrictions: token counts must be non-negative (classical registers;
+/// anti-tokens are an elastic-only concept) and the graph must have at
+/// least one node.
+
+#include <optional>
+#include <vector>
+
+#include "core/rrg.hpp"
+
+namespace elrr::retime {
+
+struct RetimingResult {
+  double period = 0.0;     ///< optimal clock period
+  std::vector<int> r;      ///< a retiming achieving it
+};
+
+/// Minimum achievable clock period over all retimings, with a witness
+/// retiming vector (OPT-style algorithm).
+RetimingResult min_period_retiming(const Rrg& rrg);
+
+/// Is clock period `period` achievable by retiming? If so and `r` is
+/// non-null, stores a witness (FEAS algorithm).
+bool feasible_period(const Rrg& rrg, double period,
+                     std::vector<int>* r = nullptr);
+
+/// The cycle time of the RRG after applying retiming vector `r` with
+/// buffers equal to max(tokens', 0) -- the quantity both algorithms bound.
+double retimed_cycle_time(const Rrg& rrg, const std::vector<int>& r);
+
+}  // namespace elrr::retime

@@ -1,0 +1,98 @@
+#include "retime/min_area.hpp"
+
+#include <cmath>
+
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace elrr::retime {
+
+MinAreaResult min_area_retiming(const Rrg& rrg, double period,
+                                const lp::MilpOptions& options) {
+  rrg.validate();
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    ELRR_REQUIRE(rrg.tokens(e) >= 0,
+                 "min-area retiming requires non-negative tokens (edge ", e,
+                 " has ", rrg.tokens(e), ")");
+  }
+
+  const Digraph& g = rrg.graph();
+  const double tau_star = std::max(rrg.total_delay(), 1e-9);
+
+  lp::Model m;
+  m.set_sense(lp::Sense::kMinimize);
+
+  // Retiming variables. The area objective is
+  //   Sum_e (R0(e) + r(v) - r(u)) = const + Sum_n (indeg(n) - outdeg(n)) r(n),
+  // so r carries the whole objective. Integer: the big-M timing rows
+  // would otherwise admit fractional-r cheats.
+  std::vector<int> r_col(rrg.num_nodes());
+  double const_area = 0.0;
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    const double coef = static_cast<double>(g.in_degree(n)) -
+                        static_cast<double>(g.out_degree(n));
+    r_col[n] = m.add_col(-lp::kInf, lp::kInf, coef, true,
+                         "r_" + rrg.name(n));
+  }
+  m.set_col_bounds(r_col[0], 0.0, 0.0);
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    const_area += rrg.tokens(e);
+  }
+
+  // Non-negative retimed tokens: R0(e) + r(v) - r(u) >= 0.
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    const NodeId u = g.src(e);
+    const NodeId v = g.dst(e);
+    if (u == v) continue;  // self loops are unchanged by retiming
+    m.add_row(static_cast<double>(-rrg.tokens(e)), lp::kInf,
+              {{r_col[v], 1.0}, {r_col[u], -1.0}},
+              "nn_" + std::to_string(e));
+  }
+
+  // Timing (Lemma 2.1, arrival form): t(n) in [beta(n), period];
+  // t(v) >= t(u) + beta(v) - tau* (R0(e) + r(v) - r(u)).
+  std::vector<int> t_col(rrg.num_nodes());
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    if (period < rrg.delay(n)) return {};  // no retiming can help
+    t_col[n] =
+        m.add_col(rrg.delay(n), period, 0.0, false, "t_" + rrg.name(n));
+  }
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    const NodeId u = g.src(e);
+    const NodeId v = g.dst(e);
+    std::vector<lp::ColEntry> entries{{t_col[v], 1.0}, {t_col[u], -1.0}};
+    if (u != v) {
+      entries.push_back({r_col[v], tau_star});
+      entries.push_back({r_col[u], -tau_star});
+    }
+    m.add_row(rrg.delay(v) - tau_star * rrg.tokens(e), lp::kInf,
+              std::move(entries), "path_" + std::to_string(e));
+  }
+
+  const lp::MilpResult milp = lp::solve_milp(m, options);
+  MinAreaResult result;
+  if (!milp.has_solution()) {
+    result.exact = milp.status == lp::MilpStatus::kInfeasible;
+    return result;
+  }
+  result.feasible = true;
+  result.exact = milp.status == lp::MilpStatus::kOptimal;
+  result.r.resize(rrg.num_nodes());
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    result.r[n] = static_cast<int>(
+        std::llround(milp.x[static_cast<std::size_t>(r_col[n])]));
+  }
+  result.config = apply_retiming(rrg, result.r, /*grow_buffers=*/false);
+  result.total_buffers = 0;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    ELRR_ASSERT(result.config.tokens[e] >= 0,
+                "MILP produced a negative token count");
+    result.total_buffers += result.config.buffers[e];
+  }
+  ELRR_ASSERT(std::llround(milp.objective + const_area) ==
+                  result.total_buffers,
+              "objective/recount mismatch");
+  return result;
+}
+
+}  // namespace elrr::retime

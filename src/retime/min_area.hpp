@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file min_area.hpp
+/// Minimum-area retiming under a clock-period constraint -- the second
+/// classical retiming objective ("minimize the clock cycle or area",
+/// Section 1.1 of the paper; Leiserson & Saxe's OPT2). Minimizes the
+/// total number of elastic buffers Sum_e R0'(e) over retimings whose
+/// cycle time meets `period`, with all token counts kept non-negative
+/// (classical registers; anti-tokens are excluded on purpose -- an
+/// elastic design would then need buffers beyond the token count).
+///
+/// Solved as a small MILP over the existing solver: the area objective
+/// Sum_e (R0(e) + r(v) - r(u)) is linear in r, the timing side reuses
+/// the compact arrival-time form of Lemma 2.1.
+
+#include "core/rrg.hpp"
+#include "lp/milp.hpp"
+
+namespace elrr::retime {
+
+struct MinAreaResult {
+  bool feasible = false;
+  bool exact = false;          ///< proven optimal
+  std::vector<int> r;          ///< witness retiming
+  RrConfig config;             ///< R0' = retimed tokens, R' = R0'
+  int total_buffers = 0;       ///< Sum_e R0'(e), the area
+};
+
+/// Minimum-buffer retiming meeting cycle time `period`. Requires
+/// non-negative token counts; infeasible when `period` is below the
+/// minimum achievable by retiming.
+MinAreaResult min_area_retiming(const Rrg& rrg, double period,
+                                const lp::MilpOptions& options = {});
+
+}  // namespace elrr::retime

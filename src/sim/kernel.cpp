@@ -1,0 +1,208 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "support/error.hpp"
+
+namespace elrr::sim {
+
+namespace {
+constexpr std::int32_t kQueueCap = 1 << 20;  // runaway-queue guard
+
+/// Deposit one token at the consumer side of an edge, annihilating against
+/// pending anti-tokens first.
+void deposit(EdgeState& edge) {
+  if (edge.anti > 0) {
+    --edge.anti;
+  } else {
+    ++edge.ready;
+    ELRR_ASSERT(edge.ready < kQueueCap,
+                "unbounded token accumulation: is the RRG strongly "
+                "connected?");
+  }
+}
+}  // namespace
+
+std::vector<std::uint8_t> SyncState::encode() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(edges.size() * 4 + pending_guard.size());
+  for (const EdgeState& e : edges) {
+    // Ready/anti counts stay small in live strongly connected systems
+    // (bounded by cycle token sums); 16 bits are plenty, asserted below.
+    ELRR_ASSERT(e.ready < 0x8000 && e.anti < 0x8000,
+                "state encoding overflow");
+    bytes.push_back(static_cast<std::uint8_t>(e.ready & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(e.ready >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(e.anti & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(e.anti >> 8));
+    std::uint8_t packed = 0;
+    int bit = 0;
+    for (std::uint8_t inflight : e.inflight) {
+      packed = static_cast<std::uint8_t>(packed | (inflight << bit));
+      if (++bit == 8) {
+        bytes.push_back(packed);
+        packed = 0;
+        bit = 0;
+      }
+    }
+    if (bit != 0) bytes.push_back(packed);
+  }
+  for (std::int8_t g : pending_guard) {
+    bytes.push_back(static_cast<std::uint8_t>(g));
+  }
+  bytes.insert(bytes.end(), busy.begin(), busy.end());
+  return bytes;
+}
+
+Kernel::Kernel(const Rrg& rrg) : rrg_(rrg) {
+  rrg_.validate();
+  const auto order = graph::topological_order(
+      rrg_.graph(), [&](EdgeId e) { return rrg_.buffers(e) == 0; });
+  ELRR_ASSERT(order.has_value(),
+              "live RRG cannot have a zero-buffer cycle");
+  comb_order_ = *order;
+  for (NodeId n = 0; n < rrg_.num_nodes(); ++n) {
+    if (rrg_.is_early(n)) early_nodes_.push_back(n);
+    if (rrg_.is_telescopic(n)) telescopic_nodes_.push_back(n);
+  }
+}
+
+SyncState Kernel::initial_state() const {
+  SyncState state;
+  state.edges.resize(rrg_.num_edges());
+  for (EdgeId e = 0; e < rrg_.num_edges(); ++e) {
+    EdgeState& edge = state.edges[e];
+    edge.inflight.assign(static_cast<std::size_t>(rrg_.buffers(e)), 0);
+    edge.ready = std::max(rrg_.tokens(e), 0);
+    edge.anti = std::max(-rrg_.tokens(e), 0);
+  }
+  state.pending_guard.assign(rrg_.num_nodes(), kNoGuard);
+  state.busy.assign(rrg_.num_nodes(), 0);
+  return state;
+}
+
+std::vector<NodeId> Kernel::sampling_nodes(const SyncState& state) const {
+  std::vector<NodeId> nodes;
+  for (NodeId n : early_nodes_) {
+    if (state.pending_guard[n] == kNoGuard && state.busy[n] == 0) {
+      nodes.push_back(n);
+    }
+  }
+  return nodes;
+}
+
+std::vector<NodeId> Kernel::latency_nodes(const SyncState& state) const {
+  std::vector<NodeId> nodes;
+  for (NodeId n : telescopic_nodes_) {
+    if (state.busy[n] == 0) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+Kernel::StepResult Kernel::step(SyncState& state,
+                                const GuardChooser& choose_guard,
+                                const LatencyChooser& choose_latency) const {
+  const Digraph& g = rrg_.graph();
+  StepResult result;
+  result.fired.assign(rrg_.num_nodes(), 0);
+
+  for (NodeId n : comb_order_) {
+    if (state.busy[n] > 0) continue;  // mid slow telescopic operation
+    const auto& inputs = g.in_edges(n);
+    bool fires = false;
+    if (!rrg_.is_early(n)) {
+      fires = true;
+      for (EdgeId e : inputs) {
+        if (state.edges[e].ready <= 0) {
+          fires = false;
+          break;
+        }
+      }
+      if (fires) {
+        for (EdgeId e : inputs) --state.edges[e].ready;
+      }
+    } else {
+      std::int8_t guard = state.pending_guard[n];
+      if (guard == kNoGuard) {
+        const std::size_t pos = choose_guard(n);
+        ELRR_ASSERT(pos < inputs.size(), "guard chooser out of range");
+        guard = static_cast<std::int8_t>(pos);
+        state.pending_guard[n] = guard;
+      }
+      const EdgeId guard_edge = inputs[static_cast<std::size_t>(guard)];
+      if (state.edges[guard_edge].ready > 0) {
+        fires = true;
+        state.pending_guard[n] = kNoGuard;  // firing completes the guard
+        for (std::size_t pos = 0; pos < inputs.size(); ++pos) {
+          EdgeState& edge = state.edges[inputs[pos]];
+          if (pos == static_cast<std::size_t>(guard)) {
+            --edge.ready;
+          } else if (edge.ready > 0) {
+            --edge.ready;  // late token already there: cancel now
+          } else {
+            ++edge.anti;  // anti-token awaits the straggler
+            ELRR_ASSERT(edge.anti < kQueueCap, "anti-token runaway");
+          }
+        }
+      }
+    }
+
+    if (fires) {
+      result.fired[n] = 1;
+      ++result.total_firings;
+      const bool slow = rrg_.is_telescopic(n) && choose_latency &&
+                        choose_latency(n);
+      if (slow) {
+        // Busy for slow_extra further cycles; outputs withheld until the
+        // countdown (decremented at each end-of-cycle) reaches 1.
+        state.busy[n] =
+            static_cast<std::uint8_t>(rrg_.telescopic(n).slow_extra + 1);
+      } else {
+        for (EdgeId e : g.out_edges(n)) {
+          EdgeState& edge = state.edges[e];
+          if (rrg_.buffers(e) == 0) {
+            deposit(edge);  // combinational: consumable this very cycle
+          } else {
+            ELRR_ASSERT(edge.inflight.back() == 0,
+                        "double injection into EB chain");
+            edge.inflight.back() = 1;
+          }
+        }
+      }
+    }
+  }
+
+  // End of cycle: advance every EB chain by one stage.
+  for (EdgeState& edge : state.edges) {
+    if (edge.inflight.empty()) continue;
+    if (edge.inflight.front() != 0) deposit(edge);
+    for (std::size_t k = 0; k + 1 < edge.inflight.size(); ++k) {
+      edge.inflight[k] = edge.inflight[k + 1];
+    }
+    edge.inflight.back() = 0;
+  }
+  // Slow telescopic countdowns; release the withheld outputs when the
+  // countdown hits 1 (they are registered, so an EB chain receives them
+  // *after* this cycle's shift: total added latency is exactly
+  // slow_extra on every path, and the node refires 1 + slow_extra cycles
+  // after the slow firing).
+  for (NodeId n : telescopic_nodes_) {
+    if (state.busy[n] == 0) continue;
+    if (--state.busy[n] == 1) {
+      for (EdgeId e : g.out_edges(n)) {
+        EdgeState& edge = state.edges[e];
+        if (rrg_.buffers(e) == 0) {
+          deposit(edge);  // consumable next cycle (registered release)
+        } else {
+          ELRR_ASSERT(edge.inflight.back() == 0,
+                      "double injection into EB chain");
+          edge.inflight.back() = 1;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace elrr::sim

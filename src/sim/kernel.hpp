@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file kernel.hpp
+/// The synchronous execution semantics of an elastic system with early
+/// evaluation, shared by the Monte-Carlo simulator and the exact Markov
+/// analysis so that both implement *literally the same* transition
+/// function.
+///
+/// Model (one clock cycle):
+///  * every edge e is a FIFO with latency R(e) (its EB chain) and
+///    unbounded capacity -- the paper's footnote 1 assumes FIFOs sized so
+///    that back-pressure never limits throughput;
+///  * tokens ready at the consumer are annihilated 1:1 against pending
+///    anti-tokens;
+///  * nodes are processed in topological order of the combinational
+///    subgraph (R = 0 edges): a token produced onto a zero-latency edge is
+///    consumable in the same cycle (combinational propagation);
+///  * a simple node fires iff every input edge has a ready token; an
+///    early node samples a guard input (probability gamma) *when its
+///    previous firing has completed* and fires iff that input has a ready
+///    token, sending anti-tokens to the other inputs (DAC'07 semantics);
+///    a sampled-but-unsatisfied guard stays pending -- the select token
+///    waits for the selected data;
+///  * every node fires at most once per cycle (hardware semantics);
+///  * initial tokens R0 > 0 start ready; R0 < 0 preloads anti-tokens;
+///  * a *telescopic* node (variable latency, the paper's future-work
+///    extension) samples its latency when it fires: fast (probability p)
+///    behaves normally; slow makes the unit busy for `slow_extra` extra
+///    cycles -- it cannot fire again and its outputs are withheld until
+///    the busy period ends (results of a slow operation are registered,
+///    so consumers see them one EB-chain latency after release).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rrg.hpp"
+
+namespace elrr::sim {
+
+inline constexpr std::int8_t kNoGuard = -1;
+
+/// Dynamic state of one channel.
+struct EdgeState {
+  /// inflight[k] == 1 iff a token arrives at the consumer after k+1
+  /// end-of-cycle boundaries. Size == R(e); at most one injection per
+  /// cycle, so entries are 0/1.
+  std::vector<std::uint8_t> inflight;
+  std::int32_t ready = 0;  ///< tokens consumable this cycle
+  std::int32_t anti = 0;   ///< pending anti-tokens
+
+  bool operator==(const EdgeState&) const = default;
+};
+
+/// Full synchronous state.
+struct SyncState {
+  std::vector<EdgeState> edges;
+  /// Per node: for early nodes, the in-edge *position* (index into
+  /// in_edges(n)) currently awaited, or kNoGuard if the next firing's
+  /// guard has not been sampled yet. Always kNoGuard for simple nodes.
+  std::vector<std::int8_t> pending_guard;
+  /// Per node: remaining busy cycles of a slow telescopic operation
+  /// (0 = idle). Set to slow_extra + 1 at the slow firing; the withheld
+  /// outputs are released when the countdown reaches 1. Always 0 for
+  /// non-telescopic nodes.
+  std::vector<std::uint8_t> busy;
+
+  bool operator==(const SyncState&) const = default;
+
+  /// Compact byte encoding for hashing / state enumeration.
+  std::vector<std::uint8_t> encode() const;
+};
+
+/// Precomputed structure shared by all steps on one RRG.
+class Kernel {
+ public:
+  explicit Kernel(const Rrg& rrg);
+
+  const Rrg& rrg() const { return rrg_; }
+
+  SyncState initial_state() const;
+
+  /// Early nodes that will sample a guard during the next step from
+  /// `state` (pending_guard == kNoGuard and not busy). Order matches
+  /// `early_nodes()`.
+  std::vector<NodeId> sampling_nodes(const SyncState& state) const;
+
+  /// Telescopic nodes that may fire (and hence sample a latency) during
+  /// the next step from `state` (busy == 0). Order matches
+  /// `telescopic_nodes()`.
+  std::vector<NodeId> latency_nodes(const SyncState& state) const;
+
+  /// Chooses the guard (position within in_edges(n)) for node n.
+  using GuardChooser = std::function<std::size_t(NodeId)>;
+  /// Chooses the latency of a telescopic firing: true = slow path.
+  using LatencyChooser = std::function<bool(NodeId)>;
+
+  struct StepResult {
+    std::uint32_t total_firings = 0;
+    std::vector<std::uint8_t> fired;  ///< per node
+  };
+
+  /// Advances one clock cycle in place. `choose_latency` is consulted
+  /// only for telescopic nodes at the moment they fire; the default
+  /// (empty) chooser means every firing takes the fast path.
+  StepResult step(SyncState& state, const GuardChooser& choose_guard,
+                  const LatencyChooser& choose_latency = {}) const;
+
+  const std::vector<NodeId>& early_nodes() const { return early_nodes_; }
+  const std::vector<NodeId>& telescopic_nodes() const {
+    return telescopic_nodes_;
+  }
+  const std::vector<NodeId>& comb_order() const { return comb_order_; }
+
+ private:
+  Rrg rrg_;
+  std::vector<NodeId> comb_order_;   ///< topological over R=0 edges
+  std::vector<NodeId> early_nodes_;
+  std::vector<NodeId> telescopic_nodes_;
+};
+
+}  // namespace elrr::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Monte-Carlo throughput estimation of an elastic system with early
+/// evaluation -- the stand-in for the paper's "intensive simulations" of
+/// generated Verilog controllers (see DESIGN.md, substitutions).
+
+#include <cstdint>
+
+#include "core/rrg.hpp"
+#include "sim/kernel.hpp"
+#include "support/stats.hpp"
+
+namespace elrr::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  std::size_t warmup_cycles = 2000;    ///< discarded transient
+  std::size_t measure_cycles = 20000;  ///< measured window per run
+  std::size_t runs = 3;                ///< independent replications
+};
+
+struct SimResult {
+  double theta = 0.0;        ///< mean firings/cycle/node over all runs
+  double stderr_theta = 0.0; ///< standard error across runs
+  std::size_t cycles = 0;    ///< total measured cycles
+};
+
+/// Long-run throughput Theta(RRG) by simulation. Guards are sampled i.i.d.
+/// with the RRG's gamma probabilities (per-node independent streams).
+SimResult simulate_throughput(const Rrg& rrg, const SimOptions& options = {});
+
+}  // namespace elrr::sim

@@ -1,0 +1,96 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace elrr {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      std::string name = token.substr(2);
+      std::string value;
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+      ELRR_REQUIRE(!name.empty(), "empty flag name in '", token, "'");
+      ELRR_REQUIRE(values_.emplace(name, value).second,
+                   "duplicate flag --", name);
+      consumed_[name] = false;
+    } else if (command_.empty()) {
+      command_ = token;
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name,
+                         const std::string& fallback) {
+  return get(name).value_or(fallback);
+}
+
+std::string Args::require(const std::string& name) {
+  const auto value = get(name);
+  ELRR_REQUIRE(value.has_value() && !value->empty(), "missing --", name);
+  return *value;
+}
+
+double Args::get_double(const std::string& name, double fallback) {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  ELRR_REQUIRE(end != nullptr && *end == '\0' && !value->empty(),
+               "bad number for --", name, ": '", *value, "'");
+  return parsed;
+}
+
+int Args::get_int(const std::string& name, int fallback) {
+  const double value = get_double(name, static_cast<double>(fallback));
+  const int as_int = static_cast<int>(value);
+  ELRR_REQUIRE(static_cast<double>(as_int) == value,
+               "--", name, " must be an integer");
+  return as_int;
+}
+
+std::uint64_t Args::get_u64(const std::string& name, std::uint64_t fallback) {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+  ELRR_REQUIRE(end != nullptr && *end == '\0' && !value->empty(),
+               "bad integer for --", name, ": '", *value, "'");
+  return parsed;
+}
+
+bool Args::get_flag(const std::string& name) {
+  const auto value = get(name);
+  if (!value.has_value()) return false;
+  ELRR_REQUIRE(value->empty() || *value == "true" || *value == "1" ||
+                   *value == "false" || *value == "0",
+               "--", name, " is a boolean flag");
+  return value->empty() || *value == "true" || *value == "1";
+}
+
+void Args::finish() const {
+  for (const auto& [name, seen] : consumed_) {
+    ELRR_REQUIRE(seen, "unknown flag --", name);
+  }
+}
+
+}  // namespace elrr

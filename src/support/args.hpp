@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line parsing for the elrr tool: positional
+/// subcommand + "--flag value" / "--flag=value" / boolean "--flag"
+/// options. Unknown flags are errors (catches typos); every accessor
+/// records the flags it saw so `finish()` can reject leftovers.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elrr {
+
+class Args {
+ public:
+  /// Parses argv[1..). The first non-flag token is the subcommand;
+  /// later non-flag tokens are positional arguments.
+  Args(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// String flag (--name value or --name=value).
+  std::optional<std::string> get(const std::string& name);
+  std::string get_or(const std::string& name, const std::string& fallback);
+  /// Required string flag; throws InvalidInputError when missing.
+  std::string require(const std::string& name);
+
+  double get_double(const std::string& name, double fallback);
+  int get_int(const std::string& name, int fallback);
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback);
+  /// Boolean flag: present (with no value or "true"/"1") => true.
+  bool get_flag(const std::string& name);
+
+  /// Throws InvalidInputError when any provided flag was never queried.
+  void finish() const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;  ///< "" = bare flag
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace elrr

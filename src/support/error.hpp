@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file error.hpp
+/// Error types and checking macros used across ElasticRR.
+///
+/// Policy (see DESIGN.md): user-facing API misuse and invalid input data
+/// throw elrr::Error; internal invariant violations throw
+/// elrr::InternalError. Solver outcomes (infeasible, time limit, ...) are
+/// reported through status enums, never through exceptions.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace elrr {
+
+/// Base class for all errors raised by ElasticRR.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid input data (malformed netlist, dead cycle, bad probability...).
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+/// A violated internal invariant; indicates a bug in ElasticRR itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace elrr
+
+/// Validates a user-facing precondition; throws elrr::InvalidInputError.
+#define ELRR_REQUIRE(cond, ...)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::elrr::InvalidInputError(                                     \
+          ::elrr::detail::concat("requirement failed: ", __VA_ARGS__,      \
+                                 " [", #cond, " at ", __FILE__, ":",       \
+                                 __LINE__, "]"));                          \
+    }                                                                      \
+  } while (false)
+
+/// Checks an internal invariant; throws elrr::InternalError.
+#define ELRR_ASSERT(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::elrr::InternalError(                                         \
+          ::elrr::detail::concat("internal invariant violated: ",          \
+                                 __VA_ARGS__, " [", #cond, " at ",         \
+                                 __FILE__, ":", __LINE__, "]"));           \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,123 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace elrr {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  std::uint64_t state = h;
+  return splitmix64(state);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro256** must not be seeded with all zeros; splitmix64 guarantees a
+  // well-mixed nonzero state from any seed.
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_open_closed(double lo, double hi) {
+  ELRR_REQUIRE(lo < hi, "empty interval (", lo, ", ", hi, "]");
+  // 1 - u is in (0, 1]; scale into (lo, hi].
+  return lo + (1.0 - uniform01()) * (hi - lo);
+}
+
+double Rng::uniform(double lo, double hi) {
+  ELRR_REQUIRE(lo <= hi, "empty interval [", lo, ", ", hi, ")");
+  return lo + uniform01() * (hi - lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ELRR_REQUIRE(lo <= hi, "empty integer range [", lo, ", ", hi, "]");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    ELRR_REQUIRE(w >= 0.0, "negative weight ", w);
+    total += w;
+  }
+  ELRR_REQUIRE(total > 0.0, "all discrete weights are zero");
+  double point = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against rounding on the last bucket
+}
+
+std::vector<double> Rng::simplex(std::size_t k, double min_coord) {
+  ELRR_REQUIRE(k >= 1, "simplex dimension must be positive");
+  ELRR_REQUIRE(min_coord * static_cast<double>(k) < 1.0,
+               "min_coord ", min_coord, " infeasible for k=", k);
+  // Sample exponentials and normalize (uniform Dirichlet), then shift to
+  // respect the minimum coordinate.
+  std::vector<double> coords(k);
+  double total = 0.0;
+  for (auto& c : coords) {
+    c = -std::log(1.0 - uniform01());
+    total += c;
+  }
+  const double slack = 1.0 - min_coord * static_cast<double>(k);
+  for (auto& c : coords) c = min_coord + slack * (c / total);
+  return coords;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  child.s_ = {(*this)(), (*this)(), (*this)(), (*this)()};
+  bool all_zero = true;
+  for (auto word : child.s_) all_zero &= (word == 0);
+  if (all_zero) child.s_[0] = 1;  // keep the engine valid
+  return child;
+}
+
+}  // namespace elrr

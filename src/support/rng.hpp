@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of ElasticRR (benchmark generation, guard
+/// sampling in simulators, Monte-Carlo sweeps) draw from elrr::Rng so that
+/// every experiment is reproducible from a single 64-bit seed. The engine
+/// is xoshiro256** seeded through splitmix64, both public-domain
+/// algorithms by Blackman & Vigna.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace elrr {
+
+/// splitmix64 step; used for seeding and for hashing strings to seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stable 64-bit hash of a string (FNV-1a finalized with splitmix64).
+/// Used to derive per-benchmark-circuit seeds from circuit names.
+std::uint64_t hash_name(std::string_view name);
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in (lo, hi]; matches the paper's "(0, 20]" convention.
+  double uniform_open_closed(double lo, double hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive (requires lo <= hi).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one strictly positive weight.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Random point on the k-simplex (probabilities summing to one), with
+  /// every coordinate at least min_coord. Used for branch probabilities.
+  std::vector<double> simplex(std::size_t k, double min_coord = 0.0);
+
+  /// Derives an independent child stream (for per-node RNG streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace elrr

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock helpers used for solver budgets and benchmark timing.
+
+#include <chrono>
+
+namespace elrr {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A wall-clock budget; `expired()` turns true after `limit_s` seconds.
+/// A non-positive limit means "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double limit_s) : limit_s_(limit_s) {}
+
+  bool unlimited() const { return limit_s_ <= 0.0; }
+  bool expired() const { return !unlimited() && watch_.seconds() >= limit_s_; }
+  double elapsed() const { return watch_.seconds(); }
+  double remaining() const {
+    return unlimited() ? 1e30 : limit_s_ - watch_.seconds();
+  }
+
+ private:
+  double limit_s_;
+  Stopwatch watch_;
+};
+
+}  // namespace elrr

@@ -1,0 +1,107 @@
+#include "bench89/bench_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "support/error.hpp"
+
+namespace elrr::bench89 {
+namespace {
+
+// A small sequential circuit in ISCAS89 syntax: a 2-bit ring counter with
+// a mux-like gate; DFFs G5, G6 close the loop.
+constexpr const char* kSample = R"(
+# sample sequential circuit
+INPUT(CLR)
+OUTPUT(Q1)
+
+G1 = NAND(G5q, CLR)
+G2 = NOR(G6q, G1)
+G5q = DFF(G2)
+G6q = DFF(G1)
+Q1 = BUFF(G2)
+)";
+
+TEST(BenchParse, ParsesSample) {
+  const BenchCircuit c = parse_bench(kSample, "sample");
+  EXPECT_EQ(c.inputs, std::vector<std::string>{"CLR"});
+  EXPECT_EQ(c.outputs, std::vector<std::string>{"Q1"});
+  ASSERT_EQ(c.gates.size(), 5u);
+  const Gate* g1 = c.find_gate("G1");
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->func, "NAND");
+  EXPECT_EQ(g1->fanins, (std::vector<std::string>{"G5q", "CLR"}));
+  const Gate* dff = c.find_gate("G5q");
+  ASSERT_NE(dff, nullptr);
+  EXPECT_EQ(dff->func, "DFF");
+}
+
+TEST(BenchParse, RoundTrip) {
+  const BenchCircuit c = parse_bench(kSample, "sample");
+  const BenchCircuit again = parse_bench(write_bench(c), "sample");
+  ASSERT_EQ(again.gates.size(), c.gates.size());
+  for (std::size_t i = 0; i < c.gates.size(); ++i) {
+    EXPECT_EQ(again.gates[i].name, c.gates[i].name);
+    EXPECT_EQ(again.gates[i].func, c.gates[i].func);
+    EXPECT_EQ(again.gates[i].fanins, c.gates[i].fanins);
+  }
+}
+
+TEST(BenchParse, CommentsAndBlankLines) {
+  const BenchCircuit c = parse_bench(
+      "# only comments\n\nINPUT(a)\n  # indented comment\nb = NOT(a)  # eol\n");
+  EXPECT_EQ(c.gates.size(), 1u);
+  EXPECT_EQ(c.gates[0].fanins, std::vector<std::string>{"a"});
+}
+
+TEST(BenchParse, MalformedInputsRejected) {
+  EXPECT_THROW(parse_bench("INPUT(a"), Error);         // missing paren
+  EXPECT_THROW(parse_bench("g = NAND a, b"), Error);   // missing parens
+  EXPECT_THROW(parse_bench("g NAND(a)"), Error);       // missing '='
+  EXPECT_THROW(parse_bench("g = (a)"), Error);         // missing function
+  EXPECT_THROW(parse_bench("g = NAND()"), Error);      // no fanins
+  EXPECT_THROW(parse_bench("INPUT(a)\nINPUT(a)"), Error);  // duplicate
+  EXPECT_THROW(parse_bench("g = NOT(undefined_signal)"), Error);
+  EXPECT_THROW(parse_bench("OUTPUT(nowhere)"), Error);
+}
+
+TEST(BenchToRrg, DffBecomesTokenEdge) {
+  const Rrg rrg = circuit_to_rrg(parse_bench(kSample, "sample"));
+  // Nodes: G1, G2, Q1 (DFFs fold into edges; PI-driven fanins dropped).
+  ASSERT_EQ(rrg.num_nodes(), 3u);
+  int token_edges = 0, plain_edges = 0;
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    if (rrg.tokens(e) == 1) {
+      ++token_edges;
+      EXPECT_EQ(rrg.buffers(e), 1);
+    } else {
+      ++plain_edges;
+    }
+  }
+  // G5q: G2 -> G1 (token); G6q: G1 -> G2 (token); G1 -> G2 direct;
+  // G2 -> Q1 direct.
+  EXPECT_EQ(token_edges, 2);
+  EXPECT_EQ(plain_edges, 2);
+  rrg.validate();
+}
+
+TEST(BenchToRrg, DffChainsAccumulateTokens) {
+  const Rrg rrg = circuit_to_rrg(parse_bench(
+      "a = NOT(d2)\nd1 = DFF(a)\nd2 = DFF(d1)\n"));
+  ASSERT_EQ(rrg.num_nodes(), 1u);
+  ASSERT_EQ(rrg.num_edges(), 1u);
+  EXPECT_EQ(rrg.tokens(0), 2);  // two registers on the self-loop
+}
+
+TEST(BenchToRrg, LargestSccExtraction) {
+  // The sample's SCC is {G1, G2}; Q1 hangs off it.
+  const Rrg rrg = circuit_to_rrg(parse_bench(kSample, "sample"));
+  const Rrg scc = largest_scc_rrg(rrg);
+  EXPECT_EQ(scc.num_nodes(), 2u);
+  EXPECT_EQ(scc.num_edges(), 3u);
+  EXPECT_TRUE(graph::is_strongly_connected(scc.graph()));
+  scc.validate();
+}
+
+}  // namespace
+}  // namespace elrr::bench89

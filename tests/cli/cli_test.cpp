@@ -1,0 +1,172 @@
+/// \file cli_test.cpp
+/// Drives every elrr subcommand in process through cli::run.
+
+#include "tools/elrr/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/rrg_format.hpp"
+
+namespace elrr::cli {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::initializer_list<std::string> tokens) {
+  std::vector<std::string> storage{"elrr"};
+  storage.insert(storage.end(), tokens.begin(), tokens.end());
+  std::vector<const char*> argv;
+  for (const std::string& s : storage) argv.push_back(s.c_str());
+  std::ostringstream out, err;
+  CliResult result;
+  result.code = run(static_cast<int>(argv.size()), argv.data(), out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(Cli, HelpAndUnknown) {
+  const CliResult help = run_cli({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage: elrr"), std::string::npos);
+
+  const CliResult none = run_cli({});
+  EXPECT_EQ(none.code, 2);
+
+  const CliResult bad = run_cli({"frobnicate"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  const CliResult r = run_cli({"analyze", "--circuit", "s208", "--bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, GenerateAnalyzeRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cli_s208.rrg";
+  const CliResult gen =
+      run_cli({"generate", "--circuit", "s208", "--seed", "3", "--output",
+               path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("wrote s208"), std::string::npos);
+
+  const CliResult ana =
+      run_cli({"analyze", "--input", path, "--cycles", "2000"});
+  ASSERT_EQ(ana.code, 0) << ana.err;
+  EXPECT_NE(ana.out.find("cycle time tau"), std::string::npos);
+  EXPECT_NE(ana.out.find("simulated Theta"), std::string::npos);
+}
+
+TEST(Cli, InputAndCircuitAreMutuallyExclusive) {
+  const CliResult r =
+      run_cli({"analyze", "--circuit", "s208", "--input", "x.rrg"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("exactly one"), std::string::npos);
+}
+
+TEST(Cli, OptimizeHeuristicAndSave) {
+  const std::string path = ::testing::TempDir() + "/cli_best.rrg";
+  const CliResult r = run_cli({"optimize", "--circuit", "s208", "--method",
+                               "heur", "--save-best", path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("heuristic:"), std::string::npos);
+  EXPECT_NE(r.out.find("<== best"), std::string::npos);
+  // The saved best configuration parses and is live.
+  const io::NamedRrg best = io::load_rrg_file(path);
+  EXPECT_GT(best.rrg.num_edges(), 0u);
+}
+
+TEST(Cli, OptimizeRejectsUnknownMethod) {
+  const CliResult r =
+      run_cli({"optimize", "--circuit", "s208", "--method", "magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --method"), std::string::npos);
+}
+
+TEST(Cli, SimulateTokenAndControl) {
+  const CliResult token = run_cli(
+      {"simulate", "--circuit", "s208", "--cycles", "2000", "--runs", "1"});
+  ASSERT_EQ(token.code, 0) << token.err;
+  EXPECT_NE(token.out.find("token-level kernel"), std::string::npos);
+
+  const CliResult control =
+      run_cli({"simulate", "--circuit", "s208", "--cycles", "2000",
+               "--control", "--capacity", "1"});
+  ASSERT_EQ(control.code, 0) << control.err;
+  EXPECT_NE(control.out.find("SELF control network"), std::string::npos);
+}
+
+TEST(Cli, ExportFormats) {
+  for (const char* format : {"rrg", "json", "dot", "tgmg-dot", "mps",
+                             "verilog"}) {
+    const CliResult r =
+        run_cli({"export", "--circuit", "s208", "--format", format});
+    ASSERT_EQ(r.code, 0) << format << ": " << r.err;
+    EXPECT_FALSE(r.out.empty()) << format;
+  }
+  const CliResult dot = run_cli({"export", "--circuit", "s208",
+                                 "--format", "dot"});
+  EXPECT_NE(dot.out.find("digraph"), std::string::npos);
+  const CliResult bad =
+      run_cli({"export", "--circuit", "s208", "--format", "png"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, SizeFifos) {
+  const CliResult r = run_cli(
+      {"size-fifos", "--circuit", "s208", "--cycles", "1500"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("smallest uniform capacity"), std::string::npos);
+}
+
+TEST(Cli, FromBench) {
+  // A tiny netlist with a 2-gate SCC through two DFFs.
+  const std::string bench_path = ::testing::TempDir() + "/cli_tiny.bench";
+  io::save_text_file(bench_path, R"(
+# tiny
+INPUT(i)
+OUTPUT(o)
+q1 = DFF(g2)
+q2 = DFF(g1)
+g1 = NAND(i, q1)
+g2 = NOT(g1)
+o = BUFF(q2)
+)");
+  const std::string out_path = ::testing::TempDir() + "/cli_tiny.rrg";
+  const CliResult r = run_cli({"from-bench", "--input", bench_path,
+                               "--output", out_path, "--annotate",
+                               "--seed", "5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("largest SCC"), std::string::npos);
+  const io::NamedRrg rrg = io::load_rrg_file(out_path);
+  EXPECT_GT(rrg.rrg.num_nodes(), 0u);
+}
+
+TEST(Cli, MinArea) {
+  const CliResult r = run_cli({"min-area", "--circuit", "s208"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("buffers:"), std::string::npos);
+  // A looser period can only need fewer or equal buffers.
+  const CliResult loose =
+      run_cli({"min-area", "--circuit", "s208", "--period", "1000"});
+  ASSERT_EQ(loose.code, 0) << loose.err;
+}
+
+TEST(Cli, MissingFileProducesCleanError) {
+  const CliResult r = run_cli({"analyze", "--input", "/no/such/file.rrg"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elrr::cli

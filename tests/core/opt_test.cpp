@@ -1,0 +1,240 @@
+#include "core/opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+#include "core/tgmg.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace elrr {
+namespace {
+
+using namespace figures;
+
+// ---------------------------------------------------------------------------
+// MIN_CYC.
+// ---------------------------------------------------------------------------
+TEST(MinCyc, RetimingAloneCannotBeatThreeOnFigure1a) {
+  // Section 1.2: "3 is minimal cycle time achievable by retiming" -- the
+  // critical cycle has one EB and delay 3.
+  const auto res = min_cyc(figure1a(0.5, false), 1.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(res.exact);
+  EXPECT_NEAR(res.objective, 3.0, 1e-6);
+}
+
+TEST(MinCyc, RecyclingReachesCycleTimeOneAtThroughputOneThird) {
+  const auto res = min_cyc(figure1a(0.5, false), 3.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, 1e-6);
+  const auto eval = evaluate_config(figure1a(0.5, false), res.config);
+  EXPECT_NEAR(eval.tau, 1.0, 1e-9);
+  EXPECT_GE(eval.theta_lp, 1.0 / 3.0 - 1e-6);
+}
+
+TEST(MinCyc, RejectsXBelowOne) {
+  EXPECT_THROW(min_cyc(figure1a(), 0.5), Error);
+}
+
+TEST(MinCyc, RequiresStronglyConnected) {
+  Rrg rrg;
+  const NodeId a = rrg.add_node("a", 1.0);
+  const NodeId b = rrg.add_node("b", 1.0);
+  rrg.add_edge(a, b, 1, 1);
+  EXPECT_THROW(min_cyc(rrg, 1.0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// MAX_THR.
+// ---------------------------------------------------------------------------
+TEST(MaxThr, LateEvaluationAtTauOneGivesOneThird) {
+  const auto res = max_thr(figure1a(0.5, false), 1.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 3.0, 1e-6);  // x = 1/Theta
+  const auto eval = evaluate_config(figure1a(0.5, false), res.config);
+  EXPECT_LE(eval.tau, 1.0 + 1e-9);
+  EXPECT_NEAR(eval.theta_lp, 1.0 / 3.0, 1e-6);
+}
+
+TEST(MaxThr, EarlyEvaluationBeatsLateAtTauOne) {
+  // The whole point of the paper: with an early mux, tau = 1 supports a
+  // much higher throughput than 1/3 (Figure 2: 1/(3-2a)).
+  const double alpha = 0.9;
+  const auto res = max_thr(figure1a(alpha, true), 1.0);
+  ASSERT_TRUE(res.feasible);
+  const double theta = 1.0 / res.objective;
+  EXPECT_GE(theta, figure2_throughput(alpha) - 1e-6);  // >= 5/6
+  const auto eval = evaluate_config(figure1a(alpha, true), res.config);
+  EXPECT_LE(eval.tau, 1.0 + 1e-9);
+}
+
+TEST(MaxThr, InfeasibleBelowMaxDelay) {
+  const auto res = max_thr(figure1a(), 0.5);  // beta_max = 1
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(MaxThr, UnconstrainedTauGivesThroughputOne) {
+  const auto res = max_thr(figure1a(0.5, false), 100.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// MIN_EFF_CYC.
+// ---------------------------------------------------------------------------
+TEST(MinEffCyc, LateEvaluationOfFigure1aStaysAtThree) {
+  // Recycling cannot help a late-evaluation mux here: every Pareto point
+  // has xi = 3 (Section 1.2: "the effective cycle time of both ESs ... is
+  // the same. It is equal to 3").
+  OptOptions options;
+  options.treat_all_simple = true;
+  const auto res = min_eff_cyc(figure1a(0.5, true), options);
+  ASSERT_FALSE(res.points.empty());
+  EXPECT_TRUE(res.all_exact);
+  EXPECT_NEAR(res.best().xi_lp, 3.0, 1e-5);
+}
+
+TEST(MinEffCyc, EarlyEvaluationFindsFigure2) {
+  const double alpha = 0.9;
+  const auto res = min_eff_cyc(figure1a(alpha, true));
+  ASSERT_FALSE(res.points.empty());
+  const ParetoPoint& best = res.best();
+  // The optimum of Figure 2: tau = 1 and theta >= 1/(3-2a) = 5/6, so
+  // xi <= 1.2 -- a ~60% improvement over the late optimum of 3.
+  EXPECT_NEAR(best.tau, 1.0, 1e-9);
+  EXPECT_GE(best.theta_lp, figure2_throughput(alpha) - 1e-6);
+  EXPECT_LE(best.xi_lp, 3.0 - 1.0);
+
+  // The found configuration must be a genuine retiming+recycling of the
+  // input: cycle token sums preserved (4 on the top cycle, 1 on bottom).
+  const RrConfig& config = best.config;
+  const int top_cycle = config.tokens[kMF1] + config.tokens[kF1F2] +
+                        config.tokens[kF2F3] + config.tokens[kF3F] +
+                        config.tokens[kTop];
+  const int bottom_cycle = config.tokens[kMF1] + config.tokens[kF1F2] +
+                           config.tokens[kF2F3] + config.tokens[kF3F] +
+                           config.tokens[kBottom];
+  EXPECT_EQ(top_cycle, 4);
+  EXPECT_EQ(bottom_cycle, 1);
+}
+
+TEST(MinEffCyc, ParetoFrontierIsSortedAndNonDominated) {
+  const auto res = min_eff_cyc(figure1a(0.7, true));
+  ASSERT_GE(res.points.size(), 1u);
+  for (std::size_t i = 1; i < res.points.size(); ++i) {
+    EXPECT_GT(res.points[i].tau, res.points[i - 1].tau);
+    EXPECT_GT(res.points[i].theta_lp, res.points[i - 1].theta_lp);
+  }
+  // The last point reaches throughput 1 (min-delay retiming).
+  EXPECT_NEAR(res.points.back().theta_lp, 1.0, 1e-6);
+}
+
+TEST(MinEffCyc, KBestOrdering) {
+  const auto res = min_eff_cyc(figure1a(0.7, true));
+  const auto order = res.k_best(2);
+  ASSERT_GE(order.size(), 1u);
+  EXPECT_EQ(order[0], res.best_index);
+  if (order.size() == 2) {
+    EXPECT_LE(res.points[order[0]].xi_lp, res.points[order[1]].xi_lp);
+  }
+}
+
+TEST(MinEffCyc, RejectsBadEpsilon) {
+  OptOptions options;
+  options.epsilon = 0.0;
+  EXPECT_THROW(min_eff_cyc(figure1a(), options), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Retiming recovery.
+// ---------------------------------------------------------------------------
+TEST(RecoverRetiming, ReproducesALegalTokenAssignment) {
+  const Rrg fig1a = figure1a();
+  // Figure 2's buffers are {1,1,1,0,1,0}.
+  const std::vector<int> buffers{1, 1, 1, 0, 1, 0};
+  const std::vector<int> r = recover_retiming(fig1a, buffers);
+  RrConfig config;
+  config.buffers = buffers;
+  config.tokens.resize(fig1a.num_edges());
+  for (EdgeId e = 0; e < fig1a.num_edges(); ++e) {
+    config.tokens[e] = fig1a.tokens(e) + r[fig1a.graph().dst(e)] -
+                       r[fig1a.graph().src(e)];
+  }
+  EXPECT_TRUE(validate_config(fig1a, config));
+}
+
+TEST(RecoverRetiming, ThrowsWhenBuffersCannotHostTokens) {
+  const Rrg fig1a = figure1a();
+  // Zero buffers everywhere cannot host the 4-token top cycle.
+  EXPECT_THROW(recover_retiming(fig1a, std::vector<int>(6, 0)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Property: on random late-evaluation RRGs the optimizer output is always
+// a valid configuration whose metrics match its claims, and min_eff_cyc's
+// best xi_lp is never worse than the original configuration.
+// ---------------------------------------------------------------------------
+class OptRandomTest : public ::testing::TestWithParam<int> {};
+
+Rrg random_live_rrg(Rng& rng, bool allow_early) {
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  Rrg rrg;
+  for (std::size_t i = 0; i < n; ++i) {
+    rrg.add_node("", rng.uniform_open_closed(0.0, 10.0));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int tokens = i == 0 ? 1 : static_cast<int>(rng.uniform_int(0, 1));
+    rrg.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                 tokens, tokens);
+  }
+  const std::size_t extra = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t k = 0; k < extra; ++k) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto v = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const int tokens = u == v ? 1 : static_cast<int>(rng.uniform_int(0, 1));
+    rrg.add_edge(u, v, tokens, tokens);
+  }
+  // Liveness repair: drop a token into any dead cycle.
+  std::vector<EdgeId> dead;
+  while (!rrg.is_live(&dead)) {
+    const EdgeId e = dead[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(dead.size()) - 1))];
+    rrg.set_tokens(e, 1);
+    rrg.set_buffers(e, std::max(1, rrg.buffers(e)));
+  }
+  if (allow_early) {
+    for (NodeId v = 0; v < rrg.num_nodes(); ++v) {
+      if (rrg.graph().in_degree(v) >= 2 && rng.bernoulli(0.5)) {
+        rrg.set_kind(v, NodeKind::kEarly);
+        const auto probs = rng.simplex(rrg.graph().in_degree(v), 0.05);
+        std::size_t idx = 0;
+        for (EdgeId e : rrg.graph().in_edges(v)) {
+          rrg.set_gamma(e, probs[idx++]);
+        }
+      }
+    }
+  }
+  return rrg;
+}
+
+TEST_P(OptRandomTest, MinEffCycProducesValidDominatingConfigs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15731 + 19);
+  const Rrg rrg = random_live_rrg(rng, GetParam() % 2 == 0);
+  const auto res = min_eff_cyc(rrg);
+  ASSERT_FALSE(res.points.empty());
+  const auto original = evaluate_rrg(rrg);
+  EXPECT_LE(res.best().xi_lp, original.xi_lp + 1e-6);
+  for (const auto& point : res.points) {
+    std::string why;
+    EXPECT_TRUE(validate_config(rrg, point.config, &why)) << why;
+    const auto eval = evaluate_config(rrg, point.config);
+    EXPECT_NEAR(eval.tau, point.tau, 1e-9);
+    EXPECT_NEAR(eval.theta_lp, point.theta_lp, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace elrr

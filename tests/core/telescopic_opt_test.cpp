@@ -1,0 +1,141 @@
+/// \file telescopic_opt_test.cpp
+/// MIN_CYC / MAX_THR / MIN_EFF_CYC over RRGs with telescopic
+/// (variable-latency) nodes: the MILP gains per-node busy throttles and
+/// the Pareto walk terminates at the throughput cap instead of 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/figures.hpp"
+#include "core/opt.hpp"
+#include "core/rrg.hpp"
+#include "sim/simulator.hpp"
+
+namespace elrr {
+namespace {
+
+using namespace figures;
+
+/// Figure 1(a) with a telescopic F2 (the critical chain's middle stage).
+Rrg fig1a_telescopic(double fast_prob, int slow_extra, double alpha = 0.9) {
+  Rrg rrg = figure1a(alpha);
+  rrg.set_telescopic(kF2, fast_prob, slow_extra);
+  return rrg;
+}
+
+TEST(TelescopicOpt, MinCycInfeasibleBelowServiceFloor) {
+  // x < 1 + service(F2) admits no configuration at all; the verdict is
+  // proven (root LP infeasibility), not a budget timeout.
+  const Rrg rrg = fig1a_telescopic(0.5, 2);  // service 1 -> cap 1/2
+  const RcSolveResult r = min_cyc(rrg, /*x=*/1.5, OptOptions{});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(TelescopicOpt, MinCycFeasibleAtTheCap) {
+  const Rrg rrg = fig1a_telescopic(0.5, 2);
+  const RcSolveResult r = min_cyc(rrg, /*x=*/2.0 + 1e-6, OptOptions{});
+  ASSERT_TRUE(r.feasible);
+  const RcEvaluation eval = evaluate_config(rrg, r.config);
+  EXPECT_NEAR(eval.theta_lp, 0.5, 1e-6);
+}
+
+TEST(TelescopicOpt, MaxThrRespectsCap) {
+  const Rrg rrg = fig1a_telescopic(0.8, 5);  // cap = 1/2
+  const RcSolveResult r = max_thr(rrg, rrg.total_delay(), OptOptions{});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.objective, 1.0 / throughput_cap(rrg) - 1e-6);
+}
+
+TEST(TelescopicOpt, ParetoWalkTerminatesAtCap) {
+  const Rrg rrg = fig1a_telescopic(0.5, 1);  // cap = 2/3
+  const MinEffCycResult result = min_eff_cyc(rrg, OptOptions{});
+  ASSERT_FALSE(result.points.empty());
+  for (const ParetoPoint& p : result.points) {
+    EXPECT_LE(p.theta_lp, throughput_cap(rrg) + 1e-6);
+    std::string why;
+    EXPECT_TRUE(validate_config(rrg, p.config, &why)) << why;
+  }
+  // The best frontier point reaches the cap (the throttle, not the token
+  // structure, binds at the high-throughput end here).
+  EXPECT_NEAR(result.points.back().theta_lp, throughput_cap(rrg), 1e-6);
+}
+
+TEST(TelescopicOpt, IdentityConfigurationAlwaysRecorded) {
+  // Even with a zero MILP budget the result can never be worse than the
+  // input configuration (the identity RC is recorded unconditionally).
+  const Rrg rrg = fig1a_telescopic(0.5, 1);
+  OptOptions opt;
+  opt.milp.time_limit_s = 1e-3;  // starve every MILP
+  const MinEffCycResult result = min_eff_cyc(rrg, opt);
+  ASSERT_FALSE(result.points.empty());
+  const RcEvaluation identity = evaluate_rrg(rrg);
+  EXPECT_LE(result.best().xi_lp, identity.xi_lp + 1e-9);
+}
+
+TEST(TelescopicOpt, LpMatchesSimulationOnOptimizedConfig) {
+  const Rrg rrg = fig1a_telescopic(0.75, 2, 0.9);
+  const MinEffCycResult result = min_eff_cyc(rrg, OptOptions{});
+  const Rrg best = apply_config(rrg, result.best().config);
+  sim::SimOptions sopt;
+  sopt.measure_cycles = 30000;
+  const sim::SimResult sim = sim::simulate_throughput(best, sopt);
+  // LP is an upper bound; on this small system it is within a few
+  // percent of the truth.
+  EXPECT_LE(sim.theta, result.best().theta_lp + 0.02);
+  EXPECT_GT(sim.theta, 0.75 * result.best().theta_lp);
+}
+
+TEST(TelescopicOpt, TelescopicAwareBeatsWorstCaseClocking) {
+  // The point of a telescopic unit: clock at the fast delay and pay
+  // slow_extra occasionally, instead of clocking at the slow delay every
+  // cycle. Here F2's fast path is 1 (vs 3 pessimistic); with p = 0.9 the
+  // telescopic-aware optimum has a clearly lower effective cycle time.
+  Rrg aware = figure1a(0.9);
+  aware.set_telescopic(kF2, 0.9, 2);
+
+  Rrg pessimistic = figure1a(0.9);
+  pessimistic.set_delay(kF2, 3.0);
+
+  const MinEffCycResult ra = min_eff_cyc(aware, OptOptions{});
+  const MinEffCycResult rp = min_eff_cyc(pessimistic, OptOptions{});
+  EXPECT_LT(ra.best().xi_lp, rp.best().xi_lp);
+}
+
+TEST(TelescopicOpt, AllSimpleRewriteKeepsTelescopic) {
+  // treat_all_simple (the xi_nee baseline) demotes early evaluation but
+  // not the physical variable-latency behaviour.
+  Rrg rrg = fig1a_telescopic(0.5, 2);
+  OptOptions opt;
+  opt.treat_all_simple = true;
+  const MinEffCycResult result = min_eff_cyc(rrg, opt);
+  for (const ParetoPoint& p : result.points) {
+    EXPECT_LE(p.theta_lp, throughput_cap(rrg) + 1e-6);
+  }
+}
+
+TEST(TelescopicOpt, ServiceFloorOnThr5RaisesX) {
+  // A plain ring with one telescopic node: every Pareto point's
+  // theta_lp stays below the cap, and the xi-best configuration still
+  // validates.
+  Rrg rrg;
+  const NodeId a = rrg.add_node("a", 2.0);
+  const NodeId b = rrg.add_node("b", 3.0);
+  const NodeId c = rrg.add_node("c", 1.0);
+  rrg.add_edge(a, b, 1, 1);
+  rrg.add_edge(b, c, 0, 0);
+  rrg.add_edge(c, a, 1, 1);
+  rrg.set_telescopic(c, 0.5, 3);  // cap = 1 / 2.5
+  const MinEffCycResult result = min_eff_cyc(rrg, OptOptions{});
+  ASSERT_FALSE(result.points.empty());
+  for (const ParetoPoint& p : result.points) {
+    EXPECT_LE(p.theta_lp, throughput_cap(rrg) + 1e-6);
+    std::string why;
+    EXPECT_TRUE(validate_config(rrg, p.config, &why)) << why;
+  }
+}
+
+}  // namespace
+}  // namespace elrr

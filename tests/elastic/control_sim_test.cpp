@@ -1,0 +1,178 @@
+#include "elastic/control_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/figures.hpp"
+#include "sim/markov.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::elastic {
+namespace {
+
+using namespace figures;
+
+ControlSimOptions fast(int capacity, std::uint64_t seed = 11) {
+  ControlSimOptions o;
+  o.capacity = capacity;
+  o.seed = seed;
+  o.warmup_cycles = 1000;
+  o.measure_cycles = 20000;
+  o.runs = 2;
+  return o;
+}
+
+TEST(ControlSim, RejectsZeroCapacity) {
+  EXPECT_THROW(simulate_control_throughput(figure1a(), fast(0)), Error);
+}
+
+TEST(ControlSim, Capacity2StreamsAtRateOneOnFigure1a) {
+  // Bubble-free ring: SELF capacity-2 EBs sustain full throughput.
+  const auto res =
+      simulate_control_throughput(figure1a(0.5, false), fast(2));
+  EXPECT_NEAR(res.theta, 1.0, 1e-9);
+}
+
+TEST(ControlSim, FullRingDeadlocksAtCapacity1) {
+  // Figure 1(a) has R0 = R on every edge: at capacity 1 every EB stage of
+  // the ring is occupied and, like the 15-puzzle without a blank, nothing
+  // can move. (SELF uses capacity-2 EBs precisely to provide slack.)
+  const auto res =
+      simulate_control_throughput(figure1a(0.5, false), fast(1));
+  EXPECT_DOUBLE_EQ(res.theta, 0.0);
+}
+
+TEST(ControlSim, Capacity1ThrottlesDenseRing) {
+  // Ring of 4 unit-latency EBs holding 3 tokens: the unbounded-FIFO
+  // throughput is 3/4, but with capacity 1 only the single hole can move,
+  // giving 1/4; capacity 2 provides enough slack to restore 3/4.
+  Rrg ring;
+  for (int i = 0; i < 4; ++i) ring.add_node("", 1.0);
+  for (NodeId v = 0; v < 4; ++v) {
+    const int tokens = v < 3 ? 1 : 0;
+    ring.add_edge(v, (v + 1) % 4, tokens, 1);
+  }
+  ring.validate();
+  EXPECT_NEAR(simulate_control_throughput(ring, fast(1)).theta, 0.25, 1e-9);
+  EXPECT_NEAR(simulate_control_throughput(ring, fast(2)).theta, 0.75, 1e-9);
+}
+
+TEST(ControlSim, LateFigure1bMatchesMcr) {
+  const auto res =
+      simulate_control_throughput(figure1b(0.5, false), fast(2));
+  EXPECT_NEAR(res.theta, 1.0 / 3.0, 5e-3);
+}
+
+TEST(ControlSim, EarlyFigure2ApproachesClosedFormWithAdequateCapacity) {
+  // Footnote 1 of the paper: with adequately sized FIFOs the performance
+  // is determined by the forward critical paths. Our control network at
+  // capacity 4+ matches the kernel/Markov value.
+  const double expected = figure2_throughput(0.9);
+  const auto res = simulate_control_throughput(figure2(0.9), fast(4));
+  EXPECT_NEAR(res.theta, expected, 0.02);
+}
+
+TEST(ControlSim, ThroughputMonotoneInCapacity) {
+  const Rrg rrg = figure1b(0.7, true);
+  double prev = 0.0;
+  for (int capacity : {1, 2, 4, 8}) {
+    const double theta =
+        simulate_control_throughput(rrg, fast(capacity)).theta;
+    EXPECT_GE(theta, prev - 0.01) << "capacity " << capacity;
+    prev = theta;
+  }
+}
+
+// Property: for large capacity the control network agrees with the exact
+// Markov value of the token-level semantics on small random systems.
+class ControlVsMarkovTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ControlVsMarkovTest, LargeCapacityConvergesToKernelSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 52501 + 3);
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  Rrg rrg;
+  for (std::size_t i = 0; i < n; ++i) rrg.add_node("", 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int tokens = static_cast<int>(rng.uniform_int(0, 1));
+    rrg.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                 tokens, tokens + static_cast<int>(rng.uniform_int(0, 1)));
+  }
+  const auto u = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  auto v = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  rrg.add_edge(u, v, u == v ? 1 : 0, 1);
+  std::vector<EdgeId> dead;
+  while (!rrg.is_live(&dead)) {
+    rrg.set_tokens(dead[0], 1);
+    rrg.set_buffers(dead[0], std::max(1, rrg.buffers(dead[0])));
+  }
+  for (NodeId w = 0; w < rrg.num_nodes(); ++w) {
+    if (rrg.graph().in_degree(w) >= 2 && rng.bernoulli(0.5)) {
+      rrg.set_kind(w, NodeKind::kEarly);
+      const auto probs = rng.simplex(rrg.graph().in_degree(w), 0.1);
+      std::size_t idx = 0;
+      for (EdgeId e : rrg.graph().in_edges(w)) rrg.set_gamma(e, probs[idx++]);
+    }
+  }
+
+  sim::MarkovOptions mopt;
+  mopt.max_states = 30000;
+  const auto exact = sim::exact_throughput(rrg, mopt);
+  if (!exact.ok) GTEST_SKIP() << "state space too large";
+
+  ControlSimOptions copt = fast(16, 77 + static_cast<std::uint64_t>(GetParam()));
+  copt.measure_cycles = 60000;
+  const auto control = simulate_control_throughput(rrg, copt);
+  EXPECT_NEAR(control.theta, exact.theta, 0.02);
+
+  // Finite capacity can only be slower.
+  const auto tight = simulate_control_throughput(rrg, fast(1));
+  EXPECT_LE(tight.theta, control.theta + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlVsMarkovTest, ::testing::Range(0, 12));
+
+TEST(ControlSim, TelescopicMatchesKernelAtLargeCapacity) {
+  // With generous capacities the control network's telescopic semantics
+  // must agree with the token-level kernel (which the Markov engine
+  // certifies exactly).
+  Rrg rrg;
+  const NodeId a = rrg.add_node("a", 1.0);
+  const NodeId b = rrg.add_node("b", 1.0);
+  rrg.add_edge(a, b, 2, 2);
+  rrg.add_edge(b, a, 2, 2);
+  rrg.set_telescopic(b, 0.5, 2);  // cap = 1/2
+
+  const auto exact = sim::exact_throughput(rrg);
+  ASSERT_TRUE(exact.ok);
+  EXPECT_NEAR(exact.theta, 0.5, 1e-9);
+
+  ControlSimOptions options;
+  options.capacity = 8;
+  options.measure_cycles = 40000;
+  const auto control = simulate_control_throughput(rrg, options);
+  EXPECT_NEAR(control.theta, exact.theta, 0.02);
+}
+
+TEST(ControlSim, TelescopicBackpressureOnlySlows) {
+  // Finite capacity can stall slow completions; throughput can only
+  // drop relative to the unbounded case, and capacity 2 (the SELF
+  // two-token EB) keeps the system live. (Capacity 1 deadlocks some
+  // anti-token protocols even without telescopic units -- see the
+  // capacity ablation bench.)
+  Rrg rrg = figure1a(0.9);
+  rrg.set_telescopic(figures::kF2, 0.7, 3);
+  ControlSimOptions big;
+  big.capacity = 8;
+  big.measure_cycles = 30000;
+  const double reference = simulate_control_throughput(rrg, big).theta;
+  ControlSimOptions tight;
+  tight.capacity = 2;
+  tight.measure_cycles = 30000;
+  const double choked = simulate_control_throughput(rrg, tight).theta;
+  EXPECT_GT(choked, 0.0);
+  EXPECT_LE(choked, reference + 0.02);
+}
+
+}  // namespace
+}  // namespace elrr::elastic

@@ -1,0 +1,124 @@
+/// \file fifo_sizing_test.cpp
+/// Simulation-guided FIFO capacity sizing (footnote 1 of the paper /
+/// Lu & Koh ICCAD'03): the uniform binary search, the monotonicity it
+/// relies on, and the greedy per-edge trim.
+
+#include "elastic/fifo_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+#include "support/error.hpp"
+
+namespace elrr::elastic {
+namespace {
+
+using namespace figures;
+
+ControlSimOptions fast_sim() {
+  ControlSimOptions sim;
+  sim.warmup_cycles = 500;
+  sim.measure_cycles = 4000;
+  sim.runs = 1;
+  return sim;
+}
+
+TEST(FifoSizing, Figure1aNeedsCapacityTwo) {
+  // The classic SELF result: streaming at Theta = 1 needs two-token EBs;
+  // capacity 1 halves the rate.
+  FifoSizingOptions opt;
+  opt.sim = fast_sim();
+  opt.per_edge_trim = false;
+  const FifoSizingResult r = size_fifos(figure1a(0.5), opt);
+  EXPECT_NEAR(r.theta_reference, 1.0, 0.02);
+  EXPECT_EQ(r.uniform_capacity, 2);
+  EXPECT_GE(r.theta_uniform, 0.98 * r.theta_reference);
+}
+
+TEST(FifoSizing, ThroughputMonotoneInCapacity) {
+  // The property the binary search relies on.
+  const Rrg rrg = figure2(0.7);
+  double prev = 0.0;
+  for (int c : {1, 2, 4, 8}) {
+    ControlSimOptions sim = fast_sim();
+    sim.capacity = c;
+    const double theta = simulate_control_throughput(rrg, sim).theta;
+    EXPECT_GE(theta, prev - 0.02) << "capacity " << c;
+    prev = theta;
+  }
+}
+
+TEST(FifoSizing, CapacityVectorShape) {
+  FifoSizingOptions opt;
+  opt.sim = fast_sim();
+  const Rrg rrg = figure1a(0.9);
+  const FifoSizingResult r = size_fifos(rrg, opt);
+  ASSERT_EQ(r.capacity.size(), rrg.num_edges());
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    if (rrg.buffers(e) == 0) {
+      EXPECT_EQ(r.capacity[e], 0) << "wire " << e;
+    } else {
+      EXPECT_GE(r.capacity[e], 1) << "edge " << e;
+      EXPECT_LE(r.capacity[e], r.uniform_capacity) << "edge " << e;
+    }
+  }
+}
+
+TEST(FifoSizing, TrimKeepsThroughputTarget) {
+  FifoSizingOptions opt;
+  opt.sim = fast_sim();
+  opt.tolerance = 0.05;
+  const Rrg rrg = figure2(0.9);
+  const FifoSizingResult r = size_fifos(rrg, opt);
+  // Re-measure with the trimmed vector: must still meet the target.
+  ControlSimOptions sim = fast_sim();
+  sim.per_edge_capacity = r.capacity;
+  const double theta = simulate_control_throughput(rrg, sim).theta;
+  EXPECT_GE(theta, (1.0 - opt.tolerance) * r.theta_reference - 0.02);
+}
+
+TEST(FifoSizing, PerEdgeCapacityHonoredBySimulator) {
+  // Choking a single high-traffic channel must cost throughput on
+  // figure 1(a) (every channel streams every cycle).
+  const Rrg rrg = figure1a(0.5);
+  ControlSimOptions sim = fast_sim();
+  sim.capacity = 2;
+  const double full = simulate_control_throughput(rrg, sim).theta;
+  sim.per_edge_capacity.assign(rrg.num_edges(), 2);
+  sim.per_edge_capacity[kMF1] = 1;
+  const double choked = simulate_control_throughput(rrg, sim).theta;
+  EXPECT_LT(choked, full - 0.2);
+}
+
+TEST(FifoSizing, RejectsBadOptions) {
+  FifoSizingOptions opt;
+  opt.max_capacity = 0;
+  EXPECT_THROW(size_fifos(figure1a(0.5), opt), InvalidInputError);
+  FifoSizingOptions opt2;
+  opt2.tolerance = 1.0;
+  EXPECT_THROW(size_fifos(figure1a(0.5), opt2), InvalidInputError);
+}
+
+TEST(FifoSizing, RejectsBadPerEdgeVector) {
+  const Rrg rrg = figure1a(0.5);
+  ControlSimOptions sim = fast_sim();
+  sim.per_edge_capacity.assign(rrg.num_edges() + 1, 2);
+  EXPECT_THROW(simulate_control_throughput(rrg, sim), InvalidInputError);
+  sim.per_edge_capacity.assign(rrg.num_edges(), 2);
+  sim.per_edge_capacity[kMF1] = 0;  // buffered edge below 1
+  EXPECT_THROW(simulate_control_throughput(rrg, sim), InvalidInputError);
+}
+
+TEST(FifoSizing, DeterministicInSeed) {
+  FifoSizingOptions opt;
+  opt.sim = fast_sim();
+  const Rrg rrg = figure2(0.8);
+  const FifoSizingResult a = size_fifos(rrg, opt);
+  const FifoSizingResult b = size_fifos(rrg, opt);
+  EXPECT_EQ(a.uniform_capacity, b.uniform_capacity);
+  EXPECT_EQ(a.capacity, b.capacity);
+  EXPECT_DOUBLE_EQ(a.theta_final, b.theta_final);
+}
+
+}  // namespace
+}  // namespace elrr::elastic

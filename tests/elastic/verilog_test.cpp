@@ -1,0 +1,98 @@
+#include "elastic/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/figures.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace elrr::elastic {
+namespace {
+
+using namespace figures;
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Sanitize, Identifiers) {
+  EXPECT_EQ(sanitize_identifier("F1"), "F1");
+  EXPECT_EQ(sanitize_identifier("m/in3"), "m_in3");
+  EXPECT_EQ(sanitize_identifier("3weird name"), "n3weird_name");
+  EXPECT_EQ(sanitize_identifier(""), "n");
+}
+
+TEST(Verilog, ModulesBalanced) {
+  const std::string v = emit_verilog(figure2(0.9));
+  // Every "module" declaration starts a line; each must be closed.
+  EXPECT_EQ(count_occurrences(v, "\nmodule "),
+            count_occurrences(v, "\nendmodule"));
+  // Library (5) + top + testbench.
+  EXPECT_EQ(count_occurrences(v, "\nendmodule"), 7u);
+}
+
+TEST(Verilog, ContainsLibraryAndTop) {
+  VerilogOptions options;
+  options.top_name = "fig2_top";
+  const std::string v = emit_verilog(figure2(0.9), options);
+  for (const char* needle :
+       {"module elrr_eb", "module elrr_join", "module elrr_ejoin",
+        "module elrr_fork", "module elrr_select_lfsr", "module fig2_top",
+        "module fig2_top_tb", "$finish"}) {
+    EXPECT_NE(v.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Verilog, EbChainMatchesBufferCounts) {
+  // figure2: buffers {1,1,1,0,1,0} -> 4 EB instances (the library
+  // declaration does not use the .INIT_TOKENS syntax, instances do).
+  const std::string v = emit_verilog(figure2(0.9));
+  EXPECT_EQ(count_occurrences(v, "elrr_eb #(.INIT_TOKENS("), 4u);
+  // Initialized tokens: edges m->F1, F1->F2, F2->F3, top each carry one.
+  EXPECT_EQ(count_occurrences(v, ".INIT_TOKENS(1)"), 4u);
+}
+
+TEST(Verilog, EarlyNodeGetsEjoinAndSelect) {
+  const std::string v = emit_verilog(figure2(0.9));
+  EXPECT_EQ(count_occurrences(v, "elrr_ejoin #(.N("), 1u);  // the mux m
+  EXPECT_EQ(count_occurrences(v, "elrr_select_lfsr #(.N("), 1u);
+  // f forks to the two return channels.
+  EXPECT_EQ(count_occurrences(v, "elrr_fork #(.N("), 1u);
+}
+
+TEST(Verilog, LateGraphHasNoEjoin) {
+  const std::string v = emit_verilog(figure2(0.9, /*early=*/false));
+  EXPECT_EQ(count_occurrences(v, "elrr_ejoin #(.N("), 0u);
+  EXPECT_EQ(count_occurrences(v, "elrr_join #(.N("), 1u);
+}
+
+TEST(Verilog, SelectThresholdsEncodeGamma) {
+  // alpha = 0.75 -> first cumulative threshold 49151 (0.75 * 65535).
+  const std::string v = emit_verilog(figure2(0.75));
+  EXPECT_NE(v.find("16'd49151"), std::string::npos);
+  EXPECT_NE(v.find("16'd65535"), std::string::npos);
+}
+
+TEST(Verilog, RejectsTelescopicNodes) {
+  Rrg rrg = figure1a(0.5);
+  rrg.set_telescopic(kF2, 0.5, 2);
+  EXPECT_THROW(emit_verilog(rrg), InvalidInputError);
+}
+
+TEST(Verilog, TestbenchCycleCountHonored) {
+  VerilogOptions options;
+  options.testbench_cycles = 1234;
+  const std::string v = emit_verilog(figure1a(0.5), options);
+  EXPECT_NE(v.find("repeat (1234)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elrr::elastic

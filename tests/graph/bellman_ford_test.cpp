@@ -1,0 +1,111 @@
+#include "graph/bellman_ford.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace elrr::graph {
+namespace {
+
+TEST(BellmanFord, FeasibleSystemSatisfiesAllConstraints) {
+  // x1 - x0 <= 3, x2 - x1 <= -2, x0 - x2 <= 0
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const std::vector<std::int64_t> w{3, -2, 0};
+  const auto sol = solve_difference_constraints(g, w);
+  ASSERT_TRUE(sol.feasible);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(sol.potential[g.dst(e)] - sol.potential[g.src(e)], w[e]);
+  }
+}
+
+TEST(BellmanFord, NegativeCycleDetectedWithWitness) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const std::vector<std::int64_t> w{1, -2, 0};  // cycle sum = -1
+  const auto sol = solve_difference_constraints(g, w);
+  ASSERT_FALSE(sol.feasible);
+  ASSERT_EQ(sol.negative_cycle.size(), 3u);
+  std::int64_t total = 0;
+  for (EdgeId e : sol.negative_cycle) total += w[e];
+  EXPECT_LT(total, 0);
+  // Witness must be a closed walk.
+  for (std::size_t i = 0; i < sol.negative_cycle.size(); ++i) {
+    const EdgeId cur = sol.negative_cycle[i];
+    const EdgeId nxt = sol.negative_cycle[(i + 1) % sol.negative_cycle.size()];
+    EXPECT_EQ(g.dst(cur), g.src(nxt));
+  }
+}
+
+TEST(BellmanFord, EmptyGraph) {
+  Digraph g;
+  EXPECT_TRUE(solve_difference_constraints(g, {}).feasible);
+}
+
+TEST(NonpositiveCycle, ZeroSumCycleIsCaught) {
+  // Liveness violations include zero-token cycles, which plain negative
+  // cycle detection would miss.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_TRUE(has_nonpositive_cycle(g, {0, 0}));
+  EXPECT_TRUE(has_nonpositive_cycle(g, {1, -1}));
+  EXPECT_FALSE(has_nonpositive_cycle(g, {1, 0}));
+}
+
+TEST(NonpositiveCycle, WitnessReturned) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 2);  // self loop with positive weight
+  std::vector<EdgeId> witness;
+  ASSERT_TRUE(has_nonpositive_cycle(g, {0, 0, 5}, &witness));
+  std::int64_t total = 0;
+  for (EdgeId e : witness) total += (e == 2 ? 5 : 0);
+  EXPECT_LE(total, 0);
+}
+
+TEST(NonpositiveCycle, AcyclicGraphNeverFlags) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(has_nonpositive_cycle(g, {-5, -5}));
+}
+
+// Property: feasibility from Bellman-Ford matches a brute-force check on
+// random small graphs (via exhaustive cycle enumeration in cycles_test, we
+// keep an independent sanity check here: potentials certify feasibility,
+// witnesses certify infeasibility -- one of the two must hold).
+class BfRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfRandomTest, CertificateAlwaysProduced) {
+  elrr::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+  Digraph g(n);
+  std::vector<std::int64_t> w;
+  const std::size_t e_count = static_cast<std::size_t>(rng.uniform_int(1, 20));
+  for (std::size_t k = 0; k < e_count; ++k) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+               static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    w.push_back(rng.uniform_int(-3, 5));
+  }
+  const auto sol = solve_difference_constraints(g, w);
+  if (sol.feasible) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_LE(sol.potential[g.dst(e)] - sol.potential[g.src(e)], w[e]);
+    }
+  } else {
+    std::int64_t total = 0;
+    for (EdgeId e : sol.negative_cycle) total += w[e];
+    EXPECT_LT(total, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfRandomTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace elrr::graph

@@ -1,0 +1,125 @@
+#include "graph/cycle_ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/cycles.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::graph {
+namespace {
+
+TEST(CycleRatio, SingleLoop) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  const auto r = min_cycle_ratio(g, {3}, {4});
+  EXPECT_DOUBLE_EQ(r.ratio, 0.75);
+  EXPECT_EQ(r.cycle_cost, 3);
+  EXPECT_EQ(r.cycle_time, 4);
+}
+
+TEST(CycleRatio, PicksSmallerOfTwoCycles) {
+  // Cycle A: 0->1->0 cost 2 time 2 (ratio 1);
+  // cycle B: 0->2->0 cost 1 time 3 (ratio 1/3).
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);
+  const auto r = min_cycle_ratio(g, {1, 1, 1, 0}, {1, 1, 1, 2});
+  EXPECT_NEAR(r.ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.cycle_cost, 1);
+  EXPECT_EQ(r.cycle_time, 3);
+}
+
+TEST(CycleRatio, NegativeCostsAllowed) {
+  // Anti-tokens make token counts negative; cycle sums stay positive for
+  // live systems but the machinery must accept negative edge costs.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto r = min_cycle_ratio(g, {3, -2}, {2, 1});
+  EXPECT_NEAR(r.ratio, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CycleRatio, Figure2TopAndBottomCycles) {
+  // The optimal RC of Figure 2: top cycle has 4 tokens / 4 buffers, bottom
+  // cycle has 1 token / 3 buffers (m->F1->F2->F3->f->m with the -2 edge at
+  // R=0). Late-evaluation MCR = 1/3.
+  Digraph g(5);  // m F1 F2 F3 f
+  g.add_edge(0, 1);                    // m->F1   R0=1 R=1
+  g.add_edge(1, 2);                    // F1->F2  R0=1 R=1
+  g.add_edge(2, 3);                    // F2->F3  R0=1 R=1
+  g.add_edge(3, 4);                    // F3->f   R0=0 R=0
+  g.add_edge(4, 0);                    // top     R0=1 R=1
+  g.add_edge(4, 0);                    // bottom  R0=-2 R=0
+  const auto r = min_cycle_ratio(g, {1, 1, 1, 0, 1, -2}, {1, 1, 1, 0, 1, 0});
+  EXPECT_NEAR(r.ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.cycle_cost, 1);
+  EXPECT_EQ(r.cycle_time, 3);
+}
+
+TEST(CycleRatio, RejectsZeroTimeCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(min_cycle_ratio(g, {1, 1}, {0, 0}), elrr::Error);
+}
+
+TEST(CycleRatio, RejectsAcyclicGraph) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(min_cycle_ratio(g, {1}, {1}), elrr::Error);
+}
+
+// Property: matches brute-force over all simple cycles on random graphs.
+class McrRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(McrRandomTest, MatchesBruteForce) {
+  elrr::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+  Digraph g(n);
+  std::vector<std::int64_t> cost, time;
+  // Guarantee at least one cycle: a ring.
+  for (std::size_t v = 0; v < n; ++v) {
+    g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>((v + 1) % n));
+    cost.push_back(rng.uniform_int(-2, 6));
+    time.push_back(rng.uniform_int(1, 4));  // strictly positive: no
+                                            // zero-time cycles possible
+  }
+  const std::size_t extra = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  for (std::size_t k = 0; k < extra; ++k) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+               static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+    cost.push_back(rng.uniform_int(-2, 6));
+    time.push_back(rng.uniform_int(1, 4));
+  }
+
+  const auto enumeration = enumerate_simple_cycles(g);
+  ASSERT_FALSE(enumeration.truncated);
+  ASSERT_FALSE(enumeration.cycles.empty());
+  double best = 1e18;
+  for (const auto& cycle : enumeration.cycles) {
+    std::int64_t c = 0, t = 0;
+    for (EdgeId e : cycle) {
+      c += cost[e];
+      t += time[e];
+    }
+    best = std::min(best, static_cast<double>(c) / static_cast<double>(t));
+  }
+
+  const auto r = min_cycle_ratio(g, cost, time);
+  EXPECT_NEAR(r.ratio, best, 1e-9);
+  // The reported critical cycle achieves the reported ratio.
+  std::int64_t c = 0, t = 0;
+  for (EdgeId e : r.critical_cycle) {
+    c += cost[e];
+    t += time[e];
+  }
+  EXPECT_EQ(c, r.cycle_cost);
+  EXPECT_EQ(t, r.cycle_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McrRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace elrr::graph

@@ -1,0 +1,47 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elrr::graph {
+namespace {
+
+TEST(Digraph, Empty) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 0);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.src(e0), 0u);
+  EXPECT_EQ(g.dst(e0), 1u);
+  EXPECT_EQ(g.out_edges(1).size(), 1u);
+  EXPECT_EQ(g.in_edges(0).size(), 1u);
+  EXPECT_EQ(g.out_edges(2)[0], e2);
+  EXPECT_EQ(g.in_edges(2)[0], e1);
+}
+
+TEST(Digraph, ParallelEdgesAndSelfLoops) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel edge: RRGs are multigraphs
+  g.add_edge(1, 1);  // self loop
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 3u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(Digraph, RejectsOutOfRangeEndpoints) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), elrr::Error);
+  EXPECT_THROW(g.add_edge(5, 0), elrr::Error);
+}
+
+}  // namespace
+}  // namespace elrr::graph

@@ -1,0 +1,34 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elrr::graph {
+namespace {
+
+TEST(Dot, BasicStructure) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph G {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, LabelsAndAttrs) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  DotStyle style;
+  style.graph_name = "rrg";
+  style.node_label = [](NodeId v) { return v == 0 ? "mux" : "F1"; };
+  style.node_attrs = [](NodeId v) {
+    return v == 0 ? "shape=trapezium" : "";
+  };
+  style.edge_label = [](EdgeId) { return "R0=1 \"quoted\""; };
+  const std::string dot = to_dot(g, style);
+  EXPECT_NE(dot.find("digraph rrg {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"mux\", shape=trapezium"), std::string::npos);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elrr::graph

@@ -1,0 +1,106 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace elrr::graph {
+namespace {
+
+TEST(Scc, SingleNodeNoEdge) {
+  Digraph g(1);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_FALSE(is_strongly_connected(g) && g.num_nodes() > 1);
+}
+
+TEST(Scc, Cycle) {
+  Digraph g(4);
+  for (NodeId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);  // bridge, one direction only
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  // Reverse topological numbering: edge from comp(0) to comp(2) implies
+  // comp(0) > comp(2).
+  EXPECT_GT(scc.component[0], scc.component[2]);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 5u);
+}
+
+TEST(Scc, LargestSccExtraction) {
+  // Big cycle 0-1-2, small cycle 3-4, isolated 5.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  g.add_edge(2, 3);
+  const auto nodes = largest_scc_nodes(g);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0, 1, 2}));
+
+  const auto sub = induced_subgraph(g, nodes);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_TRUE(is_strongly_connected(sub.graph));
+  for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+    const EdgeId pe = sub.edge_to_parent[e];
+    EXPECT_EQ(sub.node_to_parent[sub.graph.src(e)], g.src(pe));
+    EXPECT_EQ(sub.node_to_parent[sub.graph.dst(e)], g.dst(pe));
+  }
+}
+
+TEST(Scc, InducedSubgraphRejectsDuplicates) {
+  Digraph g(3);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), elrr::Error);
+}
+
+// Property: condensation is a DAG -- every edge goes from a higher
+// component index to a lower-or-equal one (reverse topological order).
+class SccRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SccRandomTest, CondensationIsReverseTopological) {
+  elrr::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+  Digraph g(n);
+  const std::size_t e_count = static_cast<std::size_t>(rng.uniform_int(0, 80));
+  for (std::size_t k = 0; k < e_count; ++k) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+               static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  const auto scc = strongly_connected_components(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(scc.component[g.src(e)], scc.component[g.dst(e)]);
+  }
+  // Every node got a component id below num_components.
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LT(scc.component[v], scc.num_components);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace elrr::graph

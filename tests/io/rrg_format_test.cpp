@@ -1,0 +1,144 @@
+/// \file rrg_format_test.cpp
+/// The .rrg text format (reader/writer round-trips, error reporting) and
+/// the JSON exporter.
+
+#include "io/rrg_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+#include "support/error.hpp"
+
+namespace elrr::io {
+namespace {
+
+using namespace figures;
+
+void expect_same_rrg(const Rrg& a, const Rrg& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.delay(n), b.delay(n)) << "node " << n;
+    EXPECT_EQ(a.kind(n), b.kind(n)) << "node " << n;
+    EXPECT_EQ(a.telescopic(n), b.telescopic(n)) << "node " << n;
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.graph().src(e), b.graph().src(e)) << "edge " << e;
+    EXPECT_EQ(a.graph().dst(e), b.graph().dst(e)) << "edge " << e;
+    EXPECT_EQ(a.tokens(e), b.tokens(e)) << "edge " << e;
+    EXPECT_EQ(a.buffers(e), b.buffers(e)) << "edge " << e;
+    if (a.is_early(a.graph().dst(e))) {
+      EXPECT_DOUBLE_EQ(a.gamma(e), b.gamma(e)) << "edge " << e;
+    }
+  }
+}
+
+TEST(RrgFormat, ParsesMinimalDocument) {
+  const NamedRrg named = read_rrg(R"(
+    rrg demo
+    # a two-node ring
+    node a delay=1.5
+    node b delay=2 early  # trailing comment
+    edge a b tokens=1 buffers=1 gamma=0.4
+    edge a b tokens=0 buffers=2 gamma=0.6
+    edge b a tokens=1 buffers=1
+  )");
+  EXPECT_EQ(named.name, "demo");
+  EXPECT_EQ(named.rrg.num_nodes(), 2u);
+  EXPECT_EQ(named.rrg.num_edges(), 3u);
+  EXPECT_TRUE(named.rrg.is_early(1));
+  EXPECT_DOUBLE_EQ(named.rrg.gamma(0), 0.4);
+}
+
+TEST(RrgFormat, RoundTripsFigures) {
+  for (const Rrg& rrg :
+       {figure1a(0.7), figure1b(0.5), figure2(0.9)}) {
+    const NamedRrg back = read_rrg(write_rrg(rrg, "fig"));
+    expect_same_rrg(rrg, back.rrg);
+  }
+}
+
+TEST(RrgFormat, RoundTripsTelescopic) {
+  Rrg rrg = figure1a(0.9);
+  rrg.set_telescopic(kF2, 0.75, 3);
+  const NamedRrg back = read_rrg(write_rrg(rrg, "tele"));
+  expect_same_rrg(rrg, back.rrg);
+  EXPECT_TRUE(back.rrg.is_telescopic(kF2));
+}
+
+TEST(RrgFormat, RoundTripsAntiTokens) {
+  const Rrg rrg = figure2(0.5);  // -2 tokens on the bottom channel
+  const NamedRrg back = read_rrg(write_rrg(rrg));
+  expect_same_rrg(rrg, back.rrg);
+  EXPECT_EQ(back.rrg.tokens(kBottom), -2);
+}
+
+TEST(RrgFormat, DisambiguatesDuplicateNames) {
+  Rrg rrg;
+  const NodeId a = rrg.add_node("x", 1.0);
+  const NodeId b = rrg.add_node("x", 2.0);  // same name
+  rrg.add_edge(a, b, 1, 1);
+  rrg.add_edge(b, a, 1, 1);
+  const NamedRrg back = read_rrg(write_rrg(rrg));
+  expect_same_rrg(rrg, back.rrg);
+}
+
+TEST(RrgFormat, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](std::string_view text,
+                               std::string_view needle) {
+    try {
+      read_rrg(text);
+      FAIL() << "expected failure for: " << text;
+    } catch (const InvalidInputError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("node a delay=1\nbogus x", "line 2");
+  expect_error("node a", "delay");
+  expect_error("node a delay=abc", "bad number");
+  expect_error("node a delay=1\nnode a delay=2", "duplicate");
+  expect_error("edge a b tokens=1 buffers=1", "unknown node");
+  expect_error("node a delay=1\nedge a a tokens=1", "buffers=");
+  expect_error("node a delay=1\nedge a a tokens=2 buffers=1", "R >= R0");
+  expect_error("node a delay=1 telescopic=0.5", "telescopic=<p>,<extra>");
+}
+
+TEST(RrgFormat, RejectsDeadCycles) {
+  EXPECT_THROW(read_rrg(R"(
+    node a delay=1
+    node b delay=1
+    edge a b tokens=0 buffers=0
+    edge b a tokens=0 buffers=0
+  )"),
+               InvalidInputError);
+}
+
+TEST(RrgFormat, JsonContainsEverything) {
+  Rrg rrg = figure2(0.9);
+  rrg.set_telescopic(kF1, 0.5, 2);
+  const std::string json = write_json(rrg, "fig2");
+  EXPECT_NE(json.find("\"name\": \"fig2\""), std::string::npos);
+  EXPECT_NE(json.find("\"early\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"tokens\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"telescopic\""), std::string::npos);
+  EXPECT_NE(json.find("\"gamma\""), std::string::npos);
+  // Crude structural sanity: balanced braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(RrgFormat, FileHelpers) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.rrg";
+  const Rrg rrg = figure1b(0.6);
+  save_text_file(path, write_rrg(rrg, "f1b"));
+  const NamedRrg back = load_rrg_file(path);
+  EXPECT_EQ(back.name, "f1b");
+  expect_same_rrg(rrg, back.rrg);
+  EXPECT_THROW(load_rrg_file("/nonexistent/nowhere.rrg"), Error);
+}
+
+}  // namespace
+}  // namespace elrr::io

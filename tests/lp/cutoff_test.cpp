@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "lp/milp.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::lp {
+namespace {
+
+/// A knapsack whose optimum is known: values {60,100,120}, weights
+/// {10,20,30}, capacity 50 -> optimum 220.
+Model knapsack() {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int a = m.add_col(0, 1, 60, true);
+  const int b = m.add_col(0, 1, 100, true);
+  const int c = m.add_col(0, 1, 120, true);
+  m.add_row(-kInf, 50, {{a, 10.0}, {b, 20.0}, {c, 30.0}});
+  return m;
+}
+
+TEST(MilpCutoff, TargetStopsEarlyWithGoodEnoughIncumbent) {
+  MilpOptions options;
+  options.target_obj = 150.0;  // any solution with value >= 150 will do
+  const auto r = solve_milp(knapsack(), options);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_GE(r.objective, 150.0 - 1e-9);
+}
+
+TEST(MilpCutoff, FutileProvenWhenTargetUnreachable) {
+  MilpOptions options;
+  options.futile_bound = 300.0;  // no solution reaches 300
+  const auto r = solve_milp(knapsack(), options);
+  EXPECT_EQ(r.status, MilpStatus::kFutile);
+  EXPECT_LT(r.best_bound, 300.0);  // the proof: nothing at/above 300
+}
+
+TEST(MilpCutoff, FutileNotTriggeredWhenTargetReachable) {
+  MilpOptions options;
+  options.futile_bound = 200.0;  // 220 >= 200 exists
+  const auto r = solve_milp(knapsack(), options);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_NEAR(r.objective, 220.0, 1e-7);
+}
+
+TEST(MilpCutoff, MinimizationSense) {
+  // min x + y st x + y >= 2.5, x,y integer in [0,3]: optimum 3.
+  Model m;
+  const int x = m.add_col(0, 3, 1.0, true);
+  const int y = m.add_col(0, 3, 1.0, true);
+  m.add_row(2.5, kInf, {{x, 1.0}, {y, 1.0}});
+
+  MilpOptions stop_at_4;
+  stop_at_4.target_obj = 4.0;  // anything <= 4 acceptable
+  const auto a = solve_milp(m, stop_at_4);
+  ASSERT_TRUE(a.has_solution());
+  EXPECT_LE(a.objective, 4.0 + 1e-9);
+
+  MilpOptions futile_at_2;
+  futile_at_2.futile_bound = 2.0;  // nothing <= 2 exists (optimum is 3)
+  const auto b = solve_milp(m, futile_at_2);
+  EXPECT_EQ(b.status, MilpStatus::kFutile);
+  EXPECT_GT(b.best_bound, 2.0);
+}
+
+TEST(MilpCutoff, CutoffsDoNotBreakOptimality) {
+  // Cutoffs far away must leave the answer untouched.
+  MilpOptions options;
+  options.target_obj = 1e9;
+  options.futile_bound = -1e9;
+  const auto r = solve_milp(knapsack(), options);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 220.0, 1e-7);
+}
+
+// Property: on random knapsacks, target cutoffs always return a solution
+// at least as good as the target whenever the true optimum reaches it,
+// and futile verdicts are consistent with the true optimum.
+class CutoffRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffRandomTest, VerdictsConsistentWithTrueOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571 + 29);
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::vector<ColEntry> weights;
+  const int n = 6 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int j = 0; j < n; ++j) {
+    const int c = m.add_col(0, 1, rng.uniform(1, 20), true);
+    weights.push_back({c, rng.uniform(1, 10)});
+  }
+  m.add_row(-kInf, rng.uniform(10, 30), weights);
+
+  const double optimum = solve_milp(m).objective;
+  const double target = optimum * rng.uniform(0.5, 1.5);
+
+  MilpOptions with_target;
+  with_target.target_obj = target;
+  const auto r = solve_milp(m, with_target);
+  if (target <= optimum + 1e-9) {
+    ASSERT_TRUE(r.has_solution());
+    EXPECT_GE(r.objective, std::min(target, optimum) - 1e-6);
+  } else {
+    // Target beyond the optimum: solver must still answer correctly.
+    ASSERT_TRUE(r.status == MilpStatus::kOptimal ||
+                r.status == MilpStatus::kFeasible);
+    EXPECT_NEAR(r.objective, optimum, 1e-6);
+  }
+
+  MilpOptions with_futile;
+  with_futile.futile_bound = target;
+  const auto f = solve_milp(m, with_futile);
+  if (target > optimum + 1e-6) {
+    // Either the futile cutoff fired, or the solver finished the whole
+    // proof first (e.g. integral root LP) -- both prove the same fact.
+    if (f.status == MilpStatus::kFutile) {
+      EXPECT_LT(f.best_bound, target);
+    } else {
+      ASSERT_EQ(f.status, MilpStatus::kOptimal);
+      EXPECT_LT(f.objective, target);
+    }
+  } else {
+    ASSERT_TRUE(f.has_solution());
+    EXPECT_NEAR(f.objective, optimum, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutoffRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace elrr::lp

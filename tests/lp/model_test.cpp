@@ -1,0 +1,74 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elrr::lp {
+namespace {
+
+TEST(Model, AddColsAndRows) {
+  Model m;
+  const int x = m.add_col(0, 10, 1.0, false, "x");
+  const int y = m.add_col(-kInf, kInf, -2.0, true, "y");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  const int r = m.add_row(-kInf, 5.0, {{x, 1.0}, {y, 2.0}}, "cap");
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(m.num_cols(), 2);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_TRUE(m.has_integers());
+  m.validate();
+}
+
+TEST(Model, MergesDuplicateEntries) {
+  Model m;
+  const int x = m.add_col(0, 1, 0.0);
+  m.add_row(0, 1, {{x, 1.0}, {x, 2.0}});
+  ASSERT_EQ(m.row(0).entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(0).entries[0].coef, 3.0);
+}
+
+TEST(Model, DropsCancelledEntries) {
+  Model m;
+  const int x = m.add_col(0, 1, 0.0);
+  const int y = m.add_col(0, 1, 0.0);
+  m.add_row(0, 1, {{x, 1.0}, {x, -1.0}, {y, 1.0}});
+  ASSERT_EQ(m.row(0).entries.size(), 1u);
+  EXPECT_EQ(m.row(0).entries[0].col, y);
+}
+
+TEST(Model, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_col(2, 1, 0.0), elrr::Error);  // empty bounds
+  const int x = m.add_col(0, 1, 0.0);
+  EXPECT_THROW(m.add_row(0, 1, {{x + 5, 1.0}}), elrr::Error);
+  EXPECT_THROW(m.add_row(3, 2, {{x, 1.0}}), elrr::Error);
+  EXPECT_THROW(m.set_col_bounds(x, 5, 4), elrr::Error);
+}
+
+TEST(Model, ObjectiveValueAndInfeasibility) {
+  Model m;
+  const int x = m.add_col(0, 2, 3.0);
+  const int y = m.add_col(0, 2, 1.0, true);
+  m.add_row(1, 2, {{x, 1.0}, {y, 1.0}});
+  EXPECT_DOUBLE_EQ(m.objective_value({1.0, 1.0}), 4.0);
+  EXPECT_NEAR(m.max_infeasibility({1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(m.max_infeasibility({0.0, 0.0}), 1.0, 1e-12);  // row lo
+  EXPECT_NEAR(m.max_infeasibility({3.0, 0.0}), 1.0, 1e-12);  // col hi + row
+  EXPECT_NEAR(m.max_infeasibility({0.5, 0.5}), 0.5, 1e-12);  // integrality
+}
+
+TEST(Model, LpFormatRendering) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_col(0, 4, 2.0, true, "x");
+  m.add_col(0, kInf, -1.0, false, "y");
+  m.add_row(-kInf, 7.0, {{x, 3.0}}, "r0");
+  const std::string text = m.to_lp_format();
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("r0.hi"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find(" x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elrr::lp

@@ -1,0 +1,178 @@
+/// \file presolve_test.cpp
+/// The presolve reductions: fixed-column substitution, singleton-row
+/// tightening (with integer rounding), infeasibility detection, solution
+/// lifting, and end-to-end equivalence with direct solves on random
+/// MILPs.
+
+#include "lp/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/milp.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::lp {
+namespace {
+
+TEST(Presolve, FixedColumnsSubstituteIntoRowsAndObjective) {
+  Model m;
+  const int x = m.add_col(2.0, 2.0, 3.0, false, "x");  // pinned to 2
+  const int y = m.add_col(0.0, 10.0, 1.0, false, "y");
+  const int z = m.add_col(0.0, 10.0, 0.0, false, "z");
+  m.add_row(5.0, kInf, {{x, 1.0}, {y, 1.0}}, "r");  // y >= 3 after subst
+  m.add_row(-kInf, 8.0, {{y, 1.0}, {z, 1.0}}, "keep");  // stays 2-wide
+  const Presolved pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.cols_removed, 1);
+  EXPECT_EQ(pre.reduced.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(pre.obj_offset, 6.0);  // 3 * 2
+  EXPECT_EQ(pre.col_map[static_cast<std::size_t>(x)], -1);
+  EXPECT_EQ(pre.col_map[static_cast<std::size_t>(y)], 0);
+  // Row "r" collapsed into the bound y >= 3; "keep" survived intact.
+  ASSERT_EQ(pre.reduced.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).lo, 3.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.row(0).hi, 8.0);
+}
+
+TEST(Presolve, SingletonRowsBecomeBounds) {
+  Model m;
+  const int x = m.add_col(0.0, 100.0, 1.0, false, "x");
+  m.add_row(-kInf, 7.0, {{x, 2.0}}, "ub");   // x <= 3.5
+  m.add_row(2.0, kInf, {{x, 1.0}}, "lb");    // x >= 2
+  const Presolved pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.rows_removed, 2);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).lo, 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).hi, 3.5);
+}
+
+TEST(Presolve, NegativeCoefficientSingletonFlipsBounds) {
+  Model m;
+  m.add_col(-kInf, kInf, 1.0, false, "x");
+  m.add_row(-6.0, 4.0, {{0, -2.0}}, "r");  // -6 <= -2x <= 4 -> x in [-2, 3]
+  const Presolved pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).lo, -2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).hi, 3.0);
+}
+
+TEST(Presolve, IntegerSingletonRoundsInward) {
+  Model m;
+  m.add_col(0.0, 100.0, 1.0, true, "n");
+  m.add_row(2.3, 5.7, {{0, 1.0}}, "band");  // n in {3, 4, 5}
+  const Presolved pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).lo, 3.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.col(0).hi, 5.0);
+}
+
+TEST(Presolve, DetectsInfeasibility) {
+  {
+    Model m;  // empty integer band
+    m.add_col(0.0, 10.0, 1.0, true, "n");
+    m.add_row(2.2, 2.8, {{0, 1.0}}, "r");
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+  {
+    Model m;  // contradictory singletons
+    m.add_col(0.0, 10.0, 1.0, false, "x");
+    m.add_row(-kInf, 2.0, {{0, 1.0}}, "ub");
+    m.add_row(5.0, kInf, {{0, 1.0}}, "lb");
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+  {
+    Model m;  // fixed column breaks a row that then empties
+    m.add_col(1.0, 1.0, 0.0, false, "x");
+    m.add_row(3.0, kInf, {{0, 1.0}}, "r");  // 1 >= 3: false
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+  {
+    Model m;  // integer pinned to a fraction
+    m.add_col(1.5, 1.5, 0.0, true, "n");
+    m.add_row(0.0, kInf, {{0, 1.0}}, "r");
+    EXPECT_TRUE(presolve(m).infeasible);
+  }
+}
+
+TEST(Presolve, CascadeReachesFixpoint) {
+  // x = 4 (singleton equality) pins x; substitution turns the second
+  // row into a singleton on y, which pins y; everything collapses.
+  Model m;
+  const int x = m.add_col(0.0, 10.0, 1.0, false, "x");
+  const int y = m.add_col(0.0, 10.0, 2.0, false, "y");
+  m.add_row(4.0, 4.0, {{x, 1.0}}, "fix_x");
+  m.add_row(9.0, 9.0, {{x, 1.0}, {y, 1.0}}, "sum");
+  const Presolved pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_cols(), 0);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_DOUBLE_EQ(pre.obj_offset, 4.0 + 2.0 * 5.0);
+  const std::vector<double> x_full = pre.lift({});
+  EXPECT_DOUBLE_EQ(x_full[static_cast<std::size_t>(x)], 4.0);
+  EXPECT_DOUBLE_EQ(x_full[static_cast<std::size_t>(y)], 5.0);
+}
+
+TEST(Presolve, SolveMilpWithPresolveMatchesDirect) {
+  Model m;
+  const int x = m.add_col(0.0, 4.0, -3.0, true, "x");
+  const int y = m.add_col(1.0, 1.0, 2.0, false, "y");  // pinned
+  const int z = m.add_col(0.0, kInf, 1.0, false, "z");
+  m.add_row(-kInf, 5.0, {{x, 1.0}, {y, 1.0}, {z, 1.0}}, "cap");
+  m.add_row(1.0, kInf, {{z, 1.0}, {x, 0.5}}, "floor");
+  MilpOptions with;
+  with.presolve = true;
+  const MilpResult a = solve_milp(m, with);
+  const MilpResult b = solve_milp(m);
+  ASSERT_EQ(a.status, MilpStatus::kOptimal);
+  ASSERT_EQ(b.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  ASSERT_EQ(a.x.size(), 3u);
+  EXPECT_NEAR(a.x[static_cast<std::size_t>(y)], 1.0, 1e-12);
+  EXPECT_NEAR(m.max_infeasibility(a.x), 0.0, 1e-7);
+  (void)x;
+  (void)z;
+}
+
+class PresolveRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveRandom, EquivalentToDirectSolve) {
+  elrr::Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571 + 29);
+  Model m;
+  const int n = 4 + static_cast<int>(rng.uniform_int(0, 4));
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-3.0, 1.0);
+    const bool pin = rng.bernoulli(0.25);
+    m.add_col(pin ? std::round(lo) : lo,
+              pin ? std::round(lo) : lo + rng.uniform(0.5, 6.0),
+              rng.uniform(-2.0, 2.0), rng.bernoulli(0.4));
+  }
+  const int rows = 3 + static_cast<int>(rng.uniform_int(0, 5));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<ColEntry> entries;
+    const int width = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int k = 0; k < width; ++k) {
+      entries.push_back({static_cast<int>(rng.uniform_int(0, n - 1)),
+                         rng.uniform(-2.0, 2.0)});
+    }
+    const double mid = rng.uniform(-4.0, 4.0);
+    m.add_row(mid - rng.uniform(0.0, 5.0), mid + rng.uniform(0.0, 5.0),
+              std::move(entries));
+  }
+  MilpOptions with;
+  with.presolve = true;
+  const MilpResult a = solve_milp(m, with);
+  const MilpResult b = solve_milp(m);
+  EXPECT_EQ(a.has_solution(), b.has_solution()) << "seed " << GetParam();
+  if (a.has_solution() && b.has_solution()) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "seed " << GetParam();
+    EXPECT_LE(m.max_infeasibility(a.x), 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveRandom, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace elrr::lp

@@ -1,0 +1,87 @@
+#include "sim/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/figures.hpp"
+#include "core/tgmg.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::sim {
+namespace {
+
+using namespace figures;
+
+// ---------------------------------------------------------------------------
+// The paper's Section 1.4 golden numbers.
+// ---------------------------------------------------------------------------
+TEST(Markov, Figure1bAlphaHalfIs0491) {
+  const auto res = exact_throughput(figure1b(0.5, true));
+  ASSERT_TRUE(res.ok);
+  // The paper truncates to "0.491"; the exact stationary value of this
+  // chain is 30/61 = 0.4918...
+  EXPECT_NEAR(res.theta, 0.491, 1e-3);
+  EXPECT_NEAR(res.theta, 30.0 / 61.0, 1e-9);
+}
+
+TEST(Markov, Figure1bAlpha09Is0719) {
+  const auto res = exact_throughput(figure1b(0.9, true));
+  ASSERT_TRUE(res.ok);
+  EXPECT_NEAR(res.theta, 0.719, 5e-4);
+}
+
+TEST(Markov, Figure2MatchesClosedForm) {
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto res = exact_throughput(figure2(alpha));
+    ASSERT_TRUE(res.ok) << "alpha " << alpha;
+    EXPECT_NEAR(res.theta, figure2_throughput(alpha), 1e-6)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(Markov, Figure2BeatsFigure1bByAbout16Percent) {
+  // "approximately 16% better than the throughput ... with an early
+  // evaluation mux" (alpha = 0.9).
+  const double t1b = exact_throughput(figure1b(0.9, true)).theta;
+  const double t2 = exact_throughput(figure2(0.9)).theta;
+  EXPECT_NEAR((t2 - t1b) / t1b * 100.0, 16.0, 1.0);
+}
+
+TEST(Markov, LateEvaluationMatchesMinCycleRatio) {
+  // Without early nodes the chain is deterministic and the long-run rate
+  // is the marked-graph throughput.
+  for (const Rrg& rrg : {figure1a(0.5, false), figure1b(0.5, false),
+                         figure2(0.5, false)}) {
+    const auto res = exact_throughput(rrg);
+    ASSERT_TRUE(res.ok);
+    EXPECT_NEAR(res.theta, late_eval_throughput(rrg), 1e-9);
+  }
+}
+
+TEST(Markov, LpBoundDominatesExactThroughput) {
+  for (double alpha : {0.25, 0.5, 0.75}) {
+    const Rrg rrg = figure1b(alpha, true);
+    const auto exact = exact_throughput(rrg);
+    ASSERT_TRUE(exact.ok);
+    EXPECT_GE(throughput_upper_bound(rrg) + 1e-9, exact.theta);
+  }
+}
+
+TEST(Markov, StateCapReportsFailure) {
+  MarkovOptions options;
+  options.max_states = 2;
+  const auto res = exact_throughput(figure1b(0.5, true), options);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Markov, DeterministicSystemHasTinyChain) {
+  // Figure 1(a) under late evaluation: everything fires every cycle; the
+  // chain collapses to very few states and theta = 1.
+  const auto res = exact_throughput(figure1a(0.5, false));
+  ASSERT_TRUE(res.ok);
+  EXPECT_NEAR(res.theta, 1.0, 1e-9);
+  EXPECT_LE(res.num_states, 4u);
+}
+
+}  // namespace
+}  // namespace elrr::sim

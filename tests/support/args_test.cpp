@@ -1,0 +1,84 @@
+/// \file args_test.cpp
+/// The command-line flag parser behind the elrr tool.
+
+#include "support/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace elrr {
+namespace {
+
+Args make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"elrr"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndPositionals) {
+  Args args = make({"optimize", "a", "b"});
+  EXPECT_EQ(args.command(), "optimize");
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"a", "b"}));
+  args.finish();
+}
+
+TEST(Args, EmptyCommandLine) {
+  Args args = make({});
+  EXPECT_TRUE(args.command().empty());
+  args.finish();
+}
+
+TEST(Args, SpaceAndEqualsForms) {
+  Args args = make({"run", "--alpha", "0.5", "--beta=2"});
+  EXPECT_EQ(args.get_double("alpha", 0), 0.5);
+  EXPECT_EQ(args.get_int("beta", 0), 2);
+  args.finish();
+}
+
+TEST(Args, BooleanFlags) {
+  Args args = make({"run", "--verbose", "--fast=true", "--slow=0"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_TRUE(args.get_flag("fast"));
+  EXPECT_FALSE(args.get_flag("slow"));
+  EXPECT_FALSE(args.get_flag("absent"));
+  args.finish();
+}
+
+TEST(Args, RequireThrowsWhenMissing) {
+  Args args = make({"run"});
+  EXPECT_THROW(args.require("input"), InvalidInputError);
+}
+
+TEST(Args, UnknownFlagRejectedByFinish) {
+  Args args = make({"run", "--typo", "3"});
+  EXPECT_THROW(args.finish(), InvalidInputError);
+}
+
+TEST(Args, DuplicateFlagRejected) {
+  EXPECT_THROW(make({"run", "--x", "1", "--x", "2"}), InvalidInputError);
+}
+
+TEST(Args, BadNumbersRejected) {
+  Args args = make({"run", "--n", "abc", "--f", "1.5"});
+  EXPECT_THROW(args.get_int("n", 0), InvalidInputError);
+  EXPECT_THROW(args.get_int("f", 0), InvalidInputError);  // not integral
+}
+
+TEST(Args, U64RoundTrip) {
+  Args args = make({"run", "--seed", "18446744073709551615"});
+  EXPECT_EQ(args.get_u64("seed", 0), 18446744073709551615ULL);
+  EXPECT_EQ(args.get_u64("absent", 7), 7u);
+  args.finish();
+}
+
+TEST(Args, ValueStartingWithDashesIsNotConsumed) {
+  // "--a --b" parses as two bare flags, not a="--b".
+  Args args = make({"run", "--a", "--b", "x"});
+  EXPECT_TRUE(args.get_flag("a"));
+  EXPECT_EQ(args.get_or("b", ""), "x");
+  args.finish();
+}
+
+}  // namespace
+}  // namespace elrr

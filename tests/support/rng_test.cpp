@@ -1,0 +1,136 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace elrr {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform01();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, OpenClosedIntervalMatchesPaperConvention) {
+  // The paper draws combinational delays from (0, 20].
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform_open_closed(0.0, 20.0);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(17);
+  std::array<int, 5> hits{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    ++hits[static_cast<std::size_t>(v - 2)];
+  }
+  for (int h : hits) EXPECT_NEAR(h, n / 5, n / 50);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(19);
+  EXPECT_THROW(rng.uniform_int(3, 2), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += (rng.discrete(w) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Rng, DiscreteZeroWeightNeverChosen) {
+  Rng rng(31);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.discrete(w), 1u);
+}
+
+TEST(Rng, DiscreteRejectsAllZero) {
+  Rng rng(31);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(rng.discrete(w), Error);
+}
+
+TEST(Rng, SimplexSumsToOne) {
+  Rng rng(37);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const auto p = rng.simplex(k, 0.01);
+    double total = 0.0;
+    for (double c : p) {
+      EXPECT_GE(c, 0.01);
+      total += c;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(parent());
+    seen.insert(child());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Rng, HashNameStableAndSpread) {
+  EXPECT_EQ(hash_name("s526"), hash_name("s526"));
+  EXPECT_NE(hash_name("s526"), hash_name("s527"));
+  EXPECT_NE(hash_name("s526"), hash_name("526s"));
+}
+
+}  // namespace
+}  // namespace elrr

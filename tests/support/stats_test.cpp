@@ -1,0 +1,59 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace elrr {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(RelativePercent, MatchesPaperErrMetric) {
+  // Table 1, first row: Thlp=0.25, Th=0.239 -> err = 4.6025%.
+  EXPECT_NEAR(relative_percent(0.2500, 0.2390), 4.6025, 1e-3);
+}
+
+TEST(RelativePercent, ZeroReferenceThrows) {
+  EXPECT_THROW(relative_percent(1.0, 0.0), Error);
+  EXPECT_EQ(relative_percent(0.0, 0.0), 0.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace elrr

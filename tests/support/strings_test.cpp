@@ -1,0 +1,56 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elrr {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto f = split("a,,b,", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "b");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto f = split_ws("  G1   = NAND(G2, G3)  ");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "G1");
+  EXPECT_EQ(f[1], "=");
+  EXPECT_EQ(f[2], "NAND(G2,");
+  EXPECT_EQ(f[3], "G3)");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_upper("dff"), "DFF");
+  EXPECT_EQ(to_lower("NAND"), "nand");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(74.52, 4), "74.5200");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 4), "abcde");
+}
+
+}  // namespace
+}  // namespace elrr

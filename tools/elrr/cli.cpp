@@ -1,0 +1,405 @@
+#include "tools/elrr/cli.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "bench89/bench_format.hpp"
+#include "bench89/generator.hpp"
+#include "core/analysis.hpp"
+#include "core/opt.hpp"
+#include "core/tgmg.hpp"
+#include "elastic/control_sim.hpp"
+#include "elastic/fifo_sizing.hpp"
+#include "elastic/verilog.hpp"
+#include "heur/heuristic.hpp"
+#include "io/rrg_format.hpp"
+#include "lp/mps.hpp"
+#include "retime/leiserson_saxe.hpp"
+#include "retime/min_area.hpp"
+#include "sim/markov.hpp"
+#include "sim/simulator.hpp"
+#include "support/args.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace elrr::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(elrr -- retiming & recycling for elastic systems with early evaluation
+(DAC'09 reproduction; see README.md)
+
+usage: elrr <command> [flags]
+
+input (most commands): --input <file.rrg>  |  --circuit <name> [--seed N]
+  <name> is one of the Table-2 test cases (s27, s208, ..., s1494).
+
+commands:
+  analyze     cycle time, LP throughput bound, late-eval MCR, exact Markov
+              (small systems), Monte-Carlo throughput, effective cycle time
+  optimize    retiming & recycling: --method exact|heur|hybrid (default
+              hybrid), --epsilon E, --timeout S (per MILP), --simulate,
+              --k N (candidates shown)
+  simulate    --cycles N, --runs R, --control (SELF network), --capacity C
+  generate    --circuit <name> [--seed N] --output <file.rrg>
+  export      --format rrg|json|dot|tgmg-dot|mps|verilog [--output <file>]
+  size-fifos  --tolerance T, --max-capacity C
+  min-area    minimum-buffer retiming meeting --period P (default: the
+              min-period retiming's period); classical registers only
+  from-bench  --input <file.bench> [--output <file.rrg>]  (largest SCC,
+              unit delays; --annotate re-randomizes per the paper, --seed N)
+  help        this text
+)";
+
+struct LoadedInput {
+  std::string name;
+  Rrg rrg;
+};
+
+LoadedInput load_input(Args& args) {
+  const auto input = args.get("input");
+  const auto circuit = args.get("circuit");
+  ELRR_REQUIRE(input.has_value() != circuit.has_value(),
+               "provide exactly one of --input or --circuit");
+  if (input.has_value()) {
+    io::NamedRrg named = io::load_rrg_file(*input);
+    if (named.name.empty()) named.name = *input;
+    return {named.name, std::move(named.rrg)};
+  }
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const bench89::CircuitSpec& spec = bench89::spec_by_name(*circuit);
+  return {spec.name, bench89::make_table2_rrg(spec, seed)};
+}
+
+void print_points(std::ostream& out, const std::vector<ParetoPoint>& points,
+                  std::size_t best_index, std::size_t limit) {
+  out << "   #      tau   Theta_lp      xi_lp  exact\n";
+  for (std::size_t i = 0; i < points.size() && i < limit; ++i) {
+    const ParetoPoint& p = points[i];
+    out << format_fixed(static_cast<double>(i), 0) << "    "
+        << format_fixed(p.tau, 3) << "   " << format_fixed(p.theta_lp, 4)
+        << "     " << format_fixed(p.xi_lp, 4) << "  "
+        << (p.exact ? "yes" : "no ")
+        << (i == best_index ? "   <== best" : "") << "\n";
+  }
+}
+
+int cmd_analyze(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  const std::size_t cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 20000));
+  args.finish();
+
+  out << "rrg " << in.name << ": " << in.rrg.num_nodes() << " nodes, "
+      << in.rrg.num_edges() << " edges\n";
+  const RcEvaluation eval = evaluate_rrg(in.rrg);
+  out << "cycle time tau        = " << format_fixed(eval.tau, 4) << "\n";
+  out << "Theta upper bound (LP)= " << format_fixed(eval.theta_lp, 4) << "\n";
+  out << "late-eval Theta (MCR) = "
+      << format_fixed(late_eval_throughput(in.rrg), 4) << "\n";
+  if (in.rrg.has_telescopic()) {
+    out << "telescopic cap        = "
+        << format_fixed(throughput_cap(in.rrg), 4) << "\n";
+  }
+  sim::MarkovOptions mopt;
+  mopt.max_states = 20000;
+  const sim::MarkovResult mc = sim::exact_throughput(in.rrg, mopt);
+  if (mc.ok) {
+    out << "exact Theta (Markov)  = " << format_fixed(mc.theta, 4) << "  ("
+        << mc.num_states << " states)\n";
+  } else {
+    out << "exact Theta (Markov)  = (state space too large)\n";
+  }
+  sim::SimOptions sopt;
+  sopt.measure_cycles = cycles;
+  const sim::SimResult sim = sim::simulate_throughput(in.rrg, sopt);
+  out << "simulated Theta       = " << format_fixed(sim.theta, 4) << " +- "
+      << format_fixed(sim.stderr_theta, 4) << "\n";
+  out << "effective cycle time  = " << format_fixed(eval.tau / sim.theta, 4)
+      << "  (xi_lp " << format_fixed(eval.xi_lp, 4) << ")\n";
+  return 0;
+}
+
+int cmd_optimize(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  const std::string method = args.get_or("method", "hybrid");
+  OptOptions oopt;
+  oopt.epsilon = args.get_double("epsilon", 0.05);
+  oopt.milp.time_limit_s = args.get_double("timeout", 6.0);
+  const bool simulate = args.get_flag("simulate");
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 8));
+  const auto save = args.get("save-best");
+  args.finish();
+
+  std::vector<ParetoPoint> points;
+  if (method == "exact" || method == "hybrid") {
+    const MinEffCycResult exact = min_eff_cyc(in.rrg, oopt);
+    out << "exact walk: " << exact.points.size() << " Pareto points, "
+        << exact.milp_calls << " MILPs"
+        << (exact.all_exact ? "" : " (some budgets hit)") << ", "
+        << format_fixed(exact.seconds, 1) << "s\n";
+    points.insert(points.end(), exact.points.begin(), exact.points.end());
+  }
+  if (method == "heur" || method == "hybrid") {
+    const HeuristicResult heur = heur_eff_cyc(in.rrg);
+    out << "heuristic:  " << heur.points.size() << " Pareto points, "
+        << heur.lp_evals << " LPs, " << format_fixed(heur.seconds, 1)
+        << "s\n";
+    points.insert(points.end(), heur.points.begin(), heur.points.end());
+  }
+  ELRR_REQUIRE(!points.empty(), "unknown --method '", method,
+               "' (exact|heur|hybrid)");
+
+  // Merge: sort by tau, keep the Pareto frontier.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.tau != b.tau) return a.tau < b.tau;
+              return a.theta_lp > b.theta_lp;
+            });
+  std::vector<ParetoPoint> frontier;
+  double best_theta = -1.0;
+  for (ParetoPoint& p : points) {
+    if (p.theta_lp > best_theta + 1e-12) {
+      best_theta = p.theta_lp;
+      frontier.push_back(std::move(p));
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    if (frontier[i].xi_lp < frontier[best].xi_lp) best = i;
+  }
+  print_points(out, frontier, best, k);
+
+  if (simulate) {
+    out << "\nsimulated candidates:\n";
+    out << "   #   Theta_sim     xi_sim\n";
+    std::size_t best_sim = 0;
+    double best_xi = 0.0;
+    for (std::size_t i = 0; i < frontier.size() && i < k; ++i) {
+      const Rrg tuned = apply_config(in.rrg, frontier[i].config);
+      const sim::SimResult sim = sim::simulate_throughput(tuned);
+      const double xi = frontier[i].tau / sim.theta;
+      if (i == 0 || xi < best_xi) {
+        best_xi = xi;
+        best_sim = i;
+      }
+      out << format_fixed(static_cast<double>(i), 0) << "   "
+          << format_fixed(sim.theta, 4) << "     " << format_fixed(xi, 4)
+          << "\n";
+    }
+    out << "best by simulation: #" << best_sim << " (xi = "
+        << format_fixed(best_xi, 4) << ")\n";
+  }
+  if (save.has_value()) {
+    const Rrg tuned = apply_config(in.rrg, frontier[best].config);
+    io::save_text_file(*save, io::write_rrg(tuned, in.name + "_optimized"));
+    out << "saved best configuration to " << *save << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  const std::size_t cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 20000));
+  const std::size_t runs = static_cast<std::size_t>(args.get_int("runs", 3));
+  const std::uint64_t sim_seed = args.get_u64("sim-seed", 1);
+  const bool control = args.get_flag("control");
+  const int capacity = args.get_int("capacity", 2);
+  args.finish();
+
+  if (control) {
+    elastic::ControlSimOptions copt;
+    copt.capacity = capacity;
+    copt.measure_cycles = cycles;
+    copt.runs = runs;
+    copt.seed = sim_seed;
+    const sim::SimResult r = elastic::simulate_control_throughput(in.rrg, copt);
+    out << "SELF control network (capacity " << capacity << "): Theta = "
+        << format_fixed(r.theta, 4) << " +- "
+        << format_fixed(r.stderr_theta, 4) << " over " << r.cycles
+        << " cycles\n";
+  } else {
+    sim::SimOptions sopt;
+    sopt.measure_cycles = cycles;
+    sopt.runs = runs;
+    sopt.seed = sim_seed;
+    const sim::SimResult r = sim::simulate_throughput(in.rrg, sopt);
+    out << "token-level kernel: Theta = " << format_fixed(r.theta, 4)
+        << " +- " << format_fixed(r.stderr_theta, 4) << " over " << r.cycles
+        << " cycles\n";
+  }
+  return 0;
+}
+
+int cmd_generate(Args& args, std::ostream& out) {
+  const std::string name = args.require("circuit");
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::string output = args.require("output");
+  args.finish();
+
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name(name), seed);
+  io::save_text_file(output, io::write_rrg(rrg, name));
+  out << "wrote " << name << " (seed " << seed << "): " << rrg.num_nodes()
+      << " nodes, " << rrg.num_edges() << " edges -> " << output << "\n";
+  return 0;
+}
+
+int cmd_export(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  const std::string format = args.get_or("format", "rrg");
+  const auto output = args.get("output");
+  args.finish();
+
+  std::string text;
+  if (format == "rrg") {
+    text = io::write_rrg(in.rrg, in.name);
+  } else if (format == "json") {
+    text = io::write_json(in.rrg, in.name);
+  } else if (format == "dot") {
+    text = in.rrg.to_dot();
+  } else if (format == "tgmg-dot") {
+    text = refined_tgmg(in.rrg).to_dot();
+  } else if (format == "mps") {
+    // The throughput-bound LP (eq. 4/11) of the refined TGMG, for
+    // cross-checking Theta_lp with an external solver.
+    text = lp::to_mps(build_throughput_lp(refined_tgmg(in.rrg)).model,
+                      in.name);
+  } else if (format == "verilog") {
+    elastic::VerilogOptions vopt;
+    text = elastic::emit_verilog(in.rrg, vopt);
+  } else {
+    throw InvalidInputError("unknown --format '" + format +
+                            "' (rrg|json|dot|tgmg-dot|verilog)");
+  }
+  if (output.has_value()) {
+    io::save_text_file(*output, text);
+    out << "wrote " << text.size() << " bytes to " << *output << "\n";
+  } else {
+    out << text;
+  }
+  return 0;
+}
+
+int cmd_size_fifos(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  elastic::FifoSizingOptions fopt;
+  fopt.tolerance = args.get_double("tolerance", 0.02);
+  fopt.max_capacity = args.get_int("max-capacity", 32);
+  fopt.sim.measure_cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 8000));
+  args.finish();
+
+  const elastic::FifoSizingResult r = elastic::size_fifos(in.rrg, fopt);
+  out << "reference Theta (capacity " << fopt.max_capacity << ") = "
+      << format_fixed(r.theta_reference, 4) << "\n";
+  out << "smallest uniform capacity = " << r.uniform_capacity
+      << "  (Theta " << format_fixed(r.theta_uniform, 4) << ")\n";
+  int trimmed = 0, stages = 0;
+  for (EdgeId e = 0; e < in.rrg.num_edges(); ++e) {
+    if (in.rrg.buffers(e) == 0) continue;
+    ++stages;
+    if (r.capacity[e] < r.uniform_capacity) ++trimmed;
+  }
+  out << "per-edge trim: " << trimmed << "/" << stages
+      << " channels reduced to capacity 1 (final Theta "
+      << format_fixed(r.theta_final, 4) << ", " << r.sim_evals
+      << " simulations)\n";
+  return 0;
+}
+
+int cmd_min_area(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  const double requested = args.get_double("period", -1.0);
+  const double timeout = args.get_double("timeout", 10.0);
+  args.finish();
+
+  const retime::RetimingResult ls = retime::min_period_retiming(in.rrg);
+  const double period = requested > 0 ? requested : ls.period;
+  out << "min period by retiming = " << format_fixed(ls.period, 4)
+      << "; sizing for period " << format_fixed(period, 4) << "\n";
+
+  int before = 0;
+  for (EdgeId e = 0; e < in.rrg.num_edges(); ++e) {
+    before += in.rrg.buffers(e);
+  }
+  lp::MilpOptions mopt;
+  mopt.time_limit_s = timeout;
+  const retime::MinAreaResult result =
+      retime::min_area_retiming(in.rrg, period, mopt);
+  if (!result.feasible) {
+    out << "infeasible: no retiming meets that period"
+        << (result.exact ? "" : " within the budget") << "\n";
+    return 1;
+  }
+  out << "buffers: " << before << " -> " << result.total_buffers
+      << (result.exact ? " (optimal)" : " (budget hit; best found)")
+      << "\n";
+  return 0;
+}
+
+int cmd_from_bench(Args& args, std::ostream& out) {
+  const std::string input = args.require("input");
+  const auto output = args.get("output");
+  const bool annotate = args.get_flag("annotate");
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  args.finish();
+
+  const bench89::BenchCircuit circuit =
+      bench89::parse_bench(io::load_text_file(input), input);
+  Rrg rrg = bench89::largest_scc_rrg(bench89::circuit_to_rrg(circuit));
+  out << circuit.name << ": " << circuit.gates.size() << " gates -> largest "
+      << "SCC " << rrg.num_nodes() << " nodes, " << rrg.num_edges()
+      << " edges\n";
+  if (annotate) {
+    // Re-randomize per the paper's Section 5 protocol, keeping the
+    // structure: tokens p=0.25 + liveness repair, delays U(0,20],
+    // early-eval probability 0.4 among multi-input nodes.
+    int multi_in = 0;
+    for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+      if (rrg.graph().in_degree(n) >= 2) ++multi_in;
+    }
+    const int n_early = static_cast<int>(0.4 * multi_in + 0.5);
+    rrg = bench89::annotate(rrg.graph(), n_early, {}, seed);
+    out << "annotated: " << n_early << " early nodes, seed " << seed << "\n";
+  }
+  if (output.has_value()) {
+    io::save_text_file(*output, io::write_rrg(rrg, circuit.name));
+    out << "wrote " << *output << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  try {
+    Args args(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd.empty() || cmd == "help") {
+      out << kUsage;
+      return cmd.empty() ? 2 : 0;
+    }
+    if (cmd == "analyze") return cmd_analyze(args, out);
+    if (cmd == "optimize") return cmd_optimize(args, out);
+    if (cmd == "simulate") return cmd_simulate(args, out);
+    if (cmd == "generate") return cmd_generate(args, out);
+    if (cmd == "export") return cmd_export(args, out);
+    if (cmd == "size-fifos") return cmd_size_fifos(args, out);
+    if (cmd == "min-area") return cmd_min_area(args, out);
+    if (cmd == "from-bench") return cmd_from_bench(args, out);
+    err << "elrr: unknown command '" << cmd << "' (try `elrr help`)\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "elrr: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "elrr: internal error: " << e.what() << "\n";
+    return 3;
+  }
+}
+
+}  // namespace elrr::cli

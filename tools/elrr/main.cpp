@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "tools/elrr/cli.hpp"
+
+int main(int argc, char** argv) {
+  return elrr::cli::run(argc, argv, std::cout, std::cerr);
+}
