@@ -16,6 +16,8 @@
 #include "heur/heuristic.hpp"
 #include "io/rrg_format.hpp"
 #include "lp/milp.hpp"
+#include "sim/choosers.hpp"
+#include "sim/flat_kernel.hpp"
 #include "sim/markov.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
@@ -118,6 +120,41 @@ void BM_TokenSimulation(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_TokenSimulation)->Arg(1000)->Arg(10000);
+
+// The standard multi-run workload (every table/figure flow simulates each
+// candidate with >= 2 replications): the batched stepper interleaves the
+// runs through one pass, so cycles/sec here is the fast path's headline
+// number. items == total simulated cycles across runs.
+void BM_TokenSimulationMultiRun(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  sim::SimOptions options;
+  options.warmup_cycles = 100;
+  options.measure_cycles = static_cast<std::size_t>(state.range(0));
+  options.runs = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_throughput(rrg, options).theta);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          state.range(0));
+}
+BENCHMARK(BM_TokenSimulationMultiRun)->Arg(10000);
+
+// The same medium workload pinned to the reference kernel: the flat-path
+// speedup is BM_TokenSimulation* / BM_TokenSimulationReference.
+void BM_TokenSimulationReference(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  sim::SimOptions options;
+  options.warmup_cycles = 100;
+  options.measure_cycles = static_cast<std::size_t>(state.range(0));
+  options.runs = 1;
+  options.force_reference = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_throughput(rrg, options).theta);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TokenSimulationReference)->Arg(10000);
 
 void BM_MarkovFigure1b(benchmark::State& state) {
   const Rrg rrg = figures::figure1b(0.5, true);
@@ -224,10 +261,50 @@ void BM_TelescopicKernelStep(benchmark::State& state) {
     return rng.bernoulli(0.2);
   };
   for (auto _ : state) {
-    benchmark::DoNotOptimize(kernel.step(st, guard, latency).total_firings);
+    benchmark::DoNotOptimize(kernel.step(st, guard, latency));
   }
 }
 BENCHMARK(BM_TelescopicKernelStep);
+
+// The flat fast path on the identical telescopic workload: SoA state,
+// bit-ring channels, table choosers inlined through the step template.
+void BM_TelescopicFlatKernelStep(benchmark::State& state) {
+  Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  for (NodeId n = 0; n < rrg.num_nodes(); n += 5) {
+    rrg.set_telescopic(n, 0.8, 2);
+  }
+  const sim::FlatKernel kernel(rrg);
+  const sim::GuardTable guards(rrg);
+  const sim::LatencyTable latencies(rrg);
+  Rng master(3);
+  std::vector<Rng> streams;
+  for (std::size_t n = 0; n < rrg.num_nodes(); ++n) {
+    streams.push_back(master.split());
+  }
+  const sim::TableGuardChooser guard{&guards, streams.data()};
+  const sim::TableLatencyChooser latency{&latencies, streams.data()};
+  sim::FlatState st = kernel.initial_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.step(st, guard, latency));
+  }
+}
+BENCHMARK(BM_TelescopicFlatKernelStep);
+
+// Multi-run driver scaling: same total cycles, split across workers.
+void BM_TokenSimulationThreads(benchmark::State& state) {
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"), 1);
+  sim::SimOptions options;
+  options.warmup_cycles = 100;
+  options.measure_cycles = 5000;
+  options.runs = 4;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_throughput(rrg, options).theta);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.runs) * 5000);
+}
+BENCHMARK(BM_TokenSimulationThreads)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -46,6 +46,8 @@ FlowOptions FlowOptions::from_env() {
   options.milp_timeout_s = env_double("ELRR_MILP_TIMEOUT", 6.0);
   options.sim_cycles =
       static_cast<std::size_t>(env_double("ELRR_SIM_CYCLES", 20000));
+  options.sim_threads =
+      static_cast<std::size_t>(env_double("ELRR_SIM_THREADS", 1));
   options.polish = env_double("ELRR_POLISH", 0) != 0;
   options.use_heuristic = env_double("ELRR_HEUR", 1) != 0;
   options.exact_max_edges =
@@ -147,6 +149,7 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   sopt.measure_cycles = options.sim_cycles;
   sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
   sopt.runs = 2;
+  sopt.threads = options.sim_threads;
 
   int original_buffers = 0;
   for (EdgeId e = 0; e < rrg.num_edges(); ++e) {

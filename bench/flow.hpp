@@ -9,6 +9,7 @@
 ///   ELRR_EPSILON         MIN_EFF_CYC epsilon         (default 0.05; paper 0.01)
 ///   ELRR_MILP_TIMEOUT    seconds per MILP            (default 6)
 ///   ELRR_SIM_CYCLES      measured cycles per run     (default 20000)
+///   ELRR_SIM_THREADS     simulation worker threads   (default 1; 0 = all cores)
 ///   ELRR_TABLE2_FULL     1 = all 18 circuits         (default: <= 150 edges)
 
 #include <cstdlib>
@@ -28,6 +29,9 @@ struct FlowOptions {
   double epsilon = 0.05;
   double milp_timeout_s = 6.0;
   std::size_t sim_cycles = 20000;
+  /// Worker threads for the candidate simulations (SimOptions::threads);
+  /// deterministic: thread count never changes the reported theta.
+  std::size_t sim_threads = 1;
   std::size_t max_simulated_points = 8;
   /// Run the MAX_THR polish inside MIN_EFF_CYC (paper-exact, slower);
   /// env ELRR_POLISH=1. bench_table1 enables it by default.

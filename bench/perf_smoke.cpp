@@ -1,0 +1,112 @@
+/// \file perf_smoke.cpp
+/// Opt-in perf trajectory for the simulation fast path: measures
+/// single-thread token-simulation throughput (simulated cycles/sec) on a
+/// small, a medium and a large RRG, for both the FlatKernel fast path
+/// and the reference Kernel, and writes BENCH_sim.json next to (or at)
+/// the path given as argv[1]. Build with the Release `perf_smoke` CMake
+/// target; `cmake --build build --target run_perf_smoke` runs it.
+///
+/// The workload is the standard Monte-Carlo driver (4 replications,
+/// interleaved by the batched stepper on the fast path) -- the shape
+/// every table/figure flow uses. Numbers are machine-dependent; compare
+/// trajectories on one machine, not absolutes across machines.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench89/generator.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Case {
+  const char* label;
+  const char* circuit;
+  std::size_t measure_cycles;
+};
+
+struct Row {
+  double flat_cps = 0.0;  ///< simulated cycles/sec, fast path
+  double ref_cps = 0.0;   ///< simulated cycles/sec, reference kernel
+  double theta = 0.0;
+  bool bit_exact = false;
+};
+
+Row measure(const Case& c) {
+  const elrr::Rrg rrg = elrr::bench89::make_table2_rrg(
+      elrr::bench89::spec_by_name(c.circuit), 1);
+  elrr::sim::SimOptions options;
+  options.warmup_cycles = 200;
+  options.measure_cycles = c.measure_cycles;
+  options.runs = 4;
+  options.threads = 1;
+
+  const double total_cycles = static_cast<double>(
+      (options.warmup_cycles + options.measure_cycles) * options.runs);
+  Row row;
+  double best_flat = 1e300, best_ref = 1e300;
+  double ref_theta = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    options.force_reference = false;
+    auto t0 = Clock::now();
+    row.theta = elrr::sim::simulate_throughput(rrg, options).theta;
+    best_flat = std::min(
+        best_flat, std::chrono::duration<double>(Clock::now() - t0).count());
+    options.force_reference = true;
+    t0 = Clock::now();
+    ref_theta = elrr::sim::simulate_throughput(rrg, options).theta;
+    best_ref = std::min(
+        best_ref, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  row.flat_cps = total_cycles / best_flat;
+  row.ref_cps = total_cycles / best_ref;
+  row.bit_exact = row.theta == ref_theta;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const Case cases[] = {
+      {"small", "s27", 100000},
+      {"medium", "s526", 50000},
+      {"large", "s1488", 10000},
+  };
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"token_simulation\",\n"
+                    "  \"unit\": \"simulated_cycles_per_second\",\n"
+                    "  \"threads\": 1,\n  \"runs\": 4,\n  \"cases\": {\n");
+  bool first = true;
+  for (const Case& c : cases) {
+    const Row row = measure(c);
+    std::fprintf(out,
+                 "%s    \"%s\": {\"circuit\": \"%s\", "
+                 "\"cycles_per_sec\": %.0f, "
+                 "\"cycles_per_sec_reference\": %.0f, "
+                 "\"speedup_vs_reference\": %.2f, "
+                 "\"theta\": %.6f, \"bit_exact\": %s}",
+                 first ? "" : ",\n", c.label, c.circuit, row.flat_cps,
+                 row.ref_cps, row.flat_cps / row.ref_cps, row.theta,
+                 row.bit_exact ? "true" : "false");
+    std::printf("%-6s (%s): flat %.2fM cyc/s, reference %.2fM cyc/s, "
+                "speedup %.2fx, %s\n",
+                c.label, c.circuit, row.flat_cps / 1e6, row.ref_cps / 1e6,
+                row.flat_cps / row.ref_cps,
+                row.bit_exact ? "bit-exact" : "MISMATCH");
+    first = false;
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

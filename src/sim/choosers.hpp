@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file choosers.hpp
+/// Zero-dispatch guard/latency choosers for FlatKernel's templated step.
+///
+/// The Monte-Carlo hot loop samples one guard per early-node firing slot
+/// and one latency per telescopic firing. The reference driver built a
+/// std::vector<double> of gammas per node and went through
+/// std::function-wrapped lambdas into Rng::discrete; here the tables are
+/// precomputed once into flat arrays and the choosers are plain functors,
+/// so the compiler inlines the whole draw into the step loop.
+///
+/// Reproducibility contract: every sample consumes exactly one raw draw
+/// from the node's stream, and *both* simulate paths (FlatKernel fast
+/// path and reference-Kernel fallback) draw through these same tables --
+/// that shared arithmetic, not any equivalence to Rng::discrete, is what
+/// makes a fixed seed produce bit-identical theta on either path (the
+/// differential tests pin this down). The integer thresholds are
+/// truncated CDFs, so selections may differ from Rng::discrete at
+/// boundary draws; LatencyTable's ceil'd threshold, by contrast, is an
+/// exact integer rewrite of `uniform01() >= fast_prob`.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rrg.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::sim {
+
+/// A uniform 53-bit draw: the integer whose scaling by 2^-53 is
+/// Rng::uniform01(). Comparing it against precomputed integer thresholds
+/// replaces the per-draw floating-point CDF walk with integer compares.
+inline std::uint64_t draw53(Rng& rng) { return rng() >> 11; }
+inline constexpr double kScale53 = 9007199254740992.0;  // 2^53
+
+/// Per-node guard CDF tables: each early node's input gammas as a
+/// contiguous slice of cumulative 53-bit integer thresholds. A draw u
+/// selects the first position with u < cdf[i]; the last threshold is
+/// saturated to 2^53, absorbing rounding. Simple nodes get empty slices.
+class GuardTable {
+ public:
+  explicit GuardTable(const Rrg& rrg) {
+    const std::size_t n = rrg.num_nodes();
+    off_.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      off_[v + 1] = off_[v];
+      if (!rrg.is_early(v)) continue;
+      double total = 0.0;
+      for (EdgeId e : rrg.graph().in_edges(v)) {
+        const double w = rrg.gamma(e);
+        ELRR_REQUIRE(w >= 0.0, "negative gamma on an early input");
+        total += w;
+      }
+      ELRR_REQUIRE(total > 0.0, "all gammas zero on an early node");
+      double prefix = 0.0;
+      for (EdgeId e : rrg.graph().in_edges(v)) {
+        prefix += rrg.gamma(e);
+        cdf_.push_back(static_cast<std::uint64_t>(prefix / total * kScale53));
+        ++off_[v + 1];
+      }
+      cdf_.back() = static_cast<std::uint64_t>(kScale53);  // absorb rounding
+    }
+  }
+
+  /// Samples an input position for early node n, consuming exactly one
+  /// draw from `rng` (the same stream consumption as Rng::uniform01).
+  std::size_t sample(NodeId n, Rng& rng) const {
+    const std::uint32_t begin = off_[n], end = off_[n + 1];
+    const std::uint64_t u = draw53(rng);
+    std::uint32_t i = begin;
+    while (i + 1 < end && u >= cdf_[i]) ++i;
+    return i - begin;
+  }
+
+ private:
+  std::vector<std::uint32_t> off_;  ///< per node: slice into cdf_
+  std::vector<std::uint64_t> cdf_;
+};
+
+/// Per-node fast-path probabilities for telescopic latency draws, as
+/// 53-bit thresholds: slow iff draw >= threshold, exactly the integer
+/// form of `uniform01() >= fast_prob`.
+class LatencyTable {
+ public:
+  explicit LatencyTable(const Rrg& rrg) {
+    threshold_.resize(rrg.num_nodes());
+    for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+      // ceil: u * 2^-53 >= p  <=>  u >= ceil(p * 2^53) for integer u.
+      threshold_[n] = static_cast<std::uint64_t>(
+          std::ceil(rrg.telescopic(n).fast_prob * kScale53));
+    }
+  }
+
+  /// True = slow path; consumes exactly one draw from `rng`.
+  bool sample(NodeId n, Rng& rng) const {
+    return draw53(rng) >= threshold_[n];
+  }
+
+ private:
+  std::vector<std::uint64_t> threshold_;
+};
+
+/// Functor binding a GuardTable to per-node RNG streams; passes through
+/// FlatKernel::step's GuardFn template parameter with zero dispatch.
+struct TableGuardChooser {
+  const GuardTable* table;
+  Rng* streams;  ///< one independent stream per node
+  std::size_t operator()(NodeId n) const {
+    return table->sample(n, streams[n]);
+  }
+};
+
+/// Functor binding a LatencyTable to the same per-node streams (guard and
+/// latency draws of one node interleave on its stream, exactly like the
+/// reference driver).
+struct TableLatencyChooser {
+  const LatencyTable* table;
+  Rng* streams;
+  bool operator()(NodeId n) const { return table->sample(n, streams[n]); }
+};
+
+/// Guard chooser for FlatKernel::step_batch: run r of the batch draws
+/// from its own per-node streams (laid out run-major, `run * num_nodes +
+/// n`), so every run consumes exactly the stream the solo driver would.
+struct BatchTableGuardChooser {
+  const GuardTable* table;
+  Rng* streams;
+  std::size_t num_nodes;
+  std::size_t operator()(NodeId n, std::size_t run) const {
+    return table->sample(n, streams[run * num_nodes + n]);
+  }
+};
+
+}  // namespace elrr::sim

@@ -1,0 +1,233 @@
+#include "sim/flat_kernel.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+
+namespace elrr::sim {
+
+bool FlatKernel::supports(const Rrg& rrg) {
+  if (rrg.num_nodes() > 0xffff) return false;  // NodeProg::node is u16
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    if (rrg.buffers(e) > 64) return false;  // bit-ring window is one u64
+  }
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    // Degree fields are u8 (127 for early nodes: the guard encoding).
+    if (rrg.graph().in_degree(n) > (rrg.is_early(n) ? 127u : 255u) ||
+        rrg.graph().out_degree(n) > 255) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FlatKernel::FlatKernel(const Rrg& rrg) : rrg_(rrg) {
+  rrg_.validate();
+  ELRR_REQUIRE(supports(rrg),
+               "FlatKernel supports EB chains of at most 64 buffers; use "
+               "sim::Kernel for deeper chains");
+  num_nodes_ = rrg.num_nodes();
+  num_edges_ = static_cast<EdgeId>(rrg.num_edges());
+  const Digraph& g = rrg.graph();
+
+  const auto order = graph::topological_order(
+      g, [&](EdgeId e) { return rrg.buffers(e) == 0; });
+  ELRR_ASSERT(order.has_value(), "live RRG cannot have a zero-buffer cycle");
+  order_ = *order;
+
+  // Build the node program in combinational firing order; the CSR edge
+  // slices are laid out in the same order, so one step reads both arrays
+  // front to back. Per-node edge order within a slice must match the
+  // Digraph's (guard positions index into in_edges(n)).
+  prog_.reserve(num_nodes_);
+  in_csr_.reserve(num_edges_);
+  out_csr_.reserve(num_edges_);
+  for (const NodeId n : order_) {
+    NodeProg p;
+    p.node = static_cast<std::uint16_t>(n);
+    p.in_begin = static_cast<std::uint32_t>(in_csr_.size());
+    p.out_begin = static_cast<std::uint32_t>(out_csr_.size());
+    p.in_count = static_cast<std::uint8_t>(g.in_degree(n));
+    in_csr_.insert(in_csr_.end(), g.in_edges(n).begin(), g.in_edges(n).end());
+    // The out slice groups combinational edges first, buffered ones last
+    // (emit_masked relies on the split; order within a group is free
+    // since each out-edge is touched exactly once).
+    for (EdgeId e : g.out_edges(n)) {
+      if (rrg.buffers(e) == 0) {
+        out_csr_.push_back(e);
+        ++p.out_comb;
+      }
+    }
+    for (EdgeId e : g.out_edges(n)) {
+      if (rrg.buffers(e) > 0) {
+        out_csr_.push_back(e);
+        ++p.out_ring;
+      }
+    }
+    // Degree-1 sides store their edge id inline (see NodeProg).
+    if (p.in_count == 1) p.in_begin = g.in_edges(n).front();
+    if (g.out_degree(n) == 1) {
+      const EdgeId e = g.out_edges(n).front();
+      p.out_begin = e;
+      if (rrg.buffers(e) > 0) p.flags |= NodeProg::kOut1Ring;
+    }
+    if (rrg.is_early(n)) p.flags |= NodeProg::kEarly;
+    if (rrg.is_telescopic(n)) {
+      p.slow_countdown =
+          static_cast<std::uint8_t>(rrg.telescopic(n).slow_extra + 1);
+      telescopic_prog_.push_back(static_cast<std::uint32_t>(prog_.size()));
+    }
+    prog_.push_back(p);
+  }
+  // Stable NodeId-ordered views (the enumerator / test API).
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (rrg.is_early(n)) early_nodes_.push_back(n);
+    if (rrg.is_telescopic(n)) telescopic_nodes_.push_back(n);
+  }
+
+  inject_bit_.assign(num_edges_, 0);
+  buffers_.assign(num_edges_, 0);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    const int r = rrg.buffers(e);
+    buffers_[e] = r;
+    if (r > 0) {
+      inject_bit_[e] = std::uint64_t{1} << (r - 1);
+      buffered_edges_.push_back(e);
+    }
+  }
+}
+
+FlatState FlatKernel::initial_state() const {
+  FlatState state;
+  state.tokens.resize(num_edges_);
+  state.window.assign(num_edges_, 0);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    state.tokens[e] = rrg_.tokens(e);
+  }
+  state.pending_guard.assign(num_nodes_, kNoGuard);
+  state.busy.assign(num_nodes_, 0);
+  return state;
+}
+
+FlatBatchState FlatKernel::initial_batch_state(std::size_t runs) const {
+  ELRR_REQUIRE(runs > 0, "batch needs at least one run");
+  ELRR_REQUIRE(telescopic_nodes_.empty(),
+               "batched stepping does not support telescopic nodes; run "
+               "them through the solo path");
+  FlatBatchState state;
+  state.runs = runs;
+  state.tokens.resize(num_edges_ * runs);
+  state.window.assign(num_edges_ * runs, 0);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    for (std::size_t r = 0; r < runs; ++r) {
+      state.tokens[e * runs + r] = rrg_.tokens(e);
+    }
+  }
+  state.pending_guard.assign(num_nodes_ * runs, kNoGuard);
+  state.busy.assign(num_nodes_ * runs, 0);
+  return state;
+}
+
+FlatState FlatKernel::extract_run(const FlatBatchState& state,
+                                  std::size_t run) const {
+  ELRR_REQUIRE(run < state.runs, "run index out of range");
+  FlatState flat;
+  flat.tokens.resize(num_edges_);
+  flat.window.resize(num_edges_);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    flat.tokens[e] = state.tokens[e * state.runs + run];
+    flat.window[e] = state.window[e * state.runs + run];
+  }
+  flat.pending_guard.resize(num_nodes_);
+  flat.busy.resize(num_nodes_);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    flat.pending_guard[n] = state.pending_guard[n * state.runs + run];
+    flat.busy[n] = state.busy[n * state.runs + run];
+  }
+  return flat;
+}
+
+SyncState FlatKernel::to_sync(const FlatState& state) const {
+  SyncState sync;
+  sync.edges.resize(num_edges_);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    EdgeState& edge = sync.edges[e];
+    edge.ready = std::max(state.tokens[e], 0);
+    edge.anti = std::max(-state.tokens[e], 0);
+    edge.inflight.resize(static_cast<std::size_t>(buffers_[e]));
+    for (int k = 0; k < buffers_[e]; ++k) {
+      edge.inflight[static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>((state.window[e] >> k) & 1);
+    }
+  }
+  sync.pending_guard = state.pending_guard;
+  sync.busy = state.busy;
+  return sync;
+}
+
+FlatState FlatKernel::from_sync(const SyncState& state) const {
+  ELRR_REQUIRE(state.edges.size() == num_edges_,
+               "state does not match this kernel's RRG");
+  FlatState flat;
+  flat.tokens.resize(num_edges_);
+  flat.window.assign(num_edges_, 0);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    const EdgeState& edge = state.edges[e];
+    ELRR_REQUIRE(edge.ready == 0 || edge.anti == 0,
+                 "ready and anti tokens cannot coexist on one edge");
+    flat.tokens[e] = edge.ready - edge.anti;
+    for (std::size_t k = 0; k < edge.inflight.size(); ++k) {
+      if (edge.inflight[k] != 0) flat.window[e] |= std::uint64_t{1} << k;
+    }
+  }
+  flat.pending_guard = state.pending_guard;
+  flat.busy = state.busy;
+  return flat;
+}
+
+std::vector<std::uint8_t> FlatKernel::encode(const FlatState& state) const {
+  // Byte-identical to SyncState::encode() of the corresponding state, so
+  // enumeration caches built against either kernel agree.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(num_edges_ * 4 + num_nodes_ * 2);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    const std::int32_t ready = std::max(state.tokens[e], 0);
+    const std::int32_t anti = std::max(-state.tokens[e], 0);
+    ELRR_ASSERT(ready < 0x8000 && anti < 0x8000, "state encoding overflow");
+    bytes.push_back(static_cast<std::uint8_t>(ready & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(ready >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(anti & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>(anti >> 8));
+    // The window's low R(e) bits, least significant first, in byte groups
+    // -- the same packing SyncState::encode applies to `inflight`.
+    for (int base = 0; base < buffers_[e]; base += 8) {
+      bytes.push_back(static_cast<std::uint8_t>(
+          (state.window[e] >> base) & 0xff));
+    }
+  }
+  for (std::int8_t guard : state.pending_guard) {
+    bytes.push_back(static_cast<std::uint8_t>(guard));
+  }
+  bytes.insert(bytes.end(), state.busy.begin(), state.busy.end());
+  return bytes;
+}
+
+std::vector<NodeId> FlatKernel::sampling_nodes(const FlatState& state) const {
+  std::vector<NodeId> nodes;
+  for (NodeId n : early_nodes_) {
+    if (state.pending_guard[n] == kNoGuard && state.busy[n] == 0) {
+      nodes.push_back(n);
+    }
+  }
+  return nodes;
+}
+
+std::vector<NodeId> FlatKernel::latency_nodes(const FlatState& state) const {
+  std::vector<NodeId> nodes;
+  for (NodeId n : telescopic_nodes_) {
+    if (state.busy[n] == 0) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+}  // namespace elrr::sim

@@ -1,0 +1,460 @@
+#pragma once
+
+/// \file flat_kernel.hpp
+/// Allocation-free, cache-friendly fast path of the synchronous elastic
+/// semantics. Implements *exactly* the transition function of sim::Kernel
+/// (kernel.hpp) -- differential tests assert bit-exact agreement per cycle
+/// -- but with a data layout built for throughput:
+///
+///  * structure of arrays: all edge `ready`/`anti` counters and node
+///    `pending_guard`/`busy` flags live in contiguous vectors (FlatState),
+///    so a step streams over dense arrays instead of chasing
+///    vector-of-vector payloads;
+///  * bit-ring channels: an EB chain's occupancy is one uint64 window per
+///    edge (bit k set <=> a token arrives at the consumer after k + 1
+///    end-of-cycle boundaries). Injection ORs bit R-1, the end-of-cycle
+///    advance tests bit 0 and shifts the window right -- O(1) per edge,
+///    no inner shift loop, no per-edge heap storage (this caps supported
+///    chains at 64 EBs; see supports());
+///  * CSR adjacency: in/out edge lists are flattened into offset + index
+///    arrays, and per-node kind/latency attributes are copied into dense
+///    arrays at construction, so the inner loop never touches Rrg or
+///    Digraph;
+///  * templated choosers: step() is a template over the guard/latency
+///    chooser types, so Monte-Carlo drivers pay zero std::function
+///    dispatch (see choosers.hpp); flexible std::function-style lambdas
+///    still work for the Markov enumerator.
+///
+/// See src/sim/README.md for the full architecture note.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rrg.hpp"
+#include "sim/kernel.hpp"
+#include "support/error.hpp"
+
+namespace elrr::sim {
+
+/// Full synchronous state in structure-of-arrays layout. Semantically
+/// identical to SyncState (FlatKernel::to_sync converts); all vectors are
+/// sized once by initial_state() and never reallocated by step().
+///
+/// Ready and anti-token counters are merged into one signed count per
+/// edge: `tokens > 0` is the reference state's `ready`, `tokens < 0` is
+/// `-anti`. The merge is lossless because the reference semantics keep
+/// `ready * anti == 0` invariant -- deposits annihilate against pending
+/// anti-tokens before becoming ready, and anti-tokens are only minted
+/// while no ready token is present. It also makes every token movement a
+/// single unconditional +-1: a deposit is ++tokens (annihilation is
+/// automatic), and an early firing decrements *all* its inputs (selected
+/// token, late-token cancellation and anti-token mint are all -1).
+struct FlatState {
+  std::vector<std::int32_t> tokens;    ///< per edge: ready (>0) / -anti (<0)
+  std::vector<std::uint64_t> window;   ///< per edge: EB-chain bit-ring
+  std::vector<std::int8_t> pending_guard;  ///< per node (kNoGuard = none)
+  std::vector<std::uint8_t> busy;          ///< per node: slow countdown
+
+  bool operator==(const FlatState&) const = default;
+};
+
+/// Latency chooser that never takes the slow path; the default for
+/// non-telescopic workloads (never called for non-telescopic nodes, so it
+/// costs nothing).
+struct NeverSlow {
+  bool operator()(NodeId) const { return false; }
+};
+
+/// K interleaved independent runs in one state block: every per-edge /
+/// per-node quantity is stored K-wide (index `id * K + run`). Stepping
+/// all runs through one pass amortizes the graph metadata across runs
+/// and gives the CPU K independent dependency chains -- the
+/// instruction-level analogue of the thread-level multi-run driver
+/// (essential on few-core hosts). Runs are bit-exactly the runs the solo
+/// path would produce; the differential tests pin that down.
+struct FlatBatchState {
+  std::size_t runs = 0;
+  std::vector<std::int32_t> tokens;
+  std::vector<std::uint64_t> window;
+  std::vector<std::int8_t> pending_guard;
+  std::vector<std::uint8_t> busy;
+};
+
+class FlatKernel {
+ public:
+  /// Precomputes the flat structure. The Rrg must outlive the kernel and
+  /// stay structurally unchanged while the kernel is in use.
+  explicit FlatKernel(const Rrg& rrg);
+  FlatKernel(Rrg&&) = delete;  // would dangle: the kernel keeps a reference
+
+  /// True iff the flat layout can represent the RRG: every EB chain fits
+  /// the 64-bit ring window. Callers fall back to the reference Kernel
+  /// for (rare) deeper chains.
+  static bool supports(const Rrg& rrg);
+
+  const Rrg& rrg() const { return rrg_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  FlatState initial_state() const;
+
+  /// K copies of the initial state, interleaved for step_batch. Batching
+  /// supports non-telescopic RRGs (telescopic runs take the solo path).
+  FlatBatchState initial_batch_state(std::size_t runs) const;
+  /// One run's state out of a batch (differential tests).
+  FlatState extract_run(const FlatBatchState& state, std::size_t run) const;
+
+  /// Conversions to/from the reference representation (differential tests
+  /// and mixed pipelines).
+  SyncState to_sync(const FlatState& state) const;
+  FlatState from_sync(const SyncState& state) const;
+
+  /// Compact byte encoding for hashing / state enumeration. Identical
+  /// bytes to SyncState::encode() of the corresponding state.
+  std::vector<std::uint8_t> encode(const FlatState& state) const;
+
+  /// Early nodes that will sample a guard during the next step.
+  std::vector<NodeId> sampling_nodes(const FlatState& state) const;
+  /// Telescopic nodes that may fire (= sample a latency) next step.
+  std::vector<NodeId> latency_nodes(const FlatState& state) const;
+
+  const std::vector<NodeId>& early_nodes() const { return early_nodes_; }
+  const std::vector<NodeId>& telescopic_nodes() const {
+    return telescopic_nodes_;
+  }
+  const std::vector<NodeId>& comb_order() const { return order_; }
+
+  /// Advances one clock cycle in place; returns the number of firings.
+  /// `choose_guard(n) -> std::size_t` and `choose_latency(n) -> bool` are
+  /// arbitrary callables (functors from choosers.hpp for the zero-overhead
+  /// Monte-Carlo path, lambdas for the Markov enumerator). When `fired` is
+  /// non-null it must point at num_nodes() bytes and receives per-node 0/1
+  /// firing flags. Never allocates.
+  template <class GuardFn, class LatencyFn = NeverSlow>
+  std::uint32_t step(FlatState& state, GuardFn&& choose_guard,
+                     LatencyFn&& choose_latency = {},
+                     std::uint8_t* fired = nullptr) const {
+    // Graphs without telescopic nodes (the common case) take a
+    // specialization with no busy checks and no countdown pass; drivers
+    // that only need the firing total skip the per-node flag stores.
+    if (telescopic_nodes_.empty()) {
+      return fired == nullptr
+                 ? step_impl<false, false>(state, choose_guard,
+                                           choose_latency, nullptr)
+                 : step_impl<false, true>(state, choose_guard, choose_latency,
+                                          fired);
+    }
+    return fired == nullptr
+               ? step_impl<true, false>(state, choose_guard, choose_latency,
+                                        nullptr)
+               : step_impl<true, true>(state, choose_guard, choose_latency,
+                                       fired);
+  }
+
+  /// Advances one clock cycle of K interleaved runs in place and adds
+  /// each run's firing count to totals[0..K). `choose_guard(n, run)`
+  /// must draw from run-private streams. Non-telescopic RRGs only (the
+  /// caller routes telescopic graphs through the solo path).
+  template <std::size_t K, class GuardFn>
+  void step_batch(FlatBatchState& state, GuardFn&& choose_guard,
+                  std::uint64_t* totals) const {
+    ELRR_HOT_ASSERT(state.runs == K && telescopic_nodes_.empty(),
+                    "batch shape mismatch");
+    std::int32_t* const __restrict__ tokens = state.tokens.data();
+    std::uint64_t* const __restrict__ window = state.window.data();
+    std::int8_t* const __restrict__ pending = state.pending_guard.data();
+    const EdgeId* const __restrict__ in_csr = in_csr_.data();
+    const EdgeId* const __restrict__ out_csr = out_csr_.data();
+    const std::uint64_t* const __restrict__ inject_bit = inject_bit_.data();
+
+    for (const NodeProg& p : prog_) {
+      std::int32_t fire[K];
+      if ((p.flags & NodeProg::kEarly) == 0) {
+        if (p.in_count == 1) {  // inline edge id
+          std::int32_t* const t =
+              tokens + static_cast<std::size_t>(p.in_begin) * K;
+          for (std::size_t r = 0; r < K; ++r) {
+            fire[r] = static_cast<std::int32_t>(t[r] > 0);
+            t[r] -= fire[r];
+          }
+        } else {
+          const EdgeId* in = in_csr + p.in_begin;
+          for (std::size_t r = 0; r < K; ++r) fire[r] = 1;
+          for (std::uint32_t i = 0; i < p.in_count; ++i) {
+            const std::int32_t* const t =
+                tokens + static_cast<std::size_t>(in[i]) * K;
+            for (std::size_t r = 0; r < K; ++r) {
+              fire[r] &= static_cast<std::int32_t>(t[r] > 0);
+            }
+          }
+          for (std::uint32_t i = 0; i < p.in_count; ++i) {
+            std::int32_t* const t =
+                tokens + static_cast<std::size_t>(in[i]) * K;
+            for (std::size_t r = 0; r < K; ++r) t[r] -= fire[r];
+          }
+        }
+      } else {
+        const EdgeId* in = in_csr + p.in_begin;
+        std::int8_t* const pg = pending + static_cast<std::size_t>(p.node) * K;
+        for (std::size_t r = 0; r < K; ++r) {
+          std::int8_t guard = pg[r];
+          if (guard == kNoGuard) {
+            const std::size_t pos = choose_guard(p.node, r);
+            ELRR_HOT_ASSERT(pos < p.in_count, "guard chooser out of range");
+            guard = static_cast<std::int8_t>(pos);
+          }
+          const auto gpos = static_cast<std::uint32_t>(guard);
+          fire[r] = static_cast<std::int32_t>(
+              tokens[static_cast<std::size_t>(in[gpos]) * K + r] > 0);
+          pg[r] = fire[r] ? kNoGuard : guard;
+        }
+        for (std::uint32_t i = 0; i < p.in_count; ++i) {
+          std::int32_t* const t = tokens + static_cast<std::size_t>(in[i]) * K;
+          for (std::size_t r = 0; r < K; ++r) t[r] -= fire[r];
+        }
+      }
+
+      for (std::size_t r = 0; r < K; ++r) {
+        totals[r] += static_cast<std::uint64_t>(fire[r]);
+      }
+
+      // Same invariants as the solo path, checked in debug builds only.
+      const auto emit_comb = [&](std::size_t e) {
+        std::int32_t* const t = tokens + e * K;
+        for (std::size_t r = 0; r < K; ++r) {
+          t[r] += fire[r];
+          ELRR_HOT_ASSERT(t[r] < kTokenQueueCap,
+                          "unbounded token accumulation: is the RRG "
+                          "strongly connected?");
+        }
+      };
+      const auto emit_ring = [&](std::size_t e) {
+        const std::uint64_t bit = inject_bit[e];
+        std::uint64_t* const w = window + e * K;
+        for (std::size_t r = 0; r < K; ++r) {
+          ELRR_HOT_ASSERT(fire[r] == 0 || (w[r] & bit) == 0,
+                          "double injection into EB chain");
+          w[r] |= bit & (0 - static_cast<std::uint64_t>(fire[r]));
+        }
+      };
+      if (p.out_comb + p.out_ring == 1) {  // inline edge id
+        const auto e = static_cast<std::size_t>(p.out_begin);
+        if ((p.flags & NodeProg::kOut1Ring) == 0) {
+          emit_comb(e);
+        } else {
+          emit_ring(e);
+        }
+      } else {
+        const EdgeId* out = out_csr + p.out_begin;
+        std::uint32_t j = 0;
+        for (; j < p.out_comb; ++j) emit_comb(out[j]);
+        for (; j < static_cast<std::uint32_t>(p.out_comb + p.out_ring); ++j) {
+          emit_ring(out[j]);
+        }
+      }
+    }
+
+    for (const EdgeId e : buffered_edges_) {
+      std::uint64_t* const w = window + static_cast<std::size_t>(e) * K;
+      std::int32_t* const t = tokens + static_cast<std::size_t>(e) * K;
+      for (std::size_t r = 0; r < K; ++r) {
+        t[r] += static_cast<std::int32_t>(w[r] & 1);
+        w[r] >>= 1;
+      }
+    }
+  }
+
+ private:
+  template <bool kTelescopic, bool kFired, class GuardFn, class LatencyFn>
+  std::uint32_t step_impl(FlatState& state, GuardFn&& choose_guard,
+                          LatencyFn&& choose_latency,
+                          std::uint8_t* fired) const {
+    // __restrict__: the state arrays, CSR arrays and prog records never
+    // alias (distinct allocations); without it, every token store forces
+    // the compiler to reload the metadata it could have kept in registers
+    // (signed/unsigned int arrays may alias under TBAA).
+    std::int32_t* const __restrict__ tokens = state.tokens.data();
+    std::uint64_t* const __restrict__ window = state.window.data();
+    std::int8_t* const __restrict__ pending = state.pending_guard.data();
+    std::uint8_t* const __restrict__ busy = state.busy.data();
+    const EdgeId* const __restrict__ in_csr = in_csr_.data();
+    const EdgeId* const __restrict__ out_csr = out_csr_.data();
+    const std::uint64_t* const __restrict__ inject_bit = inject_bit_.data();
+    std::uint32_t total_firings = 0;
+
+    if constexpr (kFired) std::fill(fired, fired + num_nodes_, 0);
+
+    // Firing decisions are stochastic, so data-dependent branches in the
+    // per-edge loops mispredict roughly at the throughput's entropy rate
+    // -- on token-level workloads that costs more than the arithmetic.
+    // Every token movement below is therefore a masked, unconditional
+    // +-fire on the merged counter; the only data-dependent branches left
+    // are the ones the semantics require (guard satisfaction, telescopic
+    // busy).
+
+    /// Release `fire` (0/1) tokens on every output of p: straight onto
+    /// the counter for combinational edges (consumable this very cycle),
+    /// into the bit-ring otherwise. Degree-1 nodes carry their single
+    /// edge id inline in the prog record (no CSR indirection); the
+    /// comb-first slice split means no per-edge kind lookup either.
+    const auto emit_masked = [&](const NodeProg& p, std::int32_t fire) {
+      const std::uint64_t mask = 0 - static_cast<std::uint64_t>(fire);
+      if (p.out_comb + p.out_ring == 1) {
+        const auto e = static_cast<EdgeId>(p.out_begin);  // inline edge id
+        if ((p.flags & NodeProg::kOut1Ring) == 0) {
+          tokens[e] += fire;
+          ELRR_HOT_ASSERT(tokens[e] < kTokenQueueCap,
+                          "unbounded token accumulation: is the RRG "
+                          "strongly connected?");
+        } else {
+          ELRR_HOT_ASSERT(fire == 0 || (window[e] & inject_bit[e]) == 0,
+                          "double injection into EB chain");
+          window[e] |= inject_bit[e] & mask;
+        }
+        return;
+      }
+      const EdgeId* out = out_csr + p.out_begin;
+      std::uint32_t j = 0;
+      for (; j < p.out_comb; ++j) {
+        tokens[out[j]] += fire;
+        ELRR_HOT_ASSERT(tokens[out[j]] < kTokenQueueCap,
+                        "unbounded token accumulation: is the RRG strongly "
+                        "connected?");
+      }
+      for (; j < static_cast<std::uint32_t>(p.out_comb + p.out_ring); ++j) {
+        const EdgeId e = out[j];
+        ELRR_HOT_ASSERT(fire == 0 || (window[e] & inject_bit[e]) == 0,
+                        "double injection into EB chain");
+        window[e] |= inject_bit[e] & mask;
+      }
+    };
+
+    for (const NodeProg& p : prog_) {
+      const NodeId n = p.node;
+      if constexpr (kTelescopic) {
+        if (busy[n] > 0) continue;  // mid slow telescopic operation
+      }
+      std::int32_t fire;
+      if ((p.flags & NodeProg::kEarly) == 0) {
+        // Simple join: fires iff every input has a ready token.
+        if (p.in_count == 1) {  // the most common shape: a chain node
+          const auto e = static_cast<EdgeId>(p.in_begin);  // inline edge id
+          fire = static_cast<std::int32_t>(tokens[e] > 0);
+          tokens[e] -= fire;
+        } else {
+          const EdgeId* in = in_csr + p.in_begin;
+          fire = 1;
+          for (std::uint32_t i = 0; i < p.in_count; ++i) {
+            fire &= static_cast<std::int32_t>(tokens[in[i]] > 0);
+          }
+          for (std::uint32_t i = 0; i < p.in_count; ++i) tokens[in[i]] -= fire;
+        }
+      } else {
+        const EdgeId* in = in_csr + p.in_begin;
+        std::int8_t guard = pending[n];
+        if (guard == kNoGuard) {
+          const std::size_t pos = choose_guard(n);
+          ELRR_HOT_ASSERT(pos < p.in_count, "guard chooser out of range");
+          guard = static_cast<std::int8_t>(pos);
+        }
+        const auto gpos = static_cast<std::uint32_t>(guard);
+        fire = static_cast<std::int32_t>(tokens[in[gpos]] > 0);
+        // A satisfied guard resets to kNoGuard (the firing completes it);
+        // an unsatisfied one stays pending. Branch-free select.
+        pending[n] = fire ? kNoGuard : guard;
+        // An early firing decrements every input: the selected token is
+        // consumed, a late token is cancelled, a missing one leaves an
+        // anti-token -- all -1 on the merged counter.
+        for (std::uint32_t i = 0; i < p.in_count; ++i) {
+          tokens[in[i]] -= fire;
+          ELRR_HOT_ASSERT(tokens[in[i]] > -kTokenQueueCap,
+                          "anti-token runaway");
+        }
+      }
+
+      total_firings += static_cast<std::uint32_t>(fire);
+      if constexpr (kFired) fired[n] = static_cast<std::uint8_t>(fire);
+      if constexpr (kTelescopic) {
+        if (fire != 0 && p.slow_countdown != 0 && choose_latency(n)) {
+          // Busy for slow_extra further cycles; outputs withheld until
+          // the countdown (decremented each end-of-cycle) reaches 1.
+          busy[n] = p.slow_countdown;
+          continue;
+        }
+      }
+      emit_masked(p, fire);
+    }
+
+    // End of cycle: advance every EB chain by one stage -- deposit the
+    // consumer-side bit, then shift the whole window one position. Only
+    // buffered edges carry windows; combinational edges have none by
+    // construction.
+    for (const EdgeId e : buffered_edges_) {
+      const std::uint64_t w = window[e];
+      tokens[e] += static_cast<std::int32_t>(w & 1);
+      window[e] = w >> 1;
+    }
+    if constexpr (kTelescopic) {
+      // Slow telescopic countdowns; release the withheld outputs when the
+      // countdown hits 1 (registered: the EB chain receives them after
+      // this cycle's shift, so total added latency is exactly slow_extra).
+      for (const std::uint32_t pi : telescopic_prog_) {
+        const NodeProg& p = prog_[pi];
+        if (busy[p.node] == 0) continue;
+        if (--busy[p.node] == 1) emit_masked(p, 1);
+      }
+    }
+    return total_firings;
+  }
+
+  /// One node's share of the step, in combinational firing order: CSR
+  /// slices, kind flags and telescopic countdown packed into a single
+  /// 16-byte record so the hot loop streams one contiguous array (two
+  /// 64-bit loads per node) instead of gathering from parallel
+  /// per-attribute vectors. The u8/u16 field widths cap what the flat
+  /// kernel represents; supports() diverts larger graphs to the
+  /// reference kernel.
+  struct NodeProg {
+    static constexpr std::uint8_t kEarly = 1;    ///< early-evaluation node
+    static constexpr std::uint8_t kOut1Ring = 2; ///< sole out-edge is an EB chain
+
+    /// Slice start into in_csr_ / out_csr_ -- except for degree-1 sides,
+    /// where the field holds the single edge id directly (the hot loop's
+    /// dominant shape skips the CSR indirection).
+    std::uint32_t in_begin = 0;
+    std::uint32_t out_begin = 0;
+    std::uint16_t node = 0;  ///< index into per-node state arrays
+    std::uint8_t in_count = 0;
+    /// Out-degree, split: the node's out_csr_ slice holds its
+    /// combinational (R = 0) edges first, then its buffered ones, so
+    /// emit needs no per-edge kind lookup.
+    std::uint8_t out_comb = 0;
+    std::uint8_t out_ring = 0;
+    std::uint8_t flags = 0;
+    /// slow_extra + 1 for telescopic nodes, 0 otherwise (doubles as the
+    /// is-telescopic flag on the firing path).
+    std::uint8_t slow_countdown = 0;
+    std::uint8_t pad_ = 0;
+  };
+  static_assert(sizeof(NodeProg) == 16, "keep the hot records two words");
+
+  const Rrg& rrg_;
+  EdgeId num_edges_ = 0;
+  std::size_t num_nodes_ = 0;
+
+  std::vector<NodeProg> prog_;  ///< nodes in combinational firing order
+  std::vector<NodeId> order_;   ///< the same order as bare node ids
+  std::vector<NodeId> early_nodes_;
+  std::vector<NodeId> telescopic_nodes_;
+  std::vector<std::uint32_t> telescopic_prog_;  ///< their prog_ positions
+
+  // CSR adjacency edge ids (sliced per node by NodeProg).
+  std::vector<EdgeId> in_csr_, out_csr_;
+
+  // Dense per-edge attributes.
+  std::vector<std::uint64_t> inject_bit_;  ///< 1 << (R-1); 0 = combinational
+  std::vector<std::int32_t> buffers_;
+  std::vector<EdgeId> buffered_edges_;  ///< edges with R > 0, ascending
+};
+
+}  // namespace elrr::sim

@@ -8,8 +8,6 @@
 namespace elrr::sim {
 
 namespace {
-constexpr std::int32_t kQueueCap = 1 << 20;  // runaway-queue guard
-
 /// Deposit one token at the consumer side of an edge, annihilating against
 /// pending anti-tokens first.
 void deposit(EdgeState& edge) {
@@ -17,7 +15,7 @@ void deposit(EdgeState& edge) {
     --edge.anti;
   } else {
     ++edge.ready;
-    ELRR_ASSERT(edge.ready < kQueueCap,
+    ELRR_ASSERT(edge.ready < kTokenQueueCap,
                 "unbounded token accumulation: is the RRG strongly "
                 "connected?");
   }
@@ -100,12 +98,12 @@ std::vector<NodeId> Kernel::latency_nodes(const SyncState& state) const {
   return nodes;
 }
 
-Kernel::StepResult Kernel::step(SyncState& state,
-                                const GuardChooser& choose_guard,
-                                const LatencyChooser& choose_latency) const {
+std::uint32_t Kernel::step(SyncState& state, const GuardChooser& choose_guard,
+                           const LatencyChooser& choose_latency,
+                           std::uint8_t* fired) const {
   const Digraph& g = rrg_.graph();
-  StepResult result;
-  result.fired.assign(rrg_.num_nodes(), 0);
+  std::uint32_t total_firings = 0;
+  if (fired != nullptr) std::fill(fired, fired + rrg_.num_nodes(), 0);
 
   for (NodeId n : comb_order_) {
     if (state.busy[n] > 0) continue;  // mid slow telescopic operation
@@ -142,15 +140,15 @@ Kernel::StepResult Kernel::step(SyncState& state,
             --edge.ready;  // late token already there: cancel now
           } else {
             ++edge.anti;  // anti-token awaits the straggler
-            ELRR_ASSERT(edge.anti < kQueueCap, "anti-token runaway");
+            ELRR_ASSERT(edge.anti < kTokenQueueCap, "anti-token runaway");
           }
         }
       }
     }
 
     if (fires) {
-      result.fired[n] = 1;
-      ++result.total_firings;
+      if (fired != nullptr) fired[n] = 1;
+      ++total_firings;
       const bool slow = rrg_.is_telescopic(n) && choose_latency &&
                         choose_latency(n);
       if (slow) {
@@ -202,7 +200,7 @@ Kernel::StepResult Kernel::step(SyncState& state,
       }
     }
   }
-  return result;
+  return total_firings;
 }
 
 }  // namespace elrr::sim

@@ -40,6 +40,11 @@ namespace elrr::sim {
 
 inline constexpr std::int8_t kNoGuard = -1;
 
+/// Runaway-queue guard for ready/anti token counters: a live strongly
+/// connected system keeps these bounded; hitting the cap means the RRG is
+/// not strongly connected (tokens pile up at a sink-side join forever).
+inline constexpr std::int32_t kTokenQueueCap = 1 << 20;
+
 /// Dynamic state of one channel.
 struct EdgeState {
   /// inflight[k] == 1 iff a token arrives at the consumer after k+1
@@ -72,9 +77,17 @@ struct SyncState {
 };
 
 /// Precomputed structure shared by all steps on one RRG.
+///
+/// Holds a *reference* to the graph: the Rrg must outlive the kernel and
+/// stay structurally unchanged while the kernel is in use (constructing
+/// from a temporary is rejected at compile time). This is the flexible
+/// reference implementation; the performance path is sim::FlatKernel
+/// (flat_kernel.hpp), which is differentially tested to be bit-exact
+/// against this one.
 class Kernel {
  public:
   explicit Kernel(const Rrg& rrg);
+  Kernel(Rrg&&) = delete;  // would dangle: the kernel keeps a reference
 
   const Rrg& rrg() const { return rrg_; }
 
@@ -95,16 +108,16 @@ class Kernel {
   /// Chooses the latency of a telescopic firing: true = slow path.
   using LatencyChooser = std::function<bool(NodeId)>;
 
-  struct StepResult {
-    std::uint32_t total_firings = 0;
-    std::vector<std::uint8_t> fired;  ///< per node
-  };
-
-  /// Advances one clock cycle in place. `choose_latency` is consulted
-  /// only for telescopic nodes at the moment they fire; the default
-  /// (empty) chooser means every firing takes the fast path.
-  StepResult step(SyncState& state, const GuardChooser& choose_guard,
-                  const LatencyChooser& choose_latency = {}) const;
+  /// Advances one clock cycle in place and returns the number of nodes
+  /// that fired. `choose_latency` is consulted only for telescopic nodes
+  /// at the moment they fire; the default (empty) chooser means every
+  /// firing takes the fast path. When `fired` is non-null it must point
+  /// at num_nodes() bytes; the step overwrites it with per-node 0/1
+  /// firing flags (no allocation -- callers reuse one buffer across
+  /// cycles).
+  std::uint32_t step(SyncState& state, const GuardChooser& choose_guard,
+                     const LatencyChooser& choose_latency = {},
+                     std::uint8_t* fired = nullptr) const;
 
   const std::vector<NodeId>& early_nodes() const { return early_nodes_; }
   const std::vector<NodeId>& telescopic_nodes() const {
@@ -113,7 +126,7 @@ class Kernel {
   const std::vector<NodeId>& comb_order() const { return comb_order_; }
 
  private:
-  Rrg rrg_;
+  const Rrg& rrg_;
   std::vector<NodeId> comb_order_;   ///< topological over R=0 edges
   std::vector<NodeId> early_nodes_;
   std::vector<NodeId> telescopic_nodes_;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/flat_kernel.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
 
@@ -27,27 +28,41 @@ struct Transition {
   double prob;
 };
 
-}  // namespace
+std::vector<std::uint8_t> encode_state(const FlatKernel& kernel,
+                                       const FlatState& state) {
+  return kernel.encode(state);
+}
 
-MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
-  const Kernel kernel(rrg);
+std::vector<std::uint8_t> encode_state(const Kernel&, const SyncState& state) {
+  return state.encode();
+}
+
+/// Breadth-first enumeration of the reachable state space + damped power
+/// iteration. Templated over the kernel so the fast FlatKernel path (the
+/// default) and the reference Kernel fallback (EB chains deeper than the
+/// flat bit-ring) share one implementation; the choosers stay flexible
+/// lambdas -- the enumerator dictates every draw, so chooser dispatch is
+/// never the bottleneck here.
+template <class KernelT, class StateT>
+MarkovResult enumerate_chain(const Rrg& rrg, const KernelT& kernel,
+                             const MarkovOptions& options) {
   const Digraph& g = rrg.graph();
   const double num_nodes = static_cast<double>(rrg.num_nodes());
 
   MarkovResult result;
 
   std::unordered_map<std::vector<std::uint8_t>, std::uint32_t, ByteHash> ids;
-  std::vector<SyncState> states;
+  std::vector<StateT> states;
   std::vector<std::vector<Transition>> transitions;
   std::vector<double> expected_firings;  // per state, per cycle
   const std::size_t transition_cap = options.max_states * 8;
 
-  const auto intern = [&](const SyncState& state) -> std::uint32_t {
-    const auto bytes = state.encode();
+  const auto intern = [&](const StateT& state) -> std::uint32_t {
+    auto bytes = encode_state(kernel, state);
     const auto it = ids.find(bytes);
     if (it != ids.end()) return it->second;
     const auto id = static_cast<std::uint32_t>(states.size());
-    ids.emplace(bytes, id);
+    ids.emplace(std::move(bytes), id);
     states.push_back(state);
     return id;
   };
@@ -60,7 +75,7 @@ MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
         num_transitions > transition_cap) {
       return result;  // ok == false: state space too large
     }
-    const SyncState base = states[id];  // copy: `states` may reallocate
+    const StateT base = states[id];  // copy: `states` may reallocate
     const std::vector<NodeId> sampling = kernel.sampling_nodes(base);
     const std::vector<NodeId> latency = kernel.latency_nodes(base);
 
@@ -85,7 +100,7 @@ MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
         const double fast = rrg.telescopic(latency[i]).fast_prob;
         prob *= combo[sampling.size() + i] == 0 ? fast : 1.0 - fast;
       }
-      SyncState next = base;
+      StateT next = base;
       const auto chooser = [&](NodeId n) -> std::size_t {
         for (std::size_t i = 0; i < sampling.size(); ++i) {
           if (sampling[i] == n) return combo[i];
@@ -100,8 +115,9 @@ MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
         ELRR_ASSERT(false, "latency chooser called for busy node");
         return false;
       };
-      const auto step = kernel.step(next, chooser, latency_chooser);
-      rate += prob * static_cast<double>(step.total_firings);
+      const std::uint32_t firings =
+          kernel.step(next, chooser, latency_chooser);
+      rate += prob * static_cast<double>(firings);
       outgoing.push_back({intern(next), prob});
 
       // Advance the mixed-radix combination counter.
@@ -149,6 +165,17 @@ MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
   result.num_transitions = num_transitions;
   result.iterations = iter;
   return result;
+}
+
+}  // namespace
+
+MarkovResult exact_throughput(const Rrg& rrg, const MarkovOptions& options) {
+  if (FlatKernel::supports(rrg)) {
+    const FlatKernel kernel(rrg);
+    return enumerate_chain<FlatKernel, FlatState>(rrg, kernel, options);
+  }
+  const Kernel kernel(rrg);
+  return enumerate_chain<Kernel, SyncState>(rrg, kernel, options);
 }
 
 }  // namespace elrr::sim

@@ -4,6 +4,14 @@
 /// Monte-Carlo throughput estimation of an elastic system with early
 /// evaluation -- the stand-in for the paper's "intensive simulations" of
 /// generated Verilog controllers (see DESIGN.md, substitutions).
+///
+/// The driver runs on the allocation-free FlatKernel fast path with
+/// precomputed chooser tables (falling back to the reference Kernel for
+/// RRGs the flat layout cannot represent), and can replicate runs across
+/// worker threads. Results are deterministic in (rrg, options.seed,
+/// options.runs) alone: every run draws from its own splitmix64-derived
+/// stream and results are merged in run order, so `threads` never changes
+/// theta.
 
 #include <cstdint>
 
@@ -18,6 +26,12 @@ struct SimOptions {
   std::size_t warmup_cycles = 2000;    ///< discarded transient
   std::size_t measure_cycles = 20000;  ///< measured window per run
   std::size_t runs = 3;                ///< independent replications
+  /// Worker threads for independent runs; 0 = hardware concurrency.
+  /// Purely a wall-clock knob: theta is identical for every value.
+  std::size_t threads = 1;
+  /// Force the reference Kernel path (testing / debugging). The fast path
+  /// is bit-exact against it, so results do not change -- only speed.
+  bool force_reference = false;
 };
 
 struct SimResult {
@@ -29,5 +43,12 @@ struct SimResult {
 /// Long-run throughput Theta(RRG) by simulation. Guards are sampled i.i.d.
 /// with the RRG's gamma probabilities (per-node independent streams).
 SimResult simulate_throughput(const Rrg& rrg, const SimOptions& options = {});
+
+/// The per-run RNG seed: run `run` of a simulation seeded with `seed`.
+/// splitmix64 over state seed + run * golden-gamma -- nearby user seeds
+/// and consecutive runs land in decorrelated regions of the stream space
+/// (the old `seed + 0x9e37 * run` mix made run r of seed s collide with
+/// run r+1 of seed s - 0x9e37). Exposed for tests pinning reproducibility.
+std::uint64_t run_seed(std::uint64_t seed, std::size_t run);
 
 }  // namespace elrr::sim

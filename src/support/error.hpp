@@ -66,3 +66,16 @@ std::string concat(Args&&... args) {
                                  __FILE__, ":", __LINE__, "]"));           \
     }                                                                      \
   } while (false)
+
+/// Invariant check on a simulation hot path: a full ELRR_ASSERT in debug
+/// builds, compiled out under NDEBUG. The inlined throw/ostringstream
+/// machinery of ELRR_ASSERT measurably slows tight kernels; hot loops use
+/// this variant for invariants that the reference implementation (which
+/// keeps full checks) and the differential tests already enforce.
+#ifdef NDEBUG
+#define ELRR_HOT_ASSERT(cond, ...) \
+  do {                             \
+  } while (false)
+#else
+#define ELRR_HOT_ASSERT(cond, ...) ELRR_ASSERT(cond, __VA_ARGS__)
+#endif

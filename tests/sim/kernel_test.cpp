@@ -15,7 +15,8 @@ Kernel::GuardChooser always(std::size_t pos) {
 }
 
 TEST(Kernel, InitialStateTokensAndAntiTokens) {
-  const Kernel kernel(figure2(0.9));
+  const Rrg rrg = figure2(0.9);
+  const Kernel kernel(rrg);
   const SyncState s = kernel.initial_state();
   EXPECT_EQ(s.edges[kMF1].ready, 1);
   EXPECT_EQ(s.edges[kMF1].anti, 0);
@@ -26,11 +27,11 @@ TEST(Kernel, InitialStateTokensAndAntiTokens) {
 }
 
 TEST(Kernel, Figure1aAllNodesFireEveryCycleUnderLateEvaluation) {
-  const Kernel kernel(figure1a(0.5, false));
+  const Rrg rrg = figure1a(0.5, false);
+  const Kernel kernel(rrg);
   SyncState s = kernel.initial_state();
   for (int t = 0; t < 20; ++t) {
-    const auto step = kernel.step(s, always(0));
-    EXPECT_EQ(step.total_firings, 5u) << "cycle " << t;
+    EXPECT_EQ(kernel.step(s, always(0)), 5u) << "cycle " << t;
   }
 }
 
@@ -47,8 +48,10 @@ TEST(Kernel, Figure2FiresEveryCycleWhenMuxAlwaysPicksTop) {
   }
   SyncState s = kernel.initial_state();
   std::uint32_t fired_m = 0;
+  std::vector<std::uint8_t> fired(rrg.num_nodes());
   for (int t = 0; t < 30; ++t) {
-    fired_m += kernel.step(s, always(top_pos)).fired[kM];
+    kernel.step(s, always(top_pos), {}, fired.data());
+    fired_m += fired[kM];
   }
   EXPECT_EQ(fired_m, 30u);
 }
@@ -65,8 +68,10 @@ TEST(Kernel, Figure2BottomChoiceCostsThreeCycles) {
   }
   SyncState s = kernel.initial_state();
   std::vector<int> m_fire_cycles;
+  std::vector<std::uint8_t> fired(rrg.num_nodes());
   for (int t = 0; t < 12; ++t) {
-    if (kernel.step(s, always(bottom_pos)).fired[kM]) {
+    kernel.step(s, always(bottom_pos), {}, fired.data());
+    if (fired[kM]) {
       m_fire_cycles.push_back(t);
     }
   }
@@ -129,7 +134,8 @@ TEST(Kernel, TokenConservationOnCycles) {
 }
 
 TEST(Kernel, EncodeDistinguishesStates) {
-  const Kernel kernel(figure2(0.9));
+  const Rrg rrg = figure2(0.9);
+  const Kernel kernel(rrg);
   SyncState a = kernel.initial_state();
   SyncState b = a;
   EXPECT_EQ(a.encode(), b.encode());
@@ -141,7 +147,8 @@ TEST(Kernel, EncodeDistinguishesStates) {
 }
 
 TEST(Kernel, SamplingNodesTracksPendingGuards) {
-  const Kernel kernel(figure2(0.9));
+  const Rrg rrg = figure2(0.9);
+  const Kernel kernel(rrg);
   SyncState s = kernel.initial_state();
   EXPECT_EQ(kernel.sampling_nodes(s), std::vector<NodeId>{kM});
   s.pending_guard[kM] = 0;

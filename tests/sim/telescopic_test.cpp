@@ -119,10 +119,12 @@ TEST(TelescopicKernel, AlwaysFastMatchesNonTelescopic) {
   const Kernel k_tele(tele);
   SyncState a = k_plain.initial_state();
   SyncState b = k_tele.initial_state();
+  std::vector<std::uint8_t> fired_a(plain.num_nodes());
+  std::vector<std::uint8_t> fired_b(tele.num_nodes());
   for (int t = 0; t < 25; ++t) {
-    const auto ra = k_plain.step(a, guard_always(0));
-    const auto rb = k_tele.step(b, guard_always(0), always_fast());
-    EXPECT_EQ(ra.fired, rb.fired) << "cycle " << t;
+    k_plain.step(a, guard_always(0), {}, fired_a.data());
+    k_tele.step(b, guard_always(0), always_fast(), fired_b.data());
+    EXPECT_EQ(fired_a, fired_b) << "cycle " << t;
   }
 }
 
@@ -132,8 +134,10 @@ TEST(TelescopicKernel, SlowFiringPeriodIsOnePlusExtra) {
     const Kernel kernel(rrg);
     SyncState s = kernel.initial_state();
     std::vector<int> fire_cycles;
+    std::vector<std::uint8_t> fired(rrg.num_nodes());
     for (int t = 0; t < 6 * (extra + 1); ++t) {
-      if (kernel.step(s, guard_always(0), always_slow()).fired[0]) {
+      kernel.step(s, guard_always(0), always_slow(), fired.data());
+      if (fired[0]) {
         fire_cycles.push_back(t);
       }
     }
@@ -169,8 +173,10 @@ TEST(TelescopicKernel, WithheldOutputArrivesExactlyExtraCyclesLate) {
   const Kernel kernel(rrg);
   SyncState s = kernel.initial_state();
   std::vector<int> alu_fires;
+  std::vector<std::uint8_t> fired(rrg.num_nodes());
   for (int t = 0; t < 13; ++t) {
-    if (kernel.step(s, guard_always(0), always_slow()).fired[1]) {
+    kernel.step(s, guard_always(0), always_slow(), fired.data());
+    if (fired[1]) {
       alu_fires.push_back(t);
     }
   }
@@ -181,7 +187,8 @@ TEST(TelescopicKernel, WithheldOutputArrivesExactlyExtraCyclesLate) {
 }
 
 TEST(TelescopicKernel, EncodeDistinguishesBusyStates) {
-  const Kernel kernel(self_loop(0.5, 2));
+  const Rrg rrg = self_loop(0.5, 2);
+  const Kernel kernel(rrg);
   SyncState a = kernel.initial_state();
   SyncState b = a;
   EXPECT_EQ(a.encode(), b.encode());
@@ -202,12 +209,13 @@ TEST(TelescopicKernel, EarlyTelescopicSkipsGuardSamplingWhileBusy) {
     return 0u;  // top channel
   };
   // First cycle: m samples, fires slow; busy for 2 more cycles.
-  const auto r0 = kernel.step(s, counting_guard, always_slow());
-  EXPECT_EQ(r0.fired[kM], 1);
+  std::vector<std::uint8_t> fired(rrg.num_nodes());
+  kernel.step(s, counting_guard, always_slow(), fired.data());
+  EXPECT_EQ(fired[kM], 1);
   EXPECT_EQ(guard_draws, 1);
   EXPECT_TRUE(kernel.sampling_nodes(s).empty());
-  const auto r1 = kernel.step(s, counting_guard, always_slow());
-  EXPECT_EQ(r1.fired[kM], 0);
+  kernel.step(s, counting_guard, always_slow(), fired.data());
+  EXPECT_EQ(fired[kM], 0);
   EXPECT_EQ(guard_draws, 1);  // no resample while busy
 }
 

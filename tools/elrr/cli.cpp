@@ -42,7 +42,8 @@ commands:
   optimize    retiming & recycling: --method exact|heur|hybrid (default
               hybrid), --epsilon E, --timeout S (per MILP), --simulate,
               --k N (candidates shown)
-  simulate    --cycles N, --runs R, --control (SELF network), --capacity C
+  simulate    --cycles N, --runs R, --threads T (0 = all cores),
+              --control (SELF network), --capacity C
   generate    --circuit <name> [--seed N] --output <file.rrg>
   export      --format rrg|json|dot|tgmg-dot|mps|verilog [--output <file>]
   size-fifos  --tolerance T, --max-capacity C
@@ -206,6 +207,8 @@ int cmd_simulate(Args& args, std::ostream& out) {
       static_cast<std::size_t>(args.get_int("cycles", 20000));
   const std::size_t runs = static_cast<std::size_t>(args.get_int("runs", 3));
   const std::uint64_t sim_seed = args.get_u64("sim-seed", 1);
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
   const bool control = args.get_flag("control");
   const int capacity = args.get_int("capacity", 2);
   args.finish();
@@ -226,6 +229,7 @@ int cmd_simulate(Args& args, std::ostream& out) {
     sopt.measure_cycles = cycles;
     sopt.runs = runs;
     sopt.seed = sim_seed;
+    sopt.threads = threads;
     const sim::SimResult r = sim::simulate_throughput(in.rrg, sopt);
     out << "token-level kernel: Theta = " << format_fixed(r.theta, 4)
         << " +- " << format_fixed(r.stderr_theta, 4) << " over " << r.cycles
