@@ -1,9 +1,14 @@
 #include "bench/flow.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstring>
 
 #include "heur/heuristic.hpp"
-
+#include "sim/fleet.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
@@ -12,9 +17,58 @@ namespace elrr::bench {
 
 namespace {
 
-double env_double(const char* name, double fallback) {
+/// Environment knobs are validated, not trusted: a malformed or
+/// out-of-range value used to be silently coerced by atof (negative
+/// ELRR_SIM_CYCLES wrapped through size_t into a near-eternal run;
+/// "10s" parsed as 10; "abc" as 0) -- every parse failure now throws
+/// with the variable name and the offending text.
+[[noreturn]] void env_fail(const char* name, const char* expected,
+                           const char* value) {
+  throw InvalidInputError(detail::concat(
+      "environment variable ", name, ": expected ", expected, ", got \"",
+      value, "\""));
+}
+
+double env_positive_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::atof(value) : fallback;
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed) || parsed <= 0.0) {
+    env_fail(name, "a positive number", value);
+  }
+  return parsed;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback,
+                      std::uint64_t min_value, std::uint64_t max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  // strtoull happily wraps "-5" to 2^64-5; reject signs up front so a
+  // negative knob is an error, not a near-infinite unsigned value.
+  if (std::strchr(value, '-') != nullptr || std::strchr(value, '+') != nullptr) {
+    env_fail(name, "a non-negative integer", value);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    env_fail(name, "a non-negative integer", value);
+  }
+  if (parsed < min_value || parsed > max_value) {
+    env_fail(name, "an integer within range", value);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "0") == 0) return false;
+  if (std::strcmp(value, "1") == 0) return true;
+  env_fail(name, "0 or 1", value);
 }
 
 /// Heuristic budget scaled to the instance: every probe solves one
@@ -40,18 +94,21 @@ HeuristicOptions scaled_heuristic(const Rrg& rrg) {
 }  // namespace
 
 FlowOptions FlowOptions::from_env() {
+  constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
   FlowOptions options;
-  options.seed = static_cast<std::uint64_t>(env_double("ELRR_SEED", 1));
-  options.epsilon = env_double("ELRR_EPSILON", 0.05);
-  options.milp_timeout_s = env_double("ELRR_MILP_TIMEOUT", 6.0);
-  options.sim_cycles =
-      static_cast<std::size_t>(env_double("ELRR_SIM_CYCLES", 20000));
-  options.sim_threads =
-      static_cast<std::size_t>(env_double("ELRR_SIM_THREADS", 1));
-  options.polish = env_double("ELRR_POLISH", 0) != 0;
-  options.use_heuristic = env_double("ELRR_HEUR", 1) != 0;
-  options.exact_max_edges =
-      static_cast<int>(env_double("ELRR_EXACT_MAX_EDGES", 150));
+  options.seed = env_u64("ELRR_SEED", 1, 0, kNoCap);
+  options.epsilon = env_positive_double("ELRR_EPSILON", 0.05);
+  options.milp_timeout_s = env_positive_double("ELRR_MILP_TIMEOUT", 6.0);
+  options.sim_cycles = static_cast<std::size_t>(
+      env_u64("ELRR_SIM_CYCLES", 20000, 1, kNoCap));
+  // 0 = all cores; the cap rejects typos like "10000000" that would try
+  // to spawn a thread per simulated cycle.
+  options.sim_threads = static_cast<std::size_t>(
+      env_u64("ELRR_SIM_THREADS", 1, 0, 4096));
+  options.polish = env_bool("ELRR_POLISH", false);
+  options.use_heuristic = env_bool("ELRR_HEUR", true);
+  options.exact_max_edges = static_cast<int>(
+      env_u64("ELRR_EXACT_MAX_EDGES", 150, 0, INT_MAX));
   return options;
 }
 
@@ -148,20 +205,34 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   sopt.seed = options.seed * 7919 + 17;
   sopt.measure_cycles = options.sim_cycles;
   sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
-  sopt.runs = 2;
-  sopt.threads = options.sim_threads;
+  sopt.runs = 2;  // threads are the fleet's, not the per-job option's
 
   int original_buffers = 0;
   for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
     original_buffers += rrg.buffers(e);
   }
 
+  // Score every Pareto candidate through one simulation fleet: all
+  // (candidate, replication) jobs enter a shared work queue and drain
+  // over sim_threads workers, telescopic candidates batched like the
+  // rest. Per candidate the result is bit-identical to a solo
+  // simulate_throughput call (the fleet's determinism contract), so this
+  // is purely a wall-clock change over the PR-1 per-candidate loop.
+  std::vector<Rrg> configured;
+  configured.reserve(simulate.size());
+  sim::SimFleet fleet(options.sim_threads);
+  for (const std::size_t index : simulate) {
+    configured.push_back(apply_config(rrg, early.points[index].config));
+  }
+  for (const Rrg& candidate : configured) fleet.submit(candidate, sopt);
+  const std::vector<sim::SimReport> sims = fleet.drain();
+
   double best_sim_xi = 0.0;
   double lp_best_sim_xi = 0.0;
-  for (std::size_t index : simulate) {
+  for (std::size_t i = 0; i < simulate.size(); ++i) {
+    const std::size_t index = simulate[i];
     const ParetoPoint& point = early.points[index];
-    const Rrg configured = apply_config(rrg, point.config);
-    const sim::SimResult sim = sim::simulate_throughput(configured, sopt);
+    const sim::SimReport& sim = sims[i];
 
     CandidateRow row;
     row.tau = point.tau;

@@ -4,12 +4,22 @@
 /// Shared experiment flow for the table/figure reproduction benches: runs
 /// the full DAC'09 pipeline (generate -> optimize late & early -> simulate
 /// the Pareto candidates) for one circuit and returns every number the
-/// paper's tables report. Environment knobs (all optional):
+/// paper's tables report. All Pareto candidates are scored through one
+/// sim::SimFleet (fleet.hpp): every (candidate, replication) job enters a
+/// shared work queue drained by ELRR_SIM_THREADS workers, with results
+/// bit-identical to per-candidate sequential simulation.
+///
+/// Environment knobs (all optional; FlowOptions::from_env *validates*
+/// them -- a malformed, negative or out-of-range value throws
+/// InvalidInputError instead of being silently coerced):
 ///   ELRR_SEED            benchmark seed              (default 1)
 ///   ELRR_EPSILON         MIN_EFF_CYC epsilon         (default 0.05; paper 0.01)
-///   ELRR_MILP_TIMEOUT    seconds per MILP            (default 6)
-///   ELRR_SIM_CYCLES      measured cycles per run     (default 20000)
+///   ELRR_MILP_TIMEOUT    seconds per MILP            (default 6; > 0)
+///   ELRR_SIM_CYCLES      measured cycles per run     (default 20000; >= 1)
 ///   ELRR_SIM_THREADS     simulation worker threads   (default 1; 0 = all cores)
+///   ELRR_POLISH          1 = MAX_THR polish          (default 0)
+///   ELRR_HEUR            0 = paper-pure flow         (default 1)
+///   ELRR_EXACT_MAX_EDGES exact-MILP edge ceiling     (default 150)
 ///   ELRR_TABLE2_FULL     1 = all 18 circuits         (default: <= 150 edges)
 
 #include <cstdlib>
@@ -29,7 +39,7 @@ struct FlowOptions {
   double epsilon = 0.05;
   double milp_timeout_s = 6.0;
   std::size_t sim_cycles = 20000;
-  /// Worker threads for the candidate simulations (SimOptions::threads);
+  /// Worker-pool size of the candidate-scoring SimFleet (0 = all cores);
   /// deterministic: thread count never changes the reported theta.
   std::size_t sim_threads = 1;
   std::size_t max_simulated_points = 8;

@@ -1,32 +1,56 @@
 /// \file perf_smoke.cpp
 /// Opt-in perf trajectory for the simulation fast path: measures
 /// single-thread token-simulation throughput (simulated cycles/sec) on a
-/// small, a medium and a large RRG, for both the FlatKernel fast path
-/// and the reference Kernel, and writes BENCH_sim.json next to (or at)
-/// the path given as argv[1]. Build with the Release `perf_smoke` CMake
-/// target; `cmake --build build --target run_perf_smoke` runs it.
+/// small, a medium, a large and a telescopic RRG, for both the FlatKernel
+/// fast path and the reference Kernel, plus the cross-candidate fleet
+/// (sim::SimFleet) against the PR-1 per-candidate loop on a
+/// multi-candidate Pareto-style workload. Writes BENCH_sim.json next to
+/// (or at) the path given as argv[1]. Build with the Release `perf_smoke`
+/// CMake target; `cmake --build build --target run_perf_smoke` runs it.
 ///
-/// The workload is the standard Monte-Carlo driver (4 replications,
-/// interleaved by the batched stepper on the fast path) -- the shape
-/// every table/figure flow uses. Numbers are machine-dependent; compare
-/// trajectories on one machine, not absolutes across machines.
+/// The per-kernel workload is the standard Monte-Carlo driver (4
+/// replications, interleaved by the batched stepper on the fast path --
+/// telescopic graphs included since the fleet PR). The fleet workload is
+/// the table/figure shape: many candidate configurations, a few
+/// replications each, scored in one drain. Numbers are machine-dependent;
+/// compare trajectories on one machine, not absolutes across machines.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench89/generator.hpp"
-#include "sim/simulator.hpp"
+#include "sim/fleet.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Marks every 7th node telescopic (fast with probability 0.85, two
+/// extra busy cycles when slow) -- the Section 6 extension shape.
+elrr::Rrg make_candidate(const char* circuit, std::uint64_t seed,
+                         bool telescopic) {
+  elrr::Rrg rrg = elrr::bench89::make_table2_rrg(
+      elrr::bench89::spec_by_name(circuit), seed);
+  if (telescopic) {
+    for (elrr::NodeId n = 0; n < rrg.num_nodes(); n += 7) {
+      rrg.set_telescopic(n, 0.85, 2);
+    }
+  }
+  return rrg;
+}
+
 struct Case {
   const char* label;
   const char* circuit;
   std::size_t measure_cycles;
+  bool telescopic;
 };
 
 struct Row {
@@ -37,8 +61,7 @@ struct Row {
 };
 
 Row measure(const Case& c) {
-  const elrr::Rrg rrg = elrr::bench89::make_table2_rrg(
-      elrr::bench89::spec_by_name(c.circuit), 1);
+  const elrr::Rrg rrg = make_candidate(c.circuit, 1, c.telescopic);
   elrr::sim::SimOptions options;
   options.warmup_cycles = 200;
   options.measure_cycles = c.measure_cycles;
@@ -54,17 +77,78 @@ Row measure(const Case& c) {
     options.force_reference = false;
     auto t0 = Clock::now();
     row.theta = elrr::sim::simulate_throughput(rrg, options).theta;
-    best_flat = std::min(
-        best_flat, std::chrono::duration<double>(Clock::now() - t0).count());
+    best_flat = std::min(best_flat, seconds_since(t0));
     options.force_reference = true;
     t0 = Clock::now();
     ref_theta = elrr::sim::simulate_throughput(rrg, options).theta;
-    best_ref = std::min(
-        best_ref, std::chrono::duration<double>(Clock::now() - t0).count());
+    best_ref = std::min(best_ref, seconds_since(t0));
   }
   row.flat_cps = total_cycles / best_flat;
   row.ref_cps = total_cycles / best_ref;
   row.bit_exact = row.theta == ref_theta;
+  return row;
+}
+
+struct FleetRow {
+  double loop_s = 0.0;   ///< PR-1 per-candidate loop, best of reps
+  double fleet_s = 0.0;  ///< one SimFleet drain, best of reps
+  std::size_t candidates = 0;
+  std::size_t workers = 0;
+  bool bit_exact = false;
+};
+
+/// A Pareto-walk-shaped workload: several candidate configurations of one
+/// circuit (half of them telescopic), a few replications each. Baseline
+/// is PR 1's per-candidate loop: sequential simulate_throughput calls,
+/// and -- as in PR 1, where step_batch refused telescopic graphs --
+/// max_batch = 1 (solo stepping) for the telescopic candidates. The fleet
+/// scores the identical jobs through one batched work queue.
+FleetRow measure_fleet() {
+  std::vector<elrr::Rrg> candidates;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    candidates.push_back(make_candidate("s526", seed, false));
+  }
+  for (std::uint64_t seed = 5; seed <= 8; ++seed) {
+    candidates.push_back(make_candidate("s526", seed, true));
+  }
+
+  elrr::sim::SimOptions options;
+  options.warmup_cycles = 200;
+  options.measure_cycles = 20000;
+  options.runs = 4;
+
+  FleetRow row;
+  row.candidates = candidates.size();
+
+  std::vector<double> loop_thetas(candidates.size());
+  std::vector<double> fleet_thetas(candidates.size());
+  double best_loop = 1e300, best_fleet = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      elrr::sim::SimOptions solo = options;
+      solo.threads = 1;
+      if (candidates[i].has_telescopic()) solo.max_batch = 1;  // PR-1 path
+      loop_thetas[i] =
+          elrr::sim::simulate_throughput(candidates[i], solo).theta;
+    }
+    best_loop = std::min(best_loop, seconds_since(t0));
+
+    t0 = Clock::now();
+    elrr::sim::SimFleet fleet(0);  // all cores
+    for (const elrr::Rrg& candidate : candidates) {
+      fleet.submit(candidate, options);
+    }
+    const std::vector<elrr::sim::SimReport> reports = fleet.drain();
+    best_fleet = std::min(best_fleet, seconds_since(t0));
+    row.workers = fleet.last_worker_count();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      fleet_thetas[i] = reports[i].theta;
+    }
+  }
+  row.loop_s = best_loop;
+  row.fleet_s = best_fleet;
+  row.bit_exact = loop_thetas == fleet_thetas;
   return row;
 }
 
@@ -73,9 +157,10 @@ Row measure(const Case& c) {
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "BENCH_sim.json";
   const Case cases[] = {
-      {"small", "s27", 100000},
-      {"medium", "s526", 50000},
-      {"large", "s1488", 10000},
+      {"small", "s27", 100000, false},
+      {"medium", "s526", 50000, false},
+      {"large", "s1488", 10000, false},
+      {"telescopic", "s526", 20000, true},
   };
 
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -98,13 +183,29 @@ int main(int argc, char** argv) {
                  first ? "" : ",\n", c.label, c.circuit, row.flat_cps,
                  row.ref_cps, row.flat_cps / row.ref_cps, row.theta,
                  row.bit_exact ? "true" : "false");
-    std::printf("%-6s (%s): flat %.2fM cyc/s, reference %.2fM cyc/s, "
+    std::printf("%-10s (%s): flat %.2fM cyc/s, reference %.2fM cyc/s, "
                 "speedup %.2fx, %s\n",
                 c.label, c.circuit, row.flat_cps / 1e6, row.ref_cps / 1e6,
                 row.flat_cps / row.ref_cps,
                 row.bit_exact ? "bit-exact" : "MISMATCH");
     first = false;
   }
+  const FleetRow fleet = measure_fleet();
+  std::fprintf(out,
+               ",\n    \"fleet\": {\"workload\": "
+               "\"8 s526 candidates (4 telescopic) x 4 runs\", "
+               "\"candidates\": %zu, \"fleet_workers\": %zu, "
+               "\"per_candidate_loop_seconds\": %.4f, "
+               "\"fleet_seconds\": %.4f, "
+               "\"speedup_vs_loop\": %.2f, \"bit_exact\": %s}",
+               fleet.candidates, fleet.workers, fleet.loop_s, fleet.fleet_s,
+               fleet.loop_s / fleet.fleet_s,
+               fleet.bit_exact ? "true" : "false");
+  std::printf("fleet      (%zu candidates, %zu workers): loop %.2fs, "
+              "fleet %.2fs, speedup %.2fx, %s\n",
+              fleet.candidates, fleet.workers, fleet.loop_s, fleet.fleet_s,
+              fleet.loop_s / fleet.fleet_s,
+              fleet.bit_exact ? "bit-exact" : "MISMATCH");
   std::fprintf(out, "\n  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());

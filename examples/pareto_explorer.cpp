@@ -2,7 +2,8 @@
 /// Explore the cycle-time / throughput trade-off of a Table-2 circuit:
 /// prints every non-dominated configuration found by MIN_EFF_CYC, its LP
 /// metrics and its simulated throughput, for both late and early
-/// evaluation -- the data behind the paper's Tables 1 and 2.
+/// evaluation -- the data behind the paper's Tables 1 and 2. All Pareto
+/// points of one walk are scored together through a sim::SimFleet.
 ///
 ///   ./build/examples/pareto_explorer [circuit] [seed] [milp_seconds]
 /// e.g.  ./build/examples/pareto_explorer s386 7 20
@@ -10,11 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
-#include "sim/simulator.hpp"
+#include "sim/fleet.hpp"
 
 int main(int argc, char** argv) {
   using namespace elrr;
@@ -45,10 +47,19 @@ int main(int argc, char** argv) {
                 "xi_sim", "best");
     sim::SimOptions sopt;
     sopt.measure_cycles = 20000;
+    // One fleet scores every Pareto point of this walk (0 = all cores);
+    // the configured RRGs must outlive drain().
+    std::vector<Rrg> configured;
+    configured.reserve(result.points.size());
+    sim::SimFleet fleet(0);
+    for (const ParetoPoint& p : result.points) {
+      configured.push_back(apply_config(rrg, p.config));
+    }
+    for (const Rrg& candidate : configured) fleet.submit(candidate, sopt);
+    const std::vector<sim::SimReport> sims = fleet.drain();
     for (std::size_t i = 0; i < result.points.size(); ++i) {
       const ParetoPoint& p = result.points[i];
-      const double theta =
-          sim::simulate_throughput(apply_config(rrg, p.config), sopt).theta;
+      const double theta = sims[i].theta;
       std::printf("%4zu %9.2f %9.4f %9.4f %9.2f %7s%s\n", i, p.tau,
                   p.theta_lp, theta, p.tau / theta,
                   i == result.best_index ? "<==" : "",

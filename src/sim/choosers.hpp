@@ -134,4 +134,17 @@ struct BatchTableGuardChooser {
   }
 };
 
+/// Latency chooser for FlatKernel::step_batch on telescopic graphs: run r
+/// draws from the same run-major streams as its guard chooser, so guard
+/// and latency draws of one node interleave on one stream exactly like
+/// the solo driver's.
+struct BatchTableLatencyChooser {
+  const LatencyTable* table;
+  Rng* streams;
+  std::size_t num_nodes;
+  bool operator()(NodeId n, std::size_t run) const {
+    return table->sample(n, streams[run * num_nodes + n]);
+  }
+};
+
 }  // namespace elrr::sim

@@ -6,19 +6,39 @@
 
 namespace elrr::sim {
 
-bool FlatKernel::supports(const Rrg& rrg) {
-  if (rrg.num_nodes() > 0xffff) return false;  // NodeProg::node is u16
+const char* to_string(FlatCap cap) {
+  switch (cap) {
+    case FlatCap::kNone:
+      return "none";
+    case FlatCap::kDeepEbChain:
+      return "EB chain deeper than the 64-bit ring window";
+    case FlatCap::kTooManyNodes:
+      return "more than 65535 nodes";
+    case FlatCap::kInDegreeCap:
+      return "in-degree beyond the 8-bit node program field";
+    case FlatCap::kOutDegreeCap:
+      return "out-degree beyond the 8-bit node program field";
+  }
+  return "unknown";
+}
+
+FlatCap FlatKernel::unsupported_reason(const Rrg& rrg) {
+  if (rrg.num_nodes() > 0xffff) {
+    return FlatCap::kTooManyNodes;  // NodeProg::node is u16
+  }
   for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
-    if (rrg.buffers(e) > 64) return false;  // bit-ring window is one u64
+    if (rrg.buffers(e) > 64) {
+      return FlatCap::kDeepEbChain;  // bit-ring window is one u64
+    }
   }
   for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
     // Degree fields are u8 (127 for early nodes: the guard encoding).
-    if (rrg.graph().in_degree(n) > (rrg.is_early(n) ? 127u : 255u) ||
-        rrg.graph().out_degree(n) > 255) {
-      return false;
+    if (rrg.graph().in_degree(n) > (rrg.is_early(n) ? 127u : 255u)) {
+      return FlatCap::kInDegreeCap;
     }
+    if (rrg.graph().out_degree(n) > 255) return FlatCap::kOutDegreeCap;
   }
-  return true;
+  return FlatCap::kNone;
 }
 
 FlatKernel::FlatKernel(const Rrg& rrg) : rrg_(rrg) {
@@ -111,9 +131,6 @@ FlatState FlatKernel::initial_state() const {
 
 FlatBatchState FlatKernel::initial_batch_state(std::size_t runs) const {
   ELRR_REQUIRE(runs > 0, "batch needs at least one run");
-  ELRR_REQUIRE(telescopic_nodes_.empty(),
-               "batched stepping does not support telescopic nodes; run "
-               "them through the solo path");
   FlatBatchState state;
   state.runs = runs;
   state.tokens.resize(num_edges_ * runs);

@@ -60,10 +60,27 @@ struct FlatState {
 
 /// Latency chooser that never takes the slow path; the default for
 /// non-telescopic workloads (never called for non-telescopic nodes, so it
-/// costs nothing).
+/// costs nothing). The two-argument form serves step_batch, whose
+/// choosers take a run index.
 struct NeverSlow {
   bool operator()(NodeId) const { return false; }
+  bool operator()(NodeId, std::size_t) const { return false; }
 };
+
+/// Why the flat layout cannot represent an RRG (kNone = it can). Every
+/// cap mirrors a fixed-width field of the flat encoding; the driver
+/// reports the reason through SimReport so fallbacks to the reference
+/// kernel are observable instead of silently slow.
+enum class FlatCap : std::uint8_t {
+  kNone = 0,       ///< flat fast path available
+  kDeepEbChain,    ///< an EB chain deeper than the 64-bit ring window
+  kTooManyNodes,   ///< more nodes than NodeProg::node (u16) can index
+  kInDegreeCap,    ///< in-degree beyond NodeProg::in_count (u8; i8 guards)
+  kOutDegreeCap,   ///< out-degree beyond NodeProg::out_comb/out_ring (u8)
+};
+
+/// Human-readable form of a FlatCap (stable, for logs and reports).
+const char* to_string(FlatCap cap);
 
 /// K interleaved independent runs in one state block: every per-edge /
 /// per-node quantity is stored K-wide (index `id * K + run`). Stepping
@@ -88,9 +105,14 @@ class FlatKernel {
   FlatKernel(Rrg&&) = delete;  // would dangle: the kernel keeps a reference
 
   /// True iff the flat layout can represent the RRG: every EB chain fits
-  /// the 64-bit ring window. Callers fall back to the reference Kernel
-  /// for (rare) deeper chains.
-  static bool supports(const Rrg& rrg);
+  /// the 64-bit ring window and every degree/size fits its NodeProg
+  /// field. Callers fall back to the reference Kernel for (rare) graphs
+  /// beyond the caps; unsupported_reason() names the first violated cap.
+  static bool supports(const Rrg& rrg) {
+    return unsupported_reason(rrg) == FlatCap::kNone;
+  }
+  /// The first cap the RRG violates, or FlatCap::kNone if supported.
+  static FlatCap unsupported_reason(const Rrg& rrg);
 
   const Rrg& rrg() const { return rrg_; }
   std::size_t num_nodes() const { return num_nodes_; }
@@ -98,8 +120,7 @@ class FlatKernel {
 
   FlatState initial_state() const;
 
-  /// K copies of the initial state, interleaved for step_batch. Batching
-  /// supports non-telescopic RRGs (telescopic runs take the solo path).
+  /// K copies of the initial state, interleaved for step_batch.
   FlatBatchState initial_batch_state(std::size_t runs) const;
   /// One run's state out of a batch (differential tests).
   FlatState extract_run(const FlatBatchState& state, std::size_t run) const;
@@ -152,34 +173,103 @@ class FlatKernel {
   }
 
   /// Advances one clock cycle of K interleaved runs in place and adds
-  /// each run's firing count to totals[0..K). `choose_guard(n, run)`
-  /// must draw from run-private streams. Non-telescopic RRGs only (the
-  /// caller routes telescopic graphs through the solo path).
-  template <std::size_t K, class GuardFn>
+  /// each run's firing count to totals[0..K). `choose_guard(n, run)` and
+  /// `choose_latency(n, run)` must draw from run-private streams.
+  /// Telescopic graphs are supported: each lane carries its own busy
+  /// countdown and withheld-output release, exactly mirroring the solo
+  /// path run by run (the differential tests pin this down). As with the
+  /// solo step, the common non-telescopic case compiles to a
+  /// specialization with no busy checks and no countdown pass.
+  template <std::size_t K, class GuardFn, class LatencyFn = NeverSlow>
   void step_batch(FlatBatchState& state, GuardFn&& choose_guard,
-                  std::uint64_t* totals) const {
-    ELRR_HOT_ASSERT(state.runs == K && telescopic_nodes_.empty(),
-                    "batch shape mismatch");
+                  std::uint64_t* totals, LatencyFn&& choose_latency = {}) const {
+    ELRR_HOT_ASSERT(state.runs == K, "batch shape mismatch");
+    if (telescopic_nodes_.empty()) {
+      step_batch_impl<K, false>(state, choose_guard, choose_latency, totals);
+    } else {
+      step_batch_impl<K, true>(state, choose_guard, choose_latency, totals);
+    }
+  }
+
+ private:
+  template <std::size_t K, bool kTelescopic, class GuardFn, class LatencyFn>
+  void step_batch_impl(FlatBatchState& state, GuardFn&& choose_guard,
+                       LatencyFn&& choose_latency,
+                       std::uint64_t* totals) const {
     std::int32_t* const __restrict__ tokens = state.tokens.data();
     std::uint64_t* const __restrict__ window = state.window.data();
     std::int8_t* const __restrict__ pending = state.pending_guard.data();
+    std::uint8_t* const __restrict__ busy = state.busy.data();
     const EdgeId* const __restrict__ in_csr = in_csr_.data();
     const EdgeId* const __restrict__ out_csr = out_csr_.data();
     const std::uint64_t* const __restrict__ inject_bit = inject_bit_.data();
 
+    // Same invariants as the solo path, checked in debug builds only.
+    // The emit helpers take the per-lane 0/1 mask explicitly so the
+    // telescopic release pass below can reuse them for withheld outputs.
+    const auto emit_comb = [&](std::size_t e, const std::int32_t* mask) {
+      std::int32_t* const t = tokens + e * K;
+      for (std::size_t r = 0; r < K; ++r) {
+        t[r] += mask[r];
+        ELRR_HOT_ASSERT(t[r] < kTokenQueueCap,
+                        "unbounded token accumulation: is the RRG "
+                        "strongly connected?");
+      }
+    };
+    const auto emit_ring = [&](std::size_t e, const std::int32_t* mask) {
+      const std::uint64_t bit = inject_bit[e];
+      std::uint64_t* const w = window + e * K;
+      for (std::size_t r = 0; r < K; ++r) {
+        ELRR_HOT_ASSERT(mask[r] == 0 || (w[r] & bit) == 0,
+                        "double injection into EB chain");
+        w[r] |= bit & (0 - static_cast<std::uint64_t>(mask[r]));
+      }
+    };
+    const auto emit_masked = [&](const NodeProg& p, const std::int32_t* mask) {
+      if (p.out_comb + p.out_ring == 1) {  // inline edge id
+        const auto e = static_cast<std::size_t>(p.out_begin);
+        if ((p.flags & NodeProg::kOut1Ring) == 0) {
+          emit_comb(e, mask);
+        } else {
+          emit_ring(e, mask);
+        }
+        return;
+      }
+      const EdgeId* out = out_csr + p.out_begin;
+      std::uint32_t j = 0;
+      for (; j < p.out_comb; ++j) emit_comb(out[j], mask);
+      for (; j < static_cast<std::uint32_t>(p.out_comb + p.out_ring); ++j) {
+        emit_ring(out[j], mask);
+      }
+    };
+
     for (const NodeProg& p : prog_) {
       std::int32_t fire[K];
+      // A lane whose node is mid slow telescopic operation does nothing
+      // this cycle: no guard draw, no token consumption, no firing --
+      // the per-lane analogue of the solo path's busy skip.
+      std::int32_t avail[K];
+      if constexpr (kTelescopic) {
+        const std::uint8_t* const bz =
+            busy + static_cast<std::size_t>(p.node) * K;
+        for (std::size_t r = 0; r < K; ++r) {
+          avail[r] = static_cast<std::int32_t>(bz[r] == 0);
+        }
+      }
       if ((p.flags & NodeProg::kEarly) == 0) {
         if (p.in_count == 1) {  // inline edge id
           std::int32_t* const t =
               tokens + static_cast<std::size_t>(p.in_begin) * K;
           for (std::size_t r = 0; r < K; ++r) {
             fire[r] = static_cast<std::int32_t>(t[r] > 0);
+            if constexpr (kTelescopic) fire[r] &= avail[r];
             t[r] -= fire[r];
           }
         } else {
           const EdgeId* in = in_csr + p.in_begin;
-          for (std::size_t r = 0; r < K; ++r) fire[r] = 1;
+          for (std::size_t r = 0; r < K; ++r) {
+            fire[r] = kTelescopic ? avail[r] : 1;
+          }
           for (std::uint32_t i = 0; i < p.in_count; ++i) {
             const std::int32_t* const t =
                 tokens + static_cast<std::size_t>(in[i]) * K;
@@ -197,6 +287,12 @@ class FlatKernel {
         const EdgeId* in = in_csr + p.in_begin;
         std::int8_t* const pg = pending + static_cast<std::size_t>(p.node) * K;
         for (std::size_t r = 0; r < K; ++r) {
+          if constexpr (kTelescopic) {
+            if (avail[r] == 0) {
+              fire[r] = 0;
+              continue;
+            }
+          }
           std::int8_t guard = pg[r];
           if (guard == kNoGuard) {
             const std::size_t pos = choose_guard(p.node, r);
@@ -218,40 +314,20 @@ class FlatKernel {
         totals[r] += static_cast<std::uint64_t>(fire[r]);
       }
 
-      // Same invariants as the solo path, checked in debug builds only.
-      const auto emit_comb = [&](std::size_t e) {
-        std::int32_t* const t = tokens + e * K;
-        for (std::size_t r = 0; r < K; ++r) {
-          t[r] += fire[r];
-          ELRR_HOT_ASSERT(t[r] < kTokenQueueCap,
-                          "unbounded token accumulation: is the RRG "
-                          "strongly connected?");
-        }
-      };
-      const auto emit_ring = [&](std::size_t e) {
-        const std::uint64_t bit = inject_bit[e];
-        std::uint64_t* const w = window + e * K;
-        for (std::size_t r = 0; r < K; ++r) {
-          ELRR_HOT_ASSERT(fire[r] == 0 || (w[r] & bit) == 0,
-                          "double injection into EB chain");
-          w[r] |= bit & (0 - static_cast<std::uint64_t>(fire[r]));
-        }
-      };
-      if (p.out_comb + p.out_ring == 1) {  // inline edge id
-        const auto e = static_cast<std::size_t>(p.out_begin);
-        if ((p.flags & NodeProg::kOut1Ring) == 0) {
-          emit_comb(e);
-        } else {
-          emit_ring(e);
-        }
-      } else {
-        const EdgeId* out = out_csr + p.out_begin;
-        std::uint32_t j = 0;
-        for (; j < p.out_comb; ++j) emit_comb(out[j]);
-        for (; j < static_cast<std::uint32_t>(p.out_comb + p.out_ring); ++j) {
-          emit_ring(out[j]);
+      if constexpr (kTelescopic) {
+        // A slow draw makes the lane busy and withholds its outputs:
+        // clear the lane's emit mask (the firing itself already counted).
+        if (p.slow_countdown != 0) {
+          std::uint8_t* const bz = busy + static_cast<std::size_t>(p.node) * K;
+          for (std::size_t r = 0; r < K; ++r) {
+            if (fire[r] != 0 && choose_latency(p.node, r)) {
+              bz[r] = p.slow_countdown;
+              fire[r] = 0;
+            }
+          }
         }
       }
+      emit_masked(p, fire);
     }
 
     for (const EdgeId e : buffered_edges_) {
@@ -262,9 +338,27 @@ class FlatKernel {
         w[r] >>= 1;
       }
     }
+    if constexpr (kTelescopic) {
+      // Per-lane slow countdowns; release the withheld outputs when a
+      // lane's countdown hits 1 (after the shift, exactly like the solo
+      // path, so the added latency is slow_extra on every lane).
+      for (const std::uint32_t pi : telescopic_prog_) {
+        const NodeProg& p = prog_[pi];
+        std::uint8_t* const bz = busy + static_cast<std::size_t>(p.node) * K;
+        std::int32_t release[K];
+        std::int32_t any = 0;
+        for (std::size_t r = 0; r < K; ++r) {
+          release[r] = 0;
+          if (bz[r] != 0 && --bz[r] == 1) {
+            release[r] = 1;
+            any = 1;
+          }
+        }
+        if (any != 0) emit_masked(p, release);
+      }
+    }
   }
 
- private:
   template <bool kTelescopic, bool kFired, class GuardFn, class LatencyFn>
   std::uint32_t step_impl(FlatState& state, GuardFn&& choose_guard,
                           LatencyFn&& choose_latency,

@@ -1,0 +1,294 @@
+#include "sim/fleet.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/choosers.hpp"
+#include "sim/flat_kernel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::sim {
+
+namespace {
+
+/// Widest step_batch lane pack the driver uses (instruction-level
+/// parallelism across runs; see FlatBatchState). Wider packs stop paying
+/// on current cores while growing the state working set.
+inline constexpr std::size_t kMaxBatch = 4;
+
+/// Independent per-node streams, derived exactly like the reference
+/// driver always has: one master stream split once per node, so adding a
+/// node does not perturb the others' select sequences.
+std::vector<Rng> node_streams(std::uint64_t seed, std::size_t num_nodes) {
+  Rng master(seed);
+  std::vector<Rng> streams;
+  streams.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) streams.push_back(master.split());
+  return streams;
+}
+
+/// One full replication on the flat fast path: templated choosers, no
+/// allocation after the stream setup.
+double run_flat(const FlatKernel& kernel, const GuardTable& guards,
+                const LatencyTable& latencies, std::uint64_t seed,
+                const SimOptions& options) {
+  const std::size_t num_nodes = kernel.num_nodes();
+  std::vector<Rng> streams = node_streams(seed, num_nodes);
+  const TableGuardChooser guard{&guards, streams.data()};
+  const TableLatencyChooser latency{&latencies, streams.data()};
+
+  FlatState state = kernel.initial_state();
+  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
+    kernel.step(state, guard, latency);
+  }
+  std::uint64_t firings = 0;
+  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
+    firings += kernel.step(state, guard, latency);
+  }
+  return static_cast<double>(firings) /
+         (static_cast<double>(options.measure_cycles) *
+          static_cast<double>(num_nodes));
+}
+
+/// Up to kMaxBatch replications interleaved through one FlatKernel pass.
+/// Each run draws from the same streams the solo path would, so per-run
+/// theta is bit-identical to run_flat -- telescopic graphs included (the
+/// batched stepper carries per-lane busy countdowns, and each lane's
+/// latency draws come from its own run-private streams).
+template <std::size_t K>
+void run_flat_batch(const FlatKernel& kernel, const GuardTable& guards,
+                    const LatencyTable& latencies, std::uint64_t sim_seed,
+                    std::size_t first_run, const SimOptions& options,
+                    double* thetas) {
+  const std::size_t num_nodes = kernel.num_nodes();
+  std::vector<Rng> streams;
+  streams.reserve(K * num_nodes);
+  for (std::size_t r = 0; r < K; ++r) {
+    Rng master(run_seed(sim_seed, first_run + r));
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      streams.push_back(master.split());
+    }
+  }
+  const BatchTableGuardChooser guard{&guards, streams.data(), num_nodes};
+  const BatchTableLatencyChooser latency{&latencies, streams.data(),
+                                         num_nodes};
+
+  FlatBatchState state = kernel.initial_batch_state(K);
+  std::uint64_t totals[K] = {};
+  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
+    kernel.step_batch<K>(state, guard, totals, latency);
+  }
+  std::fill(totals, totals + K, 0);  // discard the transient
+  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
+    kernel.step_batch<K>(state, guard, totals, latency);
+  }
+  for (std::size_t r = 0; r < K; ++r) {
+    thetas[r] = static_cast<double>(totals[r]) /
+                (static_cast<double>(options.measure_cycles) *
+                 static_cast<double>(num_nodes));
+  }
+}
+
+/// One replication on the reference kernel (fallback for RRGs the flat
+/// layout cannot represent, and the anchor of the differential tests).
+/// Draws the same per-node streams through the same table arithmetic, so
+/// theta is bit-identical to run_flat.
+double run_reference(const Kernel& kernel, const GuardTable& guards,
+                     const LatencyTable& latencies, std::uint64_t seed,
+                     const SimOptions& options) {
+  const std::size_t num_nodes = kernel.rrg().num_nodes();
+  std::vector<Rng> streams = node_streams(seed, num_nodes);
+  const Kernel::GuardChooser guard = [&](NodeId n) {
+    return guards.sample(n, streams[n]);
+  };
+  const Kernel::LatencyChooser latency = [&](NodeId n) {
+    return latencies.sample(n, streams[n]);
+  };
+
+  SyncState state = kernel.initial_state();
+  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
+    kernel.step(state, guard, latency);
+  }
+  std::uint64_t firings = 0;
+  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
+    firings += kernel.step(state, guard, latency);
+  }
+  return static_cast<double>(firings) /
+         (static_cast<double>(options.measure_cycles) *
+          static_cast<double>(num_nodes));
+}
+
+/// Everything one job needs at execution time. Kernels and tables are
+/// built once per job and shared read-only by all workers; per-run theta
+/// slots are written by exactly one work item each (disjoint ranges), so
+/// workers never contend.
+struct JobContext {
+  const Rrg* rrg = nullptr;
+  SimOptions options;
+  SimPath path = SimPath::kFlat;
+  FlatCap fallback = FlatCap::kNone;
+  std::size_t lane_cap = 1;  ///< batch width this job's slices use
+  std::unique_ptr<FlatKernel> flat_kernel;
+  std::unique_ptr<Kernel> ref_kernel;
+  std::unique_ptr<GuardTable> guards;
+  std::unique_ptr<LatencyTable> latencies;
+  std::vector<double> per_run;  ///< run-indexed theta slots
+};
+
+/// One queue entry: a contiguous slice of one job's runs, at most
+/// lane_cap wide. Slices are fixed up front ([0,c) [c,2c) ... per job),
+/// so the partition -- and with it every run's lane assignment -- is
+/// independent of worker scheduling.
+struct WorkItem {
+  std::uint32_t job = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+void execute_item(JobContext& ctx, const WorkItem& item) {
+  double* const thetas = ctx.per_run.data() + item.first;
+  if (ctx.path != SimPath::kFlat) {
+    for (std::uint32_t r = 0; r < item.count; ++r) {
+      thetas[r] = run_reference(*ctx.ref_kernel, *ctx.guards, *ctx.latencies,
+                                run_seed(ctx.options.seed, item.first + r),
+                                ctx.options);
+    }
+    return;
+  }
+  switch (item.count) {
+    case 1:
+      thetas[0] = run_flat(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                           run_seed(ctx.options.seed, item.first),
+                           ctx.options);
+      break;
+    case 2:
+      run_flat_batch<2>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                        ctx.options.seed, item.first, ctx.options, thetas);
+      break;
+    case 3:
+      run_flat_batch<3>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                        ctx.options.seed, item.first, ctx.options, thetas);
+      break;
+    default:
+      run_flat_batch<4>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                        ctx.options.seed, item.first, ctx.options, thetas);
+      break;
+  }
+}
+
+}  // namespace
+
+std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
+                                 std::size_t work_items) {
+  // hardware_concurrency() is allowed to report 0 ("unknown"); never
+  // under-spawn below one worker, never over-spawn past the queue.
+  std::size_t workers = requested != 0 ? requested : hardware;
+  if (workers == 0) workers = 1;
+  return std::min(workers, std::max<std::size_t>(work_items, 1));
+}
+
+std::size_t SimFleet::submit(const Rrg& rrg, const SimOptions& options) {
+  ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
+  ELRR_REQUIRE(options.runs > 0, "need at least one run");
+  jobs_.push_back(Job{&rrg, options});
+  return jobs_.size() - 1;
+}
+
+std::vector<SimReport> SimFleet::drain() {
+  if (jobs_.empty()) return {};
+
+  // Precompute every job's kernel, tables and slice partition. The lane
+  // cap is per job: options.max_batch == 0 means the driver default,
+  // anything else clamps (1 = solo stepping); reference-path jobs go run
+  // by run (the reference kernel has no batched stepper).
+  std::vector<JobContext> contexts(jobs_.size());
+  std::vector<WorkItem> items;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    JobContext& ctx = contexts[j];
+    ctx.rrg = jobs_[j].rrg;
+    ctx.options = jobs_[j].options;
+    ctx.fallback = ctx.options.force_reference
+                       ? FlatCap::kNone
+                       : FlatKernel::unsupported_reason(*ctx.rrg);
+    if (ctx.options.force_reference) {
+      ctx.path = SimPath::kReferenceForced;
+    } else if (ctx.fallback != FlatCap::kNone) {
+      ctx.path = SimPath::kReference;
+    } else {
+      ctx.path = SimPath::kFlat;
+    }
+    if (ctx.path == SimPath::kFlat) {
+      ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
+      ctx.lane_cap = ctx.options.max_batch == 0
+                         ? kMaxBatch
+                         : std::min(ctx.options.max_batch, kMaxBatch);
+    } else {
+      ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
+      ctx.lane_cap = 1;
+    }
+    ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
+    ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
+    ctx.per_run.assign(ctx.options.runs, 0.0);
+    for (std::size_t first = 0; first < ctx.options.runs;
+         first += ctx.lane_cap) {
+      items.push_back(WorkItem{
+          static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(first),
+          static_cast<std::uint32_t>(
+              std::min(ctx.lane_cap, ctx.options.runs - first))});
+    }
+  }
+
+  const std::size_t workers = resolve_worker_count(
+      threads_, std::thread::hardware_concurrency(), items.size());
+  last_workers_ = workers;
+  if (workers <= 1) {
+    for (const WorkItem& item : items) execute_item(contexts[item.job], item);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        try {
+          for (std::size_t i = next.fetch_add(1); i < items.size();
+               i = next.fetch_add(1)) {
+            execute_item(contexts[items[i].job], items[i]);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!failure) failure = std::current_exception();
+          next.store(items.size());  // drain remaining work
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  // Merge in run order, job by job: neither the queue interleaving nor
+  // the pool size can reach this reduction.
+  std::vector<SimReport> reports;
+  reports.reserve(contexts.size());
+  for (const JobContext& ctx : contexts) {
+    RunningStats across_runs;
+    for (const double theta : ctx.per_run) across_runs.add(theta);
+    SimReport report;
+    report.theta = across_runs.mean();
+    report.stderr_theta = across_runs.stderr_mean();
+    report.cycles = ctx.options.runs * ctx.options.measure_cycles;
+    report.path = ctx.path;
+    report.fallback = ctx.fallback;
+    reports.push_back(report);
+  }
+  jobs_.clear();
+  return reports;
+}
+
+}  // namespace elrr::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file fleet.hpp
+/// Cross-candidate simulation fleet: scores *many* candidate RRGs (the
+/// Pareto points of a retiming/recycling walk, a telescopic parameter
+/// grid, ...) through one work-queue of batch-sized run slices drained by
+/// a shared worker pool.
+///
+/// Why a fleet instead of a per-candidate loop: one candidate typically
+/// carries only a handful of replications, so scoring candidates one
+/// simulate_throughput call at a time leaves both lanes and cores idle --
+/// with the flow's 2 runs per candidate the PR-1 driver degenerates to a
+/// single work item and a single thread no matter what `threads` says.
+/// The fleet accepts every (candidate, replication) job up front,
+/// interleaves each candidate's runs K-wide through
+/// FlatKernel::step_batch (telescopic candidates included), and drains
+/// work items from *different* candidates concurrently across the pool.
+///
+/// Determinism contract (same as the PR-1 driver, fleet-wide): each job's
+/// result depends only on (rrg, options.seed, options.runs,
+/// options.*_cycles). Every run draws from its own splitmix64-derived
+/// per-node streams, per-run theta lands in a run-indexed slot, and each
+/// job's moments accumulate in run order -- so the thread count, the lane
+/// packing (options.max_batch) and the submission interleaving can never
+/// change a reported theta. A fleet job is bit-identical to
+/// simulate_throughput of the same (rrg, options).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rrg.hpp"
+#include "sim/simulator.hpp"
+
+namespace elrr::sim {
+
+/// The worker count the fleet actually spawns for `requested` threads
+/// (0 = use `hardware`, itself possibly 0 when the runtime cannot tell:
+/// then 1) over `work_items` queue entries (never spawn workers that
+/// would find nothing to do). Exposed for tests pinning the under/over-
+/// spawn edge cases.
+std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
+                                 std::size_t work_items);
+
+/// Work-queue scheduler over all submitted simulation jobs.
+///
+/// Usage: submit every candidate, then drain() once; results come back in
+/// submission order. Submitted Rrgs are borrowed -- they must outlive the
+/// drain() call and stay structurally unchanged. Per-job options.threads
+/// is ignored (the fleet's own pool size applies); all other SimOptions
+/// fields are honoured per job.
+class SimFleet {
+ public:
+  /// `threads` = worker pool size; 0 = hardware concurrency.
+  explicit SimFleet(std::size_t threads = 0) : threads_(threads) {}
+
+  /// Enqueues one candidate; returns its index into drain()'s result
+  /// vector. Validates options eagerly (throws on zero cycles/runs).
+  std::size_t submit(const Rrg& rrg, const SimOptions& options);
+  // Would dangle: the fleet borrows the Rrg until drain() (same
+  // convention as FlatKernel(Rrg&&) = delete).
+  std::size_t submit(Rrg&&, const SimOptions&) = delete;
+
+  /// Runs every queued job to completion and clears the queue. Safe to
+  /// submit and drain again afterwards.
+  std::vector<SimReport> drain();
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+  std::size_t threads() const { return threads_; }
+  /// Workers the most recent drain() actually spawned (0 before any
+  /// drain): resolve_worker_count over the real work-item count.
+  std::size_t last_worker_count() const { return last_workers_; }
+
+ private:
+  struct Job {
+    const Rrg* rrg;
+    SimOptions options;
+  };
+
+  std::size_t threads_;
+  std::size_t last_workers_ = 0;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace elrr::sim

@@ -1,122 +1,9 @@
 #include "sim/simulator.hpp"
 
-#include <atomic>
-#include <exception>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "sim/choosers.hpp"
-#include "sim/flat_kernel.hpp"
-#include "support/error.hpp"
+#include "sim/fleet.hpp"
 #include "support/rng.hpp"
 
 namespace elrr::sim {
-
-namespace {
-
-/// Independent per-node streams, derived exactly like the reference
-/// driver always has: one master stream split once per node, so adding a
-/// node does not perturb the others' select sequences.
-std::vector<Rng> node_streams(std::uint64_t seed, std::size_t num_nodes) {
-  Rng master(seed);
-  std::vector<Rng> streams;
-  streams.reserve(num_nodes);
-  for (std::size_t n = 0; n < num_nodes; ++n) streams.push_back(master.split());
-  return streams;
-}
-
-/// One full replication on the flat fast path: templated choosers, no
-/// allocation after the stream setup.
-double run_flat(const FlatKernel& kernel, const GuardTable& guards,
-                const LatencyTable& latencies, std::uint64_t seed,
-                const SimOptions& options) {
-  const std::size_t num_nodes = kernel.num_nodes();
-  std::vector<Rng> streams = node_streams(seed, num_nodes);
-  const TableGuardChooser guard{&guards, streams.data()};
-  const TableLatencyChooser latency{&latencies, streams.data()};
-
-  FlatState state = kernel.initial_state();
-  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
-    kernel.step(state, guard, latency);
-  }
-  std::uint64_t firings = 0;
-  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
-    firings += kernel.step(state, guard, latency);
-  }
-  return static_cast<double>(firings) /
-         (static_cast<double>(options.measure_cycles) *
-          static_cast<double>(num_nodes));
-}
-
-/// Up to kMaxBatch replications interleaved through one FlatKernel pass
-/// (instruction-level parallelism across runs; see FlatBatchState). Each
-/// run draws from the same streams the solo path would, so per-run theta
-/// is bit-identical to run_flat.
-inline constexpr std::size_t kMaxBatch = 4;
-
-template <std::size_t K>
-void run_flat_batch(const FlatKernel& kernel, const GuardTable& guards,
-                    std::uint64_t sim_seed, std::size_t first_run,
-                    const SimOptions& options, double* thetas) {
-  const std::size_t num_nodes = kernel.num_nodes();
-  std::vector<Rng> streams;
-  streams.reserve(K * num_nodes);
-  for (std::size_t r = 0; r < K; ++r) {
-    Rng master(run_seed(sim_seed, first_run + r));
-    for (std::size_t n = 0; n < num_nodes; ++n) {
-      streams.push_back(master.split());
-    }
-  }
-  const BatchTableGuardChooser guard{&guards, streams.data(), num_nodes};
-
-  FlatBatchState state = kernel.initial_batch_state(K);
-  std::uint64_t totals[K] = {};
-  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
-    kernel.step_batch<K>(state, guard, totals);
-  }
-  std::fill(totals, totals + K, 0);  // discard the transient
-  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
-    kernel.step_batch<K>(state, guard, totals);
-  }
-  for (std::size_t r = 0; r < K; ++r) {
-    thetas[r] = static_cast<double>(totals[r]) /
-                (static_cast<double>(options.measure_cycles) *
-                 static_cast<double>(num_nodes));
-  }
-}
-
-/// One replication on the reference kernel (fallback for RRGs the flat
-/// layout cannot represent, and the anchor of the differential tests).
-/// Draws the same per-node streams through the same table arithmetic, so
-/// theta is bit-identical to run_flat.
-double run_reference(const Kernel& kernel, const GuardTable& guards,
-                     const LatencyTable& latencies, std::uint64_t seed,
-                     const SimOptions& options) {
-  const std::size_t num_nodes = kernel.rrg().num_nodes();
-  std::vector<Rng> streams = node_streams(seed, num_nodes);
-  const Kernel::GuardChooser guard = [&](NodeId n) {
-    return guards.sample(n, streams[n]);
-  };
-  const Kernel::LatencyChooser latency = [&](NodeId n) {
-    return latencies.sample(n, streams[n]);
-  };
-
-  SyncState state = kernel.initial_state();
-  for (std::size_t t = 0; t < options.warmup_cycles; ++t) {
-    kernel.step(state, guard, latency);
-  }
-  std::uint64_t firings = 0;
-  for (std::size_t t = 0; t < options.measure_cycles; ++t) {
-    firings += kernel.step(state, guard, latency);
-  }
-  return static_cast<double>(firings) /
-         (static_cast<double>(options.measure_cycles) *
-          static_cast<double>(num_nodes));
-}
-
-}  // namespace
 
 std::uint64_t run_seed(std::uint64_t seed, std::size_t run) {
   std::uint64_t state =
@@ -124,104 +11,13 @@ std::uint64_t run_seed(std::uint64_t seed, std::size_t run) {
   return splitmix64(state);
 }
 
-SimResult simulate_throughput(const Rrg& rrg, const SimOptions& options) {
-  ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
-  ELRR_REQUIRE(options.runs > 0, "need at least one run");
-
-  const bool flat = !options.force_reference && FlatKernel::supports(rrg);
-  const GuardTable guards(rrg);
-  const LatencyTable latencies(rrg);
-
-  // Kernels precompute per-RRG structure once, shared (read-only) by all
-  // worker threads.
-  std::unique_ptr<FlatKernel> flat_kernel;
-  std::unique_ptr<Kernel> ref_kernel;
-  if (flat) {
-    flat_kernel = std::make_unique<FlatKernel>(rrg);
-  } else {
-    ref_kernel = std::make_unique<Kernel>(rrg);
-  }
-
-  // Work items are contiguous run ranges: the flat non-telescopic path
-  // interleaves up to kMaxBatch runs through one kernel pass (ILP), the
-  // others go run by run. Per-run theta lands in a run-indexed slot and
-  // the moments are accumulated in run order below, so neither the batch
-  // partition nor the thread count can change the result.
-  const bool batchable = flat && !rrg.has_telescopic();
-  std::vector<double> per_run(options.runs, 0.0);
-  const auto run_range = [&](std::size_t first, std::size_t count) {
-    while (count > 0) {
-      std::size_t step = 1;
-      if (batchable && count >= 2) {
-        step = std::min(count, kMaxBatch);
-        switch (step) {
-          case 2:
-            run_flat_batch<2>(*flat_kernel, guards, options.seed, first,
-                              options, &per_run[first]);
-            break;
-          case 3:
-            run_flat_batch<3>(*flat_kernel, guards, options.seed, first,
-                              options, &per_run[first]);
-            break;
-          default:
-            run_flat_batch<4>(*flat_kernel, guards, options.seed, first,
-                              options, &per_run[first]);
-            break;
-        }
-      } else {
-        const std::uint64_t seed = run_seed(options.seed, first);
-        per_run[first] =
-            flat ? run_flat(*flat_kernel, guards, latencies, seed, options)
-                 : run_reference(*ref_kernel, guards, latencies, seed,
-                                 options);
-      }
-      first += step;
-      count -= step;
-    }
-  };
-
-  // One work item is a batch-sized slice of runs; spawning more workers
-  // than slices would only create threads that find nothing to do.
-  const std::size_t chunk = batchable ? kMaxBatch : 1;
-  const std::size_t work_items = (options.runs + chunk - 1) / chunk;
-  std::size_t threads = options.threads != 0
-                            ? options.threads
-                            : std::thread::hardware_concurrency();
-  threads = std::min(std::max<std::size_t>(threads, 1), work_items);
-  if (threads <= 1) {
-    run_range(0, options.runs);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (std::size_t w = 0; w < threads; ++w) {
-      workers.emplace_back([&] {
-        try {
-          for (std::size_t first = next.fetch_add(chunk);
-               first < options.runs; first = next.fetch_add(chunk)) {
-            run_range(first, std::min(chunk, options.runs - first));
-          }
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!failure) failure = std::current_exception();
-          next.store(options.runs);  // drain remaining work
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-    if (failure) std::rethrow_exception(failure);
-  }
-
-  RunningStats across_runs;
-  for (double theta : per_run) across_runs.add(theta);
-
-  SimResult result;
-  result.theta = across_runs.mean();
-  result.stderr_theta = across_runs.stderr_mean();
-  result.cycles = options.runs * options.measure_cycles;
-  return result;
+SimReport simulate_throughput(const Rrg& rrg, const SimOptions& options) {
+  // A one-job fleet: same kernels, same per-run streams, same run-order
+  // merge -- simulate_throughput is the single-candidate spelling of the
+  // fleet scheduler, so every determinism property is shared.
+  SimFleet fleet(options.threads);
+  fleet.submit(rrg, options);
+  return fleet.drain().front();
 }
 
 }  // namespace elrr::sim

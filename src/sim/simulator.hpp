@@ -7,15 +7,21 @@
 ///
 /// The driver runs on the allocation-free FlatKernel fast path with
 /// precomputed chooser tables (falling back to the reference Kernel for
-/// RRGs the flat layout cannot represent), and can replicate runs across
-/// worker threads. Results are deterministic in (rrg, options.seed,
-/// options.runs) alone: every run draws from its own splitmix64-derived
-/// stream and results are merged in run order, so `threads` never changes
-/// theta.
+/// RRGs the flat layout cannot represent), interleaves replications
+/// through the batched stepper -- telescopic graphs included -- and can
+/// spread runs across worker threads. Results are deterministic in
+/// (rrg, options.seed, options.runs) alone: every run draws from its own
+/// splitmix64-derived stream and results are merged in run order, so
+/// neither `threads` nor `max_batch` ever changes theta.
+///
+/// simulate_throughput is the one-candidate convenience wrapper around
+/// sim::SimFleet (fleet.hpp), which scores many candidate RRGs through
+/// one worker pool -- the shape the Pareto-walk benches use.
 
 #include <cstdint>
 
 #include "core/rrg.hpp"
+#include "sim/flat_kernel.hpp"
 #include "sim/kernel.hpp"
 #include "support/stats.hpp"
 
@@ -29,6 +35,11 @@ struct SimOptions {
   /// Worker threads for independent runs; 0 = hardware concurrency.
   /// Purely a wall-clock knob: theta is identical for every value.
   std::size_t threads = 1;
+  /// Lane cap for the interleaved batched stepper: runs are packed into
+  /// step_batch lanes of at most min(max_batch, 4) runs; 0 = the driver
+  /// default (4), 1 = solo stepping. Purely a wall-clock knob: theta is
+  /// identical for every value (lane-packing invariance is tested).
+  std::size_t max_batch = 0;
   /// Force the reference Kernel path (testing / debugging). The fast path
   /// is bit-exact against it, so results do not change -- only speed.
   bool force_reference = false;
@@ -40,9 +51,26 @@ struct SimResult {
   std::size_t cycles = 0;    ///< total measured cycles
 };
 
+/// Which kernel a simulation actually ran on.
+enum class SimPath : std::uint8_t {
+  kFlat = 0,          ///< FlatKernel batched fast path
+  kReference,         ///< reference Kernel: the RRG exceeds a flat cap
+  kReferenceForced,   ///< reference Kernel: options.force_reference
+};
+
+/// SimResult plus the execution-path report: which kernel ran, and -- when
+/// the reference fallback was taken because of a flat-layout cap -- which
+/// cap (FlatCap::kNone otherwise). Telescopic graphs are *not* a fallback:
+/// they run on the batched flat path like everything else.
+struct SimReport : SimResult {
+  SimPath path = SimPath::kFlat;
+  FlatCap fallback = FlatCap::kNone;
+};
+
 /// Long-run throughput Theta(RRG) by simulation. Guards are sampled i.i.d.
 /// with the RRG's gamma probabilities (per-node independent streams).
-SimResult simulate_throughput(const Rrg& rrg, const SimOptions& options = {});
+/// Equivalent to a one-job SimFleet drained with options.threads workers.
+SimReport simulate_throughput(const Rrg& rrg, const SimOptions& options = {});
 
 /// The per-run RNG seed: run `run` of a simulation seeded with `seed`.
 /// splitmix64 over state seed + run * golden-gamma -- nearby user seeds

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "support/error.hpp"
@@ -91,6 +95,101 @@ TEST(Flow, EnvOptionsParse) {
   EXPECT_GT(options.epsilon, 0.0);
   EXPECT_GT(options.milp_timeout_s, 0.0);
   EXPECT_GT(options.sim_cycles, 0u);
+}
+
+/// Scoped environment override; restores the previous value (or
+/// unset-ness) on destruction so tests cannot leak knobs into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(Flow, EnvValidationAcceptsWellFormedKnobs) {
+  const ScopedEnv cycles("ELRR_SIM_CYCLES", "12000");
+  const ScopedEnv threads("ELRR_SIM_THREADS", "0");  // 0 = all cores
+  const ScopedEnv timeout("ELRR_MILP_TIMEOUT", "2.5");
+  const ScopedEnv polish("ELRR_POLISH", "1");
+  const FlowOptions options = FlowOptions::from_env();
+  EXPECT_EQ(options.sim_cycles, 12000u);
+  EXPECT_EQ(options.sim_threads, 0u);
+  EXPECT_DOUBLE_EQ(options.milp_timeout_s, 2.5);
+  EXPECT_TRUE(options.polish);
+}
+
+TEST(Flow, EnvValidationRejectsMalformedSimCycles) {
+  // A negative cycle count used to wrap through size_t into a
+  // near-eternal run; junk text parsed as 0 and then failed deep inside
+  // the simulator. Both must be immediate, named errors now.
+  {
+    const ScopedEnv guard("ELRR_SIM_CYCLES", "-5");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_SIM_CYCLES", "abc");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_SIM_CYCLES", "0");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_SIM_CYCLES", "20000x");  // trailing junk
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+}
+
+TEST(Flow, EnvValidationRejectsMalformedThreadsAndTimeout) {
+  {
+    const ScopedEnv guard("ELRR_SIM_THREADS", "-1");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_SIM_THREADS", "1e9");  // not an integer
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_MILP_TIMEOUT", "0");  // must be positive
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_MILP_TIMEOUT", "nan");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_EPSILON", "-0.05");
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_HEUR", "yes");  // 0 or 1 only
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+}
+
+TEST(Flow, EnvValidationErrorNamesTheVariable) {
+  const ScopedEnv guard("ELRR_SIM_CYCLES", "-5");
+  try {
+    FlowOptions::from_env();
+    FAIL() << "expected InvalidInputError";
+  } catch (const InvalidInputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ELRR_SIM_CYCLES"), std::string::npos) << what;
+    EXPECT_NE(what.find("-5"), std::string::npos) << what;
+  }
 }
 
 TEST(Flow, UnknownCircuitThrows) {

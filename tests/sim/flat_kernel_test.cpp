@@ -152,49 +152,117 @@ TEST_P(FlatVsReference, BitExactOverHorizon) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsReference, ::testing::Range(0, 60));
 
-/// The batched step is run-for-run identical to solo flat stepping.
+/// The batched step is run-for-run identical to solo flat stepping --
+/// telescopic graphs included: each lane's busy countdown, withheld
+/// outputs and latency draws mirror the solo path exactly.
 class BatchVsSolo : public ::testing::TestWithParam<int> {};
 
 TEST_P(BatchVsSolo, InterleavedRunsMatchSoloRuns) {
-  const Rrg rrg = random_rrg(static_cast<std::uint64_t>(GetParam()), false);
-  const FlatKernel kernel(rrg);
-  const GuardTable guards(rrg);
-  const std::size_t num_nodes = rrg.num_nodes();
-  constexpr std::size_t kRuns = 3;
+  for (const bool telescopic : {false, true}) {
+    const Rrg rrg =
+        random_rrg(static_cast<std::uint64_t>(GetParam()), telescopic);
+    const FlatKernel kernel(rrg);
+    const GuardTable guards(rrg);
+    const LatencyTable latencies(rrg);
+    const std::size_t num_nodes = rrg.num_nodes();
+    constexpr std::size_t kRuns = 3;
 
-  // Batched: three interleaved runs with run-private streams.
-  std::vector<elrr::Rng> batch_streams;
-  for (std::size_t r = 0; r < kRuns; ++r) {
-    elrr::Rng master(1000 + 17 * r);
-    for (std::size_t n = 0; n < num_nodes; ++n) {
-      batch_streams.push_back(master.split());
+    // Batched: three interleaved runs with run-private streams.
+    std::vector<elrr::Rng> batch_streams;
+    for (std::size_t r = 0; r < kRuns; ++r) {
+      elrr::Rng master(1000 + 17 * r);
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        batch_streams.push_back(master.split());
+      }
     }
-  }
-  const BatchTableGuardChooser batch_guard{&guards, batch_streams.data(),
-                                           num_nodes};
-  FlatBatchState batch = kernel.initial_batch_state(kRuns);
-  std::uint64_t batch_totals[kRuns] = {};
-  for (int t = 0; t < 300; ++t) {
-    kernel.step_batch<kRuns>(batch, batch_guard, batch_totals);
-  }
+    const BatchTableGuardChooser batch_guard{&guards, batch_streams.data(),
+                                             num_nodes};
+    const BatchTableLatencyChooser batch_latency{
+        &latencies, batch_streams.data(), num_nodes};
+    FlatBatchState batch = kernel.initial_batch_state(kRuns);
+    std::uint64_t batch_totals[kRuns] = {};
+    for (int t = 0; t < 300; ++t) {
+      kernel.step_batch<kRuns>(batch, batch_guard, batch_totals,
+                               batch_latency);
+    }
 
-  // Solo: the same three runs one at a time.
-  for (std::size_t r = 0; r < kRuns; ++r) {
-    elrr::Rng master(1000 + 17 * r);
-    std::vector<elrr::Rng> streams;
-    for (std::size_t n = 0; n < num_nodes; ++n) {
-      streams.push_back(master.split());
+    // Solo: the same three runs one at a time.
+    for (std::size_t r = 0; r < kRuns; ++r) {
+      elrr::Rng master(1000 + 17 * r);
+      std::vector<elrr::Rng> streams;
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        streams.push_back(master.split());
+      }
+      const TableGuardChooser guard{&guards, streams.data()};
+      const TableLatencyChooser latency{&latencies, streams.data()};
+      FlatState state = kernel.initial_state();
+      std::uint64_t total = 0;
+      for (int t = 0; t < 300; ++t) total += kernel.step(state, guard, latency);
+      EXPECT_EQ(batch_totals[r], total)
+          << "run " << r << " telescopic=" << telescopic;
+      EXPECT_EQ(kernel.extract_run(batch, r), state)
+          << "run " << r << " telescopic=" << telescopic;
     }
-    const TableGuardChooser guard{&guards, streams.data()};
-    FlatState state = kernel.initial_state();
-    std::uint64_t total = 0;
-    for (int t = 0; t < 300; ++t) total += kernel.step(state, guard);
-    EXPECT_EQ(batch_totals[r], total) << "run " << r;
-    EXPECT_EQ(kernel.extract_run(batch, r), state) << "run " << r;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchVsSolo, ::testing::Range(0, 20));
+
+/// Telescopic batched stepping against the reference kernel, cycle by
+/// cycle: every lane of a step_batch advance must reproduce the reference
+/// Kernel's full synchronous state (busy countdowns included) when driven
+/// through the same (cycle, node, run)-deterministic chooser sequence.
+class TelescopicBatchVsReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(TelescopicBatchVsReference, LanesMatchReferencePerCycle) {
+  const Rrg rrg = random_rrg(static_cast<std::uint64_t>(GetParam()), true);
+  const FlatKernel flat(rrg);
+  const Kernel reference(rrg);
+  constexpr std::size_t kRuns = 3;
+
+  const auto guard_for = [&](int cycle, NodeId n, std::size_t run) {
+    const std::uint64_t h = hash_name(std::to_string(cycle) + "g" +
+                                      std::to_string(n) + "r" +
+                                      std::to_string(run));
+    return static_cast<std::size_t>(h % rrg.graph().in_degree(n));
+  };
+  const auto latency_for = [&](int cycle, NodeId n, std::size_t run) {
+    const std::uint64_t h = hash_name(std::to_string(cycle) + "l" +
+                                      std::to_string(n) + "r" +
+                                      std::to_string(run));
+    return (h & 3) == 0;  // slow every ~4th sampled firing
+  };
+
+  int cycle = 0;
+  FlatBatchState batch = flat.initial_batch_state(kRuns);
+  std::uint64_t batch_totals[kRuns] = {};
+  std::vector<SyncState> ref_states;
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    ref_states.push_back(reference.initial_state());
+  }
+  std::uint64_t ref_totals[kRuns] = {};
+
+  for (cycle = 0; cycle < 200; ++cycle) {
+    flat.step_batch<kRuns>(
+        batch,
+        [&](NodeId n, std::size_t run) { return guard_for(cycle, n, run); },
+        batch_totals,
+        [&](NodeId n, std::size_t run) { return latency_for(cycle, n, run); });
+    for (std::size_t r = 0; r < kRuns; ++r) {
+      ref_totals[r] += reference.step(
+          ref_states[r], [&](NodeId n) { return guard_for(cycle, n, r); },
+          [&](NodeId n) { return latency_for(cycle, n, r); });
+      ASSERT_EQ(flat.to_sync(flat.extract_run(batch, r)), ref_states[r])
+          << "cycle " << cycle << " run " << r;
+    }
+  }
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    EXPECT_EQ(batch_totals[r], ref_totals[r]) << "run " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TelescopicBatchVsReference,
+                         ::testing::Range(0, 12));
 
 /// Driver-level: the fast path and the reference path of
 /// simulate_throughput produce bit-identical theta for fixed seeds.

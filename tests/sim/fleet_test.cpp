@@ -1,0 +1,295 @@
+/// \file fleet_test.cpp
+/// The cross-candidate simulation fleet's contract: a fleet job is
+/// bit-identical to sequential simulation of the same (rrg, options) --
+/// anchored against the reference kernel, which shares no code with the
+/// batched flat path -- regardless of worker-pool size, lane packing
+/// (max_batch) or how many other candidates share the queue. Also pins
+/// the execution-path report (flat vs reference, fallback reason) and the
+/// worker-count resolution edge cases (hardware_concurrency() == 0,
+/// threads > work items).
+
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "sim/flat_kernel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace elrr::sim {
+namespace {
+
+/// Random live RRG: ring backbone plus chords; early joins with random
+/// gammas; optionally telescopic nodes; buffers up to 3 EBs deep. (Same
+/// family as the flat-kernel differential tests, independent stream.)
+Rrg random_rrg(std::uint64_t seed, bool allow_telescopic) {
+  elrr::Rng rng(seed * 6089 + 11);
+  const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+  Rrg rrg;
+  for (std::size_t i = 0; i < n; ++i) {
+    rrg.add_node("n" + std::to_string(i), 1.0);
+  }
+  const auto random_edge = [&](NodeId u, NodeId v) {
+    const int tokens = static_cast<int>(rng.uniform_int(-1, 2));
+    const int buffers =
+        std::max(tokens, 0) + static_cast<int>(rng.uniform_int(0, 2));
+    rrg.add_edge(u, v, tokens, buffers);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    random_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  const std::size_t chords =
+      1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t k = 0; k < chords; ++k) {
+    const auto u = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    random_edge(u, v);
+  }
+  for (NodeId v = 0; v < rrg.num_nodes(); ++v) {
+    if (rrg.graph().in_degree(v) >= 2 && rng.bernoulli(0.5)) {
+      rrg.set_kind(v, NodeKind::kEarly);
+      const auto probs = rng.simplex(rrg.graph().in_degree(v), 0.05);
+      std::size_t idx = 0;
+      for (EdgeId e : rrg.graph().in_edges(v)) rrg.set_gamma(e, probs[idx++]);
+    }
+  }
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    if (rrg.tokens(e) < 0 && !rrg.is_early(rrg.graph().dst(e))) {
+      rrg.set_tokens(e, 0);
+    }
+  }
+  if (allow_telescopic) {
+    const auto t = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    rrg.set_telescopic(t, rng.uniform(0.3, 0.9),
+                       static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  std::vector<EdgeId> dead;
+  while (!rrg.is_live(&dead)) {
+    const int tokens = rrg.tokens(dead[0]) + 1;
+    rrg.set_tokens(dead[0], tokens);
+    rrg.set_buffers(dead[0], std::max(tokens, rrg.buffers(dead[0])));
+  }
+  rrg.validate();
+  return rrg;
+}
+
+SimOptions fleet_options(std::uint64_t seed) {
+  SimOptions options;
+  options.seed = seed;
+  options.warmup_cycles = 100;
+  options.measure_cycles = 1500;
+  options.runs = 3;
+  return options;
+}
+
+/// Differential anchor: a fleet drain over early-only and telescopic
+/// candidates in one queue reproduces, job for job, the reference
+/// kernel's theta bit-exactly. The reference path shares no stepping
+/// code with the batched flat path, so this pins the whole chain
+/// (lane packing, busy countdowns, run-order merge) at once.
+class FleetVsReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(FleetVsReference, ThetaBitExactPerJob) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Rrg plain = random_rrg(seed, false);
+  const Rrg telescopic = random_rrg(seed, true);
+  const SimOptions options = fleet_options(seed + 31);
+
+  SimFleet fleet(3);
+  fleet.submit(plain, options);
+  fleet.submit(telescopic, options);
+  const std::vector<SimReport> reports = fleet.drain();
+  ASSERT_EQ(reports.size(), 2u);
+
+  SimOptions reference = options;
+  reference.force_reference = true;
+  const SimReport ref_plain = simulate_throughput(plain, reference);
+  const SimReport ref_telescopic = simulate_throughput(telescopic, reference);
+
+  EXPECT_EQ(reports[0].theta, ref_plain.theta);
+  EXPECT_EQ(reports[0].stderr_theta, ref_plain.stderr_theta);
+  EXPECT_EQ(reports[1].theta, ref_telescopic.theta);
+  EXPECT_EQ(reports[1].stderr_theta, ref_telescopic.stderr_theta);
+  EXPECT_EQ(reports[0].path, SimPath::kFlat);
+  EXPECT_EQ(reports[1].path, SimPath::kFlat);
+  EXPECT_EQ(ref_plain.path, SimPath::kReferenceForced);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetVsReference, ::testing::Range(0, 60));
+
+/// The pool size can never change any job's result -- including sizes
+/// past the work-item count (over-spawn) and 0 (hardware concurrency,
+/// whatever it reports).
+TEST(SimFleet, WorkerCountNeverChangesResults) {
+  std::vector<Rrg> candidates;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    candidates.push_back(random_rrg(900 + s, (s % 2) == 1));
+  }
+  const auto drain_with = [&](std::size_t threads) {
+    SimFleet fleet(threads);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      fleet.submit(candidates[i], fleet_options(77 + i));
+    }
+    return fleet.drain();
+  };
+  const std::vector<SimReport> solo = drain_with(1);
+  ASSERT_EQ(solo.size(), candidates.size());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5},
+                                    std::size_t{64}, std::size_t{0}}) {
+    const std::vector<SimReport> pooled = drain_with(threads);
+    ASSERT_EQ(pooled.size(), solo.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+      EXPECT_EQ(pooled[i].theta, solo[i].theta)
+          << "threads " << threads << " job " << i;
+      EXPECT_EQ(pooled[i].stderr_theta, solo[i].stderr_theta);
+    }
+  }
+}
+
+/// Lane packing (max_batch) is a pure wall-clock knob: solo stepping,
+/// pairs, triples and full lanes all produce the identical theta, for
+/// early-only and telescopic candidates alike.
+TEST(SimFleet, LanePackingNeverChangesResults) {
+  for (const bool telescopic : {false, true}) {
+    const Rrg rrg = random_rrg(telescopic ? 431 : 430, telescopic);
+    SimOptions options = fleet_options(5);
+    options.runs = 6;  // spans slices of every width up to the cap
+    options.max_batch = 1;
+    const SimReport solo = simulate_throughput(rrg, options);
+    for (const std::size_t width : {std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{0}}) {
+      options.max_batch = width;
+      const SimReport packed = simulate_throughput(rrg, options);
+      EXPECT_EQ(packed.theta, solo.theta)
+          << "telescopic " << telescopic << " max_batch " << width;
+      EXPECT_EQ(packed.stderr_theta, solo.stderr_theta);
+    }
+  }
+}
+
+/// Telescopic graphs run on the batched flat path -- they are no longer a
+/// silent fallback to solo or reference execution.
+TEST(SimFleet, TelescopicTakesTheBatchedFlatPath) {
+  const Rrg rrg = random_rrg(77, true);
+  ASSERT_TRUE(rrg.has_telescopic());
+  const SimReport report = simulate_throughput(rrg, fleet_options(3));
+  EXPECT_EQ(report.path, SimPath::kFlat);
+  EXPECT_EQ(report.fallback, FlatCap::kNone);
+}
+
+/// Every remaining supports() cap is observable: the report names the
+/// reference path and the first violated cap.
+TEST(SimFleet, DeepEbChainFallbackIsReported) {
+  Rrg rrg;
+  const NodeId a = rrg.add_node("a", 1.0);
+  const NodeId b = rrg.add_node("b", 1.0);
+  rrg.add_edge(a, b, 1, 70);  // deeper than the 64-bit ring window
+  rrg.add_edge(b, a, 1, 1);
+  EXPECT_EQ(FlatKernel::unsupported_reason(rrg), FlatCap::kDeepEbChain);
+  const SimReport report = simulate_throughput(rrg, fleet_options(9));
+  EXPECT_EQ(report.path, SimPath::kReference);
+  EXPECT_EQ(report.fallback, FlatCap::kDeepEbChain);
+  EXPECT_STRNE(to_string(report.fallback), "");
+  EXPECT_NEAR(report.theta, 2.0 / 71.0, 1e-2);
+}
+
+TEST(SimFleet, ForcedReferenceIsReported) {
+  SimOptions options = fleet_options(4);
+  options.force_reference = true;
+  const SimReport report =
+      simulate_throughput(figures::figure1b(0.5, true), options);
+  EXPECT_EQ(report.path, SimPath::kReferenceForced);
+  EXPECT_EQ(report.fallback, FlatCap::kNone);
+}
+
+TEST(FlatKernelCaps, DegreeAndSizeCapsAreClassified) {
+  // In-degree past the u8 node-program field (simple-node cap 255).
+  Rrg star;
+  const NodeId hub = star.add_node("hub", 1.0);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId leaf = star.add_node("l" + std::to_string(i), 1.0);
+    star.add_edge(leaf, hub, 0, 0);
+  }
+  EXPECT_EQ(FlatKernel::unsupported_reason(star), FlatCap::kInDegreeCap);
+
+  // Out-degree past the u8 field.
+  Rrg fan;
+  const NodeId src = fan.add_node("src", 1.0);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId leaf = fan.add_node("f" + std::to_string(i), 1.0);
+    fan.add_edge(src, leaf, 0, 0);
+  }
+  EXPECT_EQ(FlatKernel::unsupported_reason(fan), FlatCap::kOutDegreeCap);
+
+  // More nodes than the u16 NodeProg::node index.
+  Rrg huge;
+  for (int i = 0; i < 0x10000 + 1; ++i) huge.add_node("", 1.0);
+  EXPECT_EQ(FlatKernel::unsupported_reason(huge), FlatCap::kTooManyNodes);
+
+  EXPECT_EQ(FlatKernel::unsupported_reason(figures::figure2(0.5)),
+            FlatCap::kNone);
+}
+
+/// Worker-count resolution: never under-spawn below one worker (even
+/// when hardware_concurrency() reports 0 = "unknown"), never over-spawn
+/// past the queue length.
+TEST(SimFleet, ResolveWorkerCountEdgeCases) {
+  EXPECT_EQ(resolve_worker_count(0, 0, 8), 1u);   // hardware unknown
+  EXPECT_EQ(resolve_worker_count(0, 4, 8), 4u);   // all cores
+  EXPECT_EQ(resolve_worker_count(0, 16, 3), 3u);  // more cores than work
+  EXPECT_EQ(resolve_worker_count(16, 4, 3), 3u);  // more threads than work
+  EXPECT_EQ(resolve_worker_count(2, 1, 8), 2u);   // explicit request wins
+  EXPECT_EQ(resolve_worker_count(5, 0, 0), 1u);   // empty queue
+  EXPECT_EQ(resolve_worker_count(0, 0, 0), 1u);
+}
+
+TEST(SimFleet, EmptyDrainAndReuse) {
+  SimFleet fleet(2);
+  EXPECT_TRUE(fleet.drain().empty());
+  const Rrg rrg = figures::figure1b(0.5, true);
+  const SimOptions options = fleet_options(21);
+  EXPECT_EQ(fleet.submit(rrg, options), 0u);
+  const std::vector<SimReport> first = fleet.drain();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(fleet.num_jobs(), 0u);  // drain clears the queue
+  // The fleet is reusable, and a resubmitted job reproduces its result.
+  fleet.submit(rrg, options);
+  const std::vector<SimReport> second = fleet.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].theta, first[0].theta);
+}
+
+TEST(SimFleet, RejectsDegenerateOptions) {
+  SimFleet fleet(1);
+  const Rrg rrg = figures::figure1b(0.5, true);
+  SimOptions no_cycles = fleet_options(1);
+  no_cycles.measure_cycles = 0;
+  EXPECT_THROW(fleet.submit(rrg, no_cycles), Error);
+  SimOptions no_runs = fleet_options(1);
+  no_runs.runs = 0;
+  EXPECT_THROW(fleet.submit(rrg, no_runs), Error);
+}
+
+/// More workers than runs on a single job must neither deadlock nor
+/// change the result (the one-job fleet is simulate_throughput itself).
+TEST(SimFleet, MoreThreadsThanRuns) {
+  const Rrg rrg = figures::figure1b(0.5, true);
+  SimOptions options = fleet_options(12);
+  options.runs = 2;
+  options.threads = 1;
+  const SimReport solo = simulate_throughput(rrg, options);
+  options.threads = 32;
+  const SimReport pooled = simulate_throughput(rrg, options);
+  EXPECT_EQ(pooled.theta, solo.theta);
+  EXPECT_EQ(pooled.stderr_theta, solo.stderr_theta);
+}
+
+}  // namespace
+}  // namespace elrr::sim
