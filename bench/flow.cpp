@@ -105,6 +105,7 @@ FlowOptions FlowOptions::from_env() {
   // to spawn a thread per simulated cycle.
   options.sim_threads = static_cast<std::size_t>(
       env_u64("ELRR_SIM_THREADS", 1, 0, 4096));
+  options.sim_dedup = env_bool("ELRR_SIM_DEDUP", true);
   options.polish = env_bool("ELRR_POLISH", false);
   options.use_heuristic = env_bool("ELRR_HEUR", true);
   options.exact_max_edges = static_cast<int>(
@@ -215,12 +216,14 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   // Score every Pareto candidate through one simulation fleet: all
   // (candidate, replication) jobs enter a shared work queue and drain
   // over sim_threads workers, telescopic candidates batched like the
-  // rest. Per candidate the result is bit-identical to a solo
-  // simulate_throughput call (the fleet's determinism contract), so this
-  // is purely a wall-clock change over the PR-1 per-candidate loop.
+  // rest, and candidates with identical buffer/retiming assignments
+  // simulated once (dedup; walks revisit configurations). Per candidate
+  // the result is bit-identical to a solo simulate_throughput call (the
+  // fleet's determinism contract), so this is purely a wall-clock change
+  // over the PR-1 per-candidate loop.
   std::vector<Rrg> configured;
   configured.reserve(simulate.size());
-  sim::SimFleet fleet(options.sim_threads);
+  sim::SimFleet fleet(options.sim_threads, options.sim_dedup);
   for (const std::size_t index : simulate) {
     configured.push_back(apply_config(rrg, early.points[index].config));
   }

@@ -17,6 +17,8 @@
 ///   ELRR_MILP_TIMEOUT    seconds per MILP            (default 6; > 0)
 ///   ELRR_SIM_CYCLES      measured cycles per run     (default 20000; >= 1)
 ///   ELRR_SIM_THREADS     simulation worker threads   (default 1; 0 = all cores)
+///   ELRR_SIM_DEDUP       1 = dedup identical Pareto candidates before
+///                        simulating (default 1; results identical either way)
 ///   ELRR_POLISH          1 = MAX_THR polish          (default 0)
 ///   ELRR_HEUR            0 = paper-pure flow         (default 1)
 ///   ELRR_EXACT_MAX_EDGES exact-MILP edge ceiling     (default 150)
@@ -42,6 +44,11 @@ struct FlowOptions {
   /// Worker-pool size of the candidate-scoring SimFleet (0 = all cores);
   /// deterministic: thread count never changes the reported theta.
   std::size_t sim_threads = 1;
+  /// Candidate dedup in the scoring fleet: identical buffer/retiming
+  /// assignments (a routine artifact of walks revisiting configurations)
+  /// simulate once, scores fan back out. Bit-identical results either
+  /// way; env ELRR_SIM_DEDUP=0 benchmarks the undeduped fleet.
+  bool sim_dedup = true;
   std::size_t max_simulated_points = 8;
   /// Run the MAX_THR polish inside MIN_EFF_CYC (paper-exact, slower);
   /// env ELRR_POLISH=1. bench_table1 enables it by default.

@@ -1,32 +1,49 @@
 /// \file perf_smoke.cpp
-/// Opt-in perf trajectory for the simulation fast path: measures
-/// single-thread token-simulation throughput (simulated cycles/sec) on a
-/// small, a medium, a large and a telescopic RRG, for both the FlatKernel
-/// fast path and the reference Kernel, plus the cross-candidate fleet
-/// (sim::SimFleet) against the PR-1 per-candidate loop on a
-/// multi-candidate Pareto-style workload. Writes BENCH_sim.json next to
-/// (or at) the path given as argv[1]. Build with the Release `perf_smoke`
-/// CMake target; `cmake --build build --target run_perf_smoke` runs it.
+/// Perf trajectory for the simulation fast path: measures single-thread
+/// token-simulation throughput (simulated cycles/sec) on a small, a
+/// medium, a large and a telescopic RRG, for both the FlatKernel fast
+/// path and the reference Kernel, plus two cross-candidate fleet
+/// workloads (sim::SimFleet): the Pareto-style candidate set against the
+/// PR-1 per-candidate loop, and a duplicate-heavy set with candidate
+/// dedup on vs off.
+///
+///   perf_smoke [output.json] [--quick] [--baseline <file.json>]
+///
+/// Writes the JSON to output.json (default BENCH_sim.json in the working
+/// directory; `cmake --build build --target run_perf_smoke` refreshes the
+/// committed copy at the repo root). With --baseline, the previous
+/// trajectory file is read first and per-section before/after ratios are
+/// embedded in the output (and printed) -- the baseline may be the output
+/// path itself. --quick shrinks the workloads for the `perf`-labelled
+/// ctest entry, which only gates on the deterministic bit-exactness
+/// checks: the exit code is non-zero iff any section reports a mismatch.
+/// Numbers are machine-dependent; compare trajectories on one machine,
+/// not absolutes across machines.
 ///
 /// The per-kernel workload is the standard Monte-Carlo driver (4
 /// replications, interleaved by the batched stepper on the fast path --
 /// telescopic graphs included since the fleet PR). The fleet workload is
 /// the table/figure shape: many candidate configurations, a few
-/// replications each, scored in one drain. Numbers are machine-dependent;
-/// compare trajectories on one machine, not absolutes across machines.
+/// replications each, scored in one drain.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench89/generator.hpp"
+#include "io/rrg_format.hpp"
 #include "sim/fleet.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+bool quick = false;  ///< --quick: shrunken workloads, same checks
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -64,7 +81,7 @@ Row measure(const Case& c) {
   const elrr::Rrg rrg = make_candidate(c.circuit, 1, c.telescopic);
   elrr::sim::SimOptions options;
   options.warmup_cycles = 200;
-  options.measure_cycles = c.measure_cycles;
+  options.measure_cycles = quick ? c.measure_cycles / 10 : c.measure_cycles;
   options.runs = 4;
   options.threads = 1;
 
@@ -73,7 +90,7 @@ Row measure(const Case& c) {
   Row row;
   double best_flat = 1e300, best_ref = 1e300;
   double ref_theta = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
     options.force_reference = false;
     auto t0 = Clock::now();
     row.theta = elrr::sim::simulate_throughput(rrg, options).theta;
@@ -97,13 +114,7 @@ struct FleetRow {
   bool bit_exact = false;
 };
 
-/// A Pareto-walk-shaped workload: several candidate configurations of one
-/// circuit (half of them telescopic), a few replications each. Baseline
-/// is PR 1's per-candidate loop: sequential simulate_throughput calls,
-/// and -- as in PR 1, where step_batch refused telescopic graphs --
-/// max_batch = 1 (solo stepping) for the telescopic candidates. The fleet
-/// scores the identical jobs through one batched work queue.
-FleetRow measure_fleet() {
+std::vector<elrr::Rrg> fleet_candidates() {
   std::vector<elrr::Rrg> candidates;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     candidates.push_back(make_candidate("s526", seed, false));
@@ -111,11 +122,28 @@ FleetRow measure_fleet() {
   for (std::uint64_t seed = 5; seed <= 8; ++seed) {
     candidates.push_back(make_candidate("s526", seed, true));
   }
+  return candidates;
+}
 
+elrr::sim::SimOptions fleet_sim_options() {
   elrr::sim::SimOptions options;
   options.warmup_cycles = 200;
-  options.measure_cycles = 20000;
+  options.measure_cycles = quick ? 2000 : 20000;
   options.runs = 4;
+  return options;
+}
+
+/// A Pareto-walk-shaped workload: several candidate configurations of one
+/// circuit (half of them telescopic), a few replications each. Baseline
+/// is PR 1's per-candidate loop: sequential simulate_throughput calls,
+/// and -- as in PR 1, where step_batch refused telescopic graphs --
+/// max_batch = 1 (solo stepping) for the telescopic candidates. The fleet
+/// scores the identical jobs through one batched work queue; the fleet
+/// object (and with it the persistent worker pool) lives across the
+/// measurement reps, as it does across a flow's drains.
+FleetRow measure_fleet() {
+  const std::vector<elrr::Rrg> candidates = fleet_candidates();
+  const elrr::sim::SimOptions options = fleet_sim_options();
 
   FleetRow row;
   row.candidates = candidates.size();
@@ -123,7 +151,8 @@ FleetRow measure_fleet() {
   std::vector<double> loop_thetas(candidates.size());
   std::vector<double> fleet_thetas(candidates.size());
   double best_loop = 1e300, best_fleet = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
+  elrr::sim::SimFleet fleet(0);  // all cores; pool persists across reps
+  for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
     auto t0 = Clock::now();
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       elrr::sim::SimOptions solo = options;
@@ -135,7 +164,6 @@ FleetRow measure_fleet() {
     best_loop = std::min(best_loop, seconds_since(t0));
 
     t0 = Clock::now();
-    elrr::sim::SimFleet fleet(0);  // all cores
     for (const elrr::Rrg& candidate : candidates) {
       fleet.submit(candidate, options);
     }
@@ -152,10 +180,104 @@ FleetRow measure_fleet() {
   return row;
 }
 
+struct DedupRow {
+  double off_s = 0.0;  ///< dedup disabled: every duplicate simulated
+  double on_s = 0.0;   ///< dedup enabled: unique candidates only
+  std::size_t jobs = 0;
+  std::size_t unique = 0;
+  bool bit_exact = false;  ///< dedup on == dedup off, per job
+};
+
+/// The dedup workload: the same candidate set submitted three times over
+/// -- the shape of a Pareto walk that revisits configurations (and of
+/// sweeps rescoring a frontier). With dedup the fleet simulates each
+/// distinct candidate once and fans the scores out.
+DedupRow measure_dedup() {
+  const std::vector<elrr::Rrg> candidates = fleet_candidates();
+  const elrr::sim::SimOptions options = fleet_sim_options();
+  constexpr int kCopies = 3;
+
+  DedupRow row;
+  row.jobs = candidates.size() * kCopies;
+
+  std::vector<double> off_thetas, on_thetas;
+  double best_off = 1e300, best_on = 1e300;
+  for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+    for (const bool dedup : {false, true}) {
+      elrr::sim::SimFleet fleet(0, dedup);
+      for (int copy = 0; copy < kCopies; ++copy) {
+        for (const elrr::Rrg& candidate : candidates) {
+          fleet.submit(candidate, options);
+        }
+      }
+      const auto t0 = Clock::now();
+      const std::vector<elrr::sim::SimReport> reports = fleet.drain();
+      const double s = seconds_since(t0);
+      std::vector<double>& thetas = dedup ? on_thetas : off_thetas;
+      thetas.clear();
+      for (const auto& report : reports) thetas.push_back(report.theta);
+      if (dedup) {
+        best_on = std::min(best_on, s);
+        row.unique = fleet.last_unique_jobs();
+      } else {
+        best_off = std::min(best_off, s);
+      }
+    }
+  }
+  row.off_s = best_off;
+  row.on_s = best_on;
+  row.bit_exact = off_thetas == on_thetas;
+  return row;
+}
+
+/// Baseline trajectory (the previously committed BENCH_sim.json), for
+/// the embedded before/after ratios. Loaded fully before the output file
+/// is opened, so baseline and output may be the same path.
+struct Baseline {
+  std::string text;
+  std::optional<double> cps(const char* section) const {
+    return elrr::bench_json::find_number(text, section, "cycles_per_sec");
+  }
+  std::optional<double> fleet_seconds(const char* section) const {
+    return elrr::bench_json::find_number(text, section, "fleet_seconds");
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  std::string path = "BENCH_sim.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--baseline needs a file argument\n");
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      // A typo'd flag must not silently become the output path.
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: perf_smoke [output.json] "
+                   "[--quick] [--baseline <file.json>]\n",
+                   argv[i]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  std::optional<Baseline> baseline;
+  if (!baseline_path.empty()) {
+    try {
+      baseline = Baseline{elrr::io::load_text_file(baseline_path)};
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "baseline %s not readable (%s); skipping ratios\n",
+                   baseline_path.c_str(), e.what());
+    }
+  }
+
   const Case cases[] = {
       {"small", "s27", 100000, false},
       {"medium", "s526", 50000, false},
@@ -163,17 +285,26 @@ int main(int argc, char** argv) {
       {"telescopic", "s526", 20000, true},
   };
 
-  std::FILE* out = std::fopen(path.c_str(), "w");
+  // Write through a temp file and rename on success: the output may be
+  // the committed baseline itself (run_perf_smoke points both at the
+  // repo-root BENCH_sim.json), and an interrupted multi-minute run must
+  // not leave it truncated.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "cannot open %s\n", tmp_path.c_str());
     return 1;
   }
+  bool all_bit_exact = true;
+  std::string ratios;  // accumulated "key": value lines for the footer
+  char ratio_buf[128];
   std::fprintf(out, "{\n  \"benchmark\": \"token_simulation\",\n"
                     "  \"unit\": \"simulated_cycles_per_second\",\n"
                     "  \"threads\": 1,\n  \"runs\": 4,\n  \"cases\": {\n");
   bool first = true;
   for (const Case& c : cases) {
     const Row row = measure(c);
+    all_bit_exact &= row.bit_exact;
     std::fprintf(out,
                  "%s    \"%s\": {\"circuit\": \"%s\", "
                  "\"cycles_per_sec\": %.0f, "
@@ -184,13 +315,25 @@ int main(int argc, char** argv) {
                  row.ref_cps, row.flat_cps / row.ref_cps, row.theta,
                  row.bit_exact ? "true" : "false");
     std::printf("%-10s (%s): flat %.2fM cyc/s, reference %.2fM cyc/s, "
-                "speedup %.2fx, %s\n",
+                "speedup %.2fx, %s",
                 c.label, c.circuit, row.flat_cps / 1e6, row.ref_cps / 1e6,
                 row.flat_cps / row.ref_cps,
                 row.bit_exact ? "bit-exact" : "MISMATCH");
+    if (baseline) {
+      if (const auto prev = baseline->cps(c.label)) {
+        const double ratio = row.flat_cps / *prev;
+        std::printf(", %.2fx vs baseline", ratio);
+        std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"%s\": %.2f",
+                      ratios.empty() ? "" : ", ", c.label, ratio);
+        ratios += ratio_buf;
+      }
+    }
+    std::printf("\n");
     first = false;
   }
+
   const FleetRow fleet = measure_fleet();
+  all_bit_exact &= fleet.bit_exact;
   std::fprintf(out,
                ",\n    \"fleet\": {\"workload\": "
                "\"8 s526 candidates (4 telescopic) x 4 runs\", "
@@ -202,12 +345,49 @@ int main(int argc, char** argv) {
                fleet.loop_s / fleet.fleet_s,
                fleet.bit_exact ? "true" : "false");
   std::printf("fleet      (%zu candidates, %zu workers): loop %.2fs, "
-              "fleet %.2fs, speedup %.2fx, %s\n",
+              "fleet %.2fs, speedup %.2fx, %s",
               fleet.candidates, fleet.workers, fleet.loop_s, fleet.fleet_s,
               fleet.loop_s / fleet.fleet_s,
               fleet.bit_exact ? "bit-exact" : "MISMATCH");
-  std::fprintf(out, "\n  }\n}\n");
+  if (baseline) {
+    if (const auto prev = baseline->fleet_seconds("fleet")) {
+      // Seconds of the identical workload: ratio > 1 = this PR is faster.
+      const double ratio = *prev / fleet.fleet_s;
+      std::printf(", %.2fx vs baseline", ratio);
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"fleet\": %.2f",
+                    ratios.empty() ? "" : ", ", ratio);
+      ratios += ratio_buf;
+    }
+  }
+  std::printf("\n");
+
+  const DedupRow dedup = measure_dedup();
+  all_bit_exact &= dedup.bit_exact;
+  std::fprintf(out,
+               ",\n    \"fleet_dedup\": {\"workload\": "
+               "\"8 s526 candidates x 3 duplicate submissions x 4 runs\", "
+               "\"jobs\": %zu, \"unique_simulations\": %zu, "
+               "\"dedup_off_seconds\": %.4f, \"fleet_seconds\": %.4f, "
+               "\"speedup_vs_no_dedup\": %.2f, \"bit_exact\": %s}",
+               dedup.jobs, dedup.unique, dedup.off_s, dedup.on_s,
+               dedup.off_s / dedup.on_s, dedup.bit_exact ? "true" : "false");
+  std::printf("dedup      (%zu jobs, %zu unique): off %.2fs, on %.2fs, "
+              "speedup %.2fx, %s\n",
+              dedup.jobs, dedup.unique, dedup.off_s, dedup.on_s,
+              dedup.off_s / dedup.on_s,
+              dedup.bit_exact ? "bit-exact" : "MISMATCH");
+
+  std::fprintf(out, "\n  },\n  \"vs_baseline\": {%s}\n}\n", ratios.c_str());
   std::fclose(out);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename %s to %s\n", tmp_path.c_str(),
+                 path.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", path.c_str());
+  if (!all_bit_exact) {
+    std::fprintf(stderr, "perf_smoke: bit-exactness violated (see above)\n");
+    return 1;
+  }
   return 0;
 }

@@ -48,7 +48,10 @@ int main(int argc, char** argv) {
     sim::SimOptions sopt;
     sopt.measure_cycles = 20000;
     // One fleet scores every Pareto point of this walk (0 = all cores);
-    // the configured RRGs must outlive drain().
+    // the configured RRGs must outlive drain(). Walks can revisit a
+    // configuration (late/early frontiers overlapping, budget-hit MILPs
+    // returning the incumbent): the fleet simulates identical candidates
+    // once and fans the scores out.
     std::vector<Rrg> configured;
     configured.reserve(result.points.size());
     sim::SimFleet fleet(0);
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
     }
     for (const Rrg& candidate : configured) fleet.submit(candidate, sopt);
     const std::vector<sim::SimReport> sims = fleet.drain();
+    if (fleet.last_unique_jobs() != sims.size()) {
+      std::printf("(%zu candidates -> %zu unique simulations after dedup)\n",
+                  sims.size(), fleet.last_unique_jobs());
+    }
     for (std::size_t i = 0; i < result.points.size(); ++i) {
       const ParetoPoint& p = result.points[i];
       const double theta = sims[i].theta;

@@ -67,12 +67,19 @@ class GuardTable {
 
   /// Samples an input position for early node n, consuming exactly one
   /// draw from `rng` (the same stream consumption as Rng::uniform01).
+  /// The CDF is nondecreasing, so the selected position -- the first i
+  /// with u < cdf[i] -- equals the count of thresholds <= u; summing
+  /// comparison results replaces the early-exit walk's data-dependent
+  /// branch (one mispredict per draw at simulation entropy rates) with
+  /// in_degree flagless adds.
   std::size_t sample(NodeId n, Rng& rng) const {
     const std::uint32_t begin = off_[n], end = off_[n + 1];
     const std::uint64_t u = draw53(rng);
-    std::uint32_t i = begin;
-    while (i + 1 < end && u >= cdf_[i]) ++i;
-    return i - begin;
+    std::uint32_t sel = 0;
+    for (std::uint32_t i = begin; i + 1 < end; ++i) {
+      sel += static_cast<std::uint32_t>(u >= cdf_[i]);
+    }
+    return sel;
   }
 
  private:
@@ -122,28 +129,61 @@ struct TableLatencyChooser {
   bool operator()(NodeId n) const { return table->sample(n, streams[n]); }
 };
 
+/// Per-run, per-node RNG streams for the batched choosers, laid out
+/// node-major (`n * runs + run`): the batched step visits one node for
+/// all K lanes before moving on, so a node's K 32-byte xoshiro states
+/// sharing adjacent cache lines beats the run-major layout (which
+/// strides lane draws num_nodes states apart). Each run's streams are
+/// derived exactly as the solo driver derives them -- one master per run
+/// seed, split once per node in node order -- so lane r of node n is
+/// bit-identical to solo run r's stream for node n.
+class RunStreams {
+ public:
+  RunStreams(const std::uint64_t* run_seeds, std::size_t runs,
+             std::size_t num_nodes)
+      : runs_(runs) {
+    std::vector<Rng> masters;
+    masters.reserve(runs);
+    for (std::size_t r = 0; r < runs; ++r) masters.emplace_back(run_seeds[r]);
+    streams_.resize(num_nodes * runs);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      for (std::size_t r = 0; r < runs; ++r) {
+        streams_[n * runs + r] = masters[r].split();
+      }
+    }
+  }
+
+  Rng* data() { return streams_.data(); }
+  std::size_t runs() const { return runs_; }
+
+ private:
+  std::size_t runs_ = 0;
+  std::vector<Rng> streams_;
+};
+
 /// Guard chooser for FlatKernel::step_batch: run r of the batch draws
-/// from its own per-node streams (laid out run-major, `run * num_nodes +
-/// n`), so every run consumes exactly the stream the solo driver would.
+/// from its own per-node streams (node-major, `n * runs + run`; see
+/// RunStreams), so every run consumes exactly the stream the solo driver
+/// would.
 struct BatchTableGuardChooser {
   const GuardTable* table;
   Rng* streams;
-  std::size_t num_nodes;
+  std::size_t runs;
   std::size_t operator()(NodeId n, std::size_t run) const {
-    return table->sample(n, streams[run * num_nodes + n]);
+    return table->sample(n, streams[n * runs + run]);
   }
 };
 
 /// Latency chooser for FlatKernel::step_batch on telescopic graphs: run r
-/// draws from the same run-major streams as its guard chooser, so guard
+/// draws from the same node-major streams as its guard chooser, so guard
 /// and latency draws of one node interleave on one stream exactly like
 /// the solo driver's.
 struct BatchTableLatencyChooser {
   const LatencyTable* table;
   Rng* streams;
-  std::size_t num_nodes;
+  std::size_t runs;
   bool operator()(NodeId n, std::size_t run) const {
-    return table->sample(n, streams[run * num_nodes + n]);
+    return table->sample(n, streams[n * runs + run]);
   }
 };
 

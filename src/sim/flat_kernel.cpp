@@ -50,45 +50,78 @@ FlatKernel::FlatKernel(const Rrg& rrg) : rrg_(rrg) {
   num_edges_ = static_cast<EdgeId>(rrg.num_edges());
   const Digraph& g = rrg.graph();
 
-  const auto order = graph::topological_order(
+  const auto topo = graph::topological_order(
       g, [&](EdgeId e) { return rrg.buffers(e) == 0; });
-  ELRR_ASSERT(order.has_value(), "live RRG cannot have a zero-buffer cycle");
-  order_ = *order;
+  ELRR_ASSERT(topo.has_value(), "live RRG cannot have a zero-buffer cycle");
 
-  // Build the node program in combinational firing order; the CSR edge
-  // slices are laid out in the same order, so one step reads both arrays
-  // front to back. Per-node edge order within a slice must match the
-  // Digraph's (guard positions index into in_edges(n)).
+  // Level schedule: level 0 = registered producers (every in-edge
+  // buffered), level L+1 = longest zero-buffer chain of length L+1.
+  // Stable-sorting the topological order by level keeps it topological
+  // (a comb edge strictly raises the consumer's level) while grouping
+  // independent nodes: every in-cycle store-to-load chain now spans
+  // exactly one level boundary instead of an arbitrary prefix of the
+  // firing order.
+  std::vector<std::uint32_t> level(num_nodes_, 0);
+  for (const NodeId n : *topo) {
+    std::uint32_t lv = 0;
+    for (const EdgeId e : g.in_edges(n)) {
+      if (rrg.buffers(e) == 0) lv = std::max(lv, level[g.src(e)] + 1);
+    }
+    level[n] = lv;
+    num_levels_ = std::max<std::size_t>(num_levels_, lv + 1);
+  }
+  order_ = *topo;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](NodeId a, NodeId b) { return level[a] < level[b]; });
+
+  // Renumber edges into consumer-contiguous slots: walking the firing
+  // order, each node's in-edges (in in_edges(n) order, so guard positions
+  // still index straight into the run) claim the next in_degree slots.
+  // Every edge has exactly one consumer, so this is a bijection -- and
+  // the step's input reads stream the token array front to back.
+  slot_of_edge_.assign(num_edges_, 0);
+  edge_of_slot_.assign(num_edges_, 0);
+  EdgeId next_slot = 0;
+  for (const NodeId n : order_) {
+    for (const EdgeId e : g.in_edges(n)) {
+      slot_of_edge_[e] = next_slot;
+      edge_of_slot_[next_slot] = e;
+      ++next_slot;
+    }
+  }
+  ELRR_ASSERT(next_slot == num_edges_, "slot renumbering must be a bijection");
+
+  // Build the node program in the same firing order; out-edge slices are
+  // slot ids so the inner loop never leaves slot space.
   prog_.reserve(num_nodes_);
-  in_csr_.reserve(num_edges_);
   out_csr_.reserve(num_edges_);
+  EdgeId in_base = 0;
   for (const NodeId n : order_) {
     NodeProg p;
     p.node = static_cast<std::uint16_t>(n);
-    p.in_begin = static_cast<std::uint32_t>(in_csr_.size());
-    p.out_begin = static_cast<std::uint32_t>(out_csr_.size());
+    p.in_begin = in_base;
     p.in_count = static_cast<std::uint8_t>(g.in_degree(n));
-    in_csr_.insert(in_csr_.end(), g.in_edges(n).begin(), g.in_edges(n).end());
+    in_base += static_cast<EdgeId>(g.in_degree(n));
+    p.out_begin = static_cast<std::uint32_t>(out_csr_.size());
     // The out slice groups combinational edges first, buffered ones last
     // (emit_masked relies on the split; order within a group is free
     // since each out-edge is touched exactly once).
     for (EdgeId e : g.out_edges(n)) {
       if (rrg.buffers(e) == 0) {
-        out_csr_.push_back(e);
+        out_csr_.push_back(slot_of_edge_[e]);
         ++p.out_comb;
       }
     }
     for (EdgeId e : g.out_edges(n)) {
       if (rrg.buffers(e) > 0) {
-        out_csr_.push_back(e);
+        out_csr_.push_back(slot_of_edge_[e]);
         ++p.out_ring;
       }
     }
-    // Degree-1 sides store their edge id inline (see NodeProg).
-    if (p.in_count == 1) p.in_begin = g.in_edges(n).front();
+    // Out-degree-1 nodes store their slot id inline (see NodeProg).
     if (g.out_degree(n) == 1) {
       const EdgeId e = g.out_edges(n).front();
-      p.out_begin = e;
+      p.out_begin = slot_of_edge_[e];
       if (rrg.buffers(e) > 0) p.flags |= NodeProg::kOut1Ring;
     }
     if (rrg.is_early(n)) p.flags |= NodeProg::kEarly;
@@ -109,11 +142,12 @@ FlatKernel::FlatKernel(const Rrg& rrg) : rrg_(rrg) {
   buffers_.assign(num_edges_, 0);
   for (EdgeId e = 0; e < num_edges_; ++e) {
     const int r = rrg.buffers(e);
-    buffers_[e] = r;
-    if (r > 0) {
-      inject_bit_[e] = std::uint64_t{1} << (r - 1);
-      buffered_edges_.push_back(e);
-    }
+    const EdgeId s = slot_of_edge_[e];
+    buffers_[s] = r;
+    if (r > 0) inject_bit_[s] = std::uint64_t{1} << (r - 1);
+  }
+  for (EdgeId s = 0; s < num_edges_; ++s) {
+    if (buffers_[s] > 0) buffered_slots_.push_back(s);
   }
 }
 
@@ -121,8 +155,8 @@ FlatState FlatKernel::initial_state() const {
   FlatState state;
   state.tokens.resize(num_edges_);
   state.window.assign(num_edges_, 0);
-  for (EdgeId e = 0; e < num_edges_; ++e) {
-    state.tokens[e] = rrg_.tokens(e);
+  for (EdgeId s = 0; s < num_edges_; ++s) {
+    state.tokens[s] = rrg_.tokens(edge_of_slot_[s]);
   }
   state.pending_guard.assign(num_nodes_, kNoGuard);
   state.busy.assign(num_nodes_, 0);
@@ -135,9 +169,9 @@ FlatBatchState FlatKernel::initial_batch_state(std::size_t runs) const {
   state.runs = runs;
   state.tokens.resize(num_edges_ * runs);
   state.window.assign(num_edges_ * runs, 0);
-  for (EdgeId e = 0; e < num_edges_; ++e) {
+  for (EdgeId s = 0; s < num_edges_; ++s) {
     for (std::size_t r = 0; r < runs; ++r) {
-      state.tokens[e * runs + r] = rrg_.tokens(e);
+      state.tokens[s * runs + r] = rrg_.tokens(edge_of_slot_[s]);
     }
   }
   state.pending_guard.assign(num_nodes_ * runs, kNoGuard);
@@ -151,9 +185,9 @@ FlatState FlatKernel::extract_run(const FlatBatchState& state,
   FlatState flat;
   flat.tokens.resize(num_edges_);
   flat.window.resize(num_edges_);
-  for (EdgeId e = 0; e < num_edges_; ++e) {
-    flat.tokens[e] = state.tokens[e * state.runs + run];
-    flat.window[e] = state.window[e * state.runs + run];
+  for (EdgeId s = 0; s < num_edges_; ++s) {
+    flat.tokens[s] = state.tokens[s * state.runs + run];
+    flat.window[s] = state.window[s * state.runs + run];
   }
   flat.pending_guard.resize(num_nodes_);
   flat.busy.resize(num_nodes_);
@@ -168,13 +202,14 @@ SyncState FlatKernel::to_sync(const FlatState& state) const {
   SyncState sync;
   sync.edges.resize(num_edges_);
   for (EdgeId e = 0; e < num_edges_; ++e) {
+    const EdgeId s = slot_of_edge_[e];
     EdgeState& edge = sync.edges[e];
-    edge.ready = std::max(state.tokens[e], 0);
-    edge.anti = std::max(-state.tokens[e], 0);
-    edge.inflight.resize(static_cast<std::size_t>(buffers_[e]));
-    for (int k = 0; k < buffers_[e]; ++k) {
+    edge.ready = std::max(state.tokens[s], 0);
+    edge.anti = std::max(-state.tokens[s], 0);
+    edge.inflight.resize(static_cast<std::size_t>(buffers_[s]));
+    for (int k = 0; k < buffers_[s]; ++k) {
       edge.inflight[static_cast<std::size_t>(k)] =
-          static_cast<std::uint8_t>((state.window[e] >> k) & 1);
+          static_cast<std::uint8_t>((state.window[s] >> k) & 1);
     }
   }
   sync.pending_guard = state.pending_guard;
@@ -189,12 +224,13 @@ FlatState FlatKernel::from_sync(const SyncState& state) const {
   flat.tokens.resize(num_edges_);
   flat.window.assign(num_edges_, 0);
   for (EdgeId e = 0; e < num_edges_; ++e) {
+    const EdgeId s = slot_of_edge_[e];
     const EdgeState& edge = state.edges[e];
     ELRR_REQUIRE(edge.ready == 0 || edge.anti == 0,
                  "ready and anti tokens cannot coexist on one edge");
-    flat.tokens[e] = edge.ready - edge.anti;
+    flat.tokens[s] = edge.ready - edge.anti;
     for (std::size_t k = 0; k < edge.inflight.size(); ++k) {
-      if (edge.inflight[k] != 0) flat.window[e] |= std::uint64_t{1} << k;
+      if (edge.inflight[k] != 0) flat.window[s] |= std::uint64_t{1} << k;
     }
   }
   flat.pending_guard = state.pending_guard;
@@ -203,13 +239,15 @@ FlatState FlatKernel::from_sync(const SyncState& state) const {
 }
 
 std::vector<std::uint8_t> FlatKernel::encode(const FlatState& state) const {
-  // Byte-identical to SyncState::encode() of the corresponding state, so
-  // enumeration caches built against either kernel agree.
+  // Byte-identical to SyncState::encode() of the corresponding state --
+  // EdgeId order, translated from slot order -- so enumeration caches
+  // built against either kernel agree.
   std::vector<std::uint8_t> bytes;
   bytes.reserve(num_edges_ * 4 + num_nodes_ * 2);
   for (EdgeId e = 0; e < num_edges_; ++e) {
-    const std::int32_t ready = std::max(state.tokens[e], 0);
-    const std::int32_t anti = std::max(-state.tokens[e], 0);
+    const EdgeId s = slot_of_edge_[e];
+    const std::int32_t ready = std::max(state.tokens[s], 0);
+    const std::int32_t anti = std::max(-state.tokens[s], 0);
     ELRR_ASSERT(ready < 0x8000 && anti < 0x8000, "state encoding overflow");
     bytes.push_back(static_cast<std::uint8_t>(ready & 0xff));
     bytes.push_back(static_cast<std::uint8_t>(ready >> 8));
@@ -217,9 +255,9 @@ std::vector<std::uint8_t> FlatKernel::encode(const FlatState& state) const {
     bytes.push_back(static_cast<std::uint8_t>(anti >> 8));
     // The window's low R(e) bits, least significant first, in byte groups
     // -- the same packing SyncState::encode applies to `inflight`.
-    for (int base = 0; base < buffers_[e]; base += 8) {
+    for (int base = 0; base < buffers_[s]; base += 8) {
       bytes.push_back(static_cast<std::uint8_t>(
-          (state.window[e] >> base) & 0xff));
+          (state.window[s] >> base) & 0xff));
     }
   }
   for (std::int8_t guard : state.pending_guard) {

@@ -16,14 +16,22 @@
 ///    advance tests bit 0 and shifts the window right -- O(1) per edge,
 ///    no inner shift loop, no per-edge heap storage (this caps supported
 ///    chains at 64 EBs; see supports());
-///  * CSR adjacency: in/out edge lists are flattened into offset + index
-///    arrays, and per-node kind/latency attributes are copied into dense
-///    arrays at construction, so the inner loop never touches Rrg or
-///    Digraph;
-///  * templated choosers: step() is a template over the guard/latency
-///    chooser types, so Monte-Carlo drivers pay zero std::function
-///    dispatch (see choosers.hpp); flexible std::function-style lambdas
-///    still work for the Markov enumerator.
+///  * level-scheduled edge renumbering: nodes are sorted into
+///    combinational *levels* (registered producers -- no zero-buffer
+///    in-edges -- first, then combs by longest zero-buffer distance), and
+///    every edge is renumbered to an internal *slot* assigned in consumer
+///    order, so each node's in-edges occupy one contiguous slot run.
+///    The per-node in-edge CSR indirection collapses into a (base, degree)
+///    slice, input token reads stream the state array front to back, and
+///    an in-cycle store-to-load chain spans exactly one level;
+///  * per-node programs: kind/degree/latency attributes are packed into
+///    dense 16-byte records at construction, so the inner loop never
+///    touches Rrg or Digraph;
+///  * templated choosers and lane width: step() is a template over the
+///    guard/latency chooser types, and step_batch<K> over the lane width,
+///    so Monte-Carlo drivers pay zero std::function dispatch (see
+///    choosers.hpp) and the K-lane token movement vectorizes; flexible
+///    std::function-style lambdas still work for the Markov enumerator.
 ///
 /// See src/sim/README.md for the full architecture note.
 
@@ -40,6 +48,12 @@ namespace elrr::sim {
 /// identical to SyncState (FlatKernel::to_sync converts); all vectors are
 /// sized once by initial_state() and never reallocated by step().
 ///
+/// Per-edge quantities are indexed by the kernel's internal *slot* order
+/// (each consumer's in-edges contiguous, consumers in level-scheduled
+/// firing order), not by EdgeId; the conversions to/from SyncState and
+/// encode() translate through the kernel's slot permutation, so the
+/// external representation is unchanged.
+///
 /// Ready and anti-token counters are merged into one signed count per
 /// edge: `tokens > 0` is the reference state's `ready`, `tokens < 0` is
 /// `-anti`. The merge is lossless because the reference semantics keep
@@ -50,8 +64,8 @@ namespace elrr::sim {
 /// automatic), and an early firing decrements *all* its inputs (selected
 /// token, late-token cancellation and anti-token mint are all -1).
 struct FlatState {
-  std::vector<std::int32_t> tokens;    ///< per edge: ready (>0) / -anti (<0)
-  std::vector<std::uint64_t> window;   ///< per edge: EB-chain bit-ring
+  std::vector<std::int32_t> tokens;    ///< per slot: ready (>0) / -anti (<0)
+  std::vector<std::uint64_t> window;   ///< per slot: EB-chain bit-ring
   std::vector<std::int8_t> pending_guard;  ///< per node (kNoGuard = none)
   std::vector<std::uint8_t> busy;          ///< per node: slow countdown
 
@@ -83,12 +97,14 @@ enum class FlatCap : std::uint8_t {
 const char* to_string(FlatCap cap);
 
 /// K interleaved independent runs in one state block: every per-edge /
-/// per-node quantity is stored K-wide (index `id * K + run`). Stepping
-/// all runs through one pass amortizes the graph metadata across runs
-/// and gives the CPU K independent dependency chains -- the
-/// instruction-level analogue of the thread-level multi-run driver
-/// (essential on few-core hosts). Runs are bit-exactly the runs the solo
-/// path would produce; the differential tests pin that down.
+/// per-node quantity is stored K-wide (index `id * K + run`, lane-major),
+/// so the masked per-lane token updates are contiguous K-vectors the
+/// compiler vectorizes. Stepping all runs through one pass amortizes the
+/// graph metadata across runs and gives the CPU K independent dependency
+/// chains -- the instruction-level analogue of the thread-level multi-run
+/// driver (essential on few-core hosts). Runs are bit-exactly the runs
+/// the solo path would produce; the differential tests pin that for every
+/// supported lane width.
 struct FlatBatchState {
   std::size_t runs = 0;
   std::vector<std::int32_t> tokens;
@@ -117,6 +133,10 @@ class FlatKernel {
   const Rrg& rrg() const { return rrg_; }
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_edges() const { return num_edges_; }
+  /// Combinational levels of the schedule: level 0 holds the registered
+  /// producers (no zero-buffer in-edges), level L+1 the nodes whose
+  /// longest zero-buffer chain from level 0 has length L+1.
+  std::size_t num_levels() const { return num_levels_; }
 
   FlatState initial_state() const;
 
@@ -126,12 +146,14 @@ class FlatKernel {
   FlatState extract_run(const FlatBatchState& state, std::size_t run) const;
 
   /// Conversions to/from the reference representation (differential tests
-  /// and mixed pipelines).
+  /// and mixed pipelines); translate between internal slot order and
+  /// EdgeId order.
   SyncState to_sync(const FlatState& state) const;
   FlatState from_sync(const SyncState& state) const;
 
   /// Compact byte encoding for hashing / state enumeration. Identical
-  /// bytes to SyncState::encode() of the corresponding state.
+  /// bytes to SyncState::encode() of the corresponding state (EdgeId
+  /// order, not slot order).
   std::vector<std::uint8_t> encode(const FlatState& state) const;
 
   /// Early nodes that will sample a guard during the next step.
@@ -143,6 +165,8 @@ class FlatKernel {
   const std::vector<NodeId>& telescopic_nodes() const {
     return telescopic_nodes_;
   }
+  /// Firing order: a topological order of the zero-buffer subgraph,
+  /// level-scheduled (non-decreasing combinational level).
   const std::vector<NodeId>& comb_order() const { return order_; }
 
   /// Advances one clock cycle in place; returns the number of firings.
@@ -175,6 +199,8 @@ class FlatKernel {
   /// Advances one clock cycle of K interleaved runs in place and adds
   /// each run's firing count to totals[0..K). `choose_guard(n, run)` and
   /// `choose_latency(n, run)` must draw from run-private streams.
+  /// K is the lane width (any of the driver's widths -- 4, 8, 16 -- or a
+  /// remainder width); lanes are bit-exactly solo runs for every width.
   /// Telescopic graphs are supported: each lane carries its own busy
   /// countdown and withheld-output release, exactly mirroring the solo
   /// path run by run (the differential tests pin this down). As with the
@@ -200,15 +226,14 @@ class FlatKernel {
     std::uint64_t* const __restrict__ window = state.window.data();
     std::int8_t* const __restrict__ pending = state.pending_guard.data();
     std::uint8_t* const __restrict__ busy = state.busy.data();
-    const EdgeId* const __restrict__ in_csr = in_csr_.data();
     const EdgeId* const __restrict__ out_csr = out_csr_.data();
     const std::uint64_t* const __restrict__ inject_bit = inject_bit_.data();
 
     // Same invariants as the solo path, checked in debug builds only.
     // The emit helpers take the per-lane 0/1 mask explicitly so the
     // telescopic release pass below can reuse them for withheld outputs.
-    const auto emit_comb = [&](std::size_t e, const std::int32_t* mask) {
-      std::int32_t* const t = tokens + e * K;
+    const auto emit_comb = [&](std::size_t s, const std::int32_t* mask) {
+      std::int32_t* const t = tokens + s * K;
       for (std::size_t r = 0; r < K; ++r) {
         t[r] += mask[r];
         ELRR_HOT_ASSERT(t[r] < kTokenQueueCap,
@@ -216,9 +241,9 @@ class FlatKernel {
                         "strongly connected?");
       }
     };
-    const auto emit_ring = [&](std::size_t e, const std::int32_t* mask) {
-      const std::uint64_t bit = inject_bit[e];
-      std::uint64_t* const w = window + e * K;
+    const auto emit_ring = [&](std::size_t s, const std::int32_t* mask) {
+      const std::uint64_t bit = inject_bit[s];
+      std::uint64_t* const w = window + s * K;
       for (std::size_t r = 0; r < K; ++r) {
         ELRR_HOT_ASSERT(mask[r] == 0 || (w[r] & bit) == 0,
                         "double injection into EB chain");
@@ -226,12 +251,12 @@ class FlatKernel {
       }
     };
     const auto emit_masked = [&](const NodeProg& p, const std::int32_t* mask) {
-      if (p.out_comb + p.out_ring == 1) {  // inline edge id
-        const auto e = static_cast<std::size_t>(p.out_begin);
+      if (p.out_comb + p.out_ring == 1) {  // inline slot id
+        const auto s = static_cast<std::size_t>(p.out_begin);
         if ((p.flags & NodeProg::kOut1Ring) == 0) {
-          emit_comb(e, mask);
+          emit_comb(s, mask);
         } else {
-          emit_ring(e, mask);
+          emit_ring(s, mask);
         }
         return;
       }
@@ -256,35 +281,33 @@ class FlatKernel {
           avail[r] = static_cast<std::int32_t>(bz[r] == 0);
         }
       }
+      // The node's in-edges are one contiguous slot run: its whole input
+      // block is the K * in_count lanes starting at in_begin * K.
+      std::int32_t* const __restrict__ in =
+          tokens + static_cast<std::size_t>(p.in_begin) * K;
       if ((p.flags & NodeProg::kEarly) == 0) {
-        if (p.in_count == 1) {  // inline edge id
-          std::int32_t* const t =
-              tokens + static_cast<std::size_t>(p.in_begin) * K;
+        if (p.in_count == 1) {  // the most common shape: a chain node
           for (std::size_t r = 0; r < K; ++r) {
-            fire[r] = static_cast<std::int32_t>(t[r] > 0);
+            fire[r] = static_cast<std::int32_t>(in[r] > 0);
             if constexpr (kTelescopic) fire[r] &= avail[r];
-            t[r] -= fire[r];
+            in[r] -= fire[r];
           }
         } else {
-          const EdgeId* in = in_csr + p.in_begin;
           for (std::size_t r = 0; r < K; ++r) {
             fire[r] = kTelescopic ? avail[r] : 1;
           }
           for (std::uint32_t i = 0; i < p.in_count; ++i) {
-            const std::int32_t* const t =
-                tokens + static_cast<std::size_t>(in[i]) * K;
+            const std::int32_t* const t = in + i * K;
             for (std::size_t r = 0; r < K; ++r) {
               fire[r] &= static_cast<std::int32_t>(t[r] > 0);
             }
           }
           for (std::uint32_t i = 0; i < p.in_count; ++i) {
-            std::int32_t* const t =
-                tokens + static_cast<std::size_t>(in[i]) * K;
+            std::int32_t* const t = in + i * K;
             for (std::size_t r = 0; r < K; ++r) t[r] -= fire[r];
           }
         }
       } else {
-        const EdgeId* in = in_csr + p.in_begin;
         std::int8_t* const pg = pending + static_cast<std::size_t>(p.node) * K;
         for (std::size_t r = 0; r < K; ++r) {
           if constexpr (kTelescopic) {
@@ -300,12 +323,11 @@ class FlatKernel {
             guard = static_cast<std::int8_t>(pos);
           }
           const auto gpos = static_cast<std::uint32_t>(guard);
-          fire[r] = static_cast<std::int32_t>(
-              tokens[static_cast<std::size_t>(in[gpos]) * K + r] > 0);
+          fire[r] = static_cast<std::int32_t>(in[gpos * K + r] > 0);
           pg[r] = fire[r] ? kNoGuard : guard;
         }
         for (std::uint32_t i = 0; i < p.in_count; ++i) {
-          std::int32_t* const t = tokens + static_cast<std::size_t>(in[i]) * K;
+          std::int32_t* const t = in + i * K;
           for (std::size_t r = 0; r < K; ++r) t[r] -= fire[r];
         }
       }
@@ -330,9 +352,9 @@ class FlatKernel {
       emit_masked(p, fire);
     }
 
-    for (const EdgeId e : buffered_edges_) {
-      std::uint64_t* const w = window + static_cast<std::size_t>(e) * K;
-      std::int32_t* const t = tokens + static_cast<std::size_t>(e) * K;
+    for (const EdgeId s : buffered_slots_) {
+      std::uint64_t* const w = window + static_cast<std::size_t>(s) * K;
+      std::int32_t* const t = tokens + static_cast<std::size_t>(s) * K;
       for (std::size_t r = 0; r < K; ++r) {
         t[r] += static_cast<std::int32_t>(w[r] & 1);
         w[r] >>= 1;
@@ -371,7 +393,6 @@ class FlatKernel {
     std::uint64_t* const __restrict__ window = state.window.data();
     std::int8_t* const __restrict__ pending = state.pending_guard.data();
     std::uint8_t* const __restrict__ busy = state.busy.data();
-    const EdgeId* const __restrict__ in_csr = in_csr_.data();
     const EdgeId* const __restrict__ out_csr = out_csr_.data();
     const std::uint64_t* const __restrict__ inject_bit = inject_bit_.data();
     std::uint32_t total_firings = 0;
@@ -389,21 +410,21 @@ class FlatKernel {
     /// Release `fire` (0/1) tokens on every output of p: straight onto
     /// the counter for combinational edges (consumable this very cycle),
     /// into the bit-ring otherwise. Degree-1 nodes carry their single
-    /// edge id inline in the prog record (no CSR indirection); the
+    /// slot id inline in the prog record (no CSR indirection); the
     /// comb-first slice split means no per-edge kind lookup either.
     const auto emit_masked = [&](const NodeProg& p, std::int32_t fire) {
       const std::uint64_t mask = 0 - static_cast<std::uint64_t>(fire);
       if (p.out_comb + p.out_ring == 1) {
-        const auto e = static_cast<EdgeId>(p.out_begin);  // inline edge id
+        const auto s = static_cast<EdgeId>(p.out_begin);  // inline slot id
         if ((p.flags & NodeProg::kOut1Ring) == 0) {
-          tokens[e] += fire;
-          ELRR_HOT_ASSERT(tokens[e] < kTokenQueueCap,
+          tokens[s] += fire;
+          ELRR_HOT_ASSERT(tokens[s] < kTokenQueueCap,
                           "unbounded token accumulation: is the RRG "
                           "strongly connected?");
         } else {
-          ELRR_HOT_ASSERT(fire == 0 || (window[e] & inject_bit[e]) == 0,
+          ELRR_HOT_ASSERT(fire == 0 || (window[s] & inject_bit[s]) == 0,
                           "double injection into EB chain");
-          window[e] |= inject_bit[e] & mask;
+          window[s] |= inject_bit[s] & mask;
         }
         return;
       }
@@ -416,10 +437,10 @@ class FlatKernel {
                         "connected?");
       }
       for (; j < static_cast<std::uint32_t>(p.out_comb + p.out_ring); ++j) {
-        const EdgeId e = out[j];
-        ELRR_HOT_ASSERT(fire == 0 || (window[e] & inject_bit[e]) == 0,
+        const EdgeId s = out[j];
+        ELRR_HOT_ASSERT(fire == 0 || (window[s] & inject_bit[s]) == 0,
                         "double injection into EB chain");
-        window[e] |= inject_bit[e] & mask;
+        window[s] |= inject_bit[s] & mask;
       }
     };
 
@@ -428,23 +449,24 @@ class FlatKernel {
       if constexpr (kTelescopic) {
         if (busy[n] > 0) continue;  // mid slow telescopic operation
       }
+      // Contiguous input slots: the node's whole input block starts at
+      // in_begin, one counter per in-edge, in in_edges(n) order (guard
+      // positions index straight into it).
+      std::int32_t* const __restrict__ in = tokens + p.in_begin;
       std::int32_t fire;
       if ((p.flags & NodeProg::kEarly) == 0) {
         // Simple join: fires iff every input has a ready token.
         if (p.in_count == 1) {  // the most common shape: a chain node
-          const auto e = static_cast<EdgeId>(p.in_begin);  // inline edge id
-          fire = static_cast<std::int32_t>(tokens[e] > 0);
-          tokens[e] -= fire;
+          fire = static_cast<std::int32_t>(in[0] > 0);
+          in[0] -= fire;
         } else {
-          const EdgeId* in = in_csr + p.in_begin;
           fire = 1;
           for (std::uint32_t i = 0; i < p.in_count; ++i) {
-            fire &= static_cast<std::int32_t>(tokens[in[i]] > 0);
+            fire &= static_cast<std::int32_t>(in[i] > 0);
           }
-          for (std::uint32_t i = 0; i < p.in_count; ++i) tokens[in[i]] -= fire;
+          for (std::uint32_t i = 0; i < p.in_count; ++i) in[i] -= fire;
         }
       } else {
-        const EdgeId* in = in_csr + p.in_begin;
         std::int8_t guard = pending[n];
         if (guard == kNoGuard) {
           const std::size_t pos = choose_guard(n);
@@ -452,7 +474,7 @@ class FlatKernel {
           guard = static_cast<std::int8_t>(pos);
         }
         const auto gpos = static_cast<std::uint32_t>(guard);
-        fire = static_cast<std::int32_t>(tokens[in[gpos]] > 0);
+        fire = static_cast<std::int32_t>(in[gpos] > 0);
         // A satisfied guard resets to kNoGuard (the firing completes it);
         // an unsatisfied one stays pending. Branch-free select.
         pending[n] = fire ? kNoGuard : guard;
@@ -460,9 +482,8 @@ class FlatKernel {
         // consumed, a late token is cancelled, a missing one leaves an
         // anti-token -- all -1 on the merged counter.
         for (std::uint32_t i = 0; i < p.in_count; ++i) {
-          tokens[in[i]] -= fire;
-          ELRR_HOT_ASSERT(tokens[in[i]] > -kTokenQueueCap,
-                          "anti-token runaway");
+          in[i] -= fire;
+          ELRR_HOT_ASSERT(in[i] > -kTokenQueueCap, "anti-token runaway");
         }
       }
 
@@ -483,10 +504,10 @@ class FlatKernel {
     // consumer-side bit, then shift the whole window one position. Only
     // buffered edges carry windows; combinational edges have none by
     // construction.
-    for (const EdgeId e : buffered_edges_) {
-      const std::uint64_t w = window[e];
-      tokens[e] += static_cast<std::int32_t>(w & 1);
-      window[e] = w >> 1;
+    for (const EdgeId s : buffered_slots_) {
+      const std::uint64_t w = window[s];
+      tokens[s] += static_cast<std::int32_t>(w & 1);
+      window[s] = w >> 1;
     }
     if constexpr (kTelescopic) {
       // Slow telescopic countdowns; release the withheld outputs when the
@@ -501,7 +522,7 @@ class FlatKernel {
     return total_firings;
   }
 
-  /// One node's share of the step, in combinational firing order: CSR
+  /// One node's share of the step, in level-scheduled firing order: slot
   /// slices, kind flags and telescopic countdown packed into a single
   /// 16-byte record so the hot loop streams one contiguous array (two
   /// 64-bit loads per node) instead of gathering from parallel
@@ -512,10 +533,12 @@ class FlatKernel {
     static constexpr std::uint8_t kEarly = 1;    ///< early-evaluation node
     static constexpr std::uint8_t kOut1Ring = 2; ///< sole out-edge is an EB chain
 
-    /// Slice start into in_csr_ / out_csr_ -- except for degree-1 sides,
-    /// where the field holds the single edge id directly (the hot loop's
-    /// dominant shape skips the CSR indirection).
+    /// First input slot: the node's in-edges occupy the contiguous slot
+    /// run [in_begin, in_begin + in_count), in in_edges(n) order (no CSR
+    /// indirection on the input side at all).
     std::uint32_t in_begin = 0;
+    /// Slice start into out_csr_ -- except for out-degree-1 nodes, where
+    /// the field holds the single out slot id directly.
     std::uint32_t out_begin = 0;
     std::uint16_t node = 0;  ///< index into per-node state arrays
     std::uint8_t in_count = 0;
@@ -535,20 +558,27 @@ class FlatKernel {
   const Rrg& rrg_;
   EdgeId num_edges_ = 0;
   std::size_t num_nodes_ = 0;
+  std::size_t num_levels_ = 0;
 
-  std::vector<NodeProg> prog_;  ///< nodes in combinational firing order
+  std::vector<NodeProg> prog_;  ///< nodes in level-scheduled firing order
   std::vector<NodeId> order_;   ///< the same order as bare node ids
   std::vector<NodeId> early_nodes_;
   std::vector<NodeId> telescopic_nodes_;
   std::vector<std::uint32_t> telescopic_prog_;  ///< their prog_ positions
 
-  // CSR adjacency edge ids (sliced per node by NodeProg).
-  std::vector<EdgeId> in_csr_, out_csr_;
+  // Slot renumbering: slot = internal edge index (consumer in-edges
+  // contiguous, consumers in firing order). slot_of_edge_ / edge_of_slot_
+  // translate at the API boundary only; the hot loops live in slot space.
+  std::vector<EdgeId> slot_of_edge_;
+  std::vector<EdgeId> edge_of_slot_;
 
-  // Dense per-edge attributes.
+  // Out-edge slot ids (sliced per node by NodeProg).
+  std::vector<EdgeId> out_csr_;
+
+  // Dense per-slot attributes.
   std::vector<std::uint64_t> inject_bit_;  ///< 1 << (R-1); 0 = combinational
   std::vector<std::int32_t> buffers_;
-  std::vector<EdgeId> buffered_edges_;  ///< edges with R > 0, ascending
+  std::vector<EdgeId> buffered_slots_;  ///< slots with R > 0, ascending
 };
 
 }  // namespace elrr::sim

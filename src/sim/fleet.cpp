@@ -1,10 +1,10 @@
 #include "sim/fleet.hpp"
 
-#include <atomic>
+#include <cstring>
 #include <exception>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/choosers.hpp"
@@ -14,12 +14,29 @@
 
 namespace elrr::sim {
 
-namespace {
+namespace fleet_detail {
 
-/// Widest step_batch lane pack the driver uses (instruction-level
-/// parallelism across runs; see FlatBatchState). Wider packs stop paying
-/// on current cores while growing the state working set.
-inline constexpr std::size_t kMaxBatch = 4;
+/// Default step_batch lane pack (SSE-width int32 vectors) and the widest
+/// one the driver instantiates. Wider packs help hosts with wider SIMD
+/// (build with -DELRR_NATIVE=ON) and workloads with many runs per
+/// candidate; SimOptions::max_batch picks per job.
+inline constexpr std::size_t kDefaultLane = 4;
+inline constexpr std::size_t kMaxLane = 16;
+
+/// The slice widths execute_item can step directly (descending). A job's
+/// runs are packed greedily: the widest allowed width first, remainders
+/// through the narrower ones, so any (runs, lane_cap) pair partitions
+/// into supported widths. The partition is fixed up front per job --
+/// independent of worker scheduling -- and lane packing never changes
+/// results (every run draws from run-private streams).
+inline constexpr std::size_t kLaneWidths[] = {16, 8, 4, 3, 2, 1};
+
+std::size_t next_slice_width(std::size_t lane_cap, std::size_t remaining) {
+  for (const std::size_t w : kLaneWidths) {
+    if (w <= lane_cap && w <= remaining) return w;
+  }
+  return 1;
+}
 
 /// Independent per-node streams, derived exactly like the reference
 /// driver always has: one master stream split once per node, so adding a
@@ -55,9 +72,10 @@ double run_flat(const FlatKernel& kernel, const GuardTable& guards,
           static_cast<double>(num_nodes));
 }
 
-/// Up to kMaxBatch replications interleaved through one FlatKernel pass.
-/// Each run draws from the same streams the solo path would, so per-run
-/// theta is bit-identical to run_flat -- telescopic graphs included (the
+/// K replications interleaved through one FlatKernel pass. Each run
+/// draws from the same streams the solo path would (RunStreams derives
+/// them master-per-run, node-major), so per-run theta is bit-identical
+/// to run_flat for every lane width -- telescopic graphs included (the
 /// batched stepper carries per-lane busy countdowns, and each lane's
 /// latency draws come from its own run-private streams).
 template <std::size_t K>
@@ -66,17 +84,13 @@ void run_flat_batch(const FlatKernel& kernel, const GuardTable& guards,
                     std::size_t first_run, const SimOptions& options,
                     double* thetas) {
   const std::size_t num_nodes = kernel.num_nodes();
-  std::vector<Rng> streams;
-  streams.reserve(K * num_nodes);
+  std::uint64_t seeds[K];
   for (std::size_t r = 0; r < K; ++r) {
-    Rng master(run_seed(sim_seed, first_run + r));
-    for (std::size_t n = 0; n < num_nodes; ++n) {
-      streams.push_back(master.split());
-    }
+    seeds[r] = run_seed(sim_seed, first_run + r);
   }
-  const BatchTableGuardChooser guard{&guards, streams.data(), num_nodes};
-  const BatchTableLatencyChooser latency{&latencies, streams.data(),
-                                         num_nodes};
+  RunStreams streams(seeds, K, num_nodes);
+  const BatchTableGuardChooser guard{&guards, streams.data(), K};
+  const BatchTableLatencyChooser latency{&latencies, streams.data(), K};
 
   FlatBatchState state = kernel.initial_batch_state(K);
   std::uint64_t totals[K] = {};
@@ -123,16 +137,16 @@ double run_reference(const Kernel& kernel, const GuardTable& guards,
           static_cast<double>(num_nodes));
 }
 
-/// Everything one job needs at execution time. Kernels and tables are
-/// built once per job and shared read-only by all workers; per-run theta
-/// slots are written by exactly one work item each (disjoint ranges), so
-/// workers never contend.
+/// Everything one unique job needs at execution time. Kernels and tables
+/// are built once per unique job and shared read-only by all workers;
+/// per-run theta slots are written by exactly one work item each
+/// (disjoint ranges), so workers never contend.
 struct JobContext {
   const Rrg* rrg = nullptr;
   SimOptions options;
   SimPath path = SimPath::kFlat;
   FlatCap fallback = FlatCap::kNone;
-  std::size_t lane_cap = 1;  ///< batch width this job's slices use
+  std::size_t lane_cap = 1;  ///< batch width cap this job's slices use
   std::unique_ptr<FlatKernel> flat_kernel;
   std::unique_ptr<Kernel> ref_kernel;
   std::unique_ptr<GuardTable> guards;
@@ -140,12 +154,12 @@ struct JobContext {
   std::vector<double> per_run;  ///< run-indexed theta slots
 };
 
-/// One queue entry: a contiguous slice of one job's runs, at most
-/// lane_cap wide. Slices are fixed up front ([0,c) [c,2c) ... per job),
-/// so the partition -- and with it every run's lane assignment -- is
-/// independent of worker scheduling.
+/// One queue entry: a contiguous slice of one unique job's runs, at most
+/// lane_cap wide. Slices are fixed up front (greedy width partition per
+/// job), so the partition -- and with it every run's lane assignment --
+/// is independent of worker scheduling.
 struct WorkItem {
-  std::uint32_t job = 0;
+  std::uint32_t job = 0;  ///< index into the unique-job context array
   std::uint32_t first = 0;
   std::uint32_t count = 0;
 };
@@ -174,14 +188,76 @@ void execute_item(JobContext& ctx, const WorkItem& item) {
       run_flat_batch<3>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
                         ctx.options.seed, item.first, ctx.options, thetas);
       break;
-    default:
+    case 4:
       run_flat_batch<4>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
                         ctx.options.seed, item.first, ctx.options, thetas);
       break;
+    case 8:
+      run_flat_batch<8>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                        ctx.options.seed, item.first, ctx.options, thetas);
+      break;
+    case 16:
+      run_flat_batch<16>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
+                         ctx.options.seed, item.first, ctx.options, thetas);
+      break;
+    default:
+      ELRR_ASSERT(false, "unsupported lane width ", item.count);
   }
 }
 
+namespace {
+
+void append_bytes(std::string& key, const void* data, std::size_t size) {
+  key.append(static_cast<const char*>(data), size);
+}
+
+template <class T>
+void append_value(std::string& key, T value) {
+  append_bytes(key, &value, sizeof(value));
+}
+
+/// Canonical byte key of (RRG content, simulation options): two jobs with
+/// equal keys are guaranteed the same per-run thetas by the determinism
+/// contract, so the fleet simulates one and fans the scores out. Covers
+/// everything the simulation semantics read (structure, tokens, buffers,
+/// gammas, kinds, telescopic parameters) plus the options fields that
+/// select streams and windows.
+std::string canonical_key(const Rrg& rrg, const SimOptions& options) {
+  std::string key;
+  key.reserve(rrg.num_nodes() * 12 + rrg.num_edges() * 24 + 64);
+  append_value(key, static_cast<std::uint64_t>(rrg.num_nodes()));
+  append_value(key, static_cast<std::uint64_t>(rrg.num_edges()));
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    append_value(key, static_cast<std::uint8_t>(rrg.kind(n)));
+    const Telescopic& t = rrg.telescopic(n);
+    append_value(key, static_cast<std::uint8_t>(t.enabled()));
+    if (t.enabled()) {
+      append_value(key, t.fast_prob);
+      append_value(key, static_cast<std::int32_t>(t.slow_extra));
+    }
+  }
+  const Digraph& g = rrg.graph();
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    append_value(key, static_cast<std::uint32_t>(g.src(e)));
+    append_value(key, static_cast<std::uint32_t>(g.dst(e)));
+    append_value(key, static_cast<std::int32_t>(rrg.tokens(e)));
+    append_value(key, static_cast<std::int32_t>(rrg.buffers(e)));
+    append_value(key, rrg.gamma(e));
+  }
+  append_value(key, options.seed);
+  append_value(key, static_cast<std::uint64_t>(options.warmup_cycles));
+  append_value(key, static_cast<std::uint64_t>(options.measure_cycles));
+  append_value(key, static_cast<std::uint64_t>(options.runs));
+  append_value(key, static_cast<std::uint8_t>(options.force_reference));
+  return key;
+}
+
 }  // namespace
+
+}  // namespace fleet_detail
+
+using fleet_detail::JobContext;
+using fleet_detail::WorkItem;
 
 std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
                                  std::size_t work_items) {
@@ -199,19 +275,97 @@ std::size_t SimFleet::submit(const Rrg& rrg, const SimOptions& options) {
   return jobs_.size() - 1;
 }
 
+SimFleet::~SimFleet() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : pool_) worker.join();
+}
+
+void SimFleet::ensure_pool(std::size_t workers) {
+  while (pool_.size() < workers) {
+    pool_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void SimFleet::worker_main() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    // Copy the batch descriptor: stragglers must never read the fleet's
+    // batch fields after drain() moved on to a later epoch.
+    const WorkItem* const items = batch_items_;
+    JobContext* const contexts = batch_contexts_;
+    const std::size_t total = batch_total_;
+    // The epoch guard keeps a worker that finished this batch from
+    // claiming against a *later* drain's counters with this batch's
+    // stale descriptor.
+    while (epoch_ == seen && batch_next_ < total) {
+      const std::size_t i = batch_next_++;
+      const bool skip = failure_ != nullptr;
+      lock.unlock();
+      // A claimed item keeps its batch storage alive: drain() cannot
+      // return before every claimed item is counted completed.
+      if (!skip) {
+        try {
+          execute_item(contexts[items[i].job], items[i]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> guard(mutex_);
+          if (!failure_) failure_ = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (++batch_completed_ == total) cv_done_.notify_all();
+    }
+  }
+}
+
 std::vector<SimReport> SimFleet::drain() {
   if (jobs_.empty()) return {};
+  // The queue empties no matter how this drain ends (success, a job
+  // exception on either the inline or the pooled path, a context-build
+  // throw): a failed drain never leaks its jobs into the next one.
+  const std::vector<Job> jobs = std::move(jobs_);
+  jobs_.clear();
 
-  // Precompute every job's kernel, tables and slice partition. The lane
-  // cap is per job: options.max_batch == 0 means the driver default,
-  // anything else clamps (1 = solo stepping); reference-path jobs go run
-  // by run (the reference kernel has no batched stepper).
-  std::vector<JobContext> contexts(jobs_.size());
+  // Deduplicate: jobs whose canonical (rrg content, options) key matches
+  // an earlier submission share that submission's context -- one
+  // simulation, results fanned out below. Precompute every unique job's
+  // kernel, tables and slice partition. The lane cap is per job:
+  // options.max_batch == 0 means the driver default, anything else
+  // clamps (1 = solo stepping); reference-path jobs go run by run (the
+  // reference kernel has no batched stepper).
+  std::vector<std::size_t> group(jobs.size());
+  std::vector<JobContext> contexts;
+  contexts.reserve(jobs.size());
+  {
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (dedup_) {
+        const std::string key =
+            fleet_detail::canonical_key(*jobs[j].rrg, jobs[j].options);
+        const auto [it, inserted] = seen.emplace(key, contexts.size());
+        group[j] = it->second;
+        if (!inserted) continue;
+      } else {
+        group[j] = contexts.size();
+      }
+      contexts.emplace_back();
+      JobContext& ctx = contexts.back();
+      ctx.rrg = jobs[j].rrg;
+      ctx.options = jobs[j].options;
+    }
+  }
+  last_unique_ = contexts.size();
+
   std::vector<WorkItem> items;
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    JobContext& ctx = contexts[j];
-    ctx.rrg = jobs_[j].rrg;
-    ctx.options = jobs_[j].options;
+  for (std::size_t u = 0; u < contexts.size(); ++u) {
+    JobContext& ctx = contexts[u];
     ctx.fallback = ctx.options.force_reference
                        ? FlatCap::kNone
                        : FlatKernel::unsupported_reason(*ctx.rrg);
@@ -225,8 +379,9 @@ std::vector<SimReport> SimFleet::drain() {
     if (ctx.path == SimPath::kFlat) {
       ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
       ctx.lane_cap = ctx.options.max_batch == 0
-                         ? kMaxBatch
-                         : std::min(ctx.options.max_batch, kMaxBatch);
+                         ? fleet_detail::kDefaultLane
+                         : std::min(ctx.options.max_batch,
+                                    fleet_detail::kMaxLane);
     } else {
       ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
       ctx.lane_cap = 1;
@@ -234,49 +389,55 @@ std::vector<SimReport> SimFleet::drain() {
     ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
     ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
     ctx.per_run.assign(ctx.options.runs, 0.0);
-    for (std::size_t first = 0; first < ctx.options.runs;
-         first += ctx.lane_cap) {
-      items.push_back(WorkItem{
-          static_cast<std::uint32_t>(j), static_cast<std::uint32_t>(first),
-          static_cast<std::uint32_t>(
-              std::min(ctx.lane_cap, ctx.options.runs - first))});
+    for (std::size_t first = 0; first < ctx.options.runs;) {
+      const std::size_t width = fleet_detail::next_slice_width(
+          ctx.lane_cap, ctx.options.runs - first);
+      items.push_back(WorkItem{static_cast<std::uint32_t>(u),
+                               static_cast<std::uint32_t>(first),
+                               static_cast<std::uint32_t>(width)});
+      first += width;
     }
   }
 
-  const std::size_t workers = resolve_worker_count(
-      threads_, std::thread::hardware_concurrency(), items.size());
+  // An explicit thread request never consults hardware_concurrency():
+  // the queried value is irrelevant then, and the call is not free on
+  // every drain of a hot flow loop.
+  const std::size_t hardware =
+      threads_ == 0 ? std::thread::hardware_concurrency() : 0;
+  const std::size_t workers =
+      resolve_worker_count(threads_, hardware, items.size());
   last_workers_ = workers;
   if (workers <= 1) {
-    for (const WorkItem& item : items) execute_item(contexts[item.job], item);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr failure;
-    std::mutex failure_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        try {
-          for (std::size_t i = next.fetch_add(1); i < items.size();
-               i = next.fetch_add(1)) {
-            execute_item(contexts[items[i].job], items[i]);
-          }
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!failure) failure = std::current_exception();
-          next.store(items.size());  // drain remaining work
-        }
-      });
+    for (const WorkItem& item : items) {
+      fleet_detail::execute_item(contexts[item.job], item);
     }
-    for (std::thread& worker : pool) worker.join();
-    if (failure) std::rethrow_exception(failure);
+  } else {
+    ensure_pool(workers);
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_items_ = items.data();
+    batch_contexts_ = contexts.data();
+    batch_total_ = items.size();
+    batch_next_ = 0;
+    batch_completed_ = 0;
+    failure_ = nullptr;
+    ++epoch_;
+    cv_work_.notify_all();
+    cv_done_.wait(lock, [&] { return batch_completed_ == batch_total_; });
+    if (failure_) {
+      const std::exception_ptr failure = failure_;
+      failure_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(failure);
+    }
   }
 
-  // Merge in run order, job by job: neither the queue interleaving nor
-  // the pool size can reach this reduction.
+  // Merge in run order, job by job (each through its unique context):
+  // neither the queue interleaving, the pool size nor dedup can reach
+  // this reduction.
   std::vector<SimReport> reports;
-  reports.reserve(contexts.size());
-  for (const JobContext& ctx : contexts) {
+  reports.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobContext& ctx = contexts[group[j]];
     RunningStats across_runs;
     for (const double theta : ctx.per_run) across_runs.add(theta);
     SimReport report;
@@ -287,7 +448,6 @@ std::vector<SimReport> SimFleet::drain() {
     report.fallback = ctx.fallback;
     reports.push_back(report);
   }
-  jobs_.clear();
   return reports;
 }
 

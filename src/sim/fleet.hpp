@@ -4,7 +4,7 @@
 /// Cross-candidate simulation fleet: scores *many* candidate RRGs (the
 /// Pareto points of a retiming/recycling walk, a telescopic parameter
 /// grid, ...) through one work-queue of batch-sized run slices drained by
-/// a shared worker pool.
+/// a persistent shared worker pool.
 ///
 /// Why a fleet instead of a per-candidate loop: one candidate typically
 /// carries only a handful of replications, so scoring candidates one
@@ -12,20 +12,33 @@
 /// with the flow's 2 runs per candidate the PR-1 driver degenerates to a
 /// single work item and a single thread no matter what `threads` says.
 /// The fleet accepts every (candidate, replication) job up front,
-/// interleaves each candidate's runs K-wide through
+/// interleaves each candidate's runs up to 16 lanes wide through
 /// FlatKernel::step_batch (telescopic candidates included), and drains
 /// work items from *different* candidates concurrently across the pool.
+///
+/// Two cross-candidate optimizations ride on the shared queue:
+///  * duplicate candidates -- identical buffer/retiming assignments, a
+///    routine artifact of Pareto walks revisiting configurations -- are
+///    simulated once and their scores fanned back out to every submitted
+///    duplicate (the determinism contract makes the shared result
+///    bit-identical to simulating each copy);
+///  * the worker pool persists across drain() calls (workers park on a
+///    condition variable between drains), so a flow that drains per walk
+///    iteration stops paying thread spawn/join per drain.
 ///
 /// Determinism contract (same as the PR-1 driver, fleet-wide): each job's
 /// result depends only on (rrg, options.seed, options.runs,
 /// options.*_cycles). Every run draws from its own splitmix64-derived
 /// per-node streams, per-run theta lands in a run-indexed slot, and each
 /// job's moments accumulate in run order -- so the thread count, the lane
-/// packing (options.max_batch) and the submission interleaving can never
-/// change a reported theta. A fleet job is bit-identical to
-/// simulate_throughput of the same (rrg, options).
+/// packing (options.max_batch), dedup on/off and the submission
+/// interleaving can never change a reported theta. A fleet job is
+/// bit-identical to simulate_throughput of the same (rrg, options).
 
+#include <condition_variable>
 #include <cstddef>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/rrg.hpp"
@@ -33,25 +46,39 @@
 
 namespace elrr::sim {
 
+namespace fleet_detail {
+struct WorkItem;    // one batch-sized slice of one job's runs (fleet.cpp)
+struct JobContext;  // one unique job's kernels/tables/slots (fleet.cpp)
+}  // namespace fleet_detail
+
 /// The worker count the fleet actually spawns for `requested` threads
 /// (0 = use `hardware`, itself possibly 0 when the runtime cannot tell:
 /// then 1) over `work_items` queue entries (never spawn workers that
-/// would find nothing to do). Exposed for tests pinning the under/over-
-/// spawn edge cases.
+/// would find nothing to do). An explicit request never consults the
+/// hardware count -- the fleet passes `hardware` only when `requested`
+/// is 0. Exposed for tests pinning the under/over-spawn edge cases.
 std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
                                  std::size_t work_items);
 
 /// Work-queue scheduler over all submitted simulation jobs.
 ///
-/// Usage: submit every candidate, then drain() once; results come back in
-/// submission order. Submitted Rrgs are borrowed -- they must outlive the
-/// drain() call and stay structurally unchanged. Per-job options.threads
-/// is ignored (the fleet's own pool size applies); all other SimOptions
-/// fields are honoured per job.
+/// Usage: submit every candidate, then drain(); results come back in
+/// submission order, and the fleet is reusable (submit/drain again; the
+/// worker pool is kept parked in between). Submitted Rrgs are borrowed --
+/// they must outlive the drain() call and stay structurally unchanged.
+/// Per-job options.threads is ignored (the fleet's own pool size
+/// applies); all other SimOptions fields are honoured per job.
 class SimFleet {
  public:
-  /// `threads` = worker pool size; 0 = hardware concurrency.
-  explicit SimFleet(std::size_t threads = 0) : threads_(threads) {}
+  /// `threads` = worker pool size; 0 = hardware concurrency. `dedup`
+  /// controls duplicate-candidate elimination (identical RRG content +
+  /// identical options simulate once); results are bit-identical either
+  /// way, off is for benchmarking the dedup itself.
+  explicit SimFleet(std::size_t threads = 0, bool dedup = true)
+      : threads_(threads), dedup_(dedup) {}
+  ~SimFleet();
+  SimFleet(const SimFleet&) = delete;
+  SimFleet& operator=(const SimFleet&) = delete;
 
   /// Enqueues one candidate; returns its index into drain()'s result
   /// vector. Validates options eagerly (throws on zero cycles/runs).
@@ -60,15 +87,24 @@ class SimFleet {
   // convention as FlatKernel(Rrg&&) = delete).
   std::size_t submit(Rrg&&, const SimOptions&) = delete;
 
-  /// Runs every queued job to completion and clears the queue. Safe to
-  /// submit and drain again afterwards.
+  /// Runs every queued job to completion and clears the queue -- also on
+  /// failure, so a throwing job never leaks stale queue entries into the
+  /// next drain (identical behavior inline and pooled). Safe to submit
+  /// and drain again afterwards; the worker pool stays parked in between.
   std::vector<SimReport> drain();
 
   std::size_t num_jobs() const { return jobs_.size(); }
   std::size_t threads() const { return threads_; }
-  /// Workers the most recent drain() actually spawned (0 before any
+  bool dedup() const { return dedup_; }
+  /// Workers the most recent drain() actually used (0 before any
   /// drain): resolve_worker_count over the real work-item count.
   std::size_t last_worker_count() const { return last_workers_; }
+  /// Persistent pool threads currently alive (0 until a drain needs more
+  /// than one worker; the pool grows on demand and parks between drains).
+  std::size_t pool_size() const { return pool_.size(); }
+  /// Unique simulations the most recent drain() ran (== its job count
+  /// when dedup is off or no candidates repeat).
+  std::size_t last_unique_jobs() const { return last_unique_; }
 
  private:
   struct Job {
@@ -76,9 +112,34 @@ class SimFleet {
     SimOptions options;
   };
 
+  /// Grows the persistent pool to `workers` threads.
+  void ensure_pool(std::size_t workers);
+  void worker_main();
+
   std::size_t threads_;
+  bool dedup_;
   std::size_t last_workers_ = 0;
+  std::size_t last_unique_ = 0;
   std::vector<Job> jobs_;
+
+  // Persistent pool: workers park on cv_work_ between drains. drain()
+  // publishes a batch (type-erased through the two pointers; fleet.cpp
+  // owns the definitions), bumps epoch_ and waits on cv_done_ until every
+  // item completed. Straggler workers from a previous epoch only ever
+  // touch items they claimed (drain cannot return before a claimed item
+  // completes), so batch storage never outlives its readers.
+  std::vector<std::thread> pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  const fleet_detail::WorkItem* batch_items_ = nullptr;
+  fleet_detail::JobContext* batch_contexts_ = nullptr;
+  std::size_t batch_total_ = 0;
+  std::size_t batch_next_ = 0;       ///< guarded by mutex_
+  std::size_t batch_completed_ = 0;  ///< guarded by mutex_
+  std::exception_ptr failure_;
 };
 
 }  // namespace elrr::sim

@@ -35,10 +35,13 @@ struct SimOptions {
   /// Worker threads for independent runs; 0 = hardware concurrency.
   /// Purely a wall-clock knob: theta is identical for every value.
   std::size_t threads = 1;
-  /// Lane cap for the interleaved batched stepper: runs are packed into
-  /// step_batch lanes of at most min(max_batch, 4) runs; 0 = the driver
-  /// default (4), 1 = solo stepping. Purely a wall-clock knob: theta is
-  /// identical for every value (lane-packing invariance is tested).
+  /// Lane cap for the interleaved batched stepper: runs are packed
+  /// greedily into step_batch slices of the driver's supported widths
+  /// (16/8/4/3/2/1) no wider than min(max_batch, 16); 0 = the driver
+  /// default (4, one SSE int32 vector), 1 = solo stepping. Widths of 8
+  /// and 16 pay on hosts with wider SIMD (build with -DELRR_NATIVE=ON)
+  /// when a job carries that many runs. Purely a wall-clock knob: theta
+  /// is identical for every value (lane-packing invariance is tested).
   std::size_t max_batch = 0;
   /// Force the reference Kernel path (testing / debugging). The fast path
   /// is bit-exact against it, so results do not change -- only speed.

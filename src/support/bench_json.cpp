@@ -1,0 +1,26 @@
+#include "support/bench_json.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace elrr::bench_json {
+
+std::optional<double> find_number(std::string_view json,
+                                  std::string_view section,
+                                  std::string_view key) {
+  const std::string quoted_section = "\"" + std::string(section) + "\"";
+  const std::size_t at = json.find(quoted_section);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string quoted_key = "\"" + std::string(key) + "\":";
+  const std::size_t key_at = json.find(quoted_key, at);
+  if (key_at == std::string_view::npos) return std::nullopt;
+  // strtod needs a terminated buffer; copy the short numeric tail.
+  const std::size_t begin = key_at + quoted_key.size();
+  const std::string tail(json.substr(begin, 64));
+  char* end = nullptr;
+  const double value = std::strtod(tail.c_str(), &end);
+  if (end == tail.c_str()) return std::nullopt;
+  return value;
+}
+
+}  // namespace elrr::bench_json

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Minimal reader for the repo's own BENCH_*.json perf-trajectory files.
+///
+/// Not a JSON parser: the files are machine-written by bench/perf_smoke
+/// with a fixed, flat shape, so a positional key scan is exact for them.
+/// Used by perf_smoke (to embed before/after ratios against the
+/// committed baseline) and by `elrr bench-diff` (the regression gate in
+/// tools/bench_gate.sh).
+
+#include <optional>
+#include <string_view>
+
+namespace elrr::bench_json {
+
+/// The first number following `"key":` after the first occurrence of
+/// `"section"` in `json`; nullopt when either is absent. Sections in
+/// BENCH_sim.json are unique object labels ("small", "fleet", ...), keys
+/// are their numeric fields ("cycles_per_sec", "fleet_seconds", ...).
+std::optional<double> find_number(std::string_view json,
+                                  std::string_view section,
+                                  std::string_view key);
+
+}  // namespace elrr::bench_json

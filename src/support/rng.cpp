@@ -23,29 +23,11 @@ std::uint64_t hash_name(std::string_view name) {
   return splitmix64(state);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   // xoshiro256** must not be seeded with all zeros; splitmix64 guarantees a
   // well-mixed nonzero state from any seed.
   std::uint64_t state = seed;
   for (auto& word : s_) word = splitmix64(state);
-}
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 double Rng::uniform01() {

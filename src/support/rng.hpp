@@ -36,7 +36,24 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  result_type operator()();
+  /// One xoshiro256** step. Defined inline: the simulation kernels draw
+  /// once per early-node firing per lane, and an out-of-line call (plus
+  /// the lost constant propagation around it) costs more than the whole
+  /// scrambler on those paths.
+  result_type operator()() {
+    const auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
   double uniform01();

@@ -152,61 +152,104 @@ TEST_P(FlatVsReference, BitExactOverHorizon) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsReference, ::testing::Range(0, 60));
 
-/// The batched step is run-for-run identical to solo flat stepping --
-/// telescopic graphs included: each lane's busy countdown, withheld
-/// outputs and latency draws mirror the solo path exactly.
+/// The batched step is run-for-run identical to solo flat stepping, for
+/// every lane width the driver instantiates -- telescopic graphs
+/// included: each lane's busy countdown, withheld outputs and latency
+/// draws mirror the solo path exactly.
+template <std::size_t K>
+void expect_batch_matches_solo(const Rrg& rrg, bool telescopic) {
+  const FlatKernel kernel(rrg);
+  const GuardTable guards(rrg);
+  const LatencyTable latencies(rrg);
+  const std::size_t num_nodes = rrg.num_nodes();
+
+  // Batched: K interleaved runs with run-private streams (RunStreams is
+  // the driver's node-major derivation).
+  std::uint64_t seeds[K];
+  for (std::size_t r = 0; r < K; ++r) {
+    seeds[r] = 1000 + 17 * r;
+  }
+  RunStreams streams(seeds, K, num_nodes);
+  const BatchTableGuardChooser batch_guard{&guards, streams.data(), K};
+  const BatchTableLatencyChooser batch_latency{&latencies, streams.data(), K};
+  FlatBatchState batch = kernel.initial_batch_state(K);
+  std::uint64_t batch_totals[K] = {};
+  for (int t = 0; t < 300; ++t) {
+    kernel.step_batch<K>(batch, batch_guard, batch_totals, batch_latency);
+  }
+
+  // Solo: the same K runs one at a time.
+  for (std::size_t r = 0; r < K; ++r) {
+    elrr::Rng master(1000 + 17 * r);
+    std::vector<elrr::Rng> solo_streams;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      solo_streams.push_back(master.split());
+    }
+    const TableGuardChooser guard{&guards, solo_streams.data()};
+    const TableLatencyChooser latency{&latencies, solo_streams.data()};
+    FlatState state = kernel.initial_state();
+    std::uint64_t total = 0;
+    for (int t = 0; t < 300; ++t) total += kernel.step(state, guard, latency);
+    EXPECT_EQ(batch_totals[r], total)
+        << "run " << r << " K=" << K << " telescopic=" << telescopic;
+    EXPECT_EQ(kernel.extract_run(batch, r), state)
+        << "run " << r << " K=" << K << " telescopic=" << telescopic;
+  }
+}
+
 class BatchVsSolo : public ::testing::TestWithParam<int> {};
 
 TEST_P(BatchVsSolo, InterleavedRunsMatchSoloRuns) {
   for (const bool telescopic : {false, true}) {
     const Rrg rrg =
         random_rrg(static_cast<std::uint64_t>(GetParam()), telescopic);
-    const FlatKernel kernel(rrg);
-    const GuardTable guards(rrg);
-    const LatencyTable latencies(rrg);
-    const std::size_t num_nodes = rrg.num_nodes();
-    constexpr std::size_t kRuns = 3;
-
-    // Batched: three interleaved runs with run-private streams.
-    std::vector<elrr::Rng> batch_streams;
-    for (std::size_t r = 0; r < kRuns; ++r) {
-      elrr::Rng master(1000 + 17 * r);
-      for (std::size_t n = 0; n < num_nodes; ++n) {
-        batch_streams.push_back(master.split());
-      }
-    }
-    const BatchTableGuardChooser batch_guard{&guards, batch_streams.data(),
-                                             num_nodes};
-    const BatchTableLatencyChooser batch_latency{
-        &latencies, batch_streams.data(), num_nodes};
-    FlatBatchState batch = kernel.initial_batch_state(kRuns);
-    std::uint64_t batch_totals[kRuns] = {};
-    for (int t = 0; t < 300; ++t) {
-      kernel.step_batch<kRuns>(batch, batch_guard, batch_totals,
-                               batch_latency);
-    }
-
-    // Solo: the same three runs one at a time.
-    for (std::size_t r = 0; r < kRuns; ++r) {
-      elrr::Rng master(1000 + 17 * r);
-      std::vector<elrr::Rng> streams;
-      for (std::size_t n = 0; n < num_nodes; ++n) {
-        streams.push_back(master.split());
-      }
-      const TableGuardChooser guard{&guards, streams.data()};
-      const TableLatencyChooser latency{&latencies, streams.data()};
-      FlatState state = kernel.initial_state();
-      std::uint64_t total = 0;
-      for (int t = 0; t < 300; ++t) total += kernel.step(state, guard, latency);
-      EXPECT_EQ(batch_totals[r], total)
-          << "run " << r << " telescopic=" << telescopic;
-      EXPECT_EQ(kernel.extract_run(batch, r), state)
-          << "run " << r << " telescopic=" << telescopic;
-    }
+    expect_batch_matches_solo<2>(rrg, telescopic);
+    expect_batch_matches_solo<3>(rrg, telescopic);
+    expect_batch_matches_solo<4>(rrg, telescopic);
+    expect_batch_matches_solo<8>(rrg, telescopic);
+    expect_batch_matches_solo<16>(rrg, telescopic);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchVsSolo, ::testing::Range(0, 20));
+
+/// The firing order is level-scheduled: a valid topological order of the
+/// zero-buffer subgraph in which registered producers (no combinational
+/// in-edges) come first and every combinational edge crosses to a
+/// strictly later level group.
+TEST(FlatKernel, CombOrderIsLevelScheduled) {
+  for (int seed = 0; seed < 10; ++seed) {
+    const Rrg rrg = random_rrg(static_cast<std::uint64_t>(seed) + 700, true);
+    const FlatKernel kernel(rrg);
+    const std::vector<NodeId>& order = kernel.comb_order();
+    ASSERT_EQ(order.size(), rrg.num_nodes());
+    EXPECT_GE(kernel.num_levels(), 1u);
+
+    // Recompute levels independently and check the order is sorted by
+    // level (and hence topological: comb edges strictly raise the level).
+    std::vector<std::uint32_t> level(rrg.num_nodes(), 0);
+    bool changed = true;
+    while (changed) {  // fixpoint; comb subgraph is acyclic
+      changed = false;
+      for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+        if (rrg.buffers(e) != 0) continue;
+        const NodeId u = rrg.graph().src(e), v = rrg.graph().dst(e);
+        if (level[v] < level[u] + 1) {
+          level[v] = level[u] + 1;
+          changed = true;
+        }
+      }
+    }
+    std::uint32_t max_level = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LE(level[order[i - 1]], level[order[i]]) << "position " << i;
+    }
+    for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+      max_level = std::max(max_level, level[n]);
+    }
+    EXPECT_EQ(kernel.num_levels(), max_level + 1);
+  }
+}
 
 /// Telescopic batched stepping against the reference kernel, cycle by
 /// cycle: every lane of a step_batch advance must reproduce the reference

@@ -154,17 +154,21 @@ TEST(SimFleet, WorkerCountNeverChangesResults) {
 }
 
 /// Lane packing (max_batch) is a pure wall-clock knob: solo stepping,
-/// pairs, triples and full lanes all produce the identical theta, for
-/// early-only and telescopic candidates alike.
+/// pairs, triples, the SSE default and the wide 8/16 lanes all produce
+/// the identical theta, for early-only and telescopic candidates alike.
+/// runs = 17 makes every cap produce remainder slices too (16+1, 8+8+1,
+/// 4x4+1, ...), so the greedy width partition is exercised end to end.
 TEST(SimFleet, LanePackingNeverChangesResults) {
   for (const bool telescopic : {false, true}) {
     const Rrg rrg = random_rrg(telescopic ? 431 : 430, telescopic);
     SimOptions options = fleet_options(5);
-    options.runs = 6;  // spans slices of every width up to the cap
+    options.runs = 17;
+    options.measure_cycles = 400;  // 17 runs x 6 widths: keep each short
     options.max_batch = 1;
     const SimReport solo = simulate_throughput(rrg, options);
-    for (const std::size_t width : {std::size_t{2}, std::size_t{3},
-                                    std::size_t{4}, std::size_t{0}}) {
+    for (const std::size_t width :
+         {std::size_t{2}, std::size_t{3}, std::size_t{4}, std::size_t{8},
+          std::size_t{16}, std::size_t{0}}) {
       options.max_batch = width;
       const SimReport packed = simulate_throughput(rrg, options);
       EXPECT_EQ(packed.theta, solo.theta)
@@ -172,6 +176,148 @@ TEST(SimFleet, LanePackingNeverChangesResults) {
       EXPECT_EQ(packed.stderr_theta, solo.stderr_theta);
     }
   }
+}
+
+/// Duplicate candidates -- identical RRG content and options, distinct
+/// objects -- simulate once with dedup on, and the fanned-out scores are
+/// bit-identical to the dedup-off fleet and to solo simulation.
+TEST(SimFleet, DedupSharesScoresAcrossIdenticalCandidates) {
+  const Rrg original = random_rrg(321, true);
+  const Rrg copy = original;  // same content, different object
+  const Rrg other = random_rrg(322, false);
+  const SimOptions options = fleet_options(9);
+
+  SimFleet dedup_fleet(2, /*dedup=*/true);
+  dedup_fleet.submit(original, options);
+  dedup_fleet.submit(other, options);
+  dedup_fleet.submit(copy, options);
+  dedup_fleet.submit(original, options);  // same object resubmitted
+  const std::vector<SimReport> deduped = dedup_fleet.drain();
+  ASSERT_EQ(deduped.size(), 4u);
+  EXPECT_EQ(dedup_fleet.last_unique_jobs(), 2u);
+
+  SimFleet plain_fleet(2, /*dedup=*/false);
+  plain_fleet.submit(original, options);
+  plain_fleet.submit(other, options);
+  plain_fleet.submit(copy, options);
+  plain_fleet.submit(original, options);
+  const std::vector<SimReport> undeduped = plain_fleet.drain();
+  ASSERT_EQ(undeduped.size(), 4u);
+  EXPECT_EQ(plain_fleet.last_unique_jobs(), 4u);
+
+  const SimReport solo = simulate_throughput(original, options);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(deduped[i].theta, undeduped[i].theta) << "job " << i;
+    EXPECT_EQ(deduped[i].stderr_theta, undeduped[i].stderr_theta);
+  }
+  EXPECT_EQ(deduped[0].theta, solo.theta);
+  EXPECT_EQ(deduped[2].theta, solo.theta);
+  EXPECT_EQ(deduped[3].theta, solo.theta);
+}
+
+/// Dedup keys cover the options: the same candidate under different
+/// seeds (or windows) must simulate separately.
+TEST(SimFleet, DedupDistinguishesOptions) {
+  const Rrg rrg = random_rrg(77, false);
+  SimFleet fleet(1);
+  fleet.submit(rrg, fleet_options(1));
+  fleet.submit(rrg, fleet_options(2));  // different seed
+  SimOptions longer = fleet_options(1);
+  longer.measure_cycles += 500;
+  fleet.submit(rrg, longer);
+  const std::vector<SimReport> reports = fleet.drain();
+  EXPECT_EQ(fleet.last_unique_jobs(), 3u);
+  EXPECT_NE(reports[0].theta, reports[1].theta);
+}
+
+/// Dedup keys cover the RRG content: a one-buffer difference on one edge
+/// (the granularity of a retiming/recycling move) separates candidates.
+TEST(SimFleet, DedupDistinguishesConfigurations) {
+  const Rrg rrg = random_rrg(55, false);
+  Rrg recycled = rrg;
+  // Add one empty EB to the first buffered edge (keeps liveness).
+  for (EdgeId e = 0; e < recycled.num_edges(); ++e) {
+    if (recycled.buffers(e) > 0) {
+      recycled.set_buffers(e, recycled.buffers(e) + 1);
+      break;
+    }
+  }
+  SimFleet fleet(1);
+  fleet.submit(rrg, fleet_options(4));
+  fleet.submit(recycled, fleet_options(4));
+  fleet.drain();
+  EXPECT_EQ(fleet.last_unique_jobs(), 2u);
+}
+
+/// The worker pool persists across drains: spawned once at the first
+/// multi-worker drain, parked in between, reused afterwards -- and
+/// results stay reproducible drain over drain.
+TEST(SimFleet, WorkerPoolPersistsAcrossDrains) {
+  std::vector<Rrg> candidates;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    candidates.push_back(random_rrg(700 + s, (s % 2) == 0));
+  }
+  SimFleet fleet(3);
+  EXPECT_EQ(fleet.pool_size(), 0u);  // no drain yet: nothing spawned
+
+  const auto drain_all = [&] {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      fleet.submit(candidates[i], fleet_options(40 + i));
+    }
+    return fleet.drain();
+  };
+  const std::vector<SimReport> first = drain_all();
+  EXPECT_EQ(fleet.last_worker_count(), 3u);
+  EXPECT_EQ(fleet.pool_size(), 3u);
+  const std::vector<SimReport> second = drain_all();
+  EXPECT_EQ(fleet.pool_size(), 3u);  // reused, not respawned
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].theta, first[i].theta) << "job " << i;
+  }
+}
+
+/// Spawn-count rules at the edges: a single work item never spawns a
+/// pool (inline execution) no matter how many threads were requested; an
+/// explicit thread count is honoured without consulting the hardware
+/// (resolve_worker_count never reads it when requested != 0); fewer
+/// items than threads clamp to the item count.
+TEST(SimFleet, SpawnCountEdgeCases) {
+  const Rrg rrg = figures::figure1b(0.5, true);
+
+  SimOptions one_item = fleet_options(3);
+  one_item.runs = 4;  // one full lane -> exactly one work item
+  SimFleet many_threads(16);
+  many_threads.submit(rrg, one_item);
+  many_threads.drain();
+  EXPECT_EQ(many_threads.last_worker_count(), 1u);
+  EXPECT_EQ(many_threads.pool_size(), 0u);  // inline, no pool
+
+  // 0 threads = hardware concurrency, whatever it reports (possibly 0 ->
+  // clamped to 1); the fleet must agree with resolve_worker_count over
+  // the real item count.
+  SimFleet hardware_fleet(0);
+  hardware_fleet.submit(rrg, one_item);
+  SimOptions one_item_b = one_item;
+  one_item_b.seed += 1;  // distinct job: two work items survive dedup
+  hardware_fleet.submit(rrg, one_item_b);
+  hardware_fleet.drain();
+  const std::size_t expected =
+      resolve_worker_count(0, std::thread::hardware_concurrency(), 2);
+  EXPECT_EQ(hardware_fleet.last_worker_count(), expected);
+
+  // items < threads: clamp to the queue length.
+  SimOptions two_slices = fleet_options(5);
+  two_slices.runs = 8;  // two 4-lane slices
+  SimFleet wide(32);
+  wide.submit(rrg, two_slices);
+  wide.drain();
+  EXPECT_EQ(wide.last_worker_count(), 2u);
+  EXPECT_EQ(wide.pool_size(), 2u);
+
+  // An explicit request resolves without the hardware value entirely.
+  EXPECT_EQ(resolve_worker_count(3, 0, 10), 3u);
+  EXPECT_EQ(resolve_worker_count(3, 1000, 10), 3u);
 }
 
 /// Telescopic graphs run on the batched flat path -- they are no longer a

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# tools/bench_gate.sh -- the one-command simulation gate.
+#
+# Runs, in order:
+#   1. Release build + the `sim`-labelled ctest suite (kernel/driver/fleet
+#      differential tests);
+#   2. a fresh perf_smoke -> build/BENCH_sim.json, gated for bit-exactness;
+#   3. `elrr bench-diff` of that fresh run against the committed
+#      BENCH_sim.json at the repo root (fails on any section >10% slower;
+#      override with ELRR_MAX_REGRESSION);
+#   4. an ASan/UBSan build (-DELRR_SANITIZE=address,undefined) of the same
+#      `sim` suite.
+#
+# Step 4 is skipped with ELRR_SKIP_SANITIZE=1 (e.g. on machines without
+# the sanitizer runtimes). Build directories: build/ and build-asan/
+# (override with BUILD_DIR / ASAN_BUILD_DIR).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+MAX_REGRESSION=${ELRR_MAX_REGRESSION:-0.10}
+
+echo "== [1/4] Release build + ctest -L sim =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests
+ctest --test-dir "$BUILD_DIR" -L sim --output-on-failure -j
+
+echo "== [2/4] perf_smoke (bit-exactness gated) =="
+"$BUILD_DIR/perf_smoke" "$BUILD_DIR/BENCH_sim.json"
+
+echo "== [3/4] bench-diff vs committed BENCH_sim.json =="
+"$BUILD_DIR/elrr" bench-diff --new "$BUILD_DIR/BENCH_sim.json" \
+  --baseline BENCH_sim.json --max-regression "$MAX_REGRESSION"
+
+if [ "${ELRR_SKIP_SANITIZE:-0}" = "1" ]; then
+  echo "== [4/4] sanitizer sweep skipped (ELRR_SKIP_SANITIZE=1) =="
+else
+  echo "== [4/4] ASan/UBSan ctest -L sim =="
+  cmake -B "$ASAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DELRR_SANITIZE=address,undefined
+  cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests
+  ctest --test-dir "$ASAN_BUILD_DIR" -L sim --output-on-failure -j
+fi
+
+echo "bench gate: all green"

@@ -1,6 +1,7 @@
 #include "tools/elrr/cli.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "sim/markov.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
+#include "support/bench_json.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -51,6 +53,10 @@ commands:
               min-period retiming's period); classical registers only
   from-bench  --input <file.bench> [--output <file.rrg>]  (largest SCC,
               unit delays; --annotate re-randomizes per the paper, --seed N)
+  bench-diff  --new <BENCH_sim.json> --baseline <BENCH_sim.json>
+              [--max-regression F]  (default 0.10: fail if any section is
+              >10% slower than the committed baseline; tools/bench_gate.sh
+              wires this after a fresh perf_smoke run)
   help        this text
 )";
 
@@ -376,6 +382,78 @@ int cmd_from_bench(Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_bench_diff(Args& args, std::ostream& out) {
+  const std::string new_path = args.require("new");
+  const std::string baseline_path = args.require("baseline");
+  const double max_regression = args.get_double("max-regression", 0.10);
+  args.finish();
+  ELRR_REQUIRE(max_regression >= 0.0 && max_regression < 1.0,
+               "--max-regression must be in [0, 1)");
+
+  const std::string fresh = io::load_text_file(new_path);
+  const std::string baseline = io::load_text_file(baseline_path);
+
+  // Sections and their metric: per-kernel cases report throughput
+  // (higher is better), fleet sections report drain seconds of a fixed
+  // workload (lower is better). `better` is new/old folded so that
+  // > 1 always means this build is faster.
+  struct Section {
+    const char* name;
+    const char* key;
+    bool higher_is_better;
+  };
+  constexpr Section kSections[] = {
+      {"small", "cycles_per_sec", true},
+      {"medium", "cycles_per_sec", true},
+      {"large", "cycles_per_sec", true},
+      {"telescopic", "cycles_per_sec", true},
+      {"fleet", "fleet_seconds", false},
+      {"fleet_dedup", "fleet_seconds", false},
+  };
+
+  int regressions = 0;
+  int compared = 0;
+  out << "section        baseline          new    speedup\n";
+  for (const Section& section : kSections) {
+    const auto old_value =
+        bench_json::find_number(baseline, section.name, section.key);
+    const auto new_value =
+        bench_json::find_number(fresh, section.name, section.key);
+    if (!old_value.has_value() || !new_value.has_value()) {
+      out << section.name << ": (missing; skipped)\n";
+      continue;
+    }
+    const double speedup = section.higher_is_better
+                               ? *new_value / *old_value
+                               : *old_value / *new_value;
+    // "Regressed" means the metric itself worsened by more than the
+    // threshold: throughput dropped below (1 - F) x baseline, or seconds
+    // grew past (1 + F) x baseline -- symmetric in the metric, not in
+    // the folded speedup.
+    const bool regressed = section.higher_is_better
+                               ? *new_value < *old_value * (1.0 - max_regression)
+                               : *new_value > *old_value * (1.0 + max_regression);
+    ++compared;
+    regressions += regressed ? 1 : 0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-12s %12.5g %12.5g    %5.2fx%s\n",
+                  section.name, *old_value, *new_value, speedup,
+                  regressed ? "  <== REGRESSION" : "");
+    out << line;
+  }
+  ELRR_REQUIRE(compared > 0, "no comparable sections between ", new_path,
+               " and ", baseline_path);
+  if (regressions > 0) {
+    out << regressions << " section(s) regressed more than "
+        << format_fixed(max_regression * 100.0, 0) << "% vs " << baseline_path
+        << "\n";
+    return 1;
+  }
+  out << "no regression beyond " << format_fixed(max_regression * 100.0, 0)
+      << "% (" << compared << " sections)\n";
+  return 0;
+}
+
 }  // namespace
 
 int run(int argc, const char* const* argv, std::ostream& out,
@@ -395,6 +473,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (cmd == "size-fifos") return cmd_size_fifos(args, out);
     if (cmd == "min-area") return cmd_min_area(args, out);
     if (cmd == "from-bench") return cmd_from_bench(args, out);
+    if (cmd == "bench-diff") return cmd_bench_diff(args, out);
     err << "elrr: unknown command '" << cmd << "' (try `elrr help`)\n";
     return 2;
   } catch (const Error& e) {
