@@ -10,6 +10,11 @@
 /// the paper's row values; the qualitative shape -- several Pareto
 /// points, LP bound optimistic by a few percent to tens of percent, the
 /// last row being the min-delay retiming with Theta = 1 -- must hold.
+///
+/// Runs through the pipelined flow::Engine (via bench/flow.hpp): each
+/// Pareto candidate simulates on the fleet while the next MILP solves;
+/// ELRR_PIPELINE=0 restores the sequential walk-then-score order
+/// (identical rows either way).
 
 #include <cstdio>
 

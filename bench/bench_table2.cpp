@@ -14,7 +14,10 @@
 /// ELRR_EXACT_MAX_EDGES (150) edges, the MILP-free heuristic beyond
 /// (rows marked 'h') -- the regime the paper's conclusions call
 /// "difficult to solve exactly" for CPLEX. ELRR_TABLE2_FULL=0 restores
-/// the short exact-only sweep.
+/// the short exact-only sweep. Per circuit the walk runs through the
+/// pipelined flow::Engine (via bench/flow.hpp): candidates simulate on
+/// the fleet while the next MILP solves (ELRR_PIPELINE=0 for the
+/// sequential order; identical rows either way).
 
 #include <cstdio>
 #include <cstdlib>

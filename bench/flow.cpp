@@ -7,8 +7,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "flow/engine.hpp"
 #include "heur/heuristic.hpp"
-#include "sim/fleet.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
@@ -106,6 +106,7 @@ FlowOptions FlowOptions::from_env() {
   options.sim_threads = static_cast<std::size_t>(
       env_u64("ELRR_SIM_THREADS", 1, 0, 4096));
   options.sim_dedup = env_bool("ELRR_SIM_DEDUP", true);
+  options.pipeline = env_bool("ELRR_PIPELINE", true);
   options.polish = env_bool("ELRR_POLISH", false);
   options.use_heuristic = env_bool("ELRR_HEUR", true);
   options.exact_max_edges = static_cast<int>(
@@ -146,20 +147,36 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
     result.all_exact = false;
   }
   if (options.use_heuristic || options.heuristic_only) {
-    Rrg all_simple = rrg;
-    for (NodeId n = 0; n < all_simple.num_nodes(); ++n) {
-      all_simple.set_kind(n, NodeKind::kSimple);
-    }
+    const Rrg all_simple = as_all_simple(rrg);
     const HeuristicResult late_heur =
         heur_eff_cyc(all_simple, scaled_heuristic(all_simple));
     result.xi_nee = std::min(result.xi_nee, late_heur.best().xi_lp);
   }
 
-  // Early evaluation: optimize (exact walk, plus the heuristic's frontier
-  // when enabled), then rerank the candidates by simulation.
+  sim::SimOptions sopt;
+  sopt.seed = options.seed * 7919 + 17;
+  sopt.measure_cycles = options.sim_cycles;
+  sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
+  sopt.runs = 2;  // threads are the fleet's, not the per-job option's
+
+  // Early evaluation: the pipelined engine runs the exact walk and
+  // streams every emitted candidate into its simulation fleet while the
+  // next MILP step solves (flow::Engine; ELRR_PIPELINE=0 degrades to the
+  // sequential walk-then-score baseline, results bit-identical). The
+  // engine's session cache carries those mid-walk scores over to the
+  // candidate reranking below, so frontier points selected for the
+  // tables cost nothing to rescore.
+  flow::EngineOptions eopt;
+  eopt.opt = opt;
+  eopt.sim = sopt;
+  eopt.sim_threads = options.sim_threads;
+  eopt.sim_dedup = options.sim_dedup;
+  eopt.overlap = options.pipeline;
+  flow::Engine engine(rrg, eopt);
+
   MinEffCycResult early;
   if (!options.heuristic_only) {
-    early = min_eff_cyc(rrg, opt);
+    early = engine.run().walk;
     result.all_exact &= early.all_exact;
   } else {
     // Seed the frontier with the identity; the heuristic fills the rest.
@@ -202,40 +219,30 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
       early.k_best(options.max_simulated_points);
   std::sort(simulate.begin(), simulate.end());  // present in tau order
 
-  sim::SimOptions sopt;
-  sopt.seed = options.seed * 7919 + 17;
-  sopt.measure_cycles = options.sim_cycles;
-  sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
-  sopt.runs = 2;  // threads are the fleet's, not the per-job option's
-
   int original_buffers = 0;
   for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
     original_buffers += rrg.buffers(e);
   }
 
-  // Score every Pareto candidate through one simulation fleet: all
-  // (candidate, replication) jobs enter a shared work queue and drain
-  // over sim_threads workers, telescopic candidates batched like the
-  // rest, and candidates with identical buffer/retiming assignments
-  // simulated once (dedup; walks revisit configurations). Per candidate
-  // the result is bit-identical to a solo simulate_throughput call (the
-  // fleet's determinism contract), so this is purely a wall-clock change
-  // over the PR-1 per-candidate loop.
-  std::vector<Rrg> configured;
-  configured.reserve(simulate.size());
-  sim::SimFleet fleet(options.sim_threads, options.sim_dedup);
+  // Rerank the selected candidates by simulation, through the engine's
+  // fleet and session cache: walk candidates were already scored
+  // mid-walk (cache hit, no new simulation), heuristic-merged points
+  // simulate now over the same worker pool. Per candidate the result is
+  // bit-identical to a solo simulate_throughput call (the fleet's
+  // determinism contract), so the pipeline is purely a wall-clock change.
+  std::vector<ParetoPoint> chosen;
+  chosen.reserve(simulate.size());
   for (const std::size_t index : simulate) {
-    configured.push_back(apply_config(rrg, early.points[index].config));
+    chosen.push_back(early.points[index]);
   }
-  for (const Rrg& candidate : configured) fleet.submit(candidate, sopt);
-  const std::vector<sim::SimReport> sims = fleet.drain();
+  const std::vector<flow::ScoredPoint> sims = engine.score(chosen);
 
   double best_sim_xi = 0.0;
   double lp_best_sim_xi = 0.0;
   for (std::size_t i = 0; i < simulate.size(); ++i) {
     const std::size_t index = simulate[i];
     const ParetoPoint& point = early.points[index];
-    const sim::SimReport& sim = sims[i];
+    const sim::SimReport& sim = sims[i].sim;
 
     CandidateRow row;
     row.tau = point.tau;
@@ -243,7 +250,7 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
     row.theta_sim = sim.theta;
     row.err_percent = relative_percent(point.theta_lp, sim.theta);
     row.xi_lp = point.xi_lp;
-    row.xi_sim = effective_cycle_time(point.tau, sim.theta);
+    row.xi_sim = sims[i].xi_sim;
     row.exact = point.exact;
     int buffers = 0, tokens = 0;
     for (EdgeId e = 0; e < rrg.num_edges(); ++e) {

@@ -4,10 +4,13 @@
 /// Shared experiment flow for the table/figure reproduction benches: runs
 /// the full DAC'09 pipeline (generate -> optimize late & early -> simulate
 /// the Pareto candidates) for one circuit and returns every number the
-/// paper's tables report. All Pareto candidates are scored through one
-/// sim::SimFleet (fleet.hpp): every (candidate, replication) job enters a
-/// shared work queue drained by ELRR_SIM_THREADS workers, with results
-/// bit-identical to per-candidate sequential simulation.
+/// paper's tables report. The early-evaluation walk runs through the
+/// pipelined flow::Engine (flow/engine.hpp): each Pareto candidate
+/// streams into the engine's simulation fleet while the next MILP step
+/// solves, and the fleet's session cache dedups revisited configurations
+/// across the walk and the heuristic merge. Results are bit-identical to
+/// the sequential walk-then-score path for every thread count
+/// (ELRR_PIPELINE=0 runs that sequential path for comparison).
 ///
 /// Environment knobs (all optional; FlowOptions::from_env *validates*
 /// them -- a malformed, negative or out-of-range value throws
@@ -19,6 +22,9 @@
 ///   ELRR_SIM_THREADS     simulation worker threads   (default 1; 0 = all cores)
 ///   ELRR_SIM_DEDUP       1 = dedup identical Pareto candidates before
 ///                        simulating (default 1; results identical either way)
+///   ELRR_PIPELINE        1 = overlap the MILP walk with candidate
+///                        simulation (default 1; 0 = sequential, results
+///                        identical either way)
 ///   ELRR_POLISH          1 = MAX_THR polish          (default 0)
 ///   ELRR_HEUR            0 = paper-pure flow         (default 1)
 ///   ELRR_EXACT_MAX_EDGES exact-MILP edge ceiling     (default 150)
@@ -49,6 +55,11 @@ struct FlowOptions {
   /// simulate once, scores fan back out. Bit-identical results either
   /// way; env ELRR_SIM_DEDUP=0 benchmarks the undeduped fleet.
   bool sim_dedup = true;
+  /// Overlap the MILP Pareto walk with candidate simulation through the
+  /// pipelined flow::Engine (each emitted candidate scores on the fleet
+  /// while the next MILP solves). Bit-identical results either way; env
+  /// ELRR_PIPELINE=0 runs the sequential walk-then-score baseline.
+  bool pipeline = true;
   std::size_t max_simulated_points = 8;
   /// Run the MAX_THR polish inside MIN_EFF_CYC (paper-exact, slower);
   /// env ELRR_POLISH=1. bench_table1 enables it by default.

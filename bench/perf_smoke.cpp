@@ -5,7 +5,10 @@
 /// path and the reference Kernel, plus two cross-candidate fleet
 /// workloads (sim::SimFleet): the Pareto-style candidate set against the
 /// PR-1 per-candidate loop, and a duplicate-heavy set with candidate
-/// dedup on vs off.
+/// dedup on vs off. The `pipeline` section runs the full pipelined flow
+/// engine (flow::Engine) on a multi-candidate Pareto walk twice --
+/// sequential walk-then-score vs overlapped streaming -- and gates on
+/// both runs producing bit-identical frontiers and thetas.
 ///
 ///   perf_smoke [output.json] [--quick] [--baseline <file.json>]
 ///
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "bench89/generator.hpp"
+#include "flow/engine.hpp"
 #include "io/rrg_format.hpp"
 #include "sim/fleet.hpp"
 #include "support/bench_json.hpp"
@@ -230,6 +234,79 @@ DedupRow measure_dedup() {
   return row;
 }
 
+struct PipelineRow {
+  double sequential_s = 0.0;  ///< walk-then-score, best of reps
+  double overlapped_s = 0.0;  ///< streaming engine, best of reps
+  std::size_t candidates = 0;
+  std::size_t unique = 0;
+  bool bit_exact = false;  ///< frontiers + thetas identical between modes
+};
+
+/// The pipelined flow engine on a real multi-candidate Pareto walk:
+/// sequential (overlap off: every candidate scores only after the last
+/// MILP) vs overlapped (each candidate streams into the fleet while the
+/// next MILP solves). The circuit is small enough that every MILP solves
+/// to proven optimality well inside the budget (s420 with the MAX_THR
+/// polish: ~24 exact MILPs), so both modes walk the identical step
+/// sequence and the run is deterministic -- the bit_exact gate compares
+/// the full frontier and every simulated theta; it must hold on every
+/// host. The speedup is the host's concurrency to hide simulation behind
+/// MILP time: ~1.0 on a single-core host (the walk and the fleet worker
+/// timeshare one CPU; the pipeline is wall-neutral there), rising toward
+/// (walk + sim) / max(walk, sim) with a second core. One background
+/// fleet worker: the measured overlap is the pipeline itself, not pool
+/// scaling. A fresh engine per run keeps the session cache from leaking
+/// scores across measurements.
+PipelineRow measure_pipeline() {
+  const elrr::Rrg rrg = make_candidate("s420", 1, false);
+  elrr::flow::EngineOptions options;
+  options.opt.epsilon = 0.01;
+  options.opt.polish = true;
+  options.opt.milp.time_limit_s = 30.0;  // never reached at this size
+  options.sim.warmup_cycles = 1000;
+  options.sim.measure_cycles = quick ? 20000 : 200000;
+  options.sim.runs = 4;
+  options.sim_threads = 1;
+
+  PipelineRow row;
+  double best_seq = 1e300, best_ovl = 1e300;
+  std::vector<double> seq_thetas, ovl_thetas;
+  bool frontiers_match = true;
+  for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+    options.overlap = false;
+    elrr::flow::Engine sequential(rrg, options);
+    auto t0 = Clock::now();
+    const elrr::flow::EngineResult seq = sequential.run();
+    best_seq = std::min(best_seq, seconds_since(t0));
+
+    options.overlap = true;
+    elrr::flow::Engine overlapped(rrg, options);
+    t0 = Clock::now();
+    const elrr::flow::EngineResult ovl = overlapped.run();
+    best_ovl = std::min(best_ovl, seconds_since(t0));
+
+    row.candidates = ovl.candidates_submitted;
+    row.unique = ovl.unique_simulations;
+    seq_thetas.clear();
+    ovl_thetas.clear();
+    for (const auto& s : seq.scored) seq_thetas.push_back(s.sim.theta);
+    for (const auto& s : ovl.scored) ovl_thetas.push_back(s.sim.theta);
+    frontiers_match &= seq.walk.points.size() == ovl.walk.points.size();
+    for (std::size_t i = 0;
+         frontiers_match && i < seq.walk.points.size(); ++i) {
+      frontiers_match &=
+          seq.walk.points[i].tau == ovl.walk.points[i].tau &&
+          seq.walk.points[i].theta_lp == ovl.walk.points[i].theta_lp &&
+          seq.walk.points[i].config == ovl.walk.points[i].config;
+    }
+    frontiers_match &= seq_thetas == ovl_thetas;
+  }
+  row.sequential_s = best_seq;
+  row.overlapped_s = best_ovl;
+  row.bit_exact = frontiers_match;
+  return row;
+}
+
 /// Baseline trajectory (the previously committed BENCH_sim.json), for
 /// the embedded before/after ratios. Loaded fully before the output file
 /// is opened, so baseline and output may be the same path.
@@ -376,6 +453,38 @@ int main(int argc, char** argv) {
               dedup.jobs, dedup.unique, dedup.off_s, dedup.on_s,
               dedup.off_s / dedup.on_s,
               dedup.bit_exact ? "bit-exact" : "MISMATCH");
+
+  const PipelineRow pipeline = measure_pipeline();
+  all_bit_exact &= pipeline.bit_exact;
+  std::fprintf(out,
+               ",\n    \"pipeline\": {\"workload\": "
+               "\"s420 polished Pareto walk (eps 0.01), 4 runs per "
+               "candidate, 1 fleet worker (overlap ~1.0x on 1-core "
+               "hosts)\", "
+               "\"candidates\": %zu, \"unique_simulations\": %zu, "
+               "\"sequential_seconds\": %.4f, \"overlapped_seconds\": %.4f, "
+               "\"speedup_vs_sequential\": %.2f, \"bit_exact\": %s}",
+               pipeline.candidates, pipeline.unique, pipeline.sequential_s,
+               pipeline.overlapped_s,
+               pipeline.sequential_s / pipeline.overlapped_s,
+               pipeline.bit_exact ? "true" : "false");
+  std::printf("pipeline   (%zu candidates, %zu unique): sequential %.2fs, "
+              "overlapped %.2fs, speedup %.2fx, %s",
+              pipeline.candidates, pipeline.unique, pipeline.sequential_s,
+              pipeline.overlapped_s,
+              pipeline.sequential_s / pipeline.overlapped_s,
+              pipeline.bit_exact ? "bit-exact" : "MISMATCH");
+  if (baseline) {
+    if (const auto prev = elrr::bench_json::find_number(
+            baseline->text, "pipeline", "overlapped_seconds")) {
+      const double ratio = *prev / pipeline.overlapped_s;
+      std::printf(", %.2fx vs baseline", ratio);
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"pipeline\": %.2f",
+                    ratios.empty() ? "" : ", ", ratio);
+      ratios += ratio_buf;
+    }
+  }
+  std::printf("\n");
 
   std::fprintf(out, "\n  },\n  \"vs_baseline\": {%s}\n}\n", ratios.c_str());
   std::fclose(out);

@@ -1,9 +1,15 @@
 /// \file pareto_explorer.cpp
 /// Explore the cycle-time / throughput trade-off of a Table-2 circuit:
-/// prints every non-dominated configuration found by MIN_EFF_CYC, its LP
-/// metrics and its simulated throughput, for both late and early
-/// evaluation -- the data behind the paper's Tables 1 and 2. All Pareto
-/// points of one walk are scored together through a sim::SimFleet.
+/// prints every non-dominated configuration found by the Pareto walk,
+/// its LP metrics and its simulated throughput, for both late and early
+/// evaluation -- the data behind the paper's Tables 1 and 2.
+///
+/// Runs on the pipelined flow::Engine: each candidate the walk emits is
+/// streamed into the engine's simulation fleet (owning submissions, all
+/// cores) while the next MILP step solves, and revisited configurations
+/// hit the engine's session cache instead of re-simulating. The trailing
+/// "pipeline:" line shows how much of the simulation time the MILP walk
+/// hid.
 ///
 ///   ./build/examples/pareto_explorer [circuit] [seed] [milp_seconds]
 /// e.g.  ./build/examples/pareto_explorer s386 7 20
@@ -16,7 +22,7 @@
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
-#include "sim/fleet.hpp"
+#include "flow/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace elrr;
@@ -31,50 +37,62 @@ int main(int argc, char** argv) {
               spec.n_simple, spec.n_early, spec.n_edges,
               cycle_time(rrg).tau);
 
-  OptOptions options;
-  options.epsilon = 0.05;
+  flow::EngineOptions options;
+  options.opt.epsilon = 0.05;
   // Default budget keeps the walk to ~2 minutes on s526; raise the third
   // argument for tighter frontiers (the paper ran CPLEX for 20 minutes
   // per MILP).
-  options.milp.time_limit_s = argc > 3 ? std::atof(argv[3]) : 4.0;
+  options.opt.milp.time_limit_s = argc > 3 ? std::atof(argv[3]) : 4.0;
+  options.sim.measure_cycles = 20000;
+  options.sim_threads = 0;  // all cores
 
-  for (const bool early : {false, true}) {
-    OptOptions mode = options;
-    mode.treat_all_simple = !early;
-    std::printf("\n== %s evaluation ==\n", early ? "early" : "late");
-    const MinEffCycResult result = min_eff_cyc(rrg, mode);
+  // One engine on the real circuit: the early walk streams through
+  // run(); the late walk (optimizing the all-simple relaxation) scores
+  // its configurations on the *original* graph -- early nodes intact --
+  // through score(), so Th_sim answers "what would this late-derived
+  // configuration actually do here". Both share the engine's fleet and
+  // its session cache (overlapping frontiers simulate once).
+  flow::Engine engine(rrg, options);
+
+  const auto print_scored = [&](const std::vector<flow::ScoredPoint>& scored,
+                                std::size_t best_index) {
     std::printf("%4s %9s %9s %9s %9s %7s\n", "#", "tau", "Th_lp", "Th_sim",
                 "xi_sim", "best");
-    sim::SimOptions sopt;
-    sopt.measure_cycles = 20000;
-    // One fleet scores every Pareto point of this walk (0 = all cores);
-    // the configured RRGs must outlive drain(). Walks can revisit a
-    // configuration (late/early frontiers overlapping, budget-hit MILPs
-    // returning the incumbent): the fleet simulates identical candidates
-    // once and fans the scores out.
-    std::vector<Rrg> configured;
-    configured.reserve(result.points.size());
-    sim::SimFleet fleet(0);
-    for (const ParetoPoint& p : result.points) {
-      configured.push_back(apply_config(rrg, p.config));
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      const flow::ScoredPoint& s = scored[i];
+      std::printf("%4zu %9.2f %9.4f %9.4f %9.2f %7s%s\n", i, s.point.tau,
+                  s.point.theta_lp, s.sim.theta, s.xi_sim,
+                  i == best_index ? "<==" : "",
+                  s.point.exact ? "" : " (budget)");
     }
-    for (const Rrg& candidate : configured) fleet.submit(candidate, sopt);
-    const std::vector<sim::SimReport> sims = fleet.drain();
-    if (fleet.last_unique_jobs() != sims.size()) {
-      std::printf("(%zu candidates -> %zu unique simulations after dedup)\n",
-                  sims.size(), fleet.last_unique_jobs());
-    }
-    for (std::size_t i = 0; i < result.points.size(); ++i) {
-      const ParetoPoint& p = result.points[i];
-      const double theta = sims[i].theta;
-      std::printf("%4zu %9.2f %9.4f %9.4f %9.2f %7s%s\n", i, p.tau,
-                  p.theta_lp, theta, p.tau / theta,
-                  i == result.best_index ? "<==" : "",
-                  p.exact ? "" : " (budget)");
-    }
+  };
+
+  {
+    std::printf("\n== late evaluation ==\n");
+    OptOptions late = options.opt;
+    late.treat_all_simple = true;
+    const MinEffCycResult walk = min_eff_cyc(rrg, late);
+    print_scored(engine.score(walk.points), walk.best_index);
     std::printf("best xi_lp = %.2f after %d MILP calls in %.1fs%s\n",
-                result.best().xi_lp, result.milp_calls, result.seconds,
-                result.all_exact ? "" : " (some budgets hit)");
+                walk.best().xi_lp, walk.milp_calls, walk.seconds,
+                walk.all_exact ? "" : " (some budgets hit)");
+  }
+
+  {
+    std::printf("\n== early evaluation ==\n");
+    const flow::EngineResult result = engine.run();
+    if (result.candidates_submitted != result.unique_simulations) {
+      std::printf("(%zu candidates -> %zu unique simulations after dedup)\n",
+                  result.candidates_submitted, result.unique_simulations);
+    }
+    print_scored(result.scored, result.walk.best_index);
+    std::printf("best xi_lp = %.2f after %d MILP calls in %.1fs%s\n",
+                result.walk.best().xi_lp, result.walk.milp_calls,
+                result.walk.seconds,
+                result.walk.all_exact ? "" : " (some budgets hit)");
+    std::printf("pipeline: walk %.1fs, residual sim wait %.1fs "
+                "(wall %.1fs)\n",
+                result.walk_seconds, result.sim_wait_seconds, result.seconds);
   }
   return 0;
 }

@@ -247,14 +247,6 @@ RrModel build_rr_model(const Rrg& rrg, Objective objective, double x_fixed,
   return rr;
 }
 
-Rrg as_all_simple(const Rrg& rrg) {
-  Rrg out = rrg;
-  for (NodeId n = 0; n < out.num_nodes(); ++n) {
-    out.set_kind(n, NodeKind::kSimple);
-  }
-  return out;
-}
-
 RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
                        double tau_fixed, double x_upper,
                        const OptOptions& options) {
@@ -309,6 +301,14 @@ RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
 }
 
 }  // namespace
+
+Rrg as_all_simple(const Rrg& rrg) {
+  Rrg out = rrg;
+  for (NodeId n = 0; n < out.num_nodes(); ++n) {
+    out.set_kind(n, NodeKind::kSimple);
+  }
+  return out;
+}
 
 std::vector<int> recover_retiming(const Rrg& rrg,
                                   const std::vector<int>& buffers) {
@@ -453,83 +453,125 @@ std::vector<std::size_t> MinEffCycResult::k_best(std::size_t k) const {
   return order;
 }
 
-MinEffCycResult min_eff_cyc(const Rrg& input, const OptOptions& options) {
-  Stopwatch watch;
-  const Rrg rrg =
-      options.treat_all_simple ? as_all_simple(input) : input;
-  rrg.validate();
+ParetoWalk::ParetoWalk(const Rrg& input, const OptOptions& options)
+    : rrg_(options.treat_all_simple ? as_all_simple(input) : input),
+      options_(options) {
+  rrg_.validate();
+  // From here on options_ carries the rewrite already applied.
+  options_.treat_all_simple = false;
+  ELRR_REQUIRE(options_.epsilon > 0.0, "epsilon must be positive");
+  // Telescopic nodes cap the achievable throughput below 1; the walk
+  // terminates at the cap instead of Theta = 1.
+  cap_ = throughput_cap(rrg_);
+  max_iters_ = static_cast<int>(std::ceil(1.0 / options_.epsilon)) + 4;
+}
 
-  // From here on use a local options copy with the rewrite already done.
-  OptOptions local = options;
-  local.treat_all_simple = false;
+ParetoPoint ParetoWalk::record(const RcSolveResult& solve) {
+  all_exact_ &= solve.exact;
+  ParetoPoint point;
+  point.config = solve.config;
+  point.exact = solve.exact;
+  const RcEvaluation eval = evaluate_config(rrg_, solve.config);
+  point.tau = eval.tau;
+  point.theta_lp = eval.theta_lp;
+  point.xi_lp = eval.xi_lp;
+  // Deduplicate identical configurations (the walk revisits them when a
+  // step lands on the previous incumbent); the emitted point is returned
+  // either way so streaming callers see every step.
+  for (const ParetoPoint& existing : points_) {
+    if (existing.config == point.config) return point;
+  }
+  points_.push_back(point);
+  return point;
+}
 
-  MinEffCycResult result;
-  const auto record = [&](const RcSolveResult& solve) {
-    result.all_exact &= solve.exact;
-    ParetoPoint point;
-    point.config = solve.config;
-    point.exact = solve.exact;
-    const RcEvaluation eval = evaluate_config(rrg, solve.config);
-    point.tau = eval.tau;
-    point.theta_lp = eval.theta_lp;
-    point.xi_lp = eval.xi_lp;
-    // Deduplicate identical configurations.
-    for (const ParetoPoint& existing : result.points) {
-      if (existing.config == point.config) return point;
-    }
-    result.points.push_back(point);
-    return point;
-  };
+void ParetoWalk::set_xi_hint(double xi_observed) {
+  xi_hint_ =
+      std::isfinite(xi_observed) && xi_observed > 0.0 ? xi_observed : 0.0;
+}
 
-  // The identity configuration is itself a valid RC; recording it
-  // guarantees the result is never worse than doing nothing even when
-  // every MILP budget is exhausted (and it is the natural Theta = 1
-  // endpoint the paper's walk finishes on).
-  {
+std::optional<ParetoPoint> ParetoWalk::advance() {
+  if (state_ == State::kIdentity) {
+    // The identity configuration is itself a valid RC; recording it
+    // guarantees the result is never worse than doing nothing even when
+    // every MILP budget is exhausted (and it is the natural Theta = 1
+    // endpoint the paper's walk finishes on).
+    state_ = State::kFirstMaxThr;
     RcSolveResult identity;
     identity.feasible = true;
     identity.exact = true;
-    identity.config = initial_config(rrg);
-    record(identity);
+    identity.config = initial_config(rrg_);
+    return record(identity);
   }
-
-  // tau = beta_max; RC = MAX_THR(tau).
-  RcSolveResult first = max_thr(rrg, rrg.max_delay(), local);
-  ++result.milp_calls;
-  ELRR_ASSERT(first.feasible, "MAX_THR(beta_max) must be feasible");
-  ParetoPoint last = record(first);
-
-  const double eps = options.epsilon;
-  ELRR_REQUIRE(eps > 0.0, "epsilon must be positive");
-  // Telescopic nodes cap the achievable throughput below 1; the walk
-  // terminates at the cap instead of Theta = 1.
-  const double cap = throughput_cap(rrg);
-  double target = 0.0;
-  const int max_iters = static_cast<int>(std::ceil(1.0 / eps)) + 4;
-  for (int iter = 0; iter < max_iters && last.theta_lp < cap - 1e-9;
-       ++iter) {
-    // Theta = Theta_lp(RC) + eps, monotonically increasing so the walk
-    // always terminates even when a step lands on the same configuration.
-    target = std::min(cap, std::max(last.theta_lp + eps, target + eps));
-    const RcSolveResult mc = min_cyc(rrg, 1.0 / target, local);
-    ++result.milp_calls;
-    if (!mc.feasible) {
-      result.all_exact = false;
+  if (state_ == State::kFirstMaxThr) {
+    // tau = beta_max; RC = MAX_THR(tau).
+    state_ = State::kStep;
+    const RcSolveResult first = max_thr(rrg_, rrg_.max_delay(), options_);
+    ++milp_calls_;
+    ELRR_ASSERT(first.feasible, "MAX_THR(beta_max) must be feasible");
+    last_ = record(first);
+    return last_;
+  }
+  while (state_ == State::kStep) {
+    if (iter_ >= max_iters_ || last_.theta_lp >= cap_ - 1e-9) {
+      state_ = State::kDone;
       break;
     }
-    if (options.polish) {
-      const double tau_next = evaluate_config(rrg, mc.config).tau;
-      const RcSolveResult mt = max_thr(rrg, tau_next, local);
-      ++result.milp_calls;
+    ++iter_;
+    // Theta = Theta_lp(RC) + eps, monotonically increasing so the walk
+    // always terminates even when a step lands on the same configuration.
+    target_ = std::min(
+        cap_, std::max(last_.theta_lp + options_.epsilon,
+                       target_ + options_.epsilon));
+    OptOptions step = options_;
+    if (xi_hint_ > 0.0) {
+      // Feedback pruning: only a configuration with tau <= xi * theta can
+      // beat an observed effective cycle time xi at this step's theta
+      // target. An incumbent that good ends the branch & bound early
+      // (target_obj); a proof that none exists makes the step futile
+      // (futile_bound) and the walk moves on to the next target. Same
+      // cutoff discipline as max_thr's decision probes.
+      const double beat = xi_hint_ * target_;
+      step.milp.target_obj = beat + 1e-9;
+      step.milp.futile_bound = beat + 1e-7;
+    }
+    const RcSolveResult mc = min_cyc(rrg_, 1.0 / target_, step);
+    ++milp_calls_;
+    if (!mc.feasible) {
+      if (xi_hint_ > 0.0 && mc.exact) {
+        // Proven futile against the hint (or genuinely infeasible): the
+        // step is dominated by what the caller already holds; skip it
+        // and keep walking the theta targets.
+        ++pruned_steps_;
+        continue;
+      }
+      all_exact_ = false;
+      state_ = State::kDone;
+      break;
+    }
+    if (options_.polish) {
+      const double tau_next = evaluate_config(rrg_, mc.config).tau;
+      const RcSolveResult mt = max_thr(rrg_, tau_next, options_);
+      ++milp_calls_;
       if (!mt.feasible) {
-        result.all_exact = false;
+        all_exact_ = false;
+        state_ = State::kDone;
         break;
       }
-      last = record(mt);
+      last_ = record(mt);
     } else {
-      last = record(mc);
+      last_ = record(mc);
     }
+    return last_;
   }
+  return std::nullopt;
+}
+
+MinEffCycResult ParetoWalk::finish() const {
+  MinEffCycResult result;
+  result.points = points_;
+  result.milp_calls = milp_calls_;
+  result.all_exact = all_exact_;
 
   // Keep only non-dominated points (Definition 4.1), sorted by cycle time.
   std::sort(result.points.begin(), result.points.end(),
@@ -553,8 +595,17 @@ MinEffCycResult min_eff_cyc(const Rrg& input, const OptOptions& options) {
       result.best_index = i;
     }
   }
-  result.seconds = watch.seconds();
+  result.seconds = watch_.seconds();
   return result;
+}
+
+MinEffCycResult min_eff_cyc(const Rrg& input, const OptOptions& options) {
+  // min_eff_cyc *is* a ParetoWalk replayed to completion -- the walk's
+  // streaming contract (finish() == this function) holds by construction.
+  ParetoWalk walk(input, options);
+  while (walk.advance().has_value()) {
+  }
+  return walk.finish();
 }
 
 }  // namespace elrr

@@ -14,11 +14,13 @@
 /// integral retiming vector is recovered afterwards with Bellman-Ford.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/analysis.hpp"
 #include "core/rrg.hpp"
 #include "lp/milp.hpp"
+#include "support/stopwatch.hpp"
 
 namespace elrr {
 
@@ -75,9 +77,86 @@ struct MinEffCycResult {
   std::vector<std::size_t> k_best(std::size_t k) const;
 };
 
+/// Copy of `rrg` with every node rewritten to simple (late) evaluation --
+/// the xi_nee baseline of Table 2 and the rewrite behind
+/// OptOptions::treat_all_simple (the walk, the flow engine and the
+/// benches must all apply the identical rewrite).
+Rrg as_all_simple(const Rrg& rrg);
+
 /// The MIN_EFF_CYC heuristic (Section 4). Requires a strongly connected,
-/// live RRG.
+/// live RRG. Equivalent to replaying a ParetoWalk to completion.
 MinEffCycResult min_eff_cyc(const Rrg& rrg, const OptOptions& options = {});
+
+/// Resumable, step-wise MIN_EFF_CYC: the same walk min_eff_cyc runs, but
+/// surrendering control after every recorded candidate so callers can act
+/// on configurations *mid-walk* (the pipelined flow engine streams each
+/// one into a simulation fleet while the next MILP solves).
+///
+///   ParetoWalk walk(rrg, options);
+///   while (auto point = walk.advance()) use(*point);
+///   MinEffCycResult result = walk.finish();
+///
+/// Replayed to completion, finish() is bit-identical to min_eff_cyc of
+/// the same (rrg, options) -- min_eff_cyc is implemented as exactly that
+/// replay. advance() may emit a candidate the walk has already visited
+/// (budget-hit MILPs returning the previous incumbent); finish()
+/// deduplicates and Pareto-filters just like min_eff_cyc.
+///
+/// Feedback pruning (off unless a hint is set): set_xi_hint(xi) arms the
+/// next MIN_CYC steps with MILP cutoffs derived from the best effective
+/// cycle time a caller has *observed* (e.g. by simulation): a step whose
+/// proven cycle-time bound cannot beat xi * theta_target is futile and is
+/// skipped instead of solved to optimality, and an incumbent good enough
+/// to beat it stops the branch & bound early. Pruned steps advance the
+/// theta target without recording a candidate. With no hint the walk is
+/// exact and deterministic; with one, frontiers may lose points that
+/// cannot improve on the hint (pruned_steps() reports how many).
+class ParetoWalk {
+ public:
+  ParetoWalk(const Rrg& rrg, const OptOptions& options = {});
+
+  /// Runs the walk up to its next recorded candidate: the identity
+  /// configuration first, then one (budgeted) MILP step per call.
+  /// Returns std::nullopt once the walk is over (then done() is true).
+  std::optional<ParetoPoint> advance();
+  bool done() const { return state_ == State::kDone; }
+
+  /// Arms feedback pruning with the best observed effective cycle time
+  /// (<= 0 or non-finite clears the hint). Takes effect from the next
+  /// advance() on; never affects already-recorded candidates.
+  void set_xi_hint(double xi_observed);
+
+  /// Frontier, best index and bookkeeping over everything recorded so
+  /// far -- the min_eff_cyc result when the walk ran to completion, a
+  /// valid partial result when cancelled mid-walk.
+  MinEffCycResult finish() const;
+
+  int milp_calls() const { return milp_calls_; }
+  /// MIN_CYC steps skipped because the xi hint proved them dominated.
+  int pruned_steps() const { return pruned_steps_; }
+
+ private:
+  enum class State { kIdentity, kFirstMaxThr, kStep, kDone };
+
+  /// Evaluates and stores one solved configuration (deduplicated), and
+  /// tracks the exactness flag -- the record() of min_eff_cyc.
+  ParetoPoint record(const RcSolveResult& solve);
+
+  const Rrg rrg_;          ///< all-simple rewrite already applied
+  OptOptions options_;     ///< treat_all_simple already consumed
+  State state_ = State::kIdentity;
+  std::vector<ParetoPoint> points_;
+  ParetoPoint last_;       ///< walk position (theta monotone driver)
+  double target_ = 0.0;
+  double cap_ = 1.0;
+  double xi_hint_ = 0.0;   ///< 0 = no hint
+  int iter_ = 0;
+  int max_iters_ = 0;
+  int milp_calls_ = 0;
+  int pruned_steps_ = 0;
+  bool all_exact_ = true;
+  Stopwatch watch_;
+};
 
 /// Recovers an integral retiming vector r from integral buffer counts R',
 /// i.e. solves r(v) - r(u) <= R'(e) - R0(e) (feasible whenever R' supports

@@ -1,0 +1,152 @@
+#include "flow/engine.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "core/analysis.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace elrr::flow {
+
+Engine::Engine(const Rrg& rrg, const EngineOptions& options)
+    : base_(options.opt.treat_all_simple ? as_all_simple(rrg) : rrg),
+      options_(options),
+      fleet_(options.sim_threads, options.sim_dedup) {
+  // The rewrite is baked into base_; the walk and apply_config below must
+  // both see the rewritten graph, never re-apply the flag.
+  options_.opt.treat_all_simple = false;
+}
+
+sim::SimTicket Engine::submit_candidate(const ParetoPoint& point) {
+  // Owning submission: the configured candidate moves into the fleet,
+  // which keeps it alive until its simulation completes -- no borrow to
+  // get wrong while the walk races ahead.
+  return fleet_.submit_async(apply_config(base_, point.config), options_.sim);
+}
+
+EngineResult Engine::run() {
+  Stopwatch total;
+  cancel_.store(false, std::memory_order_relaxed);
+  EngineResult result;
+  const std::size_t cache_before = fleet_.async_cache_size();
+  ParetoWalk walk(base_, options_.opt);
+
+  std::vector<ParetoPoint> emitted;        // walk emissions, in order
+  std::vector<sim::SimTicket> tickets;     // aligned with emitted
+  std::vector<bool> folded;                // feedback: already in best_xi
+  double best_xi = 0.0;
+
+  // Feedback pruning: fold every *completed* simulation into the best
+  // observed effective cycle time and hand it to the walk as a MILP
+  // cutoff. Only meaningful when candidates stream mid-walk (overlap);
+  // completed results are free to read (the fleet caches them).
+  const auto poll_feedback = [&] {
+    if (!options_.feedback_pruning) return;
+    bool updated = false;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (folded[i] || !fleet_.poll(tickets[i])) continue;
+      folded[i] = true;
+      const sim::SimReport report = fleet_.wait(tickets[i]);
+      if (report.theta <= 0.0) continue;
+      const double xi = emitted[i].tau / report.theta;
+      if (best_xi == 0.0 || xi < best_xi) {
+        best_xi = xi;
+        updated = true;
+      }
+    }
+    if (updated) walk.set_xi_hint(best_xi);
+  };
+
+  for (;;) {
+    if (cancel_.load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
+    poll_feedback();
+    Stopwatch step;
+    const std::optional<ParetoPoint> point = walk.advance();
+    result.walk_seconds += step.seconds();
+    if (!point.has_value()) break;
+    emitted.push_back(*point);
+    if (options_.overlap) {
+      // The pipeline: this candidate simulates on the fleet's pool while
+      // the next MILP step solves right here.
+      tickets.push_back(submit_candidate(*point));
+      folded.push_back(false);
+    }
+    if (options_.on_candidate) {
+      options_.on_candidate(*point, emitted.size() - 1);
+    }
+  }
+  if (!options_.overlap) {
+    // Sequential baseline: same submissions, issued only after the walk
+    // finished -- the wall-clock difference to overlap is the pipeline.
+    tickets.reserve(emitted.size());
+    for (const ParetoPoint& point : emitted) {
+      tickets.push_back(submit_candidate(point));
+    }
+  }
+
+  result.walk = walk.finish();
+  result.pruned_steps = walk.pruned_steps();
+  result.candidates_submitted = emitted.size();
+
+  // Quiesce: every outstanding ticket -- frontier or dominated --
+  // completes before run() returns, so the fleet is idle and reusable
+  // (also after cancellation).
+  Stopwatch wait_watch;
+  for (const sim::SimTicket ticket : tickets) {
+    (void)fleet_.wait(ticket);
+  }
+  result.sim_wait_seconds = wait_watch.seconds();
+  result.unique_simulations = fleet_.async_cache_size() - cache_before;
+
+  // Score the frontier: every frontier point was emitted (finish() only
+  // filters), so its ticket -- and with it the cached report -- exists.
+  result.scored.reserve(result.walk.points.size());
+  for (const ParetoPoint& point : result.walk.points) {
+    std::size_t index = emitted.size();
+    for (std::size_t i = 0; i < emitted.size(); ++i) {
+      if (emitted[i].config == point.config) {
+        index = i;
+        break;
+      }
+    }
+    ELRR_ASSERT(index < emitted.size(),
+                "frontier point was never emitted by the walk");
+    ScoredPoint scored;
+    scored.point = point;
+    scored.sim = fleet_.wait(tickets[index]);
+    scored.xi_sim = effective_cycle_time(point.tau, scored.sim.theta);
+    result.scored.push_back(std::move(scored));
+  }
+  result.best_sim_index = 0;
+  for (std::size_t i = 1; i < result.scored.size(); ++i) {
+    if (result.scored[i].xi_sim < result.scored[result.best_sim_index].xi_sim) {
+      result.best_sim_index = i;
+    }
+  }
+  result.seconds = total.seconds();
+  return result;
+}
+
+std::vector<ScoredPoint> Engine::score(const std::vector<ParetoPoint>& points) {
+  std::vector<sim::SimTicket> tickets;
+  tickets.reserve(points.size());
+  for (const ParetoPoint& point : points) {
+    tickets.push_back(submit_candidate(point));
+  }
+  std::vector<ScoredPoint> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ScoredPoint scored;
+    scored.point = points[i];
+    scored.sim = fleet_.wait(tickets[i]);
+    scored.xi_sim = effective_cycle_time(points[i].tau, scored.sim.theta);
+    out.push_back(std::move(scored));
+  }
+  return out;
+}
+
+}  // namespace elrr::flow

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file engine.hpp
+/// Pipelined flow engine: runs the MIN_EFF_CYC Pareto walk and the
+/// simulation scoring of its candidates *concurrently*.
+///
+/// The sequential MIN_EFF_CYC flow alternates budgeted MILP solves with
+/// throughput scoring: optimize the whole frontier, then simulate every
+/// candidate. After the SoA kernel and the fleet PRs the simulation side
+/// is fast, but it still waits for the last MILP before the first run
+/// starts -- on multi-candidate workloads the wall clock is
+/// walk + simulation even though the two are independent per candidate.
+///
+/// flow::Engine overlaps them: the walk runs step-wise (core/opt's
+/// resumable ParetoWalk), and every candidate a step emits is streamed
+/// into a sim::SimFleet *asynchronously* (owning submissions -- the
+/// configured Rrg moves into the fleet, no borrow-until-drain hazard)
+/// while the next MILP step solves on the caller's thread. The fleet's
+/// session cache (canonical-key dedup, PR 3) persists across walk
+/// iterations and across Engine::score calls, so revisited
+/// configurations -- a routine artifact of Pareto walks -- are simulated
+/// once per engine, ever.
+///
+/// Determinism: with feedback pruning off (the default), the engine's
+/// Pareto front and every simulated theta are bit-identical to the
+/// sequential path (min_eff_cyc + per-candidate simulate_throughput of
+/// the same options) at *any* fleet thread count -- the walk runs
+/// unmodified on one thread and the fleet's determinism contract pins
+/// the thetas. `overlap = false` degrades gracefully to walk-then-score
+/// (same results; the honest baseline the pipeline benchmarks compare
+/// against).
+///
+/// Feedback pruning (`feedback_pruning = true`, off by default): whenever
+/// a candidate's simulation completes mid-walk, its *measured* effective
+/// cycle time is fed back into the walk as a MILP cutoff
+/// (ParetoWalk::set_xi_hint -> MilpOptions::target_obj/futile_bound):
+/// MIN_CYC steps provably unable to beat the best simulated xi are
+/// pruned instead of solved to optimality. This trades frontier
+/// completeness for time on hard instances -- fronts may lose dominated
+/// points -- which is why it is opt-in. See the data-driven retiming
+/// loop of "Application-aware Retiming of Accelerators" (arXiv:1612.08163)
+/// for the measure-then-reoptimize shape this makes first-class.
+///
+/// Cancellation: request_cancel() (thread-safe, also callable from the
+/// on_candidate observer) stops the walk at the next step boundary;
+/// run() still quiesces the fleet and returns the partial frontier with
+/// `cancelled = true`. The engine and its fleet stay fully reusable.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/opt.hpp"
+#include "core/rrg.hpp"
+#include "sim/fleet.hpp"
+#include "sim/simulator.hpp"
+
+namespace elrr::flow {
+
+struct EngineOptions {
+  /// Walk knobs (epsilon, per-MILP budgets, polish, treat_all_simple).
+  OptOptions opt;
+  /// Per-candidate simulation window (seed, cycles, runs). The
+  /// per-job `threads` field is ignored -- the fleet pool below applies.
+  sim::SimOptions sim;
+  /// Fleet worker-pool size (0 = hardware concurrency). Purely a
+  /// wall-clock knob: results are identical for every value.
+  std::size_t sim_threads = 1;
+  /// Candidate dedup in the fleet's session cache (identical canonical
+  /// content + options simulate once). Results identical either way.
+  bool sim_dedup = true;
+  /// true = stream candidates into the fleet mid-walk (the pipeline);
+  /// false = run the walk to completion first, then score (the
+  /// sequential baseline). Results are identical; only wall clock moves.
+  bool overlap = true;
+  /// Feed completed simulated thetas back into the walk's MILP cutoffs
+  /// (prunes dominated MIN_CYC steps; frontier no longer guaranteed
+  /// complete). Off by default: bit-exact fronts.
+  bool feedback_pruning = false;
+  /// Observer called after each walk step with the emitted candidate and
+  /// its index (in emission order). Runs on the engine's thread; may
+  /// call request_cancel().
+  std::function<void(const ParetoPoint&, std::size_t)> on_candidate;
+};
+
+/// One frontier point with its simulation verdict.
+struct ScoredPoint {
+  ParetoPoint point;
+  sim::SimReport sim;
+  double xi_sim = 0.0;  ///< tau / theta_sim (effective cycle time)
+};
+
+struct EngineResult {
+  /// The walk's result -- identical to min_eff_cyc(rrg, options.opt)
+  /// when feedback pruning is off and the run was not cancelled.
+  MinEffCycResult walk;
+  /// One entry per walk.points entry (same order): the frontier, scored.
+  std::vector<ScoredPoint> scored;
+  /// Index into `scored` of the simulation-best (minimal xi_sim) point.
+  std::size_t best_sim_index = 0;
+  std::size_t candidates_submitted = 0;  ///< walk emissions (pre-dedup)
+  std::size_t unique_simulations = 0;    ///< fleet jobs actually run
+  int pruned_steps = 0;   ///< MIN_CYC steps the feedback hint pruned
+  bool cancelled = false;
+  double walk_seconds = 0.0;      ///< time inside ParetoWalk::advance
+  double sim_wait_seconds = 0.0;  ///< time blocked on the fleet afterwards
+  double seconds = 0.0;           ///< wall clock of run()
+
+  const ScoredPoint& best_by_sim() const { return scored[best_sim_index]; }
+};
+
+/// Pipelined Pareto-walk + scoring engine over one RRG. Reusable: run(),
+/// score() and further run()s share one fleet (and its result cache).
+/// Single-user like the fleet (one thread drives the engine;
+/// request_cancel alone may come from anywhere).
+class Engine {
+ public:
+  explicit Engine(const Rrg& rrg, const EngineOptions& options = {});
+
+  /// Runs the walk, streaming candidates into the fleet (overlap on) or
+  /// scoring them afterwards (overlap off), and returns the scored
+  /// frontier. The fleet is quiesced before returning.
+  EngineResult run();
+
+  /// Scores arbitrary configurations (e.g. a heuristic's Pareto points)
+  /// through the engine's fleet and cache: points already simulated by a
+  /// previous run()/score() -- canonical content + options equal -- cost
+  /// nothing. Returns one ScoredPoint per input, in order.
+  std::vector<ScoredPoint> score(const std::vector<ParetoPoint>& points);
+
+  /// Stops a running walk at the next step boundary (thread-safe).
+  /// Cleared at the start of each run().
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// The underlying fleet (observability: async_cache_size, pool_size;
+  /// reusable after cancellation like after a normal run).
+  sim::SimFleet& fleet() { return fleet_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  sim::SimTicket submit_candidate(const ParetoPoint& point);
+
+  /// Own copy of the input (treat_all_simple already applied): engine
+  /// lifetime never depends on the caller's Rrg staying alive, and
+  /// candidates are configured from exactly the graph the walk solved.
+  const Rrg base_;
+  EngineOptions options_;
+  sim::SimFleet fleet_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace elrr::flow

@@ -1,9 +1,13 @@
 #include "sim/fleet.hpp"
 
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +15,7 @@
 #include "sim/flat_kernel.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 
 namespace elrr::sim {
 
@@ -23,7 +28,7 @@ namespace fleet_detail {
 inline constexpr std::size_t kDefaultLane = 4;
 inline constexpr std::size_t kMaxLane = 16;
 
-/// The slice widths execute_item can step directly (descending). A job's
+/// The slice widths execute_slice can step directly (descending). A job's
 /// runs are packed greedily: the widest allowed width first, remainders
 /// through the narrower ones, so any (runs, lane_cap) pair partitions
 /// into supported widths. The partition is fixed up front per job --
@@ -138,70 +143,90 @@ double run_reference(const Kernel& kernel, const GuardTable& guards,
 }
 
 /// Everything one unique job needs at execution time. Kernels and tables
-/// are built once per unique job and shared read-only by all workers;
-/// per-run theta slots are written by exactly one work item each
-/// (disjoint ranges), so workers never contend.
+/// are built once per unique job (on the submitting thread) and shared
+/// read-only by all workers; per-run theta slots are written by exactly
+/// one work slice each (disjoint ranges), so workers never contend.
+/// The scheduling fields (`remaining`, `failure`) are guarded by the
+/// fleet mutex.
 struct JobContext {
   const Rrg* rrg = nullptr;
   SimOptions options;
   SimPath path = SimPath::kFlat;
   FlatCap fallback = FlatCap::kNone;
   std::size_t lane_cap = 1;  ///< batch width cap this job's slices use
+  std::unique_ptr<Rrg> owned_rrg;  ///< owning submissions (kept alive here)
   std::unique_ptr<FlatKernel> flat_kernel;
   std::unique_ptr<Kernel> ref_kernel;
   std::unique_ptr<GuardTable> guards;
   std::unique_ptr<LatencyTable> latencies;
   std::vector<double> per_run;  ///< run-indexed theta slots
+
+  std::size_t remaining = 0;  ///< slices still to finish (fleet mutex)
+  std::exception_ptr failure;  ///< first slice failure (fleet mutex)
+  /// Async contexts drop their kernels/tables/borrows once complete:
+  /// the session cache keeps only the per_run results (cheap) while the
+  /// heavy execution state is freed as soon as the last slice lands.
+  bool release_on_done = false;
+
+  /// Frees everything execution needed; per_run/path/fallback survive
+  /// for report merging and the session cache.
+  void release_execution_state() {
+    flat_kernel.reset();
+    ref_kernel.reset();
+    guards.reset();
+    latencies.reset();
+    owned_rrg.reset();
+    rrg = nullptr;  // the borrow (if any) ends with the job
+  }
 };
 
 /// One queue entry: a contiguous slice of one unique job's runs, at most
 /// lane_cap wide. Slices are fixed up front (greedy width partition per
 /// job), so the partition -- and with it every run's lane assignment --
 /// is independent of worker scheduling.
-struct WorkItem {
-  std::uint32_t job = 0;  ///< index into the unique-job context array
+struct QueueEntry {
+  JobContext* ctx = nullptr;
   std::uint32_t first = 0;
   std::uint32_t count = 0;
 };
 
-void execute_item(JobContext& ctx, const WorkItem& item) {
-  double* const thetas = ctx.per_run.data() + item.first;
+void execute_slice(JobContext& ctx, std::uint32_t first, std::uint32_t count) {
+  double* const thetas = ctx.per_run.data() + first;
   if (ctx.path != SimPath::kFlat) {
-    for (std::uint32_t r = 0; r < item.count; ++r) {
+    for (std::uint32_t r = 0; r < count; ++r) {
       thetas[r] = run_reference(*ctx.ref_kernel, *ctx.guards, *ctx.latencies,
-                                run_seed(ctx.options.seed, item.first + r),
+                                run_seed(ctx.options.seed, first + r),
                                 ctx.options);
     }
     return;
   }
-  switch (item.count) {
+  switch (count) {
     case 1:
       thetas[0] = run_flat(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                           run_seed(ctx.options.seed, item.first),
-                           ctx.options);
+                           run_seed(ctx.options.seed, first), ctx.options);
       break;
     case 2:
       run_flat_batch<2>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                        ctx.options.seed, item.first, ctx.options, thetas);
+                        ctx.options.seed, first, ctx.options, thetas);
       break;
     case 3:
       run_flat_batch<3>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                        ctx.options.seed, item.first, ctx.options, thetas);
+                        ctx.options.seed, first, ctx.options, thetas);
       break;
     case 4:
       run_flat_batch<4>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                        ctx.options.seed, item.first, ctx.options, thetas);
+                        ctx.options.seed, first, ctx.options, thetas);
       break;
     case 8:
       run_flat_batch<8>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                        ctx.options.seed, item.first, ctx.options, thetas);
+                        ctx.options.seed, first, ctx.options, thetas);
       break;
     case 16:
       run_flat_batch<16>(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
-                         ctx.options.seed, item.first, ctx.options, thetas);
+                         ctx.options.seed, first, ctx.options, thetas);
       break;
     default:
-      ELRR_ASSERT(false, "unsupported lane width ", item.count);
+      ELRR_ASSERT(false, "unsupported lane width ", count);
   }
 }
 
@@ -252,12 +277,89 @@ std::string canonical_key(const Rrg& rrg, const SimOptions& options) {
   return key;
 }
 
+/// Classifies the execution path and builds kernels, chooser tables,
+/// result slots and the slice partition for one unique job. Runs on the
+/// submitting thread (sync and async alike).
+void build_context(JobContext& ctx, std::vector<QueueEntry>* entries) {
+  ctx.fallback = ctx.options.force_reference
+                     ? FlatCap::kNone
+                     : FlatKernel::unsupported_reason(*ctx.rrg);
+  if (ctx.options.force_reference) {
+    ctx.path = SimPath::kReferenceForced;
+  } else if (ctx.fallback != FlatCap::kNone) {
+    ctx.path = SimPath::kReference;
+  } else {
+    ctx.path = SimPath::kFlat;
+  }
+  if (ctx.path == SimPath::kFlat) {
+    ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
+    ctx.lane_cap = ctx.options.max_batch == 0
+                       ? kDefaultLane
+                       : std::min(ctx.options.max_batch, kMaxLane);
+  } else {
+    ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
+    ctx.lane_cap = 1;
+  }
+  ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
+  ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
+  ctx.per_run.assign(ctx.options.runs, 0.0);
+  for (std::size_t first = 0; first < ctx.options.runs;) {
+    const std::size_t width =
+        next_slice_width(ctx.lane_cap, ctx.options.runs - first);
+    entries->push_back(QueueEntry{&ctx, static_cast<std::uint32_t>(first),
+                                  static_cast<std::uint32_t>(width)});
+    first += width;
+  }
+  ctx.remaining = entries->size();  // sized by the caller per context
+}
+
+/// Merges one unique job's per-run thetas in run order -- neither the
+/// queue interleaving, the pool size nor dedup can reach this reduction.
+SimReport report_for(const JobContext& ctx) {
+  RunningStats across_runs;
+  for (const double theta : ctx.per_run) across_runs.add(theta);
+  SimReport report;
+  report.theta = across_runs.mean();
+  report.stderr_theta = across_runs.stderr_mean();
+  report.cycles = ctx.options.runs * ctx.options.measure_cycles;
+  report.path = ctx.path;
+  report.fallback = ctx.fallback;
+  return report;
+}
+
 }  // namespace
+
+/// Pool, queue and async-session state. Workers and the user thread meet
+/// only here, under `mutex`:
+///  * `queue` holds unclaimed slices; workers pop front, execute
+///    unlocked, then decrement their context's `remaining` under the
+///    lock and signal `cv_done` when a job finishes;
+///  * drain() and the async waiters block on `cv_done` until the
+///    contexts they care about hit remaining == 0 -- a claimed slice
+///    therefore keeps its context storage alive until its completion is
+///    visible under the mutex;
+///  * the async session (`contexts`, `seen`, `tickets`) persists for the
+///    fleet's lifetime: it is the cross-iteration result cache.
+struct FleetCore {
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> pool;
+  bool stop = false;
+  std::deque<QueueEntry> queue;
+
+  // Async session (user thread builds, workers only read ctx pointers).
+  std::vector<std::unique_ptr<JobContext>> contexts;
+  std::unordered_map<std::string, std::size_t> seen;  ///< canonical -> ctx
+  std::vector<JobContext*> tickets;  ///< ticket id -> context
+  std::size_t reported = 0;          ///< tickets consumed by wait_all
+};
 
 }  // namespace fleet_detail
 
+using fleet_detail::FleetCore;
 using fleet_detail::JobContext;
-using fleet_detail::WorkItem;
+using fleet_detail::QueueEntry;
 
 std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
                                  std::size_t work_items) {
@@ -268,6 +370,31 @@ std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
   return std::min(workers, std::max<std::size_t>(work_items, 1));
 }
 
+SimFleet::SimFleet(std::size_t threads, bool dedup)
+    : threads_(threads), dedup_(dedup), core_(std::make_unique<FleetCore>()) {}
+
+SimFleet::~SimFleet() {
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    core_->stop = true;
+    // Pending queue entries are abandoned (their contexts die with the
+    // fleet); a slice a worker already claimed finishes first -- join
+    // below cannot return before the worker's loop exits.
+    core_->queue.clear();
+  }
+  core_->cv_work.notify_all();
+  for (std::thread& worker : core_->pool) worker.join();
+}
+
+std::size_t SimFleet::pool_size() const { return core_->pool.size(); }
+
+std::size_t SimFleet::hardware_concurrency_cached() {
+  if (hardware_ == static_cast<std::size_t>(-1)) {
+    hardware_ = std::thread::hardware_concurrency();
+  }
+  return hardware_;
+}
+
 std::size_t SimFleet::submit(const Rrg& rrg, const SimOptions& options) {
   ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
   ELRR_REQUIRE(options.runs > 0, "need at least one run");
@@ -275,52 +402,49 @@ std::size_t SimFleet::submit(const Rrg& rrg, const SimOptions& options) {
   return jobs_.size() - 1;
 }
 
-SimFleet::~SimFleet() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (std::thread& worker : pool_) worker.join();
+std::size_t SimFleet::submit(Rrg&& rrg, const SimOptions& options) {
+  ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
+  ELRR_REQUIRE(options.runs > 0, "need at least one run");
+  sync_owned_.push_back(std::make_unique<Rrg>(std::move(rrg)));
+  jobs_.push_back(Job{sync_owned_.back().get(), options});
+  return jobs_.size() - 1;
 }
 
 void SimFleet::ensure_pool(std::size_t workers) {
-  while (pool_.size() < workers) {
-    pool_.emplace_back([this] { worker_main(); });
+  while (core_->pool.size() < workers) {
+    core_->pool.emplace_back([this] { worker_main(); });
   }
 }
 
 void SimFleet::worker_main() {
-  std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  FleetCore& core = *core_;
+  std::unique_lock<std::mutex> lock(core.mutex);
   for (;;) {
-    cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
-    if (stop_) return;
-    seen = epoch_;
-    // Copy the batch descriptor: stragglers must never read the fleet's
-    // batch fields after drain() moved on to a later epoch.
-    const WorkItem* const items = batch_items_;
-    JobContext* const contexts = batch_contexts_;
-    const std::size_t total = batch_total_;
-    // The epoch guard keeps a worker that finished this batch from
-    // claiming against a *later* drain's counters with this batch's
-    // stale descriptor.
-    while (epoch_ == seen && batch_next_ < total) {
-      const std::size_t i = batch_next_++;
-      const bool skip = failure_ != nullptr;
-      lock.unlock();
-      // A claimed item keeps its batch storage alive: drain() cannot
-      // return before every claimed item is counted completed.
-      if (!skip) {
-        try {
-          execute_item(contexts[items[i].job], items[i]);
-        } catch (...) {
-          const std::lock_guard<std::mutex> guard(mutex_);
-          if (!failure_) failure_ = std::current_exception();
-        }
+    core.cv_work.wait(lock, [&] { return core.stop || !core.queue.empty(); });
+    if (core.stop) return;
+    const QueueEntry entry = core.queue.front();
+    core.queue.pop_front();
+    JobContext& ctx = *entry.ctx;
+    // A sibling slice already failed: skip the work, still complete the
+    // slice so waiters (which rethrow the failure) unblock.
+    const bool skip = ctx.failure != nullptr;
+    lock.unlock();
+    // A claimed slice keeps its context storage alive: every waiter
+    // (drain, wait, wait_all) blocks until remaining == 0, which this
+    // slice only signals after execution finished.
+    std::exception_ptr failure;
+    if (!skip) {
+      try {
+        fleet_detail::execute_slice(ctx, entry.first, entry.count);
+      } catch (...) {
+        failure = std::current_exception();
       }
-      lock.lock();
-      if (++batch_completed_ == total) cv_done_.notify_all();
+    }
+    lock.lock();
+    if (failure && !ctx.failure) ctx.failure = failure;
+    if (--ctx.remaining == 0) {
+      if (ctx.release_on_done) ctx.release_execution_state();
+      core.cv_done.notify_all();
     }
   }
 }
@@ -329,9 +453,14 @@ std::vector<SimReport> SimFleet::drain() {
   if (jobs_.empty()) return {};
   // The queue empties no matter how this drain ends (success, a job
   // exception on either the inline or the pooled path, a context-build
-  // throw): a failed drain never leaks its jobs into the next one.
+  // throw): a failed drain never leaks its jobs into the next one. The
+  // owned candidates of this drain die with it too (after execution).
   const std::vector<Job> jobs = std::move(jobs_);
   jobs_.clear();
+  struct OwnedGuard {
+    std::vector<std::unique_ptr<Rrg>>* owned;
+    ~OwnedGuard() { owned->clear(); }
+  } owned_guard{&sync_owned_};
 
   // Deduplicate: jobs whose canonical (rrg content, options) key matches
   // an earlier submission share that submission's context -- one
@@ -341,8 +470,7 @@ std::vector<SimReport> SimFleet::drain() {
   // clamps (1 = solo stepping); reference-path jobs go run by run (the
   // reference kernel has no batched stepper).
   std::vector<std::size_t> group(jobs.size());
-  std::vector<JobContext> contexts;
-  contexts.reserve(jobs.size());
+  std::deque<JobContext> contexts;  // stable addresses for queue entries
   {
     std::unordered_map<std::string, std::size_t> seen;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -363,40 +491,11 @@ std::vector<SimReport> SimFleet::drain() {
   }
   last_unique_ = contexts.size();
 
-  std::vector<WorkItem> items;
-  for (std::size_t u = 0; u < contexts.size(); ++u) {
-    JobContext& ctx = contexts[u];
-    ctx.fallback = ctx.options.force_reference
-                       ? FlatCap::kNone
-                       : FlatKernel::unsupported_reason(*ctx.rrg);
-    if (ctx.options.force_reference) {
-      ctx.path = SimPath::kReferenceForced;
-    } else if (ctx.fallback != FlatCap::kNone) {
-      ctx.path = SimPath::kReference;
-    } else {
-      ctx.path = SimPath::kFlat;
-    }
-    if (ctx.path == SimPath::kFlat) {
-      ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
-      ctx.lane_cap = ctx.options.max_batch == 0
-                         ? fleet_detail::kDefaultLane
-                         : std::min(ctx.options.max_batch,
-                                    fleet_detail::kMaxLane);
-    } else {
-      ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
-      ctx.lane_cap = 1;
-    }
-    ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
-    ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
-    ctx.per_run.assign(ctx.options.runs, 0.0);
-    for (std::size_t first = 0; first < ctx.options.runs;) {
-      const std::size_t width = fleet_detail::next_slice_width(
-          ctx.lane_cap, ctx.options.runs - first);
-      items.push_back(WorkItem{static_cast<std::uint32_t>(u),
-                               static_cast<std::uint32_t>(first),
-                               static_cast<std::uint32_t>(width)});
-      first += width;
-    }
+  std::vector<QueueEntry> entries;
+  for (JobContext& ctx : contexts) {
+    std::vector<QueueEntry> slices;
+    fleet_detail::build_context(ctx, &slices);
+    entries.insert(entries.end(), slices.begin(), slices.end());
   }
 
   // An explicit thread request never consults hardware_concurrency():
@@ -405,29 +504,31 @@ std::vector<SimReport> SimFleet::drain() {
   const std::size_t hardware =
       threads_ == 0 ? std::thread::hardware_concurrency() : 0;
   const std::size_t workers =
-      resolve_worker_count(threads_, hardware, items.size());
+      resolve_worker_count(threads_, hardware, entries.size());
   last_workers_ = workers;
   if (workers <= 1) {
-    for (const WorkItem& item : items) {
-      fleet_detail::execute_item(contexts[item.job], item);
+    for (const QueueEntry& entry : entries) {
+      fleet_detail::execute_slice(*entry.ctx, entry.first, entry.count);
     }
   } else {
     ensure_pool(workers);
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_items_ = items.data();
-    batch_contexts_ = contexts.data();
-    batch_total_ = items.size();
-    batch_next_ = 0;
-    batch_completed_ = 0;
-    failure_ = nullptr;
-    ++epoch_;
-    cv_work_.notify_all();
-    cv_done_.wait(lock, [&] { return batch_completed_ == batch_total_; });
-    if (failure_) {
-      const std::exception_ptr failure = failure_;
-      failure_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(failure);
+    {
+      std::unique_lock<std::mutex> lock(core_->mutex);
+      for (const QueueEntry& entry : entries) {
+        core_->queue.push_back(entry);
+      }
+      core_->cv_work.notify_all();
+      core_->cv_done.wait(lock, [&] {
+        for (const JobContext& ctx : contexts) {
+          if (ctx.remaining != 0) return false;
+        }
+        return true;
+      });
+    }
+    // Rethrow the first failure in context (submission) order --
+    // deterministic regardless of which worker hit it first.
+    for (JobContext& ctx : contexts) {
+      if (ctx.failure) std::rethrow_exception(ctx.failure);
     }
   }
 
@@ -437,18 +538,131 @@ std::vector<SimReport> SimFleet::drain() {
   std::vector<SimReport> reports;
   reports.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const JobContext& ctx = contexts[group[j]];
-    RunningStats across_runs;
-    for (const double theta : ctx.per_run) across_runs.add(theta);
-    SimReport report;
-    report.theta = across_runs.mean();
-    report.stderr_theta = across_runs.stderr_mean();
-    report.cycles = ctx.options.runs * ctx.options.measure_cycles;
-    report.path = ctx.path;
-    report.fallback = ctx.fallback;
-    reports.push_back(report);
+    reports.push_back(fleet_detail::report_for(contexts[group[j]]));
   }
   return reports;
+}
+
+SimTicket SimFleet::submit_async(const Rrg& rrg, const SimOptions& options) {
+  return enqueue_async(&rrg, options, nullptr);
+}
+
+SimTicket SimFleet::submit_async(Rrg&& rrg, const SimOptions& options) {
+  auto owned = std::make_unique<Rrg>(std::move(rrg));
+  const Rrg* ptr = owned.get();
+  return enqueue_async(ptr, options, std::move(owned));
+}
+
+SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
+                                  std::unique_ptr<Rrg> owned) {
+  ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
+  ELRR_REQUIRE(options.runs > 0, "need at least one run");
+  FleetCore& core = *core_;
+
+  // Session cache hit: an identical candidate was already submitted
+  // (possibly iterations ago, possibly already finished) -- the new
+  // ticket simply aliases its context. No new work enters the queue.
+  std::string key;
+  if (dedup_) {
+    key = fleet_detail::canonical_key(*rrg, options);
+    const auto it = core.seen.find(key);
+    if (it != core.seen.end()) {
+      const SimTicket ticket{core.tickets.size()};
+      core.tickets.push_back(core.contexts[it->second].get());
+      return ticket;
+    }
+  }
+
+  auto fresh = std::make_unique<JobContext>();
+  fresh->rrg = rrg;
+  fresh->options = options;
+  fresh->owned_rrg = std::move(owned);
+  fresh->release_on_done = true;
+  std::vector<QueueEntry> slices;
+  fleet_detail::build_context(*fresh, &slices);
+
+  if (dedup_) core.seen.emplace(std::move(key), core.contexts.size());
+  const SimTicket ticket{core.tickets.size()};
+  core.tickets.push_back(fresh.get());
+  core.contexts.push_back(std::move(fresh));
+
+  std::size_t backlog = 0;
+  {
+    const std::lock_guard<std::mutex> lock(core.mutex);
+    for (const QueueEntry& slice : slices) core.queue.push_back(slice);
+    backlog = core.queue.size();
+  }
+  // Async work always runs on the pool (that is the point: the caller's
+  // thread keeps optimizing); grow it to cover the queued backlog up to
+  // the configured width. 0 = hardware concurrency, queried once.
+  ensure_pool(resolve_worker_count(
+      threads_, threads_ == 0 ? hardware_concurrency_cached() : 0, backlog));
+  core.cv_work.notify_all();
+  return ticket;
+}
+
+bool SimFleet::poll(SimTicket ticket) const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  ELRR_REQUIRE(ticket.valid() && ticket.id < core.tickets.size(),
+               "invalid simulation ticket");
+  return core.tickets[ticket.id]->remaining == 0;
+}
+
+SimReport SimFleet::wait(SimTicket ticket) {
+  FleetCore& core = *core_;
+  std::unique_lock<std::mutex> lock(core.mutex);
+  ELRR_REQUIRE(ticket.valid() && ticket.id < core.tickets.size(),
+               "invalid simulation ticket");
+  JobContext& ctx = *core.tickets[ticket.id];
+  core.cv_done.wait(lock, [&] { return ctx.remaining == 0; });
+  if (ctx.failure) std::rethrow_exception(ctx.failure);
+  return fleet_detail::report_for(ctx);
+}
+
+std::vector<SimReport> SimFleet::wait_all() {
+  FleetCore& core = *core_;
+  std::unique_lock<std::mutex> lock(core.mutex);
+  core.cv_done.wait(lock, [&] {
+    for (const auto& ctx : core.contexts) {
+      if (ctx->remaining != 0) return false;
+    }
+    return true;
+  });
+  // The wave is consumed whether it succeeded or not: a failed ticket
+  // rethrows (first in ticket order, deterministically) but never wedges
+  // later wait_all() calls -- `reported` advances past the wave first,
+  // and individual results stay retrievable through wait(ticket).
+  std::vector<SimReport> reports;
+  reports.reserve(core.tickets.size() - core.reported);
+  std::exception_ptr failure;
+  for (std::size_t t = core.reported; t < core.tickets.size(); ++t) {
+    const JobContext& ctx = *core.tickets[t];
+    if (ctx.failure) {
+      if (!failure) failure = ctx.failure;
+      continue;
+    }
+    reports.push_back(fleet_detail::report_for(ctx));
+  }
+  core.reported = core.tickets.size();
+  if (failure) std::rethrow_exception(failure);
+  return reports;
+}
+
+std::size_t SimFleet::async_pending() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  std::size_t pending = 0;
+  for (const auto& ctx : core.contexts) {
+    if (ctx->remaining != 0) ++pending;
+  }
+  return pending;
+}
+
+std::size_t SimFleet::async_cache_size() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  return core.contexts.size();
 }
 
 }  // namespace elrr::sim

@@ -16,29 +16,57 @@
 /// FlatKernel::step_batch (telescopic candidates included), and drains
 /// work items from *different* candidates concurrently across the pool.
 ///
+/// Two usage styles share the pool and the optimizations:
+///
+///  * **Synchronous** (`submit` + `drain`): enqueue every candidate, then
+///    drain(); results come back in submission order and the fleet is
+///    reusable. The calling thread participates (and runs everything
+///    inline when one worker suffices).
+///
+///  * **Asynchronous** (`submit_async` + `poll`/`wait`/`wait_all`): each
+///    submission is dispatched to the background pool *immediately* and
+///    returns a SimTicket; the caller keeps working -- the pipelined flow
+///    engine (flow/engine.hpp) submits each Pareto candidate while the
+///    next MILP step solves. Async submissions feed a session-persistent
+///    result cache: a candidate with identical canonical content +
+///    options to any earlier async submission (this drain, a previous
+///    walk iteration, a previous wait_all) reuses the finished result
+///    instead of re-simulating.
+///
+/// Ownership: `submit(const Rrg&)` / `submit_async(const Rrg&)` borrow
+/// the candidate -- it must stay alive and structurally unchanged until
+/// drain() returns / the ticket completes. The rvalue overloads
+/// (`submit(Rrg&&)`, `submit_async(Rrg&&)`) move the candidate *into*
+/// the fleet instead, removing the borrow-until-drain lifetime hazard --
+/// the right default for candidates materialized on the fly
+/// (apply_config results of a walk).
+///
 /// Two cross-candidate optimizations ride on the shared queue:
 ///  * duplicate candidates -- identical buffer/retiming assignments, a
 ///    routine artifact of Pareto walks revisiting configurations -- are
 ///    simulated once and their scores fanned back out to every submitted
 ///    duplicate (the determinism contract makes the shared result
 ///    bit-identical to simulating each copy);
-///  * the worker pool persists across drain() calls (workers park on a
-///    condition variable between drains), so a flow that drains per walk
-///    iteration stops paying thread spawn/join per drain.
+///  * the worker pool persists across drain() calls and async sessions
+///    (workers park on a condition variable in between), so a flow that
+///    drains per walk iteration stops paying thread spawn/join per drain.
 ///
 /// Determinism contract (same as the PR-1 driver, fleet-wide): each job's
 /// result depends only on (rrg, options.seed, options.runs,
 /// options.*_cycles). Every run draws from its own splitmix64-derived
 /// per-node streams, per-run theta lands in a run-indexed slot, and each
 /// job's moments accumulate in run order -- so the thread count, the lane
-/// packing (options.max_batch), dedup on/off and the submission
-/// interleaving can never change a reported theta. A fleet job is
-/// bit-identical to simulate_throughput of the same (rrg, options).
+/// packing (options.max_batch), dedup on/off, sync vs async submission
+/// and the submission interleaving can never change a reported theta. A
+/// fleet job is bit-identical to simulate_throughput of the same
+/// (rrg, options).
+///
+/// Threading: workers are internal; the fleet's own API is single-user
+/// (all submit/drain/poll/wait calls from one thread at a time).
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
-#include <thread>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/rrg.hpp"
@@ -47,8 +75,8 @@
 namespace elrr::sim {
 
 namespace fleet_detail {
-struct WorkItem;    // one batch-sized slice of one job's runs (fleet.cpp)
 struct JobContext;  // one unique job's kernels/tables/slots (fleet.cpp)
+struct FleetCore;   // pool + queue + async session state (fleet.cpp)
 }  // namespace fleet_detail
 
 /// The worker count the fleet actually spawns for `requested` threads
@@ -60,38 +88,68 @@ struct JobContext;  // one unique job's kernels/tables/slots (fleet.cpp)
 std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
                                  std::size_t work_items);
 
+/// Handle to one asynchronously submitted job. Tickets stay valid for
+/// the fleet's lifetime (results are cached in the async session), so a
+/// completed job can be waited on -- and re-waited on -- at any time.
+struct SimTicket {
+  static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+  std::size_t id = kInvalid;
+  bool valid() const { return id != kInvalid; }
+};
+
 /// Work-queue scheduler over all submitted simulation jobs.
-///
-/// Usage: submit every candidate, then drain(); results come back in
-/// submission order, and the fleet is reusable (submit/drain again; the
-/// worker pool is kept parked in between). Submitted Rrgs are borrowed --
-/// they must outlive the drain() call and stay structurally unchanged.
-/// Per-job options.threads is ignored (the fleet's own pool size
-/// applies); all other SimOptions fields are honoured per job.
 class SimFleet {
  public:
   /// `threads` = worker pool size; 0 = hardware concurrency. `dedup`
   /// controls duplicate-candidate elimination (identical RRG content +
   /// identical options simulate once); results are bit-identical either
   /// way, off is for benchmarking the dedup itself.
-  explicit SimFleet(std::size_t threads = 0, bool dedup = true)
-      : threads_(threads), dedup_(dedup) {}
+  explicit SimFleet(std::size_t threads = 0, bool dedup = true);
   ~SimFleet();
   SimFleet(const SimFleet&) = delete;
   SimFleet& operator=(const SimFleet&) = delete;
 
   /// Enqueues one candidate; returns its index into drain()'s result
   /// vector. Validates options eagerly (throws on zero cycles/runs).
+  /// The borrowed Rrg must outlive the drain() call.
   std::size_t submit(const Rrg& rrg, const SimOptions& options);
-  // Would dangle: the fleet borrows the Rrg until drain() (same
-  // convention as FlatKernel(Rrg&&) = delete).
-  std::size_t submit(Rrg&&, const SimOptions&) = delete;
+  /// Owning overload: the candidate is moved into the fleet and kept
+  /// alive through the drain -- no lifetime obligation on the caller.
+  std::size_t submit(Rrg&& rrg, const SimOptions& options);
 
   /// Runs every queued job to completion and clears the queue -- also on
   /// failure, so a throwing job never leaks stale queue entries into the
-  /// next drain (identical behavior inline and pooled). Safe to submit
-  /// and drain again afterwards; the worker pool stays parked in between.
+  /// next drain. Safe to submit and drain again afterwards; the worker
+  /// pool stays parked in between.
   std::vector<SimReport> drain();
+
+  /// Starts simulating `rrg` on the background pool immediately and
+  /// returns without waiting. The borrowed Rrg must stay alive until the
+  /// ticket completes (prefer the owning overload below when in doubt).
+  /// With dedup on, a candidate identical to any earlier async
+  /// submission reuses its (possibly already finished) simulation.
+  SimTicket submit_async(const Rrg& rrg, const SimOptions& options);
+  /// Owning async submission: the fleet keeps the candidate alive until
+  /// its simulation completes. This is the lifetime-safe default for
+  /// streaming pipelines whose candidates are temporaries.
+  SimTicket submit_async(Rrg&& rrg, const SimOptions& options);
+
+  /// Non-blocking: has this ticket's simulation finished?
+  bool poll(SimTicket ticket) const;
+  /// Blocks until the ticket's job completes and returns its report
+  /// (rethrows the job's failure, if any). Re-waitable: completed
+  /// results stay cached for the fleet's lifetime.
+  SimReport wait(SimTicket ticket);
+  /// Blocks until every outstanding async job completes; returns the
+  /// reports of all tickets issued since the previous wait_all(), in
+  /// ticket order. The session result cache survives, so later
+  /// submissions still dedup against everything simulated before.
+  std::vector<SimReport> wait_all();
+
+  /// Async jobs submitted and not yet completed.
+  std::size_t async_pending() const;
+  /// Unique simulations held by the async session cache.
+  std::size_t async_cache_size() const;
 
   std::size_t num_jobs() const { return jobs_.size(); }
   std::size_t threads() const { return threads_; }
@@ -99,9 +157,10 @@ class SimFleet {
   /// Workers the most recent drain() actually used (0 before any
   /// drain): resolve_worker_count over the real work-item count.
   std::size_t last_worker_count() const { return last_workers_; }
-  /// Persistent pool threads currently alive (0 until a drain needs more
-  /// than one worker; the pool grows on demand and parks between drains).
-  std::size_t pool_size() const { return pool_.size(); }
+  /// Persistent pool threads currently alive (0 until a drain or async
+  /// submission needs more than the calling thread; the pool grows on
+  /// demand and parks between batches).
+  std::size_t pool_size() const;
   /// Unique simulations the most recent drain() ran (== its job count
   /// when dedup is off or no candidates repeat).
   std::size_t last_unique_jobs() const { return last_unique_; }
@@ -115,31 +174,22 @@ class SimFleet {
   /// Grows the persistent pool to `workers` threads.
   void ensure_pool(std::size_t workers);
   void worker_main();
+  SimTicket enqueue_async(const Rrg* rrg, const SimOptions& options,
+                          std::unique_ptr<Rrg> owned);
+  std::size_t hardware_concurrency_cached();
 
   std::size_t threads_;
   bool dedup_;
   std::size_t last_workers_ = 0;
   std::size_t last_unique_ = 0;
-  std::vector<Job> jobs_;
+  std::size_t hardware_ = static_cast<std::size_t>(-1);  ///< lazy cache
+  std::vector<Job> jobs_;                  ///< sync queue
+  std::vector<std::unique_ptr<Rrg>> sync_owned_;  ///< owning sync submissions
 
-  // Persistent pool: workers park on cv_work_ between drains. drain()
-  // publishes a batch (type-erased through the two pointers; fleet.cpp
-  // owns the definitions), bumps epoch_ and waits on cv_done_ until every
-  // item completed. Straggler workers from a previous epoch only ever
-  // touch items they claimed (drain cannot return before a claimed item
-  // completes), so batch storage never outlives its readers.
-  std::vector<std::thread> pool_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
-  const fleet_detail::WorkItem* batch_items_ = nullptr;
-  fleet_detail::JobContext* batch_contexts_ = nullptr;
-  std::size_t batch_total_ = 0;
-  std::size_t batch_next_ = 0;       ///< guarded by mutex_
-  std::size_t batch_completed_ = 0;  ///< guarded by mutex_
-  std::exception_ptr failure_;
+  /// Mutex, condition variables, worker threads, the shared work queue
+  /// and the async session (contexts, dedup cache, tickets) -- defined
+  /// in fleet.cpp; workers only ever touch this state.
+  std::unique_ptr<fleet_detail::FleetCore> core_;
 };
 
 }  // namespace elrr::sim

@@ -168,5 +168,90 @@ TEST(Cli, MissingFileProducesCleanError) {
   EXPECT_NE(r.err.find("cannot open"), std::string::npos);
 }
 
+TEST(Cli, FlowRunsThePipelinedEngine) {
+  const CliResult r =
+      run_cli({"flow", "--circuit", "s208", "--epsilon", "0.1", "--cycles",
+               "2000", "--runs", "2", "--threads", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("walk:"), std::string::npos);
+  EXPECT_NE(r.out.find("candidates streamed"), std::string::npos);
+  EXPECT_NE(r.out.find("<== best by simulation"), std::string::npos);
+  EXPECT_NE(r.out.find("(overlapped)"), std::string::npos);
+
+  // The sequential baseline reports identical candidates (determinism:
+  // overlap is purely a wall-clock knob), marked as sequential.
+  const CliResult seq =
+      run_cli({"flow", "--circuit", "s208", "--epsilon", "0.1", "--cycles",
+               "2000", "--runs", "2", "--threads", "1", "--sequential"});
+  ASSERT_EQ(seq.code, 0) << seq.err;
+  EXPECT_NE(seq.out.find("(sequential)"), std::string::npos);
+  const auto table_of = [](const std::string& text) {
+    // Everything between the header row and the "pipeline:" footer is
+    // the scored-candidate table; it must match bit for bit.
+    const std::size_t begin = text.find("   #");
+    const std::size_t end = text.find("pipeline:");
+    return text.substr(begin, end - begin);
+  };
+  EXPECT_EQ(table_of(r.out), table_of(seq.out));
+}
+
+/// The regression gate tolerates sections present in only one of the two
+/// trajectory files: a fresh run carrying the new `pipeline` section must
+/// pass -- with a warning, not a failure -- against a baseline that
+/// predates it, and vice versa when bisecting backwards.
+TEST(Cli, BenchDiffWarnsOnOneSidedSections) {
+  const std::string old_path = ::testing::TempDir() + "/bench_old.json";
+  const std::string new_path = ::testing::TempDir() + "/bench_new.json";
+  io::save_text_file(old_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 1000000, "bit_exact": true}
+  }
+})");
+  io::save_text_file(new_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 1000000, "bit_exact": true},
+    "pipeline": {"sequential_seconds": 0.5, "overlapped_seconds": 0.4,
+                 "bit_exact": true}
+  }
+})");
+  const CliResult forward =
+      run_cli({"bench-diff", "--new", new_path, "--baseline", old_path});
+  EXPECT_EQ(forward.code, 0) << forward.out << forward.err;
+  EXPECT_NE(forward.out.find("warning: section 'pipeline' missing from"),
+            std::string::npos);
+  EXPECT_NE(forward.out.find(old_path), std::string::npos);
+  EXPECT_NE(forward.out.find("no regression"), std::string::npos);
+
+  // Backwards (old file as --new): still a warning naming the other file.
+  const CliResult backward =
+      run_cli({"bench-diff", "--new", old_path, "--baseline", new_path});
+  EXPECT_EQ(backward.code, 0) << backward.out << backward.err;
+  EXPECT_NE(backward.out.find("warning: section 'pipeline' missing from"),
+            std::string::npos);
+  EXPECT_NE(backward.out.find(old_path), std::string::npos);
+}
+
+TEST(Cli, BenchDiffStillFailsOnRealRegressions) {
+  const std::string old_path = ::testing::TempDir() + "/bench_reg_old.json";
+  const std::string new_path = ::testing::TempDir() + "/bench_reg_new.json";
+  io::save_text_file(old_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 1000000},
+    "pipeline": {"overlapped_seconds": 0.40}
+  }
+})");
+  io::save_text_file(new_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 990000},
+    "pipeline": {"overlapped_seconds": 0.60}
+  }
+})");
+  const CliResult r =
+      run_cli({"bench-diff", "--new", new_path, "--baseline", old_path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("pipeline"), std::string::npos);
+  EXPECT_NE(r.out.find("REGRESSION"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace elrr::cli

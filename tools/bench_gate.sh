@@ -12,26 +12,38 @@
 #      `sim` suite.
 #
 # Step 4 is skipped with ELRR_SKIP_SANITIZE=1 (e.g. on machines without
-# the sanitizer runtimes). Build directories: build/ and build-asan/
-# (override with BUILD_DIR / ASAN_BUILD_DIR).
+# the sanitizer runtimes). ELRR_GATE_QUICK=1 runs the fast CI variant:
+# perf_smoke --quick (the deterministic bit-exactness checks, including
+# the pipeline engine's sequential-vs-overlapped comparison) and no
+# bench-diff timing gate -- shrunken-workload numbers are not comparable
+# to the committed full-size baseline, and shared CI runners are too
+# noisy to gate on wall clock anyway. Build directories: build/ and
+# build-asan/ (override with BUILD_DIR / ASAN_BUILD_DIR).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 MAX_REGRESSION=${ELRR_MAX_REGRESSION:-0.10}
+QUICK=${ELRR_GATE_QUICK:-0}
 
 echo "== [1/4] Release build + ctest -L sim =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests
 ctest --test-dir "$BUILD_DIR" -L sim --output-on-failure -j
 
-echo "== [2/4] perf_smoke (bit-exactness gated) =="
-"$BUILD_DIR/perf_smoke" "$BUILD_DIR/BENCH_sim.json"
+if [ "$QUICK" = "1" ]; then
+  echo "== [2/4] perf_smoke --quick (bit-exactness gated) =="
+  "$BUILD_DIR/perf_smoke" "$BUILD_DIR/BENCH_sim.json" --quick
+  echo "== [3/4] bench-diff skipped (ELRR_GATE_QUICK=1) =="
+else
+  echo "== [2/4] perf_smoke (bit-exactness gated) =="
+  "$BUILD_DIR/perf_smoke" "$BUILD_DIR/BENCH_sim.json"
 
-echo "== [3/4] bench-diff vs committed BENCH_sim.json =="
-"$BUILD_DIR/elrr" bench-diff --new "$BUILD_DIR/BENCH_sim.json" \
-  --baseline BENCH_sim.json --max-regression "$MAX_REGRESSION"
+  echo "== [3/4] bench-diff vs committed BENCH_sim.json =="
+  "$BUILD_DIR/elrr" bench-diff --new "$BUILD_DIR/BENCH_sim.json" \
+    --baseline BENCH_sim.json --max-regression "$MAX_REGRESSION"
+fi
 
 if [ "${ELRR_SKIP_SANITIZE:-0}" = "1" ]; then
   echo "== [4/4] sanitizer sweep skipped (ELRR_SKIP_SANITIZE=1) =="

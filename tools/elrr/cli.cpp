@@ -14,6 +14,7 @@
 #include "elastic/control_sim.hpp"
 #include "elastic/fifo_sizing.hpp"
 #include "elastic/verilog.hpp"
+#include "flow/engine.hpp"
 #include "heur/heuristic.hpp"
 #include "io/rrg_format.hpp"
 #include "lp/mps.hpp"
@@ -44,6 +45,13 @@ commands:
   optimize    retiming & recycling: --method exact|heur|hybrid (default
               hybrid), --epsilon E, --timeout S (per MILP), --simulate,
               --k N (candidates shown)
+  flow        pipelined engine: the Pareto walk streams each candidate
+              into an async simulation fleet while the next MILP solves;
+              --epsilon E, --timeout S, --threads T (fleet pool; 0 = all
+              cores), --cycles N, --runs R, --k N (rows shown),
+              --sequential (walk-then-score baseline, same results),
+              --feedback (prune MILP steps with simulated thetas),
+              --polish
   simulate    --cycles N, --runs R, --threads T (0 = all cores),
               --control (SELF network), --capacity C
   generate    --circuit <name> [--seed N] --output <file.rrg>
@@ -204,6 +212,49 @@ int cmd_optimize(Args& args, std::ostream& out) {
     io::save_text_file(*save, io::write_rrg(tuned, in.name + "_optimized"));
     out << "saved best configuration to " << *save << "\n";
   }
+  return 0;
+}
+
+int cmd_flow(Args& args, std::ostream& out) {
+  const LoadedInput in = load_input(args);
+  flow::EngineOptions eopt;
+  eopt.opt.epsilon = args.get_double("epsilon", 0.05);
+  eopt.opt.milp.time_limit_s = args.get_double("timeout", 6.0);
+  eopt.opt.polish = args.get_flag("polish");
+  eopt.sim.measure_cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 20000));
+  eopt.sim.runs = static_cast<std::size_t>(args.get_int("runs", 3));
+  eopt.sim.seed = args.get_u64("sim-seed", 1);
+  eopt.sim_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  eopt.overlap = !args.get_flag("sequential");
+  eopt.feedback_pruning = args.get_flag("feedback");
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 16));
+  args.finish();
+
+  flow::Engine engine(in.rrg, eopt);
+  const flow::EngineResult r = engine.run();
+  out << "walk: " << r.walk.points.size() << " Pareto points, "
+      << r.walk.milp_calls << " MILPs"
+      << (r.walk.all_exact ? "" : " (some budgets hit)");
+  if (r.pruned_steps > 0) out << ", " << r.pruned_steps << " steps pruned";
+  out << "\n";
+  out << "fleet: " << r.candidates_submitted << " candidates streamed, "
+      << r.unique_simulations << " unique simulations\n";
+  out << "   #      tau   Theta_lp   Theta_sim     xi_sim\n";
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < r.scored.size() && shown < k; ++i, ++shown) {
+    const flow::ScoredPoint& s = r.scored[i];
+    out << format_fixed(static_cast<double>(i), 0) << "    "
+        << format_fixed(s.point.tau, 3) << "   "
+        << format_fixed(s.point.theta_lp, 4) << "      "
+        << format_fixed(s.sim.theta, 4) << "    " << format_fixed(s.xi_sim, 4)
+        << (i == r.best_sim_index ? "   <== best by simulation" : "")
+        << (i == r.walk.best_index ? "   <== best by xi_lp" : "") << "\n";
+  }
+  out << "pipeline: walk " << format_fixed(r.walk_seconds, 2)
+      << "s, residual sim wait " << format_fixed(r.sim_wait_seconds, 2)
+      << "s, wall " << format_fixed(r.seconds, 2) << "s ("
+      << (eopt.overlap ? "overlapped" : "sequential") << ")\n";
   return 0;
 }
 
@@ -409,6 +460,7 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
       {"telescopic", "cycles_per_sec", true},
       {"fleet", "fleet_seconds", false},
       {"fleet_dedup", "fleet_seconds", false},
+      {"pipeline", "overlapped_seconds", false},
   };
 
   int regressions = 0;
@@ -420,7 +472,17 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
     const auto new_value =
         bench_json::find_number(fresh, section.name, section.key);
     if (!old_value.has_value() || !new_value.has_value()) {
-      out << section.name << ": (missing; skipped)\n";
+      // A section present in only one file is a warning, never a
+      // failure: trajectories gain sections over time (fleet in PR 2,
+      // pipeline in PR 4), and a fresh run must stay comparable against
+      // baselines that predate them (and vice versa when bisecting).
+      if (old_value.has_value() != new_value.has_value()) {
+        out << "warning: section '" << section.name << "' missing from "
+            << (old_value.has_value() ? new_path : baseline_path)
+            << "; skipped\n";
+      } else {
+        out << section.name << ": (missing; skipped)\n";
+      }
       continue;
     }
     const double speedup = section.higher_is_better
@@ -467,6 +529,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     }
     if (cmd == "analyze") return cmd_analyze(args, out);
     if (cmd == "optimize") return cmd_optimize(args, out);
+    if (cmd == "flow") return cmd_flow(args, out);
     if (cmd == "simulate") return cmd_simulate(args, out);
     if (cmd == "generate") return cmd_generate(args, out);
     if (cmd == "export") return cmd_export(args, out);
