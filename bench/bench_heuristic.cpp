@@ -19,7 +19,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "bench/flow.hpp"
+#include "flow/circuit_flow.hpp"
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
@@ -30,7 +30,7 @@
 using namespace elrr;
 
 int main() {
-  const bench::FlowOptions fopt = bench::FlowOptions::from_env();
+  const flow::FlowOptions fopt = flow::FlowOptions::from_env();
   std::printf("==========================================================================\n");
   std::printf("ElasticRR | exact MILP walk vs MILP-free heuristic (seed %llu)\n",
               static_cast<unsigned long long>(fopt.seed));

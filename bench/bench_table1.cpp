@@ -11,17 +11,20 @@
 /// points, LP bound optimistic by a few percent to tens of percent, the
 /// last row being the min-delay retiming with Theta = 1 -- must hold.
 ///
-/// Runs through the pipelined flow::Engine (via bench/flow.hpp): each
-/// Pareto candidate simulates on the fleet while the next MILP solves;
-/// ELRR_PIPELINE=0 restores the sequential walk-then-score order
-/// (identical rows either way).
+/// Runs as one MIN_EFF_CYC job on the svc::Scheduler (the multi-circuit
+/// batch service bench_table2 drives at scale): the walk streams each
+/// Pareto candidate into the scheduler's shared simulation fleet while
+/// the next MILP solves; ELRR_PIPELINE=0 restores the sequential
+/// walk-then-score order (identical rows either way).
 
 #include <cstdio>
 
-#include "bench/flow.hpp"
+#include "flow/circuit_flow.hpp"
+#include "svc/scheduler.hpp"
 
 int main() {
-  using namespace elrr::bench;
+  using namespace elrr;
+  using namespace elrr::flow;
   FlowOptions options = FlowOptions::from_env();
   options.max_simulated_points = 16;  // Table 1 shows *all* candidates
   options.polish = true;              // the paper's exact MAX_THR recipe
@@ -30,7 +33,25 @@ int main() {
   std::printf("ElasticRR | Table 1: non-dominated RCs for s526 (seed %llu)\n",
               static_cast<unsigned long long>(options.seed));
   std::printf("=========================================================\n");
-  const CircuitResult result = run_circuit("s526", options);
+  svc::SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.sim_threads = options.sim_threads;
+  sopt.sim_dedup = options.sim_dedup;
+  sopt.sim_cache_cap = options.sim_cache_cap;
+  svc::Scheduler scheduler(sopt);
+  svc::JobSpec job;
+  job.name = "s526";
+  job.rrg = bench89::make_table2_rrg(bench89::spec_by_name("s526"),
+                                     options.seed);
+  job.flow = options;
+  job.mode = svc::JobMode::kMinEffCyc;
+  const svc::JobResult done = scheduler.wait(scheduler.submit(std::move(job)));
+  if (done.state != svc::JobState::kDone) {
+    std::printf("job %s: %s\n", svc::to_string(done.state),
+                done.error.c_str());
+    return 1;
+  }
+  const CircuitResult& result = done.circuit;
 
   std::printf("%8s %9s %9s %8s %10s %10s\n", "tau", "Th_lp", "Th", "err(%)",
               "xi_lp", "xi");

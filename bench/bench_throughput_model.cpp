@@ -7,12 +7,12 @@
 
 #include <cstdio>
 
-#include "bench/flow.hpp"
+#include "flow/circuit_flow.hpp"
 #include "support/stats.hpp"
 
 int main() {
   using namespace elrr;
-  using namespace elrr::bench;
+  using namespace elrr::flow;
   FlowOptions options = FlowOptions::from_env();
   options.max_simulated_points = 16;
 

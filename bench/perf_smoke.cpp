@@ -8,7 +8,10 @@
 /// dedup on vs off. The `pipeline` section runs the full pipelined flow
 /// engine (flow::Engine) on a multi-candidate Pareto walk twice --
 /// sequential walk-then-score vs overlapped streaming -- and gates on
-/// both runs producing bit-identical frontiers and thetas.
+/// both runs producing bit-identical frontiers and thetas. The `batch`
+/// section runs a multi-circuit manifest through the svc::Scheduler
+/// (one shared fleet for the whole batch) against the historical
+/// per-circuit engine loop, bit-exactness gated the same way.
 ///
 ///   perf_smoke [output.json] [--quick] [--baseline <file.json>]
 ///
@@ -38,10 +41,12 @@
 #include <vector>
 
 #include "bench89/generator.hpp"
+#include "flow/circuit_flow.hpp"
 #include "flow/engine.hpp"
 #include "io/rrg_format.hpp"
 #include "sim/fleet.hpp"
 #include "support/bench_json.hpp"
+#include "svc/scheduler.hpp"
 
 namespace {
 
@@ -307,6 +312,104 @@ PipelineRow measure_pipeline() {
   return row;
 }
 
+struct BatchRow {
+  double loop_s = 0.0;       ///< per-circuit engine loop, best of reps
+  double scheduler_s = 0.0;  ///< one shared-fleet scheduler batch
+  std::size_t jobs = 0;
+  std::size_t unique_sims = 0;  ///< fleet misses across the whole batch
+  bool bit_exact = false;       ///< scheduler rows == per-circuit rows
+};
+
+/// The multi-circuit batch workload (the bench_table2 / CI-manifest
+/// shape): small MIN_EFF_CYC flow jobs -- three tiny Table-2
+/// structures, two seeds each, plus two repeated jobs (manifests
+/// re-submit circuits routinely; re-runs are the service's bread and
+/// butter) -- run (a) as the historical per-circuit loop, a fresh
+/// engine+fleet per circuit with no memory between jobs, and (b) as ONE
+/// svc::Scheduler batch sharing one fleet (persistent pool, cross-job
+/// candidate cache, cross-job result cache). One walk worker on both
+/// sides: the measured difference is the standing service vs
+/// per-circuit teardown, not parallelism. Every MILP solves exactly at
+/// these sizes, so both sides must produce bit-identical rows on every
+/// host -- the gate.
+BatchRow measure_batch() {
+  struct JobDef {
+    const char* circuit;
+    std::uint64_t seed;
+  };
+  const JobDef defs[] = {{"s208", 1}, {"s420", 1}, {"s838", 1},
+                         {"s208", 2}, {"s420", 2}, {"s838", 2},
+                         {"s420", 1}, {"s838", 2}};  // manifest repeats
+  elrr::flow::FlowOptions options;
+  options.epsilon = 0.05;
+  options.milp_timeout_s = 30.0;  // never reached at these sizes
+  options.sim_cycles = quick ? 2000 : 20000;
+  options.use_heuristic = false;  // pure walk: deterministic + cheap
+  options.max_simulated_points = 4;
+
+  BatchRow row;
+  row.jobs = std::size(defs);
+  double best_loop = 1e300, best_sched = 1e300;
+  std::vector<double> loop_xi, sched_xi;
+  bool exact = true;
+  for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+    // (a) the per-circuit loop: fresh engine + fleet per job.
+    loop_xi.clear();
+    auto t0 = Clock::now();
+    for (const JobDef& def : defs) {
+      elrr::flow::FlowOptions job_options = options;
+      job_options.seed = def.seed;
+      const elrr::flow::CircuitResult r = elrr::flow::run_flow(
+          def.circuit,
+          elrr::bench89::make_table2_rrg(
+              elrr::bench89::spec_by_name(def.circuit), def.seed),
+          job_options);
+      loop_xi.push_back(r.xi_sim_min);
+      for (const auto& candidate : r.candidates) {
+        loop_xi.push_back(candidate.theta_sim);
+      }
+      exact &= r.all_exact;
+    }
+    best_loop = std::min(best_loop, seconds_since(t0));
+
+    // (b) the scheduler: one shared fleet, the whole manifest queued
+    // before dispatch.
+    sched_xi.clear();
+    t0 = Clock::now();
+    {
+      elrr::svc::SchedulerOptions sopt;
+      sopt.workers = 1;
+      sopt.sim_threads = 1;
+      sopt.start_paused = true;
+      elrr::svc::Scheduler scheduler(sopt);
+      for (const JobDef& def : defs) {
+        elrr::svc::JobSpec job;
+        job.name = def.circuit;
+        job.rrg = elrr::bench89::make_table2_rrg(
+            elrr::bench89::spec_by_name(def.circuit), def.seed);
+        job.flow = options;
+        job.flow.seed = def.seed;
+        job.mode = elrr::svc::JobMode::kMinEffCyc;
+        scheduler.submit(std::move(job));
+      }
+      scheduler.resume();
+      for (const elrr::svc::JobResult& done : scheduler.wait_all()) {
+        sched_xi.push_back(done.circuit.xi_sim_min);
+        for (const auto& candidate : done.circuit.candidates) {
+          sched_xi.push_back(candidate.theta_sim);
+        }
+        exact &= done.state == elrr::svc::JobState::kDone;
+      }
+      row.unique_sims = scheduler.fleet().cache_stats().misses;
+    }
+    best_sched = std::min(best_sched, seconds_since(t0));
+  }
+  row.loop_s = best_loop;
+  row.scheduler_s = best_sched;
+  row.bit_exact = exact && loop_xi == sched_xi;
+  return row;
+}
+
 /// Baseline trajectory (the previously committed BENCH_sim.json), for
 /// the embedded before/after ratios. Loaded fully before the output file
 /// is opened, so baseline and output may be the same path.
@@ -480,6 +583,37 @@ int main(int argc, char** argv) {
       const double ratio = *prev / pipeline.overlapped_s;
       std::printf(", %.2fx vs baseline", ratio);
       std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"pipeline\": %.2f",
+                    ratios.empty() ? "" : ", ", ratio);
+      ratios += ratio_buf;
+    }
+  }
+  std::printf("\n");
+
+  const BatchRow batch = measure_batch();
+  all_bit_exact &= batch.bit_exact;
+  std::fprintf(out,
+               ",\n    \"batch\": {\"workload\": "
+               "\"8 MIN_EFF_CYC flow jobs (s208/s420/s838 x 2 seeds + 2 "
+               "manifest repeats), one walk worker, scheduler shared "
+               "fleet vs per-circuit engine loop\", "
+               "\"jobs\": %zu, \"unique_simulations\": %zu, "
+               "\"per_circuit_loop_seconds\": %.4f, "
+               "\"scheduler_seconds\": %.4f, "
+               "\"speedup_vs_loop\": %.2f, \"bit_exact\": %s}",
+               batch.jobs, batch.unique_sims, batch.loop_s, batch.scheduler_s,
+               batch.loop_s / batch.scheduler_s,
+               batch.bit_exact ? "true" : "false");
+  std::printf("batch      (%zu jobs, %zu unique sims): loop %.2fs, "
+              "scheduler %.2fs, speedup %.2fx, %s",
+              batch.jobs, batch.unique_sims, batch.loop_s, batch.scheduler_s,
+              batch.loop_s / batch.scheduler_s,
+              batch.bit_exact ? "bit-exact" : "MISMATCH");
+  if (baseline) {
+    if (const auto prev = elrr::bench_json::find_number(
+            baseline->text, "batch", "scheduler_seconds")) {
+      const double ratio = *prev / batch.scheduler_s;
+      std::printf(", %.2fx vs baseline", ratio);
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"batch\": %.2f",
                     ratios.empty() ? "" : ", ", ratio);
       ratios += ratio_buf;
     }

@@ -1,4 +1,4 @@
-#include "bench/flow.hpp"
+#include "flow/circuit_flow.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -13,7 +13,7 @@
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 
-namespace elrr::bench {
+namespace elrr::flow {
 
 namespace {
 
@@ -106,6 +106,10 @@ FlowOptions FlowOptions::from_env() {
   options.sim_threads = static_cast<std::size_t>(
       env_u64("ELRR_SIM_THREADS", 1, 0, 4096));
   options.sim_dedup = env_bool("ELRR_SIM_DEDUP", true);
+  // 0 = unbounded; anything else is the LRU byte cap of the scoring
+  // fleet's session result cache.
+  options.sim_cache_cap = static_cast<std::size_t>(env_u64(
+      "ELRR_SIM_CACHE_CAP", sim::kDefaultSimCacheCapBytes, 0, kNoCap));
   options.pipeline = env_bool("ELRR_PIPELINE", true);
   options.polish = env_bool("ELRR_POLISH", false);
   options.use_heuristic = env_bool("ELRR_HEUR", true);
@@ -114,8 +118,17 @@ FlowOptions FlowOptions::from_env() {
   return options;
 }
 
+sim::SimOptions scoring_options(const FlowOptions& options) {
+  sim::SimOptions sopt;
+  sopt.seed = options.seed * 7919 + 17;
+  sopt.measure_cycles = options.sim_cycles;
+  sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
+  sopt.runs = 2;  // threads are the fleet's, not the per-job option's
+  return sopt;
+}
+
 CircuitResult run_flow(const std::string& name, const Rrg& rrg,
-                       const FlowOptions& options) {
+                       const FlowOptions& options, const FlowHooks& hooks) {
   Stopwatch watch;
   CircuitResult result;
   result.name = name;
@@ -153,11 +166,7 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
     result.xi_nee = std::min(result.xi_nee, late_heur.best().xi_lp);
   }
 
-  sim::SimOptions sopt;
-  sopt.seed = options.seed * 7919 + 17;
-  sopt.measure_cycles = options.sim_cycles;
-  sopt.warmup_cycles = std::max<std::size_t>(1000, options.sim_cycles / 10);
-  sopt.runs = 2;  // threads are the fleet's, not the per-job option's
+  const sim::SimOptions sopt = scoring_options(options);
 
   // Early evaluation: the pipelined engine runs the exact walk and
   // streams every emitted candidate into its simulation fleet while the
@@ -165,19 +174,73 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   // sequential walk-then-score baseline, results bit-identical). The
   // engine's session cache carries those mid-walk scores over to the
   // candidate reranking below, so frontier points selected for the
-  // tables cost nothing to rescore.
-  flow::EngineOptions eopt;
+  // tables cost nothing to rescore. With FlowHooks::fleet the same
+  // candidates score on a *shared* multi-client fleet instead -- the
+  // svc::Scheduler shape -- with bit-identical results.
+  EngineOptions eopt;
   eopt.opt = opt;
   eopt.sim = sopt;
   eopt.sim_threads = options.sim_threads;
   eopt.sim_dedup = options.sim_dedup;
+  eopt.sim_cache_cap = options.sim_cache_cap;
   eopt.overlap = options.pipeline;
-  flow::Engine engine(rrg, eopt);
+  Engine* engine_handle = nullptr;
+  eopt.on_candidate = [&](const ParetoPoint&, std::size_t index) {
+    if (hooks.on_progress) hooks.on_progress(index + 1);
+    if (hooks.cancelled && hooks.cancelled()) engine_handle->request_cancel();
+  };
+  std::optional<Engine> engine_store;  // Engine is neither copy nor movable
+  if (hooks.fleet != nullptr) {
+    engine_store.emplace(rrg, eopt, *hooks.fleet);
+  } else {
+    engine_store.emplace(rrg, eopt);
+  }
+  Engine& engine = *engine_store;
+  engine_handle = &engine;
 
   MinEffCycResult early;
   if (!options.heuristic_only) {
-    early = engine.run().walk;
+    const EngineResult eng = engine.run();
+    early = eng.walk;
     result.all_exact &= early.all_exact;
+    result.candidates_walked = eng.candidates_submitted;
+    result.sim_jobs += eng.candidates_submitted;
+    result.unique_simulations += eng.unique_simulations;
+    result.walk_seconds = eng.walk_seconds;
+    result.sim_wait_seconds = eng.sim_wait_seconds;
+    if (eng.cancelled) {
+      // Cancellation stops at a step boundary: report the partial
+      // frontier the engine already scored (no heuristic merge, no
+      // reranking) so the caller gets a consistent -- if truncated --
+      // result and the fleet is already quiesced for the next job.
+      result.cancelled = true;
+      for (const ScoredPoint& scored : eng.scored) {
+        CandidateRow row;
+        row.tau = scored.point.tau;
+        row.theta_lp = scored.point.theta_lp;
+        row.theta_sim = scored.sim.theta;
+        row.err_percent = relative_percent(scored.point.theta_lp,
+                                           scored.sim.theta);
+        row.xi_lp = scored.point.xi_lp;
+        row.xi_sim = scored.xi_sim;
+        row.exact = scored.point.exact;
+        result.candidates.push_back(row);
+        if (result.xi_sim_min == 0.0 || row.xi_sim < result.xi_sim_min) {
+          result.xi_sim_min = row.xi_sim;
+        }
+      }
+      result.xi_lp_min = result.candidates.empty()
+                             ? 0.0
+                             : result.candidates.front().xi_sim;
+      if (result.xi_sim_min > 0.0) {
+        result.improve_percent =
+            (result.xi_nee - result.xi_sim_min) / result.xi_nee * 100.0;
+        result.delta_percent =
+            relative_percent(result.xi_lp_min, result.xi_sim_min);
+      }
+      result.seconds = watch.seconds();
+      return result;
+    }
   } else {
     // Seed the frontier with the identity; the heuristic fills the rest.
     ParetoPoint identity;
@@ -219,11 +282,6 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
       early.k_best(options.max_simulated_points);
   std::sort(simulate.begin(), simulate.end());  // present in tau order
 
-  int original_buffers = 0;
-  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
-    original_buffers += rrg.buffers(e);
-  }
-
   // Rerank the selected candidates by simulation, through the engine's
   // fleet and session cache: walk candidates were already scored
   // mid-walk (cache hit, no new simulation), heuristic-merged points
@@ -235,7 +293,14 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   for (const std::size_t index : simulate) {
     chosen.push_back(early.points[index]);
   }
-  const std::vector<flow::ScoredPoint> sims = engine.score(chosen);
+  const std::vector<ScoredPoint> sims = engine.score(chosen);
+  result.sim_jobs += chosen.size();
+  // Heuristic-merged points (and the whole frontier in heuristic-only
+  // mode) simulate for the first time here -- walk candidates rescore as
+  // cache hits. Count the fresh ones so unique_simulations is truthful.
+  for (const ScoredPoint& scored : sims) {
+    result.unique_simulations += scored.fresh ? 1 : 0;
+  }
 
   double best_sim_xi = 0.0;
   double lp_best_sim_xi = 0.0;
@@ -258,7 +323,6 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
       tokens += std::max(point.config.tokens[e], 0);
     }
     row.bubbles = buffers - tokens;
-    (void)original_buffers;
     result.candidates.push_back(row);
 
     if (best_sim_xi == 0.0 || row.xi_sim < best_sim_xi) {
@@ -279,11 +343,11 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   return result;
 }
 
-CircuitResult run_circuit(const std::string& name,
-                          const FlowOptions& options) {
+CircuitResult run_circuit(const std::string& name, const FlowOptions& options,
+                          const FlowHooks& hooks) {
   const bench89::CircuitSpec& spec = bench89::spec_by_name(name);
   const Rrg rrg = bench89::make_table2_rrg(spec, options.seed);
-  return run_flow(name, rrg, options);
+  return run_flow(name, rrg, options, hooks);
 }
 
-}  // namespace elrr::bench
+}  // namespace elrr::flow

@@ -1,16 +1,22 @@
 #pragma once
 
-/// \file flow.hpp
-/// Shared experiment flow for the table/figure reproduction benches: runs
-/// the full DAC'09 pipeline (generate -> optimize late & early -> simulate
-/// the Pareto candidates) for one circuit and returns every number the
-/// paper's tables report. The early-evaluation walk runs through the
-/// pipelined flow::Engine (flow/engine.hpp): each Pareto candidate
-/// streams into the engine's simulation fleet while the next MILP step
-/// solves, and the fleet's session cache dedups revisited configurations
-/// across the walk and the heuristic merge. Results are bit-identical to
-/// the sequential walk-then-score path for every thread count
-/// (ELRR_PIPELINE=0 runs that sequential path for comparison).
+/// \file circuit_flow.hpp
+/// The full DAC'09 experiment flow for one circuit: generate -> optimize
+/// late & early -> simulate the Pareto candidates -> every number the
+/// paper's tables report. Library code (moved here from bench/flow.* so
+/// the svc::Scheduler and the elrr CLI can run it): the table/figure
+/// benches, `elrr batch` jobs and the scheduler all share this one
+/// implementation.
+///
+/// The early-evaluation walk runs through the pipelined flow::Engine
+/// (flow/engine.hpp): each Pareto candidate streams into a simulation
+/// fleet while the next MILP step solves, and the fleet's session cache
+/// dedups revisited configurations across the walk and the heuristic
+/// merge. Results are bit-identical to the sequential walk-then-score
+/// path for every thread count (ELRR_PIPELINE=0 runs that sequential
+/// path for comparison) -- and, via FlowHooks::fleet, to a run on a
+/// *shared* multi-client fleet at any job interleaving (the fleet's
+/// determinism contract).
 ///
 /// Environment knobs (all optional; FlowOptions::from_env *validates*
 /// them -- a malformed, negative or out-of-range value throws
@@ -22,6 +28,9 @@
 ///   ELRR_SIM_THREADS     simulation worker threads   (default 1; 0 = all cores)
 ///   ELRR_SIM_DEDUP       1 = dedup identical Pareto candidates before
 ///                        simulating (default 1; results identical either way)
+///   ELRR_SIM_CACHE_CAP   byte cap of the fleet's session result cache
+///                        (default 268435456 = 256 MiB; 0 = unbounded;
+///                        results identical either way)
 ///   ELRR_PIPELINE        1 = overlap the MILP walk with candidate
 ///                        simulation (default 1; 0 = sequential, results
 ///                        identical either way)
@@ -31,6 +40,7 @@
 ///   ELRR_TABLE2_FULL     1 = all 18 circuits         (default: <= 150 edges)
 
 #include <cstdlib>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,9 +48,10 @@
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
+#include "sim/fleet.hpp"
 #include "sim/simulator.hpp"
 
-namespace elrr::bench {
+namespace elrr::flow {
 
 struct FlowOptions {
   std::uint64_t seed = 1;
@@ -55,6 +66,11 @@ struct FlowOptions {
   /// simulate once, scores fan back out. Bit-identical results either
   /// way; env ELRR_SIM_DEDUP=0 benchmarks the undeduped fleet.
   bool sim_dedup = true;
+  /// Byte cap of the scoring fleet's session result cache (LRU past it;
+  /// 0 = unbounded). Applies to the fleet this flow creates -- a shared
+  /// fleet passed through FlowHooks keeps its own cap. Bit-identical
+  /// results either way; env ELRR_SIM_CACHE_CAP.
+  std::size_t sim_cache_cap = sim::kDefaultSimCacheCapBytes;
   /// Overlap the MILP Pareto walk with candidate simulation through the
   /// pipelined flow::Engine (each emitted candidate scores on the fleet
   /// while the next MILP solves). Bit-identical results either way; env
@@ -81,6 +97,24 @@ struct FlowOptions {
   static FlowOptions from_env();
 };
 
+/// Service hooks for a flow run: everything the svc::Scheduler threads
+/// through run_flow so many concurrent jobs share one infrastructure.
+/// All fields optional; a default FlowHooks reproduces the standalone
+/// flow exactly.
+struct FlowHooks {
+  /// Score candidates on this multi-client fleet instead of spawning a
+  /// per-flow one (must outlive the call). Results are bit-identical to
+  /// the owned-fleet run at any worker count and job interleaving.
+  sim::SimFleet* fleet = nullptr;
+  /// Polled at every walk step (after each emitted candidate); returning
+  /// true stops the walk at the next step boundary. The flow returns a
+  /// partial result with `cancelled = true`; the fleet stays reusable.
+  std::function<bool()> cancelled;
+  /// Observer of walk progress: called with the number of candidates
+  /// emitted so far (1-based, monotone), on the flow's thread.
+  std::function<void(std::size_t)> on_progress;
+};
+
 /// One simulated Pareto candidate (a row of Table 1).
 struct CandidateRow {
   double tau = 0.0;
@@ -105,14 +139,29 @@ struct CircuitResult {
   double delta_percent = 0.0;    ///< (xi_lp_min - xi_sim_min)/xi_sim_min * 100
   std::vector<CandidateRow> candidates;  ///< all simulated Pareto points
   bool all_exact = true;
+  bool cancelled = false;  ///< FlowHooks::cancelled stopped the walk
   double seconds = 0.0;
+  // Structured progress/stats (the scheduler's per-job report).
+  std::size_t candidates_walked = 0;   ///< walk emissions (pre-dedup)
+  std::size_t sim_jobs = 0;            ///< fleet submissions this flow made
+  std::size_t unique_simulations = 0;  ///< fresh fleet jobs (rest were cached)
+  double walk_seconds = 0.0;           ///< time inside ParetoWalk::advance
+  double sim_wait_seconds = 0.0;       ///< time blocked on the fleet
 };
+
+/// The per-candidate simulation window the flow scores with (seed mix,
+/// cycles, warmup, runs). Exposed so svc::Scheduler's score-only and
+/// MIN_CYC jobs simulate with the *identical* options -- their fleet
+/// submissions then dedup against flow jobs of the same circuit.
+sim::SimOptions scoring_options(const FlowOptions& options);
 
 /// Runs the full flow on an RRG (already strongly connected and live).
 CircuitResult run_flow(const std::string& name, const Rrg& rrg,
-                       const FlowOptions& options);
+                       const FlowOptions& options,
+                       const FlowHooks& hooks = {});
 
 /// Convenience: generate the named Table-2 circuit and run the flow.
-CircuitResult run_circuit(const std::string& name, const FlowOptions& options);
+CircuitResult run_circuit(const std::string& name, const FlowOptions& options,
+                          const FlowHooks& hooks = {});
 
-}  // namespace elrr::bench
+}  // namespace elrr::flow

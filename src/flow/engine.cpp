@@ -9,12 +9,41 @@
 
 namespace elrr::flow {
 
+namespace {
+
+/// Releases every ticket on scope exit -- success or unwind. A
+/// simulation failure rethrown by fleet.wait() (or a throwing walk
+/// step) must not leave this run's ticket entries behind in a shared
+/// fleet: the svc::Scheduler catches job failures and keeps the fleet
+/// serving, so a leak here would accumulate forever. Releasing an
+/// in-flight ticket is safe -- the queued slices own their context and
+/// simply finish into the session cache.
+struct TicketGuard {
+  sim::SimFleet* fleet;
+  std::vector<sim::SimTicket>* tickets;
+  ~TicketGuard() {
+    for (const sim::SimTicket ticket : *tickets) fleet->release(ticket);
+  }
+};
+
+}  // namespace
+
 Engine::Engine(const Rrg& rrg, const EngineOptions& options)
     : base_(options.opt.treat_all_simple ? as_all_simple(rrg) : rrg),
       options_(options),
-      fleet_(options.sim_threads, options.sim_dedup) {
+      owned_fleet_(std::make_unique<sim::SimFleet>(
+          options.sim_threads, options.sim_dedup, options.sim_cache_cap)),
+      fleet_(owned_fleet_.get()) {
   // The rewrite is baked into base_; the walk and apply_config below must
   // both see the rewritten graph, never re-apply the flag.
+  options_.opt.treat_all_simple = false;
+}
+
+Engine::Engine(const Rrg& rrg, const EngineOptions& options,
+               sim::SimFleet& shared_fleet)
+    : base_(options.opt.treat_all_simple ? as_all_simple(rrg) : rrg),
+      options_(options),
+      fleet_(&shared_fleet) {
   options_.opt.treat_all_simple = false;
 }
 
@@ -22,18 +51,18 @@ sim::SimTicket Engine::submit_candidate(const ParetoPoint& point) {
   // Owning submission: the configured candidate moves into the fleet,
   // which keeps it alive until its simulation completes -- no borrow to
   // get wrong while the walk races ahead.
-  return fleet_.submit_async(apply_config(base_, point.config), options_.sim);
+  return fleet_->submit_async(apply_config(base_, point.config), options_.sim);
 }
 
 EngineResult Engine::run() {
   Stopwatch total;
   cancel_.store(false, std::memory_order_relaxed);
   EngineResult result;
-  const std::size_t cache_before = fleet_.async_cache_size();
   ParetoWalk walk(base_, options_.opt);
 
   std::vector<ParetoPoint> emitted;        // walk emissions, in order
   std::vector<sim::SimTicket> tickets;     // aligned with emitted
+  const TicketGuard guard{fleet_, &tickets};
   std::vector<bool> folded;                // feedback: already in best_xi
   double best_xi = 0.0;
 
@@ -45,9 +74,9 @@ EngineResult Engine::run() {
     if (!options_.feedback_pruning) return;
     bool updated = false;
     for (std::size_t i = 0; i < tickets.size(); ++i) {
-      if (folded[i] || !fleet_.poll(tickets[i])) continue;
+      if (folded[i] || !fleet_->poll(tickets[i])) continue;
       folded[i] = true;
-      const sim::SimReport report = fleet_.wait(tickets[i]);
+      const sim::SimReport report = fleet_->wait(tickets[i]);
       if (report.theta <= 0.0) continue;
       const double xi = emitted[i].tau / report.theta;
       if (best_xi == 0.0 || xi < best_xi) {
@@ -91,19 +120,25 @@ EngineResult Engine::run() {
   result.walk = walk.finish();
   result.pruned_steps = walk.pruned_steps();
   result.candidates_submitted = emitted.size();
+  for (const sim::SimTicket ticket : tickets) {
+    result.unique_simulations += ticket.fresh ? 1 : 0;
+  }
 
   // Quiesce: every outstanding ticket -- frontier or dominated --
-  // completes before run() returns, so the fleet is idle and reusable
-  // (also after cancellation).
+  // completes before run() returns, so this engine's share of the fleet
+  // is idle and the engine reusable (also after cancellation). Reports
+  // are kept locally: tickets are released below, so a long-lived shared
+  // fleet never accumulates this run's handles.
   Stopwatch wait_watch;
+  std::vector<sim::SimReport> reports;
+  reports.reserve(tickets.size());
   for (const sim::SimTicket ticket : tickets) {
-    (void)fleet_.wait(ticket);
+    reports.push_back(fleet_->wait(ticket));
   }
   result.sim_wait_seconds = wait_watch.seconds();
-  result.unique_simulations = fleet_.async_cache_size() - cache_before;
 
   // Score the frontier: every frontier point was emitted (finish() only
-  // filters), so its ticket -- and with it the cached report -- exists.
+  // filters), so its report exists in `reports`.
   result.scored.reserve(result.walk.points.size());
   for (const ParetoPoint& point : result.walk.points) {
     std::size_t index = emitted.size();
@@ -117,8 +152,9 @@ EngineResult Engine::run() {
                 "frontier point was never emitted by the walk");
     ScoredPoint scored;
     scored.point = point;
-    scored.sim = fleet_.wait(tickets[index]);
+    scored.sim = reports[index];
     scored.xi_sim = effective_cycle_time(point.tau, scored.sim.theta);
+    scored.fresh = tickets[index].fresh;
     result.scored.push_back(std::move(scored));
   }
   result.best_sim_index = 0;
@@ -133,6 +169,7 @@ EngineResult Engine::run() {
 
 std::vector<ScoredPoint> Engine::score(const std::vector<ParetoPoint>& points) {
   std::vector<sim::SimTicket> tickets;
+  const TicketGuard guard{fleet_, &tickets};
   tickets.reserve(points.size());
   for (const ParetoPoint& point : points) {
     tickets.push_back(submit_candidate(point));
@@ -142,8 +179,9 @@ std::vector<ScoredPoint> Engine::score(const std::vector<ParetoPoint>& points) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     ScoredPoint scored;
     scored.point = points[i];
-    scored.sim = fleet_.wait(tickets[i]);
+    scored.sim = fleet_->wait(tickets[i]);
     scored.xi_sim = effective_cycle_time(points[i].tau, scored.sim.theta);
+    scored.fresh = tickets[i].fresh;
     out.push_back(std::move(scored));
   }
   return out;

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/opt.hpp"
@@ -70,6 +71,11 @@ struct EngineOptions {
   /// Candidate dedup in the fleet's session cache (identical canonical
   /// content + options simulate once). Results identical either way.
   bool sim_dedup = true;
+  /// Byte cap of the owned fleet's session result cache (LRU past it;
+  /// 0 = unbounded). Ignored when the engine runs on a shared fleet --
+  /// the shared fleet's own cap applies. Results identical either way
+  /// (eviction only forgets results for dedup, never corrupts them).
+  std::size_t sim_cache_cap = sim::kDefaultSimCacheCapBytes;
   /// true = stream candidates into the fleet mid-walk (the pipeline);
   /// false = run the walk to completion first, then score (the
   /// sequential baseline). Results are identical; only wall clock moves.
@@ -89,6 +95,10 @@ struct ScoredPoint {
   ParetoPoint point;
   sim::SimReport sim;
   double xi_sim = 0.0;  ///< tau / theta_sim (effective cycle time)
+  /// True when scoring this point created a new fleet simulation; false
+  /// when the fleet's session cache already held the result (same
+  /// schedule-dependence caveat as EngineResult::unique_simulations).
+  bool fresh = false;
 };
 
 struct EngineResult {
@@ -100,7 +110,10 @@ struct EngineResult {
   /// Index into `scored` of the simulation-best (minimal xi_sim) point.
   std::size_t best_sim_index = 0;
   std::size_t candidates_submitted = 0;  ///< walk emissions (pre-dedup)
-  std::size_t unique_simulations = 0;    ///< fleet jobs actually run
+  /// Fleet jobs this run newly created (fresh tickets). Deterministic on
+  /// an owned fleet; on a shared fleet a concurrent job may simulate a
+  /// candidate first, lowering this count -- a stat, never a result.
+  std::size_t unique_simulations = 0;
   int pruned_steps = 0;   ///< MIN_CYC steps the feedback hint pruned
   bool cancelled = false;
   double walk_seconds = 0.0;      ///< time inside ParetoWalk::advance
@@ -112,11 +125,22 @@ struct EngineResult {
 
 /// Pipelined Pareto-walk + scoring engine over one RRG. Reusable: run(),
 /// score() and further run()s share one fleet (and its result cache).
-/// Single-user like the fleet (one thread drives the engine;
-/// request_cancel alone may come from anywhere).
+/// Single-user (one thread drives the engine; request_cancel alone may
+/// come from anywhere) -- but many engines may run concurrently on one
+/// *shared* fleet (the svc::Scheduler shape): the fleet's async API is
+/// multi-client, and per-engine results are bit-identical to a solo run
+/// whatever the interleaving (the fleet's determinism contract).
 class Engine {
  public:
+  /// Owned-fleet engine: spawns its own sim::SimFleet per `options`.
   explicit Engine(const Rrg& rrg, const EngineOptions& options = {});
+  /// Shared-fleet engine: scores candidates on `shared_fleet`, which
+  /// must outlive the engine. `sim_threads`/`sim_dedup`/`sim_cache_cap`
+  /// in `options` are ignored (the shared fleet's configuration
+  /// applies); all result-affecting knobs (`opt`, `sim`) behave exactly
+  /// as in the owned-fleet constructor.
+  Engine(const Rrg& rrg, const EngineOptions& options,
+         sim::SimFleet& shared_fleet);
 
   /// Runs the walk, streaming candidates into the fleet (overlap on) or
   /// scoring them afterwards (overlap off), and returns the scored
@@ -137,8 +161,9 @@ class Engine {
   }
 
   /// The underlying fleet (observability: async_cache_size, pool_size;
-  /// reusable after cancellation like after a normal run).
-  sim::SimFleet& fleet() { return fleet_; }
+  /// reusable after cancellation like after a normal run). The shared
+  /// one when the engine was constructed onto it.
+  sim::SimFleet& fleet() { return *fleet_; }
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -149,7 +174,8 @@ class Engine {
   /// candidates are configured from exactly the graph the walk solved.
   const Rrg base_;
   EngineOptions options_;
-  sim::SimFleet fleet_;
+  std::unique_ptr<sim::SimFleet> owned_fleet_;  ///< null on a shared fleet
+  sim::SimFleet* fleet_;  ///< owned_fleet_.get() or the shared fleet
   std::atomic<bool> cancel_{false};
 };
 

@@ -81,20 +81,6 @@ std::vector<std::string> writable_names(const Rrg& rrg) {
   return names;
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 NamedRrg read_rrg(std::string_view text) {

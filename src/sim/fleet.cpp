@@ -1,17 +1,21 @@
 #include "sim/fleet.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/choosers.hpp"
+#include "support/bytes.hpp"
 #include "sim/flat_kernel.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -147,8 +151,15 @@ double run_reference(const Kernel& kernel, const GuardTable& guards,
 /// read-only by all workers; per-run theta slots are written by exactly
 /// one work slice each (disjoint ranges), so workers never contend.
 /// The scheduling fields (`remaining`, `failure`) are guarded by the
-/// fleet mutex.
+/// fleet mutex. Contexts are shared-ownership: queue slices, tickets and
+/// the dedup cache each hold a reference, so neither ticket release nor
+/// cache eviction can free a job a worker still executes.
 struct JobContext {
+  /// `remaining` value of a reserved-but-not-yet-built async context
+  /// (two-phase submission: the cache entry is visible -- and aliasable
+  /// -- while the kernels build outside the lock).
+  static constexpr std::size_t kBuilding = static_cast<std::size_t>(-1);
+
   const Rrg* rrg = nullptr;
   SimOptions options;
   SimPath path = SimPath::kFlat;
@@ -166,7 +177,10 @@ struct JobContext {
   /// Async contexts drop their kernels/tables/borrows once complete:
   /// the session cache keeps only the per_run results (cheap) while the
   /// heavy execution state is freed as soon as the last slice lands.
+  /// Also the "this context counts toward in_flight" marker.
   bool release_on_done = false;
+
+  bool done() const { return remaining == 0; }
 
   /// Frees everything execution needed; per_run/path/fallback survive
   /// for report merging and the session cache.
@@ -183,9 +197,11 @@ struct JobContext {
 /// One queue entry: a contiguous slice of one unique job's runs, at most
 /// lane_cap wide. Slices are fixed up front (greedy width partition per
 /// job), so the partition -- and with it every run's lane assignment --
-/// is independent of worker scheduling.
+/// is independent of worker scheduling. The shared_ptr keeps the context
+/// alive while the slice sits in the queue or executes, whatever happens
+/// to tickets and cache entries meanwhile.
 struct QueueEntry {
-  JobContext* ctx = nullptr;
+  std::shared_ptr<JobContext> ctx;
   std::uint32_t first = 0;
   std::uint32_t count = 0;
 };
@@ -232,43 +248,15 @@ void execute_slice(JobContext& ctx, std::uint32_t first, std::uint32_t count) {
 
 namespace {
 
-void append_bytes(std::string& key, const void* data, std::size_t size) {
-  key.append(static_cast<const char*>(data), size);
-}
-
-template <class T>
-void append_value(std::string& key, T value) {
-  append_bytes(key, &value, sizeof(value));
-}
+using bytes::append_value;
 
 /// Canonical byte key of (RRG content, simulation options): two jobs with
 /// equal keys are guaranteed the same per-run thetas by the determinism
 /// contract, so the fleet simulates one and fans the scores out. Covers
-/// everything the simulation semantics read (structure, tokens, buffers,
-/// gammas, kinds, telescopic parameters) plus the options fields that
-/// select streams and windows.
+/// everything the simulation semantics read (canonical_rrg_key) plus the
+/// options fields that select streams and windows.
 std::string canonical_key(const Rrg& rrg, const SimOptions& options) {
-  std::string key;
-  key.reserve(rrg.num_nodes() * 12 + rrg.num_edges() * 24 + 64);
-  append_value(key, static_cast<std::uint64_t>(rrg.num_nodes()));
-  append_value(key, static_cast<std::uint64_t>(rrg.num_edges()));
-  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
-    append_value(key, static_cast<std::uint8_t>(rrg.kind(n)));
-    const Telescopic& t = rrg.telescopic(n);
-    append_value(key, static_cast<std::uint8_t>(t.enabled()));
-    if (t.enabled()) {
-      append_value(key, t.fast_prob);
-      append_value(key, static_cast<std::int32_t>(t.slow_extra));
-    }
-  }
-  const Digraph& g = rrg.graph();
-  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
-    append_value(key, static_cast<std::uint32_t>(g.src(e)));
-    append_value(key, static_cast<std::uint32_t>(g.dst(e)));
-    append_value(key, static_cast<std::int32_t>(rrg.tokens(e)));
-    append_value(key, static_cast<std::int32_t>(rrg.buffers(e)));
-    append_value(key, rrg.gamma(e));
-  }
+  std::string key = canonical_rrg_key(rrg);
   append_value(key, options.seed);
   append_value(key, static_cast<std::uint64_t>(options.warmup_cycles));
   append_value(key, static_cast<std::uint64_t>(options.measure_cycles));
@@ -279,8 +267,9 @@ std::string canonical_key(const Rrg& rrg, const SimOptions& options) {
 
 /// Classifies the execution path and builds kernels, chooser tables,
 /// result slots and the slice partition for one unique job. Runs on the
-/// submitting thread (sync and async alike).
-void build_context(JobContext& ctx, std::vector<QueueEntry>* entries) {
+/// submitting thread (sync and async alike), outside the fleet mutex.
+void build_context(JobContext& ctx, std::vector<QueueEntry>* entries,
+                   const std::shared_ptr<JobContext>& self) {
   ctx.fallback = ctx.options.force_reference
                      ? FlatCap::kNone
                      : FlatKernel::unsupported_reason(*ctx.rrg);
@@ -306,11 +295,10 @@ void build_context(JobContext& ctx, std::vector<QueueEntry>* entries) {
   for (std::size_t first = 0; first < ctx.options.runs;) {
     const std::size_t width =
         next_slice_width(ctx.lane_cap, ctx.options.runs - first);
-    entries->push_back(QueueEntry{&ctx, static_cast<std::uint32_t>(first),
+    entries->push_back(QueueEntry{self, static_cast<std::uint32_t>(first),
                                   static_cast<std::uint32_t>(width)});
     first += width;
   }
-  ctx.remaining = entries->size();  // sized by the caller per context
 }
 
 /// Merges one unique job's per-run thetas in run order -- neither the
@@ -327,32 +315,81 @@ SimReport report_for(const JobContext& ctx) {
   return report;
 }
 
+/// Bytes one cache entry is accounted at: its key, the context struct and
+/// the per-run result slots (the state that survives completion; kernels
+/// and tables are freed when the last slice lands).
+std::size_t entry_bytes(const std::string& key, const JobContext& ctx) {
+  return key.size() + sizeof(JobContext) + ctx.options.runs * sizeof(double) +
+         64;  // map/list node overhead, amortized
+}
+
 }  // namespace
 
-/// Pool, queue and async-session state. Workers and the user thread meet
+/// Pool, queue and async-session state. Workers and client threads meet
 /// only here, under `mutex`:
 ///  * `queue` holds unclaimed slices; workers pop front, execute
 ///    unlocked, then decrement their context's `remaining` under the
 ///    lock and signal `cv_done` when a job finishes;
 ///  * drain() and the async waiters block on `cv_done` until the
-///    contexts they care about hit remaining == 0 -- a claimed slice
-///    therefore keeps its context storage alive until its completion is
-///    visible under the mutex;
-///  * the async session (`contexts`, `seen`, `tickets`) persists for the
-///    fleet's lifetime: it is the cross-iteration result cache.
+///    contexts they care about complete -- a claimed slice holds a
+///    shared_ptr, so context storage outlives its execution no matter
+///    what tickets or the cache do meanwhile;
+///  * the async session -- the LRU dedup `cache` and the `tickets`
+///    table -- persists for the fleet's lifetime and is fully guarded by
+///    `mutex`: any number of client threads may submit/poll/wait/release
+///    concurrently (multi-client sharing, the svc::Scheduler shape).
 struct FleetCore {
-  std::mutex mutex;
+  struct CacheEntry {
+    std::shared_ptr<JobContext> ctx;
+    std::list<const std::string*>::iterator lru;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
-  std::vector<std::thread> pool;
+  std::vector<std::thread> pool;  ///< guarded by `mutex` (ensure_pool)
   bool stop = false;
   std::deque<QueueEntry> queue;
 
-  // Async session (user thread builds, workers only read ctx pointers).
-  std::vector<std::unique_ptr<JobContext>> contexts;
-  std::unordered_map<std::string, std::size_t> seen;  ///< canonical -> ctx
-  std::vector<JobContext*> tickets;  ///< ticket id -> context
-  std::size_t reported = 0;          ///< tickets consumed by wait_all
+  // Async session (all under `mutex`).
+  std::unordered_map<std::string, CacheEntry> cache;  ///< canonical -> entry
+  std::list<const std::string*> lru;  ///< front = most recently used
+  std::size_t cache_bytes = 0;
+  std::size_t cache_cap_bytes = kDefaultSimCacheCapBytes;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t in_flight = 0;  ///< async contexts not yet completed
+
+  std::unordered_map<std::size_t, std::shared_ptr<JobContext>> tickets;
+  std::size_t next_ticket = 0;
+  std::size_t reported = 0;  ///< tickets consumed by wait_all
+
+  /// Evicts completed LRU-tail entries until the cache fits its cap.
+  /// In-flight entries are skipped (rotated to the front: they are the
+  /// session's most recent work anyway); shared ownership means eviction
+  /// only forgets the result for *dedup*, never invalidates tickets.
+  void evict_over_cap() {
+    if (cache_cap_bytes == 0) return;
+    std::size_t scanned = 0;
+    const std::size_t max_scan = lru.size();
+    while (cache_bytes > cache_cap_bytes && cache.size() > 1 &&
+           scanned++ < max_scan) {
+      const std::string* key = lru.back();
+      const auto it = cache.find(*key);
+      ELRR_ASSERT(it != cache.end(), "LRU entry missing from cache map");
+      if (!it->second.ctx->done()) {
+        lru.splice(lru.begin(), lru, std::prev(lru.end()));
+        it->second.lru = lru.begin();
+        continue;
+      }
+      cache_bytes -= it->second.bytes;
+      lru.pop_back();
+      cache.erase(it);
+      ++cache_evictions;
+    }
+  }
 };
 
 }  // namespace fleet_detail
@@ -370,29 +407,59 @@ std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
   return std::min(workers, std::max<std::size_t>(work_items, 1));
 }
 
-SimFleet::SimFleet(std::size_t threads, bool dedup)
-    : threads_(threads), dedup_(dedup), core_(std::make_unique<FleetCore>()) {}
+std::string canonical_rrg_key(const Rrg& rrg) {
+  using bytes::append_value;
+  std::string key;
+  key.reserve(rrg.num_nodes() * 12 + rrg.num_edges() * 24 + 64);
+  append_value(key, static_cast<std::uint64_t>(rrg.num_nodes()));
+  append_value(key, static_cast<std::uint64_t>(rrg.num_edges()));
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    append_value(key, static_cast<std::uint8_t>(rrg.kind(n)));
+    const Telescopic& t = rrg.telescopic(n);
+    append_value(key, static_cast<std::uint8_t>(t.enabled()));
+    if (t.enabled()) {
+      append_value(key, t.fast_prob);
+      append_value(key, static_cast<std::int32_t>(t.slow_extra));
+    }
+  }
+  const Digraph& g = rrg.graph();
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    append_value(key, static_cast<std::uint32_t>(g.src(e)));
+    append_value(key, static_cast<std::uint32_t>(g.dst(e)));
+    append_value(key, static_cast<std::int32_t>(rrg.tokens(e)));
+    append_value(key, static_cast<std::int32_t>(rrg.buffers(e)));
+    append_value(key, rrg.gamma(e));
+  }
+  return key;
+}
+
+SimFleet::SimFleet(std::size_t threads, bool dedup,
+                   std::size_t cache_cap_bytes)
+    : threads_(threads), dedup_(dedup), core_(std::make_unique<FleetCore>()) {
+  core_->cache_cap_bytes = cache_cap_bytes;
+}
 
 SimFleet::~SimFleet() {
   {
     const std::lock_guard<std::mutex> lock(core_->mutex);
     core_->stop = true;
     // Pending queue entries are abandoned (their contexts die with the
-    // fleet); a slice a worker already claimed finishes first -- join
-    // below cannot return before the worker's loop exits.
+    // last reference); a slice a worker already claimed finishes first --
+    // join below cannot return before the worker's loop exits.
     core_->queue.clear();
   }
   core_->cv_work.notify_all();
   for (std::thread& worker : core_->pool) worker.join();
 }
 
-std::size_t SimFleet::pool_size() const { return core_->pool.size(); }
+std::size_t SimFleet::pool_size() const {
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return core_->pool.size();
+}
 
 std::size_t SimFleet::hardware_concurrency_cached() {
-  if (hardware_ == static_cast<std::size_t>(-1)) {
-    hardware_ = std::thread::hardware_concurrency();
-  }
-  return hardware_;
+  static const std::size_t hardware = std::thread::hardware_concurrency();
+  return hardware;
 }
 
 std::size_t SimFleet::submit(const Rrg& rrg, const SimOptions& options) {
@@ -411,6 +478,7 @@ std::size_t SimFleet::submit(Rrg&& rrg, const SimOptions& options) {
 }
 
 void SimFleet::ensure_pool(std::size_t workers) {
+  const std::lock_guard<std::mutex> lock(core_->mutex);
   while (core_->pool.size() < workers) {
     core_->pool.emplace_back([this] { worker_main(); });
   }
@@ -429,9 +497,8 @@ void SimFleet::worker_main() {
     // slice so waiters (which rethrow the failure) unblock.
     const bool skip = ctx.failure != nullptr;
     lock.unlock();
-    // A claimed slice keeps its context storage alive: every waiter
-    // (drain, wait, wait_all) blocks until remaining == 0, which this
-    // slice only signals after execution finished.
+    // The claimed entry's shared_ptr keeps the context storage alive
+    // through execution, whatever tickets/cache do concurrently.
     std::exception_ptr failure;
     if (!skip) {
       try {
@@ -443,7 +510,11 @@ void SimFleet::worker_main() {
     lock.lock();
     if (failure && !ctx.failure) ctx.failure = failure;
     if (--ctx.remaining == 0) {
-      if (ctx.release_on_done) ctx.release_execution_state();
+      if (ctx.release_on_done) {
+        ctx.release_execution_state();
+        ELRR_ASSERT(core.in_flight > 0, "in_flight underflow");
+        --core.in_flight;
+      }
       core.cv_done.notify_all();
     }
   }
@@ -470,7 +541,7 @@ std::vector<SimReport> SimFleet::drain() {
   // clamps (1 = solo stepping); reference-path jobs go run by run (the
   // reference kernel has no batched stepper).
   std::vector<std::size_t> group(jobs.size());
-  std::deque<JobContext> contexts;  // stable addresses for queue entries
+  std::vector<std::shared_ptr<JobContext>> contexts;
   {
     std::unordered_map<std::string, std::size_t> seen;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -483,8 +554,8 @@ std::vector<SimReport> SimFleet::drain() {
       } else {
         group[j] = contexts.size();
       }
-      contexts.emplace_back();
-      JobContext& ctx = contexts.back();
+      contexts.push_back(std::make_shared<JobContext>());
+      JobContext& ctx = *contexts.back();
       ctx.rrg = jobs[j].rrg;
       ctx.options = jobs[j].options;
     }
@@ -492,9 +563,10 @@ std::vector<SimReport> SimFleet::drain() {
   last_unique_ = contexts.size();
 
   std::vector<QueueEntry> entries;
-  for (JobContext& ctx : contexts) {
+  for (const std::shared_ptr<JobContext>& ctx : contexts) {
     std::vector<QueueEntry> slices;
-    fleet_detail::build_context(ctx, &slices);
+    fleet_detail::build_context(*ctx, &slices, ctx);
+    ctx->remaining = slices.size();
     entries.insert(entries.end(), slices.begin(), slices.end());
   }
 
@@ -502,7 +574,7 @@ std::vector<SimReport> SimFleet::drain() {
   // the queried value is irrelevant then, and the call is not free on
   // every drain of a hot flow loop.
   const std::size_t hardware =
-      threads_ == 0 ? std::thread::hardware_concurrency() : 0;
+      threads_ == 0 ? hardware_concurrency_cached() : 0;
   const std::size_t workers =
       resolve_worker_count(threads_, hardware, entries.size());
   last_workers_ = workers;
@@ -519,16 +591,16 @@ std::vector<SimReport> SimFleet::drain() {
       }
       core_->cv_work.notify_all();
       core_->cv_done.wait(lock, [&] {
-        for (const JobContext& ctx : contexts) {
-          if (ctx.remaining != 0) return false;
+        for (const std::shared_ptr<JobContext>& ctx : contexts) {
+          if (!ctx->done()) return false;
         }
         return true;
       });
     }
     // Rethrow the first failure in context (submission) order --
     // deterministic regardless of which worker hit it first.
-    for (JobContext& ctx : contexts) {
-      if (ctx.failure) std::rethrow_exception(ctx.failure);
+    for (const std::shared_ptr<JobContext>& ctx : contexts) {
+      if (ctx->failure) std::rethrow_exception(ctx->failure);
     }
   }
 
@@ -538,7 +610,7 @@ std::vector<SimReport> SimFleet::drain() {
   std::vector<SimReport> reports;
   reports.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    reports.push_back(fleet_detail::report_for(contexts[group[j]]));
+    reports.push_back(fleet_detail::report_for(*contexts[group[j]]));
   }
   return reports;
 }
@@ -559,38 +631,89 @@ SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
   ELRR_REQUIRE(options.runs > 0, "need at least one run");
   FleetCore& core = *core_;
 
-  // Session cache hit: an identical candidate was already submitted
-  // (possibly iterations ago, possibly already finished) -- the new
-  // ticket simply aliases its context. No new work enters the queue.
+  // The key is computed outside the lock (pure function of the inputs);
+  // the lookup-or-reserve below is one critical section, so exactly one
+  // of any number of concurrent identical submissions builds the job and
+  // the rest alias it -- even while it is still building.
   std::string key;
-  if (dedup_) {
-    key = fleet_detail::canonical_key(*rrg, options);
-    const auto it = core.seen.find(key);
-    if (it != core.seen.end()) {
-      const SimTicket ticket{core.tickets.size()};
-      core.tickets.push_back(core.contexts[it->second].get());
-      return ticket;
+  if (dedup_) key = fleet_detail::canonical_key(*rrg, options);
+
+  auto fresh = std::make_shared<JobContext>();
+  const std::string* reserved_key = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(core.mutex);
+    if (dedup_) {
+      const auto it = core.cache.find(key);
+      if (it != core.cache.end()) {
+        // Session cache hit: an identical candidate was already
+        // submitted (possibly by another client, possibly still
+        // building) -- the new ticket simply aliases its context.
+        core.lru.splice(core.lru.begin(), core.lru, it->second.lru);
+        it->second.lru = core.lru.begin();
+        ++core.cache_hits;
+        const SimTicket ticket{core.next_ticket++, /*fresh=*/false};
+        core.tickets.emplace(ticket.id, it->second.ctx);
+        return ticket;
+      }
+    }
+    fresh->remaining = JobContext::kBuilding;
+    fresh->release_on_done = true;
+    ++core.cache_misses;
+    ++core.in_flight;
+    if (dedup_) {
+      const auto [it, inserted] =
+          core.cache.emplace(std::move(key), FleetCore::CacheEntry{});
+      ELRR_ASSERT(inserted, "dedup key raced past the reservation");
+      core.lru.push_front(&it->first);
+      it->second = FleetCore::CacheEntry{fresh, core.lru.begin(), 0};
+      reserved_key = &it->first;
     }
   }
 
-  auto fresh = std::make_unique<JobContext>();
+  // Build kernels/tables/slices outside the lock -- concurrent clients
+  // keep submitting meanwhile. Aliasing tickets simply wait: `remaining`
+  // stays at the kBuilding sentinel until the slices are queued.
   fresh->rrg = rrg;
   fresh->options = options;
   fresh->owned_rrg = std::move(owned);
-  fresh->release_on_done = true;
   std::vector<QueueEntry> slices;
-  fleet_detail::build_context(*fresh, &slices);
-
-  if (dedup_) core.seen.emplace(std::move(key), core.contexts.size());
-  const SimTicket ticket{core.tickets.size()};
-  core.tickets.push_back(fresh.get());
-  core.contexts.push_back(std::move(fresh));
-
   std::size_t backlog = 0;
+  SimTicket ticket;
+  try {
+    fleet_detail::build_context(*fresh, &slices, fresh);
+  } catch (...) {
+    // The reservation must not wedge aliases or leak: fail the context
+    // (aliased tickets rethrow on wait), drop it from the cache, and
+    // rethrow to the submitting caller like the eager validation would.
+    const std::lock_guard<std::mutex> lock(core.mutex);
+    fresh->failure = std::current_exception();
+    fresh->remaining = 0;
+    ELRR_ASSERT(core.in_flight > 0, "in_flight underflow");
+    --core.in_flight;
+    if (reserved_key != nullptr) {
+      const auto it = core.cache.find(*reserved_key);
+      if (it != core.cache.end()) {
+        core.lru.erase(it->second.lru);
+        core.cache.erase(it);
+      }
+    }
+    core.cv_done.notify_all();
+    throw;
+  }
   {
     const std::lock_guard<std::mutex> lock(core.mutex);
-    for (const QueueEntry& slice : slices) core.queue.push_back(slice);
+    fresh->remaining = slices.size();
+    for (QueueEntry& slice : slices) core.queue.push_back(std::move(slice));
     backlog = core.queue.size();
+    ticket = SimTicket{core.next_ticket++, /*fresh=*/true};
+    core.tickets.emplace(ticket.id, fresh);
+    if (reserved_key != nullptr) {
+      const auto it = core.cache.find(*reserved_key);
+      ELRR_ASSERT(it != core.cache.end(), "reserved cache entry vanished");
+      it->second.bytes = fleet_detail::entry_bytes(*reserved_key, *fresh);
+      core.cache_bytes += it->second.bytes;
+      core.evict_over_cap();
+    }
   }
   // Async work always runs on the pool (that is the point: the caller's
   // thread keeps optimizing); grow it to cover the queued backlog up to
@@ -604,47 +727,57 @@ SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
 bool SimFleet::poll(SimTicket ticket) const {
   FleetCore& core = *core_;
   const std::lock_guard<std::mutex> lock(core.mutex);
-  ELRR_REQUIRE(ticket.valid() && ticket.id < core.tickets.size(),
-               "invalid simulation ticket");
-  return core.tickets[ticket.id]->remaining == 0;
+  ELRR_REQUIRE(ticket.valid(), "invalid simulation ticket");
+  const auto it = core.tickets.find(ticket.id);
+  ELRR_REQUIRE(it != core.tickets.end(),
+               "unknown or released simulation ticket ", ticket.id);
+  return it->second->done();
 }
 
 SimReport SimFleet::wait(SimTicket ticket) {
   FleetCore& core = *core_;
   std::unique_lock<std::mutex> lock(core.mutex);
-  ELRR_REQUIRE(ticket.valid() && ticket.id < core.tickets.size(),
-               "invalid simulation ticket");
-  JobContext& ctx = *core.tickets[ticket.id];
-  core.cv_done.wait(lock, [&] { return ctx.remaining == 0; });
-  if (ctx.failure) std::rethrow_exception(ctx.failure);
-  return fleet_detail::report_for(ctx);
+  ELRR_REQUIRE(ticket.valid(), "invalid simulation ticket");
+  const auto it = core.tickets.find(ticket.id);
+  ELRR_REQUIRE(it != core.tickets.end(),
+               "unknown or released simulation ticket ", ticket.id);
+  // Hold our own reference across the wait: a concurrent release() of
+  // this ticket id must not free the context out from under us.
+  const std::shared_ptr<JobContext> ctx = it->second;
+  core.cv_done.wait(lock, [&] { return ctx->done(); });
+  if (ctx->failure) std::rethrow_exception(ctx->failure);
+  return fleet_detail::report_for(*ctx);
+}
+
+void SimFleet::release(SimTicket ticket) {
+  if (!ticket.valid()) return;
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  core.tickets.erase(ticket.id);
 }
 
 std::vector<SimReport> SimFleet::wait_all() {
   FleetCore& core = *core_;
   std::unique_lock<std::mutex> lock(core.mutex);
-  core.cv_done.wait(lock, [&] {
-    for (const auto& ctx : core.contexts) {
-      if (ctx->remaining != 0) return false;
-    }
-    return true;
-  });
+  core.cv_done.wait(lock, [&] { return core.in_flight == 0; });
   // The wave is consumed whether it succeeded or not: a failed ticket
   // rethrows (first in ticket order, deterministically) but never wedges
   // later wait_all() calls -- `reported` advances past the wave first,
   // and individual results stay retrievable through wait(ticket).
+  // Released tickets are skipped.
   std::vector<SimReport> reports;
-  reports.reserve(core.tickets.size() - core.reported);
   std::exception_ptr failure;
-  for (std::size_t t = core.reported; t < core.tickets.size(); ++t) {
-    const JobContext& ctx = *core.tickets[t];
+  for (std::size_t t = core.reported; t < core.next_ticket; ++t) {
+    const auto it = core.tickets.find(t);
+    if (it == core.tickets.end()) continue;  // released
+    const JobContext& ctx = *it->second;
     if (ctx.failure) {
       if (!failure) failure = ctx.failure;
       continue;
     }
     reports.push_back(fleet_detail::report_for(ctx));
   }
-  core.reported = core.tickets.size();
+  core.reported = core.next_ticket;
   if (failure) std::rethrow_exception(failure);
   return reports;
 }
@@ -652,17 +785,29 @@ std::vector<SimReport> SimFleet::wait_all() {
 std::size_t SimFleet::async_pending() const {
   FleetCore& core = *core_;
   const std::lock_guard<std::mutex> lock(core.mutex);
-  std::size_t pending = 0;
-  for (const auto& ctx : core.contexts) {
-    if (ctx->remaining != 0) ++pending;
-  }
-  return pending;
+  return core.in_flight;
 }
 
 std::size_t SimFleet::async_cache_size() const {
   FleetCore& core = *core_;
   const std::lock_guard<std::mutex> lock(core.mutex);
-  return core.contexts.size();
+  // A dedup-off session has no cache; its unique-simulation count is the
+  // historical reading of this accessor, so keep reporting it.
+  return dedup_ ? core.cache.size()
+                : static_cast<std::size_t>(core.cache_misses);
+}
+
+SimCacheStats SimFleet::cache_stats() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  SimCacheStats stats;
+  stats.entries = core.cache.size();
+  stats.bytes = core.cache_bytes;
+  stats.capacity_bytes = core.cache_cap_bytes;
+  stats.hits = core.cache_hits;
+  stats.misses = core.cache_misses;
+  stats.evictions = core.cache_evictions;
+  return stats;
 }
 
 }  // namespace elrr::sim

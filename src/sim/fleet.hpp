@@ -30,8 +30,26 @@
 ///    next MILP step solves. Async submissions feed a session-persistent
 ///    result cache: a candidate with identical canonical content +
 ///    options to any earlier async submission (this drain, a previous
-///    walk iteration, a previous wait_all) reuses the finished result
-///    instead of re-simulating.
+///    walk iteration, a previous wait_all, *another client's job*)
+///    reuses the finished result instead of re-simulating.
+///
+/// Multi-client sharing (the svc::Scheduler shape): the asynchronous API
+/// -- submit_async, poll, wait, release -- is thread-safe and may be
+/// driven by any number of client threads concurrently; one fleet serves
+/// every optimization job of a batch, and the session cache dedups
+/// identical candidates *across* jobs. wait_all() and the synchronous
+/// submit/drain pair remain single-client (one thread at a time): their
+/// wave/queue bookkeeping is caller-wide by design.
+///
+/// Session cache bound: the canonical-key result cache is LRU-evicted
+/// past a byte cap (`cache_cap_bytes`; default 256 MiB, 0 = unbounded),
+/// so a long multi-circuit batch no longer grows it without limit.
+/// Eviction only forgets a *result for dedup purposes* -- outstanding
+/// tickets keep their job alive (shared ownership) and stay waitable, so
+/// correctness never depends on the cap. cache_stats() exposes live
+/// entries/bytes plus cumulative hits/misses/evictions; the
+/// ELRR_SIM_CACHE_CAP env knob plumbs the cap through FlowOptions /
+/// svc::SchedulerOptions.
 ///
 /// Ownership: `submit(const Rrg&)` / `submit_async(const Rrg&)` borrow
 /// the candidate -- it must stay alive and structurally unchanged until
@@ -56,17 +74,15 @@
 /// options.*_cycles). Every run draws from its own splitmix64-derived
 /// per-node streams, per-run theta lands in a run-indexed slot, and each
 /// job's moments accumulate in run order -- so the thread count, the lane
-/// packing (options.max_batch), dedup on/off, sync vs async submission
-/// and the submission interleaving can never change a reported theta. A
-/// fleet job is bit-identical to simulate_throughput of the same
-/// (rrg, options).
-///
-/// Threading: workers are internal; the fleet's own API is single-user
-/// (all submit/drain/poll/wait calls from one thread at a time).
+/// packing (options.max_batch), dedup on/off, sync vs async submission,
+/// the submission interleaving and the client count can never change a
+/// reported theta. A fleet job is bit-identical to simulate_throughput
+/// of the same (rrg, options).
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rrg.hpp"
@@ -79,6 +95,10 @@ struct JobContext;  // one unique job's kernels/tables/slots (fleet.cpp)
 struct FleetCore;   // pool + queue + async session state (fleet.cpp)
 }  // namespace fleet_detail
 
+/// Default byte cap of the async session result cache (LRU past this).
+inline constexpr std::size_t kDefaultSimCacheCapBytes =
+    std::size_t{256} << 20;  // 256 MiB
+
 /// The worker count the fleet actually spawns for `requested` threads
 /// (0 = use `hardware`, itself possibly 0 when the runtime cannot tell:
 /// then 1) over `work_items` queue entries (never spawn workers that
@@ -88,13 +108,35 @@ struct FleetCore;   // pool + queue + async session state (fleet.cpp)
 std::size_t resolve_worker_count(std::size_t requested, std::size_t hardware,
                                  std::size_t work_items);
 
-/// Handle to one asynchronously submitted job. Tickets stay valid for
-/// the fleet's lifetime (results are cached in the async session), so a
-/// completed job can be waited on -- and re-waited on -- at any time.
+/// Canonical byte key of one RRG's simulation-visible content (structure,
+/// tokens, buffers, gammas, kinds, telescopic parameters). Two RRGs with
+/// equal keys are guaranteed identical simulation semantics; the fleet's
+/// dedup cache appends the stream/window-selecting SimOptions fields.
+/// Exposed so the svc::Scheduler can layer its cross-job result cache on
+/// the same canonical identity.
+std::string canonical_rrg_key(const Rrg& rrg);
+
+/// Handle to one asynchronously submitted job. A ticket stays waitable
+/// (and re-waitable) until it is release()d -- results are held by
+/// shared ownership, so neither cache eviction nor other clients can
+/// invalidate it.
 struct SimTicket {
   static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
   std::size_t id = kInvalid;
+  /// True when this submission created a new unique simulation; false on
+  /// a session-cache hit (the ticket aliases an earlier job's result).
+  bool fresh = false;
   bool valid() const { return id != kInvalid; }
+};
+
+/// Live + cumulative counters of the async session result cache.
+struct SimCacheStats {
+  std::size_t entries = 0;         ///< results currently cached
+  std::size_t bytes = 0;           ///< accounted bytes of those entries
+  std::size_t capacity_bytes = 0;  ///< LRU byte cap (0 = unbounded)
+  std::uint64_t hits = 0;          ///< submissions served from the cache
+  std::uint64_t misses = 0;        ///< unique simulations ever created
+  std::uint64_t evictions = 0;     ///< entries LRU-evicted over the cap
 };
 
 /// Work-queue scheduler over all submitted simulation jobs.
@@ -103,8 +145,10 @@ class SimFleet {
   /// `threads` = worker pool size; 0 = hardware concurrency. `dedup`
   /// controls duplicate-candidate elimination (identical RRG content +
   /// identical options simulate once); results are bit-identical either
-  /// way, off is for benchmarking the dedup itself.
-  explicit SimFleet(std::size_t threads = 0, bool dedup = true);
+  /// way, off is for benchmarking the dedup itself. `cache_cap_bytes`
+  /// bounds the async session result cache (0 = unbounded).
+  explicit SimFleet(std::size_t threads = 0, bool dedup = true,
+                    std::size_t cache_cap_bytes = kDefaultSimCacheCapBytes);
   ~SimFleet();
   SimFleet(const SimFleet&) = delete;
   SimFleet& operator=(const SimFleet&) = delete;
@@ -120,7 +164,7 @@ class SimFleet {
   /// Runs every queued job to completion and clears the queue -- also on
   /// failure, so a throwing job never leaks stale queue entries into the
   /// next drain. Safe to submit and drain again afterwards; the worker
-  /// pool stays parked in between.
+  /// pool stays parked in between. Single-client (like submit).
   std::vector<SimReport> drain();
 
   /// Starts simulating `rrg` on the background pool immediately and
@@ -128,28 +172,40 @@ class SimFleet {
   /// ticket completes (prefer the owning overload below when in doubt).
   /// With dedup on, a candidate identical to any earlier async
   /// submission reuses its (possibly already finished) simulation.
+  /// Thread-safe: any client thread may submit concurrently.
   SimTicket submit_async(const Rrg& rrg, const SimOptions& options);
   /// Owning async submission: the fleet keeps the candidate alive until
   /// its simulation completes. This is the lifetime-safe default for
   /// streaming pipelines whose candidates are temporaries.
   SimTicket submit_async(Rrg&& rrg, const SimOptions& options);
 
-  /// Non-blocking: has this ticket's simulation finished?
+  /// Non-blocking: has this ticket's simulation finished? Thread-safe.
   bool poll(SimTicket ticket) const;
   /// Blocks until the ticket's job completes and returns its report
-  /// (rethrows the job's failure, if any). Re-waitable: completed
-  /// results stay cached for the fleet's lifetime.
+  /// (rethrows the job's failure, if any). Re-waitable until released.
+  /// Thread-safe.
   SimReport wait(SimTicket ticket);
+  /// Drops the fleet's reference for this ticket: later poll/wait on it
+  /// throw, wait_all skips it, and -- once every aliasing ticket is
+  /// released and the cache entry evicted -- the job's memory is freed.
+  /// Long-lived clients (the flow engine, the scheduler) release tickets
+  /// when done so a month-long session stays bounded. Idempotent;
+  /// thread-safe.
+  void release(SimTicket ticket);
   /// Blocks until every outstanding async job completes; returns the
-  /// reports of all tickets issued since the previous wait_all(), in
-  /// ticket order. The session result cache survives, so later
-  /// submissions still dedup against everything simulated before.
+  /// reports of all not-yet-released tickets issued since the previous
+  /// wait_all(), in ticket order. The session result cache survives, so
+  /// later submissions still dedup against everything simulated before.
+  /// Single-client (the wave bookkeeping is caller-wide).
   std::vector<SimReport> wait_all();
 
   /// Async jobs submitted and not yet completed.
   std::size_t async_pending() const;
-  /// Unique simulations held by the async session cache.
+  /// Unique simulations currently held by the async session cache.
   std::size_t async_cache_size() const;
+  /// Live + cumulative session-cache counters (entries, bytes, cap,
+  /// hits/misses/evictions).
+  SimCacheStats cache_stats() const;
 
   std::size_t num_jobs() const { return jobs_.size(); }
   std::size_t threads() const { return threads_; }
@@ -171,24 +227,24 @@ class SimFleet {
     SimOptions options;
   };
 
-  /// Grows the persistent pool to `workers` threads.
+  /// Grows the persistent pool to `workers` threads (thread-safe).
   void ensure_pool(std::size_t workers);
   void worker_main();
   SimTicket enqueue_async(const Rrg* rrg, const SimOptions& options,
                           std::unique_ptr<Rrg> owned);
   std::size_t hardware_concurrency_cached();
 
-  std::size_t threads_;
-  bool dedup_;
+  const std::size_t threads_;
+  const bool dedup_;
   std::size_t last_workers_ = 0;
   std::size_t last_unique_ = 0;
-  std::size_t hardware_ = static_cast<std::size_t>(-1);  ///< lazy cache
-  std::vector<Job> jobs_;                  ///< sync queue
+  std::vector<Job> jobs_;                  ///< sync queue (single-client)
   std::vector<std::unique_ptr<Rrg>> sync_owned_;  ///< owning sync submissions
 
   /// Mutex, condition variables, worker threads, the shared work queue
-  /// and the async session (contexts, dedup cache, tickets) -- defined
-  /// in fleet.cpp; workers only ever touch this state.
+  /// and the async session (job contexts, LRU dedup cache, tickets) --
+  /// defined in fleet.cpp; workers and concurrent clients only ever
+  /// touch this state under its mutex.
   std::unique_ptr<fleet_detail::FleetCore> core_;
 };
 

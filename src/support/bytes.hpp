@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file bytes.hpp
+/// Byte-serialization helpers for canonical cache keys. The fleet's
+/// candidate cache (sim/fleet.cpp) and the scheduler's cross-job result
+/// cache (svc/scheduler.cpp) build their identities from the same
+/// primitives -- one copy, so the two key grammars can never drift on
+/// the encoding level.
+
+#include <cstddef>
+#include <string>
+
+namespace elrr::bytes {
+
+inline void append_bytes(std::string& key, const void* data,
+                         std::size_t size) {
+  key.append(static_cast<const char*>(data), size);
+}
+
+/// Appends the object representation of a trivially copyable value.
+template <class T>
+inline void append_value(std::string& key, T value) {
+  append_bytes(key, &value, sizeof(value));
+}
+
+}  // namespace elrr::bytes

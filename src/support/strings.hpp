@@ -27,6 +27,12 @@ std::string to_lower(std::string_view s);
 /// Fixed-point decimal rendering, e.g. format_fixed(3.14159, 2) == "3.14".
 std::string format_fixed(double value, int decimals);
 
+/// JSON string-content escaping: quotes, backslashes and every control
+/// character (< 0x20, as \n/\t/\r or \u00xx). One escaper for every
+/// JSON the tree emits (rrg JSON export, batch JSONL, bench-diff
+/// --json) -- divergent per-file copies are how invalid JSON ships.
+std::string json_escape(std::string_view s);
+
 /// Left-pads with spaces up to `width` characters.
 std::string pad_left(std::string_view s, std::size_t width);
 

@@ -1,0 +1,451 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/analysis.hpp"
+#include "core/opt.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace elrr::svc {
+
+namespace {
+
+/// Weighted round-robin credits per priority class: high is preferred
+/// 4:2:1 but can never starve normal/low -- once its credits are spent
+/// the dispatcher moves down, and credits refill only when every class
+/// with work has none left.
+constexpr unsigned kClassWeights[3] = {4, 2, 1};
+
+using bytes::append_value;
+
+/// Releases one fleet ticket on scope exit -- success or unwind (wait()
+/// rethrows simulation failures; the ticket must not outlive the job in
+/// a shared fleet). The one-ticket sibling of flow::Engine's TicketGuard.
+struct TicketRelease {
+  sim::SimFleet* fleet;
+  sim::SimTicket ticket;
+  ~TicketRelease() { fleet->release(ticket); }
+};
+
+}  // namespace
+
+const char* to_string(JobMode mode) {
+  switch (mode) {
+    case JobMode::kScoreOnly: return "score";
+    case JobMode::kMinCyc: return "min_cyc";
+    case JobMode::kMinEffCyc: return "min_eff_cyc";
+  }
+  return "?";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string Scheduler::job_key(const JobSpec& spec) {
+  // Everything that can change the *result*: the circuit's canonical
+  // simulation-visible content, the node delays (the simulation never
+  // reads them, so canonical_rrg_key omits them -- but tau, every MILP
+  // solve and every xi depend on them), the mode, and the
+  // result-affecting FlowOptions fields. Wall-clock knobs (sim_threads,
+  // sim_dedup, sim_cache_cap, pipeline) are deliberately absent -- they
+  // never move a number, per the engine/fleet determinism contracts.
+  std::string key = sim::canonical_rrg_key(spec.rrg);
+  for (NodeId n = 0; n < spec.rrg.num_nodes(); ++n) {
+    append_value(key, spec.rrg.delay(n));
+  }
+  append_value(key, static_cast<std::uint8_t>(spec.mode));
+  append_value(key, spec.min_cyc_x);
+  append_value(key, spec.flow.seed);
+  append_value(key, spec.flow.epsilon);
+  append_value(key, spec.flow.milp_timeout_s);
+  append_value(key, static_cast<std::uint64_t>(spec.flow.sim_cycles));
+  append_value(key,
+               static_cast<std::uint64_t>(spec.flow.max_simulated_points));
+  append_value(key, static_cast<std::uint8_t>(spec.flow.polish));
+  append_value(key, static_cast<std::uint8_t>(spec.flow.use_heuristic));
+  append_value(key, static_cast<std::uint8_t>(spec.flow.heuristic_only));
+  append_value(key, static_cast<std::int32_t>(spec.flow.exact_max_edges));
+  return key;
+}
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : options_(options),
+      fleet_(options.sim_threads, options.sim_dedup, options.sim_cache_cap) {
+  options_.workers = std::max<std::size_t>(options_.workers, 1);
+  paused_ = options_.start_paused;
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Still-queued jobs are cancelled (their waiters unblock with a
+    // terminal result); running jobs get a cancel request and finish at
+    // their next step boundary before the join below returns.
+    for (std::deque<JobId>& queue : queues_) {
+      for (const JobId id : queue) {
+        JobEntry& entry = *jobs_[id];
+        entry.state = JobState::kCancelled;
+        entry.result.id = id;
+        entry.result.name = entry.spec.name;
+        entry.result.mode = entry.spec.mode;
+        entry.result.state = JobState::kCancelled;
+        completion_order_.push_back(id);
+      }
+      queue.clear();
+    }
+    for (const std::unique_ptr<JobEntry>& entry : jobs_) {
+      if (entry->state == JobState::kRunning) {
+        entry->cancel_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+JobId Scheduler::submit(JobSpec spec) {
+  ELRR_REQUIRE(spec.rrg.num_nodes() > 0, "job '", spec.name,
+               "': empty circuit");
+  ELRR_REQUIRE(spec.min_cyc_x >= 1.0, "job '", spec.name,
+               "': min_cyc_x must be >= 1");
+  if (spec.name.empty()) spec.name = "job";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ELRR_REQUIRE(!stop_, "scheduler is shutting down");
+  const JobId id = jobs_.size();
+  jobs_.push_back(std::make_unique<JobEntry>());
+  jobs_.back()->spec = std::move(spec);
+  queues_[static_cast<std::size_t>(jobs_.back()->spec.priority)].push_back(id);
+  cv_.notify_all();
+  return id;
+}
+
+bool Scheduler::pick_next_locked(JobId* id) {
+  for (int round = 0; round < 2; ++round) {
+    bool any_work = false;
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (queues_[c].empty()) continue;
+      any_work = true;
+      if (credits_[c] == 0) continue;
+      --credits_[c];
+      *id = queues_[c].front();
+      queues_[c].pop_front();
+      return true;
+    }
+    if (!any_work) return false;
+    // Every class with work is out of credits: refill and go again --
+    // the refill point is what makes the weights a *ratio*, not a strict
+    // priority.
+    for (std::size_t c = 0; c < 3; ++c) credits_[c] = kClassWeights[c];
+  }
+  return false;
+}
+
+void Scheduler::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      if (stop_) return true;
+      if (paused_) return false;
+      for (const std::deque<JobId>& queue : queues_) {
+        if (!queue.empty()) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+    JobId id = 0;
+    if (!pick_next_locked(&id)) continue;
+    JobEntry& entry = *jobs_[id];
+    entry.state = JobState::kRunning;
+    entry.result.id = id;
+    entry.result.name = entry.spec.name;
+    entry.result.mode = entry.spec.mode;
+    lock.unlock();
+
+    // Cross-job result cache: an identical job (same circuit content,
+    // result-affecting options and mode) short-circuits the whole run.
+    // The key is *reserved at dispatch* -- like the fleet's two-phase
+    // candidate submission -- so a duplicate dispatched concurrently
+    // waits for the first copy instead of re-walking; a completed twin
+    // serves instantly. The key serializes the circuit (computed
+    // outside the lock); lookup/reservation is one critical section.
+    Stopwatch watch;
+    const std::string key =
+        options_.job_cache ? job_key(entry.spec) : std::string();
+    JobStats stats;  // local while running; merged under the final lock
+    bool served_from_cache = false;
+    bool cancelled_while_waiting = false;
+    if (!key.empty()) {
+      std::unique_lock<std::mutex> cache_lock(mutex_);
+      // Ownership loop: whoever holds result_cache_[key] runs the job;
+      // everyone else waits and re-checks on every wake -- the owner may
+      // complete (serve from it), fail or be cancelled (exactly ONE
+      // waiter takes the identity over and runs; the rest find the new
+      // owner and go back to waiting -- no stampede of redundant
+      // walks), or the waiter itself may be cancelled or the scheduler
+      // shut down (terminate kCancelled without running).
+      for (;;) {
+        if (entry.cancel_requested.load(std::memory_order_relaxed) ||
+            stop_) {
+          entry.result.state = JobState::kCancelled;
+          cancelled_while_waiting = true;
+          break;
+        }
+        const auto [it, inserted] = result_cache_.emplace(key, id);
+        if (inserted || it->second == id) break;  // we own it: run below
+        // JobEntry storage is stable (unique_ptr); `it` is re-fetched
+        // every iteration because concurrent emplaces may rehash.
+        JobEntry& source = *jobs_[it->second];
+        if (source.state == JobState::kDone) {
+          entry.result = source.result;  // terminal results are immutable
+          entry.result.id = id;
+          entry.result.name = entry.spec.name;
+          entry.result.circuit.name = entry.spec.name;
+          // The twin did none of the work: only the cache-hit marker is
+          // its own. Summing sim_jobs/unique_simulations over per-job
+          // records must match the work actually performed.
+          stats = JobStats{};
+          stats.job_cache_hit = true;
+          ++job_cache_hits_;
+          served_from_cache = true;
+          break;
+        }
+        if (source.state == JobState::kCancelled ||
+            source.state == JobState::kFailed) {
+          // The owner came to nothing: take the identity over and run
+          // for real (later duplicates wait on -- or reuse -- this job).
+          result_cache_[key] = id;
+          break;
+        }
+        cv_.wait(cache_lock);  // owner still running; re-check on wake
+      }
+    }
+    if (!served_from_cache && !cancelled_while_waiting) {
+      run_job(entry, &stats);
+    }
+    stats.wall_seconds = watch.seconds();
+
+    lock.lock();
+    // Live progress (candidates_walked) streamed in through the hook;
+    // everything else lands here, under the lock status() reads with.
+    stats.candidates_walked =
+        std::max(stats.candidates_walked, entry.stats.candidates_walked);
+    entry.stats = stats;
+    entry.result.stats = stats;
+    entry.state = entry.result.state;
+    completion_order_.push_back(id);
+    cv_.notify_all();
+  }
+}
+
+void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
+  const JobSpec& spec = entry.spec;
+  JobResult& result = entry.result;
+  try {
+    flow::FlowHooks hooks;
+    hooks.fleet = &fleet_;
+    hooks.cancelled = [&entry] {
+      return entry.cancel_requested.load(std::memory_order_relaxed);
+    };
+    hooks.on_progress = [this, &entry](std::size_t walked) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entry.stats.candidates_walked = walked;
+    };
+    switch (spec.mode) {
+      case JobMode::kMinEffCyc: {
+        result.circuit = flow::run_flow(spec.name, spec.rrg, spec.flow, hooks);
+        stats->candidates_walked = result.circuit.candidates_walked;
+        stats->sim_jobs = result.circuit.sim_jobs;
+        stats->unique_simulations = result.circuit.unique_simulations;
+        stats->walk_seconds = result.circuit.walk_seconds;
+        stats->sim_wait_seconds = result.circuit.sim_wait_seconds;
+        result.tau = result.circuit.candidates.empty()
+                         ? 0.0
+                         : result.circuit.candidates.front().tau;
+        result.theta_sim = result.circuit.candidates.empty()
+                               ? 0.0
+                               : result.circuit.candidates.front().theta_sim;
+        result.xi_sim = result.circuit.xi_sim_min;
+        result.state = result.circuit.cancelled ||
+                               entry.cancel_requested.load(
+                                   std::memory_order_relaxed)
+                           ? JobState::kCancelled
+                           : JobState::kDone;
+        break;
+      }
+      case JobMode::kScoreOnly: {
+        const sim::SimOptions sopt = flow::scoring_options(spec.flow);
+        Stopwatch sim_watch;
+        const sim::SimTicket ticket =
+            fleet_.submit_async(Rrg(spec.rrg), sopt);
+        // Released on unwind too: wait() rethrows simulation failures,
+        // and a leaked ticket would pin its job in the shared fleet for
+        // the scheduler's lifetime.
+        const TicketRelease release{&fleet_, ticket};
+        const sim::SimReport report = fleet_.wait(ticket);
+        stats->sim_wait_seconds = sim_watch.seconds();
+        stats->sim_jobs = 1;
+        stats->unique_simulations = ticket.fresh ? 1 : 0;
+        result.tau = cycle_time(spec.rrg).tau;
+        result.theta_sim = report.theta;
+        result.xi_sim = effective_cycle_time(result.tau, report.theta);
+        // Non-walk jobs have no step boundary: the primitive runs to
+        // completion, but a cancel() that returned true must still be
+        // observable -- the job terminates kCancelled (result fields
+        // stay populated for the curious).
+        result.state = entry.cancel_requested.load(std::memory_order_relaxed)
+                           ? JobState::kCancelled
+                           : JobState::kDone;
+        break;
+      }
+      case JobMode::kMinCyc: {
+        OptOptions opt;
+        opt.epsilon = spec.flow.epsilon;
+        opt.milp.time_limit_s = spec.flow.milp_timeout_s;
+        Stopwatch walk_watch;
+        const RcSolveResult solve = min_cyc(spec.rrg, spec.min_cyc_x, opt);
+        stats->walk_seconds = walk_watch.seconds();
+        ELRR_REQUIRE(solve.feasible, "MIN_CYC(", spec.min_cyc_x,
+                     ") infeasible for '", spec.name, "'");
+        const Rrg tuned = apply_config(spec.rrg, solve.config);
+        const sim::SimOptions sopt = flow::scoring_options(spec.flow);
+        Stopwatch sim_watch;
+        const sim::SimTicket ticket = fleet_.submit_async(Rrg(tuned), sopt);
+        const TicketRelease release{&fleet_, ticket};
+        const sim::SimReport report = fleet_.wait(ticket);
+        stats->sim_wait_seconds = sim_watch.seconds();
+        stats->sim_jobs = 1;
+        stats->unique_simulations = ticket.fresh ? 1 : 0;
+        result.tau = cycle_time(tuned).tau;
+        result.theta_sim = report.theta;
+        result.xi_sim = effective_cycle_time(result.tau, report.theta);
+        result.state = entry.cancel_requested.load(std::memory_order_relaxed)
+                           ? JobState::kCancelled
+                           : JobState::kDone;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    // A failed job reports, never wedges: waiters get a terminal result
+    // with the error text and the worker moves on. The flow releases its
+    // fleet tickets on unwind (flow::Engine's TicketGuard); any still
+    // in-flight simulations finish harmlessly into the session cache,
+    // so the shared fleet keeps serving the next job.
+    result.state = JobState::kFailed;
+    result.error = e.what();
+  }
+}
+
+JobSnapshot Scheduler::status(JobId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ELRR_REQUIRE(id < jobs_.size(), "unknown job id ", id);
+  const JobEntry& entry = *jobs_[id];
+  return JobSnapshot{entry.state, entry.stats};
+}
+
+JobResult Scheduler::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ELRR_REQUIRE(id < jobs_.size(), "unknown job id ", id);
+  JobEntry& entry = *jobs_[id];
+  cv_.wait(lock, [&] {
+    return entry.state == JobState::kDone ||
+           entry.state == JobState::kCancelled ||
+           entry.state == JobState::kFailed;
+  });
+  return entry.result;
+}
+
+std::vector<JobResult> Scheduler::wait_all() {
+  std::size_t count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    count = jobs_.size();
+  }
+  std::vector<JobResult> results;
+  results.reserve(count);
+  for (JobId id = 0; id < count; ++id) results.push_back(wait(id));
+  return results;
+}
+
+bool Scheduler::cancel(JobId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ELRR_REQUIRE(id < jobs_.size(), "unknown job id ", id);
+  JobEntry& entry = *jobs_[id];
+  if (entry.state == JobState::kQueued) {
+    for (std::deque<JobId>& queue : queues_) {
+      const auto it = std::find(queue.begin(), queue.end(), id);
+      if (it != queue.end()) {
+        queue.erase(it);
+        break;
+      }
+    }
+    entry.state = JobState::kCancelled;
+    entry.result.id = id;
+    entry.result.name = entry.spec.name;
+    entry.result.mode = entry.spec.mode;
+    entry.result.state = JobState::kCancelled;
+    completion_order_.push_back(id);
+    cv_.notify_all();
+    return true;
+  }
+  if (entry.state == JobState::kRunning) {
+    entry.cancel_requested.store(true, std::memory_order_relaxed);
+    // A running twin may be parked in the result-cache ownership loop
+    // waiting on its duplicate: wake it so the cancellation is observed
+    // now, not at the twin's completion.
+    cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::resume() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = false;
+  cv_.notify_all();
+}
+
+void Scheduler::pause() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+SchedulerStats Scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats stats;
+  stats.submitted = jobs_.size();
+  stats.job_cache_hits = job_cache_hits_;
+  for (const std::unique_ptr<JobEntry>& entry : jobs_) {
+    switch (entry->state) {
+      case JobState::kQueued: ++stats.queued; break;
+      case JobState::kRunning: ++stats.running; break;
+      case JobState::kDone: ++stats.completed; break;
+      case JobState::kCancelled: ++stats.cancelled; break;
+      case JobState::kFailed: ++stats.failed; break;
+    }
+  }
+  return stats;
+}
+
+std::vector<JobId> Scheduler::completion_order() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completion_order_;
+}
+
+}  // namespace elrr::svc

@@ -253,5 +253,118 @@ TEST(Cli, BenchDiffStillFailsOnRealRegressions) {
   EXPECT_NE(r.out.find("REGRESSION"), std::string::npos);
 }
 
+/// --json: the same verdicts as the text table, machine-readable --
+/// per-section status (pass/fail/warn), the fold-direction-corrected
+/// speedup, and a top-level pass/fail for CI annotation. Exit code
+/// matches the text mode.
+TEST(Cli, BenchDiffJsonIsMachineReadable) {
+  const std::string old_path = ::testing::TempDir() + "/bench_json_old.json";
+  const std::string new_path = ::testing::TempDir() + "/bench_json_new.json";
+  io::save_text_file(old_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 1000000},
+    "pipeline": {"overlapped_seconds": 0.40}
+  }
+})");
+  io::save_text_file(new_path, R"({
+  "cases": {
+    "small": {"cycles_per_sec": 1000000},
+    "pipeline": {"overlapped_seconds": 0.60},
+    "batch": {"scheduler_seconds": 0.30}
+  }
+})");
+  const CliResult r = run_cli(
+      {"bench-diff", "--new", new_path, "--baseline", old_path, "--json"});
+  EXPECT_EQ(r.code, 1) << r.out;  // the pipeline regression still fails
+  EXPECT_NE(r.out.find("\"status\": \"fail\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("{\"name\": \"small\", \"metric\": "
+                       "\"cycles_per_sec\", \"status\": \"pass\""),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"name\": \"pipeline\""), std::string::npos);
+  // batch exists only in --new: a warn, never a failure.
+  EXPECT_NE(r.out.find("{\"name\": \"batch\", \"metric\": "
+                       "\"scheduler_seconds\", \"status\": \"warn\""),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"regressions\": 1"), std::string::npos);
+
+  // A clean comparison reports top-level pass and exit 0.
+  const CliResult clean = run_cli(
+      {"bench-diff", "--new", old_path, "--baseline", old_path, "--json"});
+  EXPECT_EQ(clean.code, 0) << clean.out;
+  EXPECT_NE(clean.out.find("\"status\": \"pass\""), std::string::npos);
+}
+
+/// The batch service end to end through the CLI: a JSONL manifest in,
+/// JSONL results + a trailing summary record out; per-line validation
+/// errors carry the manifest line number; --jobs/--threads are
+/// range-checked like the ELRR_* env knobs.
+TEST(Cli, BatchRunsAManifest) {
+  const std::string manifest_path = ::testing::TempDir() + "/batch.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000}\n"
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000, \"name\": \"repeat\"}\n"
+                     "{\"circuit\": \"s420\", \"mode\": \"score\", "
+                     "\"cycles\": 2000, \"priority\": \"high\"}\n");
+  // Two workers: even when the duplicate dispatches concurrently with
+  // its twin, the result cache's dispatch-time reservation guarantees
+  // exactly one of them runs -- the assertion below holds at any -j.
+  const CliResult r = run_cli({"batch", manifest_path, "--jobs", "2"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  // One result line per manifest line, in submission order, plus the
+  // summary record.
+  EXPECT_NE(r.out.find("{\"job\": 0, \"name\": \"s208\", \"mode\": "
+                       "\"score\", \"state\": \"done\""),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"name\": \"repeat\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"name\": \"s420\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"summary\": true"), std::string::npos);
+  EXPECT_NE(r.out.find("\"theta_sim\""), std::string::npos);
+  // The duplicate score job dedups through the cross-job result cache.
+  EXPECT_NE(r.out.find("\"job_cache_hits\": 1"), std::string::npos) << r.out;
+
+  // --output writes the same JSONL to a file instead of stdout.
+  const std::string out_path = ::testing::TempDir() + "/batch_out.jsonl";
+  const CliResult to_file =
+      run_cli({"batch", manifest_path, "--output", out_path});
+  EXPECT_EQ(to_file.code, 0) << to_file.err;
+  EXPECT_EQ(to_file.out, "");
+  const std::string written = io::load_text_file(out_path);
+  EXPECT_NE(written.find("\"summary\": true"), std::string::npos);
+}
+
+TEST(Cli, BatchRejectsBadManifestsWithLineNumbers) {
+  const std::string manifest_path = ::testing::TempDir() + "/batch_bad.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\"}\n"
+                     "{\"circuit\": \"s208\", \"bogus\": 1}\n");
+  const CliResult r = run_cli({"batch", manifest_path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("manifest line 2"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("bogus"), std::string::npos) << r.err;
+}
+
+TEST(Cli, BatchValidatesKnobs) {
+  const std::string manifest_path = ::testing::TempDir() + "/batch_ok.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\"}\n");
+  const CliResult zero = run_cli({"batch", manifest_path, "--jobs", "0"});
+  EXPECT_EQ(zero.code, 1);
+  EXPECT_NE(zero.err.find("--jobs"), std::string::npos) << zero.err;
+  const CliResult huge =
+      run_cli({"batch", manifest_path, "--threads", "100000"});
+  EXPECT_EQ(huge.code, 1);
+  EXPECT_NE(huge.err.find("--threads"), std::string::npos) << huge.err;
+  const CliResult junk = run_cli({"batch", manifest_path, "--jobs", "two"});
+  EXPECT_EQ(junk.code, 1);
+  const CliResult missing = run_cli({"batch"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("usage"), std::string::npos) << missing.err;
+}
+
 }  // namespace
 }  // namespace elrr::cli

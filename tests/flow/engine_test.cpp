@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench89/generator.hpp"
@@ -205,6 +206,43 @@ TEST(FlowEngine, FeedbackPruningProducesAValidResult) {
     EXPECT_GT(scored.sim.theta, 0.0);
     EXPECT_NEAR(scored.xi_sim, scored.point.tau / scored.sim.theta, 1e-9);
   }
+}
+
+/// Shared-fleet engines (the svc::Scheduler shape): two engines driven
+/// from two threads over ONE multi-client fleet produce results
+/// bit-identical to owned-fleet engines -- candidate dedup across
+/// engines included (the second identical-circuit engine creates no
+/// fresh simulations when it loses the submission race, and its thetas
+/// are the shared, bit-exact ones either way).
+TEST(FlowEngine, SharedFleetMatchesOwnedFleetAcrossThreads) {
+  const Rrg rrg = test_rrg();
+  const EngineOptions base = fast_options();
+  Engine oracle_engine(rrg, base);
+  const EngineResult oracle = oracle_engine.run();
+
+  sim::SimFleet shared(2);
+  EngineResult results[2];
+  std::thread clients[2];
+  for (int c = 0; c < 2; ++c) {
+    clients[c] = std::thread([&, c] {
+      Engine engine(rrg, base, shared);
+      results[c] = engine.run();
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < 2; ++c) {
+    const std::string label = "shared engine " + std::to_string(c);
+    expect_same_frontier(results[c].walk, oracle.walk, label.c_str());
+    ASSERT_EQ(results[c].scored.size(), oracle.scored.size()) << label;
+    for (std::size_t i = 0; i < oracle.scored.size(); ++i) {
+      EXPECT_EQ(results[c].scored[i].sim.theta, oracle.scored[i].sim.theta)
+          << label << " point " << i;
+    }
+  }
+  // Between them the two engines created each unique simulation once.
+  EXPECT_EQ(results[0].unique_simulations + results[1].unique_simulations,
+            oracle.unique_simulations);
 }
 
 /// The observer sees every emitted candidate, in emission order, with

@@ -3,7 +3,7 @@
 /// invariants that must hold regardless of MILP budgets -- chiefly that
 /// the reported baselines and optima are internally consistent.
 
-#include "bench/flow.hpp"
+#include "flow/circuit_flow.hpp"
 
 #include <gtest/gtest.h>
 
@@ -15,7 +15,7 @@
 #include "core/analysis.hpp"
 #include "support/error.hpp"
 
-namespace elrr::bench {
+namespace elrr::flow {
 namespace {
 
 FlowOptions fast_options(std::uint64_t seed) {
@@ -126,6 +126,7 @@ TEST(Flow, EnvValidationAcceptsWellFormedKnobs) {
   const ScopedEnv polish("ELRR_POLISH", "1");
   const ScopedEnv dedup("ELRR_SIM_DEDUP", "0");
   const ScopedEnv pipeline("ELRR_PIPELINE", "0");  // sequential baseline
+  const ScopedEnv cache_cap("ELRR_SIM_CACHE_CAP", "0");  // 0 = unbounded
   const FlowOptions options = FlowOptions::from_env();
   EXPECT_EQ(options.sim_cycles, 12000u);
   EXPECT_EQ(options.sim_threads, 0u);
@@ -133,11 +134,23 @@ TEST(Flow, EnvValidationAcceptsWellFormedKnobs) {
   EXPECT_TRUE(options.polish);
   EXPECT_FALSE(options.sim_dedup);
   EXPECT_FALSE(options.pipeline);
+  EXPECT_EQ(options.sim_cache_cap, 0u);
 }
 
 TEST(Flow, EnvValidationRejectsMalformedSimDedup) {
   const ScopedEnv guard("ELRR_SIM_DEDUP", "yes");  // 0 or 1 only
   EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+}
+
+TEST(Flow, EnvValidationRejectsMalformedSimCacheCap) {
+  {
+    const ScopedEnv guard("ELRR_SIM_CACHE_CAP", "-1");  // no negatives
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
+  {
+    const ScopedEnv guard("ELRR_SIM_CACHE_CAP", "256MiB");  // bytes only
+    EXPECT_THROW(FlowOptions::from_env(), InvalidInputError);
+  }
 }
 
 TEST(Flow, EnvValidationRejectsMalformedPipeline) {
@@ -211,4 +224,4 @@ TEST(Flow, UnknownCircuitThrows) {
 }
 
 }  // namespace
-}  // namespace elrr::bench
+}  // namespace elrr::flow

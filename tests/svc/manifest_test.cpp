@@ -1,0 +1,182 @@
+/// \file manifest_test.cpp
+/// The batch manifest contract: strict JSONL, line-numbered errors.
+/// Every malformed shape -- empty lines included -- must throw
+/// InvalidInputError naming the offending line, so a CI batch fails at
+/// the line instead of silently skipping jobs.
+
+#include "svc/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace elrr::svc {
+namespace {
+
+/// EXPECT that parsing `text` as line `line` throws and the message
+/// carries both the line number and `fragment`.
+void expect_line_error(const std::string& text, int line,
+                       const std::string& fragment) {
+  try {
+    parse_manifest_line(text, line);
+    FAIL() << "expected InvalidInputError for: " << text;
+  } catch (const InvalidInputError& error) {
+    const std::string what = error.what();
+    const std::string prefix = "manifest line " + std::to_string(line);
+    EXPECT_NE(what.find(prefix), std::string::npos) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+TEST(Manifest, ParsesAllKeys) {
+  const ManifestEntry entry = parse_manifest_line(
+      R"({"circuit": "s27", "name": "warmup", "mode": "min_cyc", )"
+      R"("priority": "low", "seed": 7, "epsilon": 0.05, "timeout": 2.5, )"
+      R"("cycles": 4000, "heur": false, "polish": true, "min_cyc_x": 1.5})",
+      3);
+  EXPECT_EQ(entry.line, 3);
+  EXPECT_EQ(entry.circuit, "s27");
+  EXPECT_EQ(entry.name, "warmup");
+  EXPECT_EQ(entry.mode, JobMode::kMinCyc);
+  EXPECT_EQ(entry.priority, JobPriority::kLow);
+  ASSERT_TRUE(entry.seed.has_value());
+  EXPECT_EQ(*entry.seed, 7u);
+  ASSERT_TRUE(entry.epsilon.has_value());
+  EXPECT_DOUBLE_EQ(*entry.epsilon, 0.05);
+  ASSERT_TRUE(entry.timeout.has_value());
+  EXPECT_DOUBLE_EQ(*entry.timeout, 2.5);
+  ASSERT_TRUE(entry.cycles.has_value());
+  EXPECT_EQ(*entry.cycles, 4000u);
+  ASSERT_TRUE(entry.heur.has_value());
+  EXPECT_FALSE(*entry.heur);
+  ASSERT_TRUE(entry.polish.has_value());
+  EXPECT_TRUE(*entry.polish);
+  ASSERT_TRUE(entry.min_cyc_x.has_value());
+  EXPECT_DOUBLE_EQ(*entry.min_cyc_x, 1.5);
+}
+
+TEST(Manifest, DefaultsAreMinimal) {
+  const ManifestEntry entry = parse_manifest_line(R"({"circuit":"s526"})", 1);
+  EXPECT_EQ(entry.mode, JobMode::kMinEffCyc);
+  EXPECT_EQ(entry.priority, JobPriority::kNormal);
+  EXPECT_FALSE(entry.seed.has_value());
+  EXPECT_TRUE(entry.name.empty());  // materialize defaults it to "s526"
+}
+
+TEST(Manifest, ModeAliases) {
+  EXPECT_EQ(parse_manifest_line(R"({"circuit":"x","mode":"flow"})", 1).mode,
+            JobMode::kMinEffCyc);
+  EXPECT_EQ(
+      parse_manifest_line(R"({"circuit":"x","mode":"score_only"})", 1).mode,
+      JobMode::kScoreOnly);
+  EXPECT_EQ(parse_manifest_line(R"({"circuit":"x","mode":"score"})", 1).mode,
+            JobMode::kScoreOnly);
+}
+
+TEST(Manifest, EmptyAndMalformedLinesThrowWithLineNumbers) {
+  expect_line_error("", 4, "empty manifest line");
+  expect_line_error("   \t ", 9, "empty manifest line");
+  expect_line_error("not json", 2, "expected '{'");
+  expect_line_error(R"({"circuit": "s27")", 5, "expected ',' or '}'");
+  expect_line_error(R"({"circuit": "s27"} trailing)", 6, "trailing");
+  expect_line_error(R"({"circuit": })", 7, "expected a string");
+  expect_line_error(R"({circuit: "s27"})", 8, "expected a string");
+}
+
+TEST(Manifest, UnknownAndDuplicateKeysThrow) {
+  expect_line_error(R"({"circuit": "s27", "bogus": 1})", 2,
+                    "unknown key \"bogus\"");
+  expect_line_error(R"({"circuit": "s27", "circuit": "s526"})", 3,
+                    "duplicate key \"circuit\"");
+}
+
+TEST(Manifest, ValueValidation) {
+  expect_line_error(R"({"circuit":"x","mode":"warp"})", 1, "unknown mode");
+  expect_line_error(R"({"circuit":"x","priority":"urgent"})", 1,
+                    "unknown priority");
+  expect_line_error(R"({"circuit":"x","seed": -1})", 1,
+                    "non-negative integer");
+  expect_line_error(R"({"circuit":"x","seed": 1.5})", 1,
+                    "non-negative integer");
+  expect_line_error(R"({"circuit":"x","cycles": 0})", 1, "must be >= 1");
+  expect_line_error(R"({"circuit":"x","epsilon": 0})", 1, "must be positive");
+  expect_line_error(R"({"circuit":"x","timeout": -2})", 1,
+                    "must be positive");
+  expect_line_error(R"({"circuit":"x","min_cyc_x": 0.5})", 1,
+                    "must be >= 1");
+  expect_line_error(R"({"circuit":"x","heur": "yes"})", 1,
+                    "expected true or false");
+  expect_line_error(R"({"circuit":"x","epsilon": "fast"})", 1,
+                    "expected a number");
+}
+
+TEST(Manifest, RequiresExactlyOneSource) {
+  expect_line_error(R"({"name": "nothing"})", 1, "exactly one");
+  expect_line_error(R"({"circuit": "s27", "input": "x.rrg"})", 1,
+                    "exactly one");
+}
+
+TEST(Manifest, WholeManifestReportsTheOffendingLine) {
+  const std::string text =
+      "{\"circuit\": \"s27\"}\n"
+      "{\"circuit\": \"s526\"}\n"
+      "oops\n";
+  try {
+    parse_manifest(text);
+    FAIL() << "expected InvalidInputError";
+  } catch (const InvalidInputError& error) {
+    EXPECT_NE(std::string(error.what()).find("manifest line 3"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Manifest, BlankInteriorLineIsAnError) {
+  const std::string text =
+      "{\"circuit\": \"s27\"}\n"
+      "\n"
+      "{\"circuit\": \"s526\"}\n";
+  try {
+    parse_manifest(text);
+    FAIL() << "expected InvalidInputError";
+  } catch (const InvalidInputError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("manifest line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("empty manifest line"), std::string::npos) << what;
+  }
+}
+
+TEST(Manifest, TrailingNewlineIsNotAJob) {
+  const std::vector<ManifestEntry> entries =
+      parse_manifest("{\"circuit\": \"s27\"}\n{\"circuit\": \"s420\"}\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].circuit, "s27");
+  EXPECT_EQ(entries[0].line, 1);
+  EXPECT_EQ(entries[1].circuit, "s420");
+  EXPECT_EQ(entries[1].line, 2);
+}
+
+TEST(Manifest, MaterializeGeneratesTheCircuit) {
+  flow::FlowOptions base;
+  base.seed = 2;
+  base.sim_cycles = 1234;
+  const ManifestEntry entry =
+      parse_manifest_line(R"({"circuit": "s27", "cycles": 999})", 1);
+  const JobSpec spec = materialize(entry, base);
+  EXPECT_EQ(spec.name, "s27");
+  EXPECT_GT(spec.rrg.num_nodes(), 0u);
+  EXPECT_EQ(spec.flow.sim_cycles, 999u);   // per-line override
+  EXPECT_EQ(spec.flow.seed, 2u);           // inherited from base
+  EXPECT_FALSE(spec.flow.heuristic_only);  // s27 is under the exact ceiling
+}
+
+TEST(Manifest, MaterializeUnknownCircuitThrows) {
+  const ManifestEntry entry =
+      parse_manifest_line(R"({"circuit": "s9999"})", 1);
+  EXPECT_THROW(materialize(entry, flow::FlowOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace elrr::svc

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench89/bench_format.hpp"
 #include "bench89/generator.hpp"
@@ -14,6 +17,7 @@
 #include "elastic/control_sim.hpp"
 #include "elastic/fifo_sizing.hpp"
 #include "elastic/verilog.hpp"
+#include "flow/circuit_flow.hpp"
 #include "flow/engine.hpp"
 #include "heur/heuristic.hpp"
 #include "io/rrg_format.hpp"
@@ -26,6 +30,8 @@
 #include "support/bench_json.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "svc/manifest.hpp"
+#include "svc/scheduler.hpp"
 
 namespace elrr::cli {
 
@@ -52,6 +58,14 @@ commands:
               --sequential (walk-then-score baseline, same results),
               --feedback (prune MILP steps with simulated thetas),
               --polish
+  batch       multi-circuit optimization service: one scheduler, one
+              shared simulation fleet, many jobs. elrr batch
+              <manifest.jsonl> [--jobs N] [--threads T] [--output file]
+              -- one JSON job per manifest line ({"circuit": "s526",
+              "mode": "min_eff_cyc|min_cyc|score", "priority":
+              "high|normal|low", ...}; see src/svc/manifest.hpp), JSONL
+              results out (last line = batch summary). ELRR_* env knobs
+              are the batch-wide defaults; per-line keys override.
   simulate    --cycles N, --runs R, --threads T (0 = all cores),
               --control (SELF network), --capacity C
   generate    --circuit <name> [--seed N] --output <file.rrg>
@@ -62,9 +76,11 @@ commands:
   from-bench  --input <file.bench> [--output <file.rrg>]  (largest SCC,
               unit delays; --annotate re-randomizes per the paper, --seed N)
   bench-diff  --new <BENCH_sim.json> --baseline <BENCH_sim.json>
-              [--max-regression F]  (default 0.10: fail if any section is
-              >10% slower than the committed baseline; tools/bench_gate.sh
-              wires this after a fresh perf_smoke run)
+              [--max-regression F] [--json]  (default 0.10: fail if any
+              section is >10% slower than the committed baseline;
+              tools/bench_gate.sh wires this after a fresh perf_smoke
+              run. --json emits machine-readable per-section
+              ratios + pass/warn/fail for CI annotation)
   help        this text
 )";
 
@@ -433,10 +449,136 @@ int cmd_from_bench(Args& args, std::ostream& out) {
   return 0;
 }
 
+/// One JSONL result line per batch job (strings go through the shared
+/// elrr::json_escape). Numeric fields use %.10g: enough
+/// digits that two runs of a deterministic batch diff clean.
+void print_batch_result(std::ostream& out, const svc::JobResult& result) {
+  char buf[256];
+  out << "{\"job\": " << result.id << ", \"name\": \""
+      << json_escape(result.name) << "\", \"mode\": \""
+      << svc::to_string(result.mode) << "\", \"state\": \""
+      << svc::to_string(result.state) << "\"";
+  // Metrics are emitted only for completed jobs: a cancelled job's
+  // zero-initialized xi fields would read as measured values.
+  if (result.state == svc::JobState::kFailed) {
+    out << ", \"error\": \"" << json_escape(result.error) << "\"";
+  } else if (result.mode == svc::JobMode::kMinEffCyc &&
+             result.state == svc::JobState::kDone) {
+    const flow::CircuitResult& circuit = result.circuit;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"xi_star\": %.10g, \"xi_nee\": %.10g, "
+                  "\"xi_lp_min\": %.10g, \"xi_sim_min\": %.10g, "
+                  "\"improve_percent\": %.10g, \"candidates\": %zu, "
+                  "\"all_exact\": %s",
+                  circuit.xi_star, circuit.xi_nee, circuit.xi_lp_min,
+                  circuit.xi_sim_min, circuit.improve_percent,
+                  circuit.candidates.size(),
+                  circuit.all_exact ? "true" : "false");
+    out << buf;
+  } else if (result.state == svc::JobState::kDone) {
+    std::snprintf(buf, sizeof(buf),
+                  ", \"tau\": %.10g, \"theta_sim\": %.10g, \"xi_sim\": %.10g",
+                  result.tau, result.theta_sim, result.xi_sim);
+    out << buf;
+  }
+  const svc::JobStats& stats = result.stats;
+  std::snprintf(buf, sizeof(buf),
+                ", \"cache_hit\": %s, \"candidates_walked\": %zu, "
+                "\"sim_jobs\": %zu, \"unique_sims\": %zu, \"wall_s\": %.4f}",
+                stats.job_cache_hit ? "true" : "false",
+                stats.candidates_walked, stats.sim_jobs,
+                stats.unique_simulations, stats.wall_seconds);
+  out << buf << "\n";
+}
+
+int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
+  // Manifest path: positional (elrr batch jobs.jsonl) or --manifest.
+  std::string manifest_path = args.get_or("manifest", "");
+  if (manifest_path.empty() && !args.positional().empty()) {
+    manifest_path = args.positional().front();
+  }
+  ELRR_REQUIRE(!manifest_path.empty(),
+               "usage: elrr batch <manifest.jsonl> [--jobs N] [--threads T] "
+               "[--output <file.jsonl>]");
+  // Knob validation mirrors FlowOptions::from_env: malformed or
+  // out-of-range values throw instead of being silently coerced (the
+  // same 4096 caps as ELRR_SIM_THREADS).
+  flow::FlowOptions base = flow::FlowOptions::from_env();
+  const std::uint64_t jobs = args.get_u64("jobs", 1);
+  ELRR_REQUIRE(jobs >= 1 && jobs <= 4096, "--jobs must be in [1, 4096], got ",
+               jobs);
+  const std::uint64_t threads =
+      args.get_u64("threads", static_cast<std::uint64_t>(base.sim_threads));
+  ELRR_REQUIRE(threads <= 4096, "--threads must be in [0, 4096], got ",
+               threads);
+  const auto output = args.get("output");
+  args.finish();
+
+  const std::vector<svc::ManifestEntry> entries =
+      svc::parse_manifest(io::load_text_file(manifest_path));
+  base.sim_threads = static_cast<std::size_t>(threads);
+
+  svc::SchedulerOptions sopt;
+  sopt.workers = static_cast<std::size_t>(jobs);
+  sopt.sim_threads = base.sim_threads;
+  sopt.sim_dedup = base.sim_dedup;
+  sopt.sim_cache_cap = base.sim_cache_cap;
+  // Submit the whole manifest before dispatch starts: the pick order --
+  // and with it the priority/fair-share policy -- then depends only on
+  // the manifest, not on submission timing.
+  sopt.start_paused = true;
+  svc::Scheduler scheduler(sopt);
+  for (const svc::ManifestEntry& entry : entries) {
+    scheduler.submit(svc::materialize(entry, base));
+  }
+  err << "batch: " << entries.size() << " jobs from " << manifest_path
+      << ", " << jobs << " worker(s), fleet threads "
+      << (threads == 0 ? std::string("auto") : std::to_string(threads))
+      << "\n";
+  scheduler.resume();
+  const std::vector<svc::JobResult> results = scheduler.wait_all();
+
+  std::ostringstream lines;
+  std::size_t failed = 0;
+  for (const svc::JobResult& result : results) {
+    print_batch_result(lines, result);
+    failed += result.state == svc::JobState::kFailed ? 1 : 0;
+  }
+  // Trailing summary record keeps the stream pure JSONL while still
+  // reporting batch-wide stats (scheduler + shared-fleet cache).
+  const svc::SchedulerStats stats = scheduler.stats();
+  const sim::SimCacheStats cache = scheduler.fleet().cache_stats();
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"summary\": true, \"jobs\": %zu, \"done\": %zu, "
+                "\"failed\": %zu, \"cancelled\": %zu, "
+                "\"job_cache_hits\": %llu, \"sim_cache_hits\": %llu, "
+                "\"unique_simulations\": %llu, \"sim_cache_entries\": %zu, "
+                "\"sim_cache_evictions\": %llu}",
+                stats.submitted, stats.completed, stats.failed,
+                stats.cancelled,
+                static_cast<unsigned long long>(stats.job_cache_hits),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                cache.entries,
+                static_cast<unsigned long long>(cache.evictions));
+  lines << buf << "\n";
+
+  if (output.has_value()) {
+    io::save_text_file(*output, lines.str());
+    err << "batch: wrote " << results.size() << " result(s) + summary to "
+        << *output << "\n";
+  } else {
+    out << lines.str();
+  }
+  return failed > 0 ? 1 : 0;
+}
+
 int cmd_bench_diff(Args& args, std::ostream& out) {
   const std::string new_path = args.require("new");
   const std::string baseline_path = args.require("baseline");
   const double max_regression = args.get_double("max-regression", 0.10);
+  const bool json = args.get_flag("json");
   args.finish();
   ELRR_REQUIRE(max_regression >= 0.0 && max_regression < 1.0,
                "--max-regression must be in [0, 1)");
@@ -445,7 +587,7 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
   const std::string baseline = io::load_text_file(baseline_path);
 
   // Sections and their metric: per-kernel cases report throughput
-  // (higher is better), fleet sections report drain seconds of a fixed
+  // (higher is better), fleet/batch sections report seconds of a fixed
   // workload (lower is better). `better` is new/old folded so that
   // > 1 always means this build is faster.
   struct Section {
@@ -461,48 +603,112 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
       {"fleet", "fleet_seconds", false},
       {"fleet_dedup", "fleet_seconds", false},
       {"pipeline", "overlapped_seconds", false},
+      {"batch", "scheduler_seconds", false},
   };
 
+  // Evaluate every section first; render (text or --json) after, so both
+  // formats agree by construction. Status: "pass" / "fail" (compared),
+  // "warn" (present in only one file -- trajectories gain sections over
+  // time, and a fresh run must stay comparable against baselines that
+  // predate them), "missing" (in neither).
+  struct Evaluated {
+    const Section* section;
+    std::optional<double> old_value, new_value;
+    double speedup = 0.0;
+    const char* status = "missing";
+  };
+  std::vector<Evaluated> rows;
   int regressions = 0;
   int compared = 0;
-  out << "section        baseline          new    speedup\n";
   for (const Section& section : kSections) {
-    const auto old_value =
-        bench_json::find_number(baseline, section.name, section.key);
-    const auto new_value =
-        bench_json::find_number(fresh, section.name, section.key);
-    if (!old_value.has_value() || !new_value.has_value()) {
-      // A section present in only one file is a warning, never a
-      // failure: trajectories gain sections over time (fleet in PR 2,
-      // pipeline in PR 4), and a fresh run must stay comparable against
-      // baselines that predate them (and vice versa when bisecting).
-      if (old_value.has_value() != new_value.has_value()) {
-        out << "warning: section '" << section.name << "' missing from "
-            << (old_value.has_value() ? new_path : baseline_path)
-            << "; skipped\n";
-      } else {
-        out << section.name << ": (missing; skipped)\n";
-      }
+    Evaluated row;
+    row.section = &section;
+    row.old_value = bench_json::find_number(baseline, section.name, section.key);
+    row.new_value = bench_json::find_number(fresh, section.name, section.key);
+    if (!row.old_value.has_value() || !row.new_value.has_value()) {
+      row.status = row.old_value.has_value() != row.new_value.has_value()
+                       ? "warn"
+                       : "missing";
+      rows.push_back(row);
       continue;
     }
-    const double speedup = section.higher_is_better
-                               ? *new_value / *old_value
-                               : *old_value / *new_value;
+    row.speedup = section.higher_is_better ? *row.new_value / *row.old_value
+                                           : *row.old_value / *row.new_value;
     // "Regressed" means the metric itself worsened by more than the
     // threshold: throughput dropped below (1 - F) x baseline, or seconds
     // grew past (1 + F) x baseline -- symmetric in the metric, not in
     // the folded speedup.
-    const bool regressed = section.higher_is_better
-                               ? *new_value < *old_value * (1.0 - max_regression)
-                               : *new_value > *old_value * (1.0 + max_regression);
+    const bool regressed =
+        section.higher_is_better
+            ? *row.new_value < *row.old_value * (1.0 - max_regression)
+            : *row.new_value > *row.old_value * (1.0 + max_regression);
+    row.status = regressed ? "fail" : "pass";
     ++compared;
     regressions += regressed ? 1 : 0;
+    rows.push_back(row);
+  }
+  if (json) {
+    // Machine-readable: CI annotates per-section instead of parsing the
+    // table. One top-level object; exit code unchanged.
+    char buf[256];
+    out << "{\n  \"baseline\": \"" << json_escape(baseline_path)
+        << "\",\n  \"new\": \"" << json_escape(new_path) << "\",\n";
+    std::snprintf(buf, sizeof(buf), "  \"max_regression\": %.4f,\n",
+                  max_regression);
+    out << buf << "  \"sections\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Evaluated& row = rows[i];
+      out << "    {\"name\": \"" << row.section->name << "\", \"metric\": \""
+          << row.section->key << "\", \"status\": \"" << row.status << "\"";
+      if (row.old_value.has_value()) {
+        std::snprintf(buf, sizeof(buf), ", \"baseline\": %.6g",
+                      *row.old_value);
+        out << buf;
+      }
+      if (row.new_value.has_value()) {
+        std::snprintf(buf, sizeof(buf), ", \"new\": %.6g", *row.new_value);
+        out << buf;
+      }
+      if (std::strcmp(row.status, "pass") == 0 ||
+          std::strcmp(row.status, "fail") == 0) {
+        std::snprintf(buf, sizeof(buf), ", \"speedup\": %.4f", row.speedup);
+        out << buf;
+      }
+      out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"compared\": " << compared
+        << ",\n  \"regressions\": " << regressions << ",\n  \"status\": \""
+        << (regressions > 0 ? "fail" : "pass") << "\"\n}\n";
+    // After the JSON: CI always gets the machine-readable per-section
+    // report, even when nothing was comparable (which is still an error).
+    ELRR_REQUIRE(compared > 0, "no comparable sections between ", new_path,
+                 " and ", baseline_path);
+    return regressions > 0 ? 1 : 0;
+  }
+
+  out << "section        baseline          new    speedup\n";
+  for (const Evaluated& row : rows) {
+    if (std::strcmp(row.status, "warn") == 0) {
+      out << "warning: section '" << row.section->name << "' missing from "
+          << (row.old_value.has_value() ? new_path : baseline_path)
+          << "; skipped\n";
+      continue;
+    }
+    if (std::strcmp(row.status, "missing") == 0) {
+      out << row.section->name << ": (missing; skipped)\n";
+      continue;
+    }
     char line[160];
     std::snprintf(line, sizeof(line), "%-12s %12.5g %12.5g    %5.2fx%s\n",
-                  section.name, *old_value, *new_value, speedup,
-                  regressed ? "  <== REGRESSION" : "");
+                  row.section->name, *row.old_value, *row.new_value,
+                  row.speedup,
+                  std::strcmp(row.status, "fail") == 0 ? "  <== REGRESSION"
+                                                       : "");
     out << line;
   }
+  // The per-section table (including every 'missing from <file>'
+  // diagnostic) renders before this throws: a no-overlap diff still
+  // tells the user which file lacked what.
   ELRR_REQUIRE(compared > 0, "no comparable sections between ", new_path,
                " and ", baseline_path);
   if (regressions > 0) {
@@ -536,6 +742,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (cmd == "size-fifos") return cmd_size_fifos(args, out);
     if (cmd == "min-area") return cmd_min_area(args, out);
     if (cmd == "from-bench") return cmd_from_bench(args, out);
+    if (cmd == "batch") return cmd_batch(args, out, err);
     if (cmd == "bench-diff") return cmd_bench_diff(args, out);
     err << "elrr: unknown command '" << cmd << "' (try `elrr help`)\n";
     return 2;
