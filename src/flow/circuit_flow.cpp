@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <climits>
 #include <cmath>
 #include <cstring>
 
 #include "flow/engine.hpp"
 #include "heur/heuristic.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
@@ -16,60 +16,6 @@
 namespace elrr::flow {
 
 namespace {
-
-/// Environment knobs are validated, not trusted: a malformed or
-/// out-of-range value used to be silently coerced by atof (negative
-/// ELRR_SIM_CYCLES wrapped through size_t into a near-eternal run;
-/// "10s" parsed as 10; "abc" as 0) -- every parse failure now throws
-/// with the variable name and the offending text.
-[[noreturn]] void env_fail(const char* name, const char* expected,
-                           const char* value) {
-  throw InvalidInputError(detail::concat(
-      "environment variable ", name, ": expected ", expected, ", got \"",
-      value, "\""));
-}
-
-double env_positive_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  if (end == value || *end != '\0' || errno == ERANGE ||
-      !std::isfinite(parsed) || parsed <= 0.0) {
-    env_fail(name, "a positive number", value);
-  }
-  return parsed;
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback,
-                      std::uint64_t min_value, std::uint64_t max_value) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  // strtoull happily wraps "-5" to 2^64-5; reject signs up front so a
-  // negative knob is an error, not a near-infinite unsigned value.
-  if (std::strchr(value, '-') != nullptr || std::strchr(value, '+') != nullptr) {
-    env_fail(name, "a non-negative integer", value);
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE) {
-    env_fail(name, "a non-negative integer", value);
-  }
-  if (parsed < min_value || parsed > max_value) {
-    env_fail(name, "an integer within range", value);
-  }
-  return static_cast<std::uint64_t>(parsed);
-}
-
-bool env_bool(const char* name, bool fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  if (std::strcmp(value, "0") == 0) return false;
-  if (std::strcmp(value, "1") == 0) return true;
-  env_fail(name, "0 or 1", value);
-}
 
 /// Heuristic budget scaled to the instance: every probe solves one
 /// throughput LP whose cost grows ~quadratically with the edge count,
@@ -96,25 +42,25 @@ HeuristicOptions scaled_heuristic(const Rrg& rrg) {
 FlowOptions FlowOptions::from_env() {
   constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
   FlowOptions options;
-  options.seed = env_u64("ELRR_SEED", 1, 0, kNoCap);
-  options.epsilon = env_positive_double("ELRR_EPSILON", 0.05);
-  options.milp_timeout_s = env_positive_double("ELRR_MILP_TIMEOUT", 6.0);
+  options.seed = env::u64("ELRR_SEED", 1, 0, kNoCap);
+  options.epsilon = env::positive_double("ELRR_EPSILON", 0.05);
+  options.milp_timeout_s = env::positive_double("ELRR_MILP_TIMEOUT", 6.0);
   options.sim_cycles = static_cast<std::size_t>(
-      env_u64("ELRR_SIM_CYCLES", 20000, 1, kNoCap));
+      env::u64("ELRR_SIM_CYCLES", 20000, 1, kNoCap));
   // 0 = all cores; the cap rejects typos like "10000000" that would try
   // to spawn a thread per simulated cycle.
   options.sim_threads = static_cast<std::size_t>(
-      env_u64("ELRR_SIM_THREADS", 1, 0, 4096));
-  options.sim_dedup = env_bool("ELRR_SIM_DEDUP", true);
+      env::u64("ELRR_SIM_THREADS", 1, 0, 4096));
+  options.sim_dedup = env::boolean("ELRR_SIM_DEDUP", true);
   // 0 = unbounded; anything else is the LRU byte cap of the scoring
   // fleet's session result cache.
-  options.sim_cache_cap = static_cast<std::size_t>(env_u64(
+  options.sim_cache_cap = static_cast<std::size_t>(env::u64(
       "ELRR_SIM_CACHE_CAP", sim::kDefaultSimCacheCapBytes, 0, kNoCap));
-  options.pipeline = env_bool("ELRR_PIPELINE", true);
-  options.polish = env_bool("ELRR_POLISH", false);
-  options.use_heuristic = env_bool("ELRR_HEUR", true);
+  options.pipeline = env::boolean("ELRR_PIPELINE", true);
+  options.polish = env::boolean("ELRR_POLISH", false);
+  options.use_heuristic = env::boolean("ELRR_HEUR", true);
   options.exact_max_edges = static_cast<int>(
-      env_u64("ELRR_EXACT_MAX_EDGES", 150, 0, INT_MAX));
+      env::u64("ELRR_EXACT_MAX_EDGES", 150, 0, INT_MAX));
   return options;
 }
 

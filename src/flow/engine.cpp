@@ -5,6 +5,7 @@
 
 #include "core/analysis.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace elrr::flow {
@@ -93,6 +94,11 @@ EngineResult Engine::run() {
       break;
     }
     poll_feedback();
+    // Injection site at the step boundary -- the same boundary
+    // cooperative cancellation uses, so a `walk.step` fault leaves the
+    // walk in the identical state a cancel would (tickets released by
+    // TicketGuard on unwind, fleet reusable).
+    failpoint::trip("walk.step");
     Stopwatch step;
     const std::optional<ParetoPoint> point = walk.advance();
     result.walk_seconds += step.seconds();

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <queue>
 
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace elrr::lp {
@@ -343,6 +344,7 @@ class BranchAndBound {
 }  // namespace
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  failpoint::trip("milp.solve");
   model.validate();
   if (options.presolve) {
     const Presolved pre = presolve(model);

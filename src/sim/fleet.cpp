@@ -1,6 +1,7 @@
 #include "sim/fleet.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -18,6 +19,7 @@
 #include "support/bytes.hpp"
 #include "sim/flat_kernel.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -174,6 +176,13 @@ struct JobContext {
 
   std::size_t remaining = 0;  ///< slices still to finish (fleet mutex)
   std::exception_ptr failure;  ///< first slice failure (fleet mutex)
+  /// Flat-path containment: a slice whose FlatKernel execution throws is
+  /// re-run on the reference kernel (built on demand, once) instead of
+  /// failing the job. The reference path draws the identical per-run
+  /// seeds, so a degraded slice's thetas are bit-identical to the flat
+  /// ones -- degradation is observable only through this counter.
+  std::once_flag ref_fallback_once;
+  std::atomic<std::uint32_t> degraded_slices{0};
   /// Async contexts drop their kernels/tables/borrows once complete:
   /// the session cache keeps only the per_run results (cheap) while the
   /// heavy execution state is freed as soon as the last slice lands.
@@ -206,16 +215,23 @@ struct QueueEntry {
   std::uint32_t count = 0;
 };
 
-void execute_slice(JobContext& ctx, std::uint32_t first, std::uint32_t count) {
+void run_reference_slice(JobContext& ctx, std::uint32_t first,
+                         std::uint32_t count) {
   double* const thetas = ctx.per_run.data() + first;
-  if (ctx.path != SimPath::kFlat) {
-    for (std::uint32_t r = 0; r < count; ++r) {
-      thetas[r] = run_reference(*ctx.ref_kernel, *ctx.guards, *ctx.latencies,
-                                run_seed(ctx.options.seed, first + r),
-                                ctx.options);
-    }
-    return;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    thetas[r] = run_reference(*ctx.ref_kernel, *ctx.guards, *ctx.latencies,
+                              run_seed(ctx.options.seed, first + r),
+                              ctx.options);
   }
+}
+
+/// Flat execution of one slice; throws on a FlatKernel fault (including
+/// the `fleet.flat` injection site). Split out so execute_slice can
+/// contain the fault and re-run the slice on the reference kernel.
+void run_flat_slice(JobContext& ctx, std::uint32_t first,
+                    std::uint32_t count) {
+  failpoint::trip("fleet.flat");
+  double* const thetas = ctx.per_run.data() + first;
   switch (count) {
     case 1:
       thetas[0] = run_flat(*ctx.flat_kernel, *ctx.guards, *ctx.latencies,
@@ -243,6 +259,30 @@ void execute_slice(JobContext& ctx, std::uint32_t first, std::uint32_t count) {
       break;
     default:
       ELRR_ASSERT(false, "unsupported lane width ", count);
+  }
+}
+
+void execute_slice(JobContext& ctx, std::uint32_t first, std::uint32_t count) {
+  if (ctx.path != SimPath::kFlat) {
+    run_reference_slice(ctx, first, count);
+    return;
+  }
+  try {
+    run_flat_slice(ctx, first, count);
+  } catch (...) {
+    // Per-slice graceful degradation: a flat-path fault costs one
+    // reference re-run of this slice, not the job. The reference kernel
+    // is built lazily (most jobs never need it) and exactly once even
+    // when several slices of the same job fault concurrently; guards,
+    // latency tables and per-run seeds are shared with the flat path, so
+    // the recomputed thetas are bit-identical and the job's report --
+    // aside from degraded_slices -- is indistinguishable from a clean
+    // run. A *reference* fault here is not containable and propagates.
+    std::call_once(ctx.ref_fallback_once, [&ctx] {
+      ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
+    });
+    run_reference_slice(ctx, first, count);
+    ctx.degraded_slices.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -312,6 +352,8 @@ SimReport report_for(const JobContext& ctx) {
   report.cycles = ctx.options.runs * ctx.options.measure_cycles;
   report.path = ctx.path;
   report.fallback = ctx.fallback;
+  report.degraded_slices =
+      ctx.degraded_slices.load(std::memory_order_relaxed);
   return report;
 }
 
@@ -345,10 +387,21 @@ struct FleetCore {
     std::size_t bytes = 0;
   };
 
+  /// Heartbeat of one pool worker: set under `mutex` when a slice is
+  /// claimed, cleared when it lands. A worker whose beat stays `busy`
+  /// past a threshold is *stuck* (wedged kernel, injected stall) --
+  /// stuck_workers() is how the scheduler's bounded waits name the
+  /// culprit instead of hanging with it.
+  struct WorkerBeat {
+    bool busy = false;
+    std::chrono::steady_clock::time_point since{};
+  };
+
   mutable std::mutex mutex;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
   std::vector<std::thread> pool;  ///< guarded by `mutex` (ensure_pool)
+  std::vector<WorkerBeat> beats;  ///< one per pool slot (under `mutex`)
   bool stop = false;
   std::deque<QueueEntry> queue;
 
@@ -480,11 +533,13 @@ std::size_t SimFleet::submit(Rrg&& rrg, const SimOptions& options) {
 void SimFleet::ensure_pool(std::size_t workers) {
   const std::lock_guard<std::mutex> lock(core_->mutex);
   while (core_->pool.size() < workers) {
-    core_->pool.emplace_back([this] { worker_main(); });
+    const std::size_t slot = core_->pool.size();
+    core_->beats.emplace_back();
+    core_->pool.emplace_back([this, slot] { worker_main(slot); });
   }
 }
 
-void SimFleet::worker_main() {
+void SimFleet::worker_main(std::size_t slot) {
   FleetCore& core = *core_;
   std::unique_lock<std::mutex> lock(core.mutex);
   for (;;) {
@@ -496,19 +551,43 @@ void SimFleet::worker_main() {
     // A sibling slice already failed: skip the work, still complete the
     // slice so waiters (which rethrow the failure) unblock.
     const bool skip = ctx.failure != nullptr;
+    core.beats[slot] = {true, std::chrono::steady_clock::now()};
     lock.unlock();
     // The claimed entry's shared_ptr keeps the context storage alive
     // through execution, whatever tickets/cache do concurrently.
     std::exception_ptr failure;
     if (!skip) {
       try {
+        // `fleet.worker` is the whole-worker fault: unlike `fleet.flat`
+        // (contained inside execute_slice by the reference fallback) a
+        // throw here fails the slice's job -- the transient the
+        // scheduler's retry budget exists for. Its `stall:` mode sleeps
+        // with the heartbeat set, which is what stuck_workers() reads.
+        failpoint::trip("fleet.worker");
         fleet_detail::execute_slice(ctx, entry.first, entry.count);
       } catch (...) {
         failure = std::current_exception();
       }
     }
     lock.lock();
+    core.beats[slot].busy = false;
     if (failure && !ctx.failure) ctx.failure = failure;
+    if (ctx.failure) {
+      // Purge a failed job from the dedup cache: existing tickets still
+      // rethrow the failure, but a *re-submission* of the same candidate
+      // must run fresh -- that is what makes a transient fault (injected
+      // or real) recoverable by the scheduler's retry, instead of the
+      // cache replaying the failure forever. Linear scan: failure path
+      // only.
+      for (auto it = core.cache.begin(); it != core.cache.end(); ++it) {
+        if (it->second.ctx.get() == &ctx) {
+          core.cache_bytes -= it->second.bytes;
+          core.lru.erase(it->second.lru);
+          core.cache.erase(it);
+          break;
+        }
+      }
+    }
     if (--ctx.remaining == 0) {
       if (ctx.release_on_done) {
         ctx.release_execution_state();
@@ -747,6 +826,37 @@ SimReport SimFleet::wait(SimTicket ticket) {
   core.cv_done.wait(lock, [&] { return ctx->done(); });
   if (ctx->failure) std::rethrow_exception(ctx->failure);
   return fleet_detail::report_for(*ctx);
+}
+
+std::optional<SimReport> SimFleet::wait_for(SimTicket ticket,
+                                            double seconds) {
+  FleetCore& core = *core_;
+  std::unique_lock<std::mutex> lock(core.mutex);
+  ELRR_REQUIRE(ticket.valid(), "invalid simulation ticket");
+  const auto it = core.tickets.find(ticket.id);
+  ELRR_REQUIRE(it != core.tickets.end(),
+               "unknown or released simulation ticket ", ticket.id);
+  const std::shared_ptr<JobContext> ctx = it->second;
+  const auto budget = std::chrono::duration<double>(std::max(seconds, 0.0));
+  if (!core.cv_done.wait_for(lock, budget, [&] { return ctx->done(); })) {
+    return std::nullopt;
+  }
+  if (ctx->failure) std::rethrow_exception(ctx->failure);
+  return fleet_detail::report_for(*ctx);
+}
+
+std::size_t SimFleet::stuck_workers(double threshold_s) const {
+  FleetCore& core = *core_;
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  std::size_t stuck = 0;
+  for (const FleetCore::WorkerBeat& beat : core.beats) {
+    if (!beat.busy) continue;
+    const double busy_s =
+        std::chrono::duration<double>(now - beat.since).count();
+    if (busy_s > threshold_s) ++stuck;
+  }
+  return stuck;
 }
 
 void SimFleet::release(SimTicket ticket) {

@@ -82,6 +82,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -185,6 +186,12 @@ class SimFleet {
   /// (rethrows the job's failure, if any). Re-waitable until released.
   /// Thread-safe.
   SimReport wait(SimTicket ticket);
+  /// Bounded wait: blocks at most `seconds`, then returns nullopt if the
+  /// job is still running (no side effects; wait again later). On
+  /// completion behaves exactly like wait(). The scheduler's deadline
+  /// loop polls through this so a stuck worker can never wedge a client
+  /// past its wall budget. Thread-safe.
+  std::optional<SimReport> wait_for(SimTicket ticket, double seconds);
   /// Drops the fleet's reference for this ticket: later poll/wait on it
   /// throw, wait_all skips it, and -- once every aliasing ticket is
   /// released and the cache entry evicted -- the job's memory is freed.
@@ -206,6 +213,12 @@ class SimFleet {
   /// Live + cumulative session-cache counters (entries, bytes, cap,
   /// hits/misses/evictions).
   SimCacheStats cache_stats() const;
+  /// Pool workers that have been executing one slice for longer than
+  /// `threshold_s` seconds (heartbeat-based). A healthy slice finishes in
+  /// milliseconds; a nonzero count under a generous threshold means a
+  /// worker is wedged (or an injected `stall:` fail point is active) and
+  /// bounded waits should report it rather than keep waiting. Thread-safe.
+  std::size_t stuck_workers(double threshold_s) const;
 
   std::size_t num_jobs() const { return jobs_.size(); }
   std::size_t threads() const { return threads_; }
@@ -229,7 +242,7 @@ class SimFleet {
 
   /// Grows the persistent pool to `workers` threads (thread-safe).
   void ensure_pool(std::size_t workers);
-  void worker_main();
+  void worker_main(std::size_t slot);
   SimTicket enqueue_async(const Rrg* rrg, const SimOptions& options,
                           std::unique_ptr<Rrg> owned);
   std::size_t hardware_concurrency_cached();

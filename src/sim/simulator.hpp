@@ -68,6 +68,10 @@ enum class SimPath : std::uint8_t {
 struct SimReport : SimResult {
   SimPath path = SimPath::kFlat;
   FlatCap fallback = FlatCap::kNone;
+  /// Slices the fleet re-ran on the reference kernel after a flat-path
+  /// fault (fail-point or real). Thetas of a degraded slice are
+  /// bit-identical to the flat ones; this counter is the only trace.
+  std::uint32_t degraded_slices = 0;
 };
 
 /// Long-run throughput Theta(RRG) by simulation. Guards are sampled i.i.d.

@@ -1,0 +1,86 @@
+#include "support/env.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace elrr::env {
+
+void fail(const char* name, const char* expected, const char* value) {
+  throw InvalidInputError(detail::concat(
+      "environment variable ", name, ": expected ", expected, ", got \"",
+      value, "\""));
+}
+
+namespace {
+
+double parse_double(const char* name, const char* value,
+                    const char* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    fail(name, expected, value);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+double positive_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = parse_double(name, value, "a positive number");
+  if (parsed <= 0.0) fail(name, "a positive number", value);
+  return parsed;
+}
+
+double nonneg_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = parse_double(name, value, "a non-negative number");
+  if (parsed < 0.0) fail(name, "a non-negative number", value);
+  return parsed;
+}
+
+std::uint64_t u64(const char* name, std::uint64_t fallback,
+                  std::uint64_t min_value, std::uint64_t max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  // strtoull happily wraps "-5" to 2^64-5; reject signs up front so a
+  // negative knob is an error, not a near-infinite unsigned value.
+  if (std::strchr(value, '-') != nullptr ||
+      std::strchr(value, '+') != nullptr) {
+    fail(name, "a non-negative integer", value);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    fail(name, "a non-negative integer", value);
+  }
+  if (parsed < min_value || parsed > max_value) {
+    fail(name, "an integer within range", value);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool boolean(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "0") == 0) return false;
+  if (std::strcmp(value, "1") == 0) return true;
+  fail(name, "0 or 1", value);
+}
+
+std::string str(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::string(value);
+}
+
+}  // namespace elrr::env

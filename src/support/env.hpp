@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file env.hpp
+/// Strict environment-knob parsing shared by every ELRR_* consumer.
+///
+/// Environment knobs are validated, not trusted: a malformed or
+/// out-of-range value used to be silently coerced by atof (negative
+/// ELRR_SIM_CYCLES wrapped through size_t into a near-eternal run;
+/// "10s" parsed as 10; "abc" as 0) -- every parse failure throws
+/// InvalidInputError with the variable name and the offending text.
+/// FlowOptions::from_env, SchedulerOptions::from_env and the fail-point
+/// registry all funnel through these helpers so a typo'd knob fails the
+/// same way no matter which subsystem reads it.
+
+#include <cstdint>
+#include <string>
+
+namespace elrr::env {
+
+/// Throws InvalidInputError naming the variable and the bad value.
+[[noreturn]] void fail(const char* name, const char* expected,
+                       const char* value);
+
+/// Finite double > 0 (e.g. timeouts). Absent -> fallback.
+double positive_double(const char* name, double fallback);
+
+/// Finite double >= 0; 0 conventionally means "off" (e.g. deadlines).
+double nonneg_double(const char* name, double fallback);
+
+/// Unsigned integer within [min_value, max_value]. Signs are rejected so
+/// "-5" is an error, not 2^64-5.
+std::uint64_t u64(const char* name, std::uint64_t fallback,
+                  std::uint64_t min_value, std::uint64_t max_value);
+
+/// Strictly "0" or "1".
+bool boolean(const char* name, bool fallback);
+
+/// Raw string value; absent -> fallback (may be empty).
+std::string str(const char* name, const std::string& fallback);
+
+}  // namespace elrr::env

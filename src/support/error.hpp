@@ -32,6 +32,15 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A failure that is expected to go away on retry (injected fault, lost
+/// worker, torn IO). The scheduler retries jobs that fail with a
+/// TransientError up to its retry budget; every other Error subtype is
+/// permanent and fails the job immediately.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 template <typename... Args>

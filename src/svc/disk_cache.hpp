@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file disk_cache.hpp
+/// Crash-safe persistent result cache: the on-disk layer under the
+/// scheduler's in-memory cross-job result cache. Entries are
+/// content-addressed by the scheduler's canonical job key (circuit
+/// content + delays + mode + result-affecting FlowOptions), so repeated
+/// traffic is served bit-identically across process restarts -- the
+/// ROADMAP's `elrr serve` daemon restarts without losing its warm cache.
+///
+/// Durability model (the part chaos tests exercise):
+///  * **Atomic visibility**: an entry is written to a process+counter
+///    unique `*.tmp` file and renamed into place -- readers only ever see
+///    no entry or a complete entry, never a torn one, and a crash (or the
+///    `disk_cache.store` fail point) between write and rename leaves only
+///    a `*.tmp` orphan that the next construction sweeps.
+///  * **Checksummed reads**: every entry carries an FNV-1a checksum over
+///    its header+key+payload; a truncated, bit-flipped or
+///    wrong-magic/wrong-version file is a *miss* (counted `corrupt`,
+///    unlinked) -- never a wrong answer, never an exception.
+///  * **Containment**: load() and store() never throw; any filesystem
+///    error (including injected ones) degrades to miss / dropped store
+///    and bumps a counter. The cache is an accelerator, not a
+///    correctness dependency.
+///
+/// Layout: one file per entry, `<fnv1a64(key) hex>.entry`, holding the
+/// full key (verified on load, so a 64-bit filename collision reads as a
+/// miss) and an opaque payload. Byte-capped like the in-memory LRU:
+/// past `cap_bytes` the oldest-mtime entries are unlinked after each
+/// store; a hit bumps the entry's mtime (LRU by filesystem timestamps --
+/// approximate across restarts, exact enough for a cache).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "svc/scheduler.hpp"
+
+namespace elrr::svc {
+
+struct DiskCacheOptions {
+  std::string dir;            ///< entry directory (created if absent)
+  std::size_t cap_bytes = 0;  ///< total entry bytes; 0 = unbounded
+};
+
+struct DiskCacheStats {
+  std::size_t entries = 0;  ///< entry files currently on disk
+  std::size_t bytes = 0;    ///< their total size
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;    ///< entries rejected (checksum/format) + unlinked
+  std::uint64_t stores = 0;     ///< entries durably written
+  std::uint64_t store_errors = 0;  ///< stores dropped (IO fault, fail point)
+  std::uint64_t evictions = 0;  ///< entries unlinked over the byte cap
+};
+
+/// The persistent layer. Thread-safe: scheduler workers load/store
+/// concurrently under an internal mutex (IO included -- simplicity over
+/// parallel IO; entries are a few KiB).
+class DiskCache {
+ public:
+  /// Creates `options.dir` if needed, sweeps `*.tmp` orphans of crashed
+  /// stores, and takes inventory of existing entries. Throws
+  /// InvalidInputError when the directory cannot be created -- a
+  /// *configured* cache that cannot work is a user error; everything
+  /// after construction is contained.
+  explicit DiskCache(const DiskCacheOptions& options);
+
+  /// The payload stored under `key`, or nullopt (absent / torn / corrupt
+  /// / IO fault -- corrupt entries are unlinked so they are recomputed,
+  /// not retried). Never throws.
+  std::optional<std::string> load(const std::string& key);
+
+  /// Durably stores `payload` under `key` (overwrites). Failures are
+  /// dropped silently into `store_errors`. Never throws.
+  void store(const std::string& key, const std::string& payload);
+
+  DiskCacheStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(const std::string& key) const;
+  void evict_over_cap_locked();
+
+  std::string dir_;
+  std::size_t cap_bytes_ = 0;
+  mutable std::mutex mutex_;
+  DiskCacheStats stats_;
+  std::uint64_t tmp_counter_ = 0;
+};
+
+/// Bit-exact binary serialization of a completed job's result-affecting
+/// fields (mode, scored numbers, the full CircuitResult including every
+/// candidate row). `id`, `name`, `state`, `error` and the per-run
+/// JobStats are schedule/job-local and excluded -- the scheduler fills
+/// them when serving, exactly like an in-memory cross-job cache hit.
+std::string serialize_job_result(const JobResult& result);
+
+/// Inverse of serialize_job_result; nullopt on any malformed payload
+/// (wrong version, truncation, trailing bytes) -- the caller treats that
+/// as a cache miss.
+std::optional<JobResult> deserialize_job_result(const std::string& payload);
+
+}  // namespace elrr::svc

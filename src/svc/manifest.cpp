@@ -9,6 +9,7 @@
 #include "bench89/generator.hpp"
 #include "io/rrg_format.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 
 namespace elrr::svc {
@@ -192,6 +193,10 @@ class LineParser {
       const double x = parse_number(key);
       if (x < 1.0) fail(line_, "key \"min_cyc_x\": must be >= 1");
       entry.min_cyc_x = x;
+    } else if (key == "deadline") {
+      entry.deadline = parse_positive(key);
+    } else if (key == "retries") {
+      entry.retries = parse_u64(key, 0);
     } else if (key == "heur") {
       entry.heur = parse_bool(key);
     } else if (key == "polish") {
@@ -220,6 +225,7 @@ ManifestEntry parse_manifest_line(std::string_view text, int line_number) {
 }
 
 std::vector<ManifestEntry> parse_manifest(std::string_view text) {
+  failpoint::trip("svc.manifest");
   std::vector<ManifestEntry> entries;
   int line_number = 0;
   std::size_t start = 0;
@@ -255,6 +261,8 @@ JobSpec materialize(const ManifestEntry& entry,
   if (entry.heur) spec.flow.use_heuristic = *entry.heur;
   if (entry.polish) spec.flow.polish = *entry.polish;
   if (entry.min_cyc_x) spec.min_cyc_x = *entry.min_cyc_x;
+  if (entry.deadline) spec.deadline_s = *entry.deadline;
+  if (entry.retries) spec.retries = static_cast<std::size_t>(*entry.retries);
   if (!entry.circuit.empty()) {
     const bench89::CircuitSpec& circuit = bench89::spec_by_name(entry.circuit);
     spec.rrg = bench89::make_table2_rrg(circuit, spec.flow.seed);

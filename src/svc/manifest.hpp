@@ -29,6 +29,10 @@
 ///   heur      true/false (merge the MILP-free heuristic)
 ///   polish    true/false (MAX_THR polish)
 ///   min_cyc_x number >= 1 (MIN_CYC throughput bound parameter)
+///   deadline  positive number (wall seconds across all attempts;
+///             overrides ELRR_JOB_DEADLINE for this job)
+///   retries   non-negative integer (transient-failure retry budget;
+///             overrides ELRR_RETRY_MAX for this job)
 ///
 /// Unset keys inherit from the base FlowOptions the caller provides
 /// (elrr batch passes FlowOptions::from_env(), so ELRR_* env knobs are
@@ -60,6 +64,8 @@ struct ManifestEntry {
   std::optional<bool> heur;
   std::optional<bool> polish;
   std::optional<double> min_cyc_x;
+  std::optional<double> deadline;
+  std::optional<std::uint64_t> retries;
 };
 
 /// Parses one JSONL manifest line. Throws InvalidInputError prefixed

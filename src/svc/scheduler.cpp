@@ -1,18 +1,52 @@
 #include "svc/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
 #include "support/bytes.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
+#include "svc/disk_cache.hpp"
 
 namespace elrr::svc {
 
 namespace {
+
+/// A job that outlived its wall budget. Deliberately *not* a
+/// TransientError: the deadline covers every retry attempt, so an
+/// immediate re-run could only expire again -- the job fails (or, for
+/// walk jobs, degrades) instead of burning retries.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Bounded fleet wait honoring a job deadline: polls in short slices so
+/// a wedged fleet worker (see SimFleet::stuck_workers) can never hold a
+/// scheduler worker past the job's wall budget. Unlimited deadlines take
+/// the plain blocking wait -- the happy path is unchanged.
+sim::SimReport wait_with_deadline(sim::SimFleet& fleet, sim::SimTicket ticket,
+                                  const Deadline& deadline) {
+  if (deadline.unlimited()) return fleet.wait(ticket);
+  for (;;) {
+    const double slice =
+        std::min(0.05, std::max(0.001, deadline.remaining()));
+    std::optional<sim::SimReport> report = fleet.wait_for(ticket, slice);
+    if (report.has_value()) return *report;
+    if (deadline.expired()) {
+      const std::size_t stuck = fleet.stuck_workers(deadline.elapsed() / 2);
+      throw DeadlineExceeded(detail::concat(
+          "job deadline expired after ", deadline.elapsed(),
+          " s waiting on the simulation fleet (", stuck,
+          " stuck worker(s))"));
+    }
+  }
+}
 
 /// Weighted round-robin credits per priority class: high is preferred
 /// 4:2:1 but can never starve normal/low -- once its credits are spent
@@ -49,8 +83,29 @@ const char* to_string(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kCancelled: return "cancelled";
     case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
   }
   return "?";
+}
+
+SchedulerOptions SchedulerOptions::from_env() {
+  constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
+  const flow::FlowOptions flow = flow::FlowOptions::from_env();
+  SchedulerOptions options;
+  options.sim_threads = flow.sim_threads;
+  options.sim_dedup = flow.sim_dedup;
+  options.sim_cache_cap = flow.sim_cache_cap;
+  // 0 disables the deadline, so this one knob is non-negative where
+  // ELRR_MILP_TIMEOUT and friends demand strictly positive.
+  options.job_deadline_s = env::nonneg_double("ELRR_JOB_DEADLINE", 0.0);
+  // The cap rejects typos: a retry budget past 1000 is a loop, not a
+  // recovery policy.
+  options.retry_max = static_cast<std::size_t>(
+      env::u64("ELRR_RETRY_MAX", 2, 0, 1000));
+  options.disk_cache_dir = env::str("ELRR_DISK_CACHE_DIR", "");
+  options.disk_cache_cap = static_cast<std::size_t>(
+      env::u64("ELRR_DISK_CACHE_CAP", 0, 0, kNoCap));
+  return options;
 }
 
 std::string Scheduler::job_key(const JobSpec& spec) {
@@ -85,6 +140,16 @@ Scheduler::Scheduler(const SchedulerOptions& options)
       fleet_(options.sim_threads, options.sim_dedup, options.sim_cache_cap) {
   options_.workers = std::max<std::size_t>(options_.workers, 1);
   paused_ = options_.start_paused;
+  // The persistent layer must stand before any worker can complete a job
+  // (workers store into it without further coordination). A misconfigured
+  // directory throws here, from the constructor, like any other invalid
+  // option.
+  if (!options_.disk_cache_dir.empty()) {
+    DiskCacheOptions cache_options;
+    cache_options.dir = options_.disk_cache_dir;
+    cache_options.cap_bytes = options_.disk_cache_cap;
+    disk_cache_ = std::make_unique<DiskCache>(cache_options);
+  }
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_main(); });
@@ -130,8 +195,31 @@ JobId Scheduler::submit(JobSpec spec) {
   ELRR_REQUIRE(!stop_, "scheduler is shutting down");
   const JobId id = jobs_.size();
   jobs_.push_back(std::make_unique<JobEntry>());
-  jobs_.back()->spec = std::move(spec);
-  queues_[static_cast<std::size_t>(jobs_.back()->spec.priority)].push_back(id);
+  JobEntry& entry = *jobs_.back();
+  entry.spec = std::move(spec);
+  // Admission control: past the configured backlog the job is refused
+  // *terminally* -- it gets a dense id and a reason (the caller can
+  // resubmit later), but never a queue slot. Rejection is load-based,
+  // not content-based, so it deliberately happens before any cache
+  // probe: an overloaded service sheds work before spending on it.
+  if (options_.max_queue_depth > 0) {
+    std::size_t queued = 0;
+    for (const std::deque<JobId>& queue : queues_) queued += queue.size();
+    if (queued >= options_.max_queue_depth) {
+      entry.state = JobState::kRejected;
+      entry.result.id = id;
+      entry.result.name = entry.spec.name;
+      entry.result.mode = entry.spec.mode;
+      entry.result.state = JobState::kRejected;
+      entry.result.error = detail::concat(
+          "rejected: queue depth limit reached (", queued, " queued, cap ",
+          options_.max_queue_depth, ")");
+      completion_order_.push_back(id);
+      cv_.notify_all();
+      return id;
+    }
+  }
+  queues_[static_cast<std::size_t>(entry.spec.priority)].push_back(id);
   cv_.notify_all();
   return id;
 }
@@ -186,12 +274,15 @@ void Scheduler::worker_main() {
     // serves instantly. The key serializes the circuit (computed
     // outside the lock); lookup/reservation is one critical section.
     Stopwatch watch;
-    const std::string key =
-        options_.job_cache ? job_key(entry.spec) : std::string();
+    // The canonical key feeds both cache layers; the persistent layer
+    // works with the in-memory one off (and vice versa).
+    const std::string key = options_.job_cache || disk_cache_ != nullptr
+                                ? job_key(entry.spec)
+                                : std::string();
     JobStats stats;  // local while running; merged under the final lock
     bool served_from_cache = false;
     bool cancelled_while_waiting = false;
-    if (!key.empty()) {
+    if (options_.job_cache && !key.empty()) {
       std::unique_lock<std::mutex> cache_lock(mutex_);
       // Ownership loop: whoever holds result_cache_[key] runs the job;
       // everyone else waits and re-checks on every wake -- the owner may
@@ -212,7 +303,7 @@ void Scheduler::worker_main() {
         // JobEntry storage is stable (unique_ptr); `it` is re-fetched
         // every iteration because concurrent emplaces may rehash.
         JobEntry& source = *jobs_[it->second];
-        if (source.state == JobState::kDone) {
+        if (source.state == JobState::kDone && !source.result.degraded) {
           entry.result = source.result;  // terminal results are immutable
           entry.result.id = id;
           entry.result.name = entry.spec.name;
@@ -227,7 +318,12 @@ void Scheduler::worker_main() {
           break;
         }
         if (source.state == JobState::kCancelled ||
-            source.state == JobState::kFailed) {
+            source.state == JobState::kFailed ||
+            source.state == JobState::kDone) {
+          // kDone here means *degraded*: a deadline-shaped result must
+          // never be served to a twin whose own budget might be healthy.
+          // Treated like a failed owner -- take the identity over and
+          // run for real.
           // The owner came to nothing: take the identity over and run
           // for real (later duplicates wait on -- or reuse -- this job).
           result_cache_[key] = id;
@@ -236,8 +332,37 @@ void Scheduler::worker_main() {
         cv_.wait(cache_lock);  // owner still running; re-check on wake
       }
     }
+    // Persistent layer, probed only by the key's *owner* (an in-memory
+    // hit never touches disk). A valid entry is bit-identical to the
+    // run it replaces -- the payload is the byte-exact serialized result
+    // of a prior completion -- so serving it publishes this job as a
+    // clean kDone owner for in-memory twins too. Torn/corrupt entries
+    // read as misses and the job simply runs.
+    if (!served_from_cache && !cancelled_while_waiting &&
+        disk_cache_ != nullptr) {
+      const std::optional<std::string> payload = disk_cache_->load(key);
+      std::optional<JobResult> cached;
+      if (payload.has_value()) cached = deserialize_job_result(*payload);
+      if (cached.has_value() && cached->mode == entry.spec.mode) {
+        entry.result = std::move(*cached);
+        entry.result.id = id;
+        entry.result.name = entry.spec.name;
+        entry.result.circuit.name = entry.spec.name;
+        stats = JobStats{};
+        stats.disk_cache_hit = true;
+        served_from_cache = true;
+      }
+    }
     if (!served_from_cache && !cancelled_while_waiting) {
-      run_job(entry, &stats);
+      run_job_robust(entry, &stats);
+      // Only clean completions persist: degraded results are
+      // deadline-shaped (wall-clock leaking into a content-addressed
+      // key would poison healthier twins) and cancelled/failed runs
+      // carry no result worth replaying.
+      if (disk_cache_ != nullptr &&
+          entry.result.state == JobState::kDone && !entry.result.degraded) {
+        disk_cache_->store(key, serialize_job_result(entry.result));
+      }
     }
     stats.wall_seconds = watch.seconds();
 
@@ -246,6 +371,8 @@ void Scheduler::worker_main() {
     // everything else lands here, under the lock status() reads with.
     stats.candidates_walked =
         std::max(stats.candidates_walked, entry.stats.candidates_walked);
+    if (stats.disk_cache_hit) ++disk_cache_hits_;
+    total_retries_ += stats.retries;
     entry.stats = stats;
     entry.result.stats = stats;
     entry.state = entry.result.state;
@@ -254,14 +381,64 @@ void Scheduler::worker_main() {
   }
 }
 
-void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
+void Scheduler::run_job_robust(JobEntry& entry, JobStats* stats) {
+  const Deadline deadline(
+      entry.spec.deadline_s.value_or(options_.job_deadline_s));
+  const std::size_t retry_max =
+      entry.spec.retries.value_or(options_.retry_max);
+  for (std::size_t attempt = 0;; ++attempt) {
+    bool transient = false;
+    run_job(entry, stats, deadline, &transient);
+    if (entry.result.state != JobState::kFailed) return;
+    // Permanent failures (API misuse, internal bugs, deadline expiry)
+    // never retry; transients (injected faults, lost workers) get the
+    // bounded budget -- but only while the job's own deadline still has
+    // room, since the deadline covers all attempts.
+    if (!transient || attempt >= retry_max || deadline.expired()) return;
+    // Bounded exponential backoff, interruptible: a cancel() or
+    // scheduler shutdown must not sit out the full sleep.
+    const auto backoff =
+        std::chrono::milliseconds(10) * (std::uint64_t{1} << std::min<std::size_t>(attempt, 5));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, backoff, [&] {
+        return stop_ ||
+               entry.cancel_requested.load(std::memory_order_relaxed);
+      });
+      if (stop_ ||
+          entry.cancel_requested.load(std::memory_order_relaxed)) {
+        entry.result.state = JobState::kCancelled;
+        return;
+      }
+    }
+    ++stats->retries;
+    // Re-run from a clean slate: the failed attempt's partial numbers
+    // must not bleed into the retry (the retried result is bit-identical
+    // to a first-try run -- the determinism tests pin this).
+    JobResult fresh;
+    fresh.id = entry.result.id;
+    fresh.name = entry.result.name;
+    fresh.mode = entry.result.mode;
+    entry.result = std::move(fresh);
+  }
+}
+
+void Scheduler::run_job(JobEntry& entry, JobStats* stats,
+                        const Deadline& deadline, bool* transient) {
   const JobSpec& spec = entry.spec;
   JobResult& result = entry.result;
+  *transient = false;
   try {
     flow::FlowHooks hooks;
     hooks.fleet = &fleet_;
-    hooks.cancelled = [&entry] {
-      return entry.cancel_requested.load(std::memory_order_relaxed);
+    // The cooperative cancellation predicate carries *both* stop
+    // reasons: a user cancel() and the job's wall budget. Walks observe
+    // it at every step boundary; which of the two fired is resolved
+    // after the flow returns (deadline -> degradation ladder, cancel ->
+    // kCancelled).
+    hooks.cancelled = [&entry, &deadline] {
+      return entry.cancel_requested.load(std::memory_order_relaxed) ||
+             deadline.expired();
     };
     hooks.on_progress = [this, &entry](std::size_t walked) {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -270,6 +447,28 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
     switch (spec.mode) {
       case JobMode::kMinEffCyc: {
         result.circuit = flow::run_flow(spec.name, spec.rrg, spec.flow, hooks);
+        const bool user_cancel =
+            entry.cancel_requested.load(std::memory_order_relaxed);
+        if (result.circuit.cancelled && !user_cancel && deadline.expired()) {
+          // Degradation ladder: the exact walk ran out of wall budget.
+          // Fall back to the MILP-free heuristic flow -- deterministic,
+          // orders of magnitude cheaper, and bit-identical to a direct
+          // heuristic_only run of the same spec -- and flag the result
+          // instead of failing the job. The scheduler never caches
+          // degraded results (memory or disk).
+          flow::FlowOptions degraded_flow = spec.flow;
+          degraded_flow.heuristic_only = true;
+          flow::FlowHooks degraded_hooks = hooks;
+          degraded_hooks.cancelled = [&entry] {
+            return entry.cancel_requested.load(std::memory_order_relaxed);
+          };
+          result.circuit = flow::run_flow(spec.name, spec.rrg,
+                                          degraded_flow, degraded_hooks);
+          result.degraded = true;
+          result.error = detail::concat(
+              "deadline expired after ", deadline.elapsed(),
+              " s: degraded to the heuristic-only flow");
+        }
         stats->candidates_walked = result.circuit.candidates_walked;
         stats->sim_jobs = result.circuit.sim_jobs;
         stats->unique_simulations = result.circuit.unique_simulations;
@@ -282,11 +481,11 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
                                ? 0.0
                                : result.circuit.candidates.front().theta_sim;
         result.xi_sim = result.circuit.xi_sim_min;
-        result.state = result.circuit.cancelled ||
-                               entry.cancel_requested.load(
-                                   std::memory_order_relaxed)
-                           ? JobState::kCancelled
-                           : JobState::kDone;
+        result.state =
+            (result.circuit.cancelled && !result.degraded) ||
+                    entry.cancel_requested.load(std::memory_order_relaxed)
+                ? JobState::kCancelled
+                : JobState::kDone;
         break;
       }
       case JobMode::kScoreOnly: {
@@ -298,7 +497,8 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
         // and a leaked ticket would pin its job in the shared fleet for
         // the scheduler's lifetime.
         const TicketRelease release{&fleet_, ticket};
-        const sim::SimReport report = fleet_.wait(ticket);
+        const sim::SimReport report =
+            wait_with_deadline(fleet_, ticket, deadline);
         stats->sim_wait_seconds = sim_watch.seconds();
         stats->sim_jobs = 1;
         stats->unique_simulations = ticket.fresh ? 1 : 0;
@@ -328,7 +528,8 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
         Stopwatch sim_watch;
         const sim::SimTicket ticket = fleet_.submit_async(Rrg(tuned), sopt);
         const TicketRelease release{&fleet_, ticket};
-        const sim::SimReport report = fleet_.wait(ticket);
+        const sim::SimReport report =
+            wait_with_deadline(fleet_, ticket, deadline);
         stats->sim_wait_seconds = sim_watch.seconds();
         stats->sim_jobs = 1;
         stats->unique_simulations = ticket.fresh ? 1 : 0;
@@ -341,12 +542,19 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats) {
         break;
       }
     }
+  } catch (const TransientError& e) {
+    // The retryable class: injected faults, lost workers, torn IO. The
+    // attempt loop in run_job_robust re-runs these up to the budget.
+    result.state = JobState::kFailed;
+    result.error = e.what();
+    *transient = true;
   } catch (const std::exception& e) {
     // A failed job reports, never wedges: waiters get a terminal result
     // with the error text and the worker moves on. The flow releases its
     // fleet tickets on unwind (flow::Engine's TicketGuard); any still
     // in-flight simulations finish harmlessly into the session cache,
-    // so the shared fleet keeps serving the next job.
+    // so the shared fleet keeps serving the next job. Permanent by
+    // default -- only TransientError earns a retry.
     result.state = JobState::kFailed;
     result.error = e.what();
   }
@@ -366,7 +574,8 @@ JobResult Scheduler::wait(JobId id) {
   cv_.wait(lock, [&] {
     return entry.state == JobState::kDone ||
            entry.state == JobState::kCancelled ||
-           entry.state == JobState::kFailed;
+           entry.state == JobState::kFailed ||
+           entry.state == JobState::kRejected;
   });
   return entry.result;
 }
@@ -431,13 +640,19 @@ SchedulerStats Scheduler::stats() const {
   SchedulerStats stats;
   stats.submitted = jobs_.size();
   stats.job_cache_hits = job_cache_hits_;
+  stats.disk_cache_hits = disk_cache_hits_;
+  stats.retries = total_retries_;
   for (const std::unique_ptr<JobEntry>& entry : jobs_) {
     switch (entry->state) {
       case JobState::kQueued: ++stats.queued; break;
       case JobState::kRunning: ++stats.running; break;
-      case JobState::kDone: ++stats.completed; break;
+      case JobState::kDone:
+        ++stats.completed;
+        if (entry->result.degraded) ++stats.degraded;
+        break;
       case JobState::kCancelled: ++stats.cancelled; break;
       case JobState::kFailed: ++stats.failed; break;
+      case JobState::kRejected: ++stats.rejected; break;
     }
   }
   return stats;

@@ -51,12 +51,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/rrg.hpp"
 #include "flow/circuit_flow.hpp"
 #include "sim/fleet.hpp"
+#include "support/stopwatch.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -67,6 +69,9 @@
 #include <unordered_map>
 
 namespace elrr::svc {
+
+class DiskCache;  // svc/disk_cache.hpp (persistent result cache layer)
+struct DiskCacheStats;
 
 using JobId = std::size_t;
 
@@ -92,6 +97,7 @@ enum class JobState : std::uint8_t {
   kDone,
   kCancelled,  ///< dequeued, or the walk stopped at a step boundary
   kFailed,     ///< the job threw; JobResult::error carries the message
+  kRejected,   ///< admission control refused it; error carries the reason
 };
 
 const char* to_string(JobMode mode);
@@ -107,6 +113,14 @@ struct JobSpec {
   JobPriority priority = JobPriority::kNormal;
   /// MIN_CYC throughput bound parameter x (Theta_lp >= 1/x); >= 1.
   double min_cyc_x = 1.0;
+  /// Per-job wall budget in seconds, covering every retry attempt.
+  /// Unset: SchedulerOptions::job_deadline_s. 0 = unlimited. A walk job
+  /// whose deadline expires degrades to the heuristic flow (flagged
+  /// `degraded`); score/MIN_CYC jobs fail with a deadline error.
+  std::optional<double> deadline_s;
+  /// Transient-failure retry budget for this job. Unset:
+  /// SchedulerOptions::retry_max.
+  std::optional<std::size_t> retries;
 };
 
 /// Structured per-job progress/stats. `candidates_walked` updates live
@@ -116,6 +130,8 @@ struct JobStats {
   std::size_t sim_jobs = 0;           ///< fleet submissions the job made
   std::size_t unique_simulations = 0; ///< fresh fleet jobs (rest cached)
   bool job_cache_hit = false;  ///< served from the cross-job result cache
+  bool disk_cache_hit = false; ///< served from the persistent disk cache
+  std::size_t retries = 0;     ///< transient-failure re-runs this job took
   double wall_seconds = 0.0;   ///< queue-exit to completion
   double walk_seconds = 0.0;   ///< cpu inside ParetoWalk::advance
   double sim_wait_seconds = 0.0;  ///< blocked on the fleet
@@ -127,7 +143,15 @@ struct JobResult {
   std::string name;
   JobMode mode = JobMode::kMinEffCyc;
   JobState state = JobState::kQueued;
-  std::string error;  ///< non-empty iff state == kFailed
+  /// Failure/rejection/degradation detail: non-empty when state is
+  /// kFailed or kRejected, and when `degraded` is set (the reason the
+  /// degradation ladder was taken). Empty for a clean kDone.
+  std::string error;
+  /// kDone via the degradation ladder (deadline expired mid-walk; the
+  /// heuristic flow produced this result instead of the exact walk).
+  /// Degraded results are never cached -- a later identical job with a
+  /// healthier budget recomputes for real.
+  bool degraded = false;
   /// kMinEffCyc: the full table-row result (partial when cancelled).
   flow::CircuitResult circuit;
   /// kScoreOnly / kMinCyc: the single scored configuration.
@@ -160,14 +184,43 @@ struct SchedulerOptions {
   /// one until resume(). Makes multi-job pick order independent of
   /// submission timing (elrr batch submits everything first).
   bool start_paused = false;
+  /// Default per-job wall budget in seconds (JobSpec::deadline_s
+  /// overrides per job); 0 = unlimited. Env ELRR_JOB_DEADLINE.
+  double job_deadline_s = 0.0;
+  /// Default transient-failure retry budget (bounded exponential
+  /// backoff between attempts); JobSpec::retries overrides per job.
+  /// Env ELRR_RETRY_MAX.
+  std::size_t retry_max = 2;
+  /// Admission control: jobs submitted while this many are already
+  /// queued are terminally kRejected with a reason instead of enqueued
+  /// (bounded backlog, the first `elrr serve` building block). 0 =
+  /// unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Persistent result cache directory (layered *under* the in-memory
+  /// cross-job cache; empty = disabled). Env ELRR_DISK_CACHE_DIR.
+  std::string disk_cache_dir;
+  /// Byte cap of the persistent cache (0 = unbounded). Env
+  /// ELRR_DISK_CACHE_CAP.
+  std::size_t disk_cache_cap = 0;
+
+  /// Fleet knobs from FlowOptions::from_env() plus the robustness knobs
+  /// (ELRR_JOB_DEADLINE, ELRR_RETRY_MAX, ELRR_DISK_CACHE_DIR,
+  /// ELRR_DISK_CACHE_CAP), all validated strictly -- a malformed value
+  /// throws InvalidInputError naming the variable. workers/start_paused
+  /// stay at their defaults (caller-owned).
+  static SchedulerOptions from_env();
 };
 
 struct SchedulerStats {
   std::size_t submitted = 0;
-  std::size_t completed = 0;  ///< kDone
+  std::size_t completed = 0;  ///< kDone (degraded included)
   std::size_t cancelled = 0;
   std::size_t failed = 0;
+  std::size_t rejected = 0;   ///< refused by admission control
+  std::size_t degraded = 0;   ///< kDone via the degradation ladder
   std::uint64_t job_cache_hits = 0;
+  std::uint64_t disk_cache_hits = 0;
+  std::uint64_t retries = 0;  ///< transient-failure re-runs, all jobs
   std::size_t queued = 0;   ///< currently waiting
   std::size_t running = 0;  ///< currently executing
 };
@@ -218,8 +271,12 @@ class Scheduler {
 
   SchedulerStats stats() const;
   /// Ids of completed-so-far jobs in completion order (fair-share /
-  /// priority observability; includes done, cancelled and failed).
+  /// priority observability; includes done, cancelled, failed and
+  /// rejected).
   std::vector<JobId> completion_order() const;
+  /// The persistent result cache, or nullptr when disabled
+  /// (observability; see DiskCache::stats()).
+  const DiskCache* disk_cache() const { return disk_cache_.get(); }
 
  private:
   struct JobEntry {
@@ -235,10 +292,14 @@ class Scheduler {
   /// weighted round-robin credits; returns false when every class is
   /// empty.
   bool pick_next_locked(JobId* id);
-  /// Executes one job on the calling worker thread, filling
-  /// entry.result and the local `stats` (merged into the entry under
-  /// the scheduler lock by the caller).
-  void run_job(JobEntry& entry, JobStats* stats);
+  /// One job end to end on the calling worker thread: deadline setup,
+  /// the attempt/retry loop around run_job, the degradation ladder.
+  void run_job_robust(JobEntry& entry, JobStats* stats);
+  /// Executes one attempt of a job, filling entry.result and the local
+  /// `stats` (merged into the entry under the scheduler lock by the
+  /// caller). `transient` reports whether a kFailed outcome may retry.
+  void run_job(JobEntry& entry, JobStats* stats, const Deadline& deadline,
+               bool* transient);
   /// Canonical identity of a job for the cross-job result cache: the
   /// circuit's simulation-visible content + mode + every result-affecting
   /// FlowOptions field (never wall-clock knobs).
@@ -256,8 +317,14 @@ class Scheduler {
   unsigned credits_[3] = {0, 0, 0};
   std::unordered_map<std::string, JobId> result_cache_;  ///< key -> done job
   std::uint64_t job_cache_hits_ = 0;
+  std::uint64_t disk_cache_hits_ = 0;
+  std::uint64_t total_retries_ = 0;
   std::vector<JobId> completion_order_;
   std::vector<std::thread> workers_;
+  /// Persistent result layer (nullptr = disabled). Constructed before
+  /// the workers, used by them without further locking (DiskCache has
+  /// its own mutex).
+  std::unique_ptr<DiskCache> disk_cache_;
 };
 
 }  // namespace elrr::svc

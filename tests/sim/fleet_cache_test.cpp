@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/figures.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 
 namespace elrr::sim {
@@ -182,6 +184,64 @@ TEST(SimFleetCache, ConcurrentClientsShareOneFleet) {
   const SimCacheStats stats = fleet.cache_stats();
   EXPECT_EQ(stats.misses, kCandidates);  // one simulation per unique job
   EXPECT_EQ(stats.hits, kClients * kCandidates - kCandidates);
+  EXPECT_EQ(fleet.async_pending(), 0u);
+}
+
+/// Failure containment under concurrency: clients hammer a tiny-cap
+/// fleet (constant eviction) while a probabilistic fail point kills
+/// random slices. Every wait either rethrows the injected fault or
+/// returns a bit-exact result; failed candidates are purged from the
+/// dedup cache, so an immediate resubmission recovers; and the fleet
+/// stays fully usable afterwards.
+TEST(SimFleetCache, ConcurrentReleaseAndEvictionUnderInjectedFailure) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRounds = 8;
+  std::vector<Rrg> candidates;
+  std::vector<double> solo;
+  const SimOptions options = small_options(33);
+  for (std::size_t i = 0; i < 5; ++i) {
+    candidates.push_back(random_rrg(500 + i));
+    solo.push_back(simulate_throughput(candidates[i], options).theta);
+  }
+
+  SimFleet fleet(2, /*dedup=*/true, /*cache_cap_bytes=*/1);
+  failpoint::configure("fleet.worker=prob:0.3@11");
+  std::atomic<std::size_t> faults{0};
+  std::atomic<std::size_t> successes{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::size_t pick = (r + c) % candidates.size();
+        const SimTicket ticket =
+            fleet.submit_async(Rrg(candidates[pick]), options);
+        try {
+          const SimReport report = fleet.wait(ticket);
+          EXPECT_EQ(report.theta, solo[pick])
+              << "client " << c << " round " << r;
+          successes.fetch_add(1);
+        } catch (const failpoint::FailPointError&) {
+          faults.fetch_add(1);
+        }
+        fleet.release(ticket);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  failpoint::reset();
+
+  EXPECT_EQ(successes.load() + faults.load(), kClients * kRounds);
+  EXPECT_GT(faults.load(), 0u);  // P=.3 over 32+ slices: fired
+
+  // Post-chaos: the same fleet serves every candidate bit-exactly (any
+  // failed cache entries were purged, so these re-run fresh or alias a
+  // *successful* completion -- never a cached failure).
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const SimTicket ticket =
+        fleet.submit_async(Rrg(candidates[i]), options);
+    EXPECT_EQ(fleet.wait(ticket).theta, solo[i]) << i;
+    fleet.release(ticket);
+  }
   EXPECT_EQ(fleet.async_pending(), 0u);
 }
 

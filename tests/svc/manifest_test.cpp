@@ -178,5 +178,37 @@ TEST(Manifest, MaterializeUnknownCircuitThrows) {
   EXPECT_THROW(materialize(entry, flow::FlowOptions{}), Error);
 }
 
+TEST(Manifest, DeadlineAndRetriesKeys) {
+  const ManifestEntry entry = parse_manifest_line(
+      R"({"circuit": "s27", "deadline": 2.5, "retries": 0})", 1);
+  ASSERT_TRUE(entry.deadline.has_value());
+  EXPECT_EQ(*entry.deadline, 2.5);
+  ASSERT_TRUE(entry.retries.has_value());
+  EXPECT_EQ(*entry.retries, 0u);
+
+  const JobSpec spec = materialize(entry, flow::FlowOptions{});
+  ASSERT_TRUE(spec.deadline_s.has_value());
+  EXPECT_EQ(*spec.deadline_s, 2.5);
+  ASSERT_TRUE(spec.retries.has_value());
+  EXPECT_EQ(*spec.retries, 0u);
+
+  // Unset keys leave the scheduler defaults in charge.
+  const JobSpec plain = materialize(
+      parse_manifest_line(R"({"circuit": "s27"})", 1), flow::FlowOptions{});
+  EXPECT_FALSE(plain.deadline_s.has_value());
+  EXPECT_FALSE(plain.retries.has_value());
+
+  // Strict validation, with the line number.
+  EXPECT_THROW(
+      parse_manifest_line(R"({"circuit": "s27", "deadline": 0})", 3),
+      InvalidInputError);
+  EXPECT_THROW(
+      parse_manifest_line(R"({"circuit": "s27", "retries": -1})", 3),
+      InvalidInputError);
+  EXPECT_THROW(
+      parse_manifest_line(R"({"circuit": "s27", "retries": 1.5})", 3),
+      InvalidInputError);
+}
+
 }  // namespace
 }  // namespace elrr::svc

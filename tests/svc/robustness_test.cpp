@@ -1,0 +1,403 @@
+/// \file robustness_test.cpp
+/// The failure-containment contract of the scheduler: per-job wall
+/// deadlines (cooperative, observed at walk-step and slice boundaries),
+/// the transient-vs-permanent error taxonomy with bounded retry,
+/// graceful degradation (deadline-shaped walk jobs fall back to the
+/// heuristic-only flow, flagged -- never cached), queue admission
+/// control, and the persistent disk cache layered under the in-memory
+/// cross-job cache.
+///
+/// Determinism is the spine of every assertion: a retried job is
+/// bit-identical to a never-faulted run, a degraded job is bit-identical
+/// to a direct heuristic-only run, and injected faults at any worker
+/// count / submission order never change a non-faulted job's numbers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench89/generator.hpp"
+#include "flow/circuit_flow.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "svc/disk_cache.hpp"
+#include "svc/scheduler.hpp"
+
+namespace elrr::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+flow::FlowOptions fast_flow() {
+  flow::FlowOptions options;
+  options.seed = 1;
+  options.epsilon = 0.05;
+  options.milp_timeout_s = 30.0;  // never reached at these sizes
+  options.sim_cycles = 2000;
+  options.use_heuristic = false;
+  options.max_simulated_points = 4;
+  return options;
+}
+
+Rrg circuit(const std::string& name) {
+  return bench89::make_table2_rrg(bench89::spec_by_name(name), 1);
+}
+
+JobSpec flow_job(const std::string& name) {
+  JobSpec spec;
+  spec.name = name;
+  spec.rrg = circuit(name);
+  spec.flow = fast_flow();
+  spec.mode = JobMode::kMinEffCyc;
+  return spec;
+}
+
+void expect_same_circuit_result(const flow::CircuitResult& a,
+                                const flow::CircuitResult& b,
+                                const std::string& label) {
+  EXPECT_EQ(a.xi_star, b.xi_star) << label;
+  EXPECT_EQ(a.xi_nee, b.xi_nee) << label;
+  EXPECT_EQ(a.xi_lp_min, b.xi_lp_min) << label;
+  EXPECT_EQ(a.xi_sim_min, b.xi_sim_min) << label;
+  ASSERT_EQ(a.candidates.size(), b.candidates.size()) << label;
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].tau, b.candidates[i].tau) << label << " " << i;
+    EXPECT_EQ(a.candidates[i].theta_lp, b.candidates[i].theta_lp)
+        << label << " " << i;
+    EXPECT_EQ(a.candidates[i].theta_sim, b.candidates[i].theta_sim)
+        << label << " " << i;
+    EXPECT_EQ(a.candidates[i].xi_sim, b.candidates[i].xi_sim)
+        << label << " " << i;
+  }
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::reset(); }
+};
+
+/// A transient fault (injected at the first MILP solve) fails the first
+/// attempt; the retry re-runs from scratch and lands bit-identical to a
+/// never-faulted oracle.
+TEST_F(RobustnessTest, RetryRecoversBitIdenticallyFromTransientFault) {
+  const flow::CircuitResult oracle =
+      flow::run_flow("s208", circuit("s208"), fast_flow());
+
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.retry_max = 2;
+  Scheduler scheduler(sopt);
+  failpoint::configure("milp.solve=once");
+  const JobId id = scheduler.submit(flow_job("s208"));
+  const JobResult result = scheduler.wait(id);
+  failpoint::reset();
+
+  ASSERT_EQ(result.state, JobState::kDone) << result.error;
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.stats.retries, 1u);
+  expect_same_circuit_result(oracle, result.circuit, "retried s208");
+  EXPECT_EQ(scheduler.stats().retries, 1u);
+  EXPECT_EQ(scheduler.stats().failed, 0u);
+}
+
+/// A persistent transient fault exhausts the retry budget and lands
+/// kFailed with the injected-fault reason; the scheduler keeps serving.
+TEST_F(RobustnessTest, RetryBudgetExhaustionFailsTheJobNotTheService) {
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.retry_max = 2;
+  Scheduler scheduler(sopt);
+  failpoint::configure("milp.solve=prob:1@7");  // fires on every hit
+  const JobId failing = scheduler.submit(flow_job("s208"));
+  const JobResult failed = scheduler.wait(failing);
+  failpoint::reset();
+
+  EXPECT_EQ(failed.state, JobState::kFailed);
+  EXPECT_NE(failed.error.find("injected fault"), std::string::npos)
+      << failed.error;
+  EXPECT_EQ(failed.stats.retries, 2u);
+
+  // Same scheduler, same fleet: the next job is unaffected.
+  const JobResult ok = scheduler.wait(scheduler.submit(flow_job("s420")));
+  ASSERT_EQ(ok.state, JobState::kDone) << ok.error;
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+/// JobSpec::retries overrides the scheduler default; zero disables
+/// retry entirely.
+TEST_F(RobustnessTest, PerJobRetryOverrideZeroMeansOneAttempt) {
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.retry_max = 5;
+  Scheduler scheduler(sopt);
+  failpoint::configure("milp.solve=once");
+  JobSpec spec = flow_job("s208");
+  spec.retries = 0;
+  const JobResult result = scheduler.wait(scheduler.submit(spec));
+  failpoint::reset();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_EQ(result.stats.retries, 0u);
+}
+
+/// Injected fleet-worker faults at any worker count and submission
+/// order: every job retries back to bit-exact, because a failed
+/// candidate is purged from the fleet's dedup cache and re-simulated
+/// fresh.
+TEST_F(RobustnessTest, WorkerFaultsAreInvisibleAtAnyWorkerCountAndOrder) {
+  const std::vector<std::string> names = {"s838", "s208", "s420"};
+  std::vector<flow::CircuitResult> oracle;
+  for (const std::string& name : names) {
+    oracle.push_back(flow::run_flow(name, circuit(name), fast_flow()));
+  }
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const bool reversed : {false, true}) {
+      failpoint::configure("fleet.worker=once");
+      SchedulerOptions sopt;
+      sopt.workers = workers;
+      sopt.sim_threads = workers;
+      sopt.retry_max = 3;
+      sopt.start_paused = true;
+      Scheduler scheduler(sopt);
+      std::vector<std::size_t> order(names.size());
+      for (std::size_t i = 0; i < names.size(); ++i) order[i] = i;
+      if (reversed) std::reverse(order.begin(), order.end());
+      std::vector<JobId> ids(names.size());
+      for (const std::size_t i : order) {
+        ids[i] = scheduler.submit(flow_job(names[i]));
+      }
+      scheduler.resume();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        const JobResult result = scheduler.wait(ids[i]);
+        const std::string label = names[i] + " workers " +
+                                  std::to_string(workers) +
+                                  (reversed ? " reversed" : "");
+        ASSERT_EQ(result.state, JobState::kDone)
+            << label << ": " << result.error;
+        expect_same_circuit_result(oracle[i], result.circuit, label);
+      }
+      failpoint::reset();
+    }
+  }
+}
+
+/// A walk job that blows its wall budget degrades to the heuristic-only
+/// flow: kDone, flagged, bit-identical to a *direct* heuristic-only run
+/// -- and never enters the result caches.
+TEST_F(RobustnessTest, DeadlineDegradesWalkJobToHeuristicBitExactly) {
+  flow::FlowOptions heuristic = fast_flow();
+  heuristic.heuristic_only = true;
+  const flow::CircuitResult oracle =
+      flow::run_flow("s838", circuit("s838"), heuristic);
+
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  Scheduler scheduler(sopt);
+  JobSpec spec = flow_job("s838");
+  spec.deadline_s = 1e-6;  // expired before the first walk step
+  const JobResult degraded = scheduler.wait(scheduler.submit(spec));
+  ASSERT_EQ(degraded.state, JobState::kDone) << degraded.error;
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_NE(degraded.error.find("deadline"), std::string::npos)
+      << degraded.error;
+  expect_same_circuit_result(oracle, degraded.circuit, "degraded s838");
+  EXPECT_EQ(scheduler.stats().degraded, 1u);
+
+  // The duplicate is *not* served from the degraded result: it runs
+  // fresh (and, sharing the spec's deadline, degrades the same way).
+  const JobResult again = scheduler.wait(scheduler.submit(spec));
+  ASSERT_EQ(again.state, JobState::kDone) << again.error;
+  EXPECT_TRUE(again.degraded);
+  EXPECT_EQ(scheduler.stats().job_cache_hits, 0u);
+  expect_same_circuit_result(oracle, again.circuit, "degraded twin");
+}
+
+/// A stalled fleet worker cannot hold a deadlined job hostage: the
+/// bounded wait expires, names the stuck worker, and the job fails
+/// permanently (the deadline covers all attempts -- no retry). The
+/// fleet is reusable as soon as the stall clears.
+TEST_F(RobustnessTest, StuckWorkerTripsTheDeadlineAndNamesItself) {
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.sim_threads = 1;
+  Scheduler scheduler(sopt);
+  failpoint::configure("fleet.worker=stall:400");
+  JobSpec spec;
+  spec.name = "s208";
+  spec.rrg = circuit("s208");
+  spec.flow = fast_flow();
+  spec.mode = JobMode::kScoreOnly;
+  spec.deadline_s = 0.05;
+  const JobResult result = scheduler.wait(scheduler.submit(spec));
+  failpoint::reset();
+  EXPECT_EQ(result.state, JobState::kFailed);
+  EXPECT_NE(result.error.find("deadline expired"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("stuck worker"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(result.stats.retries, 0u);  // DeadlineExceeded is permanent
+
+  // The stall is bounded; the same scheduler completes the next job.
+  JobSpec next = flow_job("s420");
+  const JobResult ok = scheduler.wait(scheduler.submit(next));
+  ASSERT_EQ(ok.state, JobState::kDone) << ok.error;
+}
+
+/// Admission control: past max_queue_depth, submissions terminate
+/// kRejected with a reason -- dense ids, wait() returns, stats count.
+TEST_F(RobustnessTest, QueueDepthCapRejectsWithReason) {
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.max_queue_depth = 1;
+  sopt.start_paused = true;
+  Scheduler scheduler(sopt);
+  const JobId accepted = scheduler.submit(flow_job("s208"));
+  const JobId rejected1 = scheduler.submit(flow_job("s420"));
+  const JobId rejected2 = scheduler.submit(flow_job("s838"));
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_EQ(rejected1, 1u);
+  EXPECT_EQ(rejected2, 2u);
+
+  const JobResult r1 = scheduler.wait(rejected1);
+  EXPECT_EQ(r1.state, JobState::kRejected);
+  EXPECT_NE(r1.error.find("queue depth"), std::string::npos) << r1.error;
+
+  scheduler.resume();
+  const JobResult ok = scheduler.wait(accepted);
+  ASSERT_EQ(ok.state, JobState::kDone) << ok.error;
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+
+  // Once the queue drains, admission reopens.
+  const JobResult later = scheduler.wait(scheduler.submit(flow_job("s420")));
+  ASSERT_EQ(later.state, JobState::kDone) << later.error;
+}
+
+/// The disk cache layered under the in-memory cache: a restarted
+/// scheduler serves the same job bit-identically from disk.
+TEST_F(RobustnessTest, DiskCacheSurvivesSchedulerRestartBitExactly) {
+  const fs::path dir =
+      fs::temp_directory_path() / "elrr_robustness_disk_cache";
+  fs::remove_all(dir);
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.disk_cache_dir = dir.string();
+
+  JobResult first;
+  {
+    Scheduler scheduler(sopt);
+    first = scheduler.wait(scheduler.submit(flow_job("s208")));
+    ASSERT_EQ(first.state, JobState::kDone) << first.error;
+    EXPECT_FALSE(first.stats.disk_cache_hit);
+  }
+  {
+    Scheduler scheduler(sopt);
+    const JobResult second =
+        scheduler.wait(scheduler.submit(flow_job("s208")));
+    ASSERT_EQ(second.state, JobState::kDone) << second.error;
+    EXPECT_TRUE(second.stats.disk_cache_hit);
+    expect_same_circuit_result(first.circuit, second.circuit, "disk hit");
+    EXPECT_EQ(scheduler.stats().disk_cache_hits, 1u);
+
+    // A corrupted entry is recomputed, not trusted: flip a byte in every
+    // entry file, resubmit, and the job still lands bit-exact.
+    ASSERT_NE(scheduler.disk_cache(), nullptr);
+  }
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() != ".entry") continue;
+    std::string bytes;
+    {
+      std::ifstream in(e.path(), std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    std::ofstream out(e.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    Scheduler scheduler(sopt);
+    const JobResult recomputed =
+        scheduler.wait(scheduler.submit(flow_job("s208")));
+    ASSERT_EQ(recomputed.state, JobState::kDone) << recomputed.error;
+    EXPECT_FALSE(recomputed.stats.disk_cache_hit);  // corrupt = miss
+    expect_same_circuit_result(first.circuit, recomputed.circuit,
+                               "recomputed after corruption");
+  }
+  fs::remove_all(dir);
+}
+
+/// Degraded results never reach the persistent cache.
+TEST_F(RobustnessTest, DegradedResultsAreNeverPersisted) {
+  const fs::path dir =
+      fs::temp_directory_path() / "elrr_robustness_no_degraded";
+  fs::remove_all(dir);
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.disk_cache_dir = dir.string();
+  Scheduler scheduler(sopt);
+  JobSpec spec = flow_job("s420");
+  spec.deadline_s = 1e-6;
+  const JobResult degraded = scheduler.wait(scheduler.submit(spec));
+  ASSERT_EQ(degraded.state, JobState::kDone) << degraded.error;
+  ASSERT_TRUE(degraded.degraded);
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_NE(e.path().extension(), ".entry") << e.path();
+  }
+  fs::remove_all(dir);
+}
+
+/// Every new knob validates through the strict throw-with-knob-name
+/// path.
+TEST_F(RobustnessTest, EnvKnobsValidateStrictly) {
+  struct EnvCase {
+    const char* name;
+    const char* bad;
+  };
+  const std::vector<EnvCase> cases = {
+      {"ELRR_JOB_DEADLINE", "-1"},
+      {"ELRR_JOB_DEADLINE", "soon"},
+      {"ELRR_RETRY_MAX", "5000"},
+      {"ELRR_RETRY_MAX", "-2"},
+      {"ELRR_DISK_CACHE_CAP", "lots"},
+      {"ELRR_FAILPOINTS", "milp.solve=often"},
+  };
+  for (const EnvCase& c : cases) {
+    ::setenv(c.name, c.bad, 1);
+    try {
+      if (std::string(c.name) == "ELRR_FAILPOINTS") {
+        failpoint::configure_from_env();
+      } else {
+        (void)SchedulerOptions::from_env();
+      }
+      ADD_FAILURE() << c.name << "=" << c.bad << " accepted";
+    } catch (const InvalidInputError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.name), std::string::npos)
+          << c.name << ": " << e.what();
+    }
+    ::unsetenv(c.name);
+  }
+
+  ::setenv("ELRR_JOB_DEADLINE", "2.5", 1);
+  ::setenv("ELRR_RETRY_MAX", "3", 1);
+  ::setenv("ELRR_DISK_CACHE_CAP", "1048576", 1);
+  const SchedulerOptions options = SchedulerOptions::from_env();
+  EXPECT_EQ(options.job_deadline_s, 2.5);
+  EXPECT_EQ(options.retry_max, 3u);
+  EXPECT_EQ(options.disk_cache_cap, 1048576u);
+  ::unsetenv("ELRR_JOB_DEADLINE");
+  ::unsetenv("ELRR_RETRY_MAX");
+  ::unsetenv("ELRR_DISK_CACHE_CAP");
+}
+
+}  // namespace
+}  // namespace elrr::svc

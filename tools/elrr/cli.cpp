@@ -29,6 +29,7 @@
 #include "support/args.hpp"
 #include "support/bench_json.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/strings.hpp"
 #include "svc/manifest.hpp"
 #include "svc/scheduler.hpp"
@@ -452,16 +453,37 @@ int cmd_from_bench(Args& args, std::ostream& out) {
 /// One JSONL result line per batch job (strings go through the shared
 /// elrr::json_escape). Numeric fields use %.10g: enough
 /// digits that two runs of a deterministic batch diff clean.
+/// One-word outcome for scripts: jq 'select(.status != "ok")' finds
+/// everything that needs a human, whatever the failure flavour.
+const char* batch_status(const svc::JobResult& result) {
+  switch (result.state) {
+    case svc::JobState::kDone:
+      return result.degraded ? "degraded" : "ok";
+    case svc::JobState::kFailed: return "failed";
+    case svc::JobState::kRejected: return "rejected";
+    case svc::JobState::kCancelled: return "cancelled";
+    default: return "unknown";
+  }
+}
+
 void print_batch_result(std::ostream& out, const svc::JobResult& result) {
   char buf[256];
   out << "{\"job\": " << result.id << ", \"name\": \""
       << json_escape(result.name) << "\", \"mode\": \""
       << svc::to_string(result.mode) << "\", \"state\": \""
-      << svc::to_string(result.state) << "\"";
-  // Metrics are emitted only for completed jobs: a cancelled job's
-  // zero-initialized xi fields would read as measured values.
-  if (result.state == svc::JobState::kFailed) {
+      << svc::to_string(result.state) << "\", \"status\": \""
+      << batch_status(result) << "\"";
+  // The error field travels with every non-clean outcome: the failure
+  // reason, the rejection reason, or the degradation reason.
+  if (!result.error.empty()) {
     out << ", \"error\": \"" << json_escape(result.error) << "\"";
+  }
+  // Metrics are emitted only for completed jobs: a cancelled job's
+  // zero-initialized xi fields would read as measured values. A
+  // degraded job's metrics are real (heuristic-flow) numbers and stay.
+  if (result.state == svc::JobState::kFailed ||
+      result.state == svc::JobState::kRejected) {
+    // no metrics
   } else if (result.mode == svc::JobMode::kMinEffCyc &&
              result.state == svc::JobState::kDone) {
     const flow::CircuitResult& circuit = result.circuit;
@@ -483,9 +505,11 @@ void print_batch_result(std::ostream& out, const svc::JobResult& result) {
   }
   const svc::JobStats& stats = result.stats;
   std::snprintf(buf, sizeof(buf),
-                ", \"cache_hit\": %s, \"candidates_walked\": %zu, "
+                ", \"cache_hit\": %s, \"disk_cache_hit\": %s, "
+                "\"retries\": %zu, \"candidates_walked\": %zu, "
                 "\"sim_jobs\": %zu, \"unique_sims\": %zu, \"wall_s\": %.4f}",
                 stats.job_cache_hit ? "true" : "false",
+                stats.disk_cache_hit ? "true" : "false", stats.retries,
                 stats.candidates_walked, stats.sim_jobs,
                 stats.unique_simulations, stats.wall_seconds);
   out << buf << "\n";
@@ -518,11 +542,12 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
       svc::parse_manifest(io::load_text_file(manifest_path));
   base.sim_threads = static_cast<std::size_t>(threads);
 
-  svc::SchedulerOptions sopt;
+  // from_env layers the robustness knobs (ELRR_JOB_DEADLINE,
+  // ELRR_RETRY_MAX, ELRR_DISK_CACHE_DIR, ELRR_DISK_CACHE_CAP) on top of
+  // the fleet knobs; --threads then overrides the fleet pool size.
+  svc::SchedulerOptions sopt = svc::SchedulerOptions::from_env();
   sopt.workers = static_cast<std::size_t>(jobs);
   sopt.sim_threads = base.sim_threads;
-  sopt.sim_dedup = base.sim_dedup;
-  sopt.sim_cache_cap = base.sim_cache_cap;
   // Submit the whole manifest before dispatch starts: the pick order --
   // and with it the priority/fair-share policy -- then depends only on
   // the manifest, not on submission timing.
@@ -539,25 +564,35 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   const std::vector<svc::JobResult> results = scheduler.wait_all();
 
   std::ostringstream lines;
+  // Exit-code policy: anything that did not produce a result the caller
+  // asked for -- a failed job *or* an admission rejection -- fails the
+  // batch. Degraded jobs completed (flagged) and do not.
   std::size_t failed = 0;
   for (const svc::JobResult& result : results) {
     print_batch_result(lines, result);
-    failed += result.state == svc::JobState::kFailed ? 1 : 0;
+    failed += result.state == svc::JobState::kFailed ||
+                      result.state == svc::JobState::kRejected
+                  ? 1
+                  : 0;
   }
   // Trailing summary record keeps the stream pure JSONL while still
   // reporting batch-wide stats (scheduler + shared-fleet cache).
   const svc::SchedulerStats stats = scheduler.stats();
   const sim::SimCacheStats cache = scheduler.fleet().cache_stats();
-  char buf[320];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "{\"summary\": true, \"jobs\": %zu, \"done\": %zu, "
-                "\"failed\": %zu, \"cancelled\": %zu, "
-                "\"job_cache_hits\": %llu, \"sim_cache_hits\": %llu, "
+                "\"failed\": %zu, \"rejected\": %zu, \"degraded\": %zu, "
+                "\"cancelled\": %zu, \"retries\": %llu, "
+                "\"job_cache_hits\": %llu, \"disk_cache_hits\": %llu, "
+                "\"sim_cache_hits\": %llu, "
                 "\"unique_simulations\": %llu, \"sim_cache_entries\": %zu, "
                 "\"sim_cache_evictions\": %llu}",
                 stats.submitted, stats.completed, stats.failed,
-                stats.cancelled,
+                stats.rejected, stats.degraded, stats.cancelled,
+                static_cast<unsigned long long>(stats.retries),
                 static_cast<unsigned long long>(stats.job_cache_hits),
+                static_cast<unsigned long long>(stats.disk_cache_hits),
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
                 cache.entries,
@@ -727,6 +762,10 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   try {
+    // Arm fail-point injection before any command logic: a malformed
+    // ELRR_FAILPOINTS spec throws here, naming the variable, before any
+    // work starts.
+    failpoint::configure_from_env();
     Args args(argc, argv);
     const std::string& cmd = args.command();
     if (cmd.empty() || cmd == "help") {
