@@ -34,6 +34,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -41,9 +43,11 @@
 #include <vector>
 
 #include "bench89/generator.hpp"
+#include "core/opt.hpp"
 #include "flow/circuit_flow.hpp"
 #include "flow/engine.hpp"
 #include "io/rrg_format.hpp"
+#include "lp/session.hpp"
 #include "sim/fleet.hpp"
 #include "support/bench_json.hpp"
 #include "svc/scheduler.hpp"
@@ -410,6 +414,134 @@ BatchRow measure_batch() {
   return row;
 }
 
+struct MilpRow {
+  double cold_step_ms = 0.0;  ///< per-solve seconds x 1e3, warm starts off
+  double warm_step_ms = 0.0;  ///< same sweep through the warm session
+  double warm_seconds = 0.0;  ///< total warm-side solve seconds (gate key)
+  std::int64_t cold_iterations = 0;
+  std::int64_t warm_iterations = 0;
+  std::size_t solves = 0;
+  int circuits_at_1_3x = 0;  ///< sweep circuits with >= 1.3x step speedup
+  std::string detail;        ///< per-circuit "name": speedup JSON fields
+  bool bit_exact = false;
+};
+
+/// The warm-started MILP session (lp::MilpSession, the Pareto walk's
+/// core since the incremental-MILP PR) against the stateless cold path.
+///
+/// Two measurements:
+///  * Step timing on the walk-shaped bound sweep: the MIN_CYC(x) model
+///    of a mid-size circuit re-targeted through eight adjacent x steps,
+///    solved via the session warm vs cold. The LP relaxation isolates
+///    the exact cost the warm basis removes -- the root re-optimization
+///    (a cold phase-1/phase-2 start vs a dual-simplex resolve); the full
+///    MILPs of these circuits are budget-bound at any setting, which
+///    would put wall-clock noise, not the session, in the numbers.
+///  * The exactness gate: full warm walks on two small circuits (every
+///    MILP proven optimal) must reproduce the cold frontier bit for bit
+///    -- config, tau, theta, xi, argmin -- the same contract the lp and
+///    flow ctest differentials pin.
+MilpRow measure_milp() {
+  // Strips integrality: the root relaxation of a walk-step model.
+  const auto relax = [](const elrr::lp::Model& m) {
+    elrr::lp::Model r;
+    r.set_sense(m.sense());
+    for (int j = 0; j < m.num_cols(); ++j) {
+      const elrr::lp::Column& c = m.col(j);
+      r.add_col(c.lo, c.hi, c.obj, false, c.name);
+    }
+    for (int i = 0; i < m.num_rows(); ++i) {
+      const elrr::lp::Row& row = m.row(i);
+      r.add_row(row.lo, row.hi, row.entries, row.name);
+    }
+    return r;
+  };
+
+  MilpRow row;
+  row.bit_exact = true;
+  char buf[96];
+
+  const double xs[] = {1.0, 1.03, 1.06, 1.1, 1.14, 1.19, 1.25, 1.31};
+  const std::size_t steps = quick ? 4 : std::size(xs);
+  const std::vector<const char*> sweep_circuits =
+      quick ? std::vector<const char*>{"s526"}
+            : std::vector<const char*>{"s526", "s641"};
+  for (const char* circuit : sweep_circuits) {
+    const elrr::Rrg rrg = make_candidate(circuit, 1, false);
+    elrr::lp::Model base = elrr::build_min_cyc_model(rrg, xs[0]);
+    elrr::lp::SessionStats stats[2];
+    std::vector<double> objectives[2];
+    for (const int warm : {0, 1}) {
+      elrr::lp::MilpSession session(
+          relax(elrr::build_min_cyc_model(rrg, xs[0])), {});
+      session.set_warm(warm == 1);
+      for (std::size_t k = 0; k < steps; ++k) {
+        const elrr::lp::Model next = elrr::build_min_cyc_model(rrg, xs[k]);
+        for (int i = 0; i < next.num_rows(); ++i) {
+          if (next.row(i).lo != base.row(i).lo ||
+              next.row(i).hi != base.row(i).hi) {
+            session.set_row_bounds(i, next.row(i).lo, next.row(i).hi);
+          }
+        }
+        const elrr::lp::MilpResult solved = session.solve();
+        row.bit_exact &= solved.status == elrr::lp::MilpStatus::kOptimal;
+        objectives[warm].push_back(solved.objective);
+      }
+      stats[warm] = session.stats();
+    }
+    // Warm re-optimization may land on a different vertex among exact
+    // ties; the optimum *value* itself must agree at solver tolerance.
+    for (std::size_t k = 0; k < steps; ++k) {
+      row.bit_exact &= std::abs(objectives[0][k] - objectives[1][k]) <=
+                       1e-9 * (1.0 + std::abs(objectives[0][k]));
+    }
+    const double cold_step = stats[0].solve_seconds /
+                             static_cast<double>(stats[0].solves);
+    const double warm_step = stats[1].solve_seconds /
+                             static_cast<double>(stats[1].solves);
+    row.cold_step_ms += cold_step * 1e3;
+    row.warm_step_ms += warm_step * 1e3;
+    row.warm_seconds += stats[1].solve_seconds;
+    row.cold_iterations += stats[0].lp_iterations;
+    row.warm_iterations += stats[1].lp_iterations;
+    row.solves += static_cast<std::size_t>(stats[1].solves);
+    const double speedup = cold_step / warm_step;
+    if (speedup >= 1.3) ++row.circuits_at_1_3x;
+    std::snprintf(buf, sizeof(buf), "%s\"%s_step_speedup\": %.2f",
+                  row.detail.empty() ? "" : ", ", circuit, speedup);
+    row.detail += buf;
+  }
+  row.cold_step_ms /= static_cast<double>(sweep_circuits.size());
+  row.warm_step_ms /= static_cast<double>(sweep_circuits.size());
+
+  // The exactness gate: warm and cold walks, frontier for frontier.
+  for (const char* circuit : {"s208", "s838"}) {
+    const elrr::Rrg rrg = make_candidate(circuit, 1, false);
+    elrr::OptOptions opt;
+    opt.epsilon = 0.05;
+    opt.milp.time_limit_s = 30.0;  // never reached at these sizes
+    elrr::MinEffCycResult results[2];
+    for (const int warm : {0, 1}) {
+      opt.milp_warm = warm == 1;
+      results[warm] = elrr::min_eff_cyc(rrg, opt);
+      row.bit_exact &= results[warm].all_exact;
+    }
+    const elrr::MinEffCycResult& cold = results[0];
+    const elrr::MinEffCycResult& warm = results[1];
+    bool same = cold.points.size() == warm.points.size() &&
+                cold.best_index == warm.best_index &&
+                cold.milp_calls == warm.milp_calls;
+    for (std::size_t i = 0; same && i < cold.points.size(); ++i) {
+      same = cold.points[i].tau == warm.points[i].tau &&
+             cold.points[i].theta_lp == warm.points[i].theta_lp &&
+             cold.points[i].xi_lp == warm.points[i].xi_lp &&
+             cold.points[i].config == warm.points[i].config;
+    }
+    row.bit_exact &= same;
+  }
+  return row;
+}
+
 /// Baseline trajectory (the previously committed BENCH_sim.json), for
 /// the embedded before/after ratios. Loaded fully before the output file
 /// is opened, so baseline and output may be the same path.
@@ -614,6 +746,41 @@ int main(int argc, char** argv) {
       const double ratio = *prev / batch.scheduler_s;
       std::printf(", %.2fx vs baseline", ratio);
       std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"batch\": %.2f",
+                    ratios.empty() ? "" : ", ", ratio);
+      ratios += ratio_buf;
+    }
+  }
+  std::printf("\n");
+
+  const MilpRow milp = measure_milp();
+  all_bit_exact &= milp.bit_exact;
+  std::fprintf(out,
+               ",\n    \"milp\": {\"workload\": "
+               "\"MIN_CYC(x) root relaxations re-targeted across 8 "
+               "adjacent walk steps, session warm vs cold, plus warm-vs-"
+               "cold full-walk frontier identity on s208/s838\", "
+               "\"solves\": %zu, \"cold_step_ms\": %.3f, "
+               "\"warm_step_ms\": %.3f, \"warm_speedup\": %.2f, "
+               "\"circuits_at_1.3x\": %d, "
+               "\"lp_iterations_cold\": %lld, \"lp_iterations_warm\": %lld, "
+               "%s, \"warm_seconds\": %.4f, \"bit_exact\": %s}",
+               milp.solves, milp.cold_step_ms, milp.warm_step_ms,
+               milp.cold_step_ms / milp.warm_step_ms, milp.circuits_at_1_3x,
+               static_cast<long long>(milp.cold_iterations),
+               static_cast<long long>(milp.warm_iterations),
+               milp.detail.c_str(), milp.warm_seconds,
+               milp.bit_exact ? "true" : "false");
+  std::printf("milp       (%zu session solves): cold %.2fms/step, "
+              "warm %.2fms/step, speedup %.2fx (%d circuits >= 1.3x), %s",
+              milp.solves, milp.cold_step_ms, milp.warm_step_ms,
+              milp.cold_step_ms / milp.warm_step_ms, milp.circuits_at_1_3x,
+              milp.bit_exact ? "bit-exact" : "MISMATCH");
+  if (baseline) {
+    if (const auto prev = elrr::bench_json::find_number(
+            baseline->text, "milp", "warm_seconds")) {
+      const double ratio = *prev / milp.warm_seconds;
+      std::printf(", %.2fx vs baseline", ratio);
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"milp\": %.2f",
                     ratios.empty() ? "" : ", ", ratio);
       ratios += ratio_buf;
     }

@@ -16,6 +16,16 @@ namespace {
 /// Which quantity is the decision variable (the other one is a constant).
 enum class Objective { kMinTau, kMinX };
 
+/// One row whose lower bound depends on the budget x (kMinTau folds
+/// "x * tokens" into the right-hand side): lo(x) = lo_base - x * coef.
+/// Recording these is what lets a session re-target the model for a new
+/// x by moving a handful of row bounds instead of rebuilding it.
+struct XRow {
+  int row = -1;
+  double lo_base = 0.0;
+  double coef = 0.0;
+};
+
 /// Column layout of the RR MILP, built once per solve.
 struct RrModel {
   lp::Model model;
@@ -23,6 +33,7 @@ struct RrModel {
   std::vector<int> r_col;     ///< retiming (continuous; integrality free)
   int tau_col = -1;           ///< only for kMinTau
   int x_col = -1;             ///< only for kMinX
+  std::vector<XRow> x_rows;   ///< kMinTau rows parameterized by x
 };
 
 /// Builds the MILP of Section 4 in the sigma-tilde form (see opt.hpp).
@@ -174,8 +185,9 @@ RrModel build_rr_model(const Rrg& rrg, Objective objective, double x_fixed,
       if (x_coef_tokens != 0.0) entries.push_back({rr.x_col, x_coef_tokens});
       rr.model.add_row(lo, lp::kInf, std::move(entries), name);
     } else {
-      rr.model.add_row(lo - x_fixed * x_coef_tokens, lp::kInf,
-                       std::move(entries), name);
+      const int row = rr.model.add_row(lo - x_fixed * x_coef_tokens,
+                                       lp::kInf, std::move(entries), name);
+      if (x_coef_tokens != 0.0) rr.x_rows.push_back({row, lo, x_coef_tokens});
     }
   };
 
@@ -247,21 +259,11 @@ RrModel build_rr_model(const Rrg& rrg, Objective objective, double x_fixed,
   return rr;
 }
 
-RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
-                       double tau_fixed, double x_upper,
-                       const OptOptions& options) {
-  rrg.validate();
-  ELRR_REQUIRE(graph::is_strongly_connected(rrg.graph()),
-               "the optimizer requires a strongly connected RRG "
-               "(extract the largest SCC first)");
-  if (objective != Objective::kMinX) {
-    ELRR_REQUIRE(x_fixed >= 1.0, "throughput target requires x >= 1, got ",
-                 x_fixed);
-  }
-
-  RrModel rr = build_rr_model(rrg, objective, x_fixed, tau_fixed, x_upper);
-  const lp::MilpResult milp = lp::solve_milp(rr.model, options.milp);
-
+/// Shared MILP postlude: status mapping, buffer extraction, retiming
+/// recovery and config validation (identical for the stateless and the
+/// session path -- bit-identity of the walk hinges on that).
+RcSolveResult finish_rr(const Rrg& rrg, const std::vector<int>& buf_col,
+                        const lp::MilpResult& milp) {
   RcSolveResult result;
   if (!milp.has_solution()) {
     // `exact` on an infeasible answer means the negative verdict is
@@ -279,7 +281,7 @@ RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
   std::vector<int> buffers(rrg.num_edges());
   for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
     buffers[e] =
-        static_cast<int>(std::llround(milp.x[static_cast<std::size_t>(rr.buf_col[e])]));
+        static_cast<int>(std::llround(milp.x[static_cast<std::size_t>(buf_col[e])]));
     ELRR_ASSERT(buffers[e] >= 0, "negative buffer count from MILP");
   }
   const std::vector<int> r = recover_retiming(rrg, buffers);
@@ -300,45 +302,67 @@ RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
   return result;
 }
 
+RcSolveResult solve_rr(const Rrg& rrg, Objective objective, double x_fixed,
+                       double tau_fixed, double x_upper,
+                       const OptOptions& options) {
+  rrg.validate();
+  ELRR_REQUIRE(graph::is_strongly_connected(rrg.graph()),
+               "the optimizer requires a strongly connected RRG "
+               "(extract the largest SCC first)");
+  if (objective != Objective::kMinX) {
+    ELRR_REQUIRE(x_fixed >= 1.0, "throughput target requires x >= 1, got ",
+                 x_fixed);
+  }
+
+  RrModel rr = build_rr_model(rrg, objective, x_fixed, tau_fixed, x_upper);
+  const lp::MilpResult milp = lp::solve_milp(rr.model, options.milp);
+  return finish_rr(rrg, rr.buf_col, milp);
+}
+
 }  // namespace
 
-Rrg as_all_simple(const Rrg& rrg) {
-  Rrg out = rrg;
-  for (NodeId n = 0; n < out.num_nodes(); ++n) {
-    out.set_kind(n, NodeKind::kSimple);
+namespace detail {
+
+/// The walk's persistent MILP state: the x-parameterized MIN_TAU model
+/// built once per circuit (at x = 0, so every recorded lo_base is the
+/// unshifted bound) plus the lp::MilpSession holding the warm basis.
+struct WalkMilp {
+  std::vector<int> buf_col;
+  std::vector<XRow> x_rows;
+  lp::MilpSession session;
+
+  WalkMilp(RrModel&& rr, const lp::MilpOptions& milp_options)
+      : buf_col(std::move(rr.buf_col)),
+        x_rows(std::move(rr.x_rows)),
+        session(std::move(rr.model), milp_options) {}
+};
+
+}  // namespace detail
+
+namespace {
+
+/// MIN_CYC(x) through the walk's session: re-target the x-dependent row
+/// bounds (the exact same "lo - x * coef" expression solve_rr's builder
+/// evaluates, so the parameterized model is bit-identical to a freshly
+/// built one), thread the step's cutoffs/budget through, solve.
+RcSolveResult solve_rr_session(const Rrg& rrg, detail::WalkMilp& wm,
+                               double x, const lp::MilpOptions& step_milp) {
+  ELRR_REQUIRE(x >= 1.0, "throughput target requires x >= 1, got ", x);
+  for (const XRow& xr : wm.x_rows) {
+    wm.session.set_row_bounds(xr.row, xr.lo_base - x * xr.coef, lp::kInf);
   }
-  return out;
+  wm.session.set_cutoffs(step_milp.target_obj, step_milp.futile_bound);
+  wm.session.set_time_limit(step_milp.time_limit_s);
+  return finish_rr(rrg, wm.buf_col, wm.session.solve());
 }
 
-std::vector<int> recover_retiming(const Rrg& rrg,
-                                  const std::vector<int>& buffers) {
-  ELRR_REQUIRE(buffers.size() == rrg.num_edges(), "buffer vector mismatch");
-  std::vector<std::int64_t> w(rrg.num_edges());
-  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
-    w[e] = static_cast<std::int64_t>(buffers[e]) - rrg.tokens(e);
-  }
-  const auto sol = graph::solve_difference_constraints(rrg.graph(), w);
-  ELRR_ASSERT(sol.feasible,
-              "buffer counts do not support any retiming (R' < R0' on some "
-              "cycle)");
-  std::vector<int> r(rrg.num_nodes());
-  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
-    r[n] = static_cast<int>(sol.potential[n]);
-  }
-  return r;
-}
-
-RcSolveResult min_cyc(const Rrg& rrg, double x, const OptOptions& options) {
-  if (options.treat_all_simple) {
-    return solve_rr(as_all_simple(rrg), Objective::kMinTau, x, 0.0, 0.0,
-                    options);
-  }
-  return solve_rr(rrg, Objective::kMinTau, x, 0.0, 0.0, options);
-}
-
-RcSolveResult max_thr(const Rrg& input, double tau,
-                      const OptOptions& options) {
-  const Rrg rrg = options.treat_all_simple ? as_all_simple(input) : input;
+/// MAX_THR(tau) on an already-rewritten RRG. With a session (`wm`), the
+/// bisection's decision probes -- which are MIN_CYC solves of the same
+/// x-parameterized model -- run through it; the direct min-x attempt
+/// keeps its own cold solve (its model depends on tau structurally, so
+/// no basis carries over).
+RcSolveResult max_thr_impl(const Rrg& rrg, double tau,
+                           const OptOptions& options, detail::WalkMilp* wm) {
   rrg.validate();
   if (tau < rrg.max_delay() - 1e-9) {
     return {};  // a single node's delay already exceeds tau
@@ -398,7 +422,10 @@ RcSolveResult max_thr(const Rrg& input, double tau,
           : 3.0;
   enum class Verdict { kYes, kNo, kUnknownNo };
   const auto probe_at = [&](double x, RcSolveResult* witness) {
-    RcSolveResult r = solve_rr(rrg, Objective::kMinTau, x, 0.0, 0.0, probe);
+    RcSolveResult r =
+        wm != nullptr
+            ? solve_rr_session(rrg, *wm, x, probe.milp)
+            : solve_rr(rrg, Objective::kMinTau, x, 0.0, 0.0, probe);
     if (r.feasible && r.objective <= tau + 1e-6) {
       *witness = r;
       return Verdict::kYes;  // the witness itself proves the yes
@@ -443,6 +470,59 @@ RcSolveResult max_thr(const Rrg& input, double tau,
   return best;
 }
 
+}  // namespace
+
+Rrg as_all_simple(const Rrg& rrg) {
+  Rrg out = rrg;
+  for (NodeId n = 0; n < out.num_nodes(); ++n) {
+    out.set_kind(n, NodeKind::kSimple);
+  }
+  return out;
+}
+
+std::vector<int> recover_retiming(const Rrg& rrg,
+                                  const std::vector<int>& buffers) {
+  ELRR_REQUIRE(buffers.size() == rrg.num_edges(), "buffer vector mismatch");
+  std::vector<std::int64_t> w(rrg.num_edges());
+  for (EdgeId e = 0; e < rrg.num_edges(); ++e) {
+    w[e] = static_cast<std::int64_t>(buffers[e]) - rrg.tokens(e);
+  }
+  const auto sol = graph::solve_difference_constraints(rrg.graph(), w);
+  ELRR_ASSERT(sol.feasible,
+              "buffer counts do not support any retiming (R' < R0' on some "
+              "cycle)");
+  std::vector<int> r(rrg.num_nodes());
+  for (NodeId n = 0; n < rrg.num_nodes(); ++n) {
+    r[n] = static_cast<int>(sol.potential[n]);
+  }
+  return r;
+}
+
+RcSolveResult min_cyc(const Rrg& rrg, double x, const OptOptions& options) {
+  if (options.treat_all_simple) {
+    return solve_rr(as_all_simple(rrg), Objective::kMinTau, x, 0.0, 0.0,
+                    options);
+  }
+  return solve_rr(rrg, Objective::kMinTau, x, 0.0, 0.0, options);
+}
+
+lp::Model build_min_cyc_model(const Rrg& input, double x,
+                              const OptOptions& options) {
+  const Rrg rrg = options.treat_all_simple ? as_all_simple(input) : input;
+  rrg.validate();
+  ELRR_REQUIRE(graph::is_strongly_connected(rrg.graph()),
+               "the optimizer requires a strongly connected RRG "
+               "(extract the largest SCC first)");
+  ELRR_REQUIRE(x >= 1.0, "throughput target requires x >= 1, got ", x);
+  return std::move(build_rr_model(rrg, Objective::kMinTau, x, 0.0, 0.0).model);
+}
+
+RcSolveResult max_thr(const Rrg& input, double tau,
+                      const OptOptions& options) {
+  const Rrg rrg = options.treat_all_simple ? as_all_simple(input) : input;
+  return max_thr_impl(rrg, tau, options, nullptr);
+}
+
 std::vector<std::size_t> MinEffCycResult::k_best(std::size_t k) const {
   std::vector<std::size_t> order(points.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -464,6 +544,27 @@ ParetoWalk::ParetoWalk(const Rrg& input, const OptOptions& options)
   // terminates at the cap instead of Theta = 1.
   cap_ = throughput_cap(rrg_);
   max_iters_ = static_cast<int>(std::ceil(1.0 / options_.epsilon)) + 4;
+}
+
+// Out of line: detail::WalkMilp is incomplete in the header.
+ParetoWalk::~ParetoWalk() = default;
+
+detail::WalkMilp& ParetoWalk::milp_session() {
+  if (!milp_) {
+    // Built once, at x = 0, so every x-dependent row records its
+    // unshifted lo_base; solve_rr_session re-targets those bounds before
+    // every solve, so the placeholder bounds never reach the solver.
+    milp_ = std::make_unique<detail::WalkMilp>(
+        build_rr_model(rrg_, Objective::kMinTau, 0.0, 0.0, 0.0),
+        options_.milp);
+    milp_->session.set_warm(options_.milp_warm);
+    milp_->session.set_seed_incumbent(options_.milp_warm);
+  }
+  return *milp_;
+}
+
+lp::SessionStats ParetoWalk::milp_stats() const {
+  return milp_ ? milp_->session.stats() : lp::SessionStats{};
 }
 
 ParetoPoint ParetoWalk::record(const RcSolveResult& solve) {
@@ -506,7 +607,8 @@ std::optional<ParetoPoint> ParetoWalk::advance() {
   if (state_ == State::kFirstMaxThr) {
     // tau = beta_max; RC = MAX_THR(tau).
     state_ = State::kStep;
-    const RcSolveResult first = max_thr(rrg_, rrg_.max_delay(), options_);
+    const RcSolveResult first =
+        max_thr_impl(rrg_, rrg_.max_delay(), options_, &milp_session());
     ++milp_calls_;
     ELRR_ASSERT(first.feasible, "MAX_THR(beta_max) must be feasible");
     last_ = record(first);
@@ -535,7 +637,8 @@ std::optional<ParetoPoint> ParetoWalk::advance() {
       step.milp.target_obj = beat + 1e-9;
       step.milp.futile_bound = beat + 1e-7;
     }
-    const RcSolveResult mc = min_cyc(rrg_, 1.0 / target_, step);
+    const RcSolveResult mc =
+        solve_rr_session(rrg_, milp_session(), 1.0 / target_, step.milp);
     ++milp_calls_;
     if (!mc.feasible) {
       if (xi_hint_ > 0.0 && mc.exact) {
@@ -551,7 +654,8 @@ std::optional<ParetoPoint> ParetoWalk::advance() {
     }
     if (options_.polish) {
       const double tau_next = evaluate_config(rrg_, mc.config).tau;
-      const RcSolveResult mt = max_thr(rrg_, tau_next, options_);
+      const RcSolveResult mt =
+          max_thr_impl(rrg_, tau_next, options_, &milp_session());
       ++milp_calls_;
       if (!mt.feasible) {
         all_exact_ = false;

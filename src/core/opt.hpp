@@ -14,12 +14,14 @@
 /// integral retiming vector is recovered afterwards with Bellman-Ford.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/analysis.hpp"
 #include "core/rrg.hpp"
 #include "lp/milp.hpp"
+#include "lp/session.hpp"
 #include "support/stopwatch.hpp"
 
 namespace elrr {
@@ -36,6 +38,12 @@ struct OptOptions {
   /// paper's exact recipe). Disabling it keeps only the MIN_CYC results
   /// (still Pareto-filtered) and is considerably cheaper on big circuits.
   bool polish = true;
+  /// Warm-start adjacent MILP solves of the Pareto walk from the
+  /// previous step's optimal basis (lp::MilpSession). Off: every step
+  /// is a cold solve, bit-identical to the stateless `solve_milp` path
+  /// by construction. On: results are pinned to the cold path by the
+  /// differential suites (tests/lp, tests/flow) -- see src/lp/README.md.
+  bool milp_warm = true;
 };
 
 /// Result of one MILP primitive.
@@ -48,6 +56,15 @@ struct RcSolveResult {
 
 /// MIN_CYC(x): minimize cycle time subject to Theta_lp >= 1/x (x >= 1).
 RcSolveResult min_cyc(const Rrg& rrg, double x, const OptOptions& options = {});
+
+/// The MIN_CYC(x) MILP exactly as one Pareto-walk step solves it: the
+/// sigma-tilde form (tau + integer buffer counts + scaled firing
+/// variables) at throughput bound x >= 1. For export and round-trip
+/// tooling (lp::to_mps / lp::from_mps): lp::solve_milp on the returned
+/// model is the same MILP a walk step at this x solves.
+/// `options.treat_all_simple` applies the same rewrite min_cyc would.
+lp::Model build_min_cyc_model(const Rrg& rrg, double x,
+                              const OptOptions& options = {});
 
 /// MAX_THR(tau): maximize Theta_lp subject to cycle time <= tau.
 RcSolveResult max_thr(const Rrg& rrg, double tau,
@@ -111,9 +128,14 @@ MinEffCycResult min_eff_cyc(const Rrg& rrg, const OptOptions& options = {});
 /// theta target without recording a candidate. With no hint the walk is
 /// exact and deterministic; with one, frontiers may lose points that
 /// cannot improve on the hint (pruned_steps() reports how many).
+namespace detail {
+struct WalkMilp;  ///< the walk's persistent MILP session (opt.cpp)
+}  // namespace detail
+
 class ParetoWalk {
  public:
   ParetoWalk(const Rrg& rrg, const OptOptions& options = {});
+  ~ParetoWalk();
 
   /// Runs the walk up to its next recorded candidate: the identity
   /// configuration first, then one (budgeted) MILP step per call.
@@ -134,6 +156,9 @@ class ParetoWalk {
   int milp_calls() const { return milp_calls_; }
   /// MIN_CYC steps skipped because the xi hint proved them dominated.
   int pruned_steps() const { return pruned_steps_; }
+  /// Counters of the walk's MILP session (warm/cold solves, simplex
+  /// iterations, solve seconds); all-zero before the first MILP step.
+  lp::SessionStats milp_stats() const;
 
  private:
   enum class State { kIdentity, kFirstMaxThr, kStep, kDone };
@@ -142,8 +167,15 @@ class ParetoWalk {
   /// tracks the exactness flag -- the record() of min_eff_cyc.
   ParetoPoint record(const RcSolveResult& solve);
 
+  /// The MILP session shared by every MIN_CYC step and MAX_THR decision
+  /// probe of this walk (they are all the same x-parameterized MIN_TAU
+  /// model; adjacent solves differ only in a few row bounds). Built on
+  /// the first MILP step; owns the warm basis state across advance().
+  detail::WalkMilp& milp_session();
+
   const Rrg rrg_;          ///< all-simple rewrite already applied
   OptOptions options_;     ///< treat_all_simple already consumed
+  std::unique_ptr<detail::WalkMilp> milp_;
   State state_ = State::kIdentity;
   std::vector<ParetoPoint> points_;
   ParetoPoint last_;       ///< walk position (theta monotone driver)

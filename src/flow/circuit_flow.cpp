@@ -58,6 +58,7 @@ FlowOptions FlowOptions::from_env() {
       "ELRR_SIM_CACHE_CAP", sim::kDefaultSimCacheCapBytes, 0, kNoCap));
   options.pipeline = env::boolean("ELRR_PIPELINE", true);
   options.polish = env::boolean("ELRR_POLISH", false);
+  options.milp_warm = env::boolean("ELRR_MILP_WARM", true);
   options.use_heuristic = env::boolean("ELRR_HEUR", true);
   options.exact_max_edges = static_cast<int>(
       env::u64("ELRR_EXACT_MAX_EDGES", 150, 0, INT_MAX));
@@ -91,6 +92,7 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
   opt.epsilon = options.epsilon;
   opt.milp.time_limit_s = options.milp_timeout_s;
   opt.polish = options.polish;
+  opt.milp_warm = options.milp_warm;
 
   // Late-evaluation baseline: for all-simple graphs the LP bound is the
   // exact throughput, so xi_nee needs no simulation. The heuristic (when

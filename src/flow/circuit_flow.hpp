@@ -35,6 +35,10 @@
 ///                        simulation (default 1; 0 = sequential, results
 ///                        identical either way)
 ///   ELRR_POLISH          1 = MAX_THR polish          (default 0)
+///   ELRR_MILP_WARM       1 = warm-start adjacent MILP steps from the
+///                        previous optimal basis (default 1; 0 = cold
+///                        solves, results identical either way -- purely
+///                        a wall-clock knob, like ELRR_PIPELINE)
 ///   ELRR_HEUR            0 = paper-pure flow         (default 1)
 ///   ELRR_EXACT_MAX_EDGES exact-MILP edge ceiling     (default 150)
 ///   ELRR_TABLE2_FULL     1 = all 18 circuits         (default: <= 150 edges)
@@ -80,6 +84,12 @@ struct FlowOptions {
   /// Run the MAX_THR polish inside MIN_EFF_CYC (paper-exact, slower);
   /// env ELRR_POLISH=1. bench_table1 enables it by default.
   bool polish = false;
+  /// Warm-start adjacent MILP solves of the walks from the previous
+  /// step's optimal basis (lp::MilpSession). Bit-identical results
+  /// either way (pinned by the differential suites); env
+  /// ELRR_MILP_WARM=0 runs every step cold. A wall-clock knob, so it is
+  /// deliberately *not* part of the scheduler's cache job key.
+  bool milp_warm = true;
   /// Merge the MILP-free heuristic's Pareto points into the candidate
   /// set (both for the early walk and the late baseline). This is our
   /// extension beyond the paper -- it costs milliseconds and rescues

@@ -66,13 +66,18 @@ EngineResult Engine::run() {
   const TicketGuard guard{fleet_, &tickets};
   std::vector<bool> folded;                // feedback: already in best_xi
   double best_xi = 0.0;
+  // kOn arms the feedback up front; kAuto waits for evidence the
+  // instance is budget-dominated (an inexact candidate below) so walks
+  // whose MILPs all finish stay bit-exact vs the sequential path.
+  bool feedback_armed =
+      options_.feedback_pruning == FeedbackPruning::kOn;
 
   // Feedback pruning: fold every *completed* simulation into the best
   // observed effective cycle time and hand it to the walk as a MILP
   // cutoff. Only meaningful when candidates stream mid-walk (overlap);
   // completed results are free to read (the fleet caches them).
   const auto poll_feedback = [&] {
-    if (!options_.feedback_pruning) return;
+    if (!feedback_armed) return;
     bool updated = false;
     for (std::size_t i = 0; i < tickets.size(); ++i) {
       if (folded[i] || !fleet_->poll(tickets[i])) continue;
@@ -104,6 +109,12 @@ EngineResult Engine::run() {
     result.walk_seconds += step.seconds();
     if (!point.has_value()) break;
     emitted.push_back(*point);
+    if (options_.feedback_pruning == FeedbackPruning::kAuto &&
+        !point->exact) {
+      // A budget was hit: from here on simulated thetas may prune
+      // provably dominated MIN_CYC steps (the s382/s400 shape).
+      feedback_armed = true;
+    }
     if (options_.overlap) {
       // The pipeline: this candidate simulates on the fleet's pool while
       // the next MILP step solves right here.
@@ -125,6 +136,7 @@ EngineResult Engine::run() {
 
   result.walk = walk.finish();
   result.pruned_steps = walk.pruned_steps();
+  result.milp = walk.milp_stats();
   result.candidates_submitted = emitted.size();
   for (const sim::SimTicket ticket : tickets) {
     result.unique_simulations += ticket.fresh ? 1 : 0;

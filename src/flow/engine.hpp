@@ -21,25 +21,34 @@
 /// configurations -- a routine artifact of Pareto walks -- are simulated
 /// once per engine, ever.
 ///
-/// Determinism: with feedback pruning off (the default), the engine's
+/// Determinism: while feedback pruning is unarmed (kOff, or kAuto on a
+/// walk whose MILPs all finish -- every candidate exact), the engine's
 /// Pareto front and every simulated theta are bit-identical to the
 /// sequential path (min_eff_cyc + per-candidate simulate_throughput of
 /// the same options) at *any* fleet thread count -- the walk runs
 /// unmodified on one thread and the fleet's determinism contract pins
-/// the thetas. `overlap = false` degrades gracefully to walk-then-score
-/// (same results; the honest baseline the pipeline benchmarks compare
-/// against).
+/// the thetas. That holds with MILP warm-starting on or off
+/// (opt.milp_warm): the walk's lp::MilpSession is pinned bit-identical
+/// to the cold path by the differential suites. `overlap = false`
+/// degrades gracefully to walk-then-score (same results; the honest
+/// baseline the pipeline benchmarks compare against).
 ///
-/// Feedback pruning (`feedback_pruning = true`, off by default): whenever
-/// a candidate's simulation completes mid-walk, its *measured* effective
-/// cycle time is fed back into the walk as a MILP cutoff
+/// Feedback pruning (`feedback_pruning`): whenever a candidate's
+/// simulation completes mid-walk, its *measured* effective cycle time is
+/// fed back into the walk as a MILP cutoff
 /// (ParetoWalk::set_xi_hint -> MilpOptions::target_obj/futile_bound):
 /// MIN_CYC steps provably unable to beat the best simulated xi are
 /// pruned instead of solved to optimality. This trades frontier
 /// completeness for time on hard instances -- fronts may lose dominated
-/// points -- which is why it is opt-in. See the data-driven retiming
-/// loop of "Application-aware Retiming of Accelerators" (arXiv:1612.08163)
-/// for the measure-then-reoptimize shape this makes first-class.
+/// points. The default, kAuto, arms the feedback only once the walk
+/// emits an *inexact* candidate (a MILP budget was hit -- the
+/// budget-dominated shape of s382/s400 under tight timeouts): circuits
+/// whose MILPs finish stay bit-exact, circuits already past exactness
+/// stop burning budget on provably dominated steps. kOn forces the
+/// hints from the first completed simulation; kOff never prunes. See
+/// the data-driven retiming loop of "Application-aware Retiming of
+/// Accelerators" (arXiv:1612.08163) for the measure-then-reoptimize
+/// shape this makes first-class.
 ///
 /// Cancellation: request_cancel() (thread-safe, also callable from the
 /// on_candidate observer) stops the walk at the next step boundary;
@@ -58,6 +67,13 @@
 #include "sim/simulator.hpp"
 
 namespace elrr::flow {
+
+/// When simulated thetas may prune the walk's MILP steps (file comment).
+enum class FeedbackPruning {
+  kOff,   ///< never: frontiers bit-exact vs the sequential path
+  kOn,    ///< always: prune from the first completed simulation on
+  kAuto,  ///< only after the walk emits an inexact (budget-hit) candidate
+};
 
 struct EngineOptions {
   /// Walk knobs (epsilon, per-MILP budgets, polish, treat_all_simple).
@@ -82,8 +98,9 @@ struct EngineOptions {
   bool overlap = true;
   /// Feed completed simulated thetas back into the walk's MILP cutoffs
   /// (prunes dominated MIN_CYC steps; frontier no longer guaranteed
-  /// complete). Off by default: bit-exact fronts.
-  bool feedback_pruning = false;
+  /// complete once armed). kAuto arms only on budget-dominated walks --
+  /// exact walks stay bit-identical to the sequential path.
+  FeedbackPruning feedback_pruning = FeedbackPruning::kAuto;
   /// Observer called after each walk step with the emitted candidate and
   /// its index (in emission order). Runs on the engine's thread; may
   /// call request_cancel().
@@ -103,7 +120,7 @@ struct ScoredPoint {
 
 struct EngineResult {
   /// The walk's result -- identical to min_eff_cyc(rrg, options.opt)
-  /// when feedback pruning is off and the run was not cancelled.
+  /// when feedback pruning never armed and the run was not cancelled.
   MinEffCycResult walk;
   /// One entry per walk.points entry (same order): the frontier, scored.
   std::vector<ScoredPoint> scored;
@@ -115,6 +132,9 @@ struct EngineResult {
   /// candidate first, lowering this count -- a stat, never a result.
   std::size_t unique_simulations = 0;
   int pruned_steps = 0;   ///< MIN_CYC steps the feedback hint pruned
+  /// Counters of the walk's MILP session (warm vs cold solves, simplex
+  /// iterations, per-solve seconds) -- the BENCH `milp` section's input.
+  lp::SessionStats milp;
   bool cancelled = false;
   double walk_seconds = 0.0;      ///< time inside ParetoWalk::advance
   double sim_wait_seconds = 0.0;  ///< time blocked on the fleet afterwards

@@ -1,10 +1,10 @@
 #include "lp/milp.hpp"
 
 #include "lp/presolve.hpp"
+#include "lp/session.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 #include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
@@ -30,322 +30,9 @@ double MilpResult::gap() const {
   return std::abs(objective - best_bound) / denom;
 }
 
-namespace {
+namespace detail {
 
-struct BoundChange {
-  int col;
-  double lo;
-  double hi;
-};
-
-struct Node {
-  double bound;  ///< parent LP objective (internal minimize sense)
-  int depth;
-  std::vector<BoundChange> changes;
-};
-
-struct NodeOrder {
-  bool operator()(const Node& a, const Node& b) const {
-    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
-    return a.depth < b.depth;                          // deeper first on ties
-  }
-};
-
-class BranchAndBound {
- public:
-  BranchAndBound(const Model& model, const MilpOptions& options)
-      : model_(model),
-        options_(options),
-        flip_(model.sense() == Sense::kMaximize ? -1.0 : 1.0),
-        deadline_(options.time_limit_s),
-        engine_(model, options.lp) {
-    for (int j = 0; j < model.num_cols(); ++j) {
-      if (model.col(j).is_integer) int_cols_.push_back(j);
-    }
-  }
-
-  MilpResult run() {
-    Stopwatch watch;
-    MilpResult result = search();
-    result.seconds = watch.seconds();
-    result.lp_iterations = engine_.total_iterations();
-    return result;
-  }
-
- private:
-  /// Objective in internal (minimize) sense.
-  double inner(const LpResult& r) const { return flip_ * r.objective; }
-
-  void sync_engine_deadline() {
-    double lp_limit = options_.lp.time_limit_s;
-    if (!deadline_.unlimited()) {
-      const double remaining = std::max(0.05, deadline_.remaining());
-      lp_limit = lp_limit > 0 ? std::min(lp_limit, remaining) : remaining;
-    }
-    engine_.set_time_limit(lp_limit);
-  }
-
-  /// Tightened root bounds for integer columns (ceil/floor of LP
-  /// bounds). False when some integer domain is empty (e.g. bounds
-  /// (0.3, 0.8) contain no integer): the MILP is trivially infeasible.
-  bool tighten_integer_bounds() {
-    for (int j : int_cols_) {
-      const Column& c = model_.col(j);
-      const double lo = std::isfinite(c.lo) ? std::ceil(c.lo - options_.int_tol)
-                                            : c.lo;
-      const double hi = std::isfinite(c.hi)
-                            ? std::floor(c.hi + options_.int_tol)
-                            : c.hi;
-      if (lo > hi) return false;
-      root_lo_.push_back(lo);
-      root_hi_.push_back(hi);
-      engine_.set_col_bounds(j, lo, hi);
-    }
-    return true;
-  }
-
-  int most_fractional(const std::vector<double>& x) const {
-    int best = -1;
-    double best_frac = options_.int_tol;
-    for (int j : int_cols_) {
-      const double v = x[static_cast<std::size_t>(j)];
-      const double frac = std::abs(v - std::round(v));
-      if (frac > best_frac) {
-        best_frac = frac;
-        best = j;
-      }
-    }
-    return best;
-  }
-
-  void update_incumbent(const LpResult& lp) {
-    const double obj = inner(lp);
-    if (has_incumbent_ && obj >= incumbent_obj_ - 1e-12) return;
-    has_incumbent_ = true;
-    incumbent_obj_ = obj;
-    incumbent_x_ = lp.x;
-    for (int j : int_cols_) {
-      incumbent_x_[static_cast<std::size_t>(j)] =
-          std::round(incumbent_x_[static_cast<std::size_t>(j)]);
-    }
-  }
-
-  /// Fix-and-round primal heuristic: fix every integer column to a
-  /// rounding of the node LP point (clamped to root bounds) and re-solve
-  /// the continuous rest. Tried with nearest-rounding and with ceiling
-  /// (the latter matters for covering-style models such as the retiming
-  /// path constraints, where more buffers never hurt feasibility).
-  void try_rounding(const std::vector<double>& x,
-                    const SimplexSolver::State& root_state) {
-    for (const bool use_ceil : {false, true}) {
-      engine_.restore_state(root_state);
-      for (std::size_t k = 0; k < int_cols_.size(); ++k) {
-        const int j = int_cols_[k];
-        const double raw = x[static_cast<std::size_t>(j)];
-        double v = use_ceil ? std::ceil(raw - options_.int_tol)
-                            : std::round(raw);
-        v = std::min(std::max(v, root_lo_[k]), root_hi_[k]);
-        engine_.set_col_bounds(j, v, v);
-      }
-      sync_engine_deadline();
-      const LpResult lp = engine_.resolve();
-      if (lp.status == LpStatus::kOptimal) update_incumbent(lp);
-    }
-  }
-
-  bool should_prune(double bound) const {
-    if (!has_incumbent_) return false;
-    const double slack = std::max(options_.gap_abs,
-                                  std::abs(incumbent_obj_) * options_.gap_rel);
-    return bound >= incumbent_obj_ - slack;
-  }
-
-  MilpResult search() {
-    MilpResult result;
-    // Decision-problem cutoffs in internal (minimize) sense.
-    const double target_inner = std::isnan(options_.target_obj)
-                                    ? -kInf
-                                    : flip_ * options_.target_obj;
-    const double futile_inner = std::isnan(options_.futile_bound)
-                                    ? kInf
-                                    : flip_ * options_.futile_bound;
-    if (!tighten_integer_bounds()) {
-      result.status = MilpStatus::kInfeasible;
-      return result;
-    }
-    sync_engine_deadline();
-
-    LpResult root = engine_.solve();
-    if (root.status == LpStatus::kInfeasible) {
-      result.status = MilpStatus::kInfeasible;
-      return result;
-    }
-    if (root.status == LpStatus::kUnbounded) {
-      result.status = MilpStatus::kUnbounded;
-      return result;
-    }
-    if (root.status != LpStatus::kOptimal) {
-      result.status = root.status == LpStatus::kNumericError
-                          ? MilpStatus::kNumericError
-                          : MilpStatus::kNoSolution;
-      return result;
-    }
-
-    const SimplexSolver::State root_state = engine_.save_state();
-    double unresolved_bound = kInf;  // bounds of nodes we failed to process
-
-    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-    open.push(Node{inner(root), 0, {}});
-
-    bool hit_limit = false;
-    bool hit_target = false;
-    bool proven_futile = false;
-    double futile_proof = kInf;
-    while (!open.empty()) {
-      if (deadline_.expired() ||
-          (options_.max_nodes >= 0 && result.nodes >= options_.max_nodes)) {
-        hit_limit = true;
-        break;
-      }
-      if (has_incumbent_ && incumbent_obj_ <= target_inner) {
-        hit_target = true;
-        break;
-      }
-      // Best-first order: the top node's bound is the global lower bound
-      // (unresolved nodes keep their bound alive in unresolved_bound).
-      const double global_bound = std::min(open.top().bound, unresolved_bound);
-      if (global_bound > futile_inner &&
-          (!has_incumbent_ || incumbent_obj_ > futile_inner)) {
-        proven_futile = true;
-        futile_proof = global_bound;
-        break;
-      }
-      Node node = open.top();
-      open.pop();
-      if (should_prune(node.bound)) continue;  // bound inherited from parent
-      ++result.nodes;
-
-      // Replay the node's bound changes on top of the root basis.
-      engine_.restore_state(root_state);
-      std::vector<double> eff_lo = root_lo_;
-      std::vector<double> eff_hi = root_hi_;
-      for (const auto& change : node.changes) {
-        engine_.set_col_bounds(change.col, change.lo, change.hi);
-        for (std::size_t k = 0; k < int_cols_.size(); ++k) {
-          if (int_cols_[k] == change.col) {
-            eff_lo[k] = change.lo;
-            eff_hi[k] = change.hi;
-          }
-        }
-      }
-      sync_engine_deadline();
-      LpResult lp = engine_.resolve();
-      if (lp.status == LpStatus::kInfeasible) continue;
-      if (lp.status != LpStatus::kOptimal) {
-        // Could not resolve this node (limits / numerics): its subtree
-        // remains unexplored, so its bound must survive in best_bound.
-        unresolved_bound = std::min(unresolved_bound, node.bound);
-        if (deadline_.expired()) {
-          hit_limit = true;
-          break;
-        }
-        continue;
-      }
-      const double bound = inner(lp);
-      if (should_prune(bound)) continue;
-
-      const int branch_col = most_fractional(lp.x);
-      if (branch_col < 0) {
-        update_incumbent(lp);
-        continue;
-      }
-
-      if (options_.rounding_heuristic &&
-          (result.nodes == 1 ||
-           (options_.rounding_period > 0 &&
-            result.nodes % options_.rounding_period == 0))) {
-        const std::vector<double> x_node = lp.x;
-        try_rounding(x_node, root_state);
-        if (should_prune(bound)) continue;
-        // The engine state was clobbered by the heuristic but children only
-        // need the recorded bound changes, so nothing to restore here.
-        lp.x = x_node;
-      }
-
-      const double v = lp.x[static_cast<std::size_t>(branch_col)];
-      double cur_lo = kInf, cur_hi = -kInf;
-      for (std::size_t k = 0; k < int_cols_.size(); ++k) {
-        if (int_cols_[k] == branch_col) {
-          cur_lo = eff_lo[k];
-          cur_hi = eff_hi[k];
-        }
-      }
-      const double down_hi = std::floor(v);
-      const double up_lo = std::ceil(v);
-      if (down_hi >= cur_lo) {
-        Node child{bound, node.depth + 1, node.changes};
-        child.changes.push_back({branch_col, cur_lo, down_hi});
-        open.push(std::move(child));
-      }
-      if (up_lo <= cur_hi) {
-        Node child{bound, node.depth + 1, node.changes};
-        child.changes.push_back({branch_col, up_lo, cur_hi});
-        open.push(std::move(child));
-      }
-    }
-
-    // Assemble the final answer.
-    if (proven_futile) {
-      result.status = MilpStatus::kFutile;
-      result.best_bound = flip_ * futile_proof;
-      if (has_incumbent_) {
-        result.objective = flip_ * incumbent_obj_;
-        result.x = incumbent_x_;
-      }
-      return result;
-    }
-    double open_bound = unresolved_bound;
-    while (!open.empty()) {
-      open_bound = std::min(open_bound, open.top().bound);
-      open.pop();
-    }
-    const bool proven = !hit_limit && !hit_target && open_bound == kInf;
-
-    if (has_incumbent_) {
-      result.objective = flip_ * incumbent_obj_;
-      result.x = incumbent_x_;
-      const double inner_bound =
-          proven ? incumbent_obj_ : std::min(open_bound, incumbent_obj_);
-      result.best_bound = flip_ * inner_bound;
-      result.status = proven ? MilpStatus::kOptimal : MilpStatus::kFeasible;
-    } else if (proven) {
-      result.status = MilpStatus::kInfeasible;
-    } else {
-      result.status = MilpStatus::kNoSolution;
-      result.best_bound = open_bound == kInf ? flip_ * inner(root)
-                                             : flip_ * open_bound;
-    }
-    return result;
-  }
-
-  const Model& model_;
-  MilpOptions options_;
-  double flip_;
-  Deadline deadline_;
-  SimplexSolver engine_;
-  std::vector<int> int_cols_;
-  std::vector<double> root_lo_, root_hi_;  // tightened integer bounds
-
-  bool has_incumbent_ = false;
-  double incumbent_obj_ = kInf;
-  std::vector<double> incumbent_x_;
-};
-
-}  // namespace
-
-MilpResult solve_milp(const Model& model, const MilpOptions& options) {
-  failpoint::trip("milp.solve");
-  model.validate();
+MilpResult solve_milp_impl(const Model& model, const MilpOptions& options) {
   if (options.presolve) {
     const Presolved pre = presolve(model);
     MilpOptions inner = options;
@@ -413,8 +100,18 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     }
     return result;
   }
-  BranchAndBound solver(model, options);
-  return solver.run();
+  // The branch-and-bound core lives in session.cpp (it is shared with
+  // the warm-starting MilpSession); a null warm context is the
+  // stateless fresh-engine path.
+  return solve_branch_and_bound(model, options, nullptr);
+}
+
+}  // namespace detail
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  failpoint::trip("milp.solve");
+  model.validate();
+  return detail::solve_milp_impl(model, options);
 }
 
 }  // namespace elrr::lp

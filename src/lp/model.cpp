@@ -45,6 +45,13 @@ void Model::set_col_bounds(int col, double lo, double hi) {
   cols_[static_cast<std::size_t>(col)].hi = hi;
 }
 
+void Model::set_row_bounds(int row, double lo, double hi) {
+  ELRR_REQUIRE(row >= 0 && row < num_rows(), "unknown row ", row);
+  ELRR_REQUIRE(!(lo > hi), "empty row bounds [", lo, ", ", hi, "]");
+  rows_[static_cast<std::size_t>(row)].lo = lo;
+  rows_[static_cast<std::size_t>(row)].hi = hi;
+}
+
 void Model::set_obj(int col, double coef) {
   ELRR_REQUIRE(col >= 0 && col < num_cols(), "unknown column ", col);
   ELRR_REQUIRE(std::isfinite(coef), "objective coefficient must be finite");

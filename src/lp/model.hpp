@@ -55,6 +55,7 @@ class Model {
               std::string name = {});
 
   void set_col_bounds(int col, double lo, double hi);
+  void set_row_bounds(int row, double lo, double hi);
   void set_obj(int col, double coef);
 
   int num_cols() const { return static_cast<int>(cols_.size()); }

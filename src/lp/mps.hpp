@@ -27,4 +27,19 @@ namespace elrr::lp {
 /// Renders the model as an MPS document. `name` becomes the NAME record.
 std::string to_mps(const Model& model, const std::string& name = "ELRR");
 
+/// Parses an MPS document back into a Model -- the inverse of to_mps for
+/// the dialect it writes (and ordinary fixed-format MPS generally):
+///  * the first N row is the objective; later N rows become free rows;
+///  * a "* NOTE: model maximizes" comment flips the sense back to
+///    kMaximize and un-negates the objective coefficients, so
+///    from_mps(to_mps(m)) preserves m's sense and true objective;
+///  * L rows with a RANGES entry become ranged rows [rhs - |range|, rhs]
+///    (G rows [rhs, rhs + |range|]); rows with no RHS record get rhs 0;
+///  * columns keep their COLUMNS-section first-appearance order, with
+///    INTORG/INTEND markers restoring integrality and BOUNDS records
+///    applied over the MPS default [0, +inf).
+/// Throws InvalidInputError (with the offending line number) on
+/// malformed input. The NAME record is not retained by Model.
+Model from_mps(const std::string& text);
+
 }  // namespace elrr::lp

@@ -74,6 +74,7 @@ Presolved presolve(const Model& model, double feas_tol) {
   Presolved out;
   out.col_map.assign(w.cols.size(), -1);
   out.fixed_value.assign(w.cols.size(), 0.0);
+  out.row_map.assign(w.rows.size(), -1);
 
   const auto fail = [&] {
     out.infeasible = true;
@@ -154,7 +155,8 @@ Presolved presolve(const Model& model, double feas_tol) {
       ELRR_ASSERT(mapped >= 0, "entry references an eliminated column");
       entries.push_back({mapped, entry.coef});
     }
-    out.reduced.add_row(row.lo, row.hi, std::move(entries), row.name);
+    out.row_map[i] =
+        out.reduced.add_row(row.lo, row.hi, std::move(entries), row.name);
   }
   return out;
 }

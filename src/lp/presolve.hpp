@@ -35,6 +35,10 @@ struct Presolved {
   std::vector<int> col_map;
   /// Value of each eliminated (fixed) column.
   std::vector<double> fixed_value;
+  /// Per original row: index in `reduced`, or -1 when eliminated.
+  /// Lets a session translate later row-bound changes into the cached
+  /// reduced model instead of re-running presolve (see session.hpp).
+  std::vector<int> row_map;
 
   /// Lifts a reduced-space point back to the original space.
   std::vector<double> lift(const std::vector<double>& x_reduced) const;

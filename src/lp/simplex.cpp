@@ -529,6 +529,18 @@ LpResult SimplexSolver::resolve() {
 
 void SimplexSolver::set_col_bounds(int col, double lo, double hi) {
   ELRR_REQUIRE(col >= 0 && col < n_, "unknown structural column ", col);
+  set_bounds_impl(col, lo, hi);
+}
+
+void SimplexSolver::set_row_bounds(int row, double lo, double hi) {
+  ELRR_REQUIRE(row >= 0 && row < m_, "unknown row ", row);
+  set_bounds_impl(n_ + row, lo, hi);
+}
+
+// Index-generic bound change: `col` is either a structural column
+// (< n_) or a row's slack (n_ + row). The tableau treats both
+// identically, so one body serves set_col_bounds and set_row_bounds.
+void SimplexSolver::set_bounds_impl(int col, double lo, double hi) {
   ELRR_REQUIRE(!(lo > hi), "empty bounds");
   lo_[col] = lo;
   hi_[col] = hi;

@@ -71,6 +71,12 @@ class SimplexSolver {
   /// consistent; call resolve() afterwards.
   void set_col_bounds(int col, double lo, double hi);
 
+  /// Changes the activity range of a row (its slack variable's bounds).
+  /// Same contract as set_col_bounds: tableau stays consistent, follow
+  /// with resolve(). This is what makes a session warm-start possible
+  /// for models whose steps differ only in row right-hand sides.
+  void set_row_bounds(int row, double lo, double hi);
+
   /// Full engine snapshot (tableau, basis, values, reduced costs).
   struct State;
   State save_state() const;
@@ -114,6 +120,7 @@ class SimplexSolver {
   double tab(int i, int j) const { return tab_[static_cast<std::size_t>(i) * total_ + j]; }
   double dense_a(int i, int j) const { return dense_a_[static_cast<std::size_t>(i) * total_ + j]; }
 
+  void set_bounds_impl(int idx, double lo, double hi);
   void build_initial_basis();
   void compute_basic_values();
   void compute_reduced_costs();

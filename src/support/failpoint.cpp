@@ -166,7 +166,8 @@ void trip_slow(const char* site) {
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "fleet.worker",  "fleet.flat",       "walk.step",       "milp.solve",
-      "svc.manifest",  "disk_cache.load",  "disk_cache.store",
+      "milp.warm",     "svc.manifest",     "disk_cache.load",
+      "disk_cache.store",
   };
   return sites;
 }

@@ -55,7 +55,10 @@ class FailPointError : public TransientError {
 ///   fleet.flat        FlatKernel slice execution (degradable: the fleet
 ///                     re-runs the slice on the reference kernel)
 ///   walk.step         flow::Engine, before each Pareto walk step
-///   milp.solve        lp::solve_milp entry
+///   milp.solve        lp::solve_milp / lp::MilpSession::solve entry
+///   milp.warm         lp::MilpSession warm-start restore (firing models
+///                     a corrupt/stale basis snapshot: the session falls
+///                     back to a cold solve, results unchanged)
 ///   svc.manifest      manifest parsing, once per entry line
 ///   disk_cache.load   persistent cache entry read
 ///   disk_cache.store  persistent cache entry write, after the temp file

@@ -165,9 +165,11 @@ class LineParser {
         entry.mode = JobMode::kMinCyc;
       } else if (mode == "score" || mode == "score_only") {
         entry.mode = JobMode::kScoreOnly;
+      } else if (mode == "portfolio") {
+        entry.mode = JobMode::kPortfolio;
       } else {
         fail(line_, "unknown mode \"" + mode +
-                        "\" (min_eff_cyc|min_cyc|score)");
+                        "\" (min_eff_cyc|min_cyc|score|portfolio)");
       }
     } else if (key == "priority") {
       const std::string priority = parse_string("\"priority\"");
@@ -249,9 +251,9 @@ std::vector<ManifestEntry> parse_manifest(std::string_view text) {
 }
 
 JobSpec materialize(const ManifestEntry& entry,
-                    const flow::FlowOptions& base) {
+                    const flow::FlowOptions& base, JobMode default_mode) {
   JobSpec spec;
-  spec.mode = entry.mode;
+  spec.mode = entry.mode.value_or(default_mode);
   spec.priority = entry.priority;
   spec.flow = base;
   if (entry.seed) spec.flow.seed = *entry.seed;

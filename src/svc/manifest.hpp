@@ -19,8 +19,11 @@
 ///   circuit   Table-2 circuit name (generated; exclusive with input)
 ///   input     .rrg file path (exclusive with circuit)
 ///   name      display name (default: circuit or input)
-///   mode      "min_eff_cyc" (default; alias "flow") | "min_cyc" |
-///             "score" (alias "score_only")
+///   mode      "min_eff_cyc" (alias "flow") | "min_cyc" |
+///             "score" (alias "score_only") | "portfolio" (anytime
+///             heuristic + exact race). Unset lines take materialize()'s
+///             default mode -- min_eff_cyc unless the caller overrides
+///             it (`elrr batch` passes portfolio when ELRR_PORTFOLIO=1)
 ///   priority  "high" | "normal" (default) | "low"
 ///   seed      non-negative integer
 ///   epsilon   positive number
@@ -55,7 +58,7 @@ struct ManifestEntry {
   std::string name;
   std::string circuit;
   std::string input;
-  JobMode mode = JobMode::kMinEffCyc;
+  std::optional<JobMode> mode;  ///< unset: materialize()'s default_mode
   JobPriority priority = JobPriority::kNormal;
   std::optional<std::uint64_t> seed;
   std::optional<double> epsilon;
@@ -80,7 +83,10 @@ std::vector<ManifestEntry> parse_manifest(std::string_view text);
 
 /// Builds the JobSpec for one entry: generates the named circuit or
 /// loads the .rrg file, then layers the entry's overrides onto `base`.
+/// Lines without an explicit "mode" take `default_mode` (elrr batch maps
+/// ELRR_PORTFOLIO=1 to JobMode::kPortfolio here).
 JobSpec materialize(const ManifestEntry& entry,
-                    const flow::FlowOptions& base);
+                    const flow::FlowOptions& base,
+                    JobMode default_mode = JobMode::kMinEffCyc);
 
 }  // namespace elrr::svc

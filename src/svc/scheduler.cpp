@@ -72,6 +72,7 @@ const char* to_string(JobMode mode) {
     case JobMode::kScoreOnly: return "score";
     case JobMode::kMinCyc: return "min_cyc";
     case JobMode::kMinEffCyc: return "min_eff_cyc";
+    case JobMode::kPortfolio: return "portfolio";
   }
   return "?";
 }
@@ -484,6 +485,93 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats,
         result.state =
             (result.circuit.cancelled && !result.degraded) ||
                     entry.cancel_requested.load(std::memory_order_relaxed)
+                ? JobState::kCancelled
+                : JobState::kDone;
+        break;
+      }
+      case JobMode::kPortfolio: {
+        // Anytime portfolio: race the MILP-free heuristic against the
+        // exact flow, sequentially on this one worker (the fleet below
+        // is shared; a second walk thread would only fight the MILPs for
+        // cores). Leg 1 -- the heuristic -- is orders of magnitude
+        // cheaper and deterministic; its answer is published to
+        // status() the moment it lands (anytime_*), so a caller watching
+        // the job has a usable configuration long before the exact walk
+        // finishes. Leg 2 -- the exact flow -- then runs under the job
+        // deadline and *supersedes* the heuristic on clean completion.
+        // Legs share the fleet's session cache, so any candidate both
+        // produce simulates once.
+        Stopwatch anytime_watch;
+        flow::FlowOptions heuristic_flow = spec.flow;
+        heuristic_flow.heuristic_only = true;
+        flow::FlowHooks heuristic_hooks = hooks;
+        // The heuristic leg ignores the deadline (like the kMinEffCyc
+        // degradation ladder): it IS the fallback answer, and cutting it
+        // short would leave the job with nothing. User cancels still
+        // stop it.
+        heuristic_hooks.cancelled = [&entry] {
+          return entry.cancel_requested.load(std::memory_order_relaxed);
+        };
+        heuristic_hooks.on_progress = nullptr;  // the exact leg owns
+                                                // candidates_walked
+        const flow::CircuitResult anytime = flow::run_flow(
+            spec.name, spec.rrg, heuristic_flow, heuristic_hooks);
+        stats->anytime_ready = !anytime.cancelled;
+        stats->anytime_xi = anytime.xi_sim_min;
+        stats->anytime_seconds = anytime_watch.seconds();
+        {
+          // Publish the anytime answer live: status() reads entry.stats
+          // under this mutex while the job is still running.
+          const std::lock_guard<std::mutex> lock(mutex_);
+          entry.stats.anytime_ready = stats->anytime_ready;
+          entry.stats.anytime_xi = stats->anytime_xi;
+          entry.stats.anytime_seconds = stats->anytime_seconds;
+        }
+        if (entry.cancel_requested.load(std::memory_order_relaxed)) {
+          result.circuit = anytime;
+          stats->sim_jobs = anytime.sim_jobs;
+          stats->unique_simulations = anytime.unique_simulations;
+          stats->walk_seconds = anytime.walk_seconds;
+          stats->sim_wait_seconds = anytime.sim_wait_seconds;
+          result.state = JobState::kCancelled;
+          break;
+        }
+        flow::CircuitResult exact =
+            flow::run_flow(spec.name, spec.rrg, spec.flow, hooks);
+        const bool user_cancel =
+            entry.cancel_requested.load(std::memory_order_relaxed);
+        const bool exact_timed_out =
+            exact.cancelled && !user_cancel && deadline.expired();
+        stats->candidates_walked =
+            anytime.candidates_walked + exact.candidates_walked;
+        stats->sim_jobs = anytime.sim_jobs + exact.sim_jobs;
+        stats->unique_simulations =
+            anytime.unique_simulations + exact.unique_simulations;
+        stats->walk_seconds = anytime.walk_seconds + exact.walk_seconds;
+        stats->sim_wait_seconds =
+            anytime.sim_wait_seconds + exact.sim_wait_seconds;
+        if (exact_timed_out) {
+          // The exact leg ran out of wall budget: the job still
+          // completes with the heuristic's answer, flagged degraded --
+          // and degraded results are never cached (memory or disk), so
+          // the caches only ever hold results the exact leg produced.
+          result.circuit = anytime;
+          result.degraded = true;
+          result.error = detail::concat(
+              "deadline expired after ", deadline.elapsed(),
+              " s into the exact leg: kept the anytime heuristic answer");
+        } else {
+          result.circuit = std::move(exact);
+        }
+        result.tau = result.circuit.candidates.empty()
+                         ? 0.0
+                         : result.circuit.candidates.front().tau;
+        result.theta_sim = result.circuit.candidates.empty()
+                               ? 0.0
+                               : result.circuit.candidates.front().theta_sim;
+        result.xi_sim = result.circuit.xi_sim_min;
+        result.state =
+            (result.circuit.cancelled && !result.degraded) || user_cancel
                 ? JobState::kCancelled
                 : JobState::kDone;
         break;

@@ -85,6 +85,13 @@ enum class JobMode : std::uint8_t {
   /// The full MIN_EFF_CYC flow (Pareto walk + heuristic merge +
   /// simulation reranking) -- flow::run_flow on the shared fleet.
   kMinEffCyc,
+  /// Anytime portfolio: the MILP-free heuristic flow runs first and its
+  /// answer is published immediately (JobStats::anytime_* via status()),
+  /// then the exact MIN_EFF_CYC flow runs and its result *supersedes*
+  /// the heuristic's. A deadline expiring mid-exact keeps the heuristic
+  /// answer (degraded, like the kMinEffCyc ladder -- never cached); the
+  /// caches only ever store the exact result.
+  kPortfolio,
 };
 
 /// Queueing class; within a class, FIFO. Weighted round-robin across
@@ -135,6 +142,11 @@ struct JobStats {
   double wall_seconds = 0.0;   ///< queue-exit to completion
   double walk_seconds = 0.0;   ///< cpu inside ParetoWalk::advance
   double sim_wait_seconds = 0.0;  ///< blocked on the fleet
+  /// kPortfolio: the heuristic leg's anytime answer, published the moment
+  /// it completes (status() streams it while the exact leg still runs).
+  bool anytime_ready = false;
+  double anytime_xi = 0.0;       ///< heuristic best effective cycle time
+  double anytime_seconds = 0.0;  ///< wall seconds until the anytime answer
 };
 
 /// A completed (or cancelled/failed) job.
@@ -152,7 +164,8 @@ struct JobResult {
   /// Degraded results are never cached -- a later identical job with a
   /// healthier budget recomputes for real.
   bool degraded = false;
-  /// kMinEffCyc: the full table-row result (partial when cancelled).
+  /// kMinEffCyc / kPortfolio: the full table-row result (partial when
+  /// cancelled; the heuristic leg's when a portfolio degraded).
   flow::CircuitResult circuit;
   /// kScoreOnly / kMinCyc: the single scored configuration.
   double tau = 0.0;

@@ -200,6 +200,55 @@ TEST_F(ChaosTest, FlatKernelFaultDegradesPerSliceInvisibly) {
   run_schedule("fleet.flat=once", /*with_disk_cache=*/false);
 }
 
+TEST_F(ChaosTest, WarmStartFaultFallsBackToColdInvisibly) {
+  // milp.warm is *contained* inside the MILP session: an injected
+  // basis-restore corruption makes the session fall back to the
+  // bit-identical cold solve -- no job-level failure, no retry burned.
+  // Both a one-shot and a sustained probabilistic schedule must leave
+  // every frontier untouched.
+  run_schedule("milp.warm=once", /*with_disk_cache=*/false);
+  run_schedule("milp.warm=prob:0.25@99", /*with_disk_cache=*/false);
+}
+
+/// The anytime portfolio under chaos: the ISCAS batch in kPortfolio
+/// mode, with faults injected into the MILP, the warm-restore path and
+/// the fleet, terminates, retries to green, publishes every anytime
+/// answer, and every final (exact-leg) result is bit-identical to the
+/// fault-free kMinEffCyc baseline.
+TEST_F(ChaosTest, PortfolioBatchSurvivesChaosSchedules) {
+  for (const std::string schedule :
+       {"milp.solve=once", "milp.warm=once", "fleet.worker=once",
+        "walk.step=once"}) {
+    SCOPED_TRACE("ELRR_FAILPOINTS=" + schedule);
+    const Watchdog watchdog(240.0);
+    failpoint::configure(schedule);
+    SchedulerOptions sopt;
+    sopt.workers = 2;
+    sopt.sim_threads = 2;
+    sopt.retry_max = 3;
+    sopt.start_paused = true;
+    Scheduler scheduler(sopt);
+    std::vector<JobId> ids;
+    for (const std::string& name : iscas_names()) {
+      JobSpec spec = flow_job(name);
+      spec.mode = JobMode::kPortfolio;
+      ids.push_back(scheduler.submit(std::move(spec)));
+    }
+    scheduler.resume();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const JobResult result = scheduler.wait(ids[i]);
+      ASSERT_EQ(result.state, JobState::kDone)
+          << iscas_names()[i] << ": " << result.error;
+      EXPECT_FALSE(result.degraded) << iscas_names()[i];
+      EXPECT_TRUE(result.stats.anytime_ready) << iscas_names()[i];
+      EXPECT_GT(result.stats.anytime_xi, 0.0) << iscas_names()[i];
+      expect_same_circuit_result(baseline()[i], result.circuit,
+                                 iscas_names()[i]);
+    }
+    failpoint::reset();
+  }
+}
+
 TEST_F(ChaosTest, StuckWorkerStallIsAbsorbed) {
   // No deadline configured: the stall (bounded by the registry's 60 s
   // cap) delays the batch, never wedges it.

@@ -96,6 +96,35 @@ TEST(FlowEngine, BitExactVsSequentialPathAtAnyThreadCount) {
   }
 }
 
+/// The acceptance bar for warm starts: an engine with the default warm
+/// MILP session reproduces a *cold* sequential oracle bit-identically at
+/// every fleet thread count -- the warm basis is a wall-clock
+/// optimization only (tests/lp/session_test.cpp runs the walk-level
+/// differential across circuits; this pins the engine layer).
+TEST(FlowEngine, WarmEngineMatchesColdOracleAtAnyThreadCount) {
+  const Rrg rrg = test_rrg();
+  EngineOptions base = fast_options();
+  ASSERT_TRUE(base.opt.milp_warm);  // warm is the default under test
+
+  OptOptions cold = base.opt;
+  cold.milp_warm = false;
+  const MinEffCycResult reference = min_eff_cyc(rrg, cold);
+  ASSERT_TRUE(reference.all_exact)
+      << "test circuit must solve exactly for determinism";
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    EngineOptions options = base;
+    options.sim_threads = threads;
+    Engine engine(rrg, options);
+    const EngineResult result = engine.run();
+    const std::string label = "warm threads " + std::to_string(threads);
+    EXPECT_FALSE(result.cancelled) << label;
+    expect_same_frontier(result.walk, reference, label.c_str());
+    EXPECT_GT(result.milp.warm_roots, 0) << label << ": ran cold, proved nothing";
+  }
+}
+
 /// ParetoWalk streams the identical candidates min_eff_cyc records --
 /// replaying advance() to exhaustion and finish()ing reproduces the
 /// one-shot result on the walk level too (the engine-independent half of
@@ -194,7 +223,7 @@ TEST(FlowEngine, ScoreHitsTheSessionCache) {
 TEST(FlowEngine, FeedbackPruningProducesAValidResult) {
   const Rrg rrg = test_rrg();
   EngineOptions options = fast_options();
-  options.feedback_pruning = true;
+  options.feedback_pruning = FeedbackPruning::kOn;
   Engine engine(rrg, options);
   const EngineResult result = engine.run();
 

@@ -1,0 +1,315 @@
+* ElasticRR MILP export (MPS fixed format)
+NAME          s208_min_cyc
+ROWS
+ N  OBJ
+ L  clk_g0
+ L  clk_g1
+ L  clk_g2
+ L  clk_g3
+ L  clk_g4
+ L  clk_g5
+ L  clk_g6
+ L  clk_g7
+ G  path_0
+ G  path_1
+ G  path_2
+ G  path_3
+ G  path_4
+ G  path_5
+ G  path_6
+ G  path_7
+ G  path_8
+ G  cut2_0
+ G  cut2_1
+ G  cut2_2
+ G  cut2_3
+ G  cut2_4
+ G  cut2_5
+ G  cut2_6
+ G  cut2_7
+ G  cut2_8
+ G  cut3_0
+ G  cut3_1
+ G  cut3_2
+ G  cut3_3
+ G  cut3_4
+ G  cut3_5
+ G  cut3_6
+ G  cut3_7
+ G  cut3_8
+ G  cut3_9
+ G  rc_0
+ G  rc_1
+ G  rc_2
+ G  rc_3
+ G  rc_4
+ G  rc_5
+ G  rc_6
+ G  rc_7
+ G  rc_8
+ G  thr5_0
+ G  thr5_1
+ G  thr5_2
+ G  thr6_3
+ G  thr10_3
+ G  thr9_3
+ G  thr5_4
+ G  thr5_5
+ G  thr5_6
+ G  thr5_7
+ G  thr6_8
+ G  thr10_8
+ G  thr9_8
+ G  thr7_g7
+ G  thr8_g7
+COLUMNS
+    tau  OBJ  1
+    tau  clk_g0  -1
+    tau  clk_g1  -1
+    tau  clk_g2  -1
+    tau  clk_g3  -1
+    tau  clk_g4  -1
+    tau  clk_g5  -1
+    tau  clk_g6  -1
+    tau  clk_g7  -1
+    tau  cut2_0  1
+    tau  cut2_1  1
+    tau  cut2_2  1
+    tau  cut2_3  1
+    tau  cut2_4  1
+    tau  cut2_5  1
+    tau  cut2_6  1
+    tau  cut2_7  1
+    tau  cut2_8  1
+    tau  cut3_0  1
+    tau  cut3_1  1
+    tau  cut3_2  1
+    tau  cut3_3  1
+    tau  cut3_4  1
+    tau  cut3_5  1
+    tau  cut3_6  1
+    tau  cut3_7  1
+    tau  cut3_8  1
+    tau  cut3_9  1
+    MARKER0  'MARKER'  'INTORG'
+    R_0  path_0  96.88852685747969
+    R_0  cut2_0  18.316355290949659
+    R_0  cut3_0  34.857460547269952
+    R_0  cut3_5  22.629557177049797
+    R_0  rc_0  1
+    R_0  thr5_0  -1
+    R_1  path_1  96.88852685747969
+    R_1  cut2_1  29.961546206663357
+    R_1  cut3_0  34.857460547269952
+    R_1  cut3_6  45.481696402406392
+    R_1  cut3_7  41.631747105738768
+    R_1  rc_1  1
+    R_1  thr5_1  -1
+    R_2  path_2  96.88852685747969
+    R_2  cut2_2  32.061255452063328
+    R_2  cut3_1  43.731456351138732
+    R_2  cut3_6  45.481696402406392
+    R_2  rc_2  1
+    R_2  thr5_2  -1
+    R_3  path_3  96.88852685747969
+    R_3  cut2_3  27.190351094818446
+    R_3  cut3_1  43.731456351138732
+    R_3  cut3_8  45.038412687551258
+    R_3  rc_3  1
+    R_3  thr6_3  -1
+    R_4  path_4  96.88852685747969
+    R_4  cut2_4  29.518262491808215
+    R_4  cut3_4  42.197714228366557
+    R_4  cut3_8  45.038412687551258
+    R_4  cut3_9  46.059367748128508
+    R_4  rc_4  1
+    R_4  thr5_4  -1
+    R_5  path_5  96.88852685747969
+    R_5  cut2_5  30.527513329291146
+    R_5  cut3_3  34.840715215391285
+    R_5  cut3_4  42.197714228366557
+    R_5  rc_5  1
+    R_5  thr5_5  -1
+    R_6  path_6  96.88852685747969
+    R_6  cut2_6  16.992653622658477
+    R_6  cut3_2  21.888567963265071
+    R_6  cut3_3  34.840715215391285
+    R_6  rc_6  1
+    R_6  thr5_6  -1
+    R_7  path_7  96.88852685747969
+    R_7  cut2_7  9.2091162267067332
+    R_7  cut3_2  21.888567963265071
+    R_7  cut3_5  22.629557177049797
+    R_7  rc_7  1
+    R_7  thr5_7  -1
+    R_8  path_8  96.88852685747969
+    R_8  cut2_8  28.2113061553957
+    R_8  cut3_7  41.631747105738768
+    R_8  cut3_9  46.059367748128508
+    R_8  rc_8  1
+    R_8  thr6_8  -1
+    MARKER1  'MARKER'  'INTEND'
+    r_g0  rc_0  -1
+    r_g0  rc_1  1
+    r_g1  rc_2  -1
+    r_g1  rc_3  1
+    r_g2  rc_6  -1
+    r_g2  rc_7  1
+    r_g3  rc_5  -1
+    r_g3  rc_6  1
+    r_g4  rc_4  -1
+    r_g4  rc_5  1
+    r_g5  rc_0  1
+    r_g5  rc_7  -1
+    r_g6  rc_1  -1
+    r_g6  rc_2  1
+    r_g6  rc_8  1
+    r_g7  rc_3  -1
+    r_g7  rc_4  1
+    r_g7  rc_8  -1
+    t_g0  clk_g0  1
+    t_g0  path_0  1
+    t_g0  path_1  -1
+    t_g1  clk_g1  1
+    t_g1  path_2  1
+    t_g1  path_3  -1
+    t_g2  clk_g2  1
+    t_g2  path_6  1
+    t_g2  path_7  -1
+    t_g3  clk_g3  1
+    t_g3  path_5  1
+    t_g3  path_6  -1
+    t_g4  clk_g4  1
+    t_g4  path_4  1
+    t_g4  path_5  -1
+    t_g5  clk_g5  1
+    t_g5  path_0  -1
+    t_g5  path_7  1
+    t_g6  clk_g6  1
+    t_g6  path_1  1
+    t_g6  path_2  -1
+    t_g6  path_8  -1
+    t_g7  clk_g7  1
+    t_g7  path_3  1
+    t_g7  path_4  -1
+    t_g7  path_8  1
+    sg_g0  thr5_0  -1
+    sg_g0  thr5_1  1
+    sg_g1  thr5_2  -1
+    sg_g1  thr6_3  1
+    sg_g2  thr5_6  -1
+    sg_g2  thr5_7  1
+    sg_g3  thr5_5  -1
+    sg_g3  thr5_6  1
+    sg_g4  thr5_4  -1
+    sg_g4  thr5_5  1
+    sg_g5  thr5_0  1
+    sg_g5  thr5_7  -1
+    sg_g6  thr5_1  -1
+    sg_g6  thr5_2  1
+    sg_g6  thr6_8  1
+    sg_g7  thr5_4  1
+    sg_g7  thr7_g7  -1
+    sg_g7  thr8_g7  1
+    ss_g7  thr9_3  1
+    ss_g7  thr9_8  1
+    ss_g7  thr8_g7  -1
+    ar_3  thr6_3  -1
+    ar_3  thr10_3  1
+    a0_3  thr10_3  -1
+    a0_3  thr9_3  -1
+    a0_3  thr7_g7  0.3954475083796819
+    ar_8  thr6_8  -1
+    ar_8  thr10_8  1
+    a0_8  thr10_8  -1
+    a0_8  thr9_8  -1
+    a0_8  thr7_g7  0.6045524916203181
+RHS
+    RHS  path_0  13.420440950343064
+    RHS  path_1  16.541105256320293
+    RHS  path_2  15.520150195743037
+    RHS  path_3  11.670200899075407
+    RHS  path_4  17.848061592732808
+    RHS  path_5  12.67945173655834
+    RHS  path_6  4.3132018861001375
+    RHS  path_7  4.8959143406065948
+    RHS  path_8  11.670200899075407
+    RHS  cut2_0  18.316355290949659
+    RHS  cut2_1  29.961546206663357
+    RHS  cut2_2  32.061255452063328
+    RHS  cut2_3  27.190351094818446
+    RHS  cut2_4  29.518262491808215
+    RHS  cut2_5  30.527513329291146
+    RHS  cut2_6  16.992653622658477
+    RHS  cut2_7  9.2091162267067332
+    RHS  cut2_8  28.2113061553957
+    RHS  cut3_0  34.857460547269952
+    RHS  cut3_1  43.731456351138732
+    RHS  cut3_2  21.888567963265071
+    RHS  cut3_3  34.840715215391285
+    RHS  cut3_4  42.197714228366557
+    RHS  cut3_5  22.629557177049797
+    RHS  cut3_6  45.481696402406392
+    RHS  cut3_7  41.631747105738768
+    RHS  cut3_8  45.038412687551258
+    RHS  cut3_9  46.059367748128508
+    RHS  rc_2  1
+    RHS  rc_4  1
+    RHS  rc_5  1
+    RHS  rc_7  1
+    RHS  rc_8  1
+    RHS  thr5_2  -1
+    RHS  thr5_4  -1
+    RHS  thr5_5  -1
+    RHS  thr5_7  -1
+    RHS  thr10_8  -1
+BOUNDS
+ LO BND  tau  17.848061592732808
+ UP BND  tau  96.88852685747969
+ PL BND  R_0
+ PL BND  R_1
+ PL BND  R_2
+ PL BND  R_3
+ PL BND  R_4
+ PL BND  R_5
+ PL BND  R_6
+ PL BND  R_7
+ PL BND  R_8
+ FX BND  r_g0  0
+ FR BND  r_g1
+ FR BND  r_g2
+ FR BND  r_g3
+ FR BND  r_g4
+ FR BND  r_g5
+ FR BND  r_g6
+ FR BND  r_g7
+ LO BND  t_g0  13.420440950343064
+ UP BND  t_g0  96.88852685747969
+ LO BND  t_g1  15.520150195743037
+ UP BND  t_g1  96.88852685747969
+ LO BND  t_g2  4.3132018861001375
+ UP BND  t_g2  96.88852685747969
+ LO BND  t_g3  12.67945173655834
+ UP BND  t_g3  96.88852685747969
+ LO BND  t_g4  17.848061592732808
+ UP BND  t_g4  96.88852685747969
+ LO BND  t_g5  4.8959143406065948
+ UP BND  t_g5  96.88852685747969
+ LO BND  t_g6  16.541105256320293
+ UP BND  t_g6  96.88852685747969
+ LO BND  t_g7  11.670200899075407
+ UP BND  t_g7  96.88852685747969
+ FX BND  sg_g0  0
+ FR BND  sg_g1
+ FR BND  sg_g2
+ FR BND  sg_g3
+ FR BND  sg_g4
+ FR BND  sg_g5
+ FR BND  sg_g6
+ FR BND  sg_g7
+ FR BND  ss_g7
+ FR BND  ar_3
+ FR BND  a0_3
+ FR BND  ar_8
+ FR BND  a0_8
+ENDATA

@@ -1,0 +1,312 @@
+* ElasticRR MILP export (MPS fixed format)
+NAME          s420_min_cyc
+ROWS
+ N  OBJ
+ L  clk_g0
+ L  clk_g1
+ L  clk_g2
+ L  clk_g3
+ L  clk_g4
+ L  clk_g5
+ L  clk_g6
+ L  clk_g7
+ G  path_0
+ G  path_1
+ G  path_2
+ G  path_3
+ G  path_4
+ G  path_5
+ G  path_6
+ G  path_7
+ G  path_8
+ G  cut2_0
+ G  cut2_1
+ G  cut2_2
+ G  cut2_3
+ G  cut2_4
+ G  cut2_5
+ G  cut2_6
+ G  cut2_7
+ G  cut2_8
+ G  cut3_0
+ G  cut3_1
+ G  cut3_2
+ G  cut3_3
+ G  cut3_4
+ G  cut3_5
+ G  cut3_6
+ G  cut3_7
+ G  cut3_8
+ G  cut3_9
+ G  rc_0
+ G  rc_1
+ G  rc_2
+ G  rc_3
+ G  rc_4
+ G  rc_5
+ G  rc_6
+ G  rc_7
+ G  rc_8
+ G  thr5_0
+ G  thr5_1
+ G  thr5_2
+ G  thr5_3
+ G  thr5_4
+ G  thr5_5
+ G  thr6_6
+ G  thr10_6
+ G  thr9_6
+ G  thr5_7
+ G  thr6_8
+ G  thr10_8
+ G  thr9_8
+ G  thr7_g5
+ G  thr8_g5
+COLUMNS
+    tau  OBJ  1
+    tau  clk_g0  -1
+    tau  clk_g1  -1
+    tau  clk_g2  -1
+    tau  clk_g3  -1
+    tau  clk_g4  -1
+    tau  clk_g5  -1
+    tau  clk_g6  -1
+    tau  clk_g7  -1
+    tau  cut2_0  1
+    tau  cut2_1  1
+    tau  cut2_2  1
+    tau  cut2_3  1
+    tau  cut2_4  1
+    tau  cut2_5  1
+    tau  cut2_6  1
+    tau  cut2_7  1
+    tau  cut2_8  1
+    tau  cut3_0  1
+    tau  cut3_1  1
+    tau  cut3_2  1
+    tau  cut3_3  1
+    tau  cut3_4  1
+    tau  cut3_5  1
+    tau  cut3_6  1
+    tau  cut3_7  1
+    tau  cut3_8  1
+    tau  cut3_9  1
+    MARKER0  'MARKER'  'INTORG'
+    R_0  path_0  102.51869665112345
+    R_0  cut2_0  21.417534439890296
+    R_0  cut3_4  40.4194909936917
+    R_0  cut3_9  30.716445083447876
+    R_0  rc_0  1
+    R_0  thr5_0  -1
+    R_1  path_1  102.51869665112345
+    R_1  cut2_1  14.700425116442867
+    R_1  cut3_3  26.659106223756083
+    R_1  cut3_9  30.716445083447876
+    R_1  rc_1  1
+    R_1  thr5_1  -1
+    R_2  path_2  102.51869665112345
+    R_2  cut2_2  21.257591750870798
+    R_2  cut3_2  32.349875110161662
+    R_2  cut3_3  26.659106223756083
+    R_2  rc_2  1
+    R_2  thr5_2  -1
+    R_3  path_3  102.51869665112345
+    R_3  cut2_3  23.050964466604078
+    R_3  cut3_2  32.349875110161662
+    R_3  cut3_5  39.590641062935958
+    R_3  rc_3  1
+    R_3  thr5_3  -1
+    R_4  path_4  102.51869665112345
+    R_4  cut2_4  27.631959955622744
+    R_4  cut3_0  40.841613906560966
+    R_4  cut3_1  46.633916509424154
+    R_4  cut3_5  39.590641062935958
+    R_4  rc_4  1
+    R_4  thr5_4  -1
+    R_5  path_5  102.51869665112345
+    R_5  cut2_5  29.749330547270105
+    R_5  cut3_0  40.841613906560966
+    R_5  cut3_8  48.751287101071512
+    R_5  rc_5  1
+    R_5  thr5_5  -1
+    R_6  path_6  102.51869665112345
+    R_6  cut2_6  32.211610504739625
+    R_6  cut3_6  48.227630471744632
+    R_6  cut3_8  48.751287101071512
+    R_6  rc_6  1
+    R_6  thr6_6  -1
+    R_7  path_7  102.51869665112345
+    R_7  cut2_7  35.017976520806414
+    R_7  cut3_4  40.4194909936917
+    R_7  cut3_6  48.227630471744632
+    R_7  cut3_7  51.5576531171383
+    R_7  rc_7  1
+    R_7  thr5_7  -1
+    R_8  path_8  102.51869665112345
+    R_8  cut2_8  35.541633150133293
+    R_8  cut3_1  46.633916509424154
+    R_8  cut3_7  51.5576531171383
+    R_8  rc_8  1
+    R_8  thr6_8  -1
+    MARKER1  'MARKER'  'INTEND'
+    r_g0  rc_4  -1
+    r_g0  rc_5  1
+    r_g0  rc_8  1
+    r_g1  rc_2  -1
+    r_g1  rc_3  1
+    r_g2  rc_1  -1
+    r_g2  rc_2  1
+    r_g3  rc_0  1
+    r_g3  rc_7  -1
+    r_g4  rc_3  -1
+    r_g4  rc_4  1
+    r_g5  rc_6  -1
+    r_g5  rc_7  1
+    r_g5  rc_8  -1
+    r_g6  rc_5  -1
+    r_g6  rc_6  1
+    r_g7  rc_0  -1
+    r_g7  rc_1  1
+    t_g0  clk_g0  1
+    t_g0  path_4  1
+    t_g0  path_5  -1
+    t_g0  path_8  -1
+    t_g1  clk_g1  1
+    t_g1  path_2  1
+    t_g1  path_3  -1
+    t_g2  clk_g2  1
+    t_g2  path_1  1
+    t_g2  path_2  -1
+    t_g3  clk_g3  1
+    t_g3  path_0  -1
+    t_g3  path_7  1
+    t_g4  clk_g4  1
+    t_g4  path_3  1
+    t_g4  path_4  -1
+    t_g5  clk_g5  1
+    t_g5  path_6  1
+    t_g5  path_7  -1
+    t_g5  path_8  1
+    t_g6  clk_g6  1
+    t_g6  path_5  1
+    t_g6  path_6  -1
+    t_g7  clk_g7  1
+    t_g7  path_0  1
+    t_g7  path_1  -1
+    sg_g0  thr5_4  -1
+    sg_g0  thr5_5  1
+    sg_g0  thr6_8  1
+    sg_g1  thr5_2  -1
+    sg_g1  thr5_3  1
+    sg_g2  thr5_1  -1
+    sg_g2  thr5_2  1
+    sg_g3  thr5_0  1
+    sg_g3  thr5_7  -1
+    sg_g4  thr5_3  -1
+    sg_g4  thr5_4  1
+    sg_g5  thr5_7  1
+    sg_g5  thr7_g5  -1
+    sg_g5  thr8_g5  1
+    sg_g6  thr5_5  -1
+    sg_g6  thr6_6  1
+    sg_g7  thr5_0  -1
+    sg_g7  thr5_1  1
+    ss_g5  thr9_6  1
+    ss_g5  thr9_8  1
+    ss_g5  thr8_g5  -1
+    ar_6  thr6_6  -1
+    ar_6  thr10_6  1
+    a0_6  thr10_6  -1
+    a0_6  thr9_6  -1
+    a0_6  thr7_g5  0.95686842786295812
+    ar_8  thr6_8  -1
+    ar_8  thr10_8  1
+    a0_8  thr10_8  -1
+    a0_8  thr9_8  -1
+    a0_8  thr7_g5  0.043131572137041926
+RHS
+    RHS  path_0  5.4015144728852871
+    RHS  path_1  9.29891064355758
+    RHS  path_2  11.958681107313218
+    RHS  path_3  11.09228335929086
+    RHS  path_4  16.539676596331883
+    RHS  path_5  13.209653950938222
+    RHS  path_6  19.001956553801406
+    RHS  path_7  16.016019967005008
+    RHS  path_8  19.001956553801406
+    RHS  cut2_0  21.417534439890296
+    RHS  cut2_1  14.700425116442867
+    RHS  cut2_2  21.257591750870798
+    RHS  cut2_3  23.050964466604078
+    RHS  cut2_4  27.631959955622744
+    RHS  cut2_5  29.749330547270105
+    RHS  cut2_6  32.211610504739625
+    RHS  cut2_7  35.017976520806414
+    RHS  cut2_8  35.541633150133293
+    RHS  cut3_0  40.841613906560966
+    RHS  cut3_1  46.633916509424154
+    RHS  cut3_2  32.349875110161662
+    RHS  cut3_3  26.659106223756083
+    RHS  cut3_4  40.4194909936917
+    RHS  cut3_5  39.590641062935958
+    RHS  cut3_6  48.227630471744632
+    RHS  cut3_7  51.5576531171383
+    RHS  cut3_8  48.751287101071512
+    RHS  cut3_9  30.716445083447876
+    RHS  rc_5  1
+    RHS  rc_6  1
+    RHS  rc_8  1
+    RHS  thr5_5  -1.25
+    RHS  thr10_6  -1.25
+    RHS  thr10_8  -1.25
+    RHS  thr8_g5  -0.25
+BOUNDS
+ LO BND  tau  19.001956553801406
+ UP BND  tau  102.51869665112345
+ PL BND  R_0
+ PL BND  R_1
+ PL BND  R_2
+ PL BND  R_3
+ PL BND  R_4
+ PL BND  R_5
+ PL BND  R_6
+ PL BND  R_7
+ PL BND  R_8
+ FX BND  r_g0  0
+ FR BND  r_g1
+ FR BND  r_g2
+ FR BND  r_g3
+ FR BND  r_g4
+ FR BND  r_g5
+ FR BND  r_g6
+ FR BND  r_g7
+ LO BND  t_g0  16.539676596331883
+ UP BND  t_g0  102.51869665112345
+ LO BND  t_g1  11.958681107313218
+ UP BND  t_g1  102.51869665112345
+ LO BND  t_g2  9.29891064355758
+ UP BND  t_g2  102.51869665112345
+ LO BND  t_g3  16.016019967005008
+ UP BND  t_g3  102.51869665112345
+ LO BND  t_g4  11.09228335929086
+ UP BND  t_g4  102.51869665112345
+ LO BND  t_g5  19.001956553801406
+ UP BND  t_g5  102.51869665112345
+ LO BND  t_g6  13.209653950938222
+ UP BND  t_g6  102.51869665112345
+ LO BND  t_g7  5.4015144728852871
+ UP BND  t_g7  102.51869665112345
+ FX BND  sg_g0  0
+ FR BND  sg_g1
+ FR BND  sg_g2
+ FR BND  sg_g3
+ FR BND  sg_g4
+ FR BND  sg_g5
+ FR BND  sg_g6
+ FR BND  sg_g7
+ FR BND  ss_g5
+ FR BND  ar_6
+ FR BND  a0_6
+ FR BND  ar_8
+ FR BND  a0_8
+ENDATA

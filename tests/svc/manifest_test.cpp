@@ -59,7 +59,7 @@ TEST(Manifest, ParsesAllKeys) {
 
 TEST(Manifest, DefaultsAreMinimal) {
   const ManifestEntry entry = parse_manifest_line(R"({"circuit":"s526"})", 1);
-  EXPECT_EQ(entry.mode, JobMode::kMinEffCyc);
+  EXPECT_FALSE(entry.mode.has_value());  // materialize applies default_mode
   EXPECT_EQ(entry.priority, JobPriority::kNormal);
   EXPECT_FALSE(entry.seed.has_value());
   EXPECT_TRUE(entry.name.empty());  // materialize defaults it to "s526"

@@ -178,6 +178,69 @@ TEST(Scheduler, ScoreOnlyAndMinCycModesMatchDirectCalls) {
   EXPECT_LE(optimized.tau, scored.tau);  // MIN_CYC can only improve tau
 }
 
+/// The anytime portfolio: the heuristic leg's answer is published in
+/// the stats (bit-identical to a direct heuristic-only run), and the
+/// exact leg supersedes it -- the final result is bit-identical to a
+/// plain kMinEffCyc job of the same spec.
+TEST(Scheduler, PortfolioPublishesAnytimeAndSupersedesWithExact) {
+  const Rrg rrg = circuit("s208");
+  const flow::FlowOptions options = fast_flow();
+  const flow::CircuitResult exact_oracle =
+      flow::run_flow("s208", rrg, options);
+  flow::FlowOptions heuristic_options = options;
+  heuristic_options.heuristic_only = true;
+  const flow::CircuitResult anytime_oracle =
+      flow::run_flow("s208", rrg, heuristic_options);
+
+  Scheduler scheduler{SchedulerOptions{}};
+  JobSpec spec = flow_job("s208");
+  spec.mode = JobMode::kPortfolio;
+  const JobResult result = scheduler.wait(scheduler.submit(std::move(spec)));
+  ASSERT_EQ(result.state, JobState::kDone) << result.error;
+  EXPECT_FALSE(result.degraded);
+  expect_same_circuit_result(result.circuit, exact_oracle, "portfolio");
+  EXPECT_TRUE(result.stats.anytime_ready);
+  EXPECT_EQ(result.stats.anytime_xi, anytime_oracle.xi_sim_min);
+  EXPECT_GT(result.stats.anytime_seconds, 0.0);
+  // Both legs' work is accounted.
+  EXPECT_GE(result.stats.sim_jobs,
+            anytime_oracle.sim_jobs + exact_oracle.sim_jobs);
+}
+
+/// A portfolio whose deadline expires during the exact leg completes
+/// with the heuristic leg's answer -- flagged degraded (so it is never
+/// cached), bit-identical to a direct heuristic-only run, with the
+/// anytime stats still published.
+TEST(Scheduler, PortfolioDeadlineKeepsTheAnytimeAnswer) {
+  const Rrg rrg = circuit("s420");
+  flow::FlowOptions heuristic_options = fast_flow();
+  heuristic_options.heuristic_only = true;
+  const flow::CircuitResult anytime_oracle =
+      flow::run_flow("s420", rrg, heuristic_options);
+
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  Scheduler scheduler(sopt);
+  JobSpec spec = flow_job("s420");
+  spec.mode = JobMode::kPortfolio;
+  spec.deadline_s = 1e-6;  // expired before the exact leg's first step
+  const JobResult result = scheduler.wait(scheduler.submit(spec));
+  ASSERT_EQ(result.state, JobState::kDone) << result.error;
+  EXPECT_TRUE(result.degraded);
+  EXPECT_NE(result.error.find("anytime"), std::string::npos) << result.error;
+  expect_same_circuit_result(result.circuit, anytime_oracle,
+                             "degraded portfolio");
+  EXPECT_TRUE(result.stats.anytime_ready);
+  EXPECT_EQ(result.stats.anytime_xi, anytime_oracle.xi_sim_min);
+
+  // Degraded: the twin runs fresh instead of being served the
+  // deadline-shaped answer.
+  const JobResult twin = scheduler.wait(scheduler.submit(spec));
+  ASSERT_EQ(twin.state, JobState::kDone) << twin.error;
+  EXPECT_TRUE(twin.degraded);
+  EXPECT_EQ(scheduler.stats().job_cache_hits, 0u);
+}
+
 /// Weighted round-robin dispatch: with one worker and a paused submit
 /// window, completion order is exactly the credit schedule -- 4 high,
 /// then a normal, then a low (fair share: low work cannot starve), then

@@ -2,16 +2,18 @@
 # tools/bench_gate.sh -- the one-command simulation gate.
 #
 # Runs, in order:
-#   1. Release build + the `sim`/`svc`/`chaos`-labelled ctest suites
+#   1. Release build + the `sim`/`svc`/`chaos`/`lp`-labelled ctest suites
 #      (kernel/driver/fleet differential tests, the batch scheduler
-#      suite, and the fail-point chaos harness);
+#      suite, the fail-point chaos harness, and the LP/MILP solver suite
+#      with its warm-vs-cold session differentials);
 #   2. a fresh perf_smoke -> build/BENCH_sim.json, gated for bit-exactness;
 #   3. `elrr bench-diff` of that fresh run against the committed
 #      BENCH_sim.json at the repo root (fails on any section >10% slower;
 #      override with ELRR_MAX_REGRESSION);
-#   4. an ASan/UBSan build (-DELRR_SANITIZE=address,undefined) of the same
-#      `sim` + `svc` + `chaos` suites (the scheduler/fleet sharing and
-#      failure-unwind paths are the lifetime-bug honeypots).
+#   4. an ASan/UBSan build (-DELRR_SANITIZE=address,undefined) of the
+#      `sim` + `svc` + `lp` suites (the scheduler/fleet sharing, the
+#      failure-unwind paths and the MILP session's persistent tableau
+#      snapshots are the lifetime-bug honeypots).
 #
 # Step 4 is skipped with ELRR_SKIP_SANITIZE=1 (e.g. on machines without
 # the sanitizer runtimes). ELRR_GATE_QUICK=1 runs the fast CI variant:
@@ -29,10 +31,10 @@ ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 MAX_REGRESSION=${ELRR_MAX_REGRESSION:-0.10}
 QUICK=${ELRR_GATE_QUICK:-0}
 
-echo "== [1/4] Release build + ctest -L sim|svc|chaos =="
+echo "== [1/4] Release build + ctest -L sim|svc|chaos|lp =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests elrr_svc_tests elrr_chaos_tests
-ctest --test-dir "$BUILD_DIR" -L 'sim|svc|chaos' --output-on-failure -j
+cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests elrr_svc_tests elrr_chaos_tests elrr_lp_tests
+ctest --test-dir "$BUILD_DIR" -L 'sim|svc|chaos|lp' --output-on-failure -j
 
 if [ "$QUICK" = "1" ]; then
   echo "== [2/4] perf_smoke --quick (bit-exactness gated) =="
@@ -50,11 +52,11 @@ fi
 if [ "${ELRR_SKIP_SANITIZE:-0}" = "1" ]; then
   echo "== [4/4] sanitizer sweep skipped (ELRR_SKIP_SANITIZE=1) =="
 else
-  echo "== [4/4] ASan/UBSan ctest -L sim|svc|chaos =="
+  echo "== [4/4] ASan/UBSan ctest -L sim|svc|lp =="
   cmake -B "$ASAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
     -DELRR_SANITIZE=address,undefined
-  cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests elrr_svc_tests
-  ctest --test-dir "$ASAN_BUILD_DIR" -L 'sim|svc' --output-on-failure -j
+  cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests elrr_svc_tests elrr_lp_tests
+  ctest --test-dir "$ASAN_BUILD_DIR" -L 'sim|svc|lp' --output-on-failure -j
 fi
 
 echo "bench gate: all green"

@@ -28,6 +28,7 @@
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
 #include "support/bench_json.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
@@ -57,8 +58,10 @@ commands:
               --epsilon E, --timeout S, --threads T (fleet pool; 0 = all
               cores), --cycles N, --runs R, --k N (rows shown),
               --sequential (walk-then-score baseline, same results),
-              --feedback (prune MILP steps with simulated thetas),
-              --polish
+              --feedback / --no-feedback (prune MILP steps with
+              simulated thetas; default auto: armed only once a MILP
+              budget is hit), --cold-milp (disable warm-started MILP
+              steps; same results, slower), --polish
   batch       multi-circuit optimization service: one scheduler, one
               shared simulation fleet, many jobs. elrr batch
               <manifest.jsonl> [--jobs N] [--threads T] [--output file]
@@ -244,7 +247,15 @@ int cmd_flow(Args& args, std::ostream& out) {
   eopt.sim.seed = args.get_u64("sim-seed", 1);
   eopt.sim_threads = static_cast<std::size_t>(args.get_int("threads", 0));
   eopt.overlap = !args.get_flag("sequential");
-  eopt.feedback_pruning = args.get_flag("feedback");
+  // --feedback forces the pruning on from the first completed
+  // simulation; --no-feedback pins it off. Default: auto (armed only on
+  // budget-dominated walks).
+  if (args.get_flag("feedback")) {
+    eopt.feedback_pruning = flow::FeedbackPruning::kOn;
+  } else if (args.get_flag("no-feedback")) {
+    eopt.feedback_pruning = flow::FeedbackPruning::kOff;
+  }
+  eopt.opt.milp_warm = !args.get_flag("cold-milp");
   const std::size_t k = static_cast<std::size_t>(args.get_int("k", 16));
   args.finish();
 
@@ -484,7 +495,8 @@ void print_batch_result(std::ostream& out, const svc::JobResult& result) {
   if (result.state == svc::JobState::kFailed ||
       result.state == svc::JobState::kRejected) {
     // no metrics
-  } else if (result.mode == svc::JobMode::kMinEffCyc &&
+  } else if ((result.mode == svc::JobMode::kMinEffCyc ||
+              result.mode == svc::JobMode::kPortfolio) &&
              result.state == svc::JobState::kDone) {
     const flow::CircuitResult& circuit = result.circuit;
     std::snprintf(buf, sizeof(buf),
@@ -497,6 +509,15 @@ void print_batch_result(std::ostream& out, const svc::JobResult& result) {
                   circuit.candidates.size(),
                   circuit.all_exact ? "true" : "false");
     out << buf;
+    // The portfolio's anytime leg: when the heuristic answer landed and
+    // how good it was, next to the exact numbers it raced.
+    if (result.mode == svc::JobMode::kPortfolio &&
+        result.stats.anytime_ready) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"anytime_xi\": %.10g, \"anytime_s\": %.4f",
+                    result.stats.anytime_xi, result.stats.anytime_seconds);
+      out << buf;
+    }
   } else if (result.state == svc::JobState::kDone) {
     std::snprintf(buf, sizeof(buf),
                   ", \"tau\": %.10g, \"theta_sim\": %.10g, \"xi_sim\": %.10g",
@@ -553,8 +574,13 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   // the manifest, not on submission timing.
   sopt.start_paused = true;
   svc::Scheduler scheduler(sopt);
+  // ELRR_PORTFOLIO=1 flips the batch-wide *default* mode to the anytime
+  // portfolio; lines with an explicit "mode" keep it.
+  const svc::JobMode default_mode = env::boolean("ELRR_PORTFOLIO", false)
+                                        ? svc::JobMode::kPortfolio
+                                        : svc::JobMode::kMinEffCyc;
   for (const svc::ManifestEntry& entry : entries) {
-    scheduler.submit(svc::materialize(entry, base));
+    scheduler.submit(svc::materialize(entry, base, default_mode));
   }
   err << "batch: " << entries.size() << " jobs from " << manifest_path
       << ", " << jobs << " worker(s), fleet threads "
@@ -639,6 +665,7 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
       {"fleet_dedup", "fleet_seconds", false},
       {"pipeline", "overlapped_seconds", false},
       {"batch", "scheduler_seconds", false},
+      {"milp", "warm_seconds", false},
   };
 
   // Evaluate every section first; render (text or --json) after, so both
