@@ -11,7 +11,10 @@
 /// both runs producing bit-identical frontiers and thetas. The `batch`
 /// section runs a multi-circuit manifest through the svc::Scheduler
 /// (one shared fleet for the whole batch) against the historical
-/// per-circuit engine loop, bit-exactness gated the same way.
+/// per-circuit engine loop, bit-exactness gated the same way. The `proc`
+/// section drains the fleet workload through real process-isolated
+/// `elrr work` workers and reports the isolation overhead, with the same
+/// bit-exactness gate.
 ///
 ///   perf_smoke [output.json] [--quick] [--baseline <file.json>]
 ///
@@ -37,6 +40,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -240,6 +244,69 @@ DedupRow measure_dedup() {
   row.off_s = best_off;
   row.on_s = best_on;
   row.bit_exact = off_thetas == on_thetas;
+  return row;
+}
+
+struct ProcRow {
+  double inproc_s = 0.0;  ///< in-process pool (1 thread), best of reps
+  double proc_s = 0.0;    ///< 2 `elrr work` worker processes, best of reps
+  std::size_t candidates = 0;
+  bool bit_exact = false;  ///< proc-tier thetas == in-process thetas
+};
+
+/// The process-isolation overhead: the fleet workload drained through the
+/// in-process pool vs through real `elrr work` worker processes (spawn +
+/// serialize + pipe round-trips). ELRR_PROC_WORKERS is read at fleet
+/// construction, so each mode builds its own fleet; both fleets persist
+/// across the measurement reps so the proc number amortises worker spawns
+/// the way a long batch does. The bit_exact gate is the isolation tier's
+/// whole contract: identical thetas at any worker count.
+ProcRow measure_proc() {
+  const std::vector<elrr::Rrg> candidates = fleet_candidates();
+  const elrr::sim::SimOptions options = fleet_sim_options();
+
+  ProcRow row;
+  row.candidates = candidates.size();
+
+  std::vector<double> inproc_thetas(candidates.size());
+  std::vector<double> proc_thetas(candidates.size());
+  double best_inproc = 1e300, best_proc = 1e300;
+  {
+    elrr::sim::SimFleet fleet(1);
+    for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+      const auto t0 = Clock::now();
+      for (const elrr::Rrg& candidate : candidates) {
+        fleet.submit(candidate, options);
+      }
+      const std::vector<elrr::sim::SimReport> reports = fleet.drain();
+      best_inproc = std::min(best_inproc, seconds_since(t0));
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        inproc_thetas[i] = reports[i].theta;
+      }
+    }
+  }
+  ::setenv("ELRR_PROC_WORKERS", "2", 1);
+  ::setenv("ELRR_WORK_BIN", ELRR_CLI_BIN, 1);
+  {
+    elrr::sim::SimFleet fleet(1);
+    for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+      const auto t0 = Clock::now();
+      for (const elrr::Rrg& candidate : candidates) {
+        fleet.submit(candidate, options);
+      }
+      const std::vector<elrr::sim::SimReport> reports = fleet.drain();
+      best_proc = std::min(best_proc, seconds_since(t0));
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        proc_thetas[i] = reports[i].theta;
+      }
+    }
+  }
+  ::unsetenv("ELRR_PROC_WORKERS");
+  ::unsetenv("ELRR_WORK_BIN");
+
+  row.inproc_s = best_inproc;
+  row.proc_s = best_proc;
+  row.bit_exact = inproc_thetas == proc_thetas;
   return row;
 }
 
@@ -781,6 +848,35 @@ int main(int argc, char** argv) {
       const double ratio = *prev / milp.warm_seconds;
       std::printf(", %.2fx vs baseline", ratio);
       std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"milp\": %.2f",
+                    ratios.empty() ? "" : ", ", ratio);
+      ratios += ratio_buf;
+    }
+  }
+  std::printf("\n");
+
+  const ProcRow proc = measure_proc();
+  all_bit_exact &= proc.bit_exact;
+  std::fprintf(out,
+               ",\n    \"proc\": {\"workload\": "
+               "\"the fleet candidate set drained through the in-process "
+               "pool vs 2 process-isolated elrr-work workers\", "
+               "\"candidates\": %zu, \"inproc_seconds\": %.4f, "
+               "\"proc_seconds\": %.4f, \"overhead\": %.2f, "
+               "\"bit_exact\": %s}",
+               proc.candidates, proc.inproc_s, proc.proc_s,
+               proc.proc_s / proc.inproc_s,
+               proc.bit_exact ? "true" : "false");
+  std::printf("proc       (%zu candidates): in-process %.3fs, "
+              "2 worker processes %.3fs, isolation overhead %.2fx, %s",
+              proc.candidates, proc.inproc_s, proc.proc_s,
+              proc.proc_s / proc.inproc_s,
+              proc.bit_exact ? "bit-exact" : "MISMATCH");
+  if (baseline) {
+    if (const auto prev = elrr::bench_json::find_number(
+            baseline->text, "proc", "proc_seconds")) {
+      const double ratio = *prev / proc.proc_s;
+      std::printf(", %.2fx vs baseline", ratio);
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%s\"proc\": %.2f",
                     ratios.empty() ? "" : ", ", ratio);
       ratios += ratio_buf;
     }

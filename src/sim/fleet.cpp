@@ -1,23 +1,29 @@
 #include "sim/fleet.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "io/rrg_format.hpp"
 #include "sim/choosers.hpp"
+#include "sim/proc_fleet.hpp"
 #include "support/bytes.hpp"
 #include "sim/flat_kernel.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/rng.hpp"
@@ -176,6 +182,10 @@ struct JobContext {
 
   std::size_t remaining = 0;  ///< slices still to finish (fleet mutex)
   std::exception_ptr failure;  ///< first slice failure (fleet mutex)
+  /// Proc tier: the candidate's .rrg text, serialized once (first slice
+  /// dispatch) and shared by every slice and re-dispatch of this job.
+  std::once_flag rrg_text_once;
+  std::string rrg_text;
   /// Flat-path containment: a slice whose FlatKernel execution throws is
   /// re-run on the reference kernel (built on demand, once) instead of
   /// failing the job. The reference path draws the identical per-run
@@ -200,6 +210,8 @@ struct JobContext {
     latencies.reset();
     owned_rrg.reset();
     rrg = nullptr;  // the borrow (if any) ends with the job
+    rrg_text.clear();
+    rrg_text.shrink_to_fit();
   }
 };
 
@@ -308,8 +320,15 @@ std::string canonical_key(const Rrg& rrg, const SimOptions& options) {
 /// Classifies the execution path and builds kernels, chooser tables,
 /// result slots and the slice partition for one unique job. Runs on the
 /// submitting thread (sync and async alike), outside the fleet mutex.
+/// `build_kernels = false` (the proc tier) skips the kernel and chooser
+/// construction: classification, result slots and the slice partition
+/// still happen here -- identically, so the partition and the report
+/// metadata cannot depend on the tier -- but the execution state lives
+/// in the worker *process* (SliceRunner), and building it again in the
+/// supervisor would double the isolation overhead for nothing.
 void build_context(JobContext& ctx, std::vector<QueueEntry>* entries,
-                   const std::shared_ptr<JobContext>& self) {
+                   const std::shared_ptr<JobContext>& self,
+                   bool build_kernels = true) {
   ctx.fallback = ctx.options.force_reference
                      ? FlatCap::kNone
                      : FlatKernel::unsupported_reason(*ctx.rrg);
@@ -321,16 +340,18 @@ void build_context(JobContext& ctx, std::vector<QueueEntry>* entries,
     ctx.path = SimPath::kFlat;
   }
   if (ctx.path == SimPath::kFlat) {
-    ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
+    if (build_kernels) ctx.flat_kernel = std::make_unique<FlatKernel>(*ctx.rrg);
     ctx.lane_cap = ctx.options.max_batch == 0
                        ? kDefaultLane
                        : std::min(ctx.options.max_batch, kMaxLane);
   } else {
-    ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
+    if (build_kernels) ctx.ref_kernel = std::make_unique<Kernel>(*ctx.rrg);
     ctx.lane_cap = 1;
   }
-  ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
-  ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
+  if (build_kernels) {
+    ctx.guards = std::make_unique<GuardTable>(*ctx.rrg);
+    ctx.latencies = std::make_unique<LatencyTable>(*ctx.rrg);
+  }
   ctx.per_run.assign(ctx.options.runs, 0.0);
   for (std::size_t first = 0; first < ctx.options.runs;) {
     const std::size_t width =
@@ -419,6 +440,31 @@ struct FleetCore {
   std::size_t next_ticket = 0;
   std::size_t reported = 0;  ///< tickets consumed by wait_all
 
+  // Process-isolated tier bookkeeping (all under `mutex`; zero/empty
+  // while the fleet runs in-process).
+  std::vector<int> child_pids;  ///< live worker pid per slot (0 = none)
+  std::uint64_t proc_spawns = 0;
+  std::uint64_t proc_crashes = 0;
+  std::uint64_t proc_respawns = 0;
+  std::uint64_t proc_redispatches = 0;
+
+  /// Drops a job's dedup-cache entry (if present) under `mutex`. Both
+  /// failure paths route through here: a failed job must not replay its
+  /// failure to re-submissions, and a job whose worker process crashed
+  /// mid-slice must not serve its possibly-poisoned partial state to a
+  /// later identical candidate -- the re-dispatch and any re-submission
+  /// run fresh. Linear scan: crash/failure paths only.
+  void purge_entry(const JobContext* ctx) {
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+      if (it->second.ctx.get() == ctx) {
+        cache_bytes -= it->second.bytes;
+        lru.erase(it->second.lru);
+        cache.erase(it);
+        break;
+      }
+    }
+  }
+
   /// Evicts completed LRU-tail entries until the cache fits its cap.
   /// In-flight entries are skipped (rotated to the front: they are the
   /// session's most recent work anyway); shared ownership means eviction
@@ -488,7 +534,16 @@ std::string canonical_rrg_key(const Rrg& rrg) {
 
 SimFleet::SimFleet(std::size_t threads, bool dedup,
                    std::size_t cache_cap_bytes)
-    : threads_(threads), dedup_(dedup), core_(std::make_unique<FleetCore>()) {
+    : threads_(threads),
+      // The proc tier is an environment selection, not an API one: every
+      // fleet in the process (flow engines, the scheduler's shared
+      // fleet, one-shot simulate_throughput fleets) honors it uniformly,
+      // which is what makes ELRR_PROC_WORKERS=N a whole-batch crash
+      // domain decision. Validated strictly like every ELRR_* knob.
+      proc_workers_(static_cast<std::size_t>(
+          env::u64("ELRR_PROC_WORKERS", 0, 0, 256))),
+      dedup_(dedup),
+      core_(std::make_unique<FleetCore>()) {
   core_->cache_cap_bytes = cache_cap_bytes;
 }
 
@@ -535,7 +590,12 @@ void SimFleet::ensure_pool(std::size_t workers) {
   while (core_->pool.size() < workers) {
     const std::size_t slot = core_->pool.size();
     core_->beats.emplace_back();
-    core_->pool.emplace_back([this, slot] { worker_main(slot); });
+    core_->child_pids.push_back(0);
+    if (proc_workers_ > 0) {
+      core_->pool.emplace_back([this, slot] { proc_supervisor_main(slot); });
+    } else {
+      core_->pool.emplace_back([this, slot] { worker_main(slot); });
+    }
   }
 }
 
@@ -577,16 +637,8 @@ void SimFleet::worker_main(std::size_t slot) {
       // rethrow the failure, but a *re-submission* of the same candidate
       // must run fresh -- that is what makes a transient fault (injected
       // or real) recoverable by the scheduler's retry, instead of the
-      // cache replaying the failure forever. Linear scan: failure path
-      // only.
-      for (auto it = core.cache.begin(); it != core.cache.end(); ++it) {
-        if (it->second.ctx.get() == &ctx) {
-          core.cache_bytes -= it->second.bytes;
-          core.lru.erase(it->second.lru);
-          core.cache.erase(it);
-          break;
-        }
-      }
+      // cache replaying the failure forever.
+      core.purge_entry(&ctx);
     }
     if (--ctx.remaining == 0) {
       if (ctx.release_on_done) {
@@ -597,6 +649,165 @@ void SimFleet::worker_main(std::size_t slot) {
       core.cv_done.notify_all();
     }
   }
+}
+
+void SimFleet::proc_supervisor_main(std::size_t slot) {
+  FleetCore& core = *core_;
+  // One worker process per supervisor slot, spawned lazily at the first
+  // slice and respawned (bounded, with backoff) after a crash. The
+  // supervisor thread carries the heartbeat: its beat stays `busy` while
+  // the slice is at the child, so stuck_workers() -- and through it the
+  // scheduler's stall reporting -- sees a wedged worker process exactly
+  // like a wedged in-process worker. Everything else (queue, dedup,
+  // completion, failure propagation) is worker_main's, which is what
+  // keeps the run-order merge -- and with it every theta -- bit-identical
+  // across tiers, worker counts, and mid-batch crashes.
+  std::unique_ptr<proc::WorkerProcess> child;
+  bool spawned_before = false;
+  std::unique_lock<std::mutex> lock(core.mutex);
+  for (;;) {
+    core.cv_work.wait(lock, [&] { return core.stop || !core.queue.empty(); });
+    if (core.stop) break;
+    const QueueEntry entry = core.queue.front();
+    core.queue.pop_front();
+    JobContext& ctx = *entry.ctx;
+    const bool skip = ctx.failure != nullptr;
+    core.beats[slot] = {true, std::chrono::steady_clock::now()};
+    lock.unlock();
+    std::exception_ptr failure;
+    if (!skip) {
+      try {
+        // Same whole-worker fault site as the in-process pool, tripped
+        // in the supervisor: chaos schedules targeting `fleet.worker`
+        // exercise both tiers with one spec. (`proc.worker` is the
+        // *child-side* site -- a real process death, not a throw.)
+        failpoint::trip("fleet.worker");
+        proc_run_slice(slot, entry, &child, &spawned_before);
+      } catch (...) {
+        failure = std::current_exception();
+      }
+    }
+    lock.lock();
+    core.beats[slot].busy = false;
+    if (failure && !ctx.failure) ctx.failure = failure;
+    if (ctx.failure) core.purge_entry(&ctx);
+    if (--ctx.remaining == 0) {
+      if (ctx.release_on_done) {
+        ctx.release_execution_state();
+        ELRR_ASSERT(core.in_flight > 0, "in_flight underflow");
+        --core.in_flight;
+      }
+      core.cv_done.notify_all();
+    }
+  }
+  core.child_pids[slot] = 0;
+  lock.unlock();
+  // Shutdown: the worker process dies with its handle (EOF, then
+  // SIGKILL + reap for a wedged one).
+  child.reset();
+}
+
+void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
+                              std::unique_ptr<proc::WorkerProcess>* child,
+                              bool* spawned_before) {
+  FleetCore& core = *core_;
+  JobContext& ctx = *entry.ctx;
+  // Serialize the candidate once per job; all its slices (and any
+  // re-dispatch) share the text. %.17g round-trips every double, so the
+  // worker rebuilds the exact candidate.
+  std::call_once(ctx.rrg_text_once,
+                 [&ctx] { ctx.rrg_text = io::write_rrg(*ctx.rrg); });
+  const std::string request =
+      proc::encode_request(ctx.rrg_text, ctx.options, entry.first, entry.count);
+
+  // The respawn budget is per *slice dispatch*, not per worker lifetime:
+  // a long batch may absorb many isolated crashes, but one slice that
+  // kills three fresh workers in a row is systematic and must surface.
+  constexpr int kMaxAttempts = 3;
+  std::string last_death = "worker never started";
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Bounded backoff before re-touching the process table: a
+      // crash-looping worker must not busy-spin fork().
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(10 << (attempt - 1)));
+    }
+    if (*child != nullptr && !(*child)->alive()) {
+      // Death noticed between slices (an external SIGKILL while the
+      // worker sat idle) is still a crash of this tier; the slice at
+      // hand simply becomes the first one of the replacement.
+      last_death = (*child)->death_reason();
+      child->reset();
+      const std::lock_guard<std::mutex> lock(core.mutex);
+      ++core.proc_crashes;
+      core.child_pids[slot] = 0;
+      core.purge_entry(&ctx);
+    }
+    if (*child == nullptr) {
+      try {
+        failpoint::trip("proc.spawn");
+        *child = std::make_unique<proc::WorkerProcess>(
+            proc::SpawnConfig::from_env(slot));
+      } catch (const std::exception& e) {
+        last_death = elrr::detail::concat("spawn failed: ", e.what());
+        child->reset();
+        continue;  // a failed spawn burns one attempt of the budget
+      }
+      const std::lock_guard<std::mutex> lock(core.mutex);
+      ++core.proc_spawns;
+      if (*spawned_before) ++core.proc_respawns;
+      *spawned_before = true;
+      core.child_pids[slot] = (*child)->pid();
+    }
+    const std::optional<proc::SliceOutcome> outcome =
+        (*child)->run_slice(request);
+    if (outcome.has_value()) {
+      if (!outcome->error.empty()) {
+        // Structured worker-side failure: the process is healthy and the
+        // error deterministic (a re-dispatch would just repeat it), so
+        // it propagates like the in-process path's exception would --
+        // permanent, job-level.
+        throw InternalError(
+            elrr::detail::concat("proc worker: ", outcome->error));
+      }
+      ELRR_ASSERT(outcome->thetas.size() == entry.count,
+                  "proc worker returned ", outcome->thetas.size(),
+                  " thetas for a ", entry.count, "-run slice");
+      std::copy(outcome->thetas.begin(), outcome->thetas.end(),
+                ctx.per_run.begin() + entry.first);
+      ctx.degraded_slices.fetch_add(outcome->degraded_slices,
+                                    std::memory_order_relaxed);
+      if (attempt > 0) {
+        const std::lock_guard<std::mutex> lock(core.mutex);
+        ++core.proc_redispatches;
+      }
+      return;
+    }
+    // Crash: the round-trip tore (child death, SIGKILL, torn frame,
+    // garbage bytes). Post-mortem, purge the job's dedup entry -- the
+    // re-dispatched slice and any identical re-submission must run
+    // against fresh state, never a possibly-poisoned partial result --
+    // then respawn and re-dispatch this same slice. Its per_run slots
+    // are untouched by the dead attempt (results only land with a whole
+    // valid response frame), so the merge stays bit-identical.
+    last_death = (*child)->death_reason();
+    child->reset();
+    {
+      const std::lock_guard<std::mutex> lock(core.mutex);
+      ++core.proc_crashes;
+      core.child_pids[slot] = 0;
+      core.purge_entry(&ctx);
+    }
+    std::fprintf(stderr,
+                 "elrr fleet: worker process (slot %zu) died mid-slice "
+                 "(%s); re-dispatching runs [%u, %u)\n",
+                 slot, last_death.c_str(), entry.first,
+                 entry.first + entry.count);
+  }
+  throw TransientError(elrr::detail::concat(
+      "worker process crashed ", kMaxAttempts, " times on runs [",
+      entry.first, ", ", entry.first + entry.count,
+      ") of a fleet job (last: ", last_death, ")"));
 }
 
 std::vector<SimReport> SimFleet::drain() {
@@ -644,20 +855,24 @@ std::vector<SimReport> SimFleet::drain() {
   std::vector<QueueEntry> entries;
   for (const std::shared_ptr<JobContext>& ctx : contexts) {
     std::vector<QueueEntry> slices;
-    fleet_detail::build_context(*ctx, &slices, ctx);
+    fleet_detail::build_context(*ctx, &slices, ctx,
+                                /*build_kernels=*/proc_workers_ == 0);
     ctx->remaining = slices.size();
     entries.insert(entries.end(), slices.begin(), slices.end());
   }
 
   // An explicit thread request never consults hardware_concurrency():
   // the queried value is irrelevant then, and the call is not free on
-  // every drain of a hot flow loop.
+  // every drain of a hot flow loop. In proc mode the pool width is the
+  // supervisor count (ELRR_PROC_WORKERS), still capped by the queue.
   const std::size_t hardware =
-      threads_ == 0 ? hardware_concurrency_cached() : 0;
+      threads_ == 0 && proc_workers_ == 0 ? hardware_concurrency_cached() : 0;
   const std::size_t workers =
-      resolve_worker_count(threads_, hardware, entries.size());
+      proc_workers_ > 0
+          ? resolve_worker_count(proc_workers_, 0, entries.size())
+          : resolve_worker_count(threads_, hardware, entries.size());
   last_workers_ = workers;
-  if (workers <= 1) {
+  if (workers <= 1 && proc_workers_ == 0) {
     for (const QueueEntry& entry : entries) {
       fleet_detail::execute_slice(*entry.ctx, entry.first, entry.count);
     }
@@ -759,7 +974,8 @@ SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
   std::size_t backlog = 0;
   SimTicket ticket;
   try {
-    fleet_detail::build_context(*fresh, &slices, fresh);
+    fleet_detail::build_context(*fresh, &slices, fresh,
+                                /*build_kernels=*/proc_workers_ == 0);
   } catch (...) {
     // The reservation must not wedge aliases or leak: fail the context
     // (aliased tickets rethrow on wait), drop it from the cache, and
@@ -796,9 +1012,14 @@ SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
   }
   // Async work always runs on the pool (that is the point: the caller's
   // thread keeps optimizing); grow it to cover the queued backlog up to
-  // the configured width. 0 = hardware concurrency, queried once.
-  ensure_pool(resolve_worker_count(
-      threads_, threads_ == 0 ? hardware_concurrency_cached() : 0, backlog));
+  // the configured width. 0 = hardware concurrency, queried once. In
+  // proc mode the pool is the supervisor set, one worker process each.
+  ensure_pool(
+      proc_workers_ > 0
+          ? resolve_worker_count(proc_workers_, 0, backlog)
+          : resolve_worker_count(
+                threads_, threads_ == 0 ? hardware_concurrency_cached() : 0,
+                backlog));
   core.cv_work.notify_all();
   return ticket;
 }
@@ -918,6 +1139,64 @@ SimCacheStats SimFleet::cache_stats() const {
   stats.misses = core.cache_misses;
   stats.evictions = core.cache_evictions;
   return stats;
+}
+
+ProcFleetStats SimFleet::proc_stats() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  ProcFleetStats stats;
+  stats.spawns = core.proc_spawns;
+  stats.crashes = core.proc_crashes;
+  stats.respawns = core.proc_respawns;
+  stats.redispatches = core.proc_redispatches;
+  return stats;
+}
+
+std::vector<int> SimFleet::proc_worker_pids() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  std::vector<int> pids;
+  for (const int pid : core.child_pids) {
+    if (pid != 0) pids.push_back(pid);
+  }
+  return pids;
+}
+
+SliceRunner::SliceRunner(Rrg rrg, const SimOptions& options) {
+  ELRR_REQUIRE(options.measure_cycles > 0, "measure_cycles must be positive");
+  ELRR_REQUIRE(options.runs > 0, "need at least one run");
+  ctx_ = std::make_shared<JobContext>();
+  ctx_->owned_rrg = std::make_unique<Rrg>(std::move(rrg));
+  ctx_->rrg = ctx_->owned_rrg.get();
+  ctx_->options = options;
+  // Full build (kernels included): the runner *is* the execution state
+  // the supervisor skipped. The slice partition computed here is
+  // discarded -- the supervisor's partition arrives slice by slice over
+  // the pipe -- but path classification and lane_cap must match it, and
+  // they do because both sides run the identical build_context.
+  std::vector<QueueEntry> slices;
+  fleet_detail::build_context(*ctx_, &slices, ctx_);
+}
+
+SliceRunner::~SliceRunner() = default;
+
+SliceRun SliceRunner::run(std::uint32_t first, std::uint32_t count) {
+  ELRR_REQUIRE(count > 0, "empty slice");
+  ELRR_REQUIRE(first <= ctx_->options.runs &&
+                   count <= ctx_->options.runs - first,
+               "slice [", first, ", ", first + count, ") exceeds ",
+               ctx_->options.runs, " runs");
+  const std::uint32_t degraded_before =
+      ctx_->degraded_slices.load(std::memory_order_relaxed);
+  fleet_detail::execute_slice(*ctx_, first, count);
+  SliceRun result;
+  result.thetas.assign(ctx_->per_run.begin() + first,
+                       ctx_->per_run.begin() + first + count);
+  result.path = ctx_->path;
+  result.fallback = ctx_->fallback;
+  result.degraded_slices =
+      ctx_->degraded_slices.load(std::memory_order_relaxed) - degraded_before;
+  return result;
 }
 
 }  // namespace elrr::sim

@@ -1,0 +1,413 @@
+#include "sim/proc_fleet.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "io/rrg_format.hpp"
+#include "support/bytes.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+
+namespace elrr::sim::proc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50525245;  // "ERRP"
+
+/// FNV-1a 64 over the payload: cheap, order-sensitive, and any torn or
+/// bit-flipped frame fails it. This is crash *detection*, not security.
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool write_exact(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full read or failure; `*got_any` reports whether even one byte
+/// arrived (distinguishes clean EOF from a torn frame).
+bool read_exact(int fd, void* data, std::size_t size, bool* got_any) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    *got_any = true;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Writes to a peer that may die at any moment; a SIGPIPE default
+/// disposition would kill the *writer*. Ignored once, process-wide, the
+/// first time the proc tier touches a pipe (supervisor and worker both
+/// route through here); write() then reports EPIPE, which reads as a
+/// crashed peer.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+/// Bounds-checked little cursor over a decoded payload.
+struct Cursor {
+  const char* p;
+  std::size_t left;
+  void take(void* out, std::size_t n) {
+    ELRR_REQUIRE(left >= n, "truncated proc-fleet payload");
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+  }
+  template <typename T>
+  T value() {
+    T v;
+    take(&v, sizeof(T));
+    return v;
+  }
+};
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  ignore_sigpipe_once();
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t checksum = fnv1a(payload.data(), payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  bytes::append_value(frame, kMagic);
+  bytes::append_value(frame, len);
+  frame.append(payload);
+  bytes::append_value(frame, checksum);
+  return write_exact(fd, frame.data(), frame.size());
+}
+
+FrameRead read_frame(int fd, std::string* payload) {
+  bool got_any = false;
+  std::uint32_t header[2];  // magic, len
+  if (!read_exact(fd, header, sizeof(header), &got_any)) {
+    return got_any ? FrameRead::kTorn : FrameRead::kEof;
+  }
+  if (header[0] != kMagic || header[1] > kMaxFramePayload) {
+    return FrameRead::kTorn;
+  }
+  payload->resize(header[1]);
+  std::uint64_t checksum = 0;
+  if (!read_exact(fd, payload->data(), payload->size(), &got_any) ||
+      !read_exact(fd, &checksum, sizeof(checksum), &got_any)) {
+    return FrameRead::kTorn;
+  }
+  if (checksum != fnv1a(payload->data(), payload->size())) {
+    return FrameRead::kTorn;
+  }
+  return FrameRead::kOk;
+}
+
+std::string encode_request(const std::string& rrg_text,
+                           const SimOptions& options, std::uint32_t first,
+                           std::uint32_t count) {
+  std::string payload;
+  payload.reserve(rrg_text.size() + 64);
+  bytes::append_value(payload, first);
+  bytes::append_value(payload, count);
+  bytes::append_value(payload, options.seed);
+  bytes::append_value(payload, static_cast<std::uint64_t>(options.warmup_cycles));
+  bytes::append_value(payload,
+                      static_cast<std::uint64_t>(options.measure_cycles));
+  bytes::append_value(payload, static_cast<std::uint64_t>(options.runs));
+  bytes::append_value(payload, static_cast<std::uint64_t>(options.max_batch));
+  bytes::append_value(payload,
+                      static_cast<std::uint8_t>(options.force_reference));
+  payload.append(rrg_text);
+  return payload;
+}
+
+SliceRequest decode_request(const std::string& payload) {
+  Cursor cur{payload.data(), payload.size()};
+  SliceRequest req;
+  req.first = cur.value<std::uint32_t>();
+  req.count = cur.value<std::uint32_t>();
+  req.options.seed = cur.value<std::uint64_t>();
+  req.options.warmup_cycles =
+      static_cast<std::size_t>(cur.value<std::uint64_t>());
+  req.options.measure_cycles =
+      static_cast<std::size_t>(cur.value<std::uint64_t>());
+  req.options.runs = static_cast<std::size_t>(cur.value<std::uint64_t>());
+  req.options.max_batch = static_cast<std::size_t>(cur.value<std::uint64_t>());
+  req.options.force_reference = cur.value<std::uint8_t>() != 0;
+  req.rrg_text.assign(cur.p, cur.left);
+  ELRR_REQUIRE(req.count > 0, "empty slice in proc-fleet request");
+  ELRR_REQUIRE(req.first + req.count <= req.options.runs,
+               "slice [", req.first, ", ", req.first + req.count,
+               ") outside ", req.options.runs, " runs");
+  return req;
+}
+
+std::string encode_ok_response(const SliceRun& run) {
+  std::string payload;
+  bytes::append_value(payload, std::uint8_t{0});
+  bytes::append_value(payload, run.degraded_slices);
+  bytes::append_value(payload, static_cast<std::uint32_t>(run.thetas.size()));
+  for (const double theta : run.thetas) bytes::append_value(payload, theta);
+  return payload;
+}
+
+std::string encode_error_response(const std::string& message) {
+  std::string payload;
+  bytes::append_value(payload, std::uint8_t{1});
+  payload.append(message);
+  return payload;
+}
+
+SliceOutcome decode_response(const std::string& payload) {
+  Cursor cur{payload.data(), payload.size()};
+  SliceOutcome outcome;
+  const std::uint8_t status = cur.value<std::uint8_t>();
+  if (status != 0) {
+    outcome.error.assign(cur.p, cur.left);
+    if (outcome.error.empty()) outcome.error = "unspecified worker failure";
+    return outcome;
+  }
+  outcome.degraded_slices = cur.value<std::uint32_t>();
+  const std::uint32_t count = cur.value<std::uint32_t>();
+  ELRR_REQUIRE(cur.left == count * sizeof(double),
+               "theta payload size mismatch in proc-fleet response");
+  outcome.thetas.resize(count);
+  for (std::uint32_t r = 0; r < count; ++r) {
+    outcome.thetas[r] = cur.value<double>();
+  }
+  return outcome;
+}
+
+int worker_loop(int in_fd, int out_fd) {
+  ignore_sigpipe_once();
+  if (!write_frame(out_fd, kHelloPayload)) return kExitTorn;
+  // The runner of the last (candidate, options) pair is kept hot: the
+  // slices of one job arrive back to back (often from several
+  // supervisors racing the queue, but each worker sees a run of them),
+  // and re-parsing the candidate per slice would put serialization, not
+  // simulation, on the profile. The key is the request payload minus the
+  // slice descriptor.
+  std::unique_ptr<SliceRunner> runner;
+  std::string runner_key;
+  std::string payload;
+  for (;;) {
+    switch (read_frame(in_fd, &payload)) {
+      case FrameRead::kEof:
+        return kExitOk;  // supervisor closed the pipe: clean retirement
+      case FrameRead::kTorn:
+        std::fprintf(stderr, "elrr work: torn request frame, exiting\n");
+        return kExitTorn;
+      case FrameRead::kOk:
+        break;
+    }
+    std::string response;
+    try {
+      // The injectable whole-worker fault: firing exits without a
+      // response -- indistinguishable from a real crash upstream, which
+      // is the point. (`stall:` sleeps here with the request pending,
+      // modelling a wedged worker the supervisor heartbeat must see.)
+      failpoint::trip("proc.worker");
+      const SliceRequest req = decode_request(payload);
+      const std::string key = payload.substr(2 * sizeof(std::uint32_t));
+      if (runner == nullptr || runner_key != key) {
+        io::NamedRrg named = io::read_rrg(req.rrg_text);
+        runner = std::make_unique<SliceRunner>(std::move(named.rrg),
+                                               req.options);
+        runner_key = key;
+      }
+      response = encode_ok_response(runner->run(req.first, req.count));
+    } catch (const failpoint::FailPointError& e) {
+      std::fprintf(stderr, "elrr work: %s\n", e.what());
+      return kExitInjected;
+    } catch (const std::exception& e) {
+      // Deterministic worker-side failure (malformed candidate, violated
+      // invariant): report it structurally -- the worker is healthy and
+      // must keep serving; the supervisor fails the job, not the worker.
+      response = encode_error_response(e.what());
+      runner.reset();
+      runner_key.clear();
+    }
+    if (!write_frame(out_fd, response)) {
+      std::fprintf(stderr, "elrr work: response pipe broke, exiting\n");
+      return kExitTorn;
+    }
+  }
+}
+
+SpawnConfig SpawnConfig::from_env(std::size_t slot) {
+  SpawnConfig config;
+  config.binary = env::str("ELRR_WORK_BIN", "");
+  if (config.binary.empty()) {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    ELRR_REQUIRE(n > 0,
+                 "cannot resolve the worker binary from /proc/self/exe; "
+                 "set ELRR_WORK_BIN to the elrr executable");
+    buf[n] = '\0';
+    config.binary.assign(buf);
+  }
+  const std::string log_dir = env::str("ELRR_PROC_LOG_DIR", "");
+  if (!log_dir.empty()) {
+    ::mkdir(log_dir.c_str(), 0777);  // best effort; open() below decides
+    config.stderr_path =
+        log_dir + "/proc-worker-" + std::to_string(slot) + ".stderr";
+  }
+  return config;
+}
+
+WorkerProcess::WorkerProcess(const SpawnConfig& config) {
+  ignore_sigpipe_once();
+  int request_pipe[2] = {-1, -1};
+  int response_pipe[2] = {-1, -1};
+  if (::pipe2(request_pipe, O_CLOEXEC) != 0) {
+    throw TransientError(elrr::detail::concat(
+        "proc fleet: pipe2 failed: ", std::strerror(errno)));
+  }
+  if (::pipe2(response_pipe, O_CLOEXEC) != 0) {
+    const int saved = errno;
+    ::close(request_pipe[0]);
+    ::close(request_pipe[1]);
+    throw TransientError(elrr::detail::concat(
+        "proc fleet: pipe2 failed: ", std::strerror(saved)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    for (const int fd : {request_pipe[0], request_pipe[1], response_pipe[0],
+                         response_pipe[1]}) {
+      ::close(fd);
+    }
+    throw TransientError(elrr::detail::concat(
+        "proc fleet: fork failed: ", std::strerror(saved)));
+  }
+  if (pid == 0) {
+    // Child: requests on stdin, responses on stdout, stderr optionally
+    // appended to the per-slot log (the artifact CI uploads on failure).
+    // Only async-signal-safe calls between fork and exec.
+    ::dup2(request_pipe[0], STDIN_FILENO);
+    ::dup2(response_pipe[1], STDOUT_FILENO);
+    if (!config.stderr_path.empty()) {
+      const int log_fd = ::open(config.stderr_path.c_str(),
+                                O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log_fd >= 0) ::dup2(log_fd, STDERR_FILENO);
+    }
+    ::execl(config.binary.c_str(), config.binary.c_str(), "work",
+            static_cast<char*>(nullptr));
+    ::dprintf(STDERR_FILENO, "elrr work: exec %s failed: %s\n",
+              config.binary.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+  // Parent.
+  ::close(request_pipe[0]);
+  ::close(response_pipe[1]);
+  request_fd_ = request_pipe[1];
+  response_fd_ = response_pipe[0];
+  pid_ = pid;
+
+  // Handshake, bounded: a hung or foreign binary must fail the spawn in
+  // seconds, not wedge the supervisor forever on a read.
+  struct pollfd pfd = {response_fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, /*timeout_ms=*/10000);
+  std::string hello;
+  if (ready <= 0 || read_frame(response_fd_, &hello) != FrameRead::kOk ||
+      hello != kHelloPayload) {
+    const std::string reason = death_reason();
+    throw TransientError(elrr::detail::concat(
+        "proc fleet: worker handshake failed (", config.binary,
+        " work): ", reason));
+  }
+}
+
+WorkerProcess::~WorkerProcess() { shutdown(); }
+
+bool WorkerProcess::alive() {
+  if (reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    wait_status_ = status;
+    reaped_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<SliceOutcome> WorkerProcess::run_slice(
+    const std::string& request_payload) {
+  if (!alive()) return std::nullopt;
+  if (!write_frame(request_fd_, request_payload)) return std::nullopt;
+  std::string payload;
+  if (read_frame(response_fd_, &payload) != FrameRead::kOk) {
+    return std::nullopt;
+  }
+  try {
+    return decode_response(payload);
+  } catch (const std::exception&) {
+    return std::nullopt;  // undecodable response == torn
+  }
+}
+
+std::string WorkerProcess::death_reason() {
+  if (!reaped_) {
+    // A peer that broke the protocol without exiting (wrote garbage,
+    // closed one pipe) is put down before the post-mortem.
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, &wait_status_, 0);
+    reaped_ = true;
+  }
+  if (WIFSIGNALED(wait_status_)) {
+    const int sig = WTERMSIG(wait_status_);
+    return elrr::detail::concat("killed by signal ", sig, " (",
+                                strsignal(sig), ")");
+  }
+  if (WIFEXITED(wait_status_)) {
+    return elrr::detail::concat("exit code ", WEXITSTATUS(wait_status_));
+  }
+  return "unknown wait status";
+}
+
+void WorkerProcess::shutdown() {
+  if (request_fd_ >= 0) ::close(request_fd_);
+  if (response_fd_ >= 0) ::close(response_fd_);
+  request_fd_ = response_fd_ = -1;
+  if (pid_ > 0 && !reaped_) {
+    // Closing the request pipe lets a healthy worker retire on EOF, but
+    // the fleet must not block on a wedged one: reap hard.
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, &wait_status_, 0);
+    reaped_ = true;
+  }
+}
+
+}  // namespace elrr::sim::proc

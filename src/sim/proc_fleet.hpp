@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file proc_fleet.hpp
+/// The process-isolated execution tier of sim::SimFleet: a thin
+/// length-framed pipe protocol between a supervisor thread (one per pool
+/// slot, inside the fleet) and an `elrr work` worker process, plus the
+/// handle the supervisor drives that process through.
+///
+/// Why processes: everything else in the tree shares one address space,
+/// so a single corrupted slice, OOM kill or sanitizer abort takes every
+/// job of a batch down with it. With ELRR_PROC_WORKERS=N the fleet's
+/// slices execute in N child processes instead; a dead child costs the
+/// supervisor one respawn and one re-dispatch of exactly the slices that
+/// were in flight on it -- never the batch.
+///
+/// ## Wire protocol
+///
+/// Both directions speak the same frame:
+///
+///   [u32 magic][u32 payload_len][payload bytes][u64 FNV-1a of payload]
+///
+/// all little-endian host order (supervisor and worker are the same
+/// binary on the same machine -- this is an IPC format, not an
+/// interchange format). Anything that breaks the frame -- short read,
+/// bad magic, oversized length, checksum mismatch, EOF mid-frame -- is
+/// *torn* and treated exactly like a dead worker: the reader gives up on
+/// the peer rather than resynchronize.
+///
+/// On startup the worker sends one hello frame (payload
+/// `kHelloPayload`); a supervisor that reads anything else within the
+/// handshake window kills the child and counts a failed spawn. This
+/// catches a misconfigured ELRR_WORK_BIN pointing at a binary that is
+/// not `elrr` before any slice is lost to it.
+///
+/// A request frame carries one run slice of one fleet job:
+/// slice descriptor (first run index, run count), the
+/// stream/window-selecting SimOptions fields, and the candidate RRG in
+/// the .rrg text format (io::write_rrg emits doubles with %.17g, so the
+/// round-trip is bit-exact and the worker's per-run thetas are the
+/// in-process pool's, bit for bit). A response frame is either
+/// `ok` + per-run thetas + the degraded-slice delta, or a structured
+/// error string (the worker is healthy; the failure is deterministic).
+/// A worker that dies *without* responding -- crash, SIGKILL, the
+/// `proc.worker` fail point -- is detected as a torn read on the
+/// supervisor side.
+///
+/// The worker caches the runner of the last (candidate, options) pair it
+/// saw, so the consecutive slices of one job parse and build once.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "sim/simulator.hpp"
+
+namespace elrr::sim::proc {
+
+/// Worker exit codes (`elrr work`). Anything non-zero reads as a crash
+/// to the supervisor; the distinctions exist for the stderr logs.
+inline constexpr int kExitOk = 0;        ///< clean EOF on the request pipe
+inline constexpr int kExitTorn = 3;      ///< torn/corrupt request frame
+inline constexpr int kExitInjected = 64; ///< `proc.worker` fail point fired
+
+/// Handshake payload the worker sends before serving slices.
+inline constexpr const char* kHelloPayload = "ELRR-WORK-1";
+
+/// Largest accepted frame payload. A corrupt length field must read as a
+/// torn frame, not as a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;  // 256 MiB
+
+/// Frame reader outcome. kEof is only clean *between* frames (zero bytes
+/// read); EOF mid-frame is kTorn.
+enum class FrameRead { kOk, kEof, kTorn };
+
+/// Writes one `[magic][len][payload][checksum]` frame. False on any
+/// write failure (EPIPE on a dead peer included; SIGPIPE is ignored
+/// process-wide once the proc tier is used).
+bool write_frame(int fd, const std::string& payload);
+
+/// Reads one frame into `*payload` (blocking).
+FrameRead read_frame(int fd, std::string* payload);
+
+/// One slice request, decoded.
+struct SliceRequest {
+  SimOptions options;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::string rrg_text;
+};
+
+/// Encodes a slice request payload (the SimOptions fields that select
+/// streams and windows, the slice descriptor, the candidate text).
+std::string encode_request(const std::string& rrg_text,
+                           const SimOptions& options, std::uint32_t first,
+                           std::uint32_t count);
+
+/// Decodes a request payload; throws InvalidInputError on malformed
+/// bytes (the worker turns that into a torn-frame exit).
+SliceRequest decode_request(const std::string& payload);
+
+/// One slice response, decoded. `error` empty = success.
+struct SliceOutcome {
+  std::vector<double> thetas;        ///< per-run thetas, slice order
+  std::uint32_t degraded_slices = 0; ///< flat->reference fallbacks inside
+  std::string error;                 ///< structured worker-side failure
+};
+
+std::string encode_ok_response(const SliceRun& run);
+std::string encode_error_response(const std::string& message);
+SliceOutcome decode_response(const std::string& payload);
+
+/// The `elrr work` body: hello, then serve request frames from `in_fd`
+/// with response frames on `out_fd` until clean EOF. Returns a kExit*
+/// code. Never throws (a worker-side exception becomes a structured
+/// error response; a torn frame or an injected `proc.worker` fault
+/// becomes a non-zero exit without a response -- a crash, by contract).
+int worker_loop(int in_fd, int out_fd);
+
+/// How to start one worker process.
+struct SpawnConfig {
+  std::string binary;       ///< executable to run as `<binary> work`
+  std::string stderr_path;  ///< O_APPEND redirect; empty = inherit
+  /// Resolves the worker binary (ELRR_WORK_BIN, else /proc/self/exe --
+  /// correct whenever the supervisor is the `elrr` CLI itself; tests
+  /// and embedders set ELRR_WORK_BIN) and, when ELRR_PROC_LOG_DIR is
+  /// set, a per-slot stderr log path under it (the dead-worker
+  /// diagnostics CI uploads on failure).
+  static SpawnConfig from_env(std::size_t slot);
+};
+
+/// One live worker process: fork/exec plus the two pipes, request/
+/// response round-trips, liveness and post-mortem. Owned by exactly one
+/// supervisor thread; not thread-safe, not copyable. The destructor
+/// SIGKILLs and reaps a still-running child.
+class WorkerProcess {
+ public:
+  /// Spawns and validates the hello handshake; throws TransientError on
+  /// pipe/fork/exec failure or a botched handshake (the child, if any,
+  /// is killed and reaped first).
+  explicit WorkerProcess(const SpawnConfig& config);
+  ~WorkerProcess();
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  int pid() const { return pid_; }
+
+  /// Non-blocking liveness probe (waitpid WNOHANG; records the exit
+  /// status the first time the child is found dead).
+  bool alive();
+
+  /// One request/response round-trip. nullopt on *any* transport
+  /// failure -- write error, torn response, EOF -- which the supervisor
+  /// treats as a crash of this worker. Blocks for the duration of the
+  /// slice; the supervisor's heartbeat covers the wait.
+  std::optional<SliceOutcome> run_slice(const std::string& request_payload);
+
+  /// Human-readable cause of death ("exit code N" / "killed by signal
+  /// N"); kills and reaps the child first if it is somehow still alive
+  /// (e.g. it wrote garbage without exiting).
+  std::string death_reason();
+
+ private:
+  void shutdown();  ///< close fds, SIGKILL + reap if needed
+
+  int request_fd_ = -1;   ///< parent writes requests here
+  int response_fd_ = -1;  ///< parent reads responses here
+  int pid_ = -1;
+  bool reaped_ = false;
+  int wait_status_ = 0;
+};
+
+}  // namespace elrr::sim::proc

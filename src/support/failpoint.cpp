@@ -167,7 +167,7 @@ const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "fleet.worker",  "fleet.flat",       "walk.step",       "milp.solve",
       "milp.warm",     "svc.manifest",     "disk_cache.load",
-      "disk_cache.store",
+      "disk_cache.store", "proc.spawn",    "proc.worker",
   };
   return sites;
 }

@@ -28,22 +28,31 @@ class DeadlineExceeded : public Error {
 
 /// Bounded fleet wait honoring a job deadline: polls in short slices so
 /// a wedged fleet worker (see SimFleet::stuck_workers) can never hold a
-/// scheduler worker past the job's wall budget. Unlimited deadlines take
-/// the plain blocking wait -- the happy path is unchanged.
+/// scheduler worker past the job's wall budget. Each expired slice
+/// samples the fleet's stuck-worker count against the configured
+/// ELRR_STALL_THRESHOLD, folding the peak into `*stalled_peak` -- the
+/// per-job stall observability JobStats::stalled_workers reports -- and
+/// a deadline expiry names that same threshold in its error. Unlimited
+/// deadlines take the plain blocking wait -- the happy path is
+/// unchanged.
 sim::SimReport wait_with_deadline(sim::SimFleet& fleet, sim::SimTicket ticket,
-                                  const Deadline& deadline) {
+                                  const Deadline& deadline,
+                                  double stall_threshold_s,
+                                  std::size_t* stalled_peak) {
   if (deadline.unlimited()) return fleet.wait(ticket);
   for (;;) {
     const double slice =
         std::min(0.05, std::max(0.001, deadline.remaining()));
     std::optional<sim::SimReport> report = fleet.wait_for(ticket, slice);
     if (report.has_value()) return *report;
+    const std::size_t stuck = fleet.stuck_workers(stall_threshold_s);
+    *stalled_peak = std::max(*stalled_peak, stuck);
     if (deadline.expired()) {
-      const std::size_t stuck = fleet.stuck_workers(deadline.elapsed() / 2);
       throw DeadlineExceeded(detail::concat(
           "job deadline expired after ", deadline.elapsed(),
           " s waiting on the simulation fleet (", stuck,
-          " stuck worker(s))"));
+          " worker(s) busy past the ", stall_threshold_s,
+          " s stall threshold)"));
     }
   }
 }
@@ -103,6 +112,10 @@ SchedulerOptions SchedulerOptions::from_env() {
   // recovery policy.
   options.retry_max = static_cast<std::size_t>(
       env::u64("ELRR_RETRY_MAX", 2, 0, 1000));
+  // Strictly positive: a zero threshold would count every busy worker
+  // as stuck, which is noise, not observability.
+  options.stall_threshold_s =
+      env::positive_double("ELRR_STALL_THRESHOLD", 30.0);
   options.disk_cache_dir = env::str("ELRR_DISK_CACHE_DIR", "");
   options.disk_cache_cap = static_cast<std::size_t>(
       env::u64("ELRR_DISK_CACHE_CAP", 0, 0, kNoCap));
@@ -372,6 +385,8 @@ void Scheduler::worker_main() {
     // everything else lands here, under the lock status() reads with.
     stats.candidates_walked =
         std::max(stats.candidates_walked, entry.stats.candidates_walked);
+    stats.stalled_workers =
+        std::max(stats.stalled_workers, entry.stats.stalled_workers);
     if (stats.disk_cache_hit) ++disk_cache_hits_;
     total_retries_ += stats.retries;
     entry.stats = stats;
@@ -441,9 +456,17 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats,
       return entry.cancel_requested.load(std::memory_order_relaxed) ||
              deadline.expired();
     };
+    // Walk jobs never route through wait_with_deadline (the flow engine
+    // owns its fleet waits), so the progress hook doubles as their stall
+    // sampler: every step boundary probes the fleet against the
+    // configured threshold and keeps the peak.
     hooks.on_progress = [this, &entry](std::size_t walked) {
+      const std::size_t stuck =
+          fleet_.stuck_workers(options_.stall_threshold_s);
       const std::lock_guard<std::mutex> lock(mutex_);
       entry.stats.candidates_walked = walked;
+      entry.stats.stalled_workers =
+          std::max(entry.stats.stalled_workers, stuck);
     };
     switch (spec.mode) {
       case JobMode::kMinEffCyc: {
@@ -586,7 +609,9 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats,
         // the scheduler's lifetime.
         const TicketRelease release{&fleet_, ticket};
         const sim::SimReport report =
-            wait_with_deadline(fleet_, ticket, deadline);
+            wait_with_deadline(fleet_, ticket, deadline,
+                               options_.stall_threshold_s,
+                               &stats->stalled_workers);
         stats->sim_wait_seconds = sim_watch.seconds();
         stats->sim_jobs = 1;
         stats->unique_simulations = ticket.fresh ? 1 : 0;
@@ -617,7 +642,9 @@ void Scheduler::run_job(JobEntry& entry, JobStats* stats,
         const sim::SimTicket ticket = fleet_.submit_async(Rrg(tuned), sopt);
         const TicketRelease release{&fleet_, ticket};
         const sim::SimReport report =
-            wait_with_deadline(fleet_, ticket, deadline);
+            wait_with_deadline(fleet_, ticket, deadline,
+                               options_.stall_threshold_s,
+                               &stats->stalled_workers);
         stats->sim_wait_seconds = sim_watch.seconds();
         stats->sim_jobs = 1;
         stats->unique_simulations = ticket.fresh ? 1 : 0;

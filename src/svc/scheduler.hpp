@@ -139,6 +139,12 @@ struct JobStats {
   bool job_cache_hit = false;  ///< served from the cross-job result cache
   bool disk_cache_hit = false; ///< served from the persistent disk cache
   std::size_t retries = 0;     ///< transient-failure re-runs this job took
+  /// Peak count of fleet workers observed busy on one slice for longer
+  /// than SchedulerOptions::stall_threshold_s while this job waited on
+  /// the fleet (SimFleet::stuck_workers). Nonzero means the job's wall
+  /// time was shaped by a wedged or straggling worker, not by its own
+  /// work. Schedule-dependent, like the wall-clock fields.
+  std::size_t stalled_workers = 0;
   double wall_seconds = 0.0;   ///< queue-exit to completion
   double walk_seconds = 0.0;   ///< cpu inside ParetoWalk::advance
   double sim_wait_seconds = 0.0;  ///< blocked on the fleet
@@ -204,6 +210,12 @@ struct SchedulerOptions {
   /// backoff between attempts); JobSpec::retries overrides per job.
   /// Env ELRR_RETRY_MAX.
   std::size_t retry_max = 2;
+  /// Seconds one fleet worker may stay busy on a single slice before the
+  /// scheduler's bounded waits count it as *stuck* (fed to
+  /// SimFleet::stuck_workers; peak surfaced as JobStats::stalled_workers
+  /// and named in deadline-expiry errors). Env ELRR_STALL_THRESHOLD;
+  /// must be strictly positive.
+  double stall_threshold_s = 30.0;
   /// Admission control: jobs submitted while this many are already
   /// queued are terminally kRejected with a reason instead of enqueued
   /// (bounded backlog, the first `elrr serve` building block). 0 =
@@ -217,8 +229,8 @@ struct SchedulerOptions {
   std::size_t disk_cache_cap = 0;
 
   /// Fleet knobs from FlowOptions::from_env() plus the robustness knobs
-  /// (ELRR_JOB_DEADLINE, ELRR_RETRY_MAX, ELRR_DISK_CACHE_DIR,
-  /// ELRR_DISK_CACHE_CAP), all validated strictly -- a malformed value
+  /// (ELRR_JOB_DEADLINE, ELRR_RETRY_MAX, ELRR_STALL_THRESHOLD,
+  /// ELRR_DISK_CACHE_DIR, ELRR_DISK_CACHE_CAP), all validated strictly -- a malformed value
   /// throws InvalidInputError naming the variable. workers/start_paused
   /// stay at their defaults (caller-owned).
   static SchedulerOptions from_env();

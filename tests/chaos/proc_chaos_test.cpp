@@ -1,0 +1,364 @@
+/// \file proc_chaos_test.cpp
+/// Chaos + differential suite for the process-isolated fleet tier
+/// (ELRR_PROC_WORKERS): real `elrr work` worker processes behind the
+/// scheduler, crashed mid-batch by the `proc.worker` fail point and by
+/// genuine SIGKILL, with the acceptance contract of the in-process
+/// chaos harness:
+///  * the batch TERMINATES (watchdog hard-exits on a wedge);
+///  * every result is bit-identical to the fault-free *in-process*
+///    baseline -- at 1, 2 and 4 worker processes, crash or no crash;
+///  * a crashed worker's dedup entry is purged, so re-dispatches and
+///    re-submissions never see poisoned partial state.
+///
+/// These tests fork/exec and are deliberately excluded from the ASan
+/// sweep (bench_gate.sh runs sanitizers on the sim|svc|lp labels only);
+/// the protocol itself is sanitizer-covered by proc_protocol_test.cpp.
+
+#include <signal.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench89/generator.hpp"
+#include "flow/circuit_flow.hpp"
+#include "sim/fleet.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "svc/scheduler.hpp"
+
+namespace elrr::svc {
+namespace {
+
+/// Hard termination guard (see chaos_test.cpp): a wedged batch must
+/// fail the suite and release the CI slot, not block forever.
+class Watchdog {
+ public:
+  explicit Watchdog(double seconds) {
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [this] { return done_; })) {
+        std::fprintf(stderr,
+                     "proc chaos watchdog: batch did not terminate within "
+                     "%.0f s -- aborting\n",
+                     seconds);
+        std::fflush(stderr);
+        std::_Exit(1);
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+flow::FlowOptions fast_flow() {
+  flow::FlowOptions options;
+  options.seed = 1;
+  options.epsilon = 0.05;
+  options.milp_timeout_s = 30.0;
+  options.sim_cycles = 2000;
+  options.use_heuristic = false;
+  options.max_simulated_points = 4;
+  return options;
+}
+
+JobSpec flow_job(const std::string& name) {
+  JobSpec spec;
+  spec.name = name;
+  spec.rrg = bench89::make_table2_rrg(bench89::spec_by_name(name), 1);
+  spec.flow = fast_flow();
+  spec.mode = JobMode::kMinEffCyc;
+  return spec;
+}
+
+void expect_same_circuit_result(const flow::CircuitResult& a,
+                                const flow::CircuitResult& b,
+                                const std::string& label) {
+  EXPECT_EQ(a.xi_star, b.xi_star) << label;
+  EXPECT_EQ(a.xi_nee, b.xi_nee) << label;
+  EXPECT_EQ(a.xi_lp_min, b.xi_lp_min) << label;
+  EXPECT_EQ(a.xi_sim_min, b.xi_sim_min) << label;
+  ASSERT_EQ(a.candidates.size(), b.candidates.size()) << label;
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].tau, b.candidates[i].tau) << label << " " << i;
+    EXPECT_EQ(a.candidates[i].theta_sim, b.candidates[i].theta_sim)
+        << label << " " << i;
+    EXPECT_EQ(a.candidates[i].xi_sim, b.candidates[i].xi_sim)
+        << label << " " << i;
+  }
+}
+
+const std::vector<std::string>& iscas_names() {
+  static const std::vector<std::string> names = {"s838", "s208", "s420"};
+  return names;
+}
+
+/// Fault-free in-process oracle, computed once per process with the
+/// proc tier OFF -- the exactness contract is "bit-identical to the
+/// single-process run", so the baseline must never touch the tier under
+/// test.
+const std::vector<flow::CircuitResult>& inprocess_baseline() {
+  static const std::vector<flow::CircuitResult>* results = [] {
+    auto* r = new std::vector<flow::CircuitResult>();
+    for (const std::string& name : iscas_names()) {
+      r->push_back(flow::run_flow(
+          name, bench89::make_table2_rrg(bench89::spec_by_name(name), 1),
+          fast_flow()));
+    }
+    return r;
+  }();
+  return *results;
+}
+
+/// Env-managing fixture: the proc tier and its fault schedules are
+/// selected entirely through the environment (ELRR_PROC_WORKERS is read
+/// at fleet construction; spawned workers re-arm ELRR_FAILPOINTS
+/// themselves), so every test must leave both unset behind it.
+/// ELRR_WORK_BIN points the supervisor at the real CLI binary -- the
+/// test binary's own /proc/self/exe is a GTest main, not `elrr`.
+class ProcChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::setenv("ELRR_WORK_BIN", ELRR_CLI_BIN, 1);
+    // Force the lazy oracle while ELRR_PROC_WORKERS is still unset: the
+    // baseline must be the genuine in-process run, never the tier under
+    // test.
+    inprocess_baseline();
+  }
+  void TearDown() override {
+    failpoint::reset();
+    ::unsetenv("ELRR_PROC_WORKERS");
+    ::unsetenv("ELRR_FAILPOINTS");
+    ::unsetenv("ELRR_WORK_BIN");
+  }
+};
+
+enum class Fault { kNone, kInjectedCrash, kRealSigkill };
+
+const char* fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kInjectedCrash: return "proc.worker=after:2";
+    case Fault::kRealSigkill: return "SIGKILL mid-stall";
+  }
+  return "?";
+}
+
+/// The differential matrix body: the ISCAS batch through the scheduler
+/// with `workers` real worker processes under one fault mode, asserted
+/// bit-identical to the in-process baseline.
+void run_proc_batch(std::size_t workers, Fault fault) {
+  SCOPED_TRACE(std::string("proc workers=") + std::to_string(workers) +
+               " fault=" + fault_name(fault));
+  const Watchdog watchdog(240.0);
+  ::setenv("ELRR_PROC_WORKERS", std::to_string(workers).c_str(), 1);
+  if (fault == Fault::kInjectedCrash) {
+    // Armed in the *children* only (setenv, no local configure): each
+    // spawned worker serves two slices and dies on its third, so every
+    // worker count sees mid-batch crashes while each incarnation still
+    // makes progress. `once` would kill every respawn's first slice --
+    // a livelock by construction (see failpoint.hpp).
+    ::setenv("ELRR_FAILPOINTS", "proc.worker=after:2", 1);
+  } else if (fault == Fault::kRealSigkill) {
+    // A long first-slice stall per worker gives the killer thread a
+    // window in which the victim is guaranteed mid-slice.
+    ::setenv("ELRR_FAILPOINTS", "proc.worker=stall:600", 1);
+  }
+
+  SchedulerOptions sopt;
+  sopt.workers = 2;
+  sopt.sim_threads = static_cast<std::size_t>(workers);
+  sopt.retry_max = 3;
+  sopt.start_paused = true;
+  Scheduler scheduler(sopt);
+
+  // The killer: SIGKILL the first live worker process it can find --
+  // during its injected stall, i.e. mid-slice, the hardest case for the
+  // exactness contract.
+  std::thread killer;
+  if (fault == Fault::kRealSigkill) {
+    killer = std::thread([&scheduler] {
+      for (int i = 0; i < 4000; ++i) {
+        const std::vector<int> pids = scheduler.fleet().proc_worker_pids();
+        if (!pids.empty()) {
+          ::kill(pids.front(), SIGKILL);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  std::vector<JobId> ids;
+  for (const std::string& name : iscas_names()) {
+    ids.push_back(scheduler.submit(flow_job(name)));
+  }
+  scheduler.resume();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const JobResult result = scheduler.wait(ids[i]);
+    ASSERT_EQ(result.state, JobState::kDone)
+        << iscas_names()[i] << ": " << result.error;
+    EXPECT_FALSE(result.degraded) << iscas_names()[i];
+    expect_same_circuit_result(inprocess_baseline()[i], result.circuit,
+                               iscas_names()[i]);
+  }
+  if (killer.joinable()) killer.join();
+
+  const sim::ProcFleetStats stats = scheduler.fleet().proc_stats();
+  EXPECT_GT(stats.spawns, 0u);
+  if (fault != Fault::kNone) {
+    EXPECT_GE(stats.crashes, 1u) << "the fault never landed";
+    EXPECT_GE(stats.redispatches, 1u);
+  }
+
+  // Fleet reusability: the same scheduler (and its replacement workers)
+  // takes one more job after the crashes.
+  ::unsetenv("ELRR_FAILPOINTS");
+  const JobResult extra = scheduler.wait(scheduler.submit(flow_job("s208")));
+  ASSERT_EQ(extra.state, JobState::kDone) << extra.error;
+  expect_same_circuit_result(inprocess_baseline()[1], extra.circuit,
+                             "reuse s208");
+}
+
+TEST_F(ProcChaosTest, FaultFreeBatchesAreBitExactAtEveryWorkerCount) {
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    run_proc_batch(workers, Fault::kNone);
+  }
+}
+
+TEST_F(ProcChaosTest, InjectedWorkerCrashesAreBitExactAtEveryWorkerCount) {
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    run_proc_batch(workers, Fault::kInjectedCrash);
+  }
+}
+
+TEST_F(ProcChaosTest, RealSigkillMidBatchIsBitExactAtEveryWorkerCount) {
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    run_proc_batch(workers, Fault::kRealSigkill);
+  }
+}
+
+TEST_F(ProcChaosTest, SpawnFailureBurnsTheRespawnBudgetNotTheBatch) {
+  // proc.spawn trips in the *supervisor* (this process), so it is armed
+  // locally; the children inherit no schedule. A one-shot spawn failure
+  // costs one attempt of the slice's bounded budget and the batch
+  // completes bit-exact.
+  const Watchdog watchdog(120.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  failpoint::configure("proc.spawn=once");
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.sim_threads = 1;
+  sopt.start_paused = true;
+  Scheduler scheduler(sopt);
+  const JobId id = scheduler.submit(flow_job("s208"));
+  scheduler.resume();
+  const JobResult result = scheduler.wait(id);
+  ASSERT_EQ(result.state, JobState::kDone) << result.error;
+  expect_same_circuit_result(inprocess_baseline()[1], result.circuit, "s208");
+  const sim::ProcFleetStats stats = scheduler.fleet().proc_stats();
+  EXPECT_GE(stats.spawns, 1u);
+}
+
+TEST_F(ProcChaosTest, UnrecoverableCrashLoopFailsAsTransient) {
+  // `once` re-arms in every respawned worker, killing each one's first
+  // slice: the documented livelock. The supervisor's bounded respawn
+  // budget must convert it into a TransientError, the scheduler must
+  // attribute it to the retry taxonomy (attempts burned, then kFailed
+  // with the crash reason) -- and never hang.
+  const Watchdog watchdog(120.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  ::setenv("ELRR_FAILPOINTS", "proc.worker=once", 1);
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.sim_threads = 1;
+  sopt.retry_max = 1;
+  sopt.start_paused = true;
+  Scheduler scheduler(sopt);
+  JobSpec spec = flow_job("s208");
+  spec.mode = JobMode::kScoreOnly;
+  const JobId id = scheduler.submit(std::move(spec));
+  scheduler.resume();
+  const JobResult result = scheduler.wait(id);
+  ASSERT_EQ(result.state, JobState::kFailed);
+  EXPECT_NE(result.error.find("worker process crashed"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(result.stats.retries, 1u);
+  EXPECT_GE(scheduler.fleet().proc_stats().crashes, 2u);
+}
+
+TEST_F(ProcChaosTest, CrashPurgesTheDedupEntry) {
+  // The poisoned-partial-result rule at fleet level: a candidate whose
+  // worker process is SIGKILLed mid-slice must lose its canonical-key
+  // cache entry, so (a) the re-dispatched slice re-runs fresh and (b) an
+  // identical re-submission is a *fresh* job, not a cache hit on
+  // whatever the dead worker left behind.
+  const Watchdog watchdog(120.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  ::setenv("ELRR_FAILPOINTS", "proc.worker=stall:400", 1);
+  sim::SimFleet fleet(/*threads=*/1, /*dedup=*/true);
+
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s208"), 1);
+  sim::SimOptions options;
+  options.seed = 3;
+  options.warmup_cycles = 100;
+  options.measure_cycles = 1000;
+  options.runs = 4;
+
+  const sim::SimTicket ticket = fleet.submit_async(Rrg(rrg), options);
+  EXPECT_TRUE(ticket.fresh);
+  // Kill the worker during its injected first-slice stall.
+  std::thread killer([&fleet] {
+    for (int i = 0; i < 2000; ++i) {
+      const std::vector<int> pids = fleet.proc_worker_pids();
+      if (!pids.empty()) {
+        ::kill(pids.front(), SIGKILL);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const sim::SimReport report = fleet.wait(ticket);
+  killer.join();
+  ASSERT_EQ(fleet.proc_stats().crashes, 1u);
+
+  // The re-dispatch already completed the job bit-exactly...
+  ::unsetenv("ELRR_PROC_WORKERS");
+  ::unsetenv("ELRR_FAILPOINTS");
+  sim::SimFleet oracle(/*threads=*/1, /*dedup=*/false);
+  const sim::SimReport expected =
+      oracle.wait(oracle.submit_async(Rrg(rrg), options));
+  EXPECT_EQ(report.theta, expected.theta);
+  EXPECT_EQ(report.stderr_theta, expected.stderr_theta);
+
+  // ...and the crash purged the entry: the identical candidate is FRESH.
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  const sim::SimTicket again = fleet.submit_async(Rrg(rrg), options);
+  EXPECT_TRUE(again.fresh)
+      << "crashed candidate served from the dedup cache";
+  EXPECT_EQ(fleet.wait(again).theta, expected.theta);
+}
+
+}  // namespace
+}  // namespace elrr::svc

@@ -1,0 +1,287 @@
+// Unit tests for the proc-fleet wire protocol and the worker-side slice
+// runner -- everything the process-isolated tier does *without* forking,
+// so this suite runs under the sanitizer sweeps that exclude the
+// process-spawning chaos tests. The frame codec, the request/response
+// payloads, the torn-frame taxonomy and the worker_loop state machine
+// are all exercised over plain pipes inside this one process.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench89/generator.hpp"
+#include "io/rrg_format.hpp"
+#include "sim/fleet.hpp"
+#include "sim/proc_fleet.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace elrr::sim::proc {
+namespace {
+
+Rrg test_rrg(std::uint64_t seed = 1) {
+  return bench89::make_table2_rrg(bench89::spec_by_name("s27"), seed);
+}
+
+SimOptions small_options() {
+  SimOptions options;
+  options.seed = 7;
+  options.warmup_cycles = 100;
+  options.measure_cycles = 1000;
+  options.runs = 4;
+  return options;
+}
+
+/// A unidirectional pipe with RAII close (tests leak no fds on failure).
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int read_fd() const { return fds[0]; }
+  int write_fd() const { return fds[1]; }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+/// Drains every byte currently buffered in the pipe (the writer must
+/// have closed its end first).
+std::string drain_raw(int fd) {
+  std::string bytes;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got <= 0) break;
+    bytes.append(buf, static_cast<std::size_t>(got));
+  }
+  return bytes;
+}
+
+TEST(ProcProtocol, RequestRoundTripsEveryField) {
+  const Rrg rrg = test_rrg();
+  const std::string text = io::write_rrg(rrg);
+  SimOptions options = small_options();
+  options.max_batch = 8;
+  options.force_reference = true;
+
+  const std::string payload = encode_request(text, options, 1, 3);
+  const SliceRequest decoded = decode_request(payload);
+  EXPECT_EQ(decoded.first, 1u);
+  EXPECT_EQ(decoded.count, 3u);
+  EXPECT_EQ(decoded.rrg_text, text);
+  EXPECT_EQ(decoded.options.seed, options.seed);
+  EXPECT_EQ(decoded.options.warmup_cycles, options.warmup_cycles);
+  EXPECT_EQ(decoded.options.measure_cycles, options.measure_cycles);
+  EXPECT_EQ(decoded.options.runs, options.runs);
+  EXPECT_EQ(decoded.options.max_batch, options.max_batch);
+  EXPECT_EQ(decoded.options.force_reference, options.force_reference);
+}
+
+TEST(ProcProtocol, RequestRejectsOutOfRangeSlices) {
+  const std::string text = io::write_rrg(test_rrg());
+  const SimOptions options = small_options();  // runs = 4
+  EXPECT_THROW(decode_request(encode_request(text, options, 0, 0)), Error);
+  EXPECT_THROW(decode_request(encode_request(text, options, 2, 3)), Error);
+  EXPECT_THROW(decode_request(std::string("short")), Error);
+}
+
+TEST(ProcProtocol, ResponsesRoundTrip) {
+  SliceRun run;
+  run.thetas = {0.5, 0.25, 1.0};
+  run.degraded_slices = 2;
+  const SliceOutcome ok = decode_response(encode_ok_response(run));
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_EQ(ok.thetas, run.thetas);
+  EXPECT_EQ(ok.degraded_slices, 2u);
+
+  const SliceOutcome failed =
+      decode_response(encode_error_response("kernel exploded"));
+  EXPECT_EQ(failed.error, "kernel exploded");
+  EXPECT_TRUE(failed.thetas.empty());
+}
+
+TEST(ProcProtocol, FrameRoundTripsOverAPipe) {
+  Pipe pipe;
+  const std::string payload = "the quick brown frame";
+  ASSERT_TRUE(write_frame(pipe.write_fd(), payload));
+  std::string read_back;
+  ASSERT_EQ(read_frame(pipe.read_fd(), &read_back), FrameRead::kOk);
+  EXPECT_EQ(read_back, payload);
+  // Clean EOF between frames.
+  pipe.close_write();
+  EXPECT_EQ(read_frame(pipe.read_fd(), &read_back), FrameRead::kEof);
+}
+
+TEST(ProcProtocol, CorruptPayloadByteIsTorn) {
+  Pipe source;
+  ASSERT_TRUE(write_frame(source.write_fd(), "checksummed payload"));
+  source.close_write();
+  std::string raw = drain_raw(source.read_fd());
+  ASSERT_GT(raw.size(), 9u);
+  raw[9] ^= 0x40;  // one payload bit, caught by the FNV-1a trailer
+
+  Pipe sink;
+  ASSERT_EQ(::write(sink.write_fd(), raw.data(), raw.size()),
+            static_cast<ssize_t>(raw.size()));
+  sink.close_write();
+  std::string payload;
+  EXPECT_EQ(read_frame(sink.read_fd(), &payload), FrameRead::kTorn);
+}
+
+TEST(ProcProtocol, EofMidFrameIsTorn) {
+  Pipe source;
+  ASSERT_TRUE(write_frame(source.write_fd(), "truncated in flight"));
+  source.close_write();
+  const std::string raw = drain_raw(source.read_fd());
+
+  Pipe sink;
+  const std::size_t half = raw.size() / 2;
+  ASSERT_EQ(::write(sink.write_fd(), raw.data(), half),
+            static_cast<ssize_t>(half));
+  sink.close_write();
+  std::string payload;
+  EXPECT_EQ(read_frame(sink.read_fd(), &payload), FrameRead::kTorn);
+}
+
+TEST(ProcProtocol, OversizedLengthFieldIsTornNotAllocated) {
+  Pipe source;
+  ASSERT_TRUE(write_frame(source.write_fd(), "x"));
+  source.close_write();
+  std::string raw = drain_raw(source.read_fd());
+  // Bytes [4, 8) are the little-endian payload length: saturate it.
+  std::memset(raw.data() + 4, 0xFF, 4);
+
+  Pipe sink;
+  ASSERT_EQ(::write(sink.write_fd(), raw.data(), raw.size()),
+            static_cast<ssize_t>(raw.size()));
+  sink.close_write();
+  std::string payload;
+  EXPECT_EQ(read_frame(sink.read_fd(), &payload), FrameRead::kTorn);
+}
+
+TEST(ProcProtocol, SliceRunnerMatchesTheInProcessFleet) {
+  const SimOptions options = small_options();
+  // One whole-job slice against the fleet's own result: the worker-side
+  // runner must reproduce the in-process pool bit for bit, and a split
+  // dispatch (the supervisor's partition) must agree with a whole one.
+  SliceRunner whole(test_rrg(), options);
+  const SliceRun all = whole.run(0, 4);
+  ASSERT_EQ(all.thetas.size(), 4u);
+
+  SliceRunner split(test_rrg(), options);
+  const SliceRun head = split.run(0, 1);
+  const SliceRun tail = split.run(1, 3);
+  ASSERT_EQ(head.thetas.size(), 1u);
+  ASSERT_EQ(tail.thetas.size(), 3u);
+  EXPECT_EQ(all.thetas[0], head.thetas[0]);
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(all.thetas[r + 1], tail.thetas[r]);
+
+  // And against the one-run simulator entry point.
+  SimOptions single = options;
+  single.runs = 1;
+  const SimResult solo = simulate_throughput(test_rrg(), single);
+  EXPECT_EQ(solo.theta, all.thetas[0]);
+}
+
+TEST(ProcProtocol, SliceRunnerRejectsBadSlices) {
+  SliceRunner runner(test_rrg(), small_options());  // runs = 4
+  EXPECT_THROW(runner.run(0, 0), Error);
+  EXPECT_THROW(runner.run(3, 2), Error);
+  EXPECT_THROW(runner.run(5, 1), Error);
+}
+
+TEST(ProcProtocol, WorkerLoopServesSlicesInProcess) {
+  // The full worker state machine -- hello, request/response, runner
+  // reuse across consecutive slices, clean EOF exit -- driven over
+  // pipes from this test acting as the supervisor, no fork involved.
+  Pipe to_worker;
+  Pipe from_worker;
+  int exit_code = -1;
+  std::thread worker([&] {
+    exit_code = worker_loop(to_worker.read_fd(), from_worker.write_fd());
+    ::close(from_worker.fds[1]);
+    from_worker.fds[1] = -1;
+  });
+
+  std::string hello;
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &hello), FrameRead::kOk);
+  EXPECT_EQ(hello, kHelloPayload);
+
+  const std::string text = io::write_rrg(test_rrg());
+  const SimOptions options = small_options();
+  SliceRunner oracle(test_rrg(), options);
+  const SliceRun expected = oracle.run(0, 4);
+
+  // Two slices of the same job: the second reuses the worker's cached
+  // runner (same payload prefix), and together they cover every run.
+  std::string response;
+  ASSERT_TRUE(write_frame(to_worker.write_fd(),
+                          encode_request(text, options, 0, 2)));
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &response), FrameRead::kOk);
+  const SliceOutcome first = decode_response(response);
+  ASSERT_TRUE(first.error.empty());
+  ASSERT_EQ(first.thetas.size(), 2u);
+
+  ASSERT_TRUE(write_frame(to_worker.write_fd(),
+                          encode_request(text, options, 2, 2)));
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &response), FrameRead::kOk);
+  const SliceOutcome second = decode_response(response);
+  ASSERT_TRUE(second.error.empty());
+  ASSERT_EQ(second.thetas.size(), 2u);
+
+  EXPECT_EQ(first.thetas[0], expected.thetas[0]);
+  EXPECT_EQ(first.thetas[1], expected.thetas[1]);
+  EXPECT_EQ(second.thetas[0], expected.thetas[2]);
+  EXPECT_EQ(second.thetas[1], expected.thetas[3]);
+
+  to_worker.close_write();
+  worker.join();
+  EXPECT_EQ(exit_code, kExitOk);
+}
+
+TEST(ProcProtocol, WorkerLoopReportsStructuredErrors) {
+  Pipe to_worker;
+  Pipe from_worker;
+  int exit_code = -1;
+  std::thread worker([&] {
+    exit_code = worker_loop(to_worker.read_fd(), from_worker.write_fd());
+    ::close(from_worker.fds[1]);
+    from_worker.fds[1] = -1;
+  });
+
+  std::string frame;
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &frame), FrameRead::kOk);
+
+  // Unparsable candidate text: the worker stays alive and answers with a
+  // structured error (a deterministic failure, not a crash)...
+  ASSERT_TRUE(write_frame(
+      to_worker.write_fd(),
+      encode_request("not an rrg file", small_options(), 0, 2)));
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &frame), FrameRead::kOk);
+  const SliceOutcome outcome = decode_response(frame);
+  EXPECT_FALSE(outcome.error.empty());
+
+  // ...and still serves a healthy slice afterwards.
+  ASSERT_TRUE(write_frame(
+      to_worker.write_fd(),
+      encode_request(io::write_rrg(test_rrg()), small_options(), 0, 2)));
+  ASSERT_EQ(read_frame(from_worker.read_fd(), &frame), FrameRead::kOk);
+  EXPECT_TRUE(decode_response(frame).error.empty());
+
+  to_worker.close_write();
+  worker.join();
+  EXPECT_EQ(exit_code, kExitOk);
+}
+
+}  // namespace
+}  // namespace elrr::sim::proc

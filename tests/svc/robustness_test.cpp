@@ -221,13 +221,16 @@ TEST_F(RobustnessTest, DeadlineDegradesWalkJobToHeuristicBitExactly) {
 }
 
 /// A stalled fleet worker cannot hold a deadlined job hostage: the
-/// bounded wait expires, names the stuck worker, and the job fails
-/// permanently (the deadline covers all attempts -- no retry). The
-/// fleet is reusable as soon as the stall clears.
+/// bounded wait expires, names the configured stall threshold (the
+/// ELRR_STALL_THRESHOLD knob, SchedulerOptions::stall_threshold_s) and
+/// the workers busy past it, records the peak in the per-job stats, and
+/// the job fails permanently (the deadline covers all attempts -- no
+/// retry). The fleet is reusable as soon as the stall clears.
 TEST_F(RobustnessTest, StuckWorkerTripsTheDeadlineAndNamesItself) {
   SchedulerOptions sopt;
   sopt.workers = 1;
   sopt.sim_threads = 1;
+  sopt.stall_threshold_s = 0.01;  // the 400ms stall counts as stuck
   Scheduler scheduler(sopt);
   failpoint::configure("fleet.worker=stall:400");
   JobSpec spec;
@@ -241,8 +244,9 @@ TEST_F(RobustnessTest, StuckWorkerTripsTheDeadlineAndNamesItself) {
   EXPECT_EQ(result.state, JobState::kFailed);
   EXPECT_NE(result.error.find("deadline expired"), std::string::npos)
       << result.error;
-  EXPECT_NE(result.error.find("stuck worker"), std::string::npos)
+  EXPECT_NE(result.error.find("stall threshold"), std::string::npos)
       << result.error;
+  EXPECT_GE(result.stats.stalled_workers, 1u);
   EXPECT_EQ(result.stats.retries, 0u);  // DeadlineExceeded is permanent
 
   // The stall is bounded; the same scheduler completes the next job.

@@ -1,0 +1,44 @@
+// ELRR_STALL_THRESHOLD: the scheduler's stuck-worker threshold is an
+// env knob validated exactly like the other ELRR_* knobs -- malformed or
+// out-of-domain values throw InvalidInputError naming the variable
+// instead of silently falling back.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "svc/scheduler.hpp"
+
+namespace elrr::svc {
+namespace {
+
+class StallThresholdTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("ELRR_STALL_THRESHOLD"); }
+};
+
+TEST_F(StallThresholdTest, DefaultsWhenUnset) {
+  ::unsetenv("ELRR_STALL_THRESHOLD");
+  EXPECT_EQ(SchedulerOptions::from_env().stall_threshold_s, 30.0);
+}
+
+TEST_F(StallThresholdTest, ParsesAValidValue) {
+  ::setenv("ELRR_STALL_THRESHOLD", "2.5", 1);
+  EXPECT_EQ(SchedulerOptions::from_env().stall_threshold_s, 2.5);
+}
+
+TEST_F(StallThresholdTest, MalformedValueThrows) {
+  ::setenv("ELRR_STALL_THRESHOLD", "abc", 1);
+  EXPECT_THROW(SchedulerOptions::from_env(), InvalidInputError);
+}
+
+TEST_F(StallThresholdTest, NonPositiveValueThrows) {
+  ::setenv("ELRR_STALL_THRESHOLD", "-1", 1);
+  EXPECT_THROW(SchedulerOptions::from_env(), InvalidInputError);
+  ::setenv("ELRR_STALL_THRESHOLD", "0", 1);
+  EXPECT_THROW(SchedulerOptions::from_env(), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace elrr::svc

@@ -9,6 +9,9 @@
 #
 # Logs land in $BUILD_DIR/chaos_logs/ (ctest's --output-log plus the
 # LastTest log), which CI uploads as an artifact when the run fails.
+# Worker processes spawned by the proc-fleet chaos tests write their
+# stderr under chaos_logs/proc/ (via ELRR_PROC_LOG_DIR), so a dead
+# worker's last words ride the same artifact.
 #
 # Usage:
 #   tools/chaos_run.sh                 # build + run every chaos test
@@ -23,7 +26,9 @@ LOG_DIR="$BUILD_DIR/chaos_logs"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target elrr_chaos_tests
 
-mkdir -p "$LOG_DIR"
+mkdir -p "$LOG_DIR" "$LOG_DIR/proc"
+# Per-slot worker stderr (crash last-words) for the proc-fleet tests.
+export ELRR_PROC_LOG_DIR="$LOG_DIR/proc"
 CTEST_ARGS=(-L chaos --output-on-failure --output-log "$LOG_DIR/chaos.log")
 if [ -n "$FILTER" ]; then
   CTEST_ARGS+=(-R "$FILTER")

@@ -25,6 +25,7 @@
 #include "retime/leiserson_saxe.hpp"
 #include "retime/min_area.hpp"
 #include "sim/markov.hpp"
+#include "sim/proc_fleet.hpp"
 #include "sim/simulator.hpp"
 #include "support/args.hpp"
 #include "support/bench_json.hpp"
@@ -65,11 +66,19 @@ commands:
   batch       multi-circuit optimization service: one scheduler, one
               shared simulation fleet, many jobs. elrr batch
               <manifest.jsonl> [--jobs N] [--threads T] [--output file]
-              -- one JSON job per manifest line ({"circuit": "s526",
-              "mode": "min_eff_cyc|min_cyc|score", "priority":
+              [--resume] -- one JSON job per manifest line ({"circuit":
+              "s526", "mode": "min_eff_cyc|min_cyc|score", "priority":
               "high|normal|low", ...}; see src/svc/manifest.hpp), JSONL
               results out (last line = batch summary). ELRR_* env knobs
               are the batch-wide defaults; per-line keys override.
+              --resume re-runs a crashed/interrupted batch's manifest
+              against the persistent cache (requires
+              ELRR_DISK_CACHE_DIR): already-completed jobs are served
+              bit-identically from disk and counted as "resumed" in the
+              summary; the rest run for real.
+  work        internal: simulation worker process (spawned by the fleet
+              when ELRR_PROC_WORKERS > 0; speaks the length-framed slice
+              protocol on stdin/stdout -- not for interactive use)
   simulate    --cycles N, --runs R, --threads T (0 = all cores),
               --control (SELF network), --capacity C
   generate    --circuit <name> [--seed N] --output <file.rrg>
@@ -478,7 +487,7 @@ const char* batch_status(const svc::JobResult& result) {
 }
 
 void print_batch_result(std::ostream& out, const svc::JobResult& result) {
-  char buf[256];
+  char buf[320];
   out << "{\"job\": " << result.id << ", \"name\": \""
       << json_escape(result.name) << "\", \"mode\": \""
       << svc::to_string(result.mode) << "\", \"state\": \""
@@ -527,12 +536,14 @@ void print_batch_result(std::ostream& out, const svc::JobResult& result) {
   const svc::JobStats& stats = result.stats;
   std::snprintf(buf, sizeof(buf),
                 ", \"cache_hit\": %s, \"disk_cache_hit\": %s, "
-                "\"retries\": %zu, \"candidates_walked\": %zu, "
+                "\"retries\": %zu, \"stalled_workers\": %zu, "
+                "\"candidates_walked\": %zu, "
                 "\"sim_jobs\": %zu, \"unique_sims\": %zu, \"wall_s\": %.4f}",
                 stats.job_cache_hit ? "true" : "false",
                 stats.disk_cache_hit ? "true" : "false", stats.retries,
-                stats.candidates_walked, stats.sim_jobs,
-                stats.unique_simulations, stats.wall_seconds);
+                stats.stalled_workers, stats.candidates_walked,
+                stats.sim_jobs, stats.unique_simulations,
+                stats.wall_seconds);
   out << buf << "\n";
 }
 
@@ -557,6 +568,7 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   ELRR_REQUIRE(threads <= 4096, "--threads must be in [0, 4096], got ",
                threads);
   const auto output = args.get("output");
+  const bool resume = args.get_flag("resume");
   args.finish();
 
   const std::vector<svc::ManifestEntry> entries =
@@ -567,6 +579,15 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   // ELRR_RETRY_MAX, ELRR_DISK_CACHE_DIR, ELRR_DISK_CACHE_CAP) on top of
   // the fleet knobs; --threads then overrides the fleet pool size.
   svc::SchedulerOptions sopt = svc::SchedulerOptions::from_env();
+  // --resume is the crash-recovery path: re-run the same manifest after
+  // an interrupt and let the persistent cache serve every job the dead
+  // run completed -- bit-identically, per the disk-cache contract -- so
+  // only the unfinished tail costs anything. Without a disk cache there
+  // is nothing to resume *from*, which is a usage error, not a silent
+  // full re-run.
+  ELRR_REQUIRE(!resume || !sopt.disk_cache_dir.empty(),
+               "--resume requires ELRR_DISK_CACHE_DIR (the persistent "
+               "cache is what a resumed batch restores from)");
   sopt.workers = static_cast<std::size_t>(jobs);
   sopt.sim_threads = base.sim_threads;
   // Submit the whole manifest before dispatch starts: the pick order --
@@ -594,18 +615,20 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   // asked for -- a failed job *or* an admission rejection -- fails the
   // batch. Degraded jobs completed (flagged) and do not.
   std::size_t failed = 0;
+  std::size_t resumed = 0;
   for (const svc::JobResult& result : results) {
     print_batch_result(lines, result);
     failed += result.state == svc::JobState::kFailed ||
                       result.state == svc::JobState::kRejected
                   ? 1
                   : 0;
+    resumed += result.stats.disk_cache_hit ? 1 : 0;
   }
   // Trailing summary record keeps the stream pure JSONL while still
   // reporting batch-wide stats (scheduler + shared-fleet cache).
   const svc::SchedulerStats stats = scheduler.stats();
   const sim::SimCacheStats cache = scheduler.fleet().cache_stats();
-  char buf[448];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"summary\": true, \"jobs\": %zu, \"done\": %zu, "
                 "\"failed\": %zu, \"rejected\": %zu, \"degraded\": %zu, "
@@ -613,7 +636,7 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
                 "\"job_cache_hits\": %llu, \"disk_cache_hits\": %llu, "
                 "\"sim_cache_hits\": %llu, "
                 "\"unique_simulations\": %llu, \"sim_cache_entries\": %zu, "
-                "\"sim_cache_evictions\": %llu}",
+                "\"sim_cache_evictions\": %llu",
                 stats.submitted, stats.completed, stats.failed,
                 stats.rejected, stats.degraded, stats.cancelled,
                 static_cast<unsigned long long>(stats.retries),
@@ -623,7 +646,13 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
                 static_cast<unsigned long long>(cache.misses),
                 cache.entries,
                 static_cast<unsigned long long>(cache.evictions));
-  lines << buf << "\n";
+  lines << buf;
+  // The resumed count only exists on --resume runs: it answers "how much
+  // of the dead batch survived", a question a fresh batch never asks --
+  // and keeping the field off the normal summary keeps old summary
+  // parsers byte-compatible.
+  if (resume) lines << ", \"resumed\": " << resumed;
+  lines << "}\n";
 
   if (output.has_value()) {
     io::save_text_file(*output, lines.str());
@@ -632,7 +661,21 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   } else {
     out << lines.str();
   }
+  if (resume) {
+    err << "batch: resumed " << resumed << "/" << results.size()
+        << " job(s) from the persistent cache\n";
+  }
   return failed > 0 ? 1 : 0;
+}
+
+/// `elrr work`: the body of one process-isolated fleet worker. The
+/// supervisor (sim::proc) spawned us with the request pipe on stdin and
+/// the response pipe on stdout; nothing else may write to stdout, and
+/// ELRR_FAILPOINTS was already re-armed by run() before dispatch, so a
+/// chaos schedule naming `proc.worker` fires *here*, in the child.
+int cmd_work(Args& args) {
+  args.finish();
+  return sim::proc::worker_loop(/*in_fd=*/0, /*out_fd=*/1);
 }
 
 int cmd_bench_diff(Args& args, std::ostream& out) {
@@ -666,6 +709,7 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
       {"pipeline", "overlapped_seconds", false},
       {"batch", "scheduler_seconds", false},
       {"milp", "warm_seconds", false},
+      {"proc", "proc_seconds", false},
   };
 
   // Evaluate every section first; render (text or --json) after, so both
@@ -809,6 +853,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (cmd == "min-area") return cmd_min_area(args, out);
     if (cmd == "from-bench") return cmd_from_bench(args, out);
     if (cmd == "batch") return cmd_batch(args, out, err);
+    if (cmd == "work") return cmd_work(args);
     if (cmd == "bench-diff") return cmd_bench_diff(args, out);
     err << "elrr: unknown command '" << cmd << "' (try `elrr help`)\n";
     return 2;
