@@ -156,6 +156,7 @@ CircuitResult run_flow(const std::string& name, const Rrg& rrg,
     result.unique_simulations += eng.unique_simulations;
     result.walk_seconds = eng.walk_seconds;
     result.sim_wait_seconds = eng.sim_wait_seconds;
+    result.milp = eng.milp;
     if (eng.cancelled) {
       // Cancellation stops at a step boundary: report the partial
       // frontier the engine already scored (no heuristic merge, no

@@ -52,6 +52,7 @@
 #include "bench89/generator.hpp"
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
+#include "lp/session.hpp"
 #include "sim/fleet.hpp"
 #include "sim/simulator.hpp"
 
@@ -157,6 +158,7 @@ struct CircuitResult {
   std::size_t unique_simulations = 0;  ///< fresh fleet jobs (rest were cached)
   double walk_seconds = 0.0;           ///< time inside ParetoWalk::advance
   double sim_wait_seconds = 0.0;       ///< time blocked on the fleet
+  lp::SessionStats milp;               ///< the walk's MILP-session stats
 };
 
 /// The per-candidate simulation window the flow scores with (seed mix,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/analysis.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
@@ -105,7 +106,11 @@ EngineResult Engine::run() {
     // TicketGuard on unwind, fleet reusable).
     failpoint::trip("walk.step");
     Stopwatch step;
-    const std::optional<ParetoPoint> point = walk.advance();
+    std::optional<ParetoPoint> point;
+    {
+      OBS_SPAN("walk.step");
+      point = walk.advance();
+    }
     result.walk_seconds += step.seconds();
     if (!point.has_value()) break;
     emitted.push_back(*point);
@@ -150,8 +155,11 @@ EngineResult Engine::run() {
   Stopwatch wait_watch;
   std::vector<sim::SimReport> reports;
   reports.reserve(tickets.size());
-  for (const sim::SimTicket ticket : tickets) {
-    reports.push_back(fleet_->wait(ticket));
+  {
+    OBS_SPAN("engine.sim_wait");
+    for (const sim::SimTicket ticket : tickets) {
+      reports.push_back(fleet_->wait(ticket));
+    }
   }
   result.sim_wait_seconds = wait_watch.seconds();
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <queue>
 
+#include "obs/trace.hpp"
 #include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
@@ -516,11 +517,17 @@ void MilpSession::ensure_engine() {
 
 MilpResult MilpSession::solve() {
   failpoint::trip("milp.solve");
+  OBS_SPAN("milp.solve");
   ++stats_.solves;
+  const std::int64_t cold_before = stats_.cold_solves;
   Stopwatch watch;
   MilpResult result =
       options_.presolve ? solve_presolved() : solve_direct();
   stats_.solve_seconds += watch.seconds();
+  // Warm vs cold is decided inside the solve paths; read it back off
+  // the stats delta so the trace counters agree with SessionStats.
+  obs::count(stats_.cold_solves > cold_before ? "milp.solve.cold"
+                                              : "milp.solve.warm");
   stats_.nodes += result.nodes;
   stats_.lp_iterations += result.lp_iterations;
   if (result.has_solution()) {
@@ -557,6 +564,7 @@ MilpResult MilpSession::solve_direct() {
       ++stats_.warm_attempts;
       try {
         failpoint::trip("milp.warm");
+        OBS_SPAN("milp.warm");
         lp = engine_->resolve();
         solved = true;
         ++stats_.warm_roots;

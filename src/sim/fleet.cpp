@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "io/rrg_format.hpp"
+#include "obs/trace.hpp"
 #include "sim/choosers.hpp"
 #include "sim/proc_fleet.hpp"
 #include "support/bytes.hpp"
@@ -601,6 +602,8 @@ void SimFleet::ensure_pool(std::size_t workers) {
 
 void SimFleet::worker_main(std::size_t slot) {
   FleetCore& core = *core_;
+  obs::set_thread_label(
+      ("fleet-" + std::to_string(slot)).c_str());
   std::unique_lock<std::mutex> lock(core.mutex);
   for (;;) {
     core.cv_work.wait(lock, [&] { return core.stop || !core.queue.empty(); });
@@ -624,6 +627,7 @@ void SimFleet::worker_main(std::size_t slot) {
         // scheduler's retry budget exists for. Its `stall:` mode sleeps
         // with the heartbeat set, which is what stuck_workers() reads.
         failpoint::trip("fleet.worker");
+        OBS_SPAN_ID("fleet.slice", entry.first);
         fleet_detail::execute_slice(ctx, entry.first, entry.count);
       } catch (...) {
         failure = std::current_exception();
@@ -663,7 +667,9 @@ void SimFleet::proc_supervisor_main(std::size_t slot) {
   // keeps the run-order merge -- and with it every theta -- bit-identical
   // across tiers, worker counts, and mid-batch crashes.
   std::unique_ptr<proc::WorkerProcess> child;
-  bool spawned_before = false;
+  int spawn_generation = 0;
+  obs::set_thread_label(
+      ("fleet-proc-" + std::to_string(slot)).c_str());
   std::unique_lock<std::mutex> lock(core.mutex);
   for (;;) {
     core.cv_work.wait(lock, [&] { return core.stop || !core.queue.empty(); });
@@ -682,7 +688,8 @@ void SimFleet::proc_supervisor_main(std::size_t slot) {
         // exercise both tiers with one spec. (`proc.worker` is the
         // *child-side* site -- a real process death, not a throw.)
         failpoint::trip("fleet.worker");
-        proc_run_slice(slot, entry, &child, &spawned_before);
+        OBS_SPAN_ID("fleet.proc_slice", entry.first);
+        proc_run_slice(slot, entry, &child, &spawn_generation);
       } catch (...) {
         failure = std::current_exception();
       }
@@ -709,7 +716,7 @@ void SimFleet::proc_supervisor_main(std::size_t slot) {
 
 void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
                               std::unique_ptr<proc::WorkerProcess>* child,
-                              bool* spawned_before) {
+                              int* spawn_generation) {
   FleetCore& core = *core_;
   JobContext& ctx = *entry.ctx;
   // Serialize the candidate once per job; all its slices (and any
@@ -746,17 +753,18 @@ void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
     if (*child == nullptr) {
       try {
         failpoint::trip("proc.spawn");
-        *child = std::make_unique<proc::WorkerProcess>(
-            proc::SpawnConfig::from_env(slot));
+        proc::SpawnConfig config = proc::SpawnConfig::from_env(slot);
+        config.generation = *spawn_generation + 1;
+        *child = std::make_unique<proc::WorkerProcess>(config);
       } catch (const std::exception& e) {
         last_death = elrr::detail::concat("spawn failed: ", e.what());
         child->reset();
         continue;  // a failed spawn burns one attempt of the budget
       }
+      ++(*spawn_generation);
       const std::lock_guard<std::mutex> lock(core.mutex);
       ++core.proc_spawns;
-      if (*spawned_before) ++core.proc_respawns;
-      *spawned_before = true;
+      if (*spawn_generation > 1) ++core.proc_respawns;
       core.child_pids[slot] = (*child)->pid();
     }
     const std::optional<proc::SliceOutcome> outcome =
@@ -777,6 +785,20 @@ void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
                 ctx.per_run.begin() + entry.first);
       ctx.degraded_slices.fetch_add(outcome->degraded_slices,
                                     std::memory_order_relaxed);
+      if (obs::armed() && !outcome->spans.empty()) {
+        // Re-anchor worker-clock spans onto the supervisor timeline:
+        // the offset is the non-negative transfer delay between the
+        // worker stamping its clock at encode time and us recording
+        // here, so worker spans land strictly inside this dispatch's
+        // fleet.proc_slice span (obs/trace.hpp clock contract).
+        const std::int64_t offset =
+            obs::now_ns_if_armed() - outcome->clock_ns;
+        for (const proc::WorkerSpan& span : outcome->spans) {
+          obs::record_foreign_span(span.name.c_str(), span.start_ns + offset,
+                                   span.end_ns + offset, outcome->worker_pid,
+                                   1);
+        }
+      }
       if (attempt > 0) {
         const std::lock_guard<std::mutex> lock(core.mutex);
         ++core.proc_redispatches;
@@ -874,6 +896,7 @@ std::vector<SimReport> SimFleet::drain() {
   last_workers_ = workers;
   if (workers <= 1 && proc_workers_ == 0) {
     for (const QueueEntry& entry : entries) {
+      OBS_SPAN_ID("fleet.slice", entry.first);
       fleet_detail::execute_slice(*entry.ctx, entry.first, entry.count);
     }
   } else {
@@ -945,6 +968,7 @@ SimTicket SimFleet::enqueue_async(const Rrg* rrg, const SimOptions& options,
         core.lru.splice(core.lru.begin(), core.lru, it->second.lru);
         it->second.lru = core.lru.begin();
         ++core.cache_hits;
+        obs::count("fleet.dedup_hit");
         const SimTicket ticket{core.next_ticket++, /*fresh=*/false};
         core.tickets.emplace(ticket.id, it->second.ctx);
         return ticket;

@@ -317,9 +317,11 @@ class SimFleet {
   /// One slice through this slot's worker process, with the crash/
   /// respawn/re-dispatch loop. Throws TransientError once the respawn
   /// budget is spent (the scheduler's retry taxonomy picks that up).
+  /// `spawn_generation` counts this slot's spawns (0 = never spawned);
+  /// it feeds both the respawn stat and the worker log header.
   void proc_run_slice(std::size_t slot, const fleet_detail::QueueEntry& entry,
                       std::unique_ptr<proc::WorkerProcess>* child,
-                      bool* spawned_before);
+                      int* spawn_generation);
   SimTicket enqueue_async(const Rrg* rrg, const SimOptions& options,
                           std::unique_ptr<Rrg> owned);
   std::size_t hardware_concurrency_cached();

@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "io/rrg_format.hpp"
+#include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -182,6 +183,29 @@ std::string encode_ok_response(const SliceRun& run) {
   return payload;
 }
 
+std::string encode_ok_response(const SliceRun& run,
+                               const std::vector<WorkerSpan>& spans,
+                               std::int64_t clock_ns,
+                               std::uint32_t worker_pid) {
+  // Span section rides *after* the theta block so a supervisor built
+  // before this section existed would still read the thetas (and one
+  // built after reads plain responses from a disarmed worker: the
+  // section is simply absent).
+  std::string payload = encode_ok_response(run);
+  bytes::append_value(payload, worker_pid);
+  bytes::append_value(payload, clock_ns);
+  bytes::append_value(payload, static_cast<std::uint32_t>(spans.size()));
+  for (const WorkerSpan& span : spans) {
+    const std::uint16_t len = static_cast<std::uint16_t>(
+        span.name.size() < 0xffff ? span.name.size() : 0xffff);
+    bytes::append_value(payload, len);
+    payload.append(span.name.data(), len);
+    bytes::append_value(payload, span.start_ns);
+    bytes::append_value(payload, span.end_ns);
+  }
+  return payload;
+}
+
 std::string encode_error_response(const std::string& message) {
   std::string payload;
   bytes::append_value(payload, std::uint8_t{1});
@@ -200,12 +224,30 @@ SliceOutcome decode_response(const std::string& payload) {
   }
   outcome.degraded_slices = cur.value<std::uint32_t>();
   const std::uint32_t count = cur.value<std::uint32_t>();
-  ELRR_REQUIRE(cur.left == count * sizeof(double),
+  ELRR_REQUIRE(cur.left >= count * sizeof(double),
                "theta payload size mismatch in proc-fleet response");
   outcome.thetas.resize(count);
   for (std::uint32_t r = 0; r < count; ++r) {
     outcome.thetas[r] = cur.value<double>();
   }
+  if (cur.left == 0) return outcome;  // disarmed worker: no span section
+  outcome.worker_pid = cur.value<std::uint32_t>();
+  outcome.clock_ns = cur.value<std::int64_t>();
+  const std::uint32_t span_count = cur.value<std::uint32_t>();
+  outcome.spans.reserve(span_count);
+  for (std::uint32_t i = 0; i < span_count; ++i) {
+    WorkerSpan span;
+    const std::uint16_t len = cur.value<std::uint16_t>();
+    ELRR_REQUIRE(cur.left >= len, "truncated span name in proc-fleet response");
+    span.name.assign(cur.p, len);
+    cur.p += len;
+    cur.left -= len;
+    span.start_ns = cur.value<std::int64_t>();
+    span.end_ns = cur.value<std::int64_t>();
+    outcome.spans.push_back(std::move(span));
+  }
+  ELRR_REQUIRE(cur.left == 0,
+               "trailing bytes after span section in proc-fleet response");
   return outcome;
 }
 
@@ -238,15 +280,31 @@ int worker_loop(int in_fd, int out_fd) {
       // is the point. (`stall:` sleeps here with the request pending,
       // modelling a wedged worker the supervisor heartbeat must see.)
       failpoint::trip("proc.worker");
+      const std::int64_t slice_start = obs::now_ns_if_armed();
       const SliceRequest req = decode_request(payload);
       const std::string key = payload.substr(2 * sizeof(std::uint32_t));
       if (runner == nullptr || runner_key != key) {
+        OBS_SPAN("work.parse");
         io::NamedRrg named = io::read_rrg(req.rrg_text);
         runner = std::make_unique<SliceRunner>(std::move(named.rrg),
                                                req.options);
         runner_key = key;
       }
-      response = encode_ok_response(runner->run(req.first, req.count));
+      const SliceRun run = runner->run(req.first, req.count);
+      if (obs::armed()) {
+        // Ship this slice's spans home with the thetas: close the
+        // covering span, drain the ring, stamp our clock so the
+        // supervisor can re-anchor (obs/trace.hpp clock contract).
+        obs::record_span("work.slice", slice_start, obs::now_ns_if_armed());
+        std::vector<WorkerSpan> spans;
+        for (const obs::SpanRecord& rec : obs::drain_thread_spans()) {
+          spans.push_back(WorkerSpan{rec.name, rec.start_ns, rec.end_ns});
+        }
+        response = encode_ok_response(run, spans, obs::now_ns_if_armed(),
+                                      static_cast<std::uint32_t>(::getpid()));
+      } else {
+        response = encode_ok_response(run);
+      }
     } catch (const failpoint::FailPointError& e) {
       std::fprintf(stderr, "elrr work: %s\n", e.what());
       return kExitInjected;
@@ -282,12 +340,36 @@ SpawnConfig SpawnConfig::from_env(std::size_t slot) {
     ::mkdir(log_dir.c_str(), 0777);  // best effort; open() below decides
     config.stderr_path =
         log_dir + "/proc-worker-" + std::to_string(slot) + ".stderr";
+    // A crash-looping slot appends its last words forever; the cap
+    // truncates the log (with a marker) before the spawn that would
+    // overflow it. 0 disables.
+    config.log_cap_bytes = env::u64("ELRR_PROC_LOG_CAP", 1u << 20, 0,
+                                    std::uint64_t{1} << 40);
   }
   return config;
 }
 
 WorkerProcess::WorkerProcess(const SpawnConfig& config) {
   ignore_sigpipe_once();
+  if (!config.stderr_path.empty() && config.log_cap_bytes > 0) {
+    // Enforce the per-slot byte cap before this spawn appends to the
+    // log: a capped log restarts from a truncation marker instead of
+    // growing without bound across respawns.
+    struct stat st;
+    if (::stat(config.stderr_path.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) >
+            config.log_cap_bytes) {
+      const int fd = ::open(config.stderr_path.c_str(),
+                            O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dprintf(fd,
+                  "[elrr work] log truncated: previous contents exceeded "
+                  "ELRR_PROC_LOG_CAP=%llu bytes\n",
+                  static_cast<unsigned long long>(config.log_cap_bytes));
+        ::close(fd);
+      }
+    }
+  }
   int request_pipe[2] = {-1, -1};
   int response_pipe[2] = {-1, -1};
   if (::pipe2(request_pipe, O_CLOEXEC) != 0) {
@@ -320,7 +402,13 @@ WorkerProcess::WorkerProcess(const SpawnConfig& config) {
     if (!config.stderr_path.empty()) {
       const int log_fd = ::open(config.stderr_path.c_str(),
                                 O_WRONLY | O_CREAT | O_APPEND, 0644);
-      if (log_fd >= 0) ::dup2(log_fd, STDERR_FILENO);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDERR_FILENO);
+        // Log header: which incarnation of this slot wrote what follows
+        // (the respawn generation disambiguates interleaved last words).
+        ::dprintf(STDERR_FILENO, "[elrr work] pid %d generation %d\n",
+                  static_cast<int>(::getpid()), config.generation);
+      }
     }
     ::execl(config.binary.c_str(), config.binary.c_str(), "work",
             static_cast<char*>(nullptr));

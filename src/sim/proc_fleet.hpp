@@ -101,14 +101,33 @@ std::string encode_request(const std::string& rrg_text,
 /// bytes (the worker turns that into a torn-frame exit).
 SliceRequest decode_request(const std::string& payload);
 
+/// One worker-side span riding back on an ok response, in the
+/// *worker's* steady_clock ns. The supervisor re-anchors it onto its
+/// own timeline (see obs/trace.hpp's clock contract) before recording.
+struct WorkerSpan {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
 /// One slice response, decoded. `error` empty = success.
 struct SliceOutcome {
   std::vector<double> thetas;        ///< per-run thetas, slice order
   std::uint32_t degraded_slices = 0; ///< flat->reference fallbacks inside
   std::string error;                 ///< structured worker-side failure
+  /// Tracing section (present only when the worker ran armed; older
+  /// responses decode with all three empty/zero).
+  std::vector<WorkerSpan> spans;     ///< worker-clock spans for this slice
+  std::int64_t clock_ns = 0;         ///< worker clock at encode time
+  std::uint32_t worker_pid = 0;      ///< worker pid, for track tagging
 };
 
 std::string encode_ok_response(const SliceRun& run);
+/// Ok response plus the trailing span section (worker side, armed).
+std::string encode_ok_response(const SliceRun& run,
+                               const std::vector<WorkerSpan>& spans,
+                               std::int64_t clock_ns,
+                               std::uint32_t worker_pid);
 std::string encode_error_response(const std::string& message);
 SliceOutcome decode_response(const std::string& payload);
 
@@ -123,11 +142,19 @@ int worker_loop(int in_fd, int out_fd);
 struct SpawnConfig {
   std::string binary;       ///< executable to run as `<binary> work`
   std::string stderr_path;  ///< O_APPEND redirect; empty = inherit
+  /// Per-slot stderr byte cap: before a (re)spawn, a log already past
+  /// the cap is truncated with a marker line so respawn loops cannot
+  /// grow it without bound. 0 = uncapped.
+  std::uint64_t log_cap_bytes = 0;
+  /// 1-based spawn generation for this slot (bumped per respawn);
+  /// stamped into the log header next to the worker pid.
+  int generation = 1;
   /// Resolves the worker binary (ELRR_WORK_BIN, else /proc/self/exe --
   /// correct whenever the supervisor is the `elrr` CLI itself; tests
   /// and embedders set ELRR_WORK_BIN) and, when ELRR_PROC_LOG_DIR is
   /// set, a per-slot stderr log path under it (the dead-worker
-  /// diagnostics CI uploads on failure).
+  /// diagnostics CI uploads on failure) capped at ELRR_PROC_LOG_CAP
+  /// bytes (default 1 MiB).
   static SpawnConfig from_env(std::size_t slot);
 };
 

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
@@ -157,6 +158,7 @@ std::string DiskCache::entry_path(const std::string& key) const {
 }
 
 std::optional<std::string> DiskCache::load(const std::string& key) {
+  OBS_SPAN("disk_cache.load");
   const std::lock_guard<std::mutex> lock(mutex_);
   try {
     failpoint::trip("disk_cache.load");
@@ -195,6 +197,7 @@ std::optional<std::string> DiskCache::load(const std::string& key) {
 }
 
 void DiskCache::store(const std::string& key, const std::string& payload) {
+  OBS_SPAN("disk_cache.store");
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::string entry = encode_entry(key, payload);
   const fs::path path = entry_path(key);

@@ -7,6 +7,7 @@
 
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
+#include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -48,6 +49,7 @@ sim::SimReport wait_with_deadline(sim::SimFleet& fleet, sim::SimTicket ticket,
     const std::size_t stuck = fleet.stuck_workers(stall_threshold_s);
     *stalled_peak = std::max(*stalled_peak, stuck);
     if (deadline.expired()) {
+      obs::count("job.deadline_expired");
       throw DeadlineExceeded(detail::concat(
           "job deadline expired after ", deadline.elapsed(),
           " s waiting on the simulation fleet (", stuck,
@@ -233,6 +235,7 @@ JobId Scheduler::submit(JobSpec spec) {
       return id;
     }
   }
+  entry.submit_ns = obs::now_ns_if_armed();
   queues_[static_cast<std::size_t>(entry.spec.priority)].push_back(id);
   cv_.notify_all();
   return id;
@@ -260,6 +263,7 @@ bool Scheduler::pick_next_locked(JobId* id) {
 }
 
 void Scheduler::worker_main() {
+  obs::set_thread_label("sched-worker");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock, [&] {
@@ -279,6 +283,15 @@ void Scheduler::worker_main() {
     entry.result.name = entry.spec.name;
     entry.result.mode = entry.spec.mode;
     lock.unlock();
+
+    // Timeline: the queue wait ended the moment this worker picked the
+    // job up; everything from here to the completion bookkeeping is the
+    // job.run span (cache probes included -- a cache-served job shows
+    // as a short run).
+    const std::int64_t run_start_ns = obs::now_ns_if_armed();
+    if (obs::armed() && entry.submit_ns > 0) {
+      obs::record_span("job.queued", entry.submit_ns, run_start_ns, id);
+    }
 
     // Cross-job result cache: an identical job (same circuit content,
     // result-affecting options and mode) short-circuits the whole run.
@@ -328,6 +341,7 @@ void Scheduler::worker_main() {
           stats = JobStats{};
           stats.job_cache_hit = true;
           ++job_cache_hits_;
+          obs::count("job.cache_hit");
           served_from_cache = true;
           break;
         }
@@ -379,6 +393,7 @@ void Scheduler::worker_main() {
       }
     }
     stats.wall_seconds = watch.seconds();
+    obs::record_span("job.run", run_start_ns, obs::now_ns_if_armed(), id);
 
     lock.lock();
     // Live progress (candidates_walked) streamed in through the hook;
@@ -387,11 +402,17 @@ void Scheduler::worker_main() {
         std::max(stats.candidates_walked, entry.stats.candidates_walked);
     stats.stalled_workers =
         std::max(stats.stalled_workers, entry.stats.stalled_workers);
-    if (stats.disk_cache_hit) ++disk_cache_hits_;
+    if (stats.disk_cache_hit) {
+      ++disk_cache_hits_;
+      obs::count("job.disk_cache_hit");
+    }
     total_retries_ += stats.retries;
     entry.stats = stats;
     entry.result.stats = stats;
     entry.state = entry.result.state;
+    obs::count(entry.state == JobState::kDone ? "job.done"
+               : entry.state == JobState::kCancelled ? "job.cancelled"
+                                                     : "job.failed");
     completion_order_.push_back(id);
     cv_.notify_all();
   }
@@ -404,7 +425,10 @@ void Scheduler::run_job_robust(JobEntry& entry, JobStats* stats) {
       entry.spec.retries.value_or(options_.retry_max);
   for (std::size_t attempt = 0;; ++attempt) {
     bool transient = false;
-    run_job(entry, stats, deadline, &transient);
+    {
+      OBS_SPAN_ID("job.attempt", attempt + 1);
+      run_job(entry, stats, deadline, &transient);
+    }
     if (entry.result.state != JobState::kFailed) return;
     // Permanent failures (API misuse, internal bugs, deadline expiry)
     // never retry; transients (injected faults, lost workers) get the
@@ -416,6 +440,7 @@ void Scheduler::run_job_robust(JobEntry& entry, JobStats* stats) {
     const auto backoff =
         std::chrono::milliseconds(10) * (std::uint64_t{1} << std::min<std::size_t>(attempt, 5));
     {
+      OBS_SPAN("job.backoff");
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait_for(lock, backoff, [&] {
         return stop_ ||
@@ -428,6 +453,7 @@ void Scheduler::run_job_robust(JobEntry& entry, JobStats* stats) {
       }
     }
     ++stats->retries;
+    obs::count("job.retries");
     // Re-run from a clean slate: the failed attempt's partial numbers
     // must not bleed into the retry (the retried result is bit-identical
     // to a first-try run -- the determinism tests pin this).

@@ -310,6 +310,9 @@ class Scheduler {
     JobResult result;
     JobStats stats;
     std::atomic<bool> cancel_requested{false};
+    /// obs timeline anchor: steady_clock ns at submit (0 when tracing
+    /// was disarmed at submit time); the job.queued span's start.
+    std::int64_t submit_ns = 0;
   };
 
   void worker_main();

@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "io/rrg_format.hpp"
+#include "obs/trace.hpp"
 
 namespace elrr::cli {
 namespace {
@@ -335,6 +337,40 @@ TEST(Cli, BatchRunsAManifest) {
   EXPECT_EQ(to_file.out, "");
   const std::string written = io::load_text_file(out_path);
   EXPECT_NE(written.find("\"summary\": true"), std::string::npos);
+}
+
+/// `batch --trace` end to end: the summary gains the unified nested
+/// stats object and a trace_summary record, the Chrome trace-event file
+/// lands on disk with scheduler span names in it, and `trace-summary`
+/// renders the aggregate table back from that file.
+TEST(Cli, BatchTraceAndTraceSummary) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "/batch_trace.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000}\n");
+  const std::string trace_path = ::testing::TempDir() + "/cli_trace.json";
+  const CliResult r = run_cli({"batch", manifest_path, "--trace", trace_path});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("\"stats\": {\"scheduler\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"fleet_cache\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"milp\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"trace_summary\": true"), std::string::npos) << r.out;
+  EXPECT_NE(r.err.find("wrote trace"), std::string::npos) << r.err;
+  const std::string trace = io::load_text_file(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"job.run\""), std::string::npos) << trace;
+
+  const CliResult summary = run_cli({"trace-summary", trace_path});
+  EXPECT_EQ(summary.code, 0) << summary.err;
+  EXPECT_NE(summary.out.find("phase"), std::string::npos) << summary.out;
+  EXPECT_NE(summary.out.find("job.run"), std::string::npos) << summary.out;
+
+  // --trace arms via the process environment (so spawned workers
+  // inherit it); scrub both for whatever runs next in this process.
+  ::unsetenv("ELRR_TRACE");
+  obs::reset();
 }
 
 TEST(Cli, BatchRejectsBadManifestsWithLineNumbers) {

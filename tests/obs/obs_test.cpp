@@ -1,0 +1,523 @@
+/// \file obs_test.cpp
+/// In-process suite for the obs tracing + metrics layer (obs/trace.hpp):
+/// the disarmed no-op contract (the suite runs under the sanitizer
+/// sweep -- `ctest -L obs` on an ELRR_SANITIZE build -- so the one-load
+/// fast path is ASan/UBSan-covered), ring wrap-around semantics, span
+/// nesting, histogram percentile brackets, the Chrome trace-event JSON
+/// emitted by write_trace (parsed back by a small recursive-descent
+/// parser: "the emitted JSON parses" is the contract, not a substring
+/// match), and the proc-fleet response span section round-trip.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/proc_fleet.hpp"
+#include "support/error.hpp"
+
+namespace elrr::obs {
+namespace {
+
+/// Every test leaves the process-wide registry disarmed and empty: the
+/// obs state is a singleton, and suite order must not matter.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("ELRR_TRACE");
+    ::unsetenv("ELRR_OBS_BUF");
+    // This binary never wants the atexit trace write a
+    // configure_from_env test may have installed.
+    set_export_on_exit(false);
+    reset();
+  }
+  void TearDown() override {
+    ::unsetenv("ELRR_TRACE");
+    ::unsetenv("ELRR_OBS_BUF");
+    reset();
+  }
+};
+
+TEST_F(ObsTest, DisarmedSitesRecordNothing) {
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(now_ns_if_armed(), 0);
+  record_span("never", 1, 2);
+  record_foreign_span("never", 1, 2, 7, 1);
+  count("never", 3);
+  { OBS_SPAN("never.scope"); }
+  { OBS_SPAN_ID("never.scope", 42); }
+  EXPECT_TRUE(snapshot_spans().empty());
+  EXPECT_TRUE(counters().empty());
+  EXPECT_TRUE(histogram_summary().empty());
+  EXPECT_EQ(dropped_spans(), 0u);
+}
+
+TEST_F(ObsTest, SpanGuardRecordsNestedSpans) {
+  configure("", 1024);
+  arm(true);
+  {
+    OBS_SPAN("outer");
+    { OBS_SPAN("inner"); }
+  }
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // snapshot_spans sorts by start: outer opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  // Strict nesting: inner lies within outer on the same track.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].end_ns, spans[1].end_ns);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  EXPECT_GT(spans[0].tid, 0u);
+  EXPECT_EQ(spans[0].pid, 0u);  // self process
+  EXPECT_EQ(spans[0].arg, kNoArg);
+}
+
+TEST_F(ObsTest, SpanIdRidesInArg) {
+  configure("", 1024);
+  arm(true);
+  { OBS_SPAN_ID("job.attempt", 7); }
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg, 7u);
+}
+
+TEST_F(ObsTest, RingWrapDropsOldestFirst) {
+  configure("", 16);
+  arm(true);
+  for (int i = 0; i < 40; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    record_span(name.c_str(), i + 1, i + 2);
+  }
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  ASSERT_EQ(spans.size(), 16u);
+  // The 24 oldest are gone; the survivors are s24..s39 in order.
+  EXPECT_STREQ(spans.front().name, "s24");
+  EXPECT_STREQ(spans.back().name, "s39");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(std::string(spans[i].name), "s" + std::to_string(24 + i));
+  }
+  EXPECT_EQ(dropped_spans(), 24u);
+  // The histograms saw every span, wrap or not.
+  EXPECT_EQ(histogram_summary().size(), 40u);
+}
+
+TEST_F(ObsTest, DrainThreadSpansIsIncremental) {
+  configure("", 64);
+  arm(true);
+  record_span("a", 10, 20);
+  record_span("b", 30, 40);
+  std::vector<SpanRecord> drained = drain_thread_spans();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_STREQ(drained[0].name, "a");
+  EXPECT_STREQ(drained[1].name, "b");
+  EXPECT_TRUE(drain_thread_spans().empty());
+  record_span("c", 50, 60);
+  drained = drain_thread_spans();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_STREQ(drained[0].name, "c");
+  // Draining is a worker-loop shipping primitive; the exporter's
+  // snapshot still sees everything.
+  EXPECT_EQ(snapshot_spans().size(), 3u);
+}
+
+TEST_F(ObsTest, CountersAccumulateNameSorted) {
+  configure("", 64);
+  arm(true);
+  count("fleet.dedup_hit");
+  count("fleet.dedup_hit", 5);
+  count("job.retries");
+  const std::vector<CounterValue> rows = counters();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "fleet.dedup_hit");
+  EXPECT_EQ(rows[0].value, 6u);
+  EXPECT_EQ(rows[1].name, "job.retries");
+  EXPECT_EQ(rows[1].value, 1u);
+}
+
+TEST_F(ObsTest, HistogramPercentilesStayInLog2Bracket) {
+  configure("", 1024);
+  arm(true);
+  // 100 spans of exactly 1000 ns: every one lands in the [512, 1024) ns
+  // bucket, so every percentile must interpolate inside that bracket.
+  for (int i = 0; i < 100; ++i) record_span("h", 0, 1000);
+  const std::vector<PhaseSummary> rows = histogram_summary();
+  ASSERT_EQ(rows.size(), 1u);
+  const PhaseSummary& row = rows[0];
+  EXPECT_EQ(row.name, "h");
+  EXPECT_EQ(row.count, 100u);
+  EXPECT_DOUBLE_EQ(row.total_s, 100 * 1000e-9);
+  for (const double p : {row.p50_s, row.p95_s, row.p99_s}) {
+    EXPECT_GE(p, 512e-9);
+    EXPECT_LE(p, 1024e-9);
+  }
+  EXPECT_LE(row.p50_s, row.p95_s);
+  EXPECT_LE(row.p95_s, row.p99_s);
+}
+
+TEST_F(ObsTest, ExpandTracePathSubstitutesPid) {
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+  EXPECT_EQ(expand_trace_path("trace-%p.json"), "trace-" + pid + ".json");
+  EXPECT_EQ(expand_trace_path("plain.json"), "plain.json");
+  EXPECT_EQ(expand_trace_path("%p"), pid);
+  EXPECT_EQ(expand_trace_path("50%"), "50%");  // lone % passes through
+}
+
+TEST_F(ObsTest, ConfigureFromEnvValidatesStrictly) {
+  ::setenv("ELRR_OBS_BUF", "notanumber", 1);
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+  ::setenv("ELRR_OBS_BUF", "8", 1);  // below the 16-span floor
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+  ::setenv("ELRR_OBS_BUF", "1024", 1);
+  configure_from_env();
+  EXPECT_EQ(ring_capacity(), 1024u);
+  EXPECT_FALSE(armed());  // no ELRR_TRACE: validated but disarmed
+
+  const std::string path = ::testing::TempDir() + "obs_env_trace.json";
+  ::setenv("ELRR_TRACE", path.c_str(), 1);
+  configure_from_env();
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(trace_path(), path);
+}
+
+// ------------------------------------------------------------------------
+// A minimal JSON parser: enough to assert the exported trace *parses*
+// and to walk its structure. Throws std::runtime_error on malformed
+// input -- a parse failure is the test failure.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing JSON bytes");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected JSON EOF");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              throw std::runtime_error("truncated \\u escape");
+            }
+            out += '?';  // structural validity only; no UTF-16 decoding
+            pos_ += 4;
+            break;
+          default: throw std::runtime_error("bad JSON escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.string = raw_string();
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad JSON literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      throw std::runtime_error("bad JSON literal");
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad JSON number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_F(ObsTest, WriteTraceEmitsParsableChromeJson) {
+  const std::string path = ::testing::TempDir() + "obs_unit_trace.json";
+  configure(path, 256);
+  set_thread_label("obs-test-main");
+  const std::int64_t t = detail::now_ns();
+  record_span("milp.solve", t, t + 5000, 42);
+  record_span("fleet.proc_slice", t + 100, t + 4000);
+  // A worker span re-anchored onto a foreign pid track, inside the
+  // proc_slice above -- the shape the supervisor produces.
+  record_foreign_span("work.slice", t + 200, t + 3000, 4242, 1);
+  count("job.done", 3);
+  write_trace(trace_path());
+
+  const JsonValue root = JsonParser(read_file(path)).parse();
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+
+  const double self_pid = static_cast<double>(::getpid());
+  bool saw_milp = false, saw_worker = false, saw_worker_process_name = false;
+  for (const JsonValue& ev : events.array) {
+    ASSERT_EQ(ev.type, JsonValue::Type::kObject);
+    const std::string ph = ev.at("ph").string;
+    ASSERT_TRUE(ph == "X" || ph == "M") << ph;
+    if (ph == "M") {
+      if (ev.at("name").string == "process_name" &&
+          ev.at("pid").number == 4242.0) {
+        saw_worker_process_name = true;
+        EXPECT_NE(ev.at("args").at("name").string.find("4242"),
+                  std::string::npos);
+      }
+      continue;
+    }
+    // Every complete event carries the full Chrome trace-event shape.
+    EXPECT_EQ(ev.at("cat").string, "elrr");
+    EXPECT_EQ(ev.at("ts").type, JsonValue::Type::kNumber);
+    EXPECT_EQ(ev.at("dur").type, JsonValue::Type::kNumber);
+    EXPECT_GE(ev.at("ts").number, 0.0);
+    EXPECT_GE(ev.at("dur").number, 0.0);
+    if (ev.at("name").string == "milp.solve") {
+      saw_milp = true;
+      EXPECT_EQ(ev.at("pid").number, self_pid);
+      EXPECT_EQ(ev.at("args").at("id").number, 42.0);
+      EXPECT_NEAR(ev.at("dur").number, 5.0, 1e-9);  // 5000 ns = 5 us
+    }
+    if (ev.at("name").string == "work.slice") {
+      saw_worker = true;
+      EXPECT_EQ(ev.at("pid").number, 4242.0);
+    }
+  }
+  EXPECT_TRUE(saw_milp);
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_worker_process_name);
+
+  const JsonValue& other = root.at("otherData");
+  EXPECT_EQ(other.at("dropped_spans").number, 0.0);
+  EXPECT_EQ(other.at("job.done").number, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, WriteTraceExpandsPidPlaceholder) {
+  const std::string templ = ::testing::TempDir() + "obs_pid_%p.json";
+  configure(templ, 64);
+  record_span("x", 1, 2);
+  write_trace(trace_path());
+  const std::string expanded = expand_trace_path(templ);
+  std::ifstream in(expanded);
+  EXPECT_TRUE(in.good()) << expanded;
+  in.close();
+  std::remove(expanded.c_str());
+}
+
+// ------------------------------------------------------------------------
+// Proc-fleet response span section (sim/proc_fleet.hpp): the worker's
+// spans ride back after the theta block; old-format responses (disarmed
+// worker) still decode; a corrupted section is torn, never garbage.
+
+TEST_F(ObsTest, ProcResponseRoundTripsSpans) {
+  sim::SliceRun run;
+  run.thetas = {1.5, 2.25, 0.5};
+  run.degraded_slices = 2;
+  const std::vector<sim::proc::WorkerSpan> spans = {
+      {"work.parse", 100, 250},
+      {"work.slice", 50, 900},
+  };
+  const std::string payload =
+      sim::proc::encode_ok_response(run, spans, 1234567890123, 4242);
+  const sim::proc::SliceOutcome outcome = sim::proc::decode_response(payload);
+  EXPECT_TRUE(outcome.error.empty());
+  EXPECT_EQ(outcome.thetas, run.thetas);
+  EXPECT_EQ(outcome.degraded_slices, 2u);
+  EXPECT_EQ(outcome.clock_ns, 1234567890123);
+  EXPECT_EQ(outcome.worker_pid, 4242u);
+  ASSERT_EQ(outcome.spans.size(), 2u);
+  EXPECT_EQ(outcome.spans[0].name, "work.parse");
+  EXPECT_EQ(outcome.spans[0].start_ns, 100);
+  EXPECT_EQ(outcome.spans[0].end_ns, 250);
+  EXPECT_EQ(outcome.spans[1].name, "work.slice");
+}
+
+TEST_F(ObsTest, ProcResponseWithoutSpanSectionDecodes) {
+  sim::SliceRun run;
+  run.thetas = {3.5};
+  const sim::proc::SliceOutcome outcome =
+      sim::proc::decode_response(sim::proc::encode_ok_response(run));
+  EXPECT_TRUE(outcome.error.empty());
+  EXPECT_EQ(outcome.thetas, run.thetas);
+  EXPECT_TRUE(outcome.spans.empty());
+  EXPECT_EQ(outcome.clock_ns, 0);
+  EXPECT_EQ(outcome.worker_pid, 0u);
+}
+
+TEST_F(ObsTest, ProcResponseCorruptSpanSectionIsTorn) {
+  sim::SliceRun run;
+  run.thetas = {1.0};
+  const std::vector<sim::proc::WorkerSpan> spans = {{"work.slice", 1, 2}};
+  const std::string good =
+      sim::proc::encode_ok_response(run, spans, 99, 1000);
+  // Truncated mid-section: the cursor underruns.
+  EXPECT_THROW(
+      sim::proc::decode_response(good.substr(0, good.size() - 3)),
+      InvalidInputError);
+  // Trailing junk after a complete section: rejected, not ignored.
+  EXPECT_THROW(sim::proc::decode_response(good + "z"), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace elrr::obs

@@ -2,18 +2,28 @@
 # tools/bench_gate.sh -- the one-command simulation gate.
 #
 # Runs, in order:
-#   1. Release build + the `sim`/`svc`/`chaos`/`lp`-labelled ctest suites
-#      (kernel/driver/fleet differential tests, the batch scheduler
-#      suite, the fail-point chaos harness, and the LP/MILP solver suite
-#      with its warm-vs-cold session differentials);
-#   2. a fresh perf_smoke -> build/BENCH_sim.json, gated for bit-exactness;
+#   1. Release build + the `sim`/`svc`/`chaos`/`lp`/`obs`-labelled ctest
+#      suites (kernel/driver/fleet differential tests, the batch
+#      scheduler suite, the fail-point chaos harness, the LP/MILP solver
+#      suite with its warm-vs-cold session differentials, and the
+#      tracing/metrics suite). The ctest runs are traced: ELRR_TRACE
+#      arms every `elrr` process the tests spawn (proc-fleet workers
+#      ship their spans over the response protocol under the chaos
+#      schedules), and any written trace lands in $BUILD_DIR/obs_traces/
+#      -- a CI failure artifact;
+#   2. a fresh perf_smoke -> build/BENCH_sim.json, gated for bit-exactness
+#      (its `obs` section measures tracing overhead itself, so the
+#      perf steps run with ELRR_TRACE unset);
 #   3. `elrr bench-diff` of that fresh run against the committed
-#      BENCH_sim.json at the repo root (fails on any section >10% slower;
-#      override with ELRR_MAX_REGRESSION);
+#      BENCH_sim.json at the repo root (fails on any section >10% slower
+#      -- the `obs` disarmed-overhead section at >2% -- override the
+#      global threshold with ELRR_MAX_REGRESSION);
 #   4. an ASan/UBSan build (-DELRR_SANITIZE=address,undefined) of the
-#      `sim` + `svc` + `lp` suites (the scheduler/fleet sharing, the
-#      failure-unwind paths and the MILP session's persistent tableau
-#      snapshots are the lifetime-bug honeypots).
+#      `sim` + `svc` + `lp` + `obs` suites (the scheduler/fleet sharing,
+#      the failure-unwind paths, the MILP session's persistent tableau
+#      snapshots and the obs ring buffers' lock-free publish are the
+#      lifetime-bug honeypots). The fork/exec ObsProc tests are excluded
+#      there for the same reason the chaos suite is.
 #
 # Step 4 is skipped with ELRR_SKIP_SANITIZE=1 (e.g. on machines without
 # the sanitizer runtimes). ELRR_GATE_QUICK=1 runs the fast CI variant:
@@ -31,10 +41,17 @@ ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 MAX_REGRESSION=${ELRR_MAX_REGRESSION:-0.10}
 QUICK=${ELRR_GATE_QUICK:-0}
 
-echo "== [1/4] Release build + ctest -L sim|svc|chaos|lp =="
+# Armed-tracing scope for the ctest runs (steps 1 and 4): %p keeps the
+# concurrent test processes from clobbering each other's trace files.
+TRACE_DIR="$BUILD_DIR/obs_traces"
+mkdir -p "$TRACE_DIR"
+GATE_TRACE="$TRACE_DIR/trace-%p.json"
+
+echo "== [1/4] Release build + ctest -L sim|svc|chaos|lp|obs (traced) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests elrr_svc_tests elrr_chaos_tests elrr_lp_tests
-ctest --test-dir "$BUILD_DIR" -L 'sim|svc|chaos|lp' --output-on-failure -j
+cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests elrr_svc_tests elrr_chaos_tests elrr_lp_tests elrr_obs_tests
+ELRR_TRACE="$GATE_TRACE" \
+  ctest --test-dir "$BUILD_DIR" -L 'sim|svc|chaos|lp|obs' --output-on-failure -j
 
 if [ "$QUICK" = "1" ]; then
   echo "== [2/4] perf_smoke --quick (bit-exactness gated) =="
@@ -52,11 +69,14 @@ fi
 if [ "${ELRR_SKIP_SANITIZE:-0}" = "1" ]; then
   echo "== [4/4] sanitizer sweep skipped (ELRR_SKIP_SANITIZE=1) =="
 else
-  echo "== [4/4] ASan/UBSan ctest -L sim|svc|lp =="
+  echo "== [4/4] ASan/UBSan ctest -L sim|svc|lp|obs (traced) =="
   cmake -B "$ASAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
     -DELRR_SANITIZE=address,undefined
-  cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests elrr_svc_tests elrr_lp_tests
-  ctest --test-dir "$ASAN_BUILD_DIR" -L 'sim|svc|lp' --output-on-failure -j
+  cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests elrr_svc_tests elrr_lp_tests elrr_obs_tests
+  mkdir -p "$ASAN_BUILD_DIR/obs_traces"
+  ELRR_TRACE="$ASAN_BUILD_DIR/obs_traces/trace-%p.json" \
+    ctest --test-dir "$ASAN_BUILD_DIR" -L 'sim|svc|lp|obs' -E 'ObsProc' \
+    --output-on-failure -j
 fi
 
 echo "bench gate: all green"

@@ -13,6 +13,14 @@
 # stderr under chaos_logs/proc/ (via ELRR_PROC_LOG_DIR), so a dead
 # worker's last words ride the same artifact.
 #
+# The harness runs with tracing armed (ELRR_TRACE): spawned `elrr work`
+# workers arm themselves from the inherited environment and ship their
+# spans back over the response protocol, so the span section is
+# exercised under every crash/redispatch schedule; any trace JSON an
+# `elrr` process writes lands in chaos_logs/trace/ and rides the same
+# failure artifact (%p in the path keeps concurrent processes from
+# clobbering each other).
+#
 # Usage:
 #   tools/chaos_run.sh                 # build + run every chaos test
 #   ELRR_CHAOS_FILTER=Stuck tools/chaos_run.sh   # -R regex subset
@@ -26,9 +34,11 @@ LOG_DIR="$BUILD_DIR/chaos_logs"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target elrr_chaos_tests
 
-mkdir -p "$LOG_DIR" "$LOG_DIR/proc"
+mkdir -p "$LOG_DIR" "$LOG_DIR/proc" "$LOG_DIR/trace"
 # Per-slot worker stderr (crash last-words) for the proc-fleet tests.
 export ELRR_PROC_LOG_DIR="$LOG_DIR/proc"
+# Tracing armed across the harness (see header).
+export ELRR_TRACE="$LOG_DIR/trace/trace-%p.json"
 CTEST_ARGS=(-L chaos --output-on-failure --output-log "$LOG_DIR/chaos.log")
 if [ -n "$FILTER" ]; then
   CTEST_ARGS+=(-R "$FILTER")

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -22,6 +24,7 @@
 #include "heur/heuristic.hpp"
 #include "io/rrg_format.hpp"
 #include "lp/mps.hpp"
+#include "obs/trace.hpp"
 #include "retime/leiserson_saxe.hpp"
 #include "retime/min_area.hpp"
 #include "sim/markov.hpp"
@@ -33,6 +36,7 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/strings.hpp"
+#include "svc/disk_cache.hpp"
 #include "svc/manifest.hpp"
 #include "svc/scheduler.hpp"
 
@@ -75,7 +79,11 @@ commands:
               against the persistent cache (requires
               ELRR_DISK_CACHE_DIR): already-completed jobs are served
               bit-identically from disk and counted as "resumed" in the
-              summary; the rest run for real.
+              summary; the rest run for real. --trace <out.json> arms
+              the obs layer (same as ELRR_TRACE) and writes a Perfetto-
+              loadable Chrome trace of the whole batch -- scheduler,
+              walk, MILP, fleet and proc-worker tracks on one timeline;
+              the summary stream gains a trace_summary record.
   work        internal: simulation worker process (spawned by the fleet
               when ELRR_PROC_WORKERS > 0; speaks the length-framed slice
               protocol on stdin/stdout -- not for interactive use)
@@ -88,6 +96,10 @@ commands:
               min-period retiming's period); classical registers only
   from-bench  --input <file.bench> [--output <file.rrg>]  (largest SCC,
               unit delays; --annotate re-randomizes per the paper, --seed N)
+  trace-summary  <trace.json>  -- aggregate per-phase latency table
+              (count / total / p50 / p95 / p99) from a trace written by
+              --trace / ELRR_TRACE; exact percentiles from the recorded
+              span durations
   bench-diff  --new <BENCH_sim.json> --baseline <BENCH_sim.json>
               [--max-regression F] [--json]  (default 0.10: fail if any
               section is >10% slower than the committed baseline;
@@ -547,6 +559,37 @@ void print_batch_result(std::ostream& out, const svc::JobResult& result) {
   out << buf << "\n";
 }
 
+/// The `{"trace_summary": true, ...}` JSONL record: per-phase latency
+/// aggregates from the obs histograms plus the named counters and the
+/// ring-wrap drop count. The batch summary stream carries it whenever
+/// tracing is armed.
+std::string trace_summary_record() {
+  std::ostringstream os;
+  char buf[320];
+  os << "{\"trace_summary\": true, \"phases\": [";
+  bool first = true;
+  for (const obs::PhaseSummary& row : obs::histogram_summary()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\": \"%s\", \"count\": %llu, "
+                  "\"total_s\": %.6f, \"p50_s\": %.9f, \"p95_s\": %.9f, "
+                  "\"p99_s\": %.9f}",
+                  first ? "" : ", ", json_escape(row.name).c_str(),
+                  static_cast<unsigned long long>(row.count), row.total_s,
+                  row.p50_s, row.p95_s, row.p99_s);
+    os << buf;
+    first = false;
+  }
+  os << "], \"counters\": {";
+  first = true;
+  for (const obs::CounterValue& counter : obs::counters()) {
+    os << (first ? "" : ", ") << "\"" << json_escape(counter.name)
+       << "\": " << counter.value;
+    first = false;
+  }
+  os << "}, \"dropped_spans\": " << obs::dropped_spans() << "}\n";
+  return os.str();
+}
+
 int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
   // Manifest path: positional (elrr batch jobs.jsonl) or --manifest.
   std::string manifest_path = args.get_or("manifest", "");
@@ -569,7 +612,17 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
                threads);
   const auto output = args.get("output");
   const bool resume = args.get_flag("resume");
+  const auto trace = args.get("trace");
   args.finish();
+  if (trace.has_value()) {
+    ELRR_REQUIRE(!trace->empty(), "--trace needs a non-empty path");
+    // --trace is ELRR_TRACE spelled as a flag: arm the obs layer here
+    // and export the env variable so the proc tier's worker processes
+    // (which inherit the environment) arm too and ship their spans back
+    // over the pipe protocol.
+    ::setenv("ELRR_TRACE", trace->c_str(), 1);
+    obs::configure(*trace, obs::ring_capacity());
+  }
 
   const std::vector<svc::ManifestEntry> entries =
       svc::parse_manifest(io::load_text_file(manifest_path));
@@ -625,34 +678,102 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
     resumed += result.stats.disk_cache_hit ? 1 : 0;
   }
   // Trailing summary record keeps the stream pure JSONL while still
-  // reporting batch-wide stats (scheduler + shared-fleet cache).
+  // reporting batch-wide stats. Every layer's counters ride one nested
+  // "stats" object -- scheduler, shared fleet cache, proc tier, disk
+  // cache (when enabled) and the MILP session stats summed over the
+  // jobs -- instead of the old partial per-layer sprinkling.
   const svc::SchedulerStats stats = scheduler.stats();
   const sim::SimCacheStats cache = scheduler.fleet().cache_stats();
-  char buf[512];
+  const sim::ProcFleetStats proc = scheduler.fleet().proc_stats();
+  lp::SessionStats milp;
+  for (const svc::JobResult& result : results) {
+    const lp::SessionStats& m = result.circuit.milp;
+    milp.solves += m.solves;
+    milp.warm_attempts += m.warm_attempts;
+    milp.warm_roots += m.warm_roots;
+    milp.warm_seeds += m.warm_seeds;
+    milp.warm_fallbacks += m.warm_fallbacks;
+    milp.cold_solves += m.cold_solves;
+    milp.presolves += m.presolves;
+    milp.nodes += m.nodes;
+    milp.lp_iterations += m.lp_iterations;
+    milp.solve_seconds += m.solve_seconds;
+  }
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\"summary\": true, \"jobs\": %zu, \"done\": %zu, "
-                "\"failed\": %zu, \"rejected\": %zu, \"degraded\": %zu, "
-                "\"cancelled\": %zu, \"retries\": %llu, "
-                "\"job_cache_hits\": %llu, \"disk_cache_hits\": %llu, "
-                "\"sim_cache_hits\": %llu, "
-                "\"unique_simulations\": %llu, \"sim_cache_entries\": %zu, "
-                "\"sim_cache_evictions\": %llu",
+                "\"failed\": %zu, \"rejected\": %zu",
+                stats.submitted, stats.completed, stats.failed,
+                stats.rejected);
+  lines << buf;
+  // The resumed count only exists on --resume runs: it answers "how much
+  // of the dead batch survived", a question a fresh batch never asks.
+  if (resume) lines << ", \"resumed\": " << resumed;
+  std::snprintf(buf, sizeof(buf),
+                ", \"stats\": {\"scheduler\": {\"submitted\": %zu, "
+                "\"completed\": %zu, \"failed\": %zu, \"rejected\": %zu, "
+                "\"degraded\": %zu, \"cancelled\": %zu, \"retries\": %llu, "
+                "\"job_cache_hits\": %llu, \"disk_cache_hits\": %llu}",
                 stats.submitted, stats.completed, stats.failed,
                 stats.rejected, stats.degraded, stats.cancelled,
                 static_cast<unsigned long long>(stats.retries),
                 static_cast<unsigned long long>(stats.job_cache_hits),
-                static_cast<unsigned long long>(stats.disk_cache_hits),
+                static_cast<unsigned long long>(stats.disk_cache_hits));
+  lines << buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"fleet_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"entries\": %zu, \"bytes\": %zu, \"capacity_bytes\": %zu, "
+                "\"evictions\": %llu}",
                 static_cast<unsigned long long>(cache.hits),
-                static_cast<unsigned long long>(cache.misses),
-                cache.entries,
+                static_cast<unsigned long long>(cache.misses), cache.entries,
+                cache.bytes, cache.capacity_bytes,
                 static_cast<unsigned long long>(cache.evictions));
   lines << buf;
-  // The resumed count only exists on --resume runs: it answers "how much
-  // of the dead batch survived", a question a fresh batch never asks --
-  // and keeping the field off the normal summary keeps old summary
-  // parsers byte-compatible.
-  if (resume) lines << ", \"resumed\": " << resumed;
-  lines << "}\n";
+  std::snprintf(buf, sizeof(buf),
+                ", \"proc\": {\"workers\": %zu, \"spawns\": %llu, "
+                "\"crashes\": %llu, \"respawns\": %llu, "
+                "\"redispatches\": %llu}",
+                scheduler.fleet().proc_workers(),
+                static_cast<unsigned long long>(proc.spawns),
+                static_cast<unsigned long long>(proc.crashes),
+                static_cast<unsigned long long>(proc.respawns),
+                static_cast<unsigned long long>(proc.redispatches));
+  lines << buf;
+  if (scheduler.disk_cache() != nullptr) {
+    const svc::DiskCacheStats disk = scheduler.disk_cache()->stats();
+    std::snprintf(buf, sizeof(buf),
+                  ", \"disk_cache\": {\"entries\": %zu, \"bytes\": %zu, "
+                  "\"hits\": %llu, \"misses\": %llu, \"corrupt\": %llu, "
+                  "\"stores\": %llu, \"store_errors\": %llu, "
+                  "\"evictions\": %llu}",
+                  disk.entries, disk.bytes,
+                  static_cast<unsigned long long>(disk.hits),
+                  static_cast<unsigned long long>(disk.misses),
+                  static_cast<unsigned long long>(disk.corrupt),
+                  static_cast<unsigned long long>(disk.stores),
+                  static_cast<unsigned long long>(disk.store_errors),
+                  static_cast<unsigned long long>(disk.evictions));
+    lines << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                ", \"milp\": {\"solves\": %lld, \"warm_attempts\": %lld, "
+                "\"warm_roots\": %lld, \"warm_fallbacks\": %lld, "
+                "\"cold_solves\": %lld, \"presolves\": %lld, "
+                "\"nodes\": %lld, \"lp_iterations\": %lld, "
+                "\"solve_seconds\": %.4f}}",
+                static_cast<long long>(milp.solves),
+                static_cast<long long>(milp.warm_attempts),
+                static_cast<long long>(milp.warm_roots),
+                static_cast<long long>(milp.warm_fallbacks),
+                static_cast<long long>(milp.cold_solves),
+                static_cast<long long>(milp.presolves),
+                static_cast<long long>(milp.nodes),
+                static_cast<long long>(milp.lp_iterations),
+                milp.solve_seconds);
+  lines << buf << "}\n";
+  // The machine-readable twin of `elrr trace-summary`: per-phase
+  // latency aggregates from the obs histograms, in the same stream.
+  if (obs::armed()) lines << trace_summary_record();
 
   if (output.has_value()) {
     io::save_text_file(*output, lines.str());
@@ -665,6 +786,11 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
     err << "batch: resumed " << resumed << "/" << results.size()
         << " job(s) from the persistent cache\n";
   }
+  if (obs::armed() && !obs::trace_path().empty()) {
+    obs::write_trace(obs::trace_path());
+    err << "batch: wrote trace to "
+        << obs::expand_trace_path(obs::trace_path()) << "\n";
+  }
   return failed > 0 ? 1 : 0;
 }
 
@@ -675,7 +801,68 @@ int cmd_batch(Args& args, std::ostream& out, std::ostream& err) {
 /// chaos schedule naming `proc.worker` fires *here*, in the child.
 int cmd_work(Args& args) {
   args.finish();
+  // A worker inherits ELRR_TRACE (that is how it arms), but its spans
+  // travel back over the pipe protocol; writing the trace file itself
+  // would clobber the supervisor's export.
+  obs::set_export_on_exit(false);
   return sim::proc::worker_loop(/*in_fd=*/0, /*out_fd=*/1);
+}
+
+/// `elrr trace-summary <trace.json>`: aggregate per-phase latency table
+/// from a Chrome trace written by --trace / ELRR_TRACE. Percentiles
+/// here are *exact* order statistics over the recorded span durations
+/// (the batch-stream trace_summary record interpolates from log2
+/// histogram buckets; the two agree to within one bucket bracket).
+int cmd_trace_summary(Args& args, std::ostream& out) {
+  std::string path = args.get_or("input", "");
+  if (path.empty() && !args.positional().empty()) {
+    path = args.positional().front();
+  }
+  ELRR_REQUIRE(!path.empty(), "usage: elrr trace-summary <trace.json>");
+  args.finish();
+  const std::string text = io::load_text_file(path);
+
+  // The exporter writes one complete-span event per line with a fixed
+  // field order; scan for `"ph": "X"` lines and pull name + dur.
+  std::map<std::string, std::vector<double>> durations_us;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find("\"ph\": \"X\"") == std::string::npos) continue;
+    const std::string name_tag = "\"name\": \"";
+    const std::string dur_tag = "\"dur\": ";
+    const std::size_t name_at = line.find(name_tag);
+    const std::size_t dur_at = line.find(dur_tag);
+    if (name_at == std::string::npos || dur_at == std::string::npos) continue;
+    const std::size_t name_from = name_at + name_tag.size();
+    const std::size_t name_to = line.find('"', name_from);
+    if (name_to == std::string::npos) continue;
+    durations_us[line.substr(name_from, name_to - name_from)].push_back(
+        std::strtod(line.c_str() + dur_at + dur_tag.size(), nullptr));
+  }
+  ELRR_REQUIRE(!durations_us.empty(), "no complete-span events in ", path,
+               " (expected a trace written by `elrr batch --trace` or "
+               "ELRR_TRACE)");
+
+  out << "phase                    count      total_s       p50_s       "
+         "p95_s       p99_s\n";
+  char row[200];
+  for (auto& [name, durs] : durations_us) {
+    std::sort(durs.begin(), durs.end());
+    const auto pct = [&durs](double q) {
+      const std::size_t at = static_cast<std::size_t>(
+          q * static_cast<double>(durs.size() - 1) + 0.5);
+      return durs[std::min(at, durs.size() - 1)] * 1e-6;
+    };
+    double total = 0.0;
+    for (const double d : durs) total += d;
+    std::snprintf(row, sizeof(row),
+                  "%-22s %8zu %12.6f %11.6f %11.6f %11.6f\n", name.c_str(),
+                  durs.size(), total * 1e-6, pct(0.50), pct(0.95),
+                  pct(0.99));
+    out << row;
+  }
+  return 0;
 }
 
 int cmd_bench_diff(Args& args, std::ostream& out) {
@@ -698,6 +885,10 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
     const char* name;
     const char* key;
     bool higher_is_better;
+    /// Per-section regression ceiling; 0 = the global --max-regression.
+    /// The obs section pins the *disarmed overhead* of the tracing
+    /// layer, which must stay within noise -- a 2% gate, not 10%.
+    double max_regression = 0.0;
   };
   constexpr Section kSections[] = {
       {"small", "cycles_per_sec", true},
@@ -710,6 +901,7 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
       {"batch", "scheduler_seconds", false},
       {"milp", "warm_seconds", false},
       {"proc", "proc_seconds", false},
+      {"obs", "fleet_seconds", false, 0.02},
   };
 
   // Evaluate every section first; render (text or --json) after, so both
@@ -744,10 +936,13 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
     // threshold: throughput dropped below (1 - F) x baseline, or seconds
     // grew past (1 + F) x baseline -- symmetric in the metric, not in
     // the folded speedup.
+    const double threshold = section.max_regression > 0.0
+                                 ? section.max_regression
+                                 : max_regression;
     const bool regressed =
         section.higher_is_better
-            ? *row.new_value < *row.old_value * (1.0 - max_regression)
-            : *row.new_value > *row.old_value * (1.0 + max_regression);
+            ? *row.new_value < *row.old_value * (1.0 - threshold)
+            : *row.new_value > *row.old_value * (1.0 + threshold);
     row.status = regressed ? "fail" : "pass";
     ++compared;
     regressions += regressed ? 1 : 0;
@@ -833,10 +1028,11 @@ int cmd_bench_diff(Args& args, std::ostream& out) {
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   try {
-    // Arm fail-point injection before any command logic: a malformed
-    // ELRR_FAILPOINTS spec throws here, naming the variable, before any
-    // work starts.
+    // Arm fail-point injection and tracing before any command logic: a
+    // malformed ELRR_FAILPOINTS / ELRR_TRACE / ELRR_OBS_BUF throws here,
+    // naming the variable, before any work starts.
     failpoint::configure_from_env();
+    obs::configure_from_env();
     Args args(argc, argv);
     const std::string& cmd = args.command();
     if (cmd.empty() || cmd == "help") {
@@ -854,6 +1050,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (cmd == "from-bench") return cmd_from_bench(args, out);
     if (cmd == "batch") return cmd_batch(args, out, err);
     if (cmd == "work") return cmd_work(args);
+    if (cmd == "trace-summary") return cmd_trace_summary(args, out);
     if (cmd == "bench-diff") return cmd_bench_diff(args, out);
     err << "elrr: unknown command '" << cmd << "' (try `elrr help`)\n";
     return 2;
