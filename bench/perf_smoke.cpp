@@ -52,6 +52,7 @@
 #include "flow/engine.hpp"
 #include "io/rrg_format.hpp"
 #include "lp/session.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/fleet.hpp"
 #include "support/bench_json.hpp"
@@ -314,9 +315,12 @@ ProcRow measure_proc() {
 struct ObsRow {
   double disarmed_s = 0.0;   ///< fleet workload, tracing compiled in but off
   double armed_s = 0.0;      ///< same workload with tracing armed
+  double recorder_s = 0.0;   ///< same workload with the flight recorder armed
   std::size_t candidates = 0;
   std::size_t spans = 0;     ///< spans recorded during the last armed rep
+  std::size_t events = 0;    ///< recorder events during the last armed rep
   bool bit_exact = false;    ///< armed thetas == disarmed thetas
+  bool recorder_bit_exact = false;  ///< recorder-armed thetas == disarmed
 };
 
 /// The tracing layer's cost on the fleet workload (obs/trace.hpp). The
@@ -374,9 +378,40 @@ ObsRow measure_obs() {
   row.spans = elrr::obs::snapshot_spans().size();
   elrr::obs::reset();
 
+  // The flight recorder (obs/recorder.hpp) on the same workload: armed
+  // it costs one journal event per slice dispatch (a relaxed ring claim
+  // + a few plain stores), disarmed one relaxed load per site -- the
+  // bench-diff `obs`/`recorder_seconds` row pins the armed time at
+  // <= 2% regression, and bit-exactness is the same no-feedback
+  // contract tracing honors. The dump dir is cwd; the pre-opened temp
+  // file is unlinked by reset() below, so a crash-free run leaves
+  // nothing behind.
+  std::vector<double> recorder_thetas(candidates.size());
+  double best_recorder = 1e300;
+  elrr::obs::rec::configure(".", 1 << 16);
+  {
+    elrr::sim::SimFleet fleet(0);
+    for (int rep = 0; rep < (quick ? 1 : 3); ++rep) {
+      const auto t0 = Clock::now();
+      for (const elrr::Rrg& candidate : candidates) {
+        fleet.submit(candidate, options);
+      }
+      const std::vector<elrr::sim::SimReport> reports = fleet.drain();
+      best_recorder = std::min(best_recorder, seconds_since(t0));
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        recorder_thetas[i] = reports[i].theta;
+      }
+    }
+  }
+  row.events = elrr::obs::rec::snapshot_events().size() +
+               static_cast<std::size_t>(elrr::obs::rec::dropped_events());
+  elrr::obs::rec::reset();
+
   row.disarmed_s = best_disarmed;
   row.armed_s = best_armed;
+  row.recorder_s = best_recorder;
   row.bit_exact = disarmed_thetas == armed_thetas;
+  row.recorder_bit_exact = disarmed_thetas == recorder_thetas;
   return row;
 }
 
@@ -955,21 +990,29 @@ int main(int argc, char** argv) {
 
   const ObsRow obs = measure_obs();
   all_bit_exact &= obs.bit_exact;
+  all_bit_exact &= obs.recorder_bit_exact;
   std::fprintf(out,
                ",\n    \"obs\": {\"workload\": "
                "\"the fleet candidate set with tracing disarmed (gated: "
-               "one relaxed load per site) vs armed\", "
+               "one relaxed load per site) vs armed vs the flight "
+               "recorder armed\", "
                "\"candidates\": %zu, \"fleet_seconds\": %.4f, "
                "\"armed_seconds\": %.4f, \"armed_overhead\": %.2f, "
-               "\"spans_recorded\": %zu, \"bit_exact\": %s}",
+               "\"spans_recorded\": %zu, "
+               "\"recorder_seconds\": %.4f, \"recorder_overhead\": %.2f, "
+               "\"events_recorded\": %zu, \"bit_exact\": %s}",
                obs.candidates, obs.disarmed_s, obs.armed_s,
-               obs.armed_s / obs.disarmed_s, obs.spans,
-               obs.bit_exact ? "true" : "false");
+               obs.armed_s / obs.disarmed_s, obs.spans, obs.recorder_s,
+               obs.recorder_s / obs.disarmed_s, obs.events,
+               obs.bit_exact && obs.recorder_bit_exact ? "true" : "false");
   std::printf("obs        (%zu candidates): disarmed %.3fs, armed %.3fs "
-              "(%zu spans), armed overhead %.2fx, %s",
+              "(%zu spans), armed overhead %.2fx, recorder %.3fs "
+              "(%zu events, %.2fx), %s",
               obs.candidates, obs.disarmed_s, obs.armed_s, obs.spans,
-              obs.armed_s / obs.disarmed_s,
-              obs.bit_exact ? "bit-exact" : "MISMATCH");
+              obs.armed_s / obs.disarmed_s, obs.recorder_s, obs.events,
+              obs.recorder_s / obs.disarmed_s,
+              obs.bit_exact && obs.recorder_bit_exact ? "bit-exact"
+                                                      : "MISMATCH");
   if (baseline) {
     if (const auto prev = elrr::bench_json::find_number(
             baseline->text, "obs", "fleet_seconds")) {

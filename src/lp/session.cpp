@@ -5,6 +5,7 @@
 #include <optional>
 #include <queue>
 
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
@@ -518,6 +519,10 @@ void MilpSession::ensure_engine() {
 MilpResult MilpSession::solve() {
   failpoint::trip("milp.solve");
   OBS_SPAN("milp.solve");
+  // Flight-recorder lifecycle mark: a postmortem of a process that died
+  // inside the solver shows how deep into the session it was.
+  obs::rec::event("milp.solve",
+                  static_cast<std::uint64_t>(stats_.solves + 1));
   ++stats_.solves;
   const std::int64_t cold_before = stats_.cold_solves;
   Stopwatch watch;

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
 #include "support/env.hpp"
 #include "support/error.hpp"
@@ -31,6 +32,8 @@ namespace {
 constexpr std::size_t kMaxForeignSpans = std::size_t{1} << 20;
 
 constexpr std::size_t kHistBuckets = 64;
+static_assert(kHistBuckets == detail::kSigHistBuckets,
+              "signal-safe hist view and registry bucket counts diverged");
 
 /// One thread's span ring. The owning thread is the only writer: it
 /// fills the slot with plain stores, then publishes with a
@@ -75,6 +78,16 @@ State& state() {
   static State* s = new State();
   return *s;
 }
+
+/// Signal-safe registry mirror (see trace.hpp detail::SigCounterView):
+/// fixed arrays appended under the registry mutex, read lock-free by
+/// the crash handler. Sized well past the repo's site count; overflow
+/// entries simply stay invisible to postmortems.
+constexpr std::size_t kMaxSigViews = 256;
+detail::SigCounterView g_sig_counters[kMaxSigViews];
+std::atomic<std::size_t> g_sig_counter_count{0};
+detail::SigHistView g_sig_hists[kMaxSigViews];
+std::atomic<std::size_t> g_sig_hist_count{0};
 
 struct TlsRef {
   std::shared_ptr<ThreadBuffer> buf;
@@ -121,7 +134,15 @@ std::size_t hist_bucket(std::int64_t dur_ns) {
 
 /// Caller holds state().mutex.
 void feed_hist_locked(State& s, const char* name, std::int64_t dur_ns) {
-  Hist& h = s.hists[name];
+  const auto [it, inserted] = s.hists.try_emplace(name);
+  Hist& h = it->second;
+  if (inserted) {
+    const std::size_t n = g_sig_hist_count.load(std::memory_order_relaxed);
+    if (n < kMaxSigViews) {
+      g_sig_hists[n] = {it->first.c_str(), h.buckets, &h.count, &h.total_ns};
+      g_sig_hist_count.store(n + 1, std::memory_order_release);
+    }
+  }
   ++h.buckets[hist_bucket(dur_ns)];
   ++h.count;
   h.total_ns += static_cast<std::uint64_t>(dur_ns > 0 ? dur_ns : 0);
@@ -214,7 +235,25 @@ void record_foreign_span_slow(const char* name, std::int64_t start_ns,
 void count_slow(const char* name, std::uint64_t delta) {
   State& s = state();
   const std::lock_guard<std::mutex> lock(s.mutex);
-  s.counters[name] += delta;
+  const auto [it, inserted] = s.counters.try_emplace(name, 0);
+  it->second += delta;
+  if (inserted) {
+    const std::size_t n = g_sig_counter_count.load(std::memory_order_relaxed);
+    if (n < kMaxSigViews) {
+      g_sig_counters[n] = {it->first.c_str(), &it->second};
+      g_sig_counter_count.store(n + 1, std::memory_order_release);
+    }
+  }
+}
+
+std::size_t sig_counters(const SigCounterView** out) {
+  *out = g_sig_counters;
+  return g_sig_counter_count.load(std::memory_order_acquire);
+}
+
+std::size_t sig_hists(const SigHistView** out) {
+  *out = g_sig_hists;
+  return g_sig_hist_count.load(std::memory_order_acquire);
 }
 
 }  // namespace detail
@@ -237,6 +276,10 @@ void configure(const std::string& trace_path, std::size_t ring_capacity) {
   detail::g_armed.store(false, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
+    // Retract the signal-safe mirror before its pointees go away; the
+    // crash handler sees either the old view or an empty one.
+    g_sig_counter_count.store(0, std::memory_order_release);
+    g_sig_hist_count.store(0, std::memory_order_release);
     s.generation.fetch_add(1, std::memory_order_acq_rel);
     s.buffers.clear();
     s.foreign.clear();
@@ -377,6 +420,34 @@ std::vector<CounterValue> counters() {
   return out;
 }
 
+std::string summary_json() {
+  std::ostringstream os;
+  char buf[320];
+  os << "\"phases\": [";
+  bool first = true;
+  for (const PhaseSummary& row : histogram_summary()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\": \"%s\", \"count\": %llu, "
+                  "\"total_s\": %.6f, \"p50_s\": %.9f, \"p95_s\": %.9f, "
+                  "\"p99_s\": %.9f}",
+                  first ? "" : ", ", json_escape(row.name).c_str(),
+                  static_cast<unsigned long long>(row.count), row.total_s,
+                  row.p50_s, row.p95_s, row.p99_s);
+    os << buf;
+    first = false;
+  }
+  os << "], \"counters\": {";
+  first = true;
+  for (const CounterValue& counter : counters()) {
+    os << (first ? "" : ", ") << "\"" << json_escape(counter.name)
+       << "\": " << counter.value;
+    first = false;
+  }
+  os << "}, \"dropped_spans\": " << dropped_spans()
+     << ", \"ring_capacity\": " << ring_capacity();
+  return os.str();
+}
+
 void write_trace(const std::string& path) {
   const std::vector<SpanRecord> spans = snapshot_spans();
 
@@ -469,6 +540,7 @@ void write_trace(const std::string& path) {
              out);
   std::fprintf(out, "\n    \"dropped_spans\": %llu",
                static_cast<unsigned long long>(dropped));
+  std::fprintf(out, ",\n    \"ring_capacity\": %zu", ring_capacity());
   for (const CounterValue& c : counter_rows) {
     std::fprintf(out, ",\n    \"%s\": %llu", json_escape(c.name).c_str(),
                  static_cast<unsigned long long>(c.value));

@@ -67,6 +67,29 @@ void record_foreign_span_slow(const char* name, std::int64_t start_ns,
                               std::int64_t end_ns, std::uint32_t pid,
                               std::uint32_t tid);
 void count_slow(const char* name, std::uint64_t delta);
+
+/// Async-signal-safe mirror of the counter/histogram registries for the
+/// flight recorder's fatal dump (obs/recorder.hpp). std::map nodes are
+/// address-stable, so each view holds pointers straight into the live
+/// registry: append-only fixed arrays, published by a release-stored
+/// count on first insert and zeroed by configure(). A crash handler
+/// reads them without the registry mutex; a value the owner is mid-way
+/// through bumping can tear, which is acceptable in a crash dump.
+inline constexpr std::size_t kSigHistBuckets = 64;
+struct SigCounterView {
+  const char* name = nullptr;
+  const std::uint64_t* value = nullptr;
+};
+struct SigHistView {
+  const char* name = nullptr;
+  const std::uint64_t* buckets = nullptr;  ///< kSigHistBuckets log2 buckets
+  const std::uint64_t* count = nullptr;
+  const std::uint64_t* total_ns = nullptr;
+};
+/// Points `*out` at the mirror array; returns the published entry
+/// count. Async-signal-safe (two loads, no locks).
+std::size_t sig_counters(const SigCounterView** out);
+std::size_t sig_hists(const SigHistView** out);
 }  // namespace detail
 
 /// True while tracing is armed (one relaxed load; the only cost every
@@ -217,6 +240,13 @@ struct CounterValue {
 
 /// All named counters, name-sorted.
 std::vector<CounterValue> counters();
+
+/// The aggregate view as a JSON key-value list (no surrounding braces):
+/// `"phases": [...], "counters": {...}, "dropped_spans": N,
+/// "ring_capacity": N`. Shared by the batch summary's trace_summary
+/// record and the scheduler's periodic stats snapshot so the two stay
+/// field-compatible.
+std::string summary_json();
 
 /// Writes everything recorded so far as Chrome trace-event JSON
 /// (traceEvents of "ph":"X" spans plus process/thread name metadata;

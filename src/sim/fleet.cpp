@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "io/rrg_format.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/choosers.hpp"
 #include "sim/proc_fleet.hpp"
@@ -448,6 +449,7 @@ struct FleetCore {
   std::uint64_t proc_crashes = 0;
   std::uint64_t proc_respawns = 0;
   std::uint64_t proc_redispatches = 0;
+  std::uint64_t proc_postmortems = 0;  ///< crashed-worker dumps harvested
 
   /// Drops a job's dedup-cache entry (if present) under `mutex`. Both
   /// failure paths route through here: a failed job must not replay its
@@ -628,10 +630,13 @@ void SimFleet::worker_main(std::size_t slot) {
         // with the heartbeat set, which is what stuck_workers() reads.
         failpoint::trip("fleet.worker");
         OBS_SPAN_ID("fleet.slice", entry.first);
+        obs::rec::event("slice.dispatch", entry.first, entry.count);
+        obs::rec::set_inflight("slice", entry.first);
         fleet_detail::execute_slice(ctx, entry.first, entry.count);
       } catch (...) {
         failure = std::current_exception();
       }
+      obs::rec::clear_inflight();
     }
     lock.lock();
     core.beats[slot].busy = false;
@@ -689,10 +694,13 @@ void SimFleet::proc_supervisor_main(std::size_t slot) {
         // *child-side* site -- a real process death, not a throw.)
         failpoint::trip("fleet.worker");
         OBS_SPAN_ID("fleet.proc_slice", entry.first);
+        obs::rec::event("slice.dispatch", entry.first, entry.count);
+        obs::rec::set_inflight("slice", entry.first);
         proc_run_slice(slot, entry, &child, &spawn_generation);
       } catch (...) {
         failure = std::current_exception();
       }
+      obs::rec::clear_inflight();
     }
     lock.lock();
     core.beats[slot].busy = false;
@@ -713,6 +721,28 @@ void SimFleet::proc_supervisor_main(std::size_t slot) {
   // SIGKILL + reap for a wedged one).
   child.reset();
 }
+
+namespace {
+
+/// Folds a crashed worker's postmortem -- if the child's flight
+/// recorder managed to publish one; SIGKILL leaves none -- into the
+/// death reason, so the path and the last-events excerpt ride every
+/// surface the crash already reaches: the supervisor's stderr line,
+/// the exhaustion TransientError, and through it the batch JSONL.
+std::string harvested_death(FleetCore& core, int dead_pid,
+                            std::string death) {
+  const std::optional<obs::rec::Harvest> pm = obs::rec::harvest(dead_pid);
+  if (!pm.has_value()) return death;
+  {
+    const std::lock_guard<std::mutex> lock(core.mutex);
+    ++core.proc_postmortems;
+  }
+  death += "; postmortem: " + pm->path;
+  if (!pm->excerpt.empty()) death += " [" + pm->excerpt + "]";
+  return death;
+}
+
+}  // namespace
 
 void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
                               std::unique_ptr<proc::WorkerProcess>* child,
@@ -743,8 +773,11 @@ void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
       // Death noticed between slices (an external SIGKILL while the
       // worker sat idle) is still a crash of this tier; the slice at
       // hand simply becomes the first one of the replacement.
-      last_death = (*child)->death_reason();
+      const int dead_pid = (*child)->pid();
+      last_death = harvested_death(core, dead_pid, (*child)->death_reason());
       child->reset();
+      obs::rec::event("worker.crash", static_cast<std::uint64_t>(dead_pid),
+                      entry.first);
       const std::lock_guard<std::mutex> lock(core.mutex);
       ++core.proc_crashes;
       core.child_pids[slot] = 0;
@@ -762,6 +795,9 @@ void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
         continue;  // a failed spawn burns one attempt of the budget
       }
       ++(*spawn_generation);
+      obs::rec::event(*spawn_generation > 1 ? "worker.respawn"
+                                            : "worker.spawn",
+                      slot, static_cast<std::uint64_t>((*child)->pid()));
       const std::lock_guard<std::mutex> lock(core.mutex);
       ++core.proc_spawns;
       if (*spawn_generation > 1) ++core.proc_respawns;
@@ -812,8 +848,13 @@ void SimFleet::proc_run_slice(std::size_t slot, const QueueEntry& entry,
     // then respawn and re-dispatch this same slice. Its per_run slots
     // are untouched by the dead attempt (results only land with a whole
     // valid response frame), so the merge stays bit-identical.
-    last_death = (*child)->death_reason();
+    const int dead_pid = (*child)->pid();
+    last_death = harvested_death(core, dead_pid, (*child)->death_reason());
     child->reset();
+    obs::rec::event("worker.crash", static_cast<std::uint64_t>(dead_pid),
+                    entry.first);
+    obs::rec::event("slice.redispatch", entry.first,
+                    static_cast<std::uint64_t>(attempt + 1));
     {
       const std::lock_guard<std::mutex> lock(core.mutex);
       ++core.proc_crashes;
@@ -897,7 +938,10 @@ std::vector<SimReport> SimFleet::drain() {
   if (workers <= 1 && proc_workers_ == 0) {
     for (const QueueEntry& entry : entries) {
       OBS_SPAN_ID("fleet.slice", entry.first);
+      obs::rec::event("slice.dispatch", entry.first, entry.count);
+      obs::rec::set_inflight("slice", entry.first);
       fleet_detail::execute_slice(*entry.ctx, entry.first, entry.count);
+      obs::rec::clear_inflight();
     }
   } else {
     ensure_pool(workers);
@@ -1173,7 +1217,18 @@ ProcFleetStats SimFleet::proc_stats() const {
   stats.crashes = core.proc_crashes;
   stats.respawns = core.proc_respawns;
   stats.redispatches = core.proc_redispatches;
+  stats.postmortems = core.proc_postmortems;
   return stats;
+}
+
+std::size_t SimFleet::busy_workers() const {
+  FleetCore& core = *core_;
+  const std::lock_guard<std::mutex> lock(core.mutex);
+  std::size_t busy = 0;
+  for (const FleetCore::WorkerBeat& beat : core.beats) {
+    if (beat.busy) ++busy;
+  }
+  return busy;
 }
 
 std::vector<int> SimFleet::proc_worker_pids() const {

@@ -177,6 +177,8 @@ struct ProcFleetStats {
   std::uint64_t crashes = 0;       ///< worker deaths detected by supervisors
   std::uint64_t respawns = 0;      ///< restarts after a crash
   std::uint64_t redispatches = 0;  ///< slices re-run after their worker died
+  std::uint64_t postmortems = 0;   ///< crashed-worker flight-recorder dumps
+                                   ///< harvested (obs/recorder.hpp)
 };
 
 /// Live + cumulative counters of the async session result cache.
@@ -268,6 +270,10 @@ class SimFleet {
   /// worker is wedged (or an injected `stall:` fail point is active) and
   /// bounded waits should report it rather than keep waiting. Thread-safe.
   std::size_t stuck_workers(double threshold_s) const;
+  /// Pool workers currently executing a slice (heartbeat-based). With
+  /// pool_size() this is the fleet-utilization reading the periodic
+  /// stats snapshot publishes for `elrr top`. Thread-safe.
+  std::size_t busy_workers() const;
 
   /// Process-isolated tier width (the ELRR_PROC_WORKERS knob, read at
   /// construction): 0 = the in-process pool (default); N > 0 = every

@@ -15,6 +15,7 @@
 #include <mutex>
 
 #include "io/rrg_format.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "support/env.hpp"
@@ -274,6 +275,19 @@ int worker_loop(int in_fd, int out_fd) {
         break;
     }
     std::string response;
+    // Mark the slice in-flight for the flight recorder *before* the
+    // fail point below: the injected stall is where a chaos schedule
+    // kills this process, and the postmortem must name the slice that
+    // was on the bench when it died. The request payload leads with
+    // (first, count) as two u32s, so the peek needs no full decode.
+    if (obs::rec::armed() && payload.size() >= 2 * sizeof(std::uint32_t)) {
+      std::uint32_t first = 0;
+      std::uint32_t count = 0;
+      std::memcpy(&first, payload.data(), sizeof(first));
+      std::memcpy(&count, payload.data() + sizeof(first), sizeof(count));
+      obs::rec::event("slice.recv", first, count);
+      obs::rec::set_inflight("slice", first);
+    }
     try {
       // The injectable whole-worker fault: firing exits without a
       // response -- indistinguishable from a real crash upstream, which
@@ -316,6 +330,7 @@ int worker_loop(int in_fd, int out_fd) {
       runner.reset();
       runner_key.clear();
     }
+    obs::rec::clear_inflight();
     if (!write_frame(out_fd, response)) {
       std::fprintf(stderr, "elrr work: response pipe broke, exiting\n");
       return kExitTorn;
@@ -446,6 +461,9 @@ bool WorkerProcess::alive() {
   if (r == pid_) {
     wait_status_ = status;
     reaped_ = true;
+    // An externally SIGKILLed child never cleaned its own recorder tmp
+    // (and never published -- rename can't happen after the reap).
+    obs::rec::discard_tmp(pid_);
     return false;
   }
   return true;
@@ -473,6 +491,7 @@ std::string WorkerProcess::death_reason() {
     ::kill(pid_, SIGKILL);
     ::waitpid(pid_, &wait_status_, 0);
     reaped_ = true;
+    obs::rec::discard_tmp(pid_);
   }
   if (WIFSIGNALED(wait_status_)) {
     const int sig = WTERMSIG(wait_status_);
@@ -491,10 +510,13 @@ void WorkerProcess::shutdown() {
   request_fd_ = response_fd_ = -1;
   if (pid_ > 0 && !reaped_) {
     // Closing the request pipe lets a healthy worker retire on EOF, but
-    // the fleet must not block on a wedged one: reap hard.
+    // the fleet must not block on a wedged one: reap hard. SIGKILL
+    // skips the child's own atexit tmp cleanup, so discard its orphaned
+    // flight-recorder tmp here.
     ::kill(pid_, SIGKILL);
     ::waitpid(pid_, &wait_status_, 0);
     reaped_ = true;
+    obs::rec::discard_tmp(pid_);
   }
 }
 

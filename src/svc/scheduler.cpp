@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
 #include "core/analysis.hpp"
 #include "core/opt.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "support/env.hpp"
@@ -121,6 +123,31 @@ SchedulerOptions SchedulerOptions::from_env() {
   options.disk_cache_dir = env::str("ELRR_DISK_CACHE_DIR", "");
   options.disk_cache_cap = static_cast<std::size_t>(
       env::u64("ELRR_DISK_CACHE_CAP", 0, 0, kNoCap));
+  // ELRR_STATS_SNAPSHOT=path:period_ms. The split is at the *last*
+  // colon so a path containing colons still parses; the period is
+  // validated strictly (integer ms in [10, 86400000]) like every other
+  // knob -- malformed values throw, never silently disable.
+  const std::string snapshot = env::str("ELRR_STATS_SNAPSHOT", "");
+  if (!snapshot.empty()) {
+    const std::size_t colon = snapshot.rfind(':');
+    bool ok = colon != std::string::npos && colon > 0 &&
+              colon + 1 < snapshot.size();
+    std::uint64_t period = 0;
+    for (std::size_t i = colon + 1; ok && i < snapshot.size(); ++i) {
+      ok = snapshot[i] >= '0' && snapshot[i] <= '9';
+      if (ok) period = period * 10 + static_cast<std::uint64_t>(
+                                         snapshot[i] - '0');
+      ok = ok && period <= 86'400'000;
+    }
+    ok = ok && period >= 10;
+    if (!ok) {
+      env::fail("ELRR_STATS_SNAPSHOT",
+                "path:period_ms with period in [10, 86400000]",
+                snapshot.c_str());
+    }
+    options.snapshot_path = snapshot.substr(0, colon);
+    options.snapshot_period_ms = period;
+  }
   return options;
 }
 
@@ -170,6 +197,9 @@ Scheduler::Scheduler(const SchedulerOptions& options)
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_main(); });
   }
+  if (!options_.snapshot_path.empty() && options_.snapshot_period_ms > 0) {
+    snapshot_thread_ = std::thread([this] { snapshot_main(); });
+  }
 }
 
 Scheduler::~Scheduler() {
@@ -198,7 +228,19 @@ Scheduler::~Scheduler() {
     }
   }
   cv_.notify_all();
+  snapshot_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if (snapshot_thread_.joinable()) {
+    snapshot_thread_.join();
+    // One final snapshot after every worker has retired: the published
+    // file ends showing the terminal state of every job, not whatever
+    // the last periodic tick happened to catch.
+    try {
+      write_stats_snapshot(options_.snapshot_path);
+    } catch (...) {
+      // Shutdown is not the place to throw over a stats file.
+    }
+  }
 }
 
 JobId Scheduler::submit(JobSpec spec) {
@@ -236,6 +278,8 @@ JobId Scheduler::submit(JobSpec spec) {
     }
   }
   entry.submit_ns = obs::now_ns_if_armed();
+  obs::rec::event("job.submit", id,
+                  static_cast<std::uint64_t>(entry.spec.priority));
   queues_[static_cast<std::size_t>(entry.spec.priority)].push_back(id);
   cv_.notify_all();
   return id;
@@ -292,6 +336,8 @@ void Scheduler::worker_main() {
     if (obs::armed() && entry.submit_ns > 0) {
       obs::record_span("job.queued", entry.submit_ns, run_start_ns, id);
     }
+    obs::rec::event("job.pick", id);
+    obs::rec::set_inflight("job", id);
 
     // Cross-job result cache: an identical job (same circuit content,
     // result-affecting options and mode) short-circuits the whole run.
@@ -394,6 +440,12 @@ void Scheduler::worker_main() {
     }
     stats.wall_seconds = watch.seconds();
     obs::record_span("job.run", run_start_ns, obs::now_ns_if_armed(), id);
+    obs::rec::clear_inflight();
+    obs::rec::event(entry.result.state == JobState::kDone ? "job.done"
+                    : entry.result.state == JobState::kCancelled
+                        ? "job.cancelled"
+                        : "job.failed",
+                    id);
 
     lock.lock();
     // Live progress (candidates_walked) streamed in through the hook;
@@ -454,6 +506,8 @@ void Scheduler::run_job_robust(JobEntry& entry, JobStats* stats) {
     }
     ++stats->retries;
     obs::count("job.retries");
+    obs::rec::event("job.retry", entry.result.id,
+                    static_cast<std::uint64_t>(attempt + 1));
     // Re-run from a clean slate: the failed attempt's partial numbers
     // must not bleed into the retry (the retried result is bit-identical
     // to a first-try run -- the determinism tests pin this).
@@ -802,6 +856,173 @@ SchedulerStats Scheduler::stats() const {
 std::vector<JobId> Scheduler::completion_order() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return completion_order_;
+}
+
+std::string Scheduler::stats_json() const {
+  const SchedulerStats stats = this->stats();
+  const sim::SimCacheStats cache = fleet_.cache_stats();
+  const sim::ProcFleetStats proc = fleet_.proc_stats();
+  // The MILP session stats summed over every *terminal* job (a running
+  // job's result is still being written by its worker). At batch end
+  // this equals the sum over wait_all()'s results, which is what keeps
+  // the CLI summary byte-identical through this refactor.
+  lp::SessionStats milp;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<JobEntry>& entry : jobs_) {
+      if (entry->state == JobState::kQueued ||
+          entry->state == JobState::kRunning) {
+        continue;
+      }
+      const lp::SessionStats& m = entry->result.circuit.milp;
+      milp.solves += m.solves;
+      milp.warm_attempts += m.warm_attempts;
+      milp.warm_roots += m.warm_roots;
+      milp.warm_seeds += m.warm_seeds;
+      milp.warm_fallbacks += m.warm_fallbacks;
+      milp.cold_solves += m.cold_solves;
+      milp.presolves += m.presolves;
+      milp.nodes += m.nodes;
+      milp.lp_iterations += m.lp_iterations;
+      milp.solve_seconds += m.solve_seconds;
+    }
+  }
+  std::string out;
+  char buf[768];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scheduler\": {\"submitted\": %zu, "
+                "\"completed\": %zu, \"failed\": %zu, \"rejected\": %zu, "
+                "\"degraded\": %zu, \"cancelled\": %zu, \"retries\": %llu, "
+                "\"job_cache_hits\": %llu, \"disk_cache_hits\": %llu}",
+                stats.submitted, stats.completed, stats.failed,
+                stats.rejected, stats.degraded, stats.cancelled,
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.job_cache_hits),
+                static_cast<unsigned long long>(stats.disk_cache_hits));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"fleet_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"entries\": %zu, \"bytes\": %zu, \"capacity_bytes\": %zu, "
+                "\"evictions\": %llu}",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses), cache.entries,
+                cache.bytes, cache.capacity_bytes,
+                static_cast<unsigned long long>(cache.evictions));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"proc\": {\"workers\": %zu, \"spawns\": %llu, "
+                "\"crashes\": %llu, \"respawns\": %llu, "
+                "\"redispatches\": %llu, \"postmortems\": %llu}",
+                fleet_.proc_workers(),
+                static_cast<unsigned long long>(proc.spawns),
+                static_cast<unsigned long long>(proc.crashes),
+                static_cast<unsigned long long>(proc.respawns),
+                static_cast<unsigned long long>(proc.redispatches),
+                static_cast<unsigned long long>(proc.postmortems));
+  out += buf;
+  if (disk_cache_ != nullptr) {
+    const DiskCacheStats disk = disk_cache_->stats();
+    std::snprintf(buf, sizeof(buf),
+                  ", \"disk_cache\": {\"entries\": %zu, \"bytes\": %zu, "
+                  "\"hits\": %llu, \"misses\": %llu, \"corrupt\": %llu, "
+                  "\"stores\": %llu, \"store_errors\": %llu, "
+                  "\"evictions\": %llu}",
+                  disk.entries, disk.bytes,
+                  static_cast<unsigned long long>(disk.hits),
+                  static_cast<unsigned long long>(disk.misses),
+                  static_cast<unsigned long long>(disk.corrupt),
+                  static_cast<unsigned long long>(disk.stores),
+                  static_cast<unsigned long long>(disk.store_errors),
+                  static_cast<unsigned long long>(disk.evictions));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                ", \"milp\": {\"solves\": %lld, \"warm_attempts\": %lld, "
+                "\"warm_roots\": %lld, \"warm_fallbacks\": %lld, "
+                "\"cold_solves\": %lld, \"presolves\": %lld, "
+                "\"nodes\": %lld, \"lp_iterations\": %lld, "
+                "\"solve_seconds\": %.4f}}",
+                static_cast<long long>(milp.solves),
+                static_cast<long long>(milp.warm_attempts),
+                static_cast<long long>(milp.warm_roots),
+                static_cast<long long>(milp.warm_fallbacks),
+                static_cast<long long>(milp.cold_solves),
+                static_cast<long long>(milp.presolves),
+                static_cast<long long>(milp.nodes),
+                static_cast<long long>(milp.lp_iterations),
+                milp.solve_seconds);
+  out += buf;
+  return out;
+}
+
+void Scheduler::write_stats_snapshot(const std::string& path) const {
+  const SchedulerStats stats = this->stats();
+  std::string doc;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "{\"snapshot\": true, \"uptime_s\": %.3f",
+                uptime_.seconds());
+  doc += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"queued\": %zu, \"running\": %zu, \"workers\": %zu",
+                stats.queued, stats.running, options_.workers);
+  doc += buf;
+  std::snprintf(buf, sizeof(buf),
+                ", \"fleet\": {\"pool\": %zu, \"busy\": %zu, "
+                "\"proc_workers\": %zu}",
+                fleet_.pool_size(), fleet_.busy_workers(),
+                fleet_.proc_workers());
+  doc += buf;
+  doc += ", \"stats\": ";
+  doc += stats_json();
+  // The obs body rides along whenever tracing is armed: `elrr top`
+  // renders its per-phase percentiles next to the queue/fleet gauges.
+  doc += ", \"obs\": {";
+  doc += obs::summary_json();
+  doc += "}}\n";
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    throw Error(detail::concat(
+        "scheduler: cannot open stats snapshot for write: ", tmp));
+  }
+  std::fputs(doc.c_str(), out);
+  const bool write_ok = std::ferror(out) == 0;
+  const bool close_ok = std::fclose(out) == 0;
+  if (!write_ok || !close_ok) {
+    std::remove(tmp.c_str());
+    throw Error(
+        detail::concat("scheduler: short write to stats snapshot: ", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error(detail::concat(
+        "scheduler: cannot move stats snapshot into place: ", path));
+  }
+}
+
+void Scheduler::snapshot_main() {
+  obs::set_thread_label("sched-snapshot");
+  const auto period = std::chrono::milliseconds(options_.snapshot_period_ms);
+  bool warned = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    snapshot_cv_.wait_for(lock, period, [&] { return stop_; });
+    if (stop_) break;  // the destructor writes the terminal snapshot
+    lock.unlock();
+    try {
+      write_stats_snapshot(options_.snapshot_path);
+    } catch (const std::exception& e) {
+      // A broken snapshot path must not kill the service it observes;
+      // one warning names it and the publisher keeps trying.
+      if (!warned) {
+        std::fprintf(stderr, "elrr scheduler: stats snapshot failed: %s\n",
+                     e.what());
+        warned = true;
+      }
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace elrr::svc

@@ -227,12 +227,21 @@ struct SchedulerOptions {
   /// Byte cap of the persistent cache (0 = unbounded). Env
   /// ELRR_DISK_CACHE_CAP.
   std::size_t disk_cache_cap = 0;
+  /// Periodic stats snapshot: every `snapshot_period_ms` a dedicated
+  /// publisher thread writes the unified stats object (queue depths,
+  /// fleet utilization, cache counters, obs summary) as JSON to
+  /// `snapshot_path` via atomic tmp+rename -- `elrr top` reads it. A
+  /// final snapshot is written at shutdown. Empty path = disabled. Env
+  /// ELRR_STATS_SNAPSHOT=path:period_ms.
+  std::string snapshot_path;
+  std::uint64_t snapshot_period_ms = 0;
 
   /// Fleet knobs from FlowOptions::from_env() plus the robustness knobs
   /// (ELRR_JOB_DEADLINE, ELRR_RETRY_MAX, ELRR_STALL_THRESHOLD,
-  /// ELRR_DISK_CACHE_DIR, ELRR_DISK_CACHE_CAP), all validated strictly -- a malformed value
-  /// throws InvalidInputError naming the variable. workers/start_paused
-  /// stay at their defaults (caller-owned).
+  /// ELRR_DISK_CACHE_DIR, ELRR_DISK_CACHE_CAP) and the snapshot
+  /// publisher (ELRR_STATS_SNAPSHOT), all validated strictly -- a
+  /// malformed value throws InvalidInputError naming the variable.
+  /// workers/start_paused stay at their defaults (caller-owned).
   static SchedulerOptions from_env();
 };
 
@@ -295,6 +304,17 @@ class Scheduler {
   const sim::SimFleet& fleet() const { return fleet_; }
 
   SchedulerStats stats() const;
+  /// The unified nested "stats" JSON object -- scheduler, fleet cache,
+  /// proc tier, disk cache (when enabled) and the MILP session stats
+  /// summed over terminal jobs. Byte-identical to the `elrr batch`
+  /// summary's "stats" value (the CLI renders through this), and the
+  /// body of the periodic snapshot. Thread-safe.
+  std::string stats_json() const;
+  /// Writes one stats snapshot document (the periodic publisher's
+  /// payload: uptime, queue depths, fleet utilization, stats_json and
+  /// the obs summary) to `path` via atomic tmp+rename. Throws on IO
+  /// failure. Thread-safe.
+  void write_stats_snapshot(const std::string& path) const;
   /// Ids of completed-so-far jobs in completion order (fair-share /
   /// priority observability; includes done, cancelled, failed and
   /// rejected).
@@ -316,6 +336,11 @@ class Scheduler {
   };
 
   void worker_main();
+  /// The snapshot publisher thread body: writes write_stats_snapshot to
+  /// options_.snapshot_path every snapshot_period_ms, plus one final
+  /// snapshot at shutdown so the file ends in the terminal state. IO
+  /// failures warn once on stderr and never kill the scheduler.
+  void snapshot_main();
   /// Picks the next job id under the scheduler mutex, honoring the
   /// weighted round-robin credits; returns false when every class is
   /// empty.
@@ -349,6 +374,11 @@ class Scheduler {
   std::uint64_t total_retries_ = 0;
   std::vector<JobId> completion_order_;
   std::vector<std::thread> workers_;
+  /// Snapshot publisher (joinable only when options_.snapshot_path is
+  /// set); woken early by shutdown through snapshot_cv_.
+  std::thread snapshot_thread_;
+  std::condition_variable snapshot_cv_;
+  Stopwatch uptime_;
   /// Persistent result layer (nullptr = disabled). Constructed before
   /// the workers, used by them without further locking (DiskCache has
   /// its own mutex).

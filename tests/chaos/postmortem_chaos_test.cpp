@@ -1,0 +1,338 @@
+/// \file postmortem_chaos_test.cpp
+/// Live-crash suite for the flight recorder's postmortem pipeline: a
+/// real `elrr work` worker process is SIGSEGVed (and SIGKILLed, the
+/// no-dump control) mid-slice, and the contract asserted end to end:
+///  * the dying worker's fatal-signal handler publishes a complete
+///    `ELRR-POSTMORTEM 1` dump whose in-flight marks and trailing
+///    events NAME the slice it was executing;
+///  * the supervisor harvests that dump -- the crash's TransientError
+///    carries `postmortem: <path>` plus a last-events excerpt, and the
+///    proc stats count the harvest;
+///  * results stay bit-identical to the fault-free in-process oracle
+///    (the recorder observes, never steers).
+///
+/// Like the rest of the chaos label this suite forks/execs and raises
+/// real fatal signals, so it is excluded from the sanitizer sweep
+/// (bench_gate.sh runs ASan on the sim|svc|lp|obs labels); the dump and
+/// harvest logic itself is sanitizer-covered by recorder_test.cpp.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench89/generator.hpp"
+#include "obs/recorder.hpp"
+#include "sim/fleet.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "svc/scheduler.hpp"
+
+namespace elrr::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Hard termination guard (see chaos_test.cpp): a wedged run must fail
+/// the suite and release the CI slot, not block forever.
+class Watchdog {
+ public:
+  explicit Watchdog(double seconds) {
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [this] { return done_; })) {
+        std::fprintf(stderr,
+                     "postmortem chaos watchdog: run did not terminate "
+                     "within %.0f s -- aborting\n",
+                     seconds);
+        std::fflush(stderr);
+        std::_Exit(1);
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Env-managing fixture: the proc tier, its fault schedule and the
+/// recorder are all selected through the environment (spawned workers
+/// re-arm all three from what they inherit), so every test must leave
+/// the env and the process-wide recorder clean behind it. The
+/// supervisor side arms its own recorder too -- harvest() looks in the
+/// configured ELRR_POSTMORTEM_DIR.
+class PostmortemChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("elrr_postmortem_chaos_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    ::setenv("ELRR_WORK_BIN", ELRR_CLI_BIN, 1);
+    ::setenv("ELRR_POSTMORTEM_DIR", dir_.string().c_str(), 1);
+    obs::rec::configure_from_env();
+  }
+  void TearDown() override {
+    failpoint::reset();
+    ::unsetenv("ELRR_PROC_WORKERS");
+    ::unsetenv("ELRR_FAILPOINTS");
+    ::unsetenv("ELRR_WORK_BIN");
+    ::unsetenv("ELRR_POSTMORTEM_DIR");
+    obs::rec::reset();
+    fs::remove_all(dir_);
+  }
+
+  std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  fs::path dir_;
+};
+
+sim::SimOptions small_sim() {
+  sim::SimOptions options;
+  options.seed = 3;
+  options.warmup_cycles = 100;
+  options.measure_cycles = 1000;
+  options.runs = 4;
+  return options;
+}
+
+/// SIGSEGV one live worker during its injected first-slice stall and
+/// return the killed pid (0 if none appeared within the window).
+int segv_first_worker(sim::SimFleet& fleet) {
+  for (int i = 0; i < 4000; ++i) {
+    const std::vector<int> pids = fleet.proc_worker_pids();
+    if (!pids.empty()) {
+      // The pid is visible the moment the handshake completes, which
+      // can be before the slice reaches the worker on a loaded box.
+      // Give dispatch time to land -- the worker records slice.recv,
+      // marks it in flight and enters the 600 ms injected stall -- so
+      // the SIGSEGV hits mid-slice, not mid-startup.
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      ::kill(pids.front(), SIGSEGV);
+      return pids.front();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return 0;
+}
+
+TEST_F(PostmortemChaosTest, SigsegvMidSliceIsHarvestedAndNamesTheSlice) {
+  const Watchdog watchdog(240.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  // The injected stall guarantees the victim is mid-slice -- after it
+  // recorded slice.recv and marked the slice in flight, before it
+  // replied.
+  ::setenv("ELRR_FAILPOINTS", "proc.worker=stall:600", 1);
+  sim::SimFleet fleet(/*threads=*/1, /*dedup=*/true);
+
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s208"), 1);
+  const sim::SimOptions options = small_sim();
+  const sim::SimTicket ticket = fleet.submit_async(Rrg(rrg), options);
+  int killed_pid = 0;
+  std::thread killer(
+      [&fleet, &killed_pid] { killed_pid = segv_first_worker(fleet); });
+  const sim::SimReport report = fleet.wait(ticket);
+  killer.join();
+  ASSERT_NE(killed_pid, 0) << "no worker process appeared to kill";
+
+  // The worker died by SIGSEGV mid-stall; its handler published a
+  // complete dump that names the in-flight slice.
+  const std::string pm_path =
+      (dir_ / ("postmortem-" + std::to_string(killed_pid) + ".txt"))
+          .string();
+  ASSERT_TRUE(fs::exists(pm_path))
+      << "no postmortem published by the crashed worker";
+  const std::string dump = slurp(pm_path);
+  EXPECT_NE(dump.find("ELRR-POSTMORTEM 1\n"), std::string::npos);
+  EXPECT_NE(dump.find("reason: SIGSEGV\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("inflight: "), std::string::npos) << dump;
+  EXPECT_NE(dump.find("slice 0"), std::string::npos)
+      << "in-flight mark does not name the slice:\n" << dump;
+  EXPECT_NE(dump.find("name=slice.recv a=0"), std::string::npos)
+      << "last events do not name the received slice:\n" << dump;
+  EXPECT_NE(dump.find("\nend\n"), std::string::npos)
+      << "dump is truncated:\n" << dump;
+
+  // The supervisor harvested it into the proc stats...
+  const sim::ProcFleetStats stats = fleet.proc_stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.postmortems, 1u) << "crash postmortem was not harvested";
+
+  // ...and the re-dispatched batch is bit-identical to the fault-free
+  // in-process oracle.
+  ::unsetenv("ELRR_PROC_WORKERS");
+  ::unsetenv("ELRR_FAILPOINTS");
+  sim::SimFleet oracle(/*threads=*/1, /*dedup=*/false);
+  const sim::SimReport expected =
+      oracle.wait(oracle.submit_async(Rrg(rrg), options));
+  EXPECT_EQ(report.theta, expected.theta);
+  EXPECT_EQ(report.stderr_theta, expected.stderr_theta);
+}
+
+TEST_F(PostmortemChaosTest, CrashLoopSurfacesThePostmortemInTheError) {
+  // Kill every incarnation: the bounded respawn budget converts the
+  // crash loop into a TransientError, and that error must carry the
+  // last dead worker's postmortem path + excerpt -- the whole point of
+  // the harvest is that the operator sees WHAT the worker was doing
+  // without ssh-ing anywhere.
+  const Watchdog watchdog(240.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  ::setenv("ELRR_FAILPOINTS", "proc.worker=stall:600", 1);
+
+  SchedulerOptions sopt;
+  sopt.workers = 1;
+  sopt.sim_threads = 1;
+  sopt.retry_max = 0;
+  sopt.start_paused = true;
+  Scheduler scheduler(sopt);
+
+  std::atomic<bool> done{false};
+  std::thread killer([&scheduler, &done] {
+    // Each respawned worker re-arms stall:600 with fresh counters, so
+    // every incarnation is killable mid-slice; kill each new pid until
+    // the batch settles.
+    std::vector<int> killed;
+    while (!done.load()) {
+      for (const int pid : scheduler.fleet().proc_worker_pids()) {
+        if (std::find(killed.begin(), killed.end(), pid) == killed.end()) {
+          // Same mid-slice settle delay as segv_first_worker: the
+          // error's excerpt must name the slice, so the kill has to
+          // land after slice.recv, inside the injected stall.
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+          ::kill(pid, SIGSEGV);
+          killed.push_back(pid);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  JobSpec spec;
+  spec.name = "s208";
+  spec.rrg = bench89::make_table2_rrg(bench89::spec_by_name("s208"), 1);
+  spec.mode = JobMode::kScoreOnly;
+  spec.flow.seed = 1;
+  spec.flow.sim_cycles = 2000;
+  const JobId id = scheduler.submit(std::move(spec));
+  scheduler.resume();
+  const JobResult result = scheduler.wait(id);
+  done.store(true);
+  killer.join();
+
+  ASSERT_EQ(result.state, JobState::kFailed);
+  EXPECT_NE(result.error.find("worker process crashed"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("postmortem: "), std::string::npos)
+      << "TransientError does not embed the harvested postmortem: "
+      << result.error;
+  EXPECT_NE(result.error.find("slice.recv"), std::string::npos)
+      << "no last-events excerpt in the error: " << result.error;
+  EXPECT_GE(scheduler.fleet().proc_stats().postmortems, 1u);
+}
+
+TEST_F(PostmortemChaosTest, SigkillLeavesNoPostmortemAndDegradesGracefully) {
+  // SIGKILL is uncatchable: no handler, no dump. The absence must be
+  // graceful -- the crash is contained and re-dispatched exactly as
+  // before the recorder existed, with no postmortem reference anywhere.
+  const Watchdog watchdog(240.0);
+  ::setenv("ELRR_PROC_WORKERS", "1", 1);
+  ::setenv("ELRR_FAILPOINTS", "proc.worker=stall:600", 1);
+  sim::SimFleet fleet(/*threads=*/1, /*dedup=*/true);
+
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s208"), 1);
+  const sim::SimOptions options = small_sim();
+  const sim::SimTicket ticket = fleet.submit_async(Rrg(rrg), options);
+  int killed_pid = 0;
+  std::thread killer([&fleet, &killed_pid] {
+    for (int i = 0; i < 4000; ++i) {
+      const std::vector<int> pids = fleet.proc_worker_pids();
+      if (!pids.empty()) {
+        // Same mid-slice settle delay as segv_first_worker.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ::kill(pids.front(), SIGKILL);
+        killed_pid = pids.front();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const sim::SimReport report = fleet.wait(ticket);
+  killer.join();
+  ASSERT_NE(killed_pid, 0);
+
+  EXPECT_FALSE(fs::exists(
+      dir_ / ("postmortem-" + std::to_string(killed_pid) + ".txt")));
+  const sim::ProcFleetStats stats = fleet.proc_stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.postmortems, 0u);
+
+  ::unsetenv("ELRR_PROC_WORKERS");
+  ::unsetenv("ELRR_FAILPOINTS");
+  sim::SimFleet oracle(/*threads=*/1, /*dedup=*/false);
+  const sim::SimReport expected =
+      oracle.wait(oracle.submit_async(Rrg(rrg), options));
+  EXPECT_EQ(report.theta, expected.theta);
+  EXPECT_EQ(report.stderr_theta, expected.stderr_theta);
+}
+
+TEST_F(PostmortemChaosTest, ReapedWorkersLeaveNoRecorderTmpBehind) {
+  // Armed workers pre-open postmortem-<pid>.txt.tmp the moment they
+  // start. A worker that exits cleanly unlinks its own at atexit, but
+  // the fleet retires workers with SIGKILL (it never blocks on a
+  // wedged child), which skips atexit -- the supervisor must discard
+  // the orphan after the reap.
+  const Watchdog watchdog(240.0);
+  ::setenv("ELRR_PROC_WORKERS", "2", 1);
+  const Rrg rrg = bench89::make_table2_rrg(bench89::spec_by_name("s208"), 1);
+  {
+    sim::SimFleet fleet(/*threads=*/1, /*dedup=*/true);
+    fleet.wait(fleet.submit_async(Rrg(rrg), small_sim()));
+  }  // ~SimFleet: request pipes close, children are SIGKILLed + reaped.
+  ::unsetenv("ELRR_PROC_WORKERS");
+
+  // The only tmp left is this (armed, still running) test process's
+  // own; no reaped worker's tmp survives the teardown.
+  const std::string own_tmp =
+      "postmortem-" + std::to_string(::getpid()) + ".txt.tmp";
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string(), own_tmp)
+        << "recorder litter after fleet teardown: " << entry.path();
+  }
+}
+
+}  // namespace
+}  // namespace elrr::svc

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -371,6 +373,218 @@ TEST(Cli, BatchTraceAndTraceSummary) {
   // inherit it); scrub both for whatever runs next in this process.
   ::unsetenv("ELRR_TRACE");
   obs::reset();
+}
+
+/// The --json twin of trace-summary is a published schema (dashboards
+/// parse it, mirroring bench-diff --json conventions), so the keys are
+/// pinned here, not just "some JSON came out": input, per-phase rows
+/// with count/total_s/p50_s/p95_s/p99_s, and the ring health at the
+/// tail. The text table reports the same ring health as a footer.
+TEST(Cli, TraceSummaryJsonPinsTheSchema) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "/trace_json.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000}\n");
+  const std::string trace_path =
+      ::testing::TempDir() + "/trace_json_trace.json";
+  const CliResult r = run_cli({"batch", manifest_path, "--trace", trace_path});
+  ASSERT_EQ(r.code, 0) << r.out << r.err;
+
+  const CliResult js = run_cli({"trace-summary", trace_path, "--json"});
+  EXPECT_EQ(js.code, 0) << js.err;
+  EXPECT_NE(js.out.find("\"input\": \""), std::string::npos) << js.out;
+  EXPECT_NE(js.out.find("\"phases\": ["), std::string::npos) << js.out;
+  EXPECT_NE(js.out.find("{\"name\": \"job.run\", \"count\": "),
+            std::string::npos)
+      << js.out;
+  EXPECT_NE(js.out.find("\"total_s\": "), std::string::npos);
+  EXPECT_NE(js.out.find("\"p50_s\": "), std::string::npos);
+  EXPECT_NE(js.out.find("\"p95_s\": "), std::string::npos);
+  EXPECT_NE(js.out.find("\"p99_s\": "), std::string::npos);
+  EXPECT_NE(js.out.find("\"dropped_spans\": 0"), std::string::npos) << js.out;
+  EXPECT_NE(js.out.find("\"ring_capacity\": "), std::string::npos) << js.out;
+  // Nothing dropped: no ELRR_OBS_BUF advice on stderr.
+  EXPECT_EQ(js.err.find("dropped"), std::string::npos) << js.err;
+
+  const CliResult txt = run_cli({"trace-summary", trace_path});
+  EXPECT_EQ(txt.code, 0) << txt.err;
+  EXPECT_NE(txt.out.find("spans dropped: 0 (per-thread ring capacity "),
+            std::string::npos)
+      << txt.out;
+
+  ::unsetenv("ELRR_TRACE");
+  obs::reset();
+}
+
+/// --trace vs ELRR_TRACE precedence: both arm the same obs layer, and
+/// when both name a path the flag wins -- the trace lands at the
+/// --trace path and the env variable is re-exported to match, so
+/// spawned worker processes follow the flag too. Env alone still arms.
+TEST(Cli, TraceFlagWinsOverTraceEnv) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "/trace_prec.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000}\n");
+  const std::string env_path = ::testing::TempDir() + "/trace_env.json";
+  const std::string flag_path = ::testing::TempDir() + "/trace_flag.json";
+  std::remove(env_path.c_str());
+  std::remove(flag_path.c_str());
+  const auto exists = [](const std::string& p) {
+    return std::ifstream(p).good();
+  };
+
+  ::setenv("ELRR_TRACE", env_path.c_str(), 1);
+  const CliResult both = run_cli({"batch", manifest_path, "--trace",
+                                  flag_path});
+  EXPECT_EQ(both.code, 0) << both.err;
+  EXPECT_TRUE(exists(flag_path)) << "flag path did not receive the trace";
+  EXPECT_FALSE(exists(env_path))
+      << "env path received a trace although the flag named another";
+  // The flag re-exported the env so worker processes inherit its path.
+  EXPECT_STREQ(::getenv("ELRR_TRACE"), flag_path.c_str());
+  ::unsetenv("ELRR_TRACE");
+  obs::reset();
+
+  // Env alone arms and the trace lands at the env path.
+  ::setenv("ELRR_TRACE", env_path.c_str(), 1);
+  const CliResult env_only = run_cli({"batch", manifest_path});
+  EXPECT_EQ(env_only.code, 0) << env_only.err;
+  EXPECT_TRUE(exists(env_path)) << "ELRR_TRACE alone did not write a trace";
+  ::unsetenv("ELRR_TRACE");
+  obs::reset();
+}
+
+/// `elrr postmortem` renders the line-oriented flight-recorder dump as
+/// a report: reason/pid, ring health, in-flight identities, the event
+/// tail and the registry mirror; a dump with no `end` marker gets an
+/// explicit truncation warning, and a non-postmortem file is rejected.
+TEST(Cli, PostmortemRendersADump) {
+  const std::string path = ::testing::TempDir() + "/postmortem-4242.txt";
+  io::save_text_file(
+      path,
+      "ELRR-POSTMORTEM 1\n"
+      "reason: SIGSEGV\n"
+      "pid: 4242\n"
+      "events_recorded: 3\n"
+      "events_dropped: 1\n"
+      "inflight: tid=7 slice 128\n"
+      "event: seq=2 t_ns=1000000 tid=7 name=slice.recv a=128 b=64\n"
+      "event: seq=3 t_ns=1500000 tid=7 name=slice.dispatch a=128 b=64\n"
+      "counter: fleet.slices 12\n"
+      "hist: fleet.slice count=3 total_ns=4500000 p50_le_ns=2097152 "
+      "p95_le_ns=2097152 p99_le_ns=2097152\n"
+      "end\n");
+  const CliResult r = run_cli({"postmortem", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("reason: SIGSEGV    pid: 4242"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("3 recorded, 1 dropped (ring wrapped"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("in flight when the process died:"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("tid=7 slice 128"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("slice.recv"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("fleet.slices 12"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("phase latencies"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("WARNING"), std::string::npos) << r.out;
+
+  // No `end` marker (the handler died mid-write, or the disk filled):
+  // the report itself says the dump is incomplete.
+  const std::string cut = ::testing::TempDir() + "/postmortem-cut.txt";
+  io::save_text_file(cut, "ELRR-POSTMORTEM 1\nreason: SIGABRT\npid: 1\n");
+  const CliResult truncated = run_cli({"postmortem", cut});
+  EXPECT_EQ(truncated.code, 0) << truncated.err;
+  EXPECT_NE(truncated.out.find(
+                "WARNING: no 'end' marker -- dump is truncated"),
+            std::string::npos)
+      << truncated.out;
+
+  const std::string bogus = ::testing::TempDir() + "/not_a_postmortem.txt";
+  io::save_text_file(bogus, "{\"snapshot\": true}\n");
+  const CliResult bad = run_cli({"postmortem", bogus});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("not a flight-recorder postmortem"),
+            std::string::npos)
+      << bad.err;
+}
+
+/// `elrr top` over a snapshot with every section present pins the
+/// dashboard rendering: queue/fleet/jobs/cache/proc/milp rows plus the
+/// per-phase table from the embedded obs summary.
+TEST(Cli, TopRendersASnapshot) {
+  const std::string path = ::testing::TempDir() + "/snap.json";
+  io::save_text_file(
+      path,
+      "{\"snapshot\": true, \"uptime_s\": 12.500, \"queued\": 3, "
+      "\"running\": 2, \"workers\": 4, \"fleet\": {\"pool\": 8, "
+      "\"busy\": 6, \"proc_workers\": 2}, \"stats\": {\"scheduler\": "
+      "{\"submitted\": 10, \"completed\": 7, \"failed\": 1, "
+      "\"rejected\": 0, \"retries\": 2, \"job_cache_hits\": 3}, "
+      "\"fleet_cache\": {\"hits\": 30, \"misses\": 10}, \"proc\": "
+      "{\"workers\": 2, \"spawns\": 3, \"crashes\": 1, \"respawns\": 1, "
+      "\"redispatches\": 1, \"postmortems\": 1}, \"milp\": "
+      "{\"solves\": 7, \"solve_seconds\": 1.25}}, \"obs\": {\"phases\": "
+      "[{\"name\": \"job.run\", \"count\": 5, \"total_s\": 2.000000, "
+      "\"p50_s\": 0.400000000, \"p95_s\": 0.500000000, \"p99_s\": "
+      "0.500000000}], \"counters\": {}, \"dropped_spans\": 0, "
+      "\"ring_capacity\": 8192}}\n");
+  const CliResult r = run_cli({"top", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("uptime 12.5s   queued 3   running 2   "
+                       "scheduler workers 4"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("fleet: pool 8, busy 6 (75%), proc workers 2"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("jobs:  submitted 10, completed 7, failed 1, "
+                       "rejected 0, retries 2"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("cache: fleet 75.0% hit (30/40), job hits 3"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("proc:  spawns 3, crashes 1, respawns 1, "
+                       "redispatches 1, postmortems 1"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("milp:  solves 7, 1.25s total"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("phases:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("job.run"), std::string::npos) << r.out;
+}
+
+/// End to end: ELRR_STATS_SNAPSHOT through a real batch. The scheduler
+/// publishes periodically and its destructor writes a terminal
+/// snapshot, so after the batch returns the file renders through `top`;
+/// a file that is not a snapshot is rejected with the expected-shape
+/// hint.
+TEST(Cli, TopReadsALiveSchedulerSnapshot) {
+  const std::string manifest_path = ::testing::TempDir() + "/top_live.jsonl";
+  io::save_text_file(manifest_path,
+                     "{\"circuit\": \"s208\", \"mode\": \"score\", "
+                     "\"cycles\": 2000}\n");
+  const std::string snap_path = ::testing::TempDir() + "/top_live_snap.json";
+  ::setenv("ELRR_STATS_SNAPSHOT", (snap_path + ":50").c_str(), 1);
+  const CliResult batch = run_cli({"batch", manifest_path});
+  ::unsetenv("ELRR_STATS_SNAPSHOT");
+  ASSERT_EQ(batch.code, 0) << batch.out << batch.err;
+
+  const CliResult top = run_cli({"top", snap_path});
+  EXPECT_EQ(top.code, 0) << top.err;
+  EXPECT_NE(top.out.find("uptime "), std::string::npos) << top.out;
+  EXPECT_NE(top.out.find("jobs:  submitted 1, completed 1"),
+            std::string::npos)
+      << top.out;
+
+  const CliResult bad = run_cli({"top", manifest_path});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("not a stats snapshot"), std::string::npos)
+      << bad.err;
 }
 
 TEST(Cli, BatchRejectsBadManifestsWithLineNumbers) {

@@ -192,6 +192,26 @@ TEST_F(ObsTest, ConfigureFromEnvValidatesStrictly) {
   EXPECT_EQ(trace_path(), path);
 }
 
+TEST_F(ObsTest, ObsBufBoundariesAreExact) {
+  // The documented range is [16, 2^24], inclusive on both ends: each
+  // boundary is accepted and each first value past it rejected, so a
+  // range change can never slip through silently.
+  ::setenv("ELRR_OBS_BUF", "16", 1);
+  configure_from_env();
+  EXPECT_EQ(ring_capacity(), 16u);
+  ::setenv("ELRR_OBS_BUF", "16777216", 1);  // 2^24
+  configure_from_env();
+  EXPECT_EQ(ring_capacity(), std::size_t{1} << 24);
+  ::setenv("ELRR_OBS_BUF", "15", 1);
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+  ::setenv("ELRR_OBS_BUF", "16777217", 1);  // 2^24 + 1
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+  ::setenv("ELRR_OBS_BUF", "", 1);
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+  ::setenv("ELRR_OBS_BUF", "-16", 1);
+  EXPECT_THROW(configure_from_env(), InvalidInputError);
+}
+
 // ------------------------------------------------------------------------
 // A minimal JSON parser: enough to assert the exported trace *parses*
 // and to walk its structure. Throws std::runtime_error on malformed

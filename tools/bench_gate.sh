@@ -46,11 +46,17 @@ QUICK=${ELRR_GATE_QUICK:-0}
 TRACE_DIR="$BUILD_DIR/obs_traces"
 mkdir -p "$TRACE_DIR"
 GATE_TRACE="$TRACE_DIR/trace-%p.json"
+# Flight recorder armed for the same runs: any `elrr` process a test
+# crashes (or that dies for real) leaves postmortem-<pid>.txt here --
+# a CI failure artifact next to the traces. Tests that pin recorder
+# behavior manage the env themselves.
+PM_DIR="$BUILD_DIR/postmortems"
+mkdir -p "$PM_DIR"
 
 echo "== [1/4] Release build + ctest -L sim|svc|chaos|lp|obs (traced) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target elrr elrr_cli perf_smoke elrr_sim_tests elrr_svc_tests elrr_chaos_tests elrr_lp_tests elrr_obs_tests
-ELRR_TRACE="$GATE_TRACE" \
+ELRR_TRACE="$GATE_TRACE" ELRR_POSTMORTEM_DIR="$PM_DIR" \
   ctest --test-dir "$BUILD_DIR" -L 'sim|svc|chaos|lp|obs' --output-on-failure -j
 
 if [ "$QUICK" = "1" ]; then
@@ -73,8 +79,9 @@ else
   cmake -B "$ASAN_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
     -DELRR_SANITIZE=address,undefined
   cmake --build "$ASAN_BUILD_DIR" -j --target elrr_sim_tests elrr_svc_tests elrr_lp_tests elrr_obs_tests
-  mkdir -p "$ASAN_BUILD_DIR/obs_traces"
+  mkdir -p "$ASAN_BUILD_DIR/obs_traces" "$ASAN_BUILD_DIR/postmortems"
   ELRR_TRACE="$ASAN_BUILD_DIR/obs_traces/trace-%p.json" \
+    ELRR_POSTMORTEM_DIR="$ASAN_BUILD_DIR/postmortems" \
     ctest --test-dir "$ASAN_BUILD_DIR" -L 'sim|svc|lp|obs' -E 'ObsProc' \
     --output-on-failure -j
 fi

@@ -34,11 +34,15 @@ LOG_DIR="$BUILD_DIR/chaos_logs"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target elrr_chaos_tests
 
-mkdir -p "$LOG_DIR" "$LOG_DIR/proc" "$LOG_DIR/trace"
+mkdir -p "$LOG_DIR" "$LOG_DIR/proc" "$LOG_DIR/trace" "$LOG_DIR/postmortem"
 # Per-slot worker stderr (crash last-words) for the proc-fleet tests.
 export ELRR_PROC_LOG_DIR="$LOG_DIR/proc"
 # Tracing armed across the harness (see header).
 export ELRR_TRACE="$LOG_DIR/trace/trace-%p.json"
+# Flight recorder armed: any process the harness kills (or that dies on
+# its own) leaves a postmortem-<pid>.txt here, riding the same failure
+# artifact; render with `elrr postmortem <file>`.
+export ELRR_POSTMORTEM_DIR="$LOG_DIR/postmortem"
 CTEST_ARGS=(-L chaos --output-on-failure --output-log "$LOG_DIR/chaos.log")
 if [ -n "$FILTER" ]; then
   CTEST_ARGS+=(-R "$FILTER")
